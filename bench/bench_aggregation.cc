@@ -1,0 +1,85 @@
+// Experiment B7 (DESIGN.md): Section 6.2 / Algorithm 6.1 — aggregate views
+// are maintained by touching only the changed groups; SUM combines
+// incrementally, while a deletion hitting the current MIN forces a group
+// rescan (the "non incrementally computable" fallback).
+//
+// Series: single-tuple updates against SUM and MIN views over G groups,
+// counting vs recompute; plus the MIN worst case (always delete the current
+// minimum) vs the MIN easy case (delete a non-extremal tuple).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kSumProgram =
+    "base sales(Region, Amount).\n"
+    "total(R, T) :- groupby(sales(R, A), [R], T = sum(A)).";
+constexpr const char* kMinProgram =
+    "base sales(Region, Amount).\n"
+    "cheapest(R, M) :- groupby(sales(R, A), [R], M = min(A)).";
+
+constexpr int kRowsPerGroup = 50;
+
+Database SalesDb(int groups) {
+  Database db;
+  db.CreateRelation("sales", 2).CheckOK();
+  Relation& sales = db.mutable_relation("sales");
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < kRowsPerGroup; ++i) {
+      // Distinct amounts per group; minimum is g*1000 + 100.
+      sales.Add(Tup(g, g * 1000 + 100 + i * 3), 1);
+    }
+  }
+  return db;
+}
+
+void Run(benchmark::State& state, const char* program, Strategy strategy,
+         bool hit_minimum) {
+  const int groups = static_cast<int>(state.range(0));
+  Database db = SalesDb(groups);
+  auto vm = bench::MakeManager(program, strategy, db);
+  // One deletion + one insertion in group 0.
+  ChangeSet batch;
+  if (hit_minimum) {
+    batch.Delete("sales", Tup(0, 100));          // the current minimum
+    batch.Insert("sales", Tup(0, 99));           // and a new minimum
+  } else {
+    batch.Delete("sales", Tup(0, 100 + 3 * (kRowsPerGroup - 1)));  // max row
+    batch.Insert("sales", Tup(0, 100 + 3 * kRowsPerGroup + 50));
+  }
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["groups"] = groups;
+  state.counters["rows"] = static_cast<double>(groups) * kRowsPerGroup;
+}
+
+void BM_SumCounting(benchmark::State& state) {
+  Run(state, kSumProgram, Strategy::kCounting, false);
+}
+void BM_SumRecompute(benchmark::State& state) {
+  Run(state, kSumProgram, Strategy::kRecompute, false);
+}
+void BM_MinEasyCounting(benchmark::State& state) {
+  Run(state, kMinProgram, Strategy::kCounting, false);
+}
+void BM_MinWorstCaseCounting(benchmark::State& state) {
+  Run(state, kMinProgram, Strategy::kCounting, true);
+}
+void BM_MinRecompute(benchmark::State& state) {
+  Run(state, kMinProgram, Strategy::kRecompute, true);
+}
+
+#define GROUPS ->Arg(16)->Arg(64)->Arg(256)
+BENCHMARK(BM_SumCounting) GROUPS;
+BENCHMARK(BM_SumRecompute) GROUPS;
+BENCHMARK(BM_MinEasyCounting) GROUPS;
+BENCHMARK(BM_MinWorstCaseCounting) GROUPS;
+BENCHMARK(BM_MinRecompute) GROUPS;
+
+}  // namespace
+}  // namespace ivm

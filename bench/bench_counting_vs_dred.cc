@@ -1,0 +1,46 @@
+// Experiment B6 (DESIGN.md): Section 7/8 — "DRed can be used for
+// nonrecursive views also but it is less efficient than counting", and
+// conversely the counting algorithm is what the paper recommends for
+// nonrecursive views.
+//
+// Series: maintenance of the nonrecursive hop/tri_hop program under mixed
+// batches, counting vs DRed vs recompute.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kProgram =
+    "base link(S, D).\n"
+    "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+    "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).";
+constexpr int kNodes = 200;
+constexpr int kEdges = 1400;
+
+void Run(benchmark::State& state, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 23);
+  auto vm = bench::MakeManager(kProgram, strategy, db);
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       batch_size, batch_size, /*seed=*/31);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = 2 * batch_size;
+}
+
+void BM_Counting(benchmark::State& state) { Run(state, Strategy::kCounting); }
+void BM_DRed(benchmark::State& state) { Run(state, Strategy::kDRed); }
+void BM_Recompute(benchmark::State& state) { Run(state, Strategy::kRecompute); }
+
+#define BATCHES ->Arg(1)->Arg(8)->Arg(32)
+BENCHMARK(BM_Counting) BATCHES;
+BENCHMARK(BM_DRed) BATCHES;
+BENCHMARK(BM_Recompute) BATCHES;
+
+}  // namespace
+}  // namespace ivm

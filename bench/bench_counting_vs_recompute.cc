@@ -1,0 +1,49 @@
+// Experiment B2 (DESIGN.md): the "heuristic of inertia" (Section 1) and
+// Theorem 4.1's optimality — counting maintenance does work proportional to
+// the change, so for small update batches it must beat recomputation by a
+// wide margin, shrinking as the batch grows.
+//
+// Series: steady-state maintenance cost of the hop view for batch sizes
+// 1..256 (half deletions, half insertions), counting vs recompute.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kProgram =
+    "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).";
+constexpr int kNodes = 300;
+constexpr int kEdges = 3000;
+
+void RunMaintain(benchmark::State& state, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 7);
+  auto vm = bench::MakeManager(kProgram, strategy, db);
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       batch_size / 2 + 1, batch_size / 2 + 1,
+                                       /*seed=*/99);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = batch_size;
+  state.counters["db_edges"] = kEdges;
+}
+
+void BM_Counting(benchmark::State& state) {
+  RunMaintain(state, Strategy::kCounting);
+}
+void BM_Recompute(benchmark::State& state) {
+  RunMaintain(state, Strategy::kRecompute);
+}
+
+#define BATCHES ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+
+BENCHMARK(BM_Counting) BATCHES;
+BENCHMARK(BM_Recompute) BATCHES;
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,87 @@
+// Experiment B14 (DESIGN.md, ablation): immediate vs deferred maintenance.
+// The paper's algorithms maintain views immediately after each update; the
+// deferred wrapper batches staged changes into one maintenance pass. This
+// quantifies (a) the per-invocation overhead amortized by batching and
+// (b) the work saved when staged changes churn (insert-then-delete cancels
+// before any propagation).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/deferred.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kProgram =
+    "base link(S, D).\n"
+    "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+    "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).";
+constexpr int kNodes = 200;
+constexpr int kEdges = 1500;
+
+/// N single-tuple updates applied one Apply() each.
+void BM_ImmediatePerTuple(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 41);
+  auto vm = bench::MakeManager(kProgram, Strategy::kCounting, db);
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       n / 2, n / 2, 43);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    for (const auto& [name, delta] : batch.deltas()) {
+      for (const auto& [tuple, count] : delta.tuples()) {
+        ChangeSet one;
+        if (count > 0) {
+          one.Insert(name, tuple, count);
+        } else {
+          one.Delete(name, tuple, -count);
+        }
+        vm->Apply(one).status().CheckOK();
+      }
+    }
+    vm->Apply(inverse).status().CheckOK();
+  }
+  state.counters["updates"] = n;
+}
+
+/// The same N updates staged and refreshed once.
+void BM_DeferredBatched(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 41);
+  DeferredViewManager dvm(bench::MakeManager(kProgram, Strategy::kCounting, db));
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       n / 2, n / 2, 43);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    dvm.Stage(batch);
+    dvm.Refresh().status().CheckOK();
+    dvm.Stage(inverse);
+    dvm.Refresh().status().CheckOK();
+  }
+  state.counters["updates"] = n;
+}
+
+/// Churn: every staged change is cancelled before Refresh.
+void BM_DeferredChurnCancels(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 41);
+  DeferredViewManager dvm(bench::MakeManager(kProgram, Strategy::kCounting, db));
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       n / 2, n / 2, 43);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    dvm.Stage(batch);
+    dvm.Stage(inverse);  // cancels tuple-for-tuple
+    dvm.Refresh().status().CheckOK();
+  }
+  state.counters["updates"] = n;
+}
+
+#define SIZES ->Arg(8)->Arg(32)->Arg(128)
+BENCHMARK(BM_ImmediatePerTuple) SIZES;
+BENCHMARK(BM_DeferredBatched) SIZES;
+BENCHMARK(BM_DeferredChurnCancels) SIZES;
+
+}  // namespace
+}  // namespace ivm

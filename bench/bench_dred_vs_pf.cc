@@ -1,0 +1,63 @@
+// Experiment B5 (DESIGN.md): Section 2's claim that the PF
+// (Propagation/Filtration) algorithm "fragments computation, can rederive
+// changed and deleted tuples again and again, and can be worse than our
+// rederivation algorithm by an order of magnitude".
+//
+// Series: batches of edge deletions+insertions against transitive closure,
+// DRed (stratum-by-stratum, rederive once) vs PF (per-change fragments with
+// repeated rederivation), plus a multi-predicate program where PF's
+// per-(derived, base) iteration hurts more.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kTc =
+    "base edge(X, Y).\n"
+    "path(X, Y) :- edge(X, Y).\n"
+    "path(X, Y) :- path(X, Z) & edge(Z, Y).";
+
+constexpr const char* kMultiPredicate =
+    "base edge(X, Y).\n"
+    "hop(X, Y) :- edge(X, Y).\n"
+    "hop(X, Y) :- edge(X, Z) & edge(Z, Y).\n"
+    "path(X, Y) :- hop(X, Y).\n"
+    "path(X, Y) :- path(X, Z) & hop(Z, Y).\n"
+    "round_trip(X) :- path(X, Y) & path(Y, X).";
+
+constexpr int kNodes = 80;
+constexpr int kEdges = 240;
+
+void Run(benchmark::State& state, const char* program, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("edge", kNodes, kEdges, 3);
+  auto vm = bench::MakeManager(program, strategy, db);
+  ChangeSet batch = MakeMixedEdgeBatch("edge", db.relation("edge"), kNodes,
+                                       batch_size, batch_size, /*seed=*/77);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = 2 * batch_size;
+}
+
+void BM_TC_DRed(benchmark::State& state) { Run(state, kTc, Strategy::kDRed); }
+void BM_TC_PF(benchmark::State& state) { Run(state, kTc, Strategy::kPF); }
+void BM_Multi_DRed(benchmark::State& state) {
+  Run(state, kMultiPredicate, Strategy::kDRed);
+}
+void BM_Multi_PF(benchmark::State& state) {
+  Run(state, kMultiPredicate, Strategy::kPF);
+}
+
+#define BATCHES ->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+BENCHMARK(BM_TC_DRed) BATCHES;
+BENCHMARK(BM_TC_PF) BATCHES;
+BENCHMARK(BM_Multi_DRed) BATCHES;
+BENCHMARK(BM_Multi_PF) BATCHES;
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,114 @@
+// Experiment B4 (DESIGN.md): Section 7 — DRed maintains recursive views
+// (transitive closure) more cheaply than recomputation when changes are
+// small and their effects are localized.
+//
+// Two regimes:
+//  * sparse DAG — deletions invalidate few derivations; the overestimate is
+//    small and DRed wins clearly (the intended workload);
+//  * dense cyclic graph — one giant SCC makes almost every path tuple depend
+//    on every edge, the deletion overestimate covers most of the view, and
+//    recomputation can win. This is the recursive incarnation of the paper's
+//    Section 1 caveat that incremental maintenance is "only a heuristic".
+//
+// Plus a deletion-only vs insertion-only breakdown (insertions are the easy
+// semi-naive case; deletions exercise the three-phase algorithm).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kTc =
+    "base edge(X, Y).\n"
+    "path(X, Y) :- edge(X, Y).\n"
+    "path(X, Y) :- path(X, Z) & edge(Z, Y).";
+
+/// Sparse DAG: random edges constrained to point forward (a < b).
+Database SparseDag(int nodes, int edges, uint64_t seed) {
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  Relation& rel = db.mutable_relation("edge");
+  for (auto [a, b] : RandomGraph(nodes, edges, seed)) {
+    if (a > b) std::swap(a, b);
+    rel.Add(Tup(a, b), 1);
+  }
+  return db;
+}
+
+void RunSparseDag(benchmark::State& state, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  const int nodes = 400;
+  Database db = SparseDag(nodes, 800, 11);
+  auto vm = bench::MakeManager(kTc, strategy, db);
+  ChangeSet batch = MakeDeletions(
+      "edge", SampleTuples(db.relation("edge"), batch_size, 21));
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = batch_size;
+  state.counters["path_tuples"] =
+      static_cast<double>(vm->GetRelation("path").value()->size());
+}
+
+void BM_SparseDag_DRed(benchmark::State& state) {
+  RunSparseDag(state, Strategy::kDRed);
+}
+void BM_SparseDag_Recompute(benchmark::State& state) {
+  RunSparseDag(state, Strategy::kRecompute);
+}
+
+#define BATCHES ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+BENCHMARK(BM_SparseDag_DRed) BATCHES;
+BENCHMARK(BM_SparseDag_Recompute) BATCHES;
+
+void RunDenseCyclic(benchmark::State& state, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("edge", 120, 360, 11);
+  auto vm = bench::MakeManager(kTc, strategy, db);
+  ChangeSet batch = MakeMixedEdgeBatch("edge", db.relation("edge"), 120,
+                                       batch_size / 2 + 1, batch_size / 2 + 1,
+                                       /*seed=*/5);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = batch_size;
+  state.counters["path_tuples"] =
+      static_cast<double>(vm->GetRelation("path").value()->size());
+}
+
+void BM_DenseCyclic_DRed(benchmark::State& state) {
+  RunDenseCyclic(state, Strategy::kDRed);
+}
+void BM_DenseCyclic_Recompute(benchmark::State& state) {
+  RunDenseCyclic(state, Strategy::kRecompute);
+}
+BENCHMARK(BM_DenseCyclic_DRed)->Arg(1)->Arg(16);
+BENCHMARK(BM_DenseCyclic_Recompute)->Arg(1)->Arg(16);
+
+void RunOneSided(benchmark::State& state, bool deletions) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = SparseDag(400, 800, 13);
+  auto vm = bench::MakeManager(kTc, Strategy::kDRed, db);
+  ChangeSet dels = MakeDeletions(
+      "edge", SampleTuples(db.relation("edge"), batch_size, 21));
+  ChangeSet inss = bench::Invert(dels);
+  const ChangeSet& first = deletions ? dels : inss;
+  const ChangeSet& second = deletions ? inss : dels;
+  if (!deletions) vm->Apply(dels).status().CheckOK();  // start without them
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, first, second);
+  }
+  state.counters["batch"] = batch_size;
+}
+
+void BM_DRedDeleteFirst(benchmark::State& state) { RunOneSided(state, true); }
+void BM_DRedInsertFirst(benchmark::State& state) { RunOneSided(state, false); }
+BENCHMARK(BM_DRedDeleteFirst) BATCHES;
+BENCHMARK(BM_DRedInsertFirst) BATCHES;
+
+}  // namespace
+}  // namespace ivm

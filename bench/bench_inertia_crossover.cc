@@ -1,0 +1,45 @@
+// Experiment B10 (DESIGN.md): the paper's own caveat in Section 1 — the
+// heuristic of inertia is "only a heuristic": "if an entire base relation is
+// deleted, it may be cheaper to recompute the view ... than to compute the
+// changes to the view". This bench sweeps the changed fraction of the base
+// relation from 1% to 90% and shows the incremental-vs-recompute crossover.
+//
+// Series: hop-view maintenance cost as a function of the deleted fraction,
+// counting vs recompute (per-iteration: delete the fraction, then restore).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kProgram =
+    "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).";
+constexpr int kNodes = 150;
+constexpr int kEdges = 1500;
+
+void Run(benchmark::State& state, Strategy strategy) {
+  const int percent = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 29);
+  auto vm = bench::MakeManager(kProgram, strategy, db);
+  const size_t count = static_cast<size_t>(kEdges) * percent / 100;
+  ChangeSet batch =
+      MakeDeletions("link", SampleTuples(db.relation("link"), count, 33));
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["deleted_pct"] = percent;
+  state.counters["deleted_edges"] = static_cast<double>(count);
+}
+
+void BM_Counting(benchmark::State& state) { Run(state, Strategy::kCounting); }
+void BM_Recompute(benchmark::State& state) { Run(state, Strategy::kRecompute); }
+
+#define FRACTIONS ->Arg(1)->Arg(5)->Arg(20)->Arg(50)->Arg(90)
+BENCHMARK(BM_Counting) FRACTIONS;
+BENCHMARK(BM_Recompute) FRACTIONS;
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,85 @@
+// Experiment B8 (DESIGN.md): Section 6.1 — maintenance of views with
+// negated subgoals. Definition 6.1 lets Δ(¬Q) be computed directly from
+// Δ(Q) and Q (old/new), "without having to evaluate the positive subgoals",
+// so small changes to the negated relation stay cheap.
+//
+// Series: the only_tri_hop program (Example 6.1 shape) under updates to
+// the positive side (link) and updates that only flip negated facts,
+// counting vs recompute.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kProgram =
+    "base link(S, D).\n"
+    "base banned(S, D).\n"
+    "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+    "allowed_hop(X, Y) :- hop(X, Y) & !banned(X, Y).\n"
+    "only_hop(X, Y) :- allowed_hop(X, Y) & !link(X, Y).";
+constexpr int kNodes = 200;
+constexpr int kEdges = 1500;
+
+Database MakeDb() {
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 51);
+  db.CreateRelation("banned", 2).CheckOK();
+  // Ban a handful of pairs.
+  int i = 0;
+  for (const Tuple& t : db.relation("link").SortedTuples()) {
+    if (++i % 97 == 0) db.mutable_relation("banned").Add(t, 1);
+  }
+  return db;
+}
+
+void RunNegatedSideUpdates(benchmark::State& state, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = MakeDb();
+  auto vm = bench::MakeManager(kProgram, strategy, db);
+  // Flip `banned` facts only: Δ(¬banned) drives the maintenance.
+  ChangeSet batch = MakeMixedEdgeBatch("banned", db.relation("banned"), kNodes,
+                                       std::min<size_t>(batch_size, 3),
+                                       batch_size, /*seed=*/15);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = batch_size;
+}
+
+void RunPositiveSideUpdates(benchmark::State& state, Strategy strategy) {
+  const int batch_size = static_cast<int>(state.range(0));
+  Database db = MakeDb();
+  auto vm = bench::MakeManager(kProgram, strategy, db);
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       batch_size, batch_size, /*seed=*/16);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["batch"] = 2 * batch_size;
+}
+
+void BM_NegSideCounting(benchmark::State& state) {
+  RunNegatedSideUpdates(state, Strategy::kCounting);
+}
+void BM_NegSideRecompute(benchmark::State& state) {
+  RunNegatedSideUpdates(state, Strategy::kRecompute);
+}
+void BM_PosSideCounting(benchmark::State& state) {
+  RunPositiveSideUpdates(state, Strategy::kCounting);
+}
+void BM_PosSideRecompute(benchmark::State& state) {
+  RunPositiveSideUpdates(state, Strategy::kRecompute);
+}
+
+#define BATCHES ->Arg(1)->Arg(8)->Arg(32)
+BENCHMARK(BM_NegSideCounting) BATCHES;
+BENCHMARK(BM_NegSideRecompute) BATCHES;
+BENCHMARK(BM_PosSideCounting) BATCHES;
+BENCHMARK(BM_PosSideRecompute) BATCHES;
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,70 @@
+#ifndef IVM_BENCH_BENCH_UTIL_H_
+#define IVM_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/view_manager.h"
+#include "workload/graph_gen.h"
+#include "workload/update_gen.h"
+
+namespace ivm {
+namespace bench {
+
+/// Negates every count in a change set — applying a batch and then its
+/// inverse returns a maintainer to its original state, so steady-state
+/// maintenance cost can be measured without re-initializing.
+inline ChangeSet Invert(const ChangeSet& batch) {
+  ChangeSet out;
+  for (const auto& [name, delta] : batch.deltas()) {
+    for (const auto& [tuple, count] : delta.tuples()) {
+      if (count > 0) {
+        out.Delete(name, tuple, count);
+      } else if (count < 0) {
+        out.Insert(name, tuple, -count);
+      }
+    }
+  }
+  return out;
+}
+
+/// Builds a database with one binary `edge_name` relation filled from a
+/// random graph.
+inline Database MakeGraphDb(const std::string& edge_name, int nodes, int edges,
+                            uint64_t seed) {
+  Database db;
+  db.CreateRelation(edge_name, 2).CheckOK();
+  FillEdgeRelation(RandomGraph(nodes, edges, seed), &db.mutable_relation(edge_name));
+  return db;
+}
+
+/// Creates and initializes a manager, aborting on error (benchmarks are not
+/// the place for error recovery).
+inline std::unique_ptr<ViewManager> MakeManager(const std::string& program,
+                                                Strategy strategy,
+                                                const Database& db,
+                                                Semantics semantics = Semantics::kSet) {
+  auto vm = ViewManager::CreateFromText(program, strategy, semantics);
+  vm.status().CheckOK();
+  (*vm)->Initialize(db).CheckOK();
+  return std::move(vm).value();
+}
+
+/// One steady-state maintenance measurement: apply `batch`, then its
+/// inverse. Reports failures loudly.
+inline void ApplyRoundTrip(ViewManager& vm, const ChangeSet& batch,
+                           const ChangeSet& inverse) {
+  auto r1 = vm.Apply(batch);
+  r1.status().CheckOK();
+  benchmark::DoNotOptimize(r1);
+  auto r2 = vm.Apply(inverse);
+  r2.status().CheckOK();
+  benchmark::DoNotOptimize(r2);
+}
+
+}  // namespace bench
+}  // namespace ivm
+
+#endif  // IVM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,312 @@
+// An interactive shell for the view maintenance library — define a program,
+// assert and retract facts, and watch the materialized views update
+// incrementally. Scriptable via stdin, so it doubles as an end-to-end
+// driver:
+//
+//   ./build/examples/ivm_shell <<'EOF'
+//   program base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).
+//   + link(a, b).
+//   + link(b, c).
+//   ? hop
+//   - link(a, b).
+//   ? hop
+//   EOF
+//
+// Commands:
+//   program <datalog...>     define the program (whole line; repeatable
+//                            until 'init'; ';' separates statements too)
+//   sql <sql...>             define the program from SQL instead
+//   strategy <name>          counting|dred|recompute|pf|recursive-counting|auto
+//   semantics <set|dup>      view semantics (before init)
+//   init                     materialize (implicit on first change)
+//   + fact(args).            insert base facts (multiple per line)
+//   - fact(args).            delete base facts
+//   exec <dml>               run SQL DML: INSERT INTO / DELETE FROM / UPDATE
+//   load <rel> <file.csv>    bulk-insert rows from a CSV file
+//   dump <rel> [file.csv]    write a relation/view as CSV (stdout default)
+//   ? <view>                 print a view's extent
+//   query <body or rule>     ad-hoc query, e.g.  query hop(a, X), link(X, Y)
+//   views                    print all views
+//   explain                  strata, rules, and the compiled delta program
+//   addrule <rule>           add a rule live (DRed strategy only)
+//   droprule <index>         remove a rule live (DRed strategy only)
+//   help, quit
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/explain.h"
+#include "core/query.h"
+#include "core/view_manager.h"
+#include "datalog/parser.h"
+#include "sql/sql_dml.h"
+#include "sql/sql_translator.h"
+#include "storage/io.h"
+
+using namespace ivm;
+
+namespace {
+
+class Shell {
+ public:
+  int Run() {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed == "quit" || trimmed == "exit") break;
+      Status s = Dispatch(std::string(trimmed));
+      if (!s.ok()) std::cout << "error: " << s.ToString() << "\n";
+    }
+    return 0;
+  }
+
+ private:
+  Status Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(StripWhitespace(rest));
+
+    if (cmd == "help") {
+      std::cout <<
+          "commands: program|sql|strategy|semantics|init|+|-|?|views|explain|"
+          "addrule|droprule|quit\n";
+      return Status::OK();
+    }
+    if (cmd == "program") {
+      program_text_ += rest + "\n";
+      return Status::OK();
+    }
+    if (cmd == "sql") {
+      sql_text_ += rest + "\n";
+      return Status::OK();
+    }
+    if (cmd == "strategy") {
+      if (rest == "counting") {
+        strategy_ = Strategy::kCounting;
+      } else if (rest == "dred") {
+        strategy_ = Strategy::kDRed;
+      } else if (rest == "recompute") {
+        strategy_ = Strategy::kRecompute;
+      } else if (rest == "pf") {
+        strategy_ = Strategy::kPF;
+      } else if (rest == "recursive-counting") {
+        strategy_ = Strategy::kRecursiveCounting;
+      } else if (rest == "auto") {
+        strategy_ = Strategy::kAuto;
+      } else {
+        return Status::InvalidArgument("unknown strategy '" + rest + "'");
+      }
+      return Status::OK();
+    }
+    if (cmd == "semantics") {
+      if (rest == "set") {
+        semantics_ = Semantics::kSet;
+      } else if (rest == "dup" || rest == "duplicate") {
+        semantics_ = Semantics::kDuplicate;
+      } else {
+        return Status::InvalidArgument("set or dup");
+      }
+      return Status::OK();
+    }
+    if (cmd == "init") return EnsureInitialized();
+    if (cmd == "+") return ApplyFacts(rest, /*insert=*/true);
+    if (cmd == "-") return ApplyFacts(rest, /*insert=*/false);
+    if (cmd == "exec") return ExecDml(rest);
+    if (cmd == "load" || cmd == "dump") {
+      std::istringstream args(rest);
+      std::string rel_name, path;
+      args >> rel_name >> path;
+      if (rel_name.empty()) {
+        return Status::InvalidArgument(cmd + " needs a relation name");
+      }
+      if (cmd == "load") {
+        if (path.empty()) return Status::InvalidArgument("load needs a file");
+        std::ifstream file(path);
+        if (!file) return Status::NotFound("cannot open '" + path + "'");
+        IVM_RETURN_IF_ERROR(EnsureInitialized());
+        IVM_ASSIGN_OR_RETURN(const Relation* current,
+                             manager_->GetRelation(rel_name));
+        Relation rows("rows", current->arity());
+        IVM_RETURN_IF_ERROR(ReadCsv(file, CsvOptions(), &rows));
+        ChangeSet changes;
+        changes.Merge(rel_name, rows);
+        IVM_ASSIGN_OR_RETURN(ChangeSet out, manager_->Apply(changes));
+        std::cout << "loaded " << rows.size() << " rows\n";
+        PrintChanges(out);
+        return Status::OK();
+      }
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(rel_name));
+      if (path.empty()) {
+        std::cout << WriteCsvString(*rel, CsvOptions());
+        return Status::OK();
+      }
+      std::ofstream file(path);
+      if (!file) return Status::InvalidArgument("cannot write '" + path + "'");
+      return WriteCsv(*rel, CsvOptions(), /*with_counts=*/false, &file);
+    }
+    if (cmd == "?") {
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(rest));
+      std::cout << rest << " = " << rel->ToString() << "\n";
+      return Status::OK();
+    }
+    if (cmd == "query") {
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      IVM_ASSIGN_OR_RETURN(Relation r, QueryOnce(*manager_, rest));
+      std::cout << r.ToString() << "\n";
+      return Status::OK();
+    }
+    if (cmd == "views") {
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      for (PredicateId p : manager_->program().DerivedPredicates()) {
+        const std::string& name = manager_->program().predicate(p).name;
+        IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(name));
+        std::cout << name << " = " << rel->ToString() << "\n";
+      }
+      return Status::OK();
+    }
+    if (cmd == "explain") {
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      IVM_ASSIGN_OR_RETURN(std::string text,
+                           ExplainProgram(manager_->program()));
+      std::cout << text;
+      return Status::OK();
+    }
+    if (cmd == "addrule") {
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      IVM_ASSIGN_OR_RETURN(ChangeSet out, manager_->AddRuleText(rest));
+      PrintChanges(out);
+      return Status::OK();
+    }
+    if (cmd == "droprule") {
+      IVM_RETURN_IF_ERROR(EnsureInitialized());
+      int index = 0;
+      auto parsed = std::from_chars(rest.data(), rest.data() + rest.size(), index);
+      if (parsed.ec != std::errc()) {
+        return Status::InvalidArgument("droprule needs a rule index");
+      }
+      IVM_ASSIGN_OR_RETURN(ChangeSet out, manager_->RemoveRule(index));
+      PrintChanges(out);
+      return Status::OK();
+    }
+    return Status::InvalidArgument("unknown command '" + cmd +
+                                   "' (try 'help')");
+  }
+
+  Status EnsureInitialized() {
+    if (manager_ != nullptr) return Status::OK();
+    Program program;
+    if (!sql_text_.empty()) {
+      translator_.emplace();
+      IVM_RETURN_IF_ERROR(translator_->AddScript(sql_text_));
+      IVM_ASSIGN_OR_RETURN(program, translator_->Build());
+    } else if (!program_text_.empty()) {
+      IVM_ASSIGN_OR_RETURN(program, ParseProgram(program_text_));
+    } else {
+      return Status::FailedPrecondition(
+          "no program defined yet; use 'program ...' or 'sql ...'");
+    }
+    // Base relations start from the facts asserted before init.
+    Database db;
+    for (PredicateId p : program.BasePredicates()) {
+      const PredicateInfo& info = program.predicate(p);
+      IVM_RETURN_IF_ERROR(db.CreateRelation(info.name, info.arity));
+      for (const auto& [name, tuple] : preload_) {
+        if (name == info.name) db.mutable_relation(info.name).Add(tuple, 1);
+      }
+    }
+    IVM_ASSIGN_OR_RETURN(
+        manager_, ViewManager::Create(std::move(program), strategy_, semantics_));
+    IVM_RETURN_IF_ERROR(manager_->Initialize(db));
+    std::cout << "materialized (" << StrategyName(manager_->strategy())
+              << ")\n";
+    return Status::OK();
+  }
+
+  Status ApplyFacts(const std::string& text, bool insert) {
+    IVM_ASSIGN_OR_RETURN(auto facts, ParseGroundFacts(text));
+    if (manager_ == nullptr && insert) {
+      // Before init, stockpile facts as the initial database.
+      for (auto& f : facts) preload_.push_back(std::move(f));
+      return Status::OK();
+    }
+    IVM_RETURN_IF_ERROR(EnsureInitialized());
+    ChangeSet changes;
+    for (const auto& [name, tuple] : facts) {
+      if (insert) {
+        changes.Insert(name, tuple);
+      } else {
+        changes.Delete(name, tuple);
+      }
+    }
+    IVM_ASSIGN_OR_RETURN(ChangeSet out, manager_->Apply(changes));
+    PrintChanges(out);
+    return Status::OK();
+  }
+
+  Status ExecDml(const std::string& dml) {
+    IVM_RETURN_IF_ERROR(EnsureInitialized());
+    class Source : public DmlSource {
+     public:
+      Source(ViewManager* vm, SqlTranslator* tr) : vm_(vm), tr_(tr) {}
+      Result<const Relation*> GetExtent(const std::string& table) const override {
+        return vm_->GetRelation(table);
+      }
+      Result<std::vector<std::string>> GetColumns(
+          const std::string& table) const override {
+        if (tr_ != nullptr) return tr_->ColumnsOf(table);
+        // Datalog-defined programs carry column names on base declarations.
+        IVM_ASSIGN_OR_RETURN(PredicateId p, vm_->program().Lookup(table));
+        const PredicateInfo& info = vm_->program().predicate(p);
+        std::vector<std::string> columns = info.columns;
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (columns[i].empty()) columns[i] = "col" + std::to_string(i + 1);
+          for (char& ch : columns[i]) {
+            ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+          }
+        }
+        return columns;
+      }
+
+     private:
+      ViewManager* vm_;
+      SqlTranslator* tr_;
+    };
+    Source source(manager_.get(), translator_ ? &*translator_ : nullptr);
+    IVM_ASSIGN_OR_RETURN(ChangeSet changes, CompileDmlScript(dml, source));
+    IVM_ASSIGN_OR_RETURN(ChangeSet out, manager_->Apply(changes));
+    PrintChanges(out);
+    return Status::OK();
+  }
+
+  void PrintChanges(const ChangeSet& out) {
+    if (out.empty()) {
+      std::cout << "(no view changes)\n";
+    } else {
+      std::cout << out.ToString();
+    }
+  }
+
+  std::string program_text_;
+  std::string sql_text_;
+  std::optional<SqlTranslator> translator_;
+  Strategy strategy_ = Strategy::kAuto;
+  Semantics semantics_ = Semantics::kSet;
+  std::vector<std::pair<std::string, Tuple>> preload_;
+  std::unique_ptr<ViewManager> manager_;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

@@ -1,0 +1,29 @@
+#ifndef IVM_COMMON_HASH_H_
+#define IVM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ivm {
+
+/// Mixes a new hash value into a running seed (boost::hash_combine style,
+/// strengthened with a 64-bit multiplicative mix).
+inline size_t HashCombine(size_t seed, size_t value) {
+  constexpr uint64_t kMul = 0x9ddfea08eb382d69ULL;
+  uint64_t a = (value ^ seed) * kMul;
+  a ^= (a >> 47);
+  uint64_t b = (seed ^ a) * kMul;
+  b ^= (b >> 47);
+  return static_cast<size_t>(b * kMul);
+}
+
+/// Hashes a plain value with std::hash and mixes it into `seed`.
+template <typename T>
+size_t HashMix(size_t seed, const T& value) {
+  return HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace ivm
+
+#endif  // IVM_COMMON_HASH_H_

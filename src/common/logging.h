@@ -1,0 +1,48 @@
+#ifndef IVM_COMMON_LOGGING_H_
+#define IVM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ivm {
+namespace internal {
+
+/// Terminates the process after streaming a fatal diagnostic. Used by the
+/// IVM_CHECK family; never returns.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "[FATAL " << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ivm
+
+/// Internal invariant checks. These guard programmer errors, not user input;
+/// user-facing validation reports ivm::Status instead.
+#define IVM_CHECK(condition)                                      \
+  if (!(condition))                                               \
+  ::ivm::internal::FatalLogMessage(__FILE__, __LINE__).stream()   \
+      << "Check failed: " #condition " "
+
+#define IVM_CHECK_EQ(a, b) IVM_CHECK((a) == (b))
+#define IVM_CHECK_NE(a, b) IVM_CHECK((a) != (b))
+#define IVM_CHECK_LT(a, b) IVM_CHECK((a) < (b))
+#define IVM_CHECK_LE(a, b) IVM_CHECK((a) <= (b))
+#define IVM_CHECK_GT(a, b) IVM_CHECK((a) > (b))
+#define IVM_CHECK_GE(a, b) IVM_CHECK((a) >= (b))
+
+#define IVM_UNREACHABLE() \
+  ::ivm::internal::FatalLogMessage(__FILE__, __LINE__).stream() << "Unreachable: "
+
+#endif  // IVM_COMMON_LOGGING_H_

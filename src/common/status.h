@@ -1,0 +1,129 @@
+#ifndef IVM_COMMON_STATUS_H_
+#define IVM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ivm {
+
+/// Error codes loosely modelled on absl::StatusCode; only the codes the
+/// library actually produces are listed.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parse errors, bad schemas, ...)
+  kNotFound,          // unknown predicate/relation/view
+  kAlreadyExists,     // duplicate declaration
+  kFailedPrecondition,// operation not valid in the current state
+  kUnimplemented,     // requested feature outside supported fragment
+  kInternal,          // invariant violation surfaced as a status
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantics error carrier used by all fallible public APIs. The
+/// library does not throw; constructors that can fail are replaced by
+/// factory functions returning Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if not OK; for use in tests and examples where an
+  /// error is a bug.
+  void CheckOK() const { IVM_CHECK(ok()) << ToString(); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    IVM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    IVM_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IVM_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    IVM_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define IVM_RETURN_IF_ERROR(expr)               \
+  do {                                          \
+    ::ivm::Status ivm_status_ = (expr);         \
+    if (!ivm_status_.ok()) return ivm_status_;  \
+  } while (false)
+
+#define IVM_STATUS_CONCAT_INNER_(x, y) x##y
+#define IVM_STATUS_CONCAT_(x, y) IVM_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise assigns the
+/// value to `lhs` (which may include a declaration).
+#define IVM_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto IVM_STATUS_CONCAT_(ivm_result_, __LINE__) = (rexpr);          \
+  if (!IVM_STATUS_CONCAT_(ivm_result_, __LINE__).ok())               \
+    return IVM_STATUS_CONCAT_(ivm_result_, __LINE__).status();       \
+  lhs = std::move(IVM_STATUS_CONCAT_(ivm_result_, __LINE__)).value()
+
+}  // namespace ivm
+
+#endif  // IVM_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef IVM_COMMON_STRING_UTIL_H_
+#define IVM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivm {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, trimming surrounding whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII-lowercases a copy of `s`.
+std::string AsciiLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace ivm
+
+#endif  // IVM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+#include "common/tuple.h"
+
+#include <ostream>
+
+#include "common/hash.h"
+
+namespace ivm {
+
+Tuple Tuple::Project(const std::vector<size_t>& columns) const {
+  std::vector<Value> out;
+  out.reserve(columns.size());
+  for (size_t c : columns) {
+    IVM_CHECK_LT(c, values_.size()) << "projection column out of range";
+    out.push_back(values_[c]);
+  }
+  return Tuple(std::move(out));
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0xabcdef01u + values_.size();
+  for (const Value& v : values_) {
+    seed = HashCombine(seed, v.Hash());
+  }
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace ivm

@@ -1,0 +1,72 @@
+#ifndef IVM_COMMON_TUPLE_H_
+#define IVM_COMMON_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ivm {
+
+/// A fixed-arity row of Values. Tuples are hashable and totally ordered
+/// (lexicographically) so they can key hash maps and be sorted for
+/// deterministic output.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Projects the columns listed in `columns` (in order) into a new tuple.
+  Tuple Project(const std::vector<size_t>& columns) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  size_t Hash() const;
+
+  /// Renders "(v1, v2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+namespace internal {
+inline Value ToValue(Value v) { return v; }
+inline Value ToValue(int64_t v) { return Value::Int(v); }
+inline Value ToValue(int v) { return Value::Int(v); }
+inline Value ToValue(double v) { return Value::Real(v); }
+inline Value ToValue(const char* v) { return Value::Str(v); }
+inline Value ToValue(std::string v) { return Value::Str(std::move(v)); }
+}  // namespace internal
+
+/// Convenience constructor: Tup(1, "a", 2.5) builds a typed tuple. Intended
+/// for tests, examples, and workload generators.
+template <typename... Args>
+Tuple Tup(Args&&... args) {
+  std::vector<Value> values;
+  values.reserve(sizeof...(args));
+  (values.push_back(internal::ToValue(std::forward<Args>(args))), ...);
+  return Tuple(std::move(values));
+}
+
+}  // namespace ivm
+
+#endif  // IVM_COMMON_TUPLE_H_

@@ -1,0 +1,120 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace ivm {
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+  if (is_double()) return std::get<double>(rep_);
+  IVM_UNREACHABLE() << "AsDouble on non-numeric value " << ToString();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind() != other.kind()) return kind() < other.kind();
+  switch (kind()) {
+    case Kind::kNull:
+      return false;
+    case Kind::kInt:
+      return std::get<int64_t>(rep_) < std::get<int64_t>(other.rep_);
+    case Kind::kDouble:
+      return std::get<double>(rep_) < std::get<double>(other.rep_);
+    case Kind::kString:
+      return std::get<std::string>(rep_) < std::get<std::string>(other.rep_);
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind());
+  switch (kind()) {
+    case Kind::kNull:
+      return HashCombine(seed, 0x6e756c6c);
+    case Kind::kInt:
+      return HashMix(seed, std::get<int64_t>(rep_));
+    case Kind::kDouble:
+      return HashMix(seed, std::get<double>(rep_));
+    case Kind::kString:
+      return HashMix(seed, std::get<std::string>(rep_));
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(rep_);
+      return os.str();
+    }
+    case Kind::kString:
+      return "\"" + std::get<std::string>(rep_) + "\"";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Applies a numeric binary op with int/double promotion.
+template <typename IntOp, typename DoubleOp>
+Result<Value> NumericOp(const Value& a, const Value& b, const char* name,
+                        IntOp int_op, DoubleOp double_op) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " requires numeric operands, got " +
+                                   a.ToString() + " and " + b.ToString());
+  }
+  if (a.is_int() && b.is_int()) {
+    return int_op(a.int_value(), b.int_value());
+  }
+  return double_op(a.AsDouble(), b.AsDouble());
+}
+
+}  // namespace
+
+Result<Value> Value::Add(const Value& a, const Value& b) {
+  if (a.is_string() && b.is_string()) {
+    return Value::Str(a.string_value() + b.string_value());
+  }
+  return NumericOp(
+      a, b, "+", [](int64_t x, int64_t y) { return Value::Int(x + y); },
+      [](double x, double y) { return Value::Real(x + y); });
+}
+
+Result<Value> Value::Subtract(const Value& a, const Value& b) {
+  return NumericOp(
+      a, b, "-", [](int64_t x, int64_t y) { return Value::Int(x - y); },
+      [](double x, double y) { return Value::Real(x - y); });
+}
+
+Result<Value> Value::Multiply(const Value& a, const Value& b) {
+  return NumericOp(
+      a, b, "*", [](int64_t x, int64_t y) { return Value::Int(x * y); },
+      [](double x, double y) { return Value::Real(x * y); });
+}
+
+Result<Value> Value::Divide(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("/ requires numeric operands");
+  }
+  if ((b.is_int() && b.int_value() == 0) ||
+      (b.is_double() && b.double_value() == 0.0)) {
+    return Status::InvalidArgument("division by zero");
+  }
+  if (a.is_int() && b.is_int()) return Value::Int(a.int_value() / b.int_value());
+  return Value::Real(a.AsDouble() / b.AsDouble());
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace ivm

@@ -1,0 +1,84 @@
+#ifndef IVM_COMMON_VALUE_H_
+#define IVM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ivm {
+
+/// A dynamically-typed database value: null, 64-bit integer, double, or
+/// string. Values order first by kind, then by payload, which gives a total
+/// order usable for sorting heterogeneous columns deterministically.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+  /// Constructs a null value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t int_value() const {
+    IVM_CHECK(is_int()) << "Value is not an int: " << ToString();
+    return std::get<int64_t>(rep_);
+  }
+  double double_value() const {
+    IVM_CHECK(is_double()) << "Value is not a double: " << ToString();
+    return std::get<double>(rep_);
+  }
+  const std::string& string_value() const {
+    IVM_CHECK(is_string()) << "Value is not a string: " << ToString();
+    return std::get<std::string>(rep_);
+  }
+
+  /// Numeric coercion: int or double widened to double. Checked.
+  double AsDouble() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  size_t Hash() const;
+
+  /// Renders the value as a literal: 42, 3.5, "abc", null.
+  std::string ToString() const;
+
+  /// Arithmetic with int/double promotion; errors on non-numeric operands or
+  /// division by zero.
+  static Result<Value> Add(const Value& a, const Value& b);
+  static Result<Value> Subtract(const Value& a, const Value& b);
+  static Result<Value> Multiply(const Value& a, const Value& b);
+  static Result<Value> Divide(const Value& a, const Value& b);
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace ivm
+
+#endif  // IVM_COMMON_VALUE_H_

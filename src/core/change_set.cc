@@ -1,0 +1,74 @@
+#include "core/change_set.h"
+
+namespace ivm {
+
+namespace {
+const Relation& EmptyRelation() {
+  static const Relation* kEmpty = new Relation("", 0);
+  return *kEmpty;
+}
+}  // namespace
+
+Relation& ChangeSet::DeltaFor(const std::string& relation) {
+  auto it = deltas_.find(relation);
+  if (it == deltas_.end()) {
+    it = deltas_.emplace(relation, Relation(relation, 0)).first;
+  }
+  return it->second;
+}
+
+void ChangeSet::Insert(const std::string& relation, const Tuple& tuple,
+                       int64_t count) {
+  IVM_CHECK_GT(count, 0);
+  DeltaFor(relation).Add(tuple, count);
+}
+
+void ChangeSet::Delete(const std::string& relation, const Tuple& tuple,
+                       int64_t count) {
+  IVM_CHECK_GT(count, 0);
+  DeltaFor(relation).Add(tuple, -count);
+}
+
+void ChangeSet::Update(const std::string& relation, const Tuple& old_tuple,
+                       const Tuple& new_tuple) {
+  Delete(relation, old_tuple);
+  Insert(relation, new_tuple);
+}
+
+void ChangeSet::Merge(const std::string& relation, const Relation& delta) {
+  DeltaFor(relation).UnionInPlace(delta);
+}
+
+bool ChangeSet::empty() const {
+  for (const auto& [name, delta] : deltas_) {
+    (void)name;
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+size_t ChangeSet::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, delta] : deltas_) {
+    (void)name;
+    total += delta.size();
+  }
+  return total;
+}
+
+const Relation& ChangeSet::Delta(const std::string& relation) const {
+  auto it = deltas_.find(relation);
+  if (it == deltas_.end()) return EmptyRelation();
+  return it->second;
+}
+
+std::string ChangeSet::ToString() const {
+  std::string out;
+  for (const auto& [name, delta] : deltas_) {
+    if (delta.empty()) continue;
+    out += name + ": " + delta.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ivm

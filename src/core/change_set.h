@@ -1,0 +1,59 @@
+#ifndef IVM_CORE_CHANGE_SET_H_
+#define IVM_CORE_CHANGE_SET_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// A set of Δ-relations keyed by relation name (Definition 3.2): insertions
+/// carry positive counts, deletions negative counts. Used both for the input
+/// (changes to base relations) and the output (changes to views) of every
+/// maintenance algorithm.
+class ChangeSet {
+ public:
+  ChangeSet() = default;
+
+  /// Records `count` insertions of `tuple` into `relation`.
+  void Insert(const std::string& relation, const Tuple& tuple,
+              int64_t count = 1);
+
+  /// Records `count` deletions of `tuple` from `relation`.
+  void Delete(const std::string& relation, const Tuple& tuple,
+              int64_t count = 1);
+
+  /// Records an update as delete(old) + insert(new) — the paper treats
+  /// updates exactly this way.
+  void Update(const std::string& relation, const Tuple& old_tuple,
+              const Tuple& new_tuple);
+
+  /// Merges a whole delta relation (⊎) into this change set.
+  void Merge(const std::string& relation, const Relation& delta);
+
+  bool empty() const;
+  /// Total number of distinct changed tuples across relations.
+  size_t TotalTuples() const;
+
+  bool Has(const std::string& relation) const {
+    return deltas_.count(relation) > 0;
+  }
+  /// The delta for `relation` (empty relation if untouched).
+  const Relation& Delta(const std::string& relation) const;
+
+  const std::map<std::string, Relation>& deltas() const { return deltas_; }
+
+  std::string ToString() const;
+
+ private:
+  Relation& DeltaFor(const std::string& relation);
+
+  std::map<std::string, Relation> deltas_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_CHANGE_SET_H_

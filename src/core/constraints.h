@@ -1,0 +1,68 @@
+#ifndef IVM_CORE_CONSTRAINTS_H_
+#define IVM_CORE_CONSTRAINTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/view_manager.h"
+
+namespace ivm {
+
+/// Integrity-constraint maintenance — the first application the paper lists
+/// for incremental view maintenance (Section 1). A constraint is a
+/// *violation view*: a view that must stay empty. Because the views are
+/// maintained incrementally, checking a constraint after an update costs
+/// only the view's delta, not a re-evaluation of the constraint query.
+///
+///   auto vm = ViewManager::CreateFromText(
+///       "base employee(Id, Dept). base dept(Name).\n"
+///       "% violation: employee in a department that does not exist\n"
+///       "bad_dept(Id, D) :- employee(Id, D) & !dept(D).").value();
+///   ConstraintChecker checker(vm.get());
+///   checker.AddConstraint("bad_dept", "employee references unknown dept")
+///       .CheckOK();
+///   // ApplyChecked = Apply + check + automatic rollback on violation.
+///   auto result = checker.ApplyChecked(changes);
+class ConstraintChecker {
+ public:
+  /// `manager` must outlive the checker and be initialized before
+  /// ApplyChecked is called.
+  explicit ConstraintChecker(ViewManager* manager) : manager_(manager) {}
+
+  /// Declares that view `view_name` must remain empty. The view must exist
+  /// in the manager's program. `message` is included in violation reports.
+  Status AddConstraint(const std::string& view_name, std::string message);
+
+  /// One violation found after an update.
+  struct Violation {
+    std::string view;
+    std::string message;
+    std::vector<Tuple> tuples;  // the offending (inserted) tuples
+  };
+
+  /// Applies `base_changes`; if any constraint view ends up non-empty, the
+  /// update is rolled back (by applying the inverse of the *effective* base
+  /// delta) and FailedPrecondition is returned, with the violations
+  /// retrievable via last_violations(). On success, returns the view
+  /// changes like ViewManager::Apply.
+  Result<ChangeSet> ApplyChecked(const ChangeSet& base_changes);
+
+  const std::vector<Violation>& last_violations() const {
+    return last_violations_;
+  }
+
+  /// Checks the constraints against the current materializations (e.g.
+  /// right after Initialize, to validate the initial database).
+  Status CheckNow();
+
+ private:
+  ViewManager* manager_;
+  std::map<std::string, std::string> constraints_;  // view -> message
+  std::vector<Violation> last_violations_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_CONSTRAINTS_H_

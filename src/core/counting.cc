@@ -1,0 +1,280 @@
+#include "core/counting.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/delta_rules.h"
+#include "eval/aggregates.h"
+
+namespace ivm {
+
+namespace {
+
+/// Validates a duplicate-semantics delta against the stored extent
+/// (Γ⁻ ⊆ E, Lemma 4.1's precondition).
+Status ValidateMultisetDelta(const Relation& stored, const Relation& delta) {
+  for (const auto& [tuple, count] : delta.tuples()) {
+    if (count < 0 && stored.Count(tuple) + count < 0) {
+      return Status::FailedPrecondition(
+          "delta deletes more copies of " + tuple.ToString() + " from '" +
+          stored.name() + "' than stored");
+    }
+  }
+  return Status::OK();
+}
+
+/// Normalizes a delta to set semantics against a set-stored extent: net
+/// insertions of absent tuples become +1, net deletions of present tuples
+/// become -1, redundant insertions vanish, and deleting an absent tuple is
+/// an error.
+Result<Relation> NormalizeSetDelta(const Relation& stored,
+                                   const Relation& delta) {
+  Relation out(delta.name(), delta.arity());
+  for (const auto& [tuple, count] : delta.tuples()) {
+    bool present = stored.Contains(tuple);
+    if (count > 0) {
+      if (!present) out.Add(tuple, 1);
+    } else if (count < 0) {
+      if (!present) {
+        return Status::FailedPrecondition("deleting " + tuple.ToString() +
+                                          " which is not in '" +
+                                          stored.name() + "'");
+      }
+      out.Add(tuple, -1);
+    }
+  }
+  return out;
+}
+
+/// DeltaSource over the maintainer's pre-update state plus the deltas
+/// accumulated so far during one Apply().
+class CountingSource : public DeltaSource {
+ public:
+  CountingSource(const Program& program, const Database& base,
+                 const std::map<PredicateId, Relation>& views)
+      : program_(program), base_(base), views_(views) {}
+
+  void PutDelta(PredicateId pred, const Relation* delta) {
+    deltas_[pred] = delta;
+  }
+
+  const Relation* Old(PredicateId pred) const override {
+    const PredicateInfo& info = program_.predicate(pred);
+    if (info.is_base) {
+      auto rel = base_.Get(info.name);
+      return rel.ok() ? *rel : nullptr;
+    }
+    auto it = views_.find(pred);
+    return it == views_.end() ? nullptr : &it->second;
+  }
+
+  const Relation* DeltaOf(PredicateId pred) const override {
+    auto it = deltas_.find(pred);
+    return it == deltas_.end() ? nullptr : it->second;
+  }
+
+ private:
+  const Program& program_;
+  const Database& base_;
+  const std::map<PredicateId, Relation>& views_;
+  std::map<PredicateId, const Relation*> deltas_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<CountingMaintainer>> CountingMaintainer::Create(
+    Program program, Semantics semantics) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+  if (program.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "the counting algorithm handles nonrecursive views only; use DRed for "
+        "recursive views (Section 7)");
+  }
+  return std::unique_ptr<CountingMaintainer>(
+      new CountingMaintainer(std::move(program), semantics));
+}
+
+Status CountingMaintainer::Initialize(const Database& base) {
+  // Snapshot the base relations this program reads.
+  base_ = Database();
+  for (PredicateId p : program_.BasePredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, base.Get(info.name));
+    IVM_RETURN_IF_ERROR(base_.CreateRelation(info.name, info.arity));
+    Relation& mine = base_.mutable_relation(info.name);
+    mine = (semantics_ == Semantics::kSet) ? rel->AsSet() : *rel;
+    if (semantics_ == Semantics::kDuplicate && rel->HasNegativeCounts()) {
+      return Status::InvalidArgument("base relation '" + info.name +
+                                     "' has negative counts");
+    }
+  }
+
+  EvalOptions options;
+  options.semantics = semantics_;
+  options.stratum_counts = (semantics_ == Semantics::kSet);
+  Evaluator evaluator(program_, options);
+  IVM_RETURN_IF_ERROR(evaluator.EvaluateAll(base_, &views_));
+  IVM_RETURN_IF_ERROR(InitializeAggregates());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status CountingMaintainer::InitializeAggregates() {
+  aggregate_ts_.clear();
+  const bool multiset = semantics_ == Semantics::kDuplicate;
+  for (size_t r = 0; r < program_.num_rules(); ++r) {
+    const Rule& rule = program_.rule(static_cast<int>(r));
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const Literal& lit = rule.body[j];
+      if (lit.kind != Literal::Kind::kAggregate) continue;
+      const PredicateInfo& info = program_.predicate(lit.atom.pred);
+      const Relation* u = nullptr;
+      if (info.is_base) {
+        IVM_ASSIGN_OR_RETURN(u, base_.Get(info.name));
+      } else {
+        u = &views_.at(lit.atom.pred);
+      }
+      IVM_ASSIGN_OR_RETURN(Relation t, EvaluateAggregate(lit, *u, multiset));
+      aggregate_ts_.emplace(
+          std::make_pair(static_cast<int>(r), static_cast<int>(j)),
+          std::move(t));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+
+  // 1. Validate and normalize base deltas.
+  std::map<PredicateId, Relation> base_deltas;
+  for (const auto& [name, delta] : base_changes.deltas()) {
+    if (delta.empty()) continue;
+    IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+    const PredicateInfo& info = program_.predicate(pred);
+    if (!info.is_base) {
+      return Status::InvalidArgument(
+          "cannot directly modify derived relation '" + name + "'");
+    }
+    const Relation& stored = base_.relation(name);
+    if (semantics_ == Semantics::kSet) {
+      IVM_ASSIGN_OR_RETURN(Relation normalized,
+                           NormalizeSetDelta(stored, delta));
+      if (!normalized.empty()) base_deltas.emplace(pred, std::move(normalized));
+    } else {
+      IVM_RETURN_IF_ERROR(ValidateMultisetDelta(stored, delta));
+      base_deltas.emplace(pred, delta);
+    }
+  }
+
+  CountingSource source(program_, base_, views_);
+  for (const auto& [pred, delta] : base_deltas) {
+    source.PutDelta(pred, &delta);
+  }
+
+  const bool set_mode = semantics_ == Semantics::kSet;
+  DeltaRuleLowering lowering(program_, source, /*multiset_aggregates=*/!set_mode,
+                             /*counts_as_one=*/set_mode);
+  for (const auto& [key, t] : aggregate_ts_) {
+    lowering.SetAggregateT(key.first, key.second, &t);
+  }
+
+  // Count-level deltas (update the stored materializations) and propagation
+  // deltas (what flows into higher strata and to the caller; under set
+  // semantics these are the membership changes of statement (2)).
+  std::map<PredicateId, Relation> count_deltas;
+  std::map<PredicateId, std::unique_ptr<Relation>> prop_deltas;
+
+  // 2. Process rules stratum by stratum, in RSN order (Algorithm 4.1).
+  last_apply_stats_ = JoinStats();
+  for (int s = 1; s <= program_.max_stratum(); ++s) {
+    for (PredicateId p : program_.predicates_in_stratum(s)) {
+      const PredicateInfo& info = program_.predicate(p);
+      count_deltas.emplace(p, Relation("Δ" + info.name, info.arity));
+    }
+    for (int r : program_.rules_in_stratum(s)) {
+      const Rule& rule = program_.rule(r);
+      for (const DeltaRule& dr : CompileDeltaRules(program_, r)) {
+        IVM_ASSIGN_OR_RETURN(bool has_work, lowering.HasWork(dr));
+        if (!has_work) continue;
+        IVM_ASSIGN_OR_RETURN(PreparedRule prepared, lowering.Lower(dr));
+        IVM_RETURN_IF_ERROR(EvaluateJoin(
+            prepared, &count_deltas.at(rule.head.pred), &last_apply_stats_));
+      }
+    }
+    // Finalize this stratum's predicates: register the deltas higher strata
+    // will see.
+    for (PredicateId p : program_.predicates_in_stratum(s)) {
+      Relation& dp = count_deltas.at(p);
+      const Relation& stored = views_.at(p);
+      // Lemma 4.1: no view tuple may end up with a negative count.
+      for (const auto& [tuple, count] : dp.tuples()) {
+        if (stored.Count(tuple) + count < 0) {
+          return Status::Internal(
+              "Lemma 4.1 violated: view tuple " + tuple.ToString() + " of '" +
+              program_.predicate(p).name + "' would get a negative count");
+        }
+      }
+      std::unique_ptr<Relation> prop;
+      if (set_mode) {
+        prop = std::make_unique<Relation>(MembershipDelta(stored, dp));
+      } else {
+        prop = std::make_unique<Relation>(dp);
+      }
+      source.PutDelta(p, prop.get());
+      prop_deltas.emplace(p, std::move(prop));
+    }
+  }
+
+  // 3. Fold ΔT into the materialized aggregate extents (Algorithm 6.1's
+  // outputs were computed against the old state; they remain cached in the
+  // lowering).
+  for (auto& [key, t] : aggregate_ts_) {
+    IVM_ASSIGN_OR_RETURN(const Relation* dt,
+                         lowering.AggregateDeltaFor(key.first, key.second));
+    if (!dt->empty()) t.UnionInPlace(*dt);
+  }
+
+  // 4. Fold base and view deltas into the stored state.
+  for (const auto& [pred, delta] : base_deltas) {
+    base_.mutable_relation(program_.predicate(pred).name).UnionInPlace(delta);
+  }
+  for (auto& [pred, delta] : count_deltas) {
+    views_.at(pred).UnionInPlace(delta);
+  }
+
+  // 5. Report per-view changes.
+  ChangeSet out;
+  for (const auto& [pred, prop] : prop_deltas) {
+    if (!prop->empty()) {
+      out.Merge(program_.predicate(pred).name, *prop);
+    }
+  }
+  return out;
+}
+
+Result<const Relation*> CountingMaintainer::GetRelation(
+    const std::string& name) const {
+  IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.Get(name);
+  auto it = views_.find(pred);
+  if (it == views_.end()) {
+    return Status::FailedPrecondition("maintainer not initialized");
+  }
+  return &it->second;
+}
+
+size_t CountingMaintainer::TotalViewTuples() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : views_) {
+    (void)pred;
+    total += rel.size();
+  }
+  return total;
+}
+
+}  // namespace ivm

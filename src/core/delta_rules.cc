@@ -1,0 +1,238 @@
+#include "core/delta_rules.h"
+
+#include "common/logging.h"
+#include "eval/aggregates.h"
+
+namespace ivm {
+
+std::vector<DeltaRule> CompileDeltaRules(const Program& program,
+                                         int rule_index) {
+  const Rule& rule = program.rule(rule_index);
+  std::vector<DeltaRule> out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (rule.body[i].IsAtomBased()) {
+      out.push_back(DeltaRule{rule_index, static_cast<int>(i)});
+    }
+  }
+  return out;
+}
+
+std::string DeltaRuleToString(const Program& program, const DeltaRule& dr) {
+  const Rule& rule = program.rule(dr.rule_index);
+  std::string out = "Δ" + rule.head.ToString() + " :- ";
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    if (j > 0) out += " & ";
+    const Literal& lit = rule.body[j];
+    if (static_cast<int>(j) < dr.delta_position && lit.IsAtomBased()) {
+      out += lit.ToString() + "^new";
+    } else if (static_cast<int>(j) == dr.delta_position) {
+      out += "Δ(" + lit.ToString() + ")";
+    } else {
+      out += lit.ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+Relation MembershipDelta(const Relation& old_rel, const Relation& delta) {
+  Relation out(delta.name(), delta.arity());
+  for (const auto& [tuple, count] : delta.tuples()) {
+    int64_t old_count = old_rel.Count(tuple);
+    int64_t new_count = old_count + count;
+    if (old_count == 0 && new_count != 0) {
+      out.Add(tuple, 1);
+    } else if (old_count != 0 && new_count == 0) {
+      out.Add(tuple, -1);
+    }
+  }
+  return out;
+}
+
+void DeltaRuleLowering::SetAggregateT(int rule_index, int position,
+                                      const Relation* t_old) {
+  aggregate_t_old_[{rule_index, position}] = t_old;
+}
+
+const Relation* DeltaRuleLowering::DeltaOrNull(PredicateId pred) const {
+  const Relation* d = source_.DeltaOf(pred);
+  if (d == nullptr || d->empty()) return nullptr;
+  return d;
+}
+
+Result<const Relation*> DeltaRuleLowering::NegDeltaFor(PredicateId pred) {
+  auto it = neg_delta_cache_.find(pred);
+  if (it != neg_delta_cache_.end()) return it->second.get();
+
+  const PredicateInfo& info = program_.predicate(pred);
+  auto rel = std::make_unique<Relation>("Δ¬" + info.name, info.arity);
+  const Relation* delta = DeltaOrNull(pred);
+  const Relation* old_rel = source_.Old(pred);
+  if (old_rel == nullptr) {
+    return Status::Internal("no old extent for predicate '" + info.name + "'");
+  }
+  if (delta != nullptr) {
+    // Definition 6.1: for t ∈ Δ(Q):
+    //   t ∉ Q ⊎ Δ(Q)  →  (t, +1)   (¬q became true)
+    //   t ∉ Q         →  (t, -1)   (¬q became false)
+    // Under the Section 5.1 representation the stored counts are
+    // per-stratum and Δ(Q) is a membership delta, so presence clamps to 0/1
+    // before the delta applies.
+    for (const auto& [tuple, count] : delta->tuples()) {
+      int64_t old_count = old_rel->Count(tuple);
+      if (counts_as_one_ && old_count > 0) old_count = 1;
+      int64_t new_count = old_count + count;
+      if (new_count == 0) rel->Add(tuple, 1);
+      if (old_count == 0) rel->Add(tuple, -1);
+    }
+  }
+  const Relation* out = rel.get();
+  neg_delta_cache_.emplace(pred, std::move(rel));
+  return out;
+}
+
+Result<const Relation*> DeltaRuleLowering::AggregateDeltaFor(int rule_index,
+                                                             int position) {
+  auto key = std::make_pair(rule_index, position);
+  auto it = aggregate_delta_cache_.find(key);
+  if (it != aggregate_delta_cache_.end()) return it->second.get();
+
+  const Rule& rule = program_.rule(rule_index);
+  IVM_CHECK_LT(static_cast<size_t>(position), rule.body.size());
+  const Literal& lit = rule.body[position];
+  IVM_CHECK(lit.kind == Literal::Kind::kAggregate);
+
+  const Relation* u_old = source_.Old(lit.atom.pred);
+  if (u_old == nullptr) {
+    return Status::Internal("no old extent for grouped predicate '" +
+                            lit.atom.predicate + "'");
+  }
+  const Relation* u_delta = DeltaOrNull(lit.atom.pred);
+  std::unique_ptr<Relation> rel;
+  if (u_delta == nullptr) {
+    rel = std::make_unique<Relation>("ΔT", lit.group_vars.size() + 1);
+  } else {
+    IVM_ASSIGN_OR_RETURN(
+        Relation d, AggregateDelta(lit, *u_old, *u_delta, multiset_aggregates_));
+    rel = std::make_unique<Relation>(std::move(d));
+  }
+  const Relation* out = rel.get();
+  aggregate_delta_cache_.emplace(key, std::move(rel));
+  return out;
+}
+
+Result<bool> DeltaRuleLowering::HasWork(const DeltaRule& dr) {
+  const Rule& rule = program_.rule(dr.rule_index);
+  const Literal& lit = rule.body[dr.delta_position];
+  switch (lit.kind) {
+    case Literal::Kind::kPositive:
+      return DeltaOrNull(lit.atom.pred) != nullptr;
+    case Literal::Kind::kNegated: {
+      IVM_ASSIGN_OR_RETURN(const Relation* nd, NegDeltaFor(lit.atom.pred));
+      return !nd->empty();
+    }
+    case Literal::Kind::kAggregate: {
+      IVM_ASSIGN_OR_RETURN(const Relation* ad,
+                           AggregateDeltaFor(dr.rule_index, dr.delta_position));
+      return !ad->empty();
+    }
+    case Literal::Kind::kComparison:
+      return Status::Internal("comparison literal is not a delta position");
+  }
+  return Status::Internal("bad literal kind");
+}
+
+Result<PreparedRule> DeltaRuleLowering::Lower(const DeltaRule& dr) {
+  const Rule& rule = program_.rule(dr.rule_index);
+  PreparedRule prepared;
+  prepared.head = &rule.head;
+  prepared.num_vars = program_.num_vars(dr.rule_index);
+
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    const Literal& lit = rule.body[j];
+    const int pos = static_cast<int>(j);
+    const bool is_delta = pos == dr.delta_position;
+    const bool new_side = pos < dr.delta_position;
+
+    if (lit.kind == Literal::Kind::kComparison) {
+      prepared.subgoals.push_back(
+          PreparedSubgoal::Comparison(lit.cmp_op, lit.cmp_lhs, lit.cmp_rhs));
+      continue;
+    }
+
+    const Relation* old_rel = nullptr;
+    if (lit.kind != Literal::Kind::kAggregate) {
+      old_rel = source_.Old(lit.atom.pred);
+      if (old_rel == nullptr) {
+        return Status::Internal("no old extent for predicate '" +
+                                lit.atom.predicate + "'");
+      }
+    }
+
+    switch (lit.kind) {
+      case Literal::Kind::kPositive: {
+        PreparedSubgoal sg = PreparedSubgoal::Scan(old_rel, lit.atom.terms);
+        if (is_delta) {
+          const Relation* d = DeltaOrNull(lit.atom.pred);
+          if (d == nullptr) {
+            return Status::Internal("delta rule lowered with empty delta");
+          }
+          sg = PreparedSubgoal::Scan(d, lit.atom.terms);
+        } else {
+          if (new_side) sg.overlay = DeltaOrNull(lit.atom.pred);
+          sg.counts_as_one = counts_as_one_;
+        }
+        prepared.subgoals.push_back(std::move(sg));
+        break;
+      }
+      case Literal::Kind::kNegated: {
+        if (is_delta) {
+          // Δ(¬q) is enumerable on its own (Definition 6.1) — lower as a
+          // scan with the atom's pattern.
+          IVM_ASSIGN_OR_RETURN(const Relation* nd, NegDeltaFor(lit.atom.pred));
+          prepared.subgoals.push_back(
+              PreparedSubgoal::Scan(nd, lit.atom.terms));
+        } else {
+          PreparedSubgoal sg = PreparedSubgoal::NegCheck(old_rel, lit.atom.terms);
+          if (new_side) sg.overlay = DeltaOrNull(lit.atom.pred);
+          sg.counts_as_one = counts_as_one_;
+          prepared.subgoals.push_back(std::move(sg));
+        }
+        break;
+      }
+      case Literal::Kind::kAggregate: {
+        auto key = std::make_pair(dr.rule_index, pos);
+        auto t_it = aggregate_t_old_.find(key);
+        if (t_it == aggregate_t_old_.end()) {
+          return Status::Internal(
+              "aggregate subgoal has no materialized T; call SetAggregateT");
+        }
+        if (is_delta) {
+          IVM_ASSIGN_OR_RETURN(const Relation* ad,
+                               AggregateDeltaFor(dr.rule_index, pos));
+          prepared.subgoals.push_back(
+              PreparedSubgoal::Scan(ad, AggregatePattern(lit)));
+        } else {
+          PreparedSubgoal sg =
+              PreparedSubgoal::Scan(t_it->second, AggregatePattern(lit));
+          if (new_side) {
+            IVM_ASSIGN_OR_RETURN(const Relation* ad,
+                                 AggregateDeltaFor(dr.rule_index, pos));
+            if (!ad->empty()) sg.overlay = ad;
+          }
+          prepared.subgoals.push_back(std::move(sg));
+        }
+        break;
+      }
+      case Literal::Kind::kComparison:
+        IVM_UNREACHABLE();
+    }
+
+    if (is_delta) {
+      prepared.start_subgoal = static_cast<int>(prepared.subgoals.size()) - 1;
+    }
+  }
+  return prepared;
+}
+
+}  // namespace ivm

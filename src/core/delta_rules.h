@@ -1,0 +1,103 @@
+#ifndef IVM_CORE_DELTA_RULES_H_
+#define IVM_CORE_DELTA_RULES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "eval/rule_eval.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Identifies the i-th delta rule of a source rule (Definition 4.1):
+/// for  (r): p :- s1 & ... & sn,
+///   (Δ_i(r)): Δ(p) :- s1^new & ... & s_{i-1}^new & Δ(s_i) & s_{i+1} & ... & sn
+/// Comparison literals are not delta positions.
+struct DeltaRule {
+  int rule_index = -1;
+  int delta_position = -1;  // body literal index
+};
+
+/// All delta rules of `rule_index` (one per atom-based body literal).
+std::vector<DeltaRule> CompileDeltaRules(const Program& program,
+                                         int rule_index);
+
+/// Pretty-prints a delta rule, e.g.
+///   "Δhop(X, Y) :- Δlink(X, Z) & link(Z, Y)."   (Example 4.1's d1)
+std::string DeltaRuleToString(const Program& program, const DeltaRule& dr);
+
+/// Supplies the relations a delta rule needs:
+///   * `Old(p)`   — p's extent before the update;
+///   * `DeltaOf(p)` — Δ(p) (nullptr or empty when p did not change);
+/// the lowering reads p^new as the overlay Old(p) ⊎ Δ(p).
+class DeltaSource {
+ public:
+  virtual ~DeltaSource() = default;
+  virtual const Relation* Old(PredicateId pred) const = 0;
+  virtual const Relation* DeltaOf(PredicateId pred) const = 0;
+};
+
+/// Lowers delta rules into executable joins, computing and caching the
+/// derived delta relations of Section 6:
+///   * Δ(¬q) per Definition 6.1 (from Δ(Q), Q^old, Q^new);
+///   * aggregate Δ(T) per Algorithm 6.1 (from U^old and Δ(U)), with T's old
+///     extent supplied by the caller via `aggregate_t_old` (the counting
+///     maintainer materializes T persistently).
+///
+/// `counts_as_one` applies the Section 5.1 per-stratum-count representation:
+/// old/new subgoal positions contribute factor 1 per present tuple.
+class DeltaRuleLowering {
+ public:
+  DeltaRuleLowering(const Program& program, const DeltaSource& source,
+                    bool multiset_aggregates, bool counts_as_one)
+      : program_(program),
+        source_(source),
+        multiset_aggregates_(multiset_aggregates),
+        counts_as_one_(counts_as_one) {}
+
+  /// Registers the persistently-materialized extent of the aggregate
+  /// subgoal at (rule_index, literal position). Required for rules with
+  /// aggregate literals.
+  void SetAggregateT(int rule_index, int position, const Relation* t_old);
+
+  /// True when the delta rule can derive anything, i.e. the delta relation
+  /// at its delta position is non-empty. Computes (and caches) Δ(¬q)/Δ(T)
+  /// if needed.
+  Result<bool> HasWork(const DeltaRule& dr);
+
+  /// Lowers the delta rule to a PreparedRule. The returned structure
+  /// references relations owned by this lowering (delta caches) and by the
+  /// DeltaSource; it is valid until this object is destroyed or the sources
+  /// change.
+  Result<PreparedRule> Lower(const DeltaRule& dr);
+
+  /// Δ(T) of the aggregate literal at (rule_index, position) — exposed so
+  /// the maintainer can update its materialized T with the same delta.
+  Result<const Relation*> AggregateDeltaFor(int rule_index, int position);
+
+ private:
+  Result<const Relation*> NegDeltaFor(PredicateId pred);
+  const Relation* DeltaOrNull(PredicateId pred) const;
+
+  const Program& program_;
+  const DeltaSource& source_;
+  const bool multiset_aggregates_;
+  const bool counts_as_one_;
+
+  std::map<PredicateId, std::unique_ptr<Relation>> neg_delta_cache_;
+  std::map<std::pair<int, int>, const Relation*> aggregate_t_old_;
+  std::map<std::pair<int, int>, std::unique_ptr<Relation>> aggregate_delta_cache_;
+};
+
+/// Membership change set(R ⊎ delta) - set(R), computed in O(|delta|):
+/// tuples whose count crosses zero get ±1 (statement (2) of Algorithm 4.1,
+/// evaluated incrementally).
+Relation MembershipDelta(const Relation& old_rel, const Relation& delta);
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_DELTA_RULES_H_

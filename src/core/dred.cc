@@ -1,0 +1,710 @@
+#include "core/dred.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "datalog/parser.h"
+#include "eval/aggregates.h"
+#include "eval/evaluator.h"
+#include "eval/rule_eval.h"
+
+namespace ivm {
+
+Result<std::unique_ptr<DRedMaintainer>> DRedMaintainer::Create(
+    Program program) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+  return std::unique_ptr<DRedMaintainer>(
+      new DRedMaintainer(std::move(program)));
+}
+
+Status DRedMaintainer::Initialize(const Database& base) {
+  base_ = Database();
+  for (PredicateId p : program_.BasePredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, base.Get(info.name));
+    IVM_RETURN_IF_ERROR(base_.CreateRelation(info.name, info.arity));
+    base_.mutable_relation(info.name) = rel->AsSet();
+  }
+  EvalOptions options;
+  options.semantics = Semantics::kSet;
+  Evaluator evaluator(program_, options);
+  IVM_RETURN_IF_ERROR(evaluator.EvaluateAll(base_, &views_));
+  IVM_RETURN_IF_ERROR(InitializeAggregates());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status DRedMaintainer::InitializeAggregates() {
+  aggregate_ts_.clear();
+  for (size_t r = 0; r < program_.num_rules(); ++r) {
+    const Rule& rule = program_.rule(static_cast<int>(r));
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const Literal& lit = rule.body[j];
+      if (lit.kind != Literal::Kind::kAggregate) continue;
+      const PredicateInfo& info = program_.predicate(lit.atom.pred);
+      const Relation* u = nullptr;
+      if (info.is_base) {
+        IVM_ASSIGN_OR_RETURN(u, base_.Get(info.name));
+      } else {
+        u = &views_.at(lit.atom.pred);
+      }
+      IVM_ASSIGN_OR_RETURN(Relation t,
+                           EvaluateAggregate(lit, *u, /*multiset=*/false));
+      aggregate_ts_.emplace(
+          std::make_pair(static_cast<int>(r), static_cast<int>(j)),
+          std::move(t));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ChangeSet> DRedMaintainer::Apply(const ChangeSet& base_changes) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+  std::map<PredicateId, Relation> base_dels;
+  std::map<PredicateId, Relation> base_adds;
+  for (const auto& [name, delta] : base_changes.deltas()) {
+    if (delta.empty()) continue;
+    IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+    const PredicateInfo& info = program_.predicate(pred);
+    if (!info.is_base) {
+      return Status::InvalidArgument(
+          "cannot directly modify derived relation '" + name + "'");
+    }
+    const Relation& stored = base_.relation(name);
+    Relation dels("Γ⁻" + name, info.arity);
+    Relation adds("Γ⁺" + name, info.arity);
+    for (const auto& [tuple, count] : delta.tuples()) {
+      bool present = stored.Contains(tuple);
+      if (count < 0) {
+        if (!present) {
+          return Status::FailedPrecondition("deleting " + tuple.ToString() +
+                                            " which is not in '" + name + "'");
+        }
+        dels.Add(tuple, 1);
+      } else if (count > 0 && !present) {
+        adds.Add(tuple, 1);
+      }
+    }
+    if (!dels.empty()) base_dels.emplace(pred, std::move(dels));
+    if (!adds.empty()) base_adds.emplace(pred, std::move(adds));
+  }
+  return ApplyInternal(base_dels, base_adds, {}, {});
+}
+
+Result<ChangeSet> DRedMaintainer::ApplyInternal(
+    const std::map<PredicateId, Relation>& base_dels,
+    const std::map<PredicateId, Relation>& base_adds,
+    std::map<PredicateId, Relation> seed_dels,
+    std::map<PredicateId, Relation> seed_adds) {
+  // Materializations exist for every derived predicate (rule changes can
+  // introduce fresh views).
+  for (PredicateId p : program_.DerivedPredicates()) {
+    if (views_.find(p) == views_.end()) {
+      const PredicateInfo& info = program_.predicate(p);
+      views_.emplace(p, Relation(info.name, info.arity));
+    }
+  }
+
+  JoinStats join_stats;
+  last_apply_stats_ = Stats();
+
+  // Net deletions/insertions per predicate; `rev[p] = dels - adds` (signed)
+  // reconstructs the OLD extent of a committed relation as an overlay.
+  std::map<PredicateId, Relation> dels;
+  std::map<PredicateId, Relation> adds;
+  std::map<PredicateId, Relation> rev;
+  auto make_rev = [&](PredicateId p) {
+    const PredicateInfo& info = program_.predicate(p);
+    Relation r("rev:" + info.name, info.arity);
+    auto d = dels.find(p);
+    if (d != dels.end()) {
+      for (const auto& [tuple, count] : d->second.tuples()) {
+        (void)count;
+        r.Add(tuple, 1);
+      }
+    }
+    auto a = adds.find(p);
+    if (a != adds.end()) {
+      for (const auto& [tuple, count] : a->second.tuples()) {
+        (void)count;
+        r.Add(tuple, -1);
+      }
+    }
+    rev[p] = std::move(r);
+  };
+
+  // Commit base relations up front.
+  for (const auto& [p, d] : base_dels) {
+    dels[p] = d;
+    Relation& stored = base_.mutable_relation(program_.predicate(p).name);
+    for (const auto& [tuple, count] : d.tuples()) {
+      (void)count;
+      stored.Erase(tuple);
+    }
+  }
+  for (const auto& [p, a] : base_adds) {
+    adds[p] = a;
+    Relation& stored = base_.mutable_relation(program_.predicate(p).name);
+    for (const auto& [tuple, count] : a.tuples()) {
+      (void)count;
+      stored.Add(tuple, 1);
+    }
+  }
+  for (PredicateId p : program_.BasePredicates()) make_rev(p);
+
+  // Current (new) extent of any predicate.
+  auto current = [&](PredicateId p) -> const Relation& {
+    const PredicateInfo& info = program_.predicate(p);
+    if (info.is_base) return base_.relation(info.name);
+    return views_.at(p);
+  };
+  auto rev_of = [&](PredicateId p) -> const Relation* {
+    auto it = rev.find(p);
+    if (it == rev.end() || it->second.empty()) return nullptr;
+    return &it->second;
+  };
+
+  // Lazily computed aggregate ΔT per (rule index, body position), derived
+  // from the *committed* grouped relation and its net delta
+  // (AggregateDelta with u_ref_is_new = true).
+  std::map<std::pair<int, int>, std::unique_ptr<Relation>> agg_deltas;
+  std::map<std::pair<int, int>, std::unique_ptr<Relation>> agg_del_events;
+  std::map<std::pair<int, int>, std::unique_ptr<Relation>> agg_add_events;
+  auto agg_delta = [&](int rule_index, int pos) -> Result<const Relation*> {
+    auto key = std::make_pair(rule_index, pos);
+    auto it = agg_deltas.find(key);
+    if (it != agg_deltas.end()) return it->second.get();
+    const Literal& lit = program_.rule(rule_index).body[pos];
+    IVM_CHECK(lit.kind == Literal::Kind::kAggregate);
+    PredicateId u = lit.atom.pred;
+    const PredicateInfo& info = program_.predicate(u);
+    Relation delta_u("Δ" + info.name, info.arity);
+    auto d = dels.find(u);
+    if (d != dels.end()) {
+      for (const auto& [tuple, count] : d->second.tuples()) {
+        (void)count;
+        delta_u.Add(tuple, -1);
+      }
+    }
+    auto a = adds.find(u);
+    if (a != adds.end()) {
+      for (const auto& [tuple, count] : a->second.tuples()) {
+        (void)count;
+        delta_u.Add(tuple, 1);
+      }
+    }
+    std::unique_ptr<Relation> dt;
+    if (delta_u.empty()) {
+      dt = std::make_unique<Relation>("ΔT", lit.group_vars.size() + 1);
+    } else {
+      IVM_ASSIGN_OR_RETURN(
+          Relation computed,
+          AggregateDelta(lit, current(u), delta_u, /*multiset=*/false,
+                         /*u_ref_is_new=*/true));
+      dt = std::make_unique<Relation>(std::move(computed));
+    }
+    auto del_ev = std::make_unique<Relation>("ΔT⁻", lit.group_vars.size() + 1);
+    auto add_ev = std::make_unique<Relation>("ΔT⁺", lit.group_vars.size() + 1);
+    for (const auto& [tuple, count] : dt->tuples()) {
+      if (count < 0) del_ev->Add(tuple, 1);
+      if (count > 0) add_ev->Add(tuple, 1);
+    }
+    const Relation* out = dt.get();
+    agg_deltas.emplace(key, std::move(dt));
+    agg_del_events.emplace(key, std::move(del_ev));
+    agg_add_events.emplace(key, std::move(add_ev));
+    return out;
+  };
+
+  // Builds the side subgoal for literal `lit` of `rule_index` at body
+  // position `pos`. `old_side` selects the pre-update extents (phase 1);
+  // otherwise the new/current extents are used (phases 2-3). Same-stratum
+  // predicates read views_ directly in both cases: during phase 1 they are
+  // untouched (old), during phases 2-3 they hold the working new state.
+  auto side_subgoal = [&](int rule_index, int pos, bool old_side,
+                          int stratum) -> Result<PreparedSubgoal> {
+    const Literal& lit = program_.rule(rule_index).body[pos];
+    switch (lit.kind) {
+      case Literal::Kind::kComparison:
+        return PreparedSubgoal::Comparison(lit.cmp_op, lit.cmp_lhs, lit.cmp_rhs);
+      case Literal::Kind::kPositive: {
+        PreparedSubgoal sg =
+            PreparedSubgoal::Scan(&current(lit.atom.pred), lit.atom.terms);
+        sg.counts_as_one = true;
+        const bool same_stratum =
+            program_.predicate(lit.atom.pred).stratum == stratum &&
+            !program_.predicate(lit.atom.pred).is_base;
+        if (old_side && !same_stratum) sg.overlay = rev_of(lit.atom.pred);
+        return sg;
+      }
+      case Literal::Kind::kNegated: {
+        PreparedSubgoal sg =
+            PreparedSubgoal::NegCheck(&current(lit.atom.pred), lit.atom.terms);
+        if (old_side) sg.overlay = rev_of(lit.atom.pred);
+        return sg;
+      }
+      case Literal::Kind::kAggregate: {
+        auto key = std::make_pair(rule_index, pos);
+        auto t_it = aggregate_ts_.find(key);
+        if (t_it == aggregate_ts_.end()) {
+          return Status::Internal("aggregate subgoal has no materialized T");
+        }
+        PreparedSubgoal sg =
+            PreparedSubgoal::Scan(&t_it->second, AggregatePattern(lit));
+        if (!old_side) {
+          IVM_ASSIGN_OR_RETURN(const Relation* dt, agg_delta(rule_index, pos));
+          if (!dt->empty()) sg.overlay = dt;
+        }
+        return sg;
+      }
+    }
+    return Status::Internal("bad literal kind");
+  };
+
+  // Evaluates rule `rule_index` with body position `event_pos` replaced by a
+  // positive scan of `event_rel` (using `event_pattern`), all other
+  // positions per `old_side`. Results ⊎-accumulate into `out`.
+  auto eval_with_event = [&](int rule_index, int event_pos,
+                             const Relation* event_rel,
+                             const std::vector<Term>& event_pattern,
+                             bool old_side, int stratum,
+                             Relation* out) -> Status {
+    const Rule& rule = program_.rule(rule_index);
+    PreparedRule prepared;
+    prepared.head = &rule.head;
+    prepared.num_vars = program_.num_vars(rule_index);
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      if (static_cast<int>(j) == event_pos) {
+        PreparedSubgoal sg = PreparedSubgoal::Scan(event_rel, event_pattern);
+        sg.counts_as_one = true;
+        prepared.start_subgoal = static_cast<int>(prepared.subgoals.size());
+        prepared.subgoals.push_back(std::move(sg));
+      } else {
+        IVM_ASSIGN_OR_RETURN(
+            PreparedSubgoal sg,
+            side_subgoal(rule_index, static_cast<int>(j), old_side, stratum));
+        prepared.subgoals.push_back(std::move(sg));
+      }
+    }
+    return EvaluateJoin(prepared, out, &join_stats);
+  };
+
+  ChangeSet result;
+
+  for (int s = 1; s <= program_.max_stratum(); ++s) {
+    const std::vector<PredicateId>& preds = program_.predicates_in_stratum(s);
+    if (preds.empty()) continue;
+    const std::vector<int>& rule_indices = program_.rules_in_stratum(s);
+
+    auto in_stratum = [&](PredicateId p) {
+      return !program_.predicate(p).is_base &&
+             program_.predicate(p).stratum == s;
+    };
+
+    // ---- Phase 1: over-delete. ----
+    std::map<PredicateId, Relation> over;
+    std::map<PredicateId, Relation> pending;
+    for (PredicateId p : preds) {
+      const PredicateInfo& info = program_.predicate(p);
+      over.emplace(p, Relation("δ⁻" + info.name, info.arity));
+      pending.emplace(p, Relation("pending:" + info.name, info.arity));
+    }
+
+    Relation scratch;
+    auto absorb_over = [&](PredicateId head, const Relation& candidates,
+                           std::map<PredicateId, Relation>* pend) {
+      const Relation& stored = views_.at(head);
+      Relation& o = over.at(head);
+      for (const auto& [tuple, count] : candidates.tuples()) {
+        (void)count;
+        if (!stored.Contains(tuple) || o.Contains(tuple)) continue;
+        o.Add(tuple, 1);
+        pend->at(head).Add(tuple, 1);
+      }
+    };
+
+    // Round 0: deletion events from base relations and lower strata, plus
+    // rule-change seeds.
+    for (auto& [p, seeds] : seed_dels) {
+      if (in_stratum(p)) absorb_over(p, seeds, &pending);
+    }
+    for (int r : rule_indices) {
+      const Rule& rule = program_.rule(r);
+      for (size_t j = 0; j < rule.body.size(); ++j) {
+        const Literal& lit = rule.body[j];
+        const Relation* event = nullptr;
+        const std::vector<Term>* pattern = &lit.atom.terms;
+        std::vector<Term> agg_pattern;
+        switch (lit.kind) {
+          case Literal::Kind::kComparison:
+            continue;
+          case Literal::Kind::kPositive: {
+            if (in_stratum(lit.atom.pred)) continue;  // handled in rounds
+            auto it = dels.find(lit.atom.pred);
+            if (it != dels.end() && !it->second.empty()) event = &it->second;
+            break;
+          }
+          case Literal::Kind::kNegated: {
+            // Tuples entering Q invalidate derivations through ¬q.
+            auto it = adds.find(lit.atom.pred);
+            if (it != adds.end() && !it->second.empty()) event = &it->second;
+            break;
+          }
+          case Literal::Kind::kAggregate: {
+            IVM_RETURN_IF_ERROR(
+                agg_delta(r, static_cast<int>(j)).status());
+            const Relation* ev =
+                agg_del_events.at({r, static_cast<int>(j)}).get();
+            if (!ev->empty()) event = ev;
+            agg_pattern = AggregatePattern(lit);
+            pattern = &agg_pattern;
+            break;
+          }
+        }
+        if (event == nullptr) continue;
+        scratch.Clear();
+        IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), event,
+                                            *pattern, /*old_side=*/true, s,
+                                            &scratch));
+        absorb_over(rule.head.pred, scratch, &pending);
+      }
+    }
+
+    // Semi-naive propagation of the overestimate within the stratum.
+    while (true) {
+      bool any = false;
+      for (const auto& [p, rel] : pending) {
+        (void)p;
+        if (!rel.empty()) any = true;
+      }
+      if (!any) break;
+      std::map<PredicateId, Relation> next_pending;
+      for (PredicateId p : preds) {
+        const PredicateInfo& info = program_.predicate(p);
+        next_pending.emplace(p, Relation("pending:" + info.name, info.arity));
+      }
+      for (int r : rule_indices) {
+        const Rule& rule = program_.rule(r);
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          const Literal& lit = rule.body[j];
+          if (lit.kind != Literal::Kind::kPositive ||
+              !in_stratum(lit.atom.pred)) {
+            continue;
+          }
+          const Relation& delta = pending.at(lit.atom.pred);
+          if (delta.empty()) continue;
+          scratch.Clear();
+          IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), &delta,
+                                              lit.atom.terms, /*old_side=*/true,
+                                              s, &scratch));
+          absorb_over(rule.head.pred, scratch, &next_pending);
+        }
+      }
+      pending = std::move(next_pending);
+    }
+
+    // Remove the overestimate from the materializations.
+    std::map<PredicateId, Relation> deleted;
+    for (PredicateId p : preds) {
+      Relation& stored = views_.at(p);
+      for (const auto& [tuple, count] : over.at(p).tuples()) {
+        (void)count;
+        stored.Erase(tuple);
+      }
+      last_apply_stats_.overdeleted += over.at(p).size();
+      deleted.emplace(p, std::move(over.at(p)));
+    }
+
+    // ---- Phase 2: rederive. ----
+    // +(p) :- δ⁻(p) & s1^ν & ... & sn^ν, iterated to fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int r : rule_indices) {
+        const Rule& rule = program_.rule(r);
+        Relation& still_deleted = deleted.at(rule.head.pred);
+        if (still_deleted.empty()) continue;
+        PreparedRule prepared;
+        prepared.head = &rule.head;
+        prepared.num_vars = program_.num_vars(r);
+        PreparedSubgoal seed =
+            PreparedSubgoal::Scan(&still_deleted, rule.head.terms);
+        seed.counts_as_one = true;
+        prepared.start_subgoal = 0;
+        prepared.subgoals.push_back(std::move(seed));
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          IVM_ASSIGN_OR_RETURN(
+              PreparedSubgoal sg,
+              side_subgoal(r, static_cast<int>(j), /*old_side=*/false, s));
+          prepared.subgoals.push_back(std::move(sg));
+        }
+        scratch.Clear();
+        IVM_RETURN_IF_ERROR(EvaluateJoin(prepared, &scratch, &join_stats));
+        Relation& stored = views_.at(rule.head.pred);
+        for (const auto& [tuple, count] : scratch.tuples()) {
+          (void)count;
+          if (!still_deleted.Contains(tuple)) continue;
+          still_deleted.Erase(tuple);
+          stored.Add(tuple, 1);
+          ++last_apply_stats_.rederived;
+          changed = true;
+        }
+      }
+    }
+    for (PredicateId p : preds) {
+      dels[p] = std::move(deleted.at(p));
+    }
+
+    // ---- Phase 3: insert. ----
+    std::map<PredicateId, Relation> added;
+    std::map<PredicateId, Relation> pending_add;
+    for (PredicateId p : preds) {
+      const PredicateInfo& info = program_.predicate(p);
+      added.emplace(p, Relation("δ⁺" + info.name, info.arity));
+      pending_add.emplace(p, Relation("pending+:" + info.name, info.arity));
+    }
+    auto absorb_add = [&](PredicateId head, const Relation& candidates,
+                          std::map<PredicateId, Relation>* pend) {
+      Relation& stored = views_.at(head);
+      for (const auto& [tuple, count] : candidates.tuples()) {
+        (void)count;
+        if (stored.Contains(tuple)) continue;
+        stored.Add(tuple, 1);
+        added.at(head).Add(tuple, 1);
+        pend->at(head).Add(tuple, 1);
+      }
+    };
+
+    for (auto& [p, seeds] : seed_adds) {
+      if (in_stratum(p)) absorb_add(p, seeds, &pending_add);
+    }
+    for (int r : rule_indices) {
+      const Rule& rule = program_.rule(r);
+      for (size_t j = 0; j < rule.body.size(); ++j) {
+        const Literal& lit = rule.body[j];
+        const Relation* event = nullptr;
+        const std::vector<Term>* pattern = &lit.atom.terms;
+        std::vector<Term> agg_pattern;
+        switch (lit.kind) {
+          case Literal::Kind::kComparison:
+            continue;
+          case Literal::Kind::kPositive: {
+            if (in_stratum(lit.atom.pred)) continue;
+            auto it = adds.find(lit.atom.pred);
+            if (it != adds.end() && !it->second.empty()) event = &it->second;
+            break;
+          }
+          case Literal::Kind::kNegated: {
+            // Tuples leaving Q enable derivations through ¬q.
+            auto it = dels.find(lit.atom.pred);
+            if (it != dels.end() && !it->second.empty()) event = &it->second;
+            break;
+          }
+          case Literal::Kind::kAggregate: {
+            IVM_RETURN_IF_ERROR(agg_delta(r, static_cast<int>(j)).status());
+            const Relation* ev =
+                agg_add_events.at({r, static_cast<int>(j)}).get();
+            if (!ev->empty()) event = ev;
+            agg_pattern = AggregatePattern(lit);
+            pattern = &agg_pattern;
+            break;
+          }
+        }
+        if (event == nullptr) continue;
+        scratch.Clear();
+        IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), event,
+                                            *pattern, /*old_side=*/false, s,
+                                            &scratch));
+        absorb_add(rule.head.pred, scratch, &pending_add);
+      }
+    }
+    while (true) {
+      bool any = false;
+      for (const auto& [p, rel] : pending_add) {
+        (void)p;
+        if (!rel.empty()) any = true;
+      }
+      if (!any) break;
+      std::map<PredicateId, Relation> next_pending;
+      for (PredicateId p : preds) {
+        const PredicateInfo& info = program_.predicate(p);
+        next_pending.emplace(p, Relation("pending+:" + info.name, info.arity));
+      }
+      for (int r : rule_indices) {
+        const Rule& rule = program_.rule(r);
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          const Literal& lit = rule.body[j];
+          if (lit.kind != Literal::Kind::kPositive ||
+              !in_stratum(lit.atom.pred)) {
+            continue;
+          }
+          const Relation& delta = pending_add.at(lit.atom.pred);
+          if (delta.empty()) continue;
+          scratch.Clear();
+          IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), &delta,
+                                              lit.atom.terms,
+                                              /*old_side=*/false, s, &scratch));
+          absorb_add(rule.head.pred, scratch, &next_pending);
+        }
+      }
+      pending_add = std::move(next_pending);
+    }
+
+    // ---- Commit this stratum: net out del/add, record rev overlays. ----
+    for (PredicateId p : preds) {
+      Relation& d = dels.at(p);
+      Relation& a = added.at(p);
+      std::vector<Tuple> both;
+      for (const auto& [tuple, count] : a.tuples()) {
+        (void)count;
+        if (d.Contains(tuple)) both.push_back(tuple);
+      }
+      for (const Tuple& t : both) {
+        d.Erase(t);
+        a.Erase(t);
+      }
+      adds[p] = std::move(a);
+      make_rev(p);
+      const std::string& name = program_.predicate(p).name;
+      for (const auto& [tuple, count] : dels.at(p).tuples()) {
+        (void)count;
+        result.Delete(name, tuple);
+      }
+      for (const auto& [tuple, count] : adds.at(p).tuples()) {
+        (void)count;
+        result.Insert(name, tuple);
+      }
+    }
+  }
+
+  // Fold ΔT into the materialized aggregate extents.
+  for (auto& [key, dt] : agg_deltas) {
+    if (dt->empty()) continue;
+    auto it = aggregate_ts_.find(key);
+    IVM_CHECK(it != aggregate_ts_.end());
+    it->second.UnionInPlace(*dt);
+  }
+
+  last_apply_stats_.tuples_matched = join_stats.tuples_matched;
+  last_apply_stats_.derivations = join_stats.derivations;
+  return result;
+}
+
+Result<ChangeSet> DRedMaintainer::AddRule(const Rule& rule) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+  IVM_ASSIGN_OR_RETURN(int rule_index, program_.AddRule(rule));
+  Status analyzed = program_.Analyze();
+  if (!analyzed.ok()) {
+    // Roll back so the maintainer stays usable.
+    program_.RemoveRule(rule_index).CheckOK();
+    program_.Analyze().CheckOK();
+    return analyzed;
+  }
+
+  // Materialize T for any aggregate subgoals of the new rule.
+  const Rule& added = program_.rule(rule_index);
+  for (size_t j = 0; j < added.body.size(); ++j) {
+    const Literal& lit = added.body[j];
+    if (lit.kind != Literal::Kind::kAggregate) continue;
+    const PredicateInfo& info = program_.predicate(lit.atom.pred);
+    const Relation* u = nullptr;
+    if (info.is_base) {
+      IVM_ASSIGN_OR_RETURN(u, base_.Get(info.name));
+    } else {
+      auto it = views_.find(lit.atom.pred);
+      if (it == views_.end()) {
+        return Status::Internal("grouped predicate has no materialization");
+      }
+      u = &it->second;
+    }
+    IVM_ASSIGN_OR_RETURN(Relation t,
+                         EvaluateAggregate(lit, *u, /*multiset=*/false));
+    aggregate_ts_.emplace(std::make_pair(rule_index, static_cast<int>(j)),
+                          std::move(t));
+  }
+
+  // Seed: the new rule's direct consequences on the current database.
+  MapResolver resolver;
+  IVM_RETURN_IF_ERROR(BindBase(program_, base_, &resolver));
+  for (auto& [p, rel] : views_) resolver.Put(p, &rel);
+  PredicateId head = added.head.pred;
+  const PredicateInfo& head_info = program_.predicate(head);
+  Relation seeds("seed:" + head_info.name, head_info.arity);
+  IVM_RETURN_IF_ERROR(EvaluateRuleOnce(program_, rule_index, resolver,
+                                       /*multiset_aggregates=*/false, &seeds));
+  std::map<PredicateId, Relation> seed_adds;
+  seed_adds.emplace(head, seeds.AsSet());
+  return ApplyInternal({}, {}, {}, std::move(seed_adds));
+}
+
+Result<ChangeSet> DRedMaintainer::AddRuleText(const std::string& rule_text) {
+  IVM_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text));
+  return AddRule(rule);
+}
+
+Result<ChangeSet> DRedMaintainer::RemoveRule(int rule_index) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+  if (rule_index < 0 ||
+      rule_index >= static_cast<int>(program_.num_rules())) {
+    return Status::NotFound("no rule with index " + std::to_string(rule_index));
+  }
+
+  // Seed: everything the removed rule derives on the *old* database. On the
+  // materialized fixpoint this covers every application of the rule.
+  MapResolver resolver;
+  IVM_RETURN_IF_ERROR(BindBase(program_, base_, &resolver));
+  for (auto& [p, rel] : views_) resolver.Put(p, &rel);
+  const Rule removed = program_.rule(rule_index);
+  PredicateId head = removed.head.pred;
+  const PredicateInfo& head_info = program_.predicate(head);
+  Relation seeds("seed:" + head_info.name, head_info.arity);
+  IVM_RETURN_IF_ERROR(EvaluateRuleOnce(program_, rule_index, resolver,
+                                       /*multiset_aggregates=*/false, &seeds));
+
+  IVM_RETURN_IF_ERROR(program_.RemoveRule(rule_index));
+  IVM_RETURN_IF_ERROR(program_.Analyze());
+
+  // Re-key the aggregate materializations: rule indices above the removed
+  // rule shift down by one; the removed rule's entries disappear.
+  std::map<std::pair<int, int>, Relation> rekeyed;
+  for (auto& [key, t] : aggregate_ts_) {
+    if (key.first == rule_index) continue;
+    int new_rule = key.first > rule_index ? key.first - 1 : key.first;
+    rekeyed.emplace(std::make_pair(new_rule, key.second), std::move(t));
+  }
+  aggregate_ts_ = std::move(rekeyed);
+
+  std::map<PredicateId, Relation> seed_dels;
+  seed_dels.emplace(head, seeds.AsSet());
+  return ApplyInternal({}, {}, std::move(seed_dels), {});
+}
+
+Result<const Relation*> DRedMaintainer::GetRelation(
+    const std::string& name) const {
+  IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.Get(name);
+  auto it = views_.find(pred);
+  if (it == views_.end()) {
+    return Status::FailedPrecondition("maintainer not initialized");
+  }
+  return &it->second;
+}
+
+size_t DRedMaintainer::TotalViewTuples() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : views_) {
+    (void)pred;
+    total += rel.size();
+  }
+  return total;
+}
+
+}  // namespace ivm

@@ -1,0 +1,101 @@
+#include "core/explain.h"
+
+#include "core/delta_rules.h"
+
+namespace ivm {
+
+Result<std::string> ExplainDeltaProgram(const Program& program) {
+  if (!program.analyzed()) {
+    return Status::FailedPrecondition("program not analyzed");
+  }
+  std::string out;
+  for (int s = 1; s <= program.max_stratum(); ++s) {
+    for (int r : program.rules_in_stratum(s)) {
+      for (const DeltaRule& dr : CompileDeltaRules(program, r)) {
+        out += DeltaRuleToString(program, dr);
+        out += "\n";
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> ExplainDRedProgram(const Program& program) {
+  if (!program.analyzed()) {
+    return Status::FailedPrecondition("program not analyzed");
+  }
+  std::string out;
+  for (int s = 1; s <= program.max_stratum(); ++s) {
+    for (int r : program.rules_in_stratum(s)) {
+      const Rule& rule = program.rule(r);
+      // Step 1: δ⁻-rules (one per atom-based body literal; side positions
+      // read the old materializations).
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!rule.body[i].IsAtomBased()) continue;
+        out += "δ⁻" + rule.head.ToString() + " :- ";
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          if (j > 0) out += " & ";
+          if (j == i) {
+            out += "δ⁻(" + rule.body[j].ToString() + ")";
+          } else {
+            out += rule.body[j].ToString();
+          }
+        }
+        out += ".\n";
+      }
+      // Step 2: the rederivation rule.
+      out += "+" + rule.head.ToString() + " :- δ⁻" + rule.head.ToString();
+      for (const Literal& lit : rule.body) {
+        out += " & " + lit.ToString() + "^ν";
+      }
+      out += ".\n";
+      // Step 3: δ⁺-rules.
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!rule.body[i].IsAtomBased()) continue;
+        out += "δ⁺" + rule.head.ToString() + " :- ";
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          if (j > 0) out += " & ";
+          if (j == i) {
+            out += "δ⁺(" + rule.body[j].ToString() + ")";
+          } else {
+            out += rule.body[j].ToString() + "^ν";
+          }
+        }
+        out += ".\n";
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> ExplainProgram(const Program& program) {
+  if (!program.analyzed()) {
+    return Status::FailedPrecondition("program not analyzed");
+  }
+  std::string out = "% strata\n";
+  for (int s = 0; s <= program.max_stratum(); ++s) {
+    std::string names;
+    for (size_t p = 0; p < program.num_predicates(); ++p) {
+      const PredicateInfo& info = program.predicate(static_cast<PredicateId>(p));
+      if (info.stratum != s) continue;
+      if (!names.empty()) names += ", ";
+      names += info.name;
+      if (info.is_base) names += " (base)";
+      if (info.recursive) names += " (recursive)";
+    }
+    if (names.empty()) continue;
+    out += "stratum " + std::to_string(s) + ": " + names + "\n";
+  }
+  out += "% rules\n";
+  for (size_t r = 0; r < program.num_rules(); ++r) {
+    out += "[" + std::to_string(r) + "] (RSN " +
+           std::to_string(program.rule_stratum(static_cast<int>(r))) + ") " +
+           program.rule(static_cast<int>(r)).ToString() + "\n";
+  }
+  out += "% delta program (Definition 4.1)\n";
+  IVM_ASSIGN_OR_RETURN(std::string delta, ExplainDeltaProgram(program));
+  out += delta;
+  return out;
+}
+
+}  // namespace ivm

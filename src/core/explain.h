@@ -1,0 +1,39 @@
+#ifndef IVM_CORE_EXPLAIN_H_
+#define IVM_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace ivm {
+
+/// Human-readable report of the program's maintenance structure:
+/// predicates with stratum numbers (Definition 3.1), rules with their RSNs,
+/// and — per the paper's compile-time story ("the counting algorithm derives
+/// a program TΔ at compile time") — the full set of delta rules
+/// (Definition 4.1) the counting algorithm will evaluate.
+///
+/// Example output for the hop program:
+///
+///   % strata
+///   stratum 0: link (base)
+///   stratum 1: hop
+///   % rules
+///   [0] (RSN 1) hop(X, Y) :- link(X, Z) & link(Z, Y).
+///   % delta program (Definition 4.1)
+///   Δhop(X, Y) :- Δ(link(X, Z)) & link(Z, Y).
+///   Δhop(X, Y) :- link(X, Z)^new & Δ(link(Z, Y)).
+Result<std::string> ExplainProgram(const Program& program);
+
+/// The delta program only (one line per delta rule).
+Result<std::string> ExplainDeltaProgram(const Program& program);
+
+/// The DRed rule families of Section 7: for every rule, the δ⁻-rules of the
+/// over-deletion phase, the single rederivation rule, and the δ⁺-rules of
+/// the insertion phase.
+Result<std::string> ExplainDRedProgram(const Program& program);
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_EXPLAIN_H_

@@ -1,0 +1,39 @@
+#ifndef IVM_CORE_MAINTAINER_H_
+#define IVM_CORE_MAINTAINER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/change_set.h"
+#include "datalog/program.h"
+#include "storage/database.h"
+
+namespace ivm {
+
+/// Common interface of all incremental view maintenance strategies
+/// (counting, DRed, PF, full recomputation). A maintainer owns a snapshot of
+/// the base relations and the materialized views; Apply() folds base-relation
+/// changes into both and reports the induced view changes.
+class Maintainer {
+ public:
+  virtual ~Maintainer() = default;
+
+  /// Snapshots `base` and materializes every view.
+  virtual Status Initialize(const Database& base) = 0;
+
+  /// Applies base-relation changes; returns the changes to every view
+  /// (insertions positive, deletions negative).
+  virtual Result<ChangeSet> Apply(const ChangeSet& base_changes) = 0;
+
+  /// Current extent of a view or of a base-relation snapshot.
+  virtual Result<const Relation*> GetRelation(const std::string& name) const = 0;
+
+  virtual const Program& program() const = 0;
+
+  /// Human-readable strategy name ("counting", "dred", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_MAINTAINER_H_

@@ -1,0 +1,86 @@
+#include "core/pf.h"
+
+namespace ivm {
+
+Result<std::unique_ptr<PFMaintainer>> PFMaintainer::Create(
+    Program program, Granularity granularity) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAggregate) {
+        return Status::Unimplemented(
+            "the PF algorithm cannot handle aggregation (Section 2); use "
+            "counting or DRed");
+      }
+    }
+  }
+  IVM_ASSIGN_OR_RETURN(std::unique_ptr<DRedMaintainer> core,
+                       DRedMaintainer::Create(std::move(program)));
+  return std::unique_ptr<PFMaintainer>(
+      new PFMaintainer(std::move(core), granularity));
+}
+
+Status PFMaintainer::Initialize(const Database& base) {
+  return core_->Initialize(base);
+}
+
+Result<ChangeSet> PFMaintainer::Apply(const ChangeSet& base_changes) {
+  ChangeSet accumulated;
+
+  // Fragment the change set: deletions first (matching the paper's deletion-
+  // then-insertion staging), each fragment fully propagated through every
+  // derived predicate before the next is considered.
+  auto apply_fragment = [&](const ChangeSet& fragment) -> Status {
+    IVM_ASSIGN_OR_RETURN(ChangeSet partial, core_->Apply(fragment));
+    for (const auto& [name, delta] : partial.deltas()) {
+      accumulated.Merge(name, delta);
+    }
+    return Status::OK();
+  };
+
+  if (granularity_ == Granularity::kPerTuple) {
+    for (int phase = 0; phase < 2; ++phase) {
+      const int64_t want_sign = phase == 0 ? -1 : 1;
+      for (const auto& [name, delta] : base_changes.deltas()) {
+        // Deterministic order for reproducible benchmarks.
+        for (const Tuple& tuple : delta.SortedTuples()) {
+          int64_t count = delta.Count(tuple);
+          if ((count < 0 ? -1 : 1) != want_sign) continue;
+          ChangeSet fragment;
+          if (count < 0) {
+            fragment.Delete(name, tuple);
+          } else {
+            fragment.Insert(name, tuple);
+          }
+          IVM_RETURN_IF_ERROR(apply_fragment(fragment));
+        }
+      }
+    }
+  } else {
+    for (int phase = 0; phase < 2; ++phase) {
+      const int64_t want_sign = phase == 0 ? -1 : 1;
+      for (const auto& [name, delta] : base_changes.deltas()) {
+        ChangeSet fragment;
+        bool any = false;
+        for (const auto& [tuple, count] : delta.tuples()) {
+          if ((count < 0 ? -1 : 1) != want_sign) continue;
+          if (count < 0) {
+            fragment.Delete(name, tuple);
+          } else {
+            fragment.Insert(name, tuple);
+          }
+          any = true;
+        }
+        if (any) IVM_RETURN_IF_ERROR(apply_fragment(fragment));
+      }
+    }
+  }
+  return accumulated;
+}
+
+Result<const Relation*> PFMaintainer::GetRelation(
+    const std::string& name) const {
+  return core_->GetRelation(name);
+}
+
+}  // namespace ivm

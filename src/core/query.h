@@ -1,0 +1,30 @@
+#ifndef IVM_CORE_QUERY_H_
+#define IVM_CORE_QUERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/view_manager.h"
+
+namespace ivm {
+
+/// One-shot ad-hoc queries against a manager's current materializations —
+/// the "fast reads" that motivate materializing views in the first place
+/// (Section 1: "database accesses to materialized view tuples is much
+/// faster"). The query is a single rule body over base relations and views;
+/// it runs through the same index-backed join engine as maintenance but
+/// materializes nothing.
+///
+/// Accepted forms:
+///   * a full rule:  "ans(X) :- hop(a, X), !link(a, X)."
+///   * a bare body:  "hop(a, X), link(X, Y)"  — the answer columns are the
+///     body's binding variables in order of first occurrence.
+///
+/// Results carry derivation counts under duplicate semantics and count 1
+/// under set semantics, matching the manager's mode.
+Result<Relation> QueryOnce(const ViewManager& manager,
+                           const std::string& query);
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_QUERY_H_

@@ -1,0 +1,105 @@
+#include "core/recompute.h"
+
+#include "common/logging.h"
+
+namespace ivm {
+
+Result<std::unique_ptr<RecomputeMaintainer>> RecomputeMaintainer::Create(
+    Program program, Semantics semantics) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+  if (semantics == Semantics::kDuplicate && program.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "duplicate semantics is undefined for recursive programs");
+  }
+  return std::unique_ptr<RecomputeMaintainer>(
+      new RecomputeMaintainer(std::move(program), semantics));
+}
+
+Status RecomputeMaintainer::Initialize(const Database& base) {
+  base_ = Database();
+  for (PredicateId p : program_.BasePredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, base.Get(info.name));
+    IVM_RETURN_IF_ERROR(base_.CreateRelation(info.name, info.arity));
+    base_.mutable_relation(info.name) =
+        (semantics_ == Semantics::kSet) ? rel->AsSet() : *rel;
+  }
+  IVM_RETURN_IF_ERROR(Reevaluate());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status RecomputeMaintainer::Reevaluate() {
+  EvalOptions options;
+  options.semantics = semantics_;
+  options.stratum_counts = false;
+  Evaluator evaluator(program_, options);
+  views_.clear();
+  return evaluator.EvaluateAll(base_, &views_);
+}
+
+Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+  for (const auto& [name, delta] : base_changes.deltas()) {
+    if (delta.empty()) continue;
+    IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+    const PredicateInfo& info = program_.predicate(pred);
+    if (!info.is_base) {
+      return Status::InvalidArgument(
+          "cannot directly modify derived relation '" + name + "'");
+    }
+    if (semantics_ == Semantics::kSet) {
+      Relation& stored = base_.mutable_relation(name);
+      for (const auto& [tuple, count] : delta.tuples()) {
+        if (count < 0) {
+          if (!stored.Contains(tuple)) {
+            return Status::FailedPrecondition(
+                "deleting " + tuple.ToString() + " which is not in '" + name +
+                "'");
+          }
+          stored.Erase(tuple);
+        } else if (count > 0) {
+          stored.Set(tuple, 1);
+        }
+      }
+    } else {
+      IVM_RETURN_IF_ERROR(base_.ApplyDelta(name, delta));
+    }
+  }
+
+  std::map<PredicateId, Relation> old_views = std::move(views_);
+  IVM_RETURN_IF_ERROR(Reevaluate());
+
+  ChangeSet out;
+  for (const auto& [pred, new_rel] : views_) {
+    const Relation& old_rel = old_views.at(pred);
+    Relation diff("Δ" + new_rel.name(), new_rel.arity());
+    // Count-level diff (under set semantics all counts are 1, so this is the
+    // set difference).
+    for (const auto& [tuple, count] : new_rel.tuples()) {
+      int64_t change = count - old_rel.Count(tuple);
+      if (change != 0) diff.Add(tuple, change);
+    }
+    for (const auto& [tuple, count] : old_rel.tuples()) {
+      if (!new_rel.Contains(tuple)) diff.Add(tuple, -count);
+    }
+    if (!diff.empty()) out.Merge(new_rel.name(), diff);
+  }
+  return out;
+}
+
+Result<const Relation*> RecomputeMaintainer::GetRelation(
+    const std::string& name) const {
+  IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.Get(name);
+  auto it = views_.find(pred);
+  if (it == views_.end()) {
+    return Status::FailedPrecondition("maintainer not initialized");
+  }
+  return &it->second;
+}
+
+}  // namespace ivm

@@ -1,0 +1,49 @@
+#ifndef IVM_CORE_RECOMPUTE_H_
+#define IVM_CORE_RECOMPUTE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/change_set.h"
+#include "core/maintainer.h"
+#include "datalog/program.h"
+#include "eval/evaluator.h"
+#include "storage/database.h"
+
+namespace ivm {
+
+/// The non-incremental baseline: on every Apply(), fold the base changes in
+/// and re-evaluate every view from scratch, then diff against the previous
+/// materializations to report the view changes. This is the alternative the
+/// paper's "heuristic of inertia" argues against for small changes — and the
+/// strategy it concedes can win when most of the database changes
+/// (Section 1).
+class RecomputeMaintainer : public Maintainer {
+ public:
+  static Result<std::unique_ptr<RecomputeMaintainer>> Create(
+      Program program, Semantics semantics);
+
+  Status Initialize(const Database& base) override;
+  Result<ChangeSet> Apply(const ChangeSet& base_changes) override;
+  Result<const Relation*> GetRelation(const std::string& name) const override;
+  const Program& program() const override { return program_; }
+  const char* name() const override { return "recompute"; }
+
+ private:
+  RecomputeMaintainer(Program program, Semantics semantics)
+      : program_(std::move(program)), semantics_(semantics) {}
+
+  Status Reevaluate();
+
+  Program program_;
+  Semantics semantics_;
+  Database base_;
+  std::map<PredicateId, Relation> views_;
+  bool initialized_ = false;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_RECOMPUTE_H_

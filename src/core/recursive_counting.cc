@@ -1,0 +1,325 @@
+#include "core/recursive_counting.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "eval/aggregates.h"
+#include "eval/rule_eval.h"
+
+namespace ivm {
+
+Result<std::unique_ptr<RecursiveCountingMaintainer>>
+RecursiveCountingMaintainer::Create(Program program, Options options) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+  return std::unique_ptr<RecursiveCountingMaintainer>(
+      new RecursiveCountingMaintainer(std::move(program), options));
+}
+
+const Relation& RecursiveCountingMaintainer::Stored(PredicateId pred) const {
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.relation(info.name);
+  return views_.at(pred);
+}
+
+Relation& RecursiveCountingMaintainer::MutableStored(PredicateId pred) {
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.mutable_relation(info.name);
+  return views_.at(pred);
+}
+
+Status RecursiveCountingMaintainer::Initialize(const Database& base) {
+  base_ = Database();
+  views_.clear();
+  aggregate_ts_.clear();
+  std::map<PredicateId, Relation> pending;
+  for (PredicateId p : program_.BasePredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, base.Get(info.name));
+    if (rel->HasNegativeCounts()) {
+      return Status::InvalidArgument("base relation '" + info.name +
+                                     "' has negative counts");
+    }
+    IVM_RETURN_IF_ERROR(base_.CreateRelation(info.name, info.arity));
+    // Bootstrap: the whole base content is one big insertion batch into an
+    // empty database; the worklist derives everything with exact counts.
+    pending.emplace(p, *rel);
+  }
+  for (PredicateId p : program_.DerivedPredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    views_.emplace(p, Relation(info.name, info.arity));
+  }
+  for (size_t r = 0; r < program_.num_rules(); ++r) {
+    const Rule& rule = program_.rule(static_cast<int>(r));
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      if (rule.body[j].kind == Literal::Kind::kAggregate) {
+        aggregate_ts_.emplace(
+            std::make_pair(static_cast<int>(r), static_cast<int>(j)),
+            Relation("T", rule.body[j].group_vars.size() + 1));
+      }
+    }
+  }
+  ChangeSet ignored;
+  IVM_RETURN_IF_ERROR(Propagate(std::move(pending), &ignored));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<ChangeSet> RecursiveCountingMaintainer::Apply(
+    const ChangeSet& base_changes) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+  std::map<PredicateId, Relation> pending;
+  for (const auto& [name, delta] : base_changes.deltas()) {
+    if (delta.empty()) continue;
+    IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+    const PredicateInfo& info = program_.predicate(pred);
+    if (!info.is_base) {
+      return Status::InvalidArgument(
+          "cannot directly modify derived relation '" + name + "'");
+    }
+    const Relation& stored = base_.relation(name);
+    for (const auto& [tuple, count] : delta.tuples()) {
+      if (count < 0 && stored.Count(tuple) + count < 0) {
+        return Status::FailedPrecondition(
+            "delta deletes more copies of " + tuple.ToString() + " from '" +
+            name + "' than stored");
+      }
+    }
+    pending.emplace(pred, delta);
+  }
+  ChangeSet out;
+  IVM_RETURN_IF_ERROR(Propagate(std::move(pending), &out));
+  return out;
+}
+
+Status RecursiveCountingMaintainer::Propagate(
+    std::map<PredicateId, Relation> pending, ChangeSet* out) {
+  // Rules indexed by the predicates occurring in their bodies.
+  std::map<PredicateId, std::vector<int>> rules_reading;
+  for (size_t r = 0; r < program_.num_rules(); ++r) {
+    const Rule& rule = program_.rule(static_cast<int>(r));
+    std::vector<PredicateId> seen;
+    for (const Literal& lit : rule.body) {
+      if (!lit.IsAtomBased()) continue;
+      bool dup = false;
+      for (PredicateId s : seen) {
+        if (s == lit.atom.pred) dup = true;
+      }
+      if (!dup) {
+        seen.push_back(lit.atom.pred);
+        rules_reading[lit.atom.pred].push_back(static_cast<int>(r));
+      }
+    }
+  }
+
+  size_t steps = 0;
+  while (true) {
+    // Pop the pending predicate with the lowest stratum (process lower
+    // strata first so stratified negation/aggregation see settled inputs;
+    // within a stratum the order does not affect the result, only the
+    // amount of churn).
+    PredicateId q = -1;
+    for (auto& [pred, delta] : pending) {
+      if (delta.empty()) continue;
+      if (q == -1 ||
+          program_.predicate(pred).stratum < program_.predicate(q).stratum) {
+        q = pred;
+      }
+    }
+    if (q == -1) break;
+    if (++steps > options_.max_steps) {
+      return Status::FailedPrecondition(
+          "counting did not converge after " +
+          std::to_string(options_.max_steps) +
+          " propagation steps: derivation counts appear infinite (cyclic "
+          "derivations); use the DRed strategy for this view (Section 8)");
+    }
+    Relation delta = std::move(pending.at(q));
+    pending.erase(q);
+    const Relation& old_q = Stored(q);
+
+    // Δ(¬q) per Definition 6.1, computed once per pop.
+    const PredicateInfo& q_info = program_.predicate(q);
+    Relation neg_delta("Δ¬" + q_info.name, q_info.arity);
+    for (const auto& [tuple, count] : delta.tuples()) {
+      int64_t oc = old_q.Count(tuple);
+      if (oc + count == 0) neg_delta.Add(tuple, 1);
+      if (oc == 0) neg_delta.Add(tuple, -1);
+    }
+
+    // Aggregate ΔT for every GROUPBY literal grouping over q.
+    std::map<std::pair<int, int>, Relation> agg_deltas;
+    for (const auto& [key, t] : aggregate_ts_) {
+      (void)t;
+      const Literal& lit = program_.rule(key.first).body[key.second];
+      if (lit.atom.pred != q) continue;
+      IVM_ASSIGN_OR_RETURN(
+          Relation dt, AggregateDelta(lit, old_q, delta, /*multiset=*/true));
+      agg_deltas.emplace(key, std::move(dt));
+    }
+
+    // Evaluate the delta triangle over q's occurrences in every rule that
+    // reads q. Occurrence k uses Δ at its own position, new values at
+    // earlier q-occurrences, old values at later ones; literals over other
+    // predicates read their committed state.
+    std::map<PredicateId, Relation> derived;
+    auto rules_it = rules_reading.find(q);
+    if (rules_it != rules_reading.end()) {
+      for (int r : rules_it->second) {
+        const Rule& rule = program_.rule(r);
+        // Collect q-occurrence positions.
+        std::vector<int> occurrences;
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          if (rule.body[j].IsAtomBased() && rule.body[j].atom.pred == q) {
+            occurrences.push_back(static_cast<int>(j));
+          }
+        }
+        for (size_t k = 0; k < occurrences.size(); ++k) {
+          PreparedRule prepared;
+          prepared.head = &rule.head;
+          prepared.num_vars = program_.num_vars(r);
+          bool skip = false;
+          for (size_t j = 0; j < rule.body.size(); ++j) {
+            const Literal& lit = rule.body[j];
+            if (lit.kind == Literal::Kind::kComparison) {
+              prepared.subgoals.push_back(PreparedSubgoal::Comparison(
+                  lit.cmp_op, lit.cmp_lhs, lit.cmp_rhs));
+              continue;
+            }
+            // Which side of the triangle is this position on?
+            int occurrence_rank = -1;
+            for (size_t m = 0; m < occurrences.size(); ++m) {
+              if (occurrences[m] == static_cast<int>(j)) {
+                occurrence_rank = static_cast<int>(m);
+              }
+            }
+            const bool is_delta = occurrence_rank == static_cast<int>(k);
+            const bool new_side =
+                occurrence_rank >= 0 && occurrence_rank < static_cast<int>(k);
+            switch (lit.kind) {
+              case Literal::Kind::kPositive: {
+                if (is_delta) {
+                  PreparedSubgoal sg =
+                      PreparedSubgoal::Scan(&delta, lit.atom.terms);
+                  prepared.start_subgoal =
+                      static_cast<int>(prepared.subgoals.size());
+                  prepared.subgoals.push_back(std::move(sg));
+                } else {
+                  PreparedSubgoal sg =
+                      PreparedSubgoal::Scan(&Stored(lit.atom.pred), lit.atom.terms);
+                  if (new_side) sg.overlay = &delta;
+                  prepared.subgoals.push_back(std::move(sg));
+                }
+                break;
+              }
+              case Literal::Kind::kNegated: {
+                if (is_delta) {
+                  if (neg_delta.empty()) {
+                    skip = true;
+                  } else {
+                    PreparedSubgoal sg =
+                        PreparedSubgoal::Scan(&neg_delta, lit.atom.terms);
+                    prepared.start_subgoal =
+                        static_cast<int>(prepared.subgoals.size());
+                    prepared.subgoals.push_back(std::move(sg));
+                  }
+                } else {
+                  PreparedSubgoal sg = PreparedSubgoal::NegCheck(
+                      &Stored(lit.atom.pred), lit.atom.terms);
+                  if (new_side) sg.overlay = &delta;
+                  prepared.subgoals.push_back(std::move(sg));
+                }
+                break;
+              }
+              case Literal::Kind::kAggregate: {
+                auto key = std::make_pair(r, static_cast<int>(j));
+                const Relation& t_old = aggregate_ts_.at(key);
+                if (is_delta) {
+                  const Relation& dt = agg_deltas.at(key);
+                  if (dt.empty()) {
+                    skip = true;
+                  } else {
+                    PreparedSubgoal sg =
+                        PreparedSubgoal::Scan(&dt, AggregatePattern(lit));
+                    prepared.start_subgoal =
+                        static_cast<int>(prepared.subgoals.size());
+                    prepared.subgoals.push_back(std::move(sg));
+                  }
+                } else {
+                  PreparedSubgoal sg =
+                      PreparedSubgoal::Scan(&t_old, AggregatePattern(lit));
+                  if (new_side) {
+                    auto dt_it = agg_deltas.find(key);
+                    if (dt_it != agg_deltas.end() && !dt_it->second.empty()) {
+                      sg.overlay = &dt_it->second;
+                    }
+                  }
+                  prepared.subgoals.push_back(std::move(sg));
+                }
+                break;
+              }
+              case Literal::Kind::kComparison:
+                IVM_UNREACHABLE();
+            }
+            if (skip) break;
+          }
+          if (skip) continue;
+          PredicateId head = rule.head.pred;
+          auto it = derived.find(head);
+          if (it == derived.end()) {
+            const PredicateInfo& info = program_.predicate(head);
+            it = derived.emplace(head, Relation("Δ" + info.name, info.arity))
+                     .first;
+          }
+          IVM_RETURN_IF_ERROR(EvaluateJoin(prepared, &it->second));
+        }
+      }
+    }
+
+    // Commit Δ(q) and the aggregate deltas over q.
+    Relation& stored_q = MutableStored(q);
+    for (const auto& [tuple, count] : delta.tuples()) {
+      if (stored_q.Count(tuple) + count < 0) {
+        return Status::Internal("derivation count of " + tuple.ToString() +
+                                " in '" + q_info.name + "' went negative");
+      }
+    }
+    stored_q.UnionInPlace(delta);
+    for (auto& [key, dt] : agg_deltas) {
+      if (!dt.empty()) aggregate_ts_.at(key).UnionInPlace(dt);
+    }
+    if (!q_info.is_base) out->Merge(q_info.name, delta);
+
+    // Enqueue derived deltas.
+    for (auto& [pred, d] : derived) {
+      if (d.empty()) continue;
+      auto [it, inserted] = pending.try_emplace(pred, std::move(d));
+      if (!inserted) it->second.UnionInPlace(d);
+    }
+  }
+  return Status::OK();
+}
+
+Result<const Relation*> RecursiveCountingMaintainer::GetRelation(
+    const std::string& name) const {
+  IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.Get(name);
+  auto it = views_.find(pred);
+  if (it == views_.end()) {
+    return Status::FailedPrecondition("maintainer not initialized");
+  }
+  return &it->second;
+}
+
+size_t RecursiveCountingMaintainer::TotalViewTuples() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : views_) {
+    (void)pred;
+    total += rel.size();
+  }
+  return total;
+}
+
+}  // namespace ivm

@@ -1,0 +1,152 @@
+#include "core/view_manager.h"
+
+#include "datalog/parser.h"
+
+namespace ivm {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kCounting: return "counting";
+    case Strategy::kDRed: return "dred";
+    case Strategy::kRecompute: return "recompute";
+    case Strategy::kPF: return "pf";
+    case Strategy::kRecursiveCounting: return "recursive-counting";
+    case Strategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
+                                                         Strategy strategy,
+                                                         Semantics semantics) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+
+  Strategy resolved = strategy;
+  if (strategy == Strategy::kAuto) {
+    // The paper's recommendation: counting for nonrecursive views, DRed for
+    // recursive views.
+    resolved = program.IsRecursive() ? Strategy::kDRed : Strategy::kCounting;
+    if (resolved == Strategy::kDRed && semantics == Semantics::kDuplicate) {
+      return Status::FailedPrecondition(
+          "recursive programs require set semantics (counts may be infinite)");
+    }
+  }
+
+  // The semantics the chosen maintainer actually runs under.
+  Semantics effective_semantics = semantics;
+  if (resolved == Strategy::kDRed || resolved == Strategy::kPF) {
+    effective_semantics = Semantics::kSet;
+  } else if (resolved == Strategy::kRecursiveCounting) {
+    effective_semantics = Semantics::kDuplicate;
+  }
+
+  std::unique_ptr<Maintainer> impl;
+  switch (resolved) {
+    case Strategy::kCounting: {
+      IVM_ASSIGN_OR_RETURN(auto m, CountingMaintainer::Create(
+                                       std::move(program), semantics));
+      impl = std::move(m);
+      break;
+    }
+    case Strategy::kDRed: {
+      if (semantics == Semantics::kDuplicate) {
+        return Status::FailedPrecondition(
+            "DRed supports set semantics only (Section 7)");
+      }
+      IVM_ASSIGN_OR_RETURN(auto m, DRedMaintainer::Create(std::move(program)));
+      impl = std::move(m);
+      break;
+    }
+    case Strategy::kRecompute: {
+      IVM_ASSIGN_OR_RETURN(auto m, RecomputeMaintainer::Create(
+                                       std::move(program), semantics));
+      impl = std::move(m);
+      break;
+    }
+    case Strategy::kPF: {
+      if (semantics == Semantics::kDuplicate) {
+        return Status::FailedPrecondition("PF supports set semantics only");
+      }
+      IVM_ASSIGN_OR_RETURN(auto m, PFMaintainer::Create(std::move(program)));
+      impl = std::move(m);
+      break;
+    }
+    case Strategy::kRecursiveCounting: {
+      if (semantics == Semantics::kSet) {
+        return Status::FailedPrecondition(
+            "recursive counting maintains full derivation counts (duplicate "
+            "semantics); use Semantics::kDuplicate");
+      }
+      IVM_ASSIGN_OR_RETURN(auto m, RecursiveCountingMaintainer::Create(
+                                       std::move(program)));
+      impl = std::move(m);
+      break;
+    }
+    case Strategy::kAuto:
+      return Status::Internal("kAuto should have been resolved");
+  }
+  return std::unique_ptr<ViewManager>(
+      new ViewManager(std::move(impl), resolved, effective_semantics));
+}
+
+Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
+    const std::string& program_text, Strategy strategy, Semantics semantics) {
+  IVM_ASSIGN_OR_RETURN(Program program, ParseProgram(program_text));
+  return Create(std::move(program), strategy, semantics);
+}
+
+Result<ChangeSet> ViewManager::Apply(const ChangeSet& base_changes) {
+  IVM_ASSIGN_OR_RETURN(ChangeSet out, impl_->Apply(base_changes));
+  FireTriggers(out);
+  return out;
+}
+
+int ViewManager::Subscribe(const std::string& view, ViewTrigger trigger) {
+  int id = next_subscription_id_++;
+  subscriptions_[id] = Subscription{view, std::move(trigger)};
+  return id;
+}
+
+void ViewManager::Unsubscribe(int subscription_id) {
+  subscriptions_.erase(subscription_id);
+}
+
+void ViewManager::FireTriggers(const ChangeSet& view_changes) {
+  if (subscriptions_.empty()) return;
+  for (const auto& [id, sub] : subscriptions_) {
+    (void)id;
+    const Relation& delta = view_changes.Delta(sub.view);
+    if (!delta.empty()) sub.trigger(sub.view, delta);
+  }
+}
+
+Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
+  auto* dred = dynamic_cast<DRedMaintainer*>(impl_.get());
+  if (dred == nullptr) {
+    return Status::FailedPrecondition(
+        "view redefinition is supported by the DRed strategy only "
+        "(Section 7); create the manager with Strategy::kDRed");
+  }
+  IVM_ASSIGN_OR_RETURN(ChangeSet out, dred->AddRule(rule));
+  FireTriggers(out);
+  return out;
+}
+
+Result<ChangeSet> ViewManager::AddRuleText(const std::string& rule_text) {
+  IVM_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text));
+  return AddRule(rule);
+}
+
+Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
+  auto* dred = dynamic_cast<DRedMaintainer*>(impl_.get());
+  if (dred == nullptr) {
+    return Status::FailedPrecondition(
+        "view redefinition is supported by the DRed strategy only "
+        "(Section 7); create the manager with Strategy::kDRed");
+  }
+  IVM_ASSIGN_OR_RETURN(ChangeSet out, dred->RemoveRule(rule_index));
+  FireTriggers(out);
+  return out;
+}
+
+}  // namespace ivm

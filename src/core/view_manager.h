@@ -1,0 +1,134 @@
+#ifndef IVM_CORE_VIEW_MANAGER_H_
+#define IVM_CORE_VIEW_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/change_set.h"
+#include "core/counting.h"
+#include "core/dred.h"
+#include "core/maintainer.h"
+#include "core/pf.h"
+#include "core/recompute.h"
+#include "core/recursive_counting.h"
+#include "datalog/program.h"
+#include "eval/evaluator.h"
+#include "storage/database.h"
+
+namespace ivm {
+
+/// Maintenance strategies offered by the library.
+enum class Strategy {
+  /// Counting (Algorithm 4.1) — the paper's choice for nonrecursive views.
+  kCounting,
+  /// Delete-and-Rederive (Section 7) — the paper's choice for recursive
+  /// views; set semantics only.
+  kDRed,
+  /// Full recomputation baseline.
+  kRecompute,
+  /// Propagation/Filtration-style baseline (Section 2's comparison target).
+  kPF,
+  /// Counting extended to recursive views ([GKM92], Section 8): exact
+  /// derivation counts maintained by one-update-at-a-time propagation.
+  /// Requires finite counts (acyclic derivations) — diverging propagation
+  /// is detected and reported.
+  kRecursiveCounting,
+  /// kCounting for nonrecursive programs, kDRed for recursive programs —
+  /// exactly the paper's recommendation.
+  kAuto,
+};
+
+const char* StrategyName(Strategy s);
+
+/// The top-level facade: owns the view definitions (a Datalog program, or
+/// SQL translated into one — see sql/sql_translator.h), the snapshot of the
+/// base relations, and the materialized views; dispatches maintenance to the
+/// chosen strategy.
+///
+/// Typical use:
+///
+///   auto program = ParseProgram(
+///       "base link(S, D). "
+///       "hop(X, Y) :- link(X, Z) & link(Z, Y).").value();
+///   Database db;
+///   db.CreateRelation("link", 2).CheckOK();
+///   db.mutable_relation("link").Add(Tup("a", "b"));
+///   ...
+///   auto manager = ViewManager::Create(std::move(program),
+///                                      Strategy::kAuto).value();
+///   manager->Initialize(db).CheckOK();
+///   ChangeSet changes;
+///   changes.Delete("link", Tup("a", "b"));
+///   ChangeSet view_changes = manager->Apply(changes).value();
+class ViewManager {
+ public:
+  /// `semantics` applies to kCounting/kRecompute; kDRed and kPF are
+  /// set-semantics by definition (Section 7).
+  static Result<std::unique_ptr<ViewManager>> Create(
+      Program program, Strategy strategy = Strategy::kAuto,
+      Semantics semantics = Semantics::kSet);
+
+  /// Convenience: parse a Datalog program text first.
+  static Result<std::unique_ptr<ViewManager>> CreateFromText(
+      const std::string& program_text, Strategy strategy = Strategy::kAuto,
+      Semantics semantics = Semantics::kSet);
+
+  /// Snapshots the base relations and materializes every view.
+  Status Initialize(const Database& base) { return impl_->Initialize(base); }
+
+  /// Applies base-relation changes; returns the induced view changes
+  /// (insertions positive, deletions negative). Subscribed triggers fire
+  /// before this returns.
+  Result<ChangeSet> Apply(const ChangeSet& base_changes);
+
+  /// Active-database hook (one of the paper's motivating applications:
+  /// "a rule may fire when a particular tuple is inserted into a view").
+  /// The callback runs after every Apply/AddRule/RemoveRule that changes
+  /// `view`, receiving the view's delta. Returns a subscription id.
+  using ViewTrigger =
+      std::function<void(const std::string& view, const Relation& delta)>;
+  int Subscribe(const std::string& view, ViewTrigger trigger);
+  void Unsubscribe(int subscription_id);
+
+  /// Current extent of a view or base-relation snapshot.
+  Result<const Relation*> GetRelation(const std::string& name) const {
+    return impl_->GetRelation(name);
+  }
+
+  /// View redefinition (Section 7): only supported by the DRed strategy.
+  Result<ChangeSet> AddRule(const Rule& rule);
+  Result<ChangeSet> AddRuleText(const std::string& rule_text);
+  Result<ChangeSet> RemoveRule(int rule_index);
+
+  const Program& program() const { return impl_->program(); }
+  Strategy strategy() const { return strategy_; }
+  /// The view semantics this manager maintains under (kDRed/kPF are always
+  /// kSet; kRecursiveCounting is always kDuplicate).
+  Semantics semantics() const { return semantics_; }
+  /// The concrete maintainer (e.g. for strategy-specific accessors).
+  Maintainer& maintainer() { return *impl_; }
+
+ private:
+  ViewManager(std::unique_ptr<Maintainer> impl, Strategy strategy,
+              Semantics semantics)
+      : impl_(std::move(impl)), strategy_(strategy), semantics_(semantics) {}
+
+  void FireTriggers(const ChangeSet& view_changes);
+
+  std::unique_ptr<Maintainer> impl_;
+  Strategy strategy_;
+  Semantics semantics_;
+  struct Subscription {
+    std::string view;
+    ViewTrigger trigger;
+  };
+  std::map<int, Subscription> subscriptions_;
+  int next_subscription_id_ = 1;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_VIEW_MANAGER_H_

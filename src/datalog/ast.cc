@@ -1,0 +1,182 @@
+#include "datalog/ast.h"
+
+#include "common/logging.h"
+
+namespace ivm {
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.var_name_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value v) {
+  Term t;
+  t.kind_ = Kind::kConstant;
+  t.constant_ = std::move(v);
+  return t;
+}
+
+Term Term::Arith(ArithOp op, Term lhs, Term rhs) {
+  Term t;
+  t.kind_ = Kind::kArith;
+  t.arith_op_ = op;
+  t.lhs_ = std::make_shared<Term>(std::move(lhs));
+  t.rhs_ = std::make_shared<Term>(std::move(rhs));
+  return t;
+}
+
+void Term::CollectVarNames(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      out->push_back(var_name_);
+      return;
+    case Kind::kConstant:
+      return;
+    case Kind::kArith:
+      lhs_->CollectVarNames(out);
+      rhs_->CollectVarNames(out);
+      return;
+  }
+}
+
+void Term::CollectVars(std::vector<VarId>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      IVM_CHECK_NE(var_, kUnassignedVar) << "variable " << var_name_
+                                         << " not assigned; run Analyze()";
+      out->push_back(var_);
+      return;
+    case Kind::kConstant:
+      return;
+    case Kind::kArith:
+      lhs_->CollectVars(out);
+      rhs_->CollectVars(out);
+      return;
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return var_name_;
+    case Kind::kConstant:
+      return constant_.ToString();
+    case Kind::kArith: {
+      const char* op = "?";
+      switch (arith_op_) {
+        case ArithOp::kAdd: op = " + "; break;
+        case ArithOp::kSub: op = " - "; break;
+        case ArithOp::kMul: op = " * "; break;
+        case ArithOp::kDiv: op = " / "; break;
+      }
+      return "(" + lhs_->ToString() + op + rhs_->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const char* ComparisonOpName(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq: return "=";
+    case ComparisonOp::kNe: return "!=";
+    case ComparisonOp::kLt: return "<";
+    case ComparisonOp::kLe: return "<=";
+    case ComparisonOp::kGt: return ">";
+    case ComparisonOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* AggregateFuncName(AggregateFunc f) {
+  switch (f) {
+    case AggregateFunc::kMin: return "min";
+    case AggregateFunc::kMax: return "max";
+    case AggregateFunc::kSum: return "sum";
+    case AggregateFunc::kCount: return "count";
+    case AggregateFunc::kAvg: return "avg";
+  }
+  return "?";
+}
+
+Literal Literal::Positive(Atom a) {
+  Literal l;
+  l.kind = Kind::kPositive;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Negated(Atom a) {
+  Literal l;
+  l.kind = Kind::kNegated;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Comparison(ComparisonOp op, Term lhs, Term rhs) {
+  Literal l;
+  l.kind = Kind::kComparison;
+  l.cmp_op = op;
+  l.cmp_lhs = std::move(lhs);
+  l.cmp_rhs = std::move(rhs);
+  return l;
+}
+
+Literal Literal::Aggregate(Atom grouped, std::vector<Term> group_vars,
+                           Term result_var, AggregateFunc func, Term arg) {
+  Literal l;
+  l.kind = Kind::kAggregate;
+  l.atom = std::move(grouped);
+  l.group_vars = std::move(group_vars);
+  l.result_var = std::move(result_var);
+  l.agg_func = func;
+  l.agg_arg = std::move(arg);
+  return l;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kPositive:
+      return atom.ToString();
+    case Kind::kNegated:
+      return "!" + atom.ToString();
+    case Kind::kComparison:
+      return cmp_lhs.ToString() + " " + ComparisonOpName(cmp_op) + " " +
+             cmp_rhs.ToString();
+    case Kind::kAggregate: {
+      std::string out = "groupby(" + atom.ToString() + ", [";
+      for (size_t i = 0; i < group_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_vars[i].ToString();
+      }
+      out += "], " + result_var.ToString() + " = ";
+      out += AggregateFuncName(agg_func);
+      out += "(" + agg_arg.ToString() + "))";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString() + " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += body[i].ToString();
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace ivm

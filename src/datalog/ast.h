@@ -1,0 +1,137 @@
+#ifndef IVM_DATALOG_AST_H_
+#define IVM_DATALOG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ivm {
+
+/// Resolved predicate identifier (index into Program's predicate table).
+using PredicateId = int32_t;
+/// Per-rule variable slot assigned during Program::Analyze().
+using VarId = int32_t;
+
+constexpr PredicateId kUnresolvedPredicate = -1;
+constexpr VarId kUnassignedVar = -1;
+
+/// Arithmetic operators usable inside terms (e.g. hop(S,D,C1+C2)).
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// A term: variable, constant, or arithmetic expression over terms.
+/// Terms are value types; arithmetic children are shared_ptr so Term stays
+/// copyable (rules are copied freely during compilation).
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant, kArith };
+
+  /// Builds a variable term from its source name (e.g. "X").
+  static Term Var(std::string name);
+  static Term Const(Value v);
+  static Term Arith(ArithOp op, Term lhs, Term rhs);
+
+  Kind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ == Kind::kConstant; }
+  bool IsArith() const { return kind_ == Kind::kArith; }
+
+  const std::string& var_name() const { return var_name_; }
+  /// Variable slot; valid only after Program::Analyze().
+  VarId var() const { return var_; }
+  void set_var(VarId v) { var_ = v; }
+
+  const Value& constant() const { return constant_; }
+
+  ArithOp arith_op() const { return arith_op_; }
+  const Term& lhs() const { return *lhs_; }
+  const Term& rhs() const { return *rhs_; }
+  Term& mutable_lhs() { return *lhs_; }
+  Term& mutable_rhs() { return *rhs_; }
+
+  /// Appends the names of all variables in this term (with repetitions).
+  void CollectVarNames(std::vector<std::string>* out) const;
+  /// Appends all assigned VarIds in this term (with repetitions).
+  void CollectVars(std::vector<VarId>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  Term() = default;
+
+  Kind kind_ = Kind::kConstant;
+  std::string var_name_;
+  VarId var_ = kUnassignedVar;
+  Value constant_;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::shared_ptr<Term> lhs_;
+  std::shared_ptr<Term> rhs_;
+};
+
+/// p(t1, ..., tn). `pred` is resolved by Program::Analyze().
+struct Atom {
+  std::string predicate;
+  PredicateId pred = kUnresolvedPredicate;
+  std::vector<Term> terms;
+
+  size_t arity() const { return terms.size(); }
+  std::string ToString() const;
+};
+
+enum class ComparisonOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* ComparisonOpName(ComparisonOp op);
+
+enum class AggregateFunc { kMin, kMax, kSum, kCount, kAvg };
+const char* AggregateFuncName(AggregateFunc f);
+
+/// A body literal: positive atom, negated atom (safe stratified negation,
+/// Section 6.1), built-in comparison, or a GROUPBY aggregate subgoal
+/// (Section 6.2):
+///   GROUPBY( u(args) , [G1,...,Gk] , R = FUNC(expr) )
+/// The aggregate literal defines a relation over (G1,...,Gk,R) with one
+/// tuple per distinct grouping value.
+struct Literal {
+  enum class Kind { kPositive, kNegated, kComparison, kAggregate };
+
+  Kind kind = Kind::kPositive;
+
+  /// Atom payload for kPositive/kNegated; the grouped atom for kAggregate.
+  Atom atom;
+
+  // kComparison payload.
+  ComparisonOp cmp_op = ComparisonOp::kEq;
+  Term cmp_lhs = Term::Const(Value::Null());
+  Term cmp_rhs = Term::Const(Value::Null());
+
+  // kAggregate payload.
+  std::vector<Term> group_vars;  // variables only
+  Term result_var = Term::Const(Value::Null());  // variable
+  AggregateFunc agg_func = AggregateFunc::kCount;
+  Term agg_arg = Term::Const(Value::Null());  // expr over the atom's vars
+
+  static Literal Positive(Atom a);
+  static Literal Negated(Atom a);
+  static Literal Comparison(ComparisonOp op, Term lhs, Term rhs);
+  static Literal Aggregate(Atom grouped, std::vector<Term> group_vars,
+                           Term result_var, AggregateFunc func, Term arg);
+
+  bool IsAtomBased() const {
+    return kind == Kind::kPositive || kind == Kind::kNegated ||
+           kind == Kind::kAggregate;
+  }
+
+  std::string ToString() const;
+};
+
+/// head :- body1 & ... & bodyn.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+
+  std::string ToString() const;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_DATALOG_AST_H_

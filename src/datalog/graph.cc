@@ -1,0 +1,177 @@
+#include "datalog/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ivm {
+
+void DependencyGraph::AddEdge(int from, int to, bool negative) {
+  IVM_CHECK_GE(from, 0);
+  IVM_CHECK_LT(from, num_nodes());
+  IVM_CHECK_GE(to, 0);
+  IVM_CHECK_LT(to, num_nodes());
+  adj_[from].push_back(to);
+  if (negative) neg_[from].push_back(to);
+}
+
+bool DependencyGraph::EdgeIsNegative(int from, int to) const {
+  return std::find(neg_[from].begin(), neg_[from].end(), to) != neg_[from].end();
+}
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack so deep programs don't overflow the
+/// call stack).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const DependencyGraph& graph)
+      : graph_(graph),
+        index_(graph.num_nodes(), -1),
+        lowlink_(graph.num_nodes(), 0),
+        on_stack_(graph.num_nodes(), false) {}
+
+  SccResult Run() {
+    for (int v = 0; v < graph_.num_nodes(); ++v) {
+      if (index_[v] == -1) Visit(v);
+    }
+    SccResult out;
+    out.component_of = component_of_;
+    out.num_components = num_components_;
+    out.members.resize(num_components_);
+    for (int v = 0; v < graph_.num_nodes(); ++v) {
+      out.members[component_of_[v]].push_back(v);
+    }
+    out.recursive.assign(num_components_, false);
+    for (int c = 0; c < num_components_; ++c) {
+      if (out.members[c].size() > 1) {
+        out.recursive[c] = true;
+        continue;
+      }
+      int v = out.members[c][0];
+      for (int w : graph_.Successors(v)) {
+        if (w == v) out.recursive[c] = true;
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Frame {
+    int node;
+    size_t next_child;
+  };
+
+  void Visit(int root) {
+    std::vector<Frame> frames{{root, 0}};
+    StartNode(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::vector<int>& succ = graph_.Successors(frame.node);
+      if (frame.next_child < succ.size()) {
+        int w = succ[frame.next_child++];
+        if (index_[w] == -1) {
+          StartNode(w);
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack_[w]) {
+          lowlink_[frame.node] = std::min(lowlink_[frame.node], index_[w]);
+        }
+      } else {
+        int v = frame.node;
+        if (lowlink_[v] == index_[v]) {
+          while (true) {
+            int w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            component_of_.resize(graph_.num_nodes());
+            component_of_[w] = num_components_;
+            if (w == v) break;
+          }
+          ++num_components_;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+        }
+      }
+    }
+  }
+
+  void StartNode(int v) {
+    index_[v] = lowlink_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const DependencyGraph& graph_;
+  std::vector<int> index_;
+  std::vector<int> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<int> stack_;
+  std::vector<int> component_of_ = std::vector<int>();
+  int next_index_ = 0;
+  int num_components_ = 0;
+};
+
+}  // namespace
+
+SccResult ComputeScc(const DependencyGraph& graph) {
+  if (graph.num_nodes() == 0) return SccResult{};
+  return TarjanScc(graph).Run();
+}
+
+Result<std::vector<int>> ComputeStrata(const DependencyGraph& graph,
+                                       const SccResult& scc,
+                                       const std::vector<bool>& is_base) {
+  const int n = graph.num_nodes();
+  // Reject negative edges inside an SCC (recursion through negation or
+  // aggregation).
+  for (int v = 0; v < n; ++v) {
+    for (int w : graph.Successors(v)) {
+      if (scc.component_of[v] == scc.component_of[w] &&
+          graph.EdgeIsNegative(v, w)) {
+        return Status::InvalidArgument(
+            "program is not stratifiable: recursion through negation or "
+            "aggregation");
+      }
+    }
+  }
+  // Longest-path levels over the condensation: derived components start at
+  // level 1, components holding only base predicates at level 0, and every
+  // cross-SCC dependency forces a strictly larger level (Definition 3.1 makes
+  // strata strictly increase along dependencies; only the partial order
+  // matters for evaluation, so independent predicates may share a level).
+  std::vector<int> comp_level(scc.num_components, 0);
+  for (int c = 0; c < scc.num_components; ++c) {
+    for (int v : scc.members[c]) {
+      if (!is_base[v]) comp_level[c] = 1;
+    }
+  }
+  // Tarjan assigns smaller component ids to successors, so descending id
+  // order is a topological order; one pass of relaxation suffices, but we
+  // keep iterating to a fixpoint for robustness.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int u = 0; u < n; ++u) {
+      for (int v : graph.Successors(u)) {
+        int cu = scc.component_of[u];
+        int cv = scc.component_of[v];
+        if (cu == cv) continue;
+        int required = comp_level[cu] + 1;
+        if (comp_level[cv] < required) {
+          comp_level[cv] = required;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<int> strata(n);
+  for (int v = 0; v < n; ++v) {
+    strata[v] = is_base[v] ? 0 : comp_level[scc.component_of[v]];
+  }
+  return strata;
+}
+
+}  // namespace ivm

@@ -1,0 +1,57 @@
+#ifndef IVM_DATALOG_GRAPH_H_
+#define IVM_DATALOG_GRAPH_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace ivm {
+
+/// Predicate dependency graph: node q has an edge to node p when q occurs in
+/// the body of a rule defining p. Edges through negation or aggregation are
+/// marked non-monotonic ("negative") — they must cross strata (Section 6).
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(int num_nodes) : adj_(num_nodes), neg_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  /// Adds edge from -> to; `negative` marks a non-monotonic dependency.
+  void AddEdge(int from, int to, bool negative);
+
+  const std::vector<int>& Successors(int node) const { return adj_[node]; }
+  bool EdgeIsNegative(int from, int to) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> neg_;  // successors via negative edges
+};
+
+/// Strongly connected components (Tarjan). Components are numbered in
+/// reverse topological order of the condensation... normalized so that
+/// `component_of[n]` is comparable only via the `order` field.
+struct SccResult {
+  /// Component id per node.
+  std::vector<int> component_of;
+  int num_components = 0;
+  /// Members of each component.
+  std::vector<std::vector<int>> members;
+  /// True when the component has >1 member or a self-loop (a recursive SCC).
+  std::vector<bool> recursive;
+};
+
+SccResult ComputeScc(const DependencyGraph& graph);
+
+/// Assigns a stratum number to every node (Definition 3.1): nodes with no
+/// incoming edges (base predicates) get 0; every SCC gets
+/// 1 + max(stratum of cross-SCC predecessors) ... except SCCs consisting of a
+/// single base node, which stay 0 (callers pass which nodes are base).
+/// Errors if a negative edge connects two nodes of the same SCC
+/// (unstratifiable negation/aggregation).
+Result<std::vector<int>> ComputeStrata(const DependencyGraph& graph,
+                                       const SccResult& scc,
+                                       const std::vector<bool>& is_base);
+
+}  // namespace ivm
+
+#endif  // IVM_DATALOG_GRAPH_H_

@@ -1,0 +1,243 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace ivm {
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kIdent:
+    case TokenType::kVariable:
+      return "'" + text + "'";
+    case TokenType::kInt:
+      return std::to_string(int_value);
+    case TokenType::kFloat:
+      return std::to_string(double_value);
+    case TokenType::kString:
+      return "\"" + text + "\"";
+    case TokenType::kEof:
+      return "<end of input>";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.text = LexIdent();
+        tok.type = (std::isupper(static_cast<unsigned char>(tok.text[0])) ||
+                    tok.text[0] == '_')
+                       ? TokenType::kVariable
+                       : TokenType::kIdent;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        IVM_RETURN_IF_ERROR(LexNumber(&tok));
+      } else if (c == '"') {
+        IVM_RETURN_IF_ERROR(LexString(&tok));
+      } else {
+        IVM_RETURN_IF_ERROR(LexPunct(&tok));
+      }
+      out.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.type = TokenType::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    out.push_back(eof);
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%' || (c == '/' && Peek(1) == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string LexIdent() {
+    std::string out;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        out += Advance();
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Status LexNumber(Token* tok) {
+    std::string digits;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+    // A '.' is a decimal point only when followed by a digit; otherwise it
+    // terminates the statement.
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      digits += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      digits += Advance();
+      if (Peek() == '+' || Peek() == '-') digits += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Advance();
+      }
+    }
+    if (is_float) {
+      tok->type = TokenType::kFloat;
+      auto result = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                    tok->double_value);
+      if (result.ec != std::errc()) {
+        return Status::InvalidArgument("bad float literal at line " +
+                                       std::to_string(tok->line));
+      }
+    } else {
+      tok->type = TokenType::kInt;
+      auto result = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                    tok->int_value);
+      if (result.ec != std::errc()) {
+        return Status::InvalidArgument("integer literal out of range at line " +
+                                       std::to_string(tok->line));
+      }
+    }
+    tok->text = digits;
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    Advance();  // opening quote
+    std::string out;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        char e = Advance();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '\\': out += '\\'; break;
+          case '"': out += '"'; break;
+          default: out += e; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (AtEnd()) {
+      return Status::InvalidArgument("unterminated string literal at line " +
+                                     std::to_string(tok->line));
+    }
+    Advance();  // closing quote
+    tok->type = TokenType::kString;
+    tok->text = std::move(out);
+    return Status::OK();
+  }
+
+  Status LexPunct(Token* tok) {
+    char c = Advance();
+    auto two = [&](char next, TokenType two_type, TokenType one_type) {
+      if (Peek() == next) {
+        Advance();
+        tok->type = two_type;
+        tok->text = std::string(1, c) + next;
+      } else {
+        tok->type = one_type;
+        tok->text = std::string(1, c);
+      }
+      return Status::OK();
+    };
+    switch (c) {
+      case '(': tok->type = TokenType::kLParen; tok->text = "("; return Status::OK();
+      case ')': tok->type = TokenType::kRParen; tok->text = ")"; return Status::OK();
+      case '[': tok->type = TokenType::kLBracket; tok->text = "["; return Status::OK();
+      case ']': tok->type = TokenType::kRBracket; tok->text = "]"; return Status::OK();
+      case ',': tok->type = TokenType::kComma; tok->text = ","; return Status::OK();
+      case '.': tok->type = TokenType::kDot; tok->text = "."; return Status::OK();
+      case '&': tok->type = TokenType::kAmp; tok->text = "&"; return Status::OK();
+      case '=': tok->type = TokenType::kEq; tok->text = "="; return Status::OK();
+      case '+': tok->type = TokenType::kPlus; tok->text = "+"; return Status::OK();
+      case '-': tok->type = TokenType::kMinus; tok->text = "-"; return Status::OK();
+      case '*': tok->type = TokenType::kStar; tok->text = "*"; return Status::OK();
+      case '/': tok->type = TokenType::kSlash; tok->text = "/"; return Status::OK();
+      case '!': return two('=', TokenType::kNe, TokenType::kBang);
+      case ':':
+        if (Peek() == '-') {
+          Advance();
+          tok->type = TokenType::kColonDash;
+          tok->text = ":-";
+          return Status::OK();
+        }
+        return Status::InvalidArgument("stray ':' at line " +
+                                       std::to_string(tok->line));
+      case '<':
+        if (Peek() == '>') {
+          Advance();
+          tok->type = TokenType::kNe;
+          tok->text = "<>";
+          return Status::OK();
+        }
+        return two('=', TokenType::kLe, TokenType::kLt);
+      case '>':
+        return two('=', TokenType::kGe, TokenType::kGt);
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at line " +
+                                       std::to_string(tok->line));
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  return Lexer(src).Run();
+}
+
+}  // namespace ivm

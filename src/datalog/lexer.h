@@ -1,0 +1,59 @@
+#ifndef IVM_DATALOG_LEXER_H_
+#define IVM_DATALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ivm {
+
+/// Token kinds for the Datalog surface syntax. Identifiers starting with an
+/// uppercase letter or '_' are variables; lowercase identifiers are
+/// predicate names, keywords, or symbol constants depending on context.
+enum class TokenType {
+  kIdent,      // lowercase identifier
+  kVariable,   // Uppercase / _ identifier
+  kInt,
+  kFloat,
+  kString,     // "quoted"
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDot,
+  kColonDash,  // :-
+  kAmp,        // &
+  kBang,       // !
+  kEq,         // =
+  kNe,         // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       // identifier / literal text (unquoted for strings)
+  int64_t int_value = 0;  // for kInt
+  double double_value = 0;  // for kFloat
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes Datalog source. Comments: '%' or '//' to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view src);
+
+}  // namespace ivm
+
+#endif  // IVM_DATALOG_LEXER_H_

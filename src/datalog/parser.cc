@@ -1,0 +1,313 @@
+#include "datalog/parser.h"
+
+#include "common/string_util.h"
+#include "datalog/lexer.h"
+
+namespace ivm {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgramTokens() {
+    Program program;
+    while (!Check(TokenType::kEof)) {
+      if (CheckIdent("base") || CheckIdent("edb")) {
+        Advance();
+        IVM_RETURN_IF_ERROR(ParseBaseDecl(&program));
+      } else {
+        IVM_ASSIGN_OR_RETURN(Rule rule, ParseRuleBody());
+        IVM_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.' after rule"));
+        IVM_RETURN_IF_ERROR(program.AddRule(std::move(rule)).status());
+      }
+    }
+    IVM_RETURN_IF_ERROR(program.Analyze());
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    IVM_ASSIGN_OR_RETURN(Rule rule, ParseRuleBody());
+    if (Check(TokenType::kDot)) Advance();
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kEof, "end of input after rule"));
+    return rule;
+  }
+
+  Result<std::vector<std::pair<std::string, Tuple>>> ParseFacts() {
+    std::vector<std::pair<std::string, Tuple>> out;
+    while (!Check(TokenType::kEof)) {
+      IVM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      IVM_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.' after fact"));
+      std::vector<Value> values;
+      values.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) {
+        if (!t.IsConstant()) {
+          return Status::InvalidArgument("fact " + atom.ToString() +
+                                         " is not ground");
+        }
+        values.push_back(t.constant());
+      }
+      out.emplace_back(atom.predicate, Tuple(std::move(values)));
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool CheckIdent(std::string_view kw) const {
+    return Peek().type == TokenType::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenType t, const std::string& what) {
+    if (Match(t)) return Status::OK();
+    return Errf("expected " + what);
+  }
+  Status Errf(const std::string& msg) const {
+    return Status::InvalidArgument(msg + ", got " + Peek().Describe() +
+                                   " at line " + std::to_string(Peek().line) +
+                                   ":" + std::to_string(Peek().column));
+  }
+
+  Status ParseBaseDecl(Program* program) {
+    if (!Check(TokenType::kIdent)) return Errf("expected base relation name");
+    std::string name = Advance().text;
+    // Either `base p/2.` or `base p(Col1, Col2).`
+    if (Match(TokenType::kSlash)) {
+      if (!Check(TokenType::kInt)) return Errf("expected arity after '/'");
+      int64_t arity = Advance().int_value;
+      if (arity < 0) return Errf("negative arity");
+      IVM_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.' after declaration"));
+      return program->DeclareBase(name, static_cast<size_t>(arity)).status();
+    }
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' in base declaration"));
+    std::vector<std::string> columns;
+    if (!Check(TokenType::kRParen)) {
+      do {
+        if (!Check(TokenType::kVariable) && !Check(TokenType::kIdent)) {
+          return Errf("expected column name");
+        }
+        columns.push_back(Advance().text);
+      } while (Match(TokenType::kComma));
+    }
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')' in base declaration"));
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.' after declaration"));
+    return program->DeclareBase(name, std::move(columns)).status();
+  }
+
+  Result<Rule> ParseRuleBody() {
+    Rule rule;
+    IVM_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kColonDash, "':-' after rule head"));
+    do {
+      IVM_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      rule.body.push_back(std::move(lit));
+    } while (Match(TokenType::kComma) || Match(TokenType::kAmp));
+    return rule;
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (Match(TokenType::kBang)) {
+      IVM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      return Literal::Negated(std::move(atom));
+    }
+    if (CheckIdent("not")) {
+      Advance();
+      IVM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      return Literal::Negated(std::move(atom));
+    }
+    if (CheckIdent("groupby") && Peek(1).type == TokenType::kLParen) {
+      return ParseAggregate();
+    }
+    // Positive atom: identifier followed by '('... but an identifier can also
+    // start a comparison ("sym != X"); atoms win when followed by '(' and the
+    // closing paren is not followed by a comparison operator — atoms are not
+    // comparable values, so we can decide purely on ident+'('.
+    if (Check(TokenType::kIdent) && Peek(1).type == TokenType::kLParen) {
+      IVM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      return Literal::Positive(std::move(atom));
+    }
+    // Otherwise: comparison between expressions.
+    IVM_ASSIGN_OR_RETURN(Term lhs, ParseExpr());
+    ComparisonOp op;
+    switch (Peek().type) {
+      case TokenType::kEq: op = ComparisonOp::kEq; break;
+      case TokenType::kNe: op = ComparisonOp::kNe; break;
+      case TokenType::kLt: op = ComparisonOp::kLt; break;
+      case TokenType::kLe: op = ComparisonOp::kLe; break;
+      case TokenType::kGt: op = ComparisonOp::kGt; break;
+      case TokenType::kGe: op = ComparisonOp::kGe; break;
+      default:
+        return Errf("expected comparison operator");
+    }
+    Advance();
+    IVM_ASSIGN_OR_RETURN(Term rhs, ParseExpr());
+    return Literal::Comparison(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Literal> ParseAggregate() {
+    Advance();  // groupby
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' after groupby"));
+    IVM_ASSIGN_OR_RETURN(Atom grouped, ParseAtom());
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kComma, "',' after grouped atom"));
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kLBracket, "'[' starting group list"));
+    std::vector<Term> group_vars;
+    if (!Check(TokenType::kRBracket)) {
+      do {
+        if (!Check(TokenType::kVariable)) {
+          return Errf("expected grouping variable");
+        }
+        group_vars.push_back(Term::Var(Advance().text));
+      } while (Match(TokenType::kComma));
+    }
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "']' ending group list"));
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kComma, "',' after group list"));
+    if (!Check(TokenType::kVariable)) return Errf("expected result variable");
+    Term result_var = Term::Var(Advance().text);
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kEq, "'=' in aggregate"));
+    if (!Check(TokenType::kIdent)) return Errf("expected aggregate function");
+    std::string func_name = AsciiLower(Advance().text);
+    AggregateFunc func;
+    if (func_name == "min") {
+      func = AggregateFunc::kMin;
+    } else if (func_name == "max") {
+      func = AggregateFunc::kMax;
+    } else if (func_name == "sum") {
+      func = AggregateFunc::kSum;
+    } else if (func_name == "count") {
+      func = AggregateFunc::kCount;
+    } else if (func_name == "avg" || func_name == "average") {
+      func = AggregateFunc::kAvg;
+    } else {
+      return Errf("unknown aggregate function '" + func_name + "'");
+    }
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' after aggregate function"));
+    Term arg = Term::Const(Value::Int(1));
+    if (func == AggregateFunc::kCount && Check(TokenType::kStar)) {
+      Advance();  // count(*) counts tuples
+    } else {
+      IVM_ASSIGN_OR_RETURN(arg, ParseExpr());
+    }
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')' after aggregate argument"));
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')' closing groupby"));
+    return Literal::Aggregate(std::move(grouped), std::move(group_vars),
+                              std::move(result_var), func, std::move(arg));
+  }
+
+  Result<Atom> ParseAtom() {
+    if (!Check(TokenType::kIdent)) return Errf("expected predicate name");
+    Atom atom;
+    atom.predicate = Advance().text;
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' after predicate name"));
+    if (!Check(TokenType::kRParen)) {
+      do {
+        IVM_ASSIGN_OR_RETURN(Term t, ParseExpr());
+        atom.terms.push_back(std::move(t));
+      } while (Match(TokenType::kComma));
+    }
+    IVM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')' after atom arguments"));
+    return atom;
+  }
+
+  Result<Term> ParseExpr() { return ParseAddExpr(); }
+
+  Result<Term> ParseAddExpr() {
+    IVM_ASSIGN_OR_RETURN(Term lhs, ParseMulExpr());
+    while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+      ArithOp op = Check(TokenType::kPlus) ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      IVM_ASSIGN_OR_RETURN(Term rhs, ParseMulExpr());
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParseMulExpr() {
+    IVM_ASSIGN_OR_RETURN(Term lhs, ParsePrimary());
+    while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+      ArithOp op = Check(TokenType::kStar) ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      IVM_ASSIGN_OR_RETURN(Term rhs, ParsePrimary());
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParsePrimary() {
+    switch (Peek().type) {
+      case TokenType::kVariable:
+        return Term::Var(Advance().text);
+      case TokenType::kInt: {
+        int64_t v = Advance().int_value;
+        return Term::Const(Value::Int(v));
+      }
+      case TokenType::kFloat: {
+        double v = Advance().double_value;
+        return Term::Const(Value::Real(v));
+      }
+      case TokenType::kString: {
+        std::string v = Advance().text;
+        return Term::Const(Value::Str(std::move(v)));
+      }
+      case TokenType::kIdent: {
+        // Lowercase identifiers in term position are symbol constants.
+        std::string v = Advance().text;
+        return Term::Const(Value::Str(std::move(v)));
+      }
+      case TokenType::kMinus: {
+        Advance();
+        if (Check(TokenType::kInt)) {
+          return Term::Const(Value::Int(-Advance().int_value));
+        }
+        if (Check(TokenType::kFloat)) {
+          return Term::Const(Value::Real(-Advance().double_value));
+        }
+        IVM_ASSIGN_OR_RETURN(Term t, ParsePrimary());
+        return Term::Arith(ArithOp::kSub, Term::Const(Value::Int(0)),
+                           std::move(t));
+      }
+      case TokenType::kLParen: {
+        Advance();
+        IVM_ASSIGN_OR_RETURN(Term t, ParseExpr());
+        IVM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')' closing expression"));
+        return t;
+      }
+      default:
+        return Errf("expected a term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view src) {
+  IVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  return Parser(std::move(tokens)).ParseProgramTokens();
+}
+
+Result<Rule> ParseRule(std::string_view src) {
+  IVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  return Parser(std::move(tokens)).ParseSingleRule();
+}
+
+Result<std::vector<std::pair<std::string, Tuple>>> ParseGroundFacts(
+    std::string_view src) {
+  IVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  return Parser(std::move(tokens)).ParseFacts();
+}
+
+}  // namespace ivm

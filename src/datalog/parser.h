@@ -1,0 +1,42 @@
+#ifndef IVM_DATALOG_PARSER_H_
+#define IVM_DATALOG_PARSER_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+
+namespace ivm {
+
+/// Parses a Datalog program:
+///
+///   % base relation declarations (column names give documentation + arity)
+///   base link(Src, Dst).
+///   % rules; ',' and '&' both separate body literals
+///   hop(X, Y) :- link(X, Z) & link(Z, Y).
+///   only_tri_hop(X, Y) :- tri_hop(X, Y), !hop(X, Y).
+///   min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).
+///   expensive(S, D) :- hop(S, D, C), C > 10.
+///
+/// Variables start with an uppercase letter or '_'; lowercase identifiers in
+/// term position are symbol constants (strings). Comments: '%' or '//'.
+/// The returned program is fully analyzed (resolved, stratified,
+/// safety-checked).
+Result<Program> ParseProgram(std::string_view src);
+
+/// Parses a single rule (without trailing '.') against no catalog; for tests
+/// and programmatic construction. Predicates are left unresolved.
+Result<Rule> ParseRule(std::string_view src);
+
+/// Parses ground facts, e.g. "link(a, b). link(b, c). cost(a, b, 3)."
+/// Returns (relation name, tuple) pairs; symbols become string values.
+Result<std::vector<std::pair<std::string, Tuple>>> ParseGroundFacts(
+    std::string_view src);
+
+}  // namespace ivm
+
+#endif  // IVM_DATALOG_PARSER_H_

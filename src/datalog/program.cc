@@ -1,0 +1,324 @@
+#include "datalog/program.h"
+
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "datalog/safety.h"
+
+namespace ivm {
+
+namespace {
+
+/// Recursively assigns VarIds to variables in a term. '_' gets a fresh slot
+/// per occurrence (it never joins).
+void AssignTermVars(Term* term, std::map<std::string, VarId>* vars,
+                    int* next_var) {
+  switch (term->kind()) {
+    case Term::Kind::kVariable: {
+      const std::string& name = term->var_name();
+      if (name == "_") {
+        term->set_var((*next_var)++);
+        return;
+      }
+      auto [it, inserted] = vars->try_emplace(name, *next_var);
+      if (inserted) ++(*next_var);
+      term->set_var(it->second);
+      return;
+    }
+    case Term::Kind::kConstant:
+      return;
+    case Term::Kind::kArith:
+      AssignTermVars(&term->mutable_lhs(), vars, next_var);
+      AssignTermVars(&term->mutable_rhs(), vars, next_var);
+      return;
+  }
+}
+
+}  // namespace
+
+Result<PredicateId> Program::DeclareBase(const std::string& name,
+                                         size_t arity) {
+  return DeclareBase(name, std::vector<std::string>(arity));
+}
+
+Result<PredicateId> Program::DeclareBase(const std::string& name,
+                                         std::vector<std::string> columns) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return Status::AlreadyExists("predicate '" + name + "' already declared");
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  PredicateInfo info;
+  info.name = name;
+  info.arity = columns.size();
+  info.is_base = true;
+  info.stratum = 0;
+  info.columns = std::move(columns);
+  predicates_.push_back(std::move(info));
+  by_name_[name] = id;
+  analyzed_ = false;
+  return id;
+}
+
+Result<int> Program::AddRule(Rule rule) {
+  if (rule.body.empty()) {
+    return Status::InvalidArgument(
+        "rules must have a non-empty body (facts belong in base relations): " +
+        rule.ToString());
+  }
+  rules_.push_back(std::move(rule));
+  analyzed_ = false;
+  return static_cast<int>(rules_.size()) - 1;
+}
+
+Status Program::RemoveRule(int rule_index) {
+  if (rule_index < 0 || rule_index >= static_cast<int>(rules_.size())) {
+    return Status::NotFound("no rule with index " + std::to_string(rule_index));
+  }
+  rules_.erase(rules_.begin() + rule_index);
+  analyzed_ = false;
+  return Status::OK();
+}
+
+Result<PredicateId> Program::Intern(const std::string& name, size_t arity,
+                                    bool from_head) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    PredicateInfo& info = predicates_[it->second];
+    if (info.arity != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + name + "' used with arity " + std::to_string(arity) +
+          " but declared with arity " + std::to_string(info.arity));
+    }
+    if (from_head && info.is_base) {
+      return Status::InvalidArgument("cannot define rules for base relation '" +
+                                     name + "'");
+    }
+    return it->second;
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  PredicateInfo info;
+  info.name = name;
+  info.arity = arity;
+  info.is_base = false;
+  predicates_.push_back(std::move(info));
+  by_name_[name] = id;
+  return id;
+}
+
+Status Program::ResolveAtom(Atom* atom, bool is_head) {
+  IVM_ASSIGN_OR_RETURN(atom->pred,
+                       Intern(atom->predicate, atom->terms.size(), is_head));
+  return Status::OK();
+}
+
+Status Program::ResolveRule(int rule_index) {
+  Rule& rule = rules_[rule_index];
+  IVM_RETURN_IF_ERROR(ResolveAtom(&rule.head, /*is_head=*/true));
+  for (Literal& lit : rule.body) {
+    if (lit.IsAtomBased()) {
+      IVM_RETURN_IF_ERROR(ResolveAtom(&lit.atom, /*is_head=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status Program::AssignVars(int rule_index) {
+  Rule& rule = rules_[rule_index];
+  std::map<std::string, VarId> vars;
+  int next_var = 0;
+  for (Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+      case Literal::Kind::kNegated:
+        for (Term& t : lit.atom.terms) AssignTermVars(&t, &vars, &next_var);
+        break;
+      case Literal::Kind::kComparison:
+        AssignTermVars(&lit.cmp_lhs, &vars, &next_var);
+        AssignTermVars(&lit.cmp_rhs, &vars, &next_var);
+        break;
+      case Literal::Kind::kAggregate:
+        for (Term& t : lit.atom.terms) AssignTermVars(&t, &vars, &next_var);
+        for (Term& t : lit.group_vars) AssignTermVars(&t, &vars, &next_var);
+        AssignTermVars(&lit.result_var, &vars, &next_var);
+        AssignTermVars(&lit.agg_arg, &vars, &next_var);
+        break;
+    }
+  }
+  for (Term& t : rule.head.terms) AssignTermVars(&t, &vars, &next_var);
+  rule_num_vars_[rule_index] = next_var;
+  return Status::OK();
+}
+
+Status Program::BuildStrata() {
+  const int n = static_cast<int>(predicates_.size());
+  DependencyGraph graph(n);
+  std::vector<bool> is_base(n, false);
+  for (int p = 0; p < n; ++p) {
+    is_base[p] = predicates_[p].is_base;
+    predicates_[p].rules.clear();
+  }
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const Rule& rule = rules_[r];
+    predicates_[rule.head.pred].rules.push_back(static_cast<int>(r));
+    for (const Literal& lit : rule.body) {
+      if (!lit.IsAtomBased()) continue;
+      bool negative = lit.kind == Literal::Kind::kNegated ||
+                      lit.kind == Literal::Kind::kAggregate;
+      graph.AddEdge(lit.atom.pred, rule.head.pred, negative);
+    }
+  }
+  SccResult scc = ComputeScc(graph);
+  IVM_ASSIGN_OR_RETURN(std::vector<int> strata,
+                       ComputeStrata(graph, scc, is_base));
+
+  max_stratum_ = 0;
+  recursive_ = false;
+  for (int p = 0; p < n; ++p) {
+    predicates_[p].stratum = strata[p];
+    predicates_[p].recursive = scc.recursive[scc.component_of[p]];
+    if (predicates_[p].recursive) recursive_ = true;
+    if (strata[p] > max_stratum_) max_stratum_ = strata[p];
+  }
+
+  stratum_rules_.assign(max_stratum_ + 1, {});
+  stratum_predicates_.assign(max_stratum_ + 1, {});
+  stratum_recursive_.assign(max_stratum_ + 1, false);
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    // RSN(r) = SN(head predicate); analyzed_ is not yet set, so read the
+    // stratum directly instead of going through rule_stratum().
+    int rsn = predicates_[rules_[r].head.pred].stratum;
+    stratum_rules_[rsn].push_back(static_cast<int>(r));
+  }
+  for (int p = 0; p < n; ++p) {
+    if (predicates_[p].is_base) continue;
+    stratum_predicates_[predicates_[p].stratum].push_back(p);
+    if (predicates_[p].recursive) {
+      stratum_recursive_[predicates_[p].stratum] = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status Program::Analyze() {
+  if (analyzed_) return Status::OK();
+  rule_num_vars_.assign(rules_.size(), 0);
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    IVM_RETURN_IF_ERROR(ResolveRule(static_cast<int>(r)));
+    IVM_RETURN_IF_ERROR(AssignVars(static_cast<int>(r)));
+  }
+  // A derived predicate that is referenced in a body needs at least one rule
+  // (otherwise it is almost certainly a typo or an undeclared base relation).
+  // Ruleless *unreferenced* derived predicates are tolerated as empty views —
+  // RemoveRule can legitimately leave a view with no rules.
+  std::vector<bool> has_rule(predicates_.size(), false);
+  std::vector<bool> referenced(predicates_.size(), false);
+  for (const Rule& rule : rules_) {
+    has_rule[rule.head.pred] = true;
+    for (const Literal& lit : rule.body) {
+      if (lit.IsAtomBased()) referenced[lit.atom.pred] = true;
+    }
+  }
+  for (size_t p = 0; p < predicates_.size(); ++p) {
+    if (!predicates_[p].is_base && !has_rule[p] && referenced[p]) {
+      return Status::InvalidArgument(
+          "predicate '" + predicates_[p].name +
+          "' is used in a rule body but is neither declared base nor defined "
+          "by any rule");
+    }
+  }
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    IVM_RETURN_IF_ERROR(
+        CheckRuleSafety(rules_[r], rule_num_vars_[r]));
+  }
+  IVM_RETURN_IF_ERROR(BuildStrata());
+  analyzed_ = true;
+  return Status::OK();
+}
+
+Result<PredicateId> Program::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown predicate '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Program::HasPredicate(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+const PredicateInfo& Program::predicate(PredicateId id) const {
+  IVM_CHECK_GE(id, 0);
+  IVM_CHECK_LT(static_cast<size_t>(id), predicates_.size());
+  return predicates_[id];
+}
+
+std::vector<PredicateId> Program::BasePredicates() const {
+  std::vector<PredicateId> out;
+  for (size_t p = 0; p < predicates_.size(); ++p) {
+    if (predicates_[p].is_base) out.push_back(static_cast<PredicateId>(p));
+  }
+  return out;
+}
+
+std::vector<PredicateId> Program::DerivedPredicates() const {
+  std::vector<PredicateId> out;
+  for (size_t p = 0; p < predicates_.size(); ++p) {
+    if (!predicates_[p].is_base) out.push_back(static_cast<PredicateId>(p));
+  }
+  return out;
+}
+
+const Rule& Program::rule(int index) const {
+  IVM_CHECK_GE(index, 0);
+  IVM_CHECK_LT(static_cast<size_t>(index), rules_.size());
+  return rules_[index];
+}
+
+int Program::num_vars(int index) const {
+  IVM_CHECK(analyzed_) << "Analyze() not run";
+  IVM_CHECK_LT(static_cast<size_t>(index), rule_num_vars_.size());
+  return rule_num_vars_[index];
+}
+
+int Program::rule_stratum(int index) const {
+  IVM_CHECK(analyzed_) << "Analyze() not run";
+  return predicates_[rule(index).head.pred].stratum;
+}
+
+const std::vector<int>& Program::rules_in_stratum(int s) const {
+  IVM_CHECK(analyzed_) << "Analyze() not run";
+  IVM_CHECK_GE(s, 0);
+  IVM_CHECK_LE(s, max_stratum_);
+  return stratum_rules_[s];
+}
+
+const std::vector<PredicateId>& Program::predicates_in_stratum(int s) const {
+  IVM_CHECK(analyzed_) << "Analyze() not run";
+  IVM_CHECK_GE(s, 0);
+  IVM_CHECK_LE(s, max_stratum_);
+  return stratum_predicates_[s];
+}
+
+bool Program::StratumIsRecursive(int s) const {
+  IVM_CHECK(analyzed_) << "Analyze() not run";
+  IVM_CHECK_GE(s, 0);
+  IVM_CHECK_LE(s, max_stratum_);
+  return stratum_recursive_[s];
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const PredicateInfo& info : predicates_) {
+    if (!info.is_base) continue;
+    out += "base " + info.name + "/" + std::to_string(info.arity) + ".\n";
+  }
+  for (const Rule& rule : rules_) {
+    out += rule.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,109 @@
+#ifndef IVM_DATALOG_PROGRAM_H_
+#define IVM_DATALOG_PROGRAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/graph.h"
+
+namespace ivm {
+
+/// Catalog entry for one predicate.
+struct PredicateInfo {
+  std::string name;
+  size_t arity = 0;
+  bool is_base = false;
+  /// Optional column names from a `base p(Col, ...)` declaration.
+  std::vector<std::string> columns;
+  /// Stratum number SN (Definition 3.1); base predicates are stratum 0.
+  int stratum = -1;
+  /// True if the predicate is in a recursive SCC.
+  bool recursive = false;
+  /// Indices of the rules whose head is this predicate.
+  std::vector<int> rules;
+};
+
+/// A Datalog program: base-relation declarations plus rules. After
+/// Analyze(), predicates and variables are resolved, strata assigned, and
+/// safety/stratification validated; all downstream components require an
+/// analyzed program.
+///
+/// Rules may be added or removed later (view redefinition, Section 7 of the
+/// paper); doing so clears the analysis, and Analyze() must be re-run.
+class Program {
+ public:
+  Program() = default;
+
+  /// Declares a base (edb) relation.
+  Result<PredicateId> DeclareBase(const std::string& name, size_t arity);
+  Result<PredicateId> DeclareBase(const std::string& name,
+                                  std::vector<std::string> columns);
+
+  /// Adds a rule (resolution deferred to Analyze()). Returns its index.
+  Result<int> AddRule(Rule rule);
+
+  /// Removes a rule by index. Later rule indices shift down by one.
+  Status RemoveRule(int rule_index);
+
+  /// Resolves names, numbers variables, builds the dependency graph, assigns
+  /// strata, and runs safety checks. Idempotent; re-run after mutation.
+  Status Analyze();
+  bool analyzed() const { return analyzed_; }
+
+  // --- Catalog ---
+  Result<PredicateId> Lookup(const std::string& name) const;
+  bool HasPredicate(const std::string& name) const;
+  size_t num_predicates() const { return predicates_.size(); }
+  const PredicateInfo& predicate(PredicateId id) const;
+  /// Predicate ids of all base / all derived predicates, ascending.
+  std::vector<PredicateId> BasePredicates() const;
+  std::vector<PredicateId> DerivedPredicates() const;
+
+  // --- Rules ---
+  const std::vector<Rule>& rules() const { return rules_; }
+  const Rule& rule(int index) const;
+  size_t num_rules() const { return rules_.size(); }
+  /// Number of distinct variables in rule `index` (valid after Analyze()).
+  int num_vars(int index) const;
+  /// Rule stratum number: RSN(r) = SN(head predicate).
+  int rule_stratum(int index) const;
+
+  // --- Strata (valid after Analyze()) ---
+  int max_stratum() const { return max_stratum_; }
+  /// Rules with RSN == s, in insertion order.
+  const std::vector<int>& rules_in_stratum(int s) const;
+  /// Derived predicates with SN == s.
+  const std::vector<PredicateId>& predicates_in_stratum(int s) const;
+  /// True if any stratum is recursive.
+  bool IsRecursive() const { return recursive_; }
+  bool StratumIsRecursive(int s) const;
+
+  std::string ToString() const;
+
+ private:
+  Result<PredicateId> Intern(const std::string& name, size_t arity,
+                             bool from_head);
+  Status ResolveAtom(Atom* atom, bool is_head);
+  Status ResolveRule(int rule_index);
+  Status AssignVars(int rule_index);
+  Status BuildStrata();
+
+  std::vector<PredicateInfo> predicates_;
+  std::map<std::string, PredicateId> by_name_;
+  std::vector<Rule> rules_;
+  std::vector<int> rule_num_vars_;
+
+  bool analyzed_ = false;
+  bool recursive_ = false;
+  int max_stratum_ = 0;
+  std::vector<std::vector<int>> stratum_rules_;
+  std::vector<std::vector<PredicateId>> stratum_predicates_;
+  std::vector<bool> stratum_recursive_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_DATALOG_PROGRAM_H_

@@ -1,0 +1,197 @@
+#include "datalog/safety.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ivm {
+
+namespace {
+
+/// Collects var ids of plain variable terms only (arithmetic terms do not
+/// bind their variables — matching cannot invert arithmetic).
+void BindingVars(const std::vector<Term>& terms, std::vector<VarId>* out) {
+  for (const Term& t : terms) {
+    if (t.IsVariable()) out->push_back(t.var());
+  }
+}
+
+bool AllBound(const Term& term, const std::vector<bool>& bound) {
+  std::vector<VarId> vars;
+  term.CollectVars(&vars);
+  for (VarId v : vars) {
+    if (!bound[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status CheckRuleSafety(const Rule& rule, int num_vars) {
+  std::vector<bool> bound(num_vars, false);
+
+  // Seed: positive atoms and aggregate literals bind.
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == Literal::Kind::kPositive) {
+      std::vector<VarId> vars;
+      BindingVars(lit.atom.terms, &vars);
+      for (VarId v : vars) bound[v] = true;
+    } else if (lit.kind == Literal::Kind::kAggregate) {
+      for (const Term& g : lit.group_vars) {
+        if (!g.IsVariable()) {
+          return Status::InvalidArgument("groupby grouping list must contain "
+                                         "variables, in rule: " +
+                                         rule.ToString());
+        }
+        bound[g.var()] = true;
+      }
+      if (!lit.result_var.IsVariable()) {
+        return Status::InvalidArgument(
+            "groupby result must be a variable, in rule: " + rule.ToString());
+      }
+      bound[lit.result_var.var()] = true;
+    }
+  }
+
+  // Fixpoint: '=' comparisons can bind one side from the other.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kComparison ||
+          lit.cmp_op != ComparisonOp::kEq) {
+        continue;
+      }
+      if (lit.cmp_lhs.IsVariable() && !bound[lit.cmp_lhs.var()] &&
+          AllBound(lit.cmp_rhs, bound)) {
+        bound[lit.cmp_lhs.var()] = true;
+        changed = true;
+      }
+      if (lit.cmp_rhs.IsVariable() && !bound[lit.cmp_rhs.var()] &&
+          AllBound(lit.cmp_lhs, bound)) {
+        bound[lit.cmp_rhs.var()] = true;
+        changed = true;
+      }
+    }
+  }
+
+  auto require_bound = [&](const Term& term, const char* where) -> Status {
+    std::vector<VarId> vars;
+    std::vector<std::string> names;
+    term.CollectVars(&vars);
+    term.CollectVarNames(&names);
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (!bound[vars[i]]) {
+        return Status::InvalidArgument("unsafe rule: variable " + names[i] +
+                                       " in " + where +
+                                       " is not bound by a positive subgoal, "
+                                       "in rule: " +
+                                       rule.ToString());
+      }
+    }
+    return Status::OK();
+  };
+
+  // Head variables (including inside arithmetic) must be bound.
+  for (const Term& t : rule.head.terms) {
+    IVM_RETURN_IF_ERROR(require_bound(t, "the head"));
+  }
+
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+        // Arithmetic terms inside positive atoms must be computable.
+        for (const Term& t : lit.atom.terms) {
+          if (t.IsArith()) IVM_RETURN_IF_ERROR(require_bound(t, "an arithmetic term"));
+        }
+        break;
+      case Literal::Kind::kNegated:
+        for (const Term& t : lit.atom.terms) {
+          IVM_RETURN_IF_ERROR(require_bound(t, "a negated subgoal"));
+        }
+        break;
+      case Literal::Kind::kComparison:
+        if (lit.cmp_op != ComparisonOp::kEq) {
+          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_lhs, "a comparison"));
+          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_rhs, "a comparison"));
+        } else {
+          // After the fixpoint, both sides of '=' must be bound.
+          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_lhs, "a comparison"));
+          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_rhs, "a comparison"));
+        }
+        break;
+      case Literal::Kind::kAggregate: {
+        // Group vars must occur as plain variables of the grouped atom.
+        std::vector<VarId> inner;
+        BindingVars(lit.atom.terms, &inner);
+        auto in_inner = [&](VarId v) {
+          for (VarId w : inner) {
+            if (w == v) return true;
+          }
+          return false;
+        };
+        for (const Term& g : lit.group_vars) {
+          if (!in_inner(g.var())) {
+            return Status::InvalidArgument(
+                "groupby grouping variable " + g.var_name() +
+                " does not occur in the grouped atom, in rule: " +
+                rule.ToString());
+          }
+        }
+        // The aggregated expression only uses grouped-atom variables.
+        std::vector<VarId> arg_vars;
+        lit.agg_arg.CollectVars(&arg_vars);
+        for (VarId v : arg_vars) {
+          if (!in_inner(v)) {
+            return Status::InvalidArgument(
+                "aggregated expression uses a variable outside the grouped "
+                "atom, in rule: " +
+                rule.ToString());
+          }
+        }
+        // Inner non-group variables are local: they must not occur in any
+        // other literal or the head. We check by scanning all other
+        // literals' variables.
+        std::vector<VarId> group;
+        for (const Term& g : lit.group_vars) group.push_back(g.var());
+        auto is_group = [&](VarId v) {
+          for (VarId w : group) {
+            if (w == v) return true;
+          }
+          return false;
+        };
+        std::vector<VarId> outside;
+        for (const Term& t : rule.head.terms) t.CollectVars(&outside);
+        for (const Literal& other : rule.body) {
+          if (&other == &lit) continue;
+          if (other.IsAtomBased()) {
+            for (const Term& t : other.atom.terms) t.CollectVars(&outside);
+            for (const Term& t : other.group_vars) t.CollectVars(&outside);
+            if (other.kind == Literal::Kind::kAggregate) {
+              other.result_var.CollectVars(&outside);
+              other.agg_arg.CollectVars(&outside);
+            }
+          } else {
+            other.cmp_lhs.CollectVars(&outside);
+            other.cmp_rhs.CollectVars(&outside);
+          }
+        }
+        for (VarId v : inner) {
+          if (is_group(v)) continue;
+          for (VarId w : outside) {
+            if (v == w) {
+              return Status::InvalidArgument(
+                  "variable local to a groupby subgoal escapes its scope, in "
+                  "rule: " +
+                  rule.ToString());
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ivm

@@ -1,0 +1,27 @@
+#ifndef IVM_DATALOG_SAFETY_H_
+#define IVM_DATALOG_SAFETY_H_
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace ivm {
+
+/// Checks range restriction (safety) for one analyzed rule (variables must
+/// already carry VarIds):
+///  * every head variable is bound;
+///  * every variable of a negated subgoal is bound (safe negation, §6.1);
+///  * every variable of a non-equality comparison is bound;
+///  * variables inside arithmetic expressions are bound;
+///  * aggregate literals: group variables must occur as plain variables in
+///    the grouped atom; the aggregated expression only uses the grouped
+///    atom's variables; inner variables that are not group variables are
+///    local and must not occur anywhere else in the rule.
+///
+/// "Bound" means: occurs as a plain variable term of a positive atom, is a
+/// group/result variable of an aggregate literal, or is equated (via '=') to
+/// an expression whose variables are bound (computed to fixpoint).
+Status CheckRuleSafety(const Rule& rule, int num_vars);
+
+}  // namespace ivm
+
+#endif  // IVM_DATALOG_SAFETY_H_

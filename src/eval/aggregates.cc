@@ -1,0 +1,339 @@
+#include "eval/aggregates.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ivm {
+
+std::vector<Term> AggregatePattern(const Literal& agg) {
+  IVM_CHECK(agg.kind == Literal::Kind::kAggregate);
+  std::vector<Term> pattern = agg.group_vars;
+  pattern.push_back(agg.result_var);
+  return pattern;
+}
+
+namespace {
+
+/// Matches `tuple` against the grouped atom's terms, producing local
+/// variable bindings. Only plain variables and constants are supported in
+/// grouped atoms (safety rejects arithmetic there).
+bool MatchInner(const std::vector<Term>& terms, const Tuple& tuple,
+                std::vector<std::pair<VarId, Value>>* locals) {
+  locals->clear();
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const Term& t = terms[i];
+    if (t.IsConstant()) {
+      if (!(t.constant() == tuple[i])) return false;
+    } else if (t.IsVariable()) {
+      bool found = false;
+      for (const auto& [var, value] : *locals) {
+        if (var == t.var()) {
+          found = true;
+          if (!(value == tuple[i])) return false;
+          break;
+        }
+      }
+      if (!found) locals->emplace_back(t.var(), tuple[i]);
+    } else {
+      // Arithmetic in a grouped atom is rejected by analysis; be defensive.
+      return false;
+    }
+  }
+  return true;
+}
+
+const Value* LookupLocal(const std::vector<std::pair<VarId, Value>>& locals,
+                         VarId var) {
+  for (const auto& [v, value] : locals) {
+    if (v == var) return &value;
+  }
+  return nullptr;
+}
+
+/// Evaluates the aggregated expression under the local bindings.
+Result<Value> EvalArg(const Term& term,
+                      const std::vector<std::pair<VarId, Value>>& locals) {
+  switch (term.kind()) {
+    case Term::Kind::kConstant:
+      return term.constant();
+    case Term::Kind::kVariable: {
+      const Value* v = LookupLocal(locals, term.var());
+      if (v == nullptr) {
+        return Status::Internal("aggregate argument variable unbound");
+      }
+      return *v;
+    }
+    case Term::Kind::kArith: {
+      IVM_ASSIGN_OR_RETURN(Value lhs, EvalArg(term.lhs(), locals));
+      IVM_ASSIGN_OR_RETURN(Value rhs, EvalArg(term.rhs(), locals));
+      switch (term.arith_op()) {
+        case ArithOp::kAdd: return Value::Add(lhs, rhs);
+        case ArithOp::kSub: return Value::Subtract(lhs, rhs);
+        case ArithOp::kMul: return Value::Multiply(lhs, rhs);
+        case ArithOp::kDiv: return Value::Divide(lhs, rhs);
+      }
+      return Status::Internal("bad arithmetic operator");
+    }
+  }
+  return Status::Internal("bad term kind");
+}
+
+/// Streaming accumulator for one group.
+class Accumulator {
+ public:
+  explicit Accumulator(AggregateFunc func) : func_(func) {}
+
+  Status Add(const Value& v, int64_t weight) {
+    IVM_CHECK_GT(weight, 0);
+    switch (func_) {
+      case AggregateFunc::kMin:
+        if (!any_ || v < best_) best_ = v;
+        break;
+      case AggregateFunc::kMax:
+        if (!any_ || best_ < v) best_ = v;
+        break;
+      case AggregateFunc::kSum:
+      case AggregateFunc::kAvg:
+        if (!v.is_numeric()) {
+          return Status::InvalidArgument("aggregating non-numeric value " +
+                                         v.ToString());
+        }
+        if (v.is_double()) is_double_ = true;
+        if (v.is_int()) {
+          isum_ += v.int_value() * weight;
+        } else {
+          dsum_ += v.double_value() * weight;
+        }
+        count_ += weight;
+        break;
+      case AggregateFunc::kCount:
+        count_ += weight;
+        break;
+    }
+    any_ = true;
+    return Status::OK();
+  }
+
+  bool any() const { return any_; }
+
+  /// The aggregate value; only valid when any().
+  Value Finish() const {
+    IVM_CHECK(any_) << "aggregate over empty group";
+    switch (func_) {
+      case AggregateFunc::kMin:
+      case AggregateFunc::kMax:
+        return best_;
+      case AggregateFunc::kSum:
+        return is_double_ ? Value::Real(dsum_ + static_cast<double>(isum_))
+                          : Value::Int(isum_);
+      case AggregateFunc::kCount:
+        return Value::Int(count_);
+      case AggregateFunc::kAvg:
+        return Value::Real((dsum_ + static_cast<double>(isum_)) /
+                           static_cast<double>(count_));
+    }
+    IVM_UNREACHABLE();
+  }
+
+ private:
+  AggregateFunc func_;
+  bool any_ = false;
+  bool is_double_ = false;
+  int64_t isum_ = 0;
+  double dsum_ = 0;
+  int64_t count_ = 0;
+  Value best_;
+};
+
+/// Extracts the group key for matched locals.
+Result<Tuple> GroupKey(const Literal& agg,
+                       const std::vector<std::pair<VarId, Value>>& locals) {
+  std::vector<Value> key;
+  key.reserve(agg.group_vars.size());
+  for (const Term& g : agg.group_vars) {
+    const Value* v = LookupLocal(locals, g.var());
+    if (v == nullptr) return Status::Internal("group variable unbound");
+    key.push_back(*v);
+  }
+  return Tuple(std::move(key));
+}
+
+/// Column positions in the grouped atom providing each group variable.
+std::vector<size_t> GroupColumns(const Literal& agg) {
+  std::vector<size_t> cols;
+  cols.reserve(agg.group_vars.size());
+  for (const Term& g : agg.group_vars) {
+    size_t col = agg.atom.terms.size();
+    for (size_t i = 0; i < agg.atom.terms.size(); ++i) {
+      const Term& t = agg.atom.terms[i];
+      if (t.IsVariable() && t.var() == g.var()) {
+        col = i;
+        break;
+      }
+    }
+    IVM_CHECK_LT(col, agg.atom.terms.size())
+        << "group variable not in grouped atom (safety should reject)";
+    cols.push_back(col);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Result<Relation> EvaluateAggregate(const Literal& agg, const Relation& u,
+                                   bool multiset) {
+  IVM_CHECK(agg.kind == Literal::Kind::kAggregate);
+  Relation out("groupby:" + agg.atom.predicate, agg.group_vars.size() + 1);
+  std::unordered_map<Tuple, Accumulator, TupleHash> groups;
+  std::vector<std::pair<VarId, Value>> locals;
+  for (const auto& [tuple, count] : u.tuples()) {
+    if (count <= 0) {
+      return Status::Internal("aggregating relation with non-positive count");
+    }
+    if (!MatchInner(agg.atom.terms, tuple, &locals)) continue;
+    IVM_ASSIGN_OR_RETURN(Tuple key, GroupKey(agg, locals));
+    IVM_ASSIGN_OR_RETURN(Value arg, EvalArg(agg.agg_arg, locals));
+    auto [it, inserted] = groups.try_emplace(key, Accumulator(agg.agg_func));
+    IVM_RETURN_IF_ERROR(it->second.Add(arg, multiset ? count : 1));
+  }
+  for (auto& [key, acc] : groups) {
+    Tuple row = key;
+    row.Append(acc.Finish());
+    out.Add(row, 1);
+  }
+  return out;
+}
+
+Result<Relation> AggregateDelta(const Literal& agg, const Relation& u_ref,
+                                const Relation& u_delta, bool multiset,
+                                bool u_ref_is_new) {
+  IVM_CHECK(agg.kind == Literal::Kind::kAggregate);
+  Relation out("delta-groupby:" + agg.atom.predicate,
+               agg.group_vars.size() + 1);
+  if (u_delta.empty()) return out;
+
+  std::vector<std::pair<VarId, Value>> locals;
+
+  // Collect delta contributions per touched group, keyed by group key.
+  struct GroupDelta {
+    CountMap delta_counts;  // tuple -> signed count
+  };
+  std::unordered_map<Tuple, GroupDelta, TupleHash> touched;
+  for (const auto& [tuple, count] : u_delta.tuples()) {
+    if (!MatchInner(agg.atom.terms, tuple, &locals)) continue;
+    IVM_ASSIGN_OR_RETURN(Tuple key, GroupKey(agg, locals));
+    touched[key].delta_counts[tuple] += count;
+  }
+  if (touched.empty()) return out;
+
+  const std::vector<size_t> group_cols = GroupColumns(agg);
+
+  // Fetch the reference extent of one group. With grouping variables this is
+  // an index lookup keyed on the group columns; a global aggregate scans U
+  // once (there is only one group).
+  auto ref_group_tuples = [&](const Tuple& key,
+                              std::vector<std::pair<const Tuple*, int64_t>>* out_tuples) {
+    out_tuples->clear();
+    if (group_cols.empty()) {
+      for (const auto& [tuple, count] : u_ref.tuples()) {
+        out_tuples->emplace_back(&tuple, count);
+      }
+      return;
+    }
+    const Index& index = u_ref.GetIndex(group_cols);
+    // The index canonicalizes key column order; re-project the key to match.
+    // group_cols are in group-var order; index.key_columns() is ascending.
+    std::vector<Value> reordered;
+    reordered.reserve(index.key_columns().size());
+    for (size_t col : index.key_columns()) {
+      for (size_t g = 0; g < group_cols.size(); ++g) {
+        if (group_cols[g] == col) {
+          reordered.push_back(key[g]);
+          break;
+        }
+      }
+    }
+    const auto* entries = index.Lookup(Tuple(std::move(reordered)));
+    if (entries == nullptr) return;
+    for (const Index::Entry& e : *entries) {
+      out_tuples->emplace_back(e.tuple, e.count);
+    }
+  };
+
+  std::vector<std::pair<const Tuple*, int64_t>> ref_tuples;
+  for (auto& [key, group_delta] : touched) {
+    ref_group_tuples(key, &ref_tuples);
+
+    // Per-tuple counts of the group on both sides of the update.
+    CountMap old_counts;
+    CountMap new_counts;
+    for (const auto& [tuple_ptr, count] : ref_tuples) {
+      // Tuples reached through the index still need the full pattern match
+      // (constants / repeated variables in non-group positions).
+      if (!MatchInner(agg.atom.terms, *tuple_ptr, &locals)) continue;
+      // Under set semantics the reference extent may carry per-stratum
+      // counts while the delta is a membership delta; presence clamps to 1.
+      int64_t effective = (!multiset && count > 0) ? 1 : count;
+      (u_ref_is_new ? new_counts : old_counts)[*tuple_ptr] = effective;
+    }
+    if (u_ref_is_new) {
+      // old = new - delta.
+      old_counts = new_counts;
+      for (const auto& [tuple, count] : group_delta.delta_counts) {
+        old_counts[tuple] -= count;
+      }
+    } else {
+      // new = old + delta.
+      new_counts = old_counts;
+      for (const auto& [tuple, count] : group_delta.delta_counts) {
+        new_counts[tuple] += count;
+      }
+    }
+
+    auto accumulate = [&](const CountMap& counts,
+                          Accumulator* acc) -> Status {
+      for (const auto& [tuple, count] : counts) {
+        if (count < 0) {
+          return Status::FailedPrecondition(
+              "aggregate delta implies a negative multiplicity for " +
+              tuple.ToString() + " in the grouped relation");
+        }
+        if (count == 0) continue;
+        bool matched = MatchInner(agg.atom.terms, tuple, &locals);
+        IVM_CHECK(matched);
+        IVM_ASSIGN_OR_RETURN(Value arg, EvalArg(agg.agg_arg, locals));
+        IVM_RETURN_IF_ERROR(acc->Add(arg, multiset ? count : 1));
+      }
+      return Status::OK();
+    };
+    Accumulator acc_old(agg.agg_func);
+    Accumulator acc_new(agg.agg_func);
+    IVM_RETURN_IF_ERROR(accumulate(old_counts, &acc_old));
+    IVM_RETURN_IF_ERROR(accumulate(new_counts, &acc_new));
+
+    // Emit Algorithm 6.1's (old, -1) / (new, +1) pair when the aggregate
+    // tuple changed.
+    const bool old_any = acc_old.any();
+    const bool new_any = acc_new.any();
+    Value old_value = old_any ? acc_old.Finish() : Value::Null();
+    Value new_value = new_any ? acc_new.Finish() : Value::Null();
+    if (old_any && new_any && old_value == new_value) continue;
+    if (old_any) {
+      Tuple row = key;
+      row.Append(old_value);
+      out.Add(row, -1);
+    }
+    if (new_any) {
+      Tuple row = key;
+      row.Append(new_value);
+      out.Add(row, 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,49 @@
+#ifndef IVM_EVAL_AGGREGATES_H_
+#define IVM_EVAL_AGGREGATES_H_
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Evaluates a GROUPBY literal (Section 6.2, semantics of [Mum91]) over the
+/// grouped relation U, producing the relation T with one tuple per distinct
+/// grouping value. T's columns are the group variables (in declaration
+/// order) followed by the aggregate result, each tuple with count 1.
+///
+/// `multiset` selects duplicate semantics: aggregate over the multiset of
+/// derivations (each tuple weighted by its count) rather than the distinct
+/// tuples.
+Result<Relation> EvaluateAggregate(const Literal& agg, const Relation& u,
+                                   bool multiset);
+
+/// Algorithm 6.1: computes Δ(T) from the old grouped relation U and its
+/// changes Δ(U), touching only the groups Δ(U) mentions. For each touched
+/// group y with old aggregate tuple T_y and new aggregate tuple T'_y:
+///   T_y ≠ T'_y  →  (T_y, -1) and (T'_y, +1) enter Δ(T)
+/// (a vanished group contributes only -1; a new group only +1).
+///
+/// SUM/COUNT/AVG groups are combined incrementally; MIN/MAX recompute the
+/// group from the merged extent when a deletion may have removed the
+/// extremum — the paper's "non incrementally computable" fallback. Old group
+/// contents are fetched through a hash index on the grouping columns, so
+/// cost is proportional to the touched groups, not to |U|.
+///
+/// `u_ref_is_new` selects which side `u_ref` represents:
+///   false — u_ref is U^old and U^new = u_ref ⊎ u_delta (counting maintains
+///           views this way: deltas are computed before committing);
+///   true  — u_ref is U^new and U^old = u_ref ⊎ (-u_delta) (DRed commits
+///           each stratum before propagating to higher strata).
+Result<Relation> AggregateDelta(const Literal& agg, const Relation& u_ref,
+                                const Relation& u_delta, bool multiset,
+                                bool u_ref_is_new = false);
+
+/// The scan pattern of the lowered aggregate subgoal: group variables
+/// followed by the result variable. Used to match T / Δ(T) tuples inside
+/// rule evaluation.
+std::vector<Term> AggregatePattern(const Literal& agg);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_AGGREGATES_H_

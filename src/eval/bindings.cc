@@ -1,0 +1,47 @@
+#include "eval/bindings.h"
+
+namespace ivm {
+
+bool TermIsGround(const Term& term, const Bindings& bindings) {
+  switch (term.kind()) {
+    case Term::Kind::kConstant:
+      return true;
+    case Term::Kind::kVariable:
+      return bindings.IsBound(term.var());
+    case Term::Kind::kArith:
+      return TermIsGround(term.lhs(), bindings) &&
+             TermIsGround(term.rhs(), bindings);
+  }
+  return false;
+}
+
+Result<Value> EvalTerm(const Term& term, const Bindings& bindings) {
+  switch (term.kind()) {
+    case Term::Kind::kConstant:
+      return term.constant();
+    case Term::Kind::kVariable:
+      if (!bindings.IsBound(term.var())) {
+        return Status::Internal("evaluating unbound variable " +
+                                term.var_name());
+      }
+      return bindings.Get(term.var());
+    case Term::Kind::kArith: {
+      IVM_ASSIGN_OR_RETURN(Value lhs, EvalTerm(term.lhs(), bindings));
+      IVM_ASSIGN_OR_RETURN(Value rhs, EvalTerm(term.rhs(), bindings));
+      switch (term.arith_op()) {
+        case ArithOp::kAdd:
+          return Value::Add(lhs, rhs);
+        case ArithOp::kSub:
+          return Value::Subtract(lhs, rhs);
+        case ArithOp::kMul:
+          return Value::Multiply(lhs, rhs);
+        case ArithOp::kDiv:
+          return Value::Divide(lhs, rhs);
+      }
+      return Status::Internal("bad arithmetic operator");
+    }
+  }
+  return Status::Internal("bad term kind");
+}
+
+}  // namespace ivm

@@ -1,0 +1,47 @@
+#ifndef IVM_EVAL_BINDINGS_H_
+#define IVM_EVAL_BINDINGS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/ast.h"
+
+namespace ivm {
+
+/// A rule-scoped variable binding environment, indexed by VarId.
+class Bindings {
+ public:
+  explicit Bindings(int num_vars)
+      : values_(num_vars), bound_(num_vars, false) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  bool IsBound(VarId v) const { return bound_[v]; }
+
+  const Value& Get(VarId v) const {
+    IVM_CHECK(bound_[v]) << "reading unbound variable " << v;
+    return values_[v];
+  }
+
+  void Bind(VarId v, Value value) {
+    bound_[v] = true;
+    values_[v] = std::move(value);
+  }
+
+  void Unbind(VarId v) { bound_[v] = false; }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+};
+
+/// True when every variable of `term` is bound.
+bool TermIsGround(const Term& term, const Bindings& bindings);
+
+/// Evaluates a ground term (checked): constants pass through, variables read
+/// their binding, arithmetic computes with numeric promotion.
+Result<Value> EvalTerm(const Term& term, const Bindings& bindings);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_BINDINGS_H_

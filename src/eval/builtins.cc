@@ -1,0 +1,65 @@
+#include "eval/builtins.h"
+
+namespace ivm {
+
+namespace {
+
+enum class Ordering { kLess, kEqual, kGreater };
+
+Ordering CompareNumeric(double a, double b) {
+  if (a < b) return Ordering::kLess;
+  if (a > b) return Ordering::kGreater;
+  return Ordering::kEqual;
+}
+
+}  // namespace
+
+Result<bool> EvalComparison(ComparisonOp op, const Value& a, const Value& b) {
+  // Equality is defined across all kinds.
+  if (op == ComparisonOp::kEq || op == ComparisonOp::kNe) {
+    bool eq;
+    if (a.is_numeric() && b.is_numeric()) {
+      if (a.is_int() && b.is_int()) {
+        eq = a.int_value() == b.int_value();
+      } else {
+        eq = a.AsDouble() == b.AsDouble();
+      }
+    } else {
+      eq = (a == b);
+    }
+    return op == ComparisonOp::kEq ? eq : !eq;
+  }
+
+  Ordering ord;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.int_value();
+      int64_t y = b.int_value();
+      ord = x < y ? Ordering::kLess : (x > y ? Ordering::kGreater : Ordering::kEqual);
+    } else {
+      ord = CompareNumeric(a.AsDouble(), b.AsDouble());
+    }
+  } else if (a.is_string() && b.is_string()) {
+    const std::string& x = a.string_value();
+    const std::string& y = b.string_value();
+    ord = x < y ? Ordering::kLess : (x > y ? Ordering::kGreater : Ordering::kEqual);
+  } else {
+    return Status::InvalidArgument("cannot order " + a.ToString() + " and " +
+                                   b.ToString());
+  }
+
+  switch (op) {
+    case ComparisonOp::kLt:
+      return ord == Ordering::kLess;
+    case ComparisonOp::kLe:
+      return ord != Ordering::kGreater;
+    case ComparisonOp::kGt:
+      return ord == Ordering::kGreater;
+    case ComparisonOp::kGe:
+      return ord != Ordering::kLess;
+    default:
+      return Status::Internal("unexpected comparison op");
+  }
+}
+
+}  // namespace ivm

@@ -1,0 +1,18 @@
+#ifndef IVM_EVAL_BUILTINS_H_
+#define IVM_EVAL_BUILTINS_H_
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/ast.h"
+
+namespace ivm {
+
+/// Evaluates a built-in comparison between two concrete values. Numeric
+/// operands compare numerically across int/double; same-kind values compare
+/// natively. Cross-kind non-numeric comparisons are defined for (in)equality
+/// (always unequal) but error for orderings.
+Result<bool> EvalComparison(ComparisonOp op, const Value& a, const Value& b);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_BUILTINS_H_

@@ -1,0 +1,125 @@
+#include "eval/evaluator.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "eval/seminaive.h"
+
+namespace ivm {
+
+Status BindBase(const Program& program, const Database& db,
+                MapResolver* resolver) {
+  for (PredicateId p : program.BasePredicates()) {
+    const PredicateInfo& info = program.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, db.Get(info.name));
+    if (rel->arity() != info.arity &&
+        !rel->empty()) {  // empty relations carry no tuples to mismatch
+      return Status::InvalidArgument(
+          "relation '" + info.name + "' has arity " +
+          std::to_string(rel->arity()) + " but predicate expects " +
+          std::to_string(info.arity));
+    }
+    resolver->Put(p, rel);
+  }
+  return Status::OK();
+}
+
+Status Evaluator::EvaluateAll(const Database& db,
+                              std::map<PredicateId, Relation>* out) const {
+  MapResolver base;
+  IVM_RETURN_IF_ERROR(BindBase(program_, db, &base));
+  return EvaluateAll(base, out);
+}
+
+Status Evaluator::EvaluateAll(const RelationResolver& base,
+                              std::map<PredicateId, Relation>* out,
+                              JoinStats* stats) const {
+  IVM_CHECK(program_.analyzed()) << "program not analyzed";
+  if (options_.semantics == Semantics::kDuplicate && program_.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "duplicate semantics is undefined for recursive programs (counts may "
+        "be infinite); use set semantics");
+  }
+
+  out->clear();
+  const bool set_semantics = options_.semantics == Semantics::kSet;
+  const bool multiset_aggregates = !set_semantics;
+
+  // Storage for set() projections of base relations carrying multiplicities.
+  std::vector<std::unique_ptr<Relation>> owned;
+
+  // The resolver used for rule bodies: base predicates, plus — for derived
+  // predicates — the *input view* of each materialization (set() projection
+  // under set semantics).
+  MapResolver inputs(&base);
+  if (set_semantics) {
+    for (PredicateId p : program_.BasePredicates()) {
+      const Relation* rel = base.Get(p);
+      if (rel == nullptr) {
+        return Status::Internal("base predicate '" +
+                                program_.predicate(p).name + "' unbound");
+      }
+      bool needs_copy = false;
+      for (const auto& [tuple, count] : rel->tuples()) {
+        (void)tuple;
+        if (count != 1) {
+          needs_copy = true;
+          break;
+        }
+      }
+      if (needs_copy) {
+        owned.push_back(std::make_unique<Relation>(rel->AsSet()));
+        inputs.Put(p, owned.back().get());
+      }
+    }
+  }
+
+  for (int s = 1; s <= program_.max_stratum(); ++s) {
+    const std::vector<PredicateId>& preds = program_.predicates_in_stratum(s);
+    if (preds.empty()) continue;
+
+    if (program_.StratumIsRecursive(s)) {
+      // Recursive strata: set-based semi-naive fixpoint (counts end at 1).
+      std::map<PredicateId, Relation> state;
+      IVM_RETURN_IF_ERROR(
+          FixpointStratum(program_, s, inputs, &state, stats));
+      for (auto& [p, rel] : state) {
+        out->emplace(p, std::move(rel));
+      }
+    } else {
+      for (PredicateId p : preds) {
+        const PredicateInfo& info = program_.predicate(p);
+        out->emplace(p, Relation(info.name, info.arity));
+      }
+      for (int r : program_.rules_in_stratum(s)) {
+        const Rule& rule = program_.rule(r);
+        IVM_RETURN_IF_ERROR(EvaluateRuleOnce(program_, r, inputs,
+                                             multiset_aggregates,
+                                             &out->at(rule.head.pred), stats));
+      }
+      if (set_semantics && !options_.stratum_counts) {
+        for (PredicateId p : preds) {
+          out->at(p) = out->at(p).AsSet();
+        }
+      }
+    }
+
+    // Expose this stratum's results to higher strata. Under set semantics the
+    // *input view* is set(P) (Section 5.1); under duplicate semantics the raw
+    // counted relation flows through.
+    for (PredicateId p : preds) {
+      const Relation& rel = out->at(p);
+      if (set_semantics && options_.stratum_counts &&
+          !program_.StratumIsRecursive(s)) {
+        owned.push_back(std::make_unique<Relation>(rel.AsSet()));
+        inputs.Put(p, owned.back().get());
+      } else {
+        inputs.Put(p, &rel);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ivm

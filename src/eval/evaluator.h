@@ -1,0 +1,65 @@
+#ifndef IVM_EVAL_EVALUATOR_H_
+#define IVM_EVAL_EVALUATOR_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "eval/rule_eval.h"
+#include "storage/database.h"
+
+namespace ivm {
+
+/// View-extent semantics (Sections 3 and 5 of the paper).
+enum class Semantics {
+  /// SQL multiset semantics: a tuple's count is its total number of
+  /// derivations, multiplicities composing across strata. Recursive programs
+  /// are rejected (counts may be infinite — Section 8).
+  kDuplicate,
+  /// Set semantics: the extent of each view is a set. Depending on
+  /// EvalOptions::stratum_counts, stored counts are either all 1 or
+  /// per-stratum derivation counts (the Section 5.1 representation, where
+  /// every lower-stratum tuple is treated as having count 1).
+  kSet,
+};
+
+struct EvalOptions {
+  Semantics semantics = Semantics::kSet;
+  /// Only meaningful with kSet: keep per-stratum derivation counts for
+  /// nonrecursive strata (recursive strata always end with count 1).
+  bool stratum_counts = false;
+};
+
+/// Bottom-up, stratum-by-stratum evaluation of a whole program — the
+/// substrate the paper assumes (semi-naive evaluation with duplicate or set
+/// semantics, stratified negation and aggregation).
+class Evaluator {
+ public:
+  Evaluator(const Program& program, EvalOptions options)
+      : program_(program), options_(options) {}
+
+  /// Computes every derived predicate from the base relations in `db`
+  /// (matched to predicates by name). `out` maps derived predicate ids to
+  /// their materialized extents.
+  Status EvaluateAll(const Database& db,
+                     std::map<PredicateId, Relation>* out) const;
+
+  /// As above, with base relations supplied by a resolver.
+  Status EvaluateAll(const RelationResolver& base,
+                     std::map<PredicateId, Relation>* out,
+                     JoinStats* stats = nullptr) const;
+
+ private:
+  const Program& program_;
+  EvalOptions options_;
+};
+
+/// Binds every base predicate of `program` to the identically-named relation
+/// in `db`; errors with kNotFound when a base relation is missing and
+/// kInvalidArgument on arity mismatch.
+Status BindBase(const Program& program, const Database& db,
+                MapResolver* resolver);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_EVALUATOR_H_

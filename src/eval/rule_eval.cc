@@ -1,0 +1,488 @@
+#include "eval/rule_eval.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "eval/aggregates.h"
+#include "eval/bindings.h"
+#include "eval/builtins.h"
+
+namespace ivm {
+
+PreparedSubgoal PreparedSubgoal::Scan(const Relation* rel,
+                                      std::vector<Term> pattern) {
+  PreparedSubgoal s;
+  s.kind = Kind::kScan;
+  s.relation = rel;
+  s.pattern = std::move(pattern);
+  return s;
+}
+
+PreparedSubgoal PreparedSubgoal::NegCheck(const Relation* rel,
+                                          std::vector<Term> pattern) {
+  PreparedSubgoal s;
+  s.kind = Kind::kNegCheck;
+  s.relation = rel;
+  s.pattern = std::move(pattern);
+  return s;
+}
+
+PreparedSubgoal PreparedSubgoal::Comparison(ComparisonOp op, Term lhs,
+                                            Term rhs) {
+  PreparedSubgoal s;
+  s.kind = Kind::kComparison;
+  s.cmp_op = op;
+  s.cmp_lhs = std::move(lhs);
+  s.cmp_rhs = std::move(rhs);
+  return s;
+}
+
+namespace {
+
+/// Minimum relation size before index lookups pay for themselves.
+constexpr size_t kIndexThreshold = 8;
+
+/// Marks as bound the variables a scan binds (plain variable pattern
+/// positions).
+void MarkScanBindings(const PreparedSubgoal& sg, std::vector<bool>* bound) {
+  for (const Term& t : sg.pattern) {
+    if (t.IsVariable()) (*bound)[t.var()] = true;
+  }
+}
+
+bool TermVarsBound(const Term& term, const std::vector<bool>& bound) {
+  std::vector<VarId> vars;
+  term.CollectVars(&vars);
+  for (VarId v : vars) {
+    if (!bound[v]) return false;
+  }
+  return true;
+}
+
+/// Join-order planner: repeatedly schedules ready filters (comparisons and
+/// negation checks with all variables bound, '='-bindings with one ground
+/// side), then the scan with the most ground pattern positions (tie: smaller
+/// relation). A scan whose arithmetic pattern positions are not yet ground
+/// may still be scheduled; those positions become deferred checks.
+std::vector<int> PlanOrder(const PreparedRule& rule) {
+  const int n = static_cast<int>(rule.subgoals.size());
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<bool> chosen(n, false);
+  std::vector<bool> bound(rule.num_vars, false);
+
+  auto schedule = [&](int i) {
+    chosen[i] = true;
+    order.push_back(i);
+    const PreparedSubgoal& sg = rule.subgoals[i];
+    if (sg.kind == PreparedSubgoal::Kind::kScan) {
+      MarkScanBindings(sg, &bound);
+    } else if (sg.kind == PreparedSubgoal::Kind::kComparison &&
+               sg.cmp_op == ComparisonOp::kEq) {
+      if (sg.cmp_lhs.IsVariable()) bound[sg.cmp_lhs.var()] = true;
+      if (sg.cmp_rhs.IsVariable()) bound[sg.cmp_rhs.var()] = true;
+    }
+  };
+
+  if (rule.start_subgoal >= 0) schedule(rule.start_subgoal);
+
+  if (!rule.plan_greedy) {
+    // Ablation mode: written order (filters may execute before their
+    // variables are bound only if the rule is unsafe, which analysis
+    // rejects... except '='-bindings, which still work in written order).
+    for (int i = 0; i < n; ++i) {
+      if (!chosen[i]) schedule(i);
+    }
+    return order;
+  }
+
+  while (static_cast<int>(order.size()) < n) {
+    // 1. Ready filters are free selectivity: take them immediately.
+    bool took_filter = false;
+    for (int i = 0; i < n && !took_filter; ++i) {
+      if (chosen[i]) continue;
+      const PreparedSubgoal& sg = rule.subgoals[i];
+      if (sg.kind == PreparedSubgoal::Kind::kNegCheck) {
+        bool ready = true;
+        for (const Term& t : sg.pattern) {
+          if (!TermVarsBound(t, bound)) ready = false;
+        }
+        if (ready) {
+          schedule(i);
+          took_filter = true;
+        }
+      } else if (sg.kind == PreparedSubgoal::Kind::kComparison) {
+        bool lhs_ground = TermVarsBound(sg.cmp_lhs, bound);
+        bool rhs_ground = TermVarsBound(sg.cmp_rhs, bound);
+        bool ready = (lhs_ground && rhs_ground) ||
+                     (sg.cmp_op == ComparisonOp::kEq &&
+                      ((lhs_ground && sg.cmp_rhs.IsVariable()) ||
+                       (rhs_ground && sg.cmp_lhs.IsVariable())));
+        if (ready) {
+          schedule(i);
+          took_filter = true;
+        }
+      }
+    }
+    if (took_filter) continue;
+
+    // 2. Best scan by ground-position count.
+    int best = -1;
+    size_t best_score = 0;
+    size_t best_size = 0;
+    for (int i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      const PreparedSubgoal& sg = rule.subgoals[i];
+      if (sg.kind != PreparedSubgoal::Kind::kScan) continue;
+      size_t score = 0;
+      for (const Term& t : sg.pattern) {
+        if (t.IsConstant() || TermVarsBound(t, bound)) ++score;
+      }
+      size_t size = sg.relation->size();
+      if (best == -1 || score > best_score ||
+          (score == best_score && size < best_size)) {
+        best = i;
+        best_score = score;
+        best_size = size;
+      }
+    }
+    if (best >= 0) {
+      schedule(best);
+      continue;
+    }
+
+    // 3. Only unready filters left; safety guarantees this cannot happen for
+    // analyzed rules, but schedule them anyway so evaluation reports the
+    // precise error.
+    for (int i = 0; i < n; ++i) {
+      if (!chosen[i]) {
+        schedule(i);
+        break;
+      }
+    }
+  }
+  return order;
+}
+
+/// Executes the join over the planned order.
+class JoinExecutor {
+ public:
+  JoinExecutor(const PreparedRule& rule, std::vector<int> order, Relation* out,
+               JoinStats* stats)
+      : rule_(rule),
+        order_(std::move(order)),
+        out_(out),
+        stats_(stats),
+        bindings_(rule.num_vars) {}
+
+  Status Run() { return Recurse(0, 1); }
+
+ private:
+  struct DeferredCheck {
+    Value actual;       // tuple value at the arithmetic position
+    const Term* term;   // term that must evaluate to `actual`
+  };
+
+  Status Recurse(size_t depth, int64_t count) {
+    if (depth == order_.size()) return Emit(count);
+    const PreparedSubgoal& sg = rule_.subgoals[order_[depth]];
+    switch (sg.kind) {
+      case PreparedSubgoal::Kind::kScan:
+        return ExecScan(sg, depth, count);
+      case PreparedSubgoal::Kind::kNegCheck:
+        return ExecNegCheck(sg, depth, count);
+      case PreparedSubgoal::Kind::kComparison:
+        return ExecComparison(sg, depth, count);
+    }
+    return Status::Internal("bad subgoal kind");
+  }
+
+  Status Emit(int64_t count) {
+    // Verify deferred arithmetic checks now that everything is bound.
+    for (const DeferredCheck& check : deferred_) {
+      if (!TermIsGround(*check.term, bindings_)) {
+        return Status::Internal(
+            "unsafe rule slipped through analysis: arithmetic term never "
+            "became ground");
+      }
+      IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(*check.term, bindings_));
+      IVM_ASSIGN_OR_RETURN(bool eq,
+                           EvalComparison(ComparisonOp::kEq, v, check.actual));
+      if (!eq) return Status::OK();
+    }
+    std::vector<Value> head_values;
+    head_values.reserve(rule_.head->terms.size());
+    for (const Term& t : rule_.head->terms) {
+      IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(t, bindings_));
+      head_values.push_back(std::move(v));
+    }
+    out_->Add(Tuple(std::move(head_values)), count);
+    if (stats_ != nullptr) ++stats_->derivations;
+    return Status::OK();
+  }
+
+  /// Matches `tuple` against the scan pattern starting from the current
+  /// bindings. Returns false on mismatch. Appends newly-bound vars to
+  /// `bound_here` and deferred checks to deferred_ (recording how many were
+  /// added via `deferred_added`).
+  Result<bool> MatchTuple(const PreparedSubgoal& sg, const Tuple& tuple,
+                          std::vector<VarId>* bound_here,
+                          size_t* deferred_added) {
+    for (size_t i = 0; i < sg.pattern.size(); ++i) {
+      const Term& t = sg.pattern[i];
+      if (t.IsConstant()) {
+        IVM_ASSIGN_OR_RETURN(
+            bool eq, EvalComparison(ComparisonOp::kEq, t.constant(), tuple[i]));
+        if (!eq) return false;
+      } else if (t.IsVariable()) {
+        if (bindings_.IsBound(t.var())) {
+          if (!(bindings_.Get(t.var()) == tuple[i])) return false;
+        } else {
+          bindings_.Bind(t.var(), tuple[i]);
+          bound_here->push_back(t.var());
+        }
+      } else {  // arithmetic
+        if (TermIsGround(t, bindings_)) {
+          IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(t, bindings_));
+          IVM_ASSIGN_OR_RETURN(bool eq,
+                               EvalComparison(ComparisonOp::kEq, v, tuple[i]));
+          if (!eq) return false;
+        } else {
+          deferred_.push_back(DeferredCheck{tuple[i], &t});
+          ++*deferred_added;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Effective count of a tuple in `relation ⊎ overlay`. Under
+  /// counts-as-one the base count is clamped to 0/1 *before* the overlay is
+  /// added: the overlay is then a membership delta (±1) applied to the set
+  /// projection of the base relation (Section 5.1 representation), not a
+  /// count delta.
+  static int64_t EffectiveCount(const PreparedSubgoal& sg, const Tuple& tuple,
+                                int64_t base_count) {
+    if (!sg.counts_as_one) {
+      int64_t c = base_count;
+      if (sg.overlay != nullptr) c += sg.overlay->Count(tuple);
+      return c;
+    }
+    int64_t c = base_count > 0 ? 1 : (base_count < 0 ? -1 : 0);
+    if (sg.overlay != nullptr) c += sg.overlay->Count(tuple);
+    return c > 0 ? 1 : (c < 0 ? -1 : 0);
+  }
+
+  Status ExecScan(const PreparedSubgoal& sg, size_t depth, int64_t count) {
+    // Determine ground pattern positions for index lookup.
+    std::vector<size_t> ground_cols;
+    for (size_t i = 0; i < sg.pattern.size(); ++i) {
+      const Term& t = sg.pattern[i];
+      if (t.IsConstant() || (t.IsVariable() && bindings_.IsBound(t.var())) ||
+          (t.IsArith() && TermIsGround(t, bindings_))) {
+        ground_cols.push_back(i);
+      }
+    }
+
+    auto process = [&](const Tuple& tuple, int64_t tuple_count) -> Status {
+      if (tuple_count == 0) return Status::OK();
+      if (stats_ != nullptr) ++stats_->tuples_matched;
+      std::vector<VarId> bound_here;
+      size_t deferred_added = 0;
+      IVM_ASSIGN_OR_RETURN(bool matched,
+                           MatchTuple(sg, tuple, &bound_here, &deferred_added));
+      Status status = Status::OK();
+      if (matched) {
+        status = Recurse(depth + 1, count * tuple_count);
+      }
+      for (VarId v : bound_here) bindings_.Unbind(v);
+      deferred_.resize(deferred_.size() - deferred_added);
+      return status;
+    };
+
+    const size_t total_size =
+        sg.relation->size() + (sg.overlay != nullptr ? sg.overlay->size() : 0);
+    if (!ground_cols.empty() && total_size >= kIndexThreshold) {
+      std::vector<Value> key_values;
+      key_values.reserve(ground_cols.size());
+      const Index& index = sg.relation->GetIndex(ground_cols);
+      for (size_t col : index.key_columns()) {
+        IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(sg.pattern[col], bindings_));
+        key_values.push_back(std::move(v));
+      }
+      Tuple key(std::move(key_values));
+      const auto* entries = index.Lookup(key);
+      if (entries != nullptr) {
+        for (const Index::Entry& e : *entries) {
+          IVM_RETURN_IF_ERROR(process(*e.tuple, EffectiveCount(sg, *e.tuple, e.count)));
+        }
+      }
+      if (sg.overlay != nullptr) {
+        // Overlay tuples not present in the base relation.
+        const Index& ov_index = sg.overlay->GetIndex(ground_cols);
+        const auto* ov_entries = ov_index.Lookup(key);
+        if (ov_entries != nullptr) {
+          for (const Index::Entry& e : *ov_entries) {
+            if (sg.relation->Contains(*e.tuple)) continue;  // already visited
+            IVM_RETURN_IF_ERROR(
+                process(*e.tuple, EffectiveCount(sg, *e.tuple, 0)));
+          }
+        }
+      }
+      return Status::OK();
+    }
+
+    for (const auto& [tuple, tuple_count] : sg.relation->tuples()) {
+      IVM_RETURN_IF_ERROR(process(tuple, EffectiveCount(sg, tuple, tuple_count)));
+    }
+    if (sg.overlay != nullptr) {
+      for (const auto& [tuple, tuple_count] : sg.overlay->tuples()) {
+        (void)tuple_count;
+        if (sg.relation->Contains(tuple)) continue;  // already visited
+        IVM_RETURN_IF_ERROR(process(tuple, EffectiveCount(sg, tuple, 0)));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExecNegCheck(const PreparedSubgoal& sg, size_t depth, int64_t count) {
+    std::vector<Value> values;
+    values.reserve(sg.pattern.size());
+    for (const Term& t : sg.pattern) {
+      if (!TermIsGround(t, bindings_)) {
+        return Status::Internal(
+            "negated subgoal reached with unbound variables (unsafe rule)");
+      }
+      IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(t, bindings_));
+      values.push_back(std::move(v));
+    }
+    // A tuple is true in ¬Q iff absent from Q, regardless of Q's counts
+    // (Example 6.1); the negated subgoal contributes count 1. With a
+    // membership-delta overlay (counts_as_one) the base count clamps to 0/1
+    // before the ±1 overlay applies.
+    Tuple key(std::move(values));
+    int64_t present = sg.relation->Count(key);
+    if (sg.counts_as_one && present > 0) present = 1;
+    if (sg.overlay != nullptr) present += sg.overlay->Count(key);
+    if (present != 0) return Status::OK();
+    return Recurse(depth + 1, count);
+  }
+
+  Status ExecComparison(const PreparedSubgoal& sg, size_t depth,
+                        int64_t count) {
+    bool lhs_ground = TermIsGround(sg.cmp_lhs, bindings_);
+    bool rhs_ground = TermIsGround(sg.cmp_rhs, bindings_);
+    if (sg.cmp_op == ComparisonOp::kEq && lhs_ground != rhs_ground) {
+      // '='-binding: assign the ground side to the (single) unbound variable
+      // on the other side.
+      const Term& var_side = lhs_ground ? sg.cmp_rhs : sg.cmp_lhs;
+      const Term& val_side = lhs_ground ? sg.cmp_lhs : sg.cmp_rhs;
+      if (var_side.IsVariable()) {
+        IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(val_side, bindings_));
+        bindings_.Bind(var_side.var(), std::move(v));
+        Status status = Recurse(depth + 1, count);
+        bindings_.Unbind(var_side.var());
+        return status;
+      }
+    }
+    if (!lhs_ground || !rhs_ground) {
+      return Status::Internal(
+          "comparison reached with unbound variables (unsafe rule)");
+    }
+    IVM_ASSIGN_OR_RETURN(Value lhs, EvalTerm(sg.cmp_lhs, bindings_));
+    IVM_ASSIGN_OR_RETURN(Value rhs, EvalTerm(sg.cmp_rhs, bindings_));
+    IVM_ASSIGN_OR_RETURN(bool pass, EvalComparison(sg.cmp_op, lhs, rhs));
+    if (!pass) return Status::OK();
+    return Recurse(depth + 1, count);
+  }
+
+  const PreparedRule& rule_;
+  std::vector<int> order_;
+  Relation* out_;
+  JoinStats* stats_;
+  Bindings bindings_;
+  std::vector<DeferredCheck> deferred_;
+};
+
+}  // namespace
+
+Status EvaluateJoin(const PreparedRule& rule, Relation* out,
+                    JoinStats* stats) {
+  IVM_CHECK(rule.head != nullptr);
+  for (const PreparedSubgoal& sg : rule.subgoals) {
+    if (sg.kind != PreparedSubgoal::Kind::kComparison) {
+      IVM_CHECK(sg.relation != nullptr)
+          << "subgoal with missing relation in rule for " << rule.head->predicate;
+      // An empty scanned relation short-circuits the whole join.
+      if (sg.kind == PreparedSubgoal::Kind::kScan && sg.relation->empty() &&
+          (sg.overlay == nullptr || sg.overlay->empty())) {
+        return Status::OK();
+      }
+    }
+  }
+  std::vector<int> order = PlanOrder(rule);
+  return JoinExecutor(rule, std::move(order), out, stats).Run();
+}
+
+Result<LoweredRule> LowerRule(const Program& program, int rule_index,
+                              const RelationResolver& resolver,
+                              bool multiset_aggregates) {
+  const Rule& rule = program.rule(rule_index);
+  LoweredRule lowered;
+  lowered.prepared.head = &rule.head;
+  lowered.prepared.num_vars = program.num_vars(rule_index);
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive: {
+        const Relation* rel = resolver.Get(lit.atom.pred);
+        if (rel == nullptr) {
+          return Status::Internal("no relation bound for predicate '" +
+                                  lit.atom.predicate + "'");
+        }
+        lowered.prepared.subgoals.push_back(
+            PreparedSubgoal::Scan(rel, lit.atom.terms));
+        break;
+      }
+      case Literal::Kind::kNegated: {
+        const Relation* rel = resolver.Get(lit.atom.pred);
+        if (rel == nullptr) {
+          return Status::Internal("no relation bound for predicate '" +
+                                  lit.atom.predicate + "'");
+        }
+        lowered.prepared.subgoals.push_back(
+            PreparedSubgoal::NegCheck(rel, lit.atom.terms));
+        break;
+      }
+      case Literal::Kind::kComparison:
+        lowered.prepared.subgoals.push_back(
+            PreparedSubgoal::Comparison(lit.cmp_op, lit.cmp_lhs, lit.cmp_rhs));
+        break;
+      case Literal::Kind::kAggregate: {
+        const Relation* u = resolver.Get(lit.atom.pred);
+        if (u == nullptr) {
+          return Status::Internal("no relation bound for grouped predicate '" +
+                                  lit.atom.predicate + "'");
+        }
+        IVM_ASSIGN_OR_RETURN(Relation t,
+                             EvaluateAggregate(lit, *u, multiset_aggregates));
+        lowered.owned.push_back(std::make_unique<Relation>(std::move(t)));
+        lowered.prepared.subgoals.push_back(PreparedSubgoal::Scan(
+            lowered.owned.back().get(), AggregatePattern(lit)));
+        break;
+      }
+    }
+  }
+  return lowered;
+}
+
+Status EvaluateRuleOnce(const Program& program, int rule_index,
+                        const RelationResolver& resolver,
+                        bool multiset_aggregates, Relation* out,
+                        JoinStats* stats) {
+  IVM_ASSIGN_OR_RETURN(
+      LoweredRule lowered,
+      LowerRule(program, rule_index, resolver, multiset_aggregates));
+  return EvaluateJoin(lowered.prepared, out, stats);
+}
+
+}  // namespace ivm

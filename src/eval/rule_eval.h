@@ -1,0 +1,124 @@
+#ifndef IVM_EVAL_RULE_EVAL_H_
+#define IVM_EVAL_RULE_EVAL_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Maps predicate ids to the concrete relation to read. Different algorithm
+/// phases plug in different mappings (old state, new state, deltas...).
+class RelationResolver {
+ public:
+  virtual ~RelationResolver() = default;
+  virtual const Relation* Get(PredicateId pred) const = 0;
+};
+
+/// A resolver backed by an explicit map with an optional fallback.
+class MapResolver : public RelationResolver {
+ public:
+  MapResolver() = default;
+  explicit MapResolver(const RelationResolver* fallback) : fallback_(fallback) {}
+
+  void Put(PredicateId pred, const Relation* relation) {
+    map_[pred] = relation;
+  }
+
+  const Relation* Get(PredicateId pred) const override {
+    auto it = map_.find(pred);
+    if (it != map_.end()) return it->second;
+    return fallback_ != nullptr ? fallback_->Get(pred) : nullptr;
+  }
+
+ private:
+  std::map<PredicateId, const Relation*> map_;
+  const RelationResolver* fallback_ = nullptr;
+};
+
+/// One body subgoal lowered to an executable form. Aggregate literals are
+/// lowered by the caller into kScan over a computed T (or Δ(T)) relation;
+/// Δ(¬q) subgoals (Definition 6.1) likewise become kScan over a computed
+/// delta relation.
+struct PreparedSubgoal {
+  enum class Kind {
+    kScan,       // enumerate `relation` tuples matching `pattern`
+    kNegCheck,   // succeed with count 1 iff the ground pattern is ABSENT
+    kComparison  // built-in comparison / '='-binding
+  };
+
+  Kind kind = Kind::kScan;
+  const Relation* relation = nullptr;
+  /// Optional delta overlaid on `relation`: the subgoal reads the *virtual*
+  /// relation `relation ⊎ overlay` without materializing it. This is how
+  /// delta rules access S^new = S ⊎ Δ(S) positions (Example 4.1) in time
+  /// proportional to the delta.
+  const Relation* overlay = nullptr;
+  /// When true, every present tuple is read with count ±1 (sign of its
+  /// effective count) — the Section 5.1 representation where lower-strata
+  /// tuples are treated as having count 1.
+  bool counts_as_one = false;
+  std::vector<Term> pattern;
+  ComparisonOp cmp_op = ComparisonOp::kEq;
+  Term cmp_lhs = Term::Const(Value::Null());
+  Term cmp_rhs = Term::Const(Value::Null());
+
+  static PreparedSubgoal Scan(const Relation* rel, std::vector<Term> pattern);
+  static PreparedSubgoal NegCheck(const Relation* rel, std::vector<Term> pattern);
+  static PreparedSubgoal Comparison(ComparisonOp op, Term lhs, Term rhs);
+};
+
+/// A rule body lowered against concrete relations, ready for joining.
+struct PreparedRule {
+  const Atom* head = nullptr;
+  int num_vars = 0;
+  std::vector<PreparedSubgoal> subgoals;
+  /// Subgoal to join first (the Δ-subgoal of a delta rule — "usually the
+  /// most restrictive subgoal", Section 6.1); -1 picks automatically.
+  int start_subgoal = -1;
+  /// When false, subgoals execute in the written order (after the pinned
+  /// start subgoal) instead of the greedy bound-variable order. Exists for
+  /// the join-ordering ablation benchmark; leave true.
+  bool plan_greedy = true;
+};
+
+/// Optional instrumentation for benchmarks.
+struct JoinStats {
+  uint64_t tuples_matched = 0;   // candidate tuples examined across scans
+  uint64_t derivations = 0;      // complete body matches emitted
+};
+
+/// Evaluates the prepared conjunction. For every derivation, multiplies the
+/// counts of the scanned tuples (negations and comparisons contribute factor
+/// 1) and ⊎-accumulates the instantiated head into `out`. Counts may be
+/// negative when scanning delta relations — the sign algebra of Section 3
+/// falls out of the multiplication.
+Status EvaluateJoin(const PreparedRule& rule, Relation* out,
+                    JoinStats* stats = nullptr);
+
+/// Lowers rule `rule_index` of `program` with *all* subgoal positions read
+/// through `resolver` (the plain, non-delta case). Aggregate subgoals are
+/// evaluated into relations owned by the returned object.
+struct LoweredRule {
+  PreparedRule prepared;
+  /// Owning storage for lowered aggregate relations.
+  std::vector<std::unique_ptr<Relation>> owned;
+};
+Result<LoweredRule> LowerRule(const Program& program, int rule_index,
+                              const RelationResolver& resolver,
+                              bool multiset_aggregates);
+
+/// Convenience: lower + evaluate rule `rule_index`, accumulating into `out`.
+Status EvaluateRuleOnce(const Program& program, int rule_index,
+                        const RelationResolver& resolver,
+                        bool multiset_aggregates, Relation* out,
+                        JoinStats* stats = nullptr);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_RULE_EVAL_H_

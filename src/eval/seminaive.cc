@@ -1,0 +1,197 @@
+#include "eval/seminaive.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "eval/aggregates.h"
+
+namespace ivm {
+
+namespace {
+
+/// A rule of the stratum, lowered once: fixed subgoals carry their relation;
+/// positions over stratum predicates are filled per evaluation round.
+struct StratumRule {
+  const Rule* rule = nullptr;
+  int num_vars = 0;
+  struct Slot {
+    PreparedSubgoal subgoal;          // relation set for fixed slots
+    PredicateId stratum_pred = -1;    // >= 0: positive atom over the stratum
+  };
+  std::vector<Slot> slots;
+  /// Indices of slots over stratum predicates.
+  std::vector<int> recursive_positions;
+};
+
+}  // namespace
+
+Status FixpointStratum(const Program& program, int stratum,
+                       const RelationResolver& lower,
+                       std::map<PredicateId, Relation>* state,
+                       JoinStats* stats) {
+  const std::vector<int>& rule_indices = program.rules_in_stratum(stratum);
+  const std::vector<PredicateId>& preds = program.predicates_in_stratum(stratum);
+
+  auto in_stratum = [&](PredicateId p) {
+    for (PredicateId q : preds) {
+      if (q == p) return true;
+    }
+    return false;
+  };
+
+  // Ensure state entries exist (stable addresses: std::map nodes).
+  for (PredicateId p : preds) {
+    if (state->find(p) == state->end()) {
+      const PredicateInfo& info = program.predicate(p);
+      state->emplace(p, Relation(info.name, info.arity));
+    }
+  }
+
+  // Lower all rules once; aggregates (always over lower strata) are computed
+  // here and owned locally.
+  std::vector<std::unique_ptr<Relation>> owned;
+  std::vector<StratumRule> lowered;
+  lowered.reserve(rule_indices.size());
+  for (int r : rule_indices) {
+    const Rule& rule = program.rule(r);
+    StratumRule sr;
+    sr.rule = &rule;
+    sr.num_vars = program.num_vars(r);
+    for (const Literal& lit : rule.body) {
+      StratumRule::Slot slot;
+      switch (lit.kind) {
+        case Literal::Kind::kPositive: {
+          if (in_stratum(lit.atom.pred)) {
+            slot.stratum_pred = lit.atom.pred;
+            slot.subgoal = PreparedSubgoal::Scan(nullptr, lit.atom.terms);
+          } else {
+            const Relation* rel = lower.Get(lit.atom.pred);
+            if (rel == nullptr) {
+              return Status::Internal("no relation bound for predicate '" +
+                                      lit.atom.predicate + "'");
+            }
+            slot.subgoal = PreparedSubgoal::Scan(rel, lit.atom.terms);
+          }
+          break;
+        }
+        case Literal::Kind::kNegated: {
+          const Relation* rel = lower.Get(lit.atom.pred);
+          if (rel == nullptr) {
+            return Status::Internal("no relation bound for predicate '" +
+                                    lit.atom.predicate + "'");
+          }
+          slot.subgoal = PreparedSubgoal::NegCheck(rel, lit.atom.terms);
+          break;
+        }
+        case Literal::Kind::kComparison:
+          slot.subgoal =
+              PreparedSubgoal::Comparison(lit.cmp_op, lit.cmp_lhs, lit.cmp_rhs);
+          break;
+        case Literal::Kind::kAggregate: {
+          const Relation* u = lower.Get(lit.atom.pred);
+          if (u == nullptr) {
+            return Status::Internal("no relation bound for grouped predicate '" +
+                                    lit.atom.predicate + "'");
+          }
+          IVM_ASSIGN_OR_RETURN(Relation t, EvaluateAggregate(lit, *u,
+                                                             /*multiset=*/false));
+          owned.push_back(std::make_unique<Relation>(std::move(t)));
+          slot.subgoal =
+              PreparedSubgoal::Scan(owned.back().get(), AggregatePattern(lit));
+          break;
+        }
+      }
+      if (slot.stratum_pred >= 0) {
+        sr.recursive_positions.push_back(static_cast<int>(sr.slots.size()));
+      }
+      sr.slots.push_back(std::move(slot));
+    }
+    lowered.push_back(std::move(sr));
+  }
+
+  std::map<PredicateId, Relation> delta;
+  for (PredicateId p : preds) {
+    const PredicateInfo& info = program.predicate(p);
+    delta.emplace(p, Relation(info.name, info.arity));
+  }
+
+  Relation scratch;
+  // Evaluates `sr` with stratum positions resolved from `state`, except the
+  // position `delta_pos` (if >= 0), which reads the delta relation instead.
+  auto eval_rule = [&](const StratumRule& sr, int delta_pos,
+                       Relation* out) -> Status {
+    PreparedRule prepared;
+    prepared.head = &sr.rule->head;
+    prepared.num_vars = sr.num_vars;
+    prepared.start_subgoal = delta_pos;
+    for (size_t i = 0; i < sr.slots.size(); ++i) {
+      const StratumRule::Slot& slot = sr.slots[i];
+      PreparedSubgoal sg = slot.subgoal;
+      if (slot.stratum_pred >= 0) {
+        const Relation& rel = static_cast<int>(i) == delta_pos
+                                  ? delta.at(slot.stratum_pred)
+                                  : state->at(slot.stratum_pred);
+        sg.relation = &rel;
+      }
+      prepared.subgoals.push_back(std::move(sg));
+    }
+    return EvaluateJoin(prepared, out, stats);
+  };
+
+  // Merges freshly derived tuples (set semantics) into the state and the
+  // next-round delta.
+  auto merge = [&](PredicateId head, const Relation& derived,
+                   std::map<PredicateId, Relation>* next_delta) {
+    Relation& full = state->at(head);
+    for (const auto& [tuple, count] : derived.tuples()) {
+      IVM_CHECK_GT(count, 0) << "negative count in set-semantics fixpoint";
+      if (!full.Contains(tuple)) {
+        full.Add(tuple, 1);
+        next_delta->at(head).Add(tuple, 1);
+      }
+    }
+  };
+
+  // Round 0: evaluate every rule against the (possibly seeded) full state.
+  {
+    std::map<PredicateId, Relation> next_delta;
+    for (PredicateId p : preds) {
+      const PredicateInfo& info = program.predicate(p);
+      next_delta.emplace(p, Relation(info.name, info.arity));
+    }
+    for (const StratumRule& sr : lowered) {
+      scratch.Clear();
+      IVM_RETURN_IF_ERROR(eval_rule(sr, -1, &scratch));
+      merge(sr.rule->head.pred, scratch, &next_delta);
+    }
+    delta = std::move(next_delta);
+  }
+
+  // Semi-naive rounds.
+  while (true) {
+    bool any = false;
+    for (const auto& [p, d] : delta) {
+      (void)p;
+      if (!d.empty()) any = true;
+    }
+    if (!any) break;
+    std::map<PredicateId, Relation> next_delta;
+    for (PredicateId p : preds) {
+      const PredicateInfo& info = program.predicate(p);
+      next_delta.emplace(p, Relation(info.name, info.arity));
+    }
+    for (const StratumRule& sr : lowered) {
+      for (int pos : sr.recursive_positions) {
+        if (delta.at(sr.slots[pos].stratum_pred).empty()) continue;
+        scratch.Clear();
+        IVM_RETURN_IF_ERROR(eval_rule(sr, pos, &scratch));
+        merge(sr.rule->head.pred, scratch, &next_delta);
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return Status::OK();
+}
+
+}  // namespace ivm

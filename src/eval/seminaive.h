@@ -1,0 +1,33 @@
+#ifndef IVM_EVAL_SEMINAIVE_H_
+#define IVM_EVAL_SEMINAIVE_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "eval/rule_eval.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Computes the set-semantics fixpoint of one (possibly recursive) stratum
+/// by semi-naive iteration [Ull89].
+///
+/// `lower` resolves every predicate outside the stratum (base relations and
+/// lower-strata results) — these are fixed during the fixpoint, so aggregate
+/// and negated subgoals (which are stratified below this stratum) are
+/// evaluated against stable inputs; lowered aggregate relations are computed
+/// once and cached.
+///
+/// `state` maps each of the stratum's derived predicates to its relation.
+/// Entries may be pre-seeded (DRed's rederivation and insertion phases seed
+/// them); all tuples end with count 1. Newly derived tuples are appended
+/// in place.
+Status FixpointStratum(const Program& program, int stratum,
+                       const RelationResolver& lower,
+                       std::map<PredicateId, Relation>* state,
+                       JoinStats* stats = nullptr);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_SEMINAIVE_H_

@@ -1,0 +1,159 @@
+#include "sql/sql_dml.h"
+
+#include "common/logging.h"
+#include "eval/builtins.h"
+
+namespace ivm {
+
+namespace {
+
+/// Evaluates a column/literal/arith expression against one row.
+Result<Value> EvalRowExpr(const SqlExpr& expr,
+                          const std::vector<std::string>& columns,
+                          const Tuple& row) {
+  switch (expr.kind) {
+    case SqlExpr::Kind::kLiteral:
+      return expr.literal;
+    case SqlExpr::Kind::kColumn: {
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (columns[c] == expr.column) return row[c];
+      }
+      return Status::NotFound("unknown column '" + expr.column + "'");
+    }
+    case SqlExpr::Kind::kArith: {
+      IVM_ASSIGN_OR_RETURN(Value lhs, EvalRowExpr(*expr.lhs, columns, row));
+      IVM_ASSIGN_OR_RETURN(Value rhs, EvalRowExpr(*expr.rhs, columns, row));
+      switch (expr.op) {
+        case ArithOp::kAdd: return Value::Add(lhs, rhs);
+        case ArithOp::kSub: return Value::Subtract(lhs, rhs);
+        case ArithOp::kMul: return Value::Multiply(lhs, rhs);
+        case ArithOp::kDiv: return Value::Divide(lhs, rhs);
+      }
+      return Status::Internal("bad arithmetic operator");
+    }
+    case SqlExpr::Kind::kAggregate:
+      return Status::InvalidArgument("aggregates are not allowed in DML");
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<bool> RowMatches(const std::vector<SqlComparison>& where,
+                        const std::vector<std::string>& columns,
+                        const Tuple& row) {
+  for (const SqlComparison& cmp : where) {
+    IVM_ASSIGN_OR_RETURN(Value lhs, EvalRowExpr(cmp.lhs, columns, row));
+    IVM_ASSIGN_OR_RETURN(Value rhs, EvalRowExpr(cmp.rhs, columns, row));
+    IVM_ASSIGN_OR_RETURN(bool pass, EvalComparison(cmp.op, lhs, rhs));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ChangeSet> CompileDml(const SqlStatement& stmt,
+                             const std::vector<std::string>& columns,
+                             const Relation& current_extent) {
+  ChangeSet out;
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kInsert: {
+      // Optional column list: values are permuted into table order; omitted
+      // columns are not supported (all columns must be given).
+      std::vector<size_t> target_positions;
+      if (stmt.columns.empty()) {
+        for (size_t i = 0; i < columns.size(); ++i) target_positions.push_back(i);
+      } else {
+        if (stmt.columns.size() != columns.size()) {
+          return Status::Unimplemented(
+              "INSERT must provide every column of '" + stmt.name + "'");
+        }
+        for (const std::string& col : stmt.columns) {
+          bool found = false;
+          for (size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i] == col) {
+              target_positions.push_back(i);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return Status::NotFound("unknown column '" + col + "' in INSERT");
+          }
+        }
+      }
+      for (const std::vector<Value>& row : stmt.rows) {
+        if (row.size() != columns.size()) {
+          return Status::InvalidArgument(
+              "INSERT row has " + std::to_string(row.size()) +
+              " values; table '" + stmt.name + "' has " +
+              std::to_string(columns.size()) + " columns");
+        }
+        std::vector<Value> ordered(columns.size());
+        for (size_t i = 0; i < row.size(); ++i) {
+          ordered[target_positions[i]] = row[i];
+        }
+        out.Insert(stmt.name, Tuple(std::move(ordered)));
+      }
+      return out;
+    }
+    case SqlStatement::Kind::kDelete: {
+      for (const auto& [tuple, count] : current_extent.tuples()) {
+        IVM_ASSIGN_OR_RETURN(bool match, RowMatches(stmt.where, columns, tuple));
+        if (match) out.Delete(stmt.name, tuple, count > 0 ? count : 1);
+      }
+      return out;
+    }
+    case SqlStatement::Kind::kUpdate: {
+      for (const auto& [tuple, count] : current_extent.tuples()) {
+        IVM_ASSIGN_OR_RETURN(bool match, RowMatches(stmt.where, columns, tuple));
+        if (!match) continue;
+        std::vector<Value> updated = tuple.values();
+        for (const SqlAssignment& assign : stmt.assignments) {
+          bool found = false;
+          for (size_t c = 0; c < columns.size(); ++c) {
+            if (columns[c] == assign.column) {
+              // SET expressions see the *old* row, per SQL semantics.
+              IVM_ASSIGN_OR_RETURN(updated[c],
+                                   EvalRowExpr(assign.value, columns, tuple));
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return Status::NotFound("unknown column '" + assign.column +
+                                    "' in UPDATE");
+          }
+        }
+        Tuple new_tuple(std::move(updated));
+        if (new_tuple == tuple) continue;
+        int64_t n = count > 0 ? count : 1;
+        out.Delete(stmt.name, tuple, n);
+        out.Insert(stmt.name, new_tuple, n);
+      }
+      return out;
+    }
+    case SqlStatement::Kind::kCreateTable:
+    case SqlStatement::Kind::kCreateView:
+      return Status::InvalidArgument(
+          "CompileDml expects INSERT/DELETE/UPDATE, got a DDL statement");
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Result<ChangeSet> CompileDmlScript(const std::string& sql,
+                                   const DmlSource& source) {
+  IVM_ASSIGN_OR_RETURN(std::vector<SqlStatement> stmts, ParseSql(sql));
+  ChangeSet out;
+  for (const SqlStatement& stmt : stmts) {
+    IVM_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                         source.GetColumns(stmt.name));
+    IVM_ASSIGN_OR_RETURN(const Relation* extent, source.GetExtent(stmt.name));
+    IVM_ASSIGN_OR_RETURN(ChangeSet one, CompileDml(stmt, columns, *extent));
+    for (const auto& [name, delta] : one.deltas()) {
+      out.Merge(name, delta);
+    }
+  }
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,44 @@
+#ifndef IVM_SQL_SQL_DML_H_
+#define IVM_SQL_SQL_DML_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/change_set.h"
+#include "sql/sql_parser.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Compiles one DML statement (INSERT / DELETE / UPDATE) into a ChangeSet
+/// against the current extent of the target table:
+///   * INSERT INTO t VALUES (...)          → insertions;
+///   * DELETE FROM t [WHERE conj]          → deletions of the matching rows;
+///   * UPDATE t SET c = expr [WHERE conj]  → delete(old) + insert(new) per
+///     matching row (exactly how the paper treats updates).
+/// WHERE/SET expressions may reference the row's columns (by the names in
+/// `columns`), literals, and arithmetic.
+Result<ChangeSet> CompileDml(const SqlStatement& stmt,
+                             const std::vector<std::string>& columns,
+                             const Relation& current_extent);
+
+/// Parses `sql` (a ';'-separated script of DML statements only) and compiles
+/// each against extents fetched by name through the DmlSource. Note:
+/// statements compile against the extents *at call time* — a script whose
+/// later statements depend on the effects of earlier ones (e.g. UPDATE after
+/// INSERT on the same rows) should be applied one statement per call.
+class DmlSource {
+ public:
+  virtual ~DmlSource() = default;
+  virtual Result<const Relation*> GetExtent(const std::string& table) const = 0;
+  virtual Result<std::vector<std::string>> GetColumns(
+      const std::string& table) const = 0;
+};
+
+Result<ChangeSet> CompileDmlScript(const std::string& sql,
+                                   const DmlSource& source);
+
+}  // namespace ivm
+
+#endif  // IVM_SQL_SQL_DML_H_

@@ -1,0 +1,177 @@
+#include "sql/sql_lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace ivm {
+
+std::string SqlToken::Describe() const {
+  switch (type) {
+    case SqlTokenType::kIdent:
+      return "'" + text + "'";
+    case SqlTokenType::kInt:
+      return std::to_string(int_value);
+    case SqlTokenType::kFloat:
+      return std::to_string(double_value);
+    case SqlTokenType::kString:
+      return "'" + text + "'";
+    case SqlTokenType::kEof:
+      return "<end of input>";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+bool SqlToken::Is(std::string_view keyword) const {
+  return type == SqlTokenType::kIdent && EqualsIgnoreCase(text, keyword);
+}
+
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view src) {
+  std::vector<SqlToken> out;
+  size_t pos = 0;
+  int line = 1;
+  auto peek = [&](size_t ahead = 0) -> char {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  };
+  auto advance = [&]() -> char {
+    char c = src[pos++];
+    if (c == '\n') ++line;
+    return c;
+  };
+
+  while (pos < src.size()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {
+      while (pos < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    SqlToken tok;
+    tok.line = line;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        tok.text += advance();
+      }
+      tok.type = SqlTokenType::kIdent;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      bool is_float = false;
+      while (pos < src.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        digits += advance();
+        while (pos < src.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          digits += advance();
+        }
+      }
+      tok.text = digits;
+      if (is_float) {
+        tok.type = SqlTokenType::kFloat;
+        auto r = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                 tok.double_value);
+        if (r.ec != std::errc()) {
+          return Status::InvalidArgument("bad numeric literal at line " +
+                                         std::to_string(line));
+        }
+      } else {
+        tok.type = SqlTokenType::kInt;
+        auto r = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                 tok.int_value);
+        if (r.ec != std::errc()) {
+          return Status::InvalidArgument("integer literal out of range at line " +
+                                         std::to_string(line));
+        }
+      }
+    } else if (c == '\'') {
+      advance();
+      while (pos < src.size() && peek() != '\'') tok.text += advance();
+      if (pos >= src.size()) {
+        return Status::InvalidArgument("unterminated string at line " +
+                                       std::to_string(line));
+      }
+      advance();
+      // SQL escapes quotes by doubling: 'it''s'.
+      while (peek() == '\'') {
+        tok.text += advance();
+        while (pos < src.size() && peek() != '\'') tok.text += advance();
+        if (pos >= src.size()) {
+          return Status::InvalidArgument("unterminated string at line " +
+                                         std::to_string(line));
+        }
+        advance();
+      }
+      tok.type = SqlTokenType::kString;
+    } else {
+      advance();
+      switch (c) {
+        case '(': tok.type = SqlTokenType::kLParen; tok.text = "("; break;
+        case ')': tok.type = SqlTokenType::kRParen; tok.text = ")"; break;
+        case ',': tok.type = SqlTokenType::kComma; tok.text = ","; break;
+        case ';': tok.type = SqlTokenType::kSemicolon; tok.text = ";"; break;
+        case '.': tok.type = SqlTokenType::kDot; tok.text = "."; break;
+        case '*': tok.type = SqlTokenType::kStar; tok.text = "*"; break;
+        case '=': tok.type = SqlTokenType::kEq; tok.text = "="; break;
+        case '+': tok.type = SqlTokenType::kPlus; tok.text = "+"; break;
+        case '-': tok.type = SqlTokenType::kMinus; tok.text = "-"; break;
+        case '/': tok.type = SqlTokenType::kSlash; tok.text = "/"; break;
+        case '!':
+          if (peek() == '=') {
+            advance();
+            tok.type = SqlTokenType::kNe;
+            tok.text = "!=";
+          } else {
+            return Status::InvalidArgument("stray '!' at line " +
+                                           std::to_string(line));
+          }
+          break;
+        case '<':
+          if (peek() == '>') {
+            advance();
+            tok.type = SqlTokenType::kNe;
+            tok.text = "<>";
+          } else if (peek() == '=') {
+            advance();
+            tok.type = SqlTokenType::kLe;
+            tok.text = "<=";
+          } else {
+            tok.type = SqlTokenType::kLt;
+            tok.text = "<";
+          }
+          break;
+        case '>':
+          if (peek() == '=') {
+            advance();
+            tok.type = SqlTokenType::kGe;
+            tok.text = ">=";
+          } else {
+            tok.type = SqlTokenType::kGt;
+            tok.text = ">";
+          }
+          break;
+        default:
+          return Status::InvalidArgument("unexpected character '" +
+                                         std::string(1, c) + "' at line " +
+                                         std::to_string(line));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  SqlToken eof;
+  eof.type = SqlTokenType::kEof;
+  eof.line = line;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace ivm

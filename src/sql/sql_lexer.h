@@ -1,0 +1,52 @@
+#ifndef IVM_SQL_SQL_LEXER_H_
+#define IVM_SQL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ivm {
+
+enum class SqlTokenType {
+  kIdent,    // identifiers and keywords (case-insensitive)
+  kInt,
+  kFloat,
+  kString,   // 'single-quoted'
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kEq,
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEof,
+};
+
+struct SqlToken {
+  SqlTokenType type = SqlTokenType::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  int line = 1;
+
+  std::string Describe() const;
+  /// Case-insensitive keyword check.
+  bool Is(std::string_view keyword) const;
+};
+
+/// Tokenizes SQL; comments: '--' to end of line.
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view src);
+
+}  // namespace ivm
+
+#endif  // IVM_SQL_SQL_LEXER_H_

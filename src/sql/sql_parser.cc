@@ -1,0 +1,438 @@
+#include "sql/sql_parser.h"
+
+#include "common/string_util.h"
+#include "sql/sql_lexer.h"
+
+namespace ivm {
+
+bool SqlExpr::HasAggregate() const {
+  switch (kind) {
+    case Kind::kAggregate:
+      return true;
+    case Kind::kArith:
+      return (lhs && lhs->HasAggregate()) || (rhs && rhs->HasAggregate());
+    default:
+      return false;
+  }
+}
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return table_alias.empty() ? column : table_alias + "." + column;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kArith: {
+      const char* o = "?";
+      switch (op) {
+        case ArithOp::kAdd: o = " + "; break;
+        case ArithOp::kSub: o = " - "; break;
+        case ArithOp::kMul: o = " * "; break;
+        case ArithOp::kDiv: o = " / "; break;
+      }
+      return "(" + lhs->ToString() + o + rhs->ToString() + ")";
+    }
+    case Kind::kAggregate: {
+      std::string out = AggregateFuncName(func);
+      out += "(";
+      out += arg ? arg->ToString() : "*";
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<SqlStatement>> Run() {
+    std::vector<SqlStatement> out;
+    while (!Check(SqlTokenType::kEof)) {
+      if (Match(SqlTokenType::kSemicolon)) continue;
+      IVM_ASSIGN_OR_RETURN(SqlStatement stmt, ParseStatement());
+      out.push_back(std::move(stmt));
+      if (!Check(SqlTokenType::kEof)) {
+        IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kSemicolon, "';'"));
+      }
+    }
+    return out;
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const SqlToken& Advance() {
+    const SqlToken& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool Check(SqlTokenType t) const { return Peek().type == t; }
+  bool Match(SqlTokenType t) {
+    if (!Check(t)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!Peek().Is(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(SqlTokenType t, const std::string& what) {
+    if (Match(t)) return Status::OK();
+    return Errf("expected " + what);
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Errf("expected '" + std::string(kw) + "'");
+  }
+  Status Errf(const std::string& msg) const {
+    return Status::InvalidArgument(msg + ", got " + Peek().Describe() +
+                                   " at line " + std::to_string(Peek().line));
+  }
+
+  Result<std::string> ParseIdent(const std::string& what) {
+    if (!Check(SqlTokenType::kIdent)) return Errf("expected " + what);
+    return AsciiLower(Advance().text);
+  }
+
+  Result<SqlStatement> ParseStatement() {
+    if (MatchKeyword("insert")) return ParseInsert();
+    if (MatchKeyword("delete")) return ParseDelete();
+    if (MatchKeyword("update")) return ParseUpdate();
+    IVM_RETURN_IF_ERROR(ExpectKeyword("create"));
+    if (MatchKeyword("table")) return ParseCreateTable();
+    if (MatchKeyword("view")) return ParseCreateView();
+    if (MatchKeyword("materialized")) {
+      IVM_RETURN_IF_ERROR(ExpectKeyword("view"));
+      return ParseCreateView();
+    }
+    return Errf("expected TABLE or [MATERIALIZED] VIEW after CREATE");
+  }
+
+  Result<SqlStatement> ParseInsert() {
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kInsert;
+    IVM_RETURN_IF_ERROR(ExpectKeyword("into"));
+    IVM_ASSIGN_OR_RETURN(stmt.name, ParseIdent("table name"));
+    if (Match(SqlTokenType::kLParen)) {
+      do {
+        IVM_ASSIGN_OR_RETURN(std::string col, ParseIdent("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (Match(SqlTokenType::kComma));
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kRParen, "')'"));
+    }
+    IVM_RETURN_IF_ERROR(ExpectKeyword("values"));
+    do {
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kLParen, "'('"));
+      std::vector<Value> row;
+      do {
+        IVM_ASSIGN_OR_RETURN(SqlExpr e, ParseExpr());
+        if (e.kind != SqlExpr::Kind::kLiteral) {
+          return Errf("VALUES rows must contain literals");
+        }
+        row.push_back(e.literal);
+      } while (Match(SqlTokenType::kComma));
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kRParen, "')'"));
+      stmt.rows.push_back(std::move(row));
+    } while (Match(SqlTokenType::kComma));
+    return stmt;
+  }
+
+  Result<std::vector<SqlComparison>> ParseWhere() {
+    std::vector<SqlComparison> where;
+    if (!MatchKeyword("where")) return where;
+    do {
+      SqlComparison cmp;
+      IVM_ASSIGN_OR_RETURN(cmp.lhs, ParseExpr());
+      switch (Peek().type) {
+        case SqlTokenType::kEq: cmp.op = ComparisonOp::kEq; break;
+        case SqlTokenType::kNe: cmp.op = ComparisonOp::kNe; break;
+        case SqlTokenType::kLt: cmp.op = ComparisonOp::kLt; break;
+        case SqlTokenType::kLe: cmp.op = ComparisonOp::kLe; break;
+        case SqlTokenType::kGt: cmp.op = ComparisonOp::kGt; break;
+        case SqlTokenType::kGe: cmp.op = ComparisonOp::kGe; break;
+        default:
+          return Errf("expected comparison operator");
+      }
+      Advance();
+      IVM_ASSIGN_OR_RETURN(cmp.rhs, ParseExpr());
+      where.push_back(std::move(cmp));
+    } while (MatchKeyword("and"));
+    return where;
+  }
+
+  Result<SqlStatement> ParseDelete() {
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kDelete;
+    IVM_RETURN_IF_ERROR(ExpectKeyword("from"));
+    IVM_ASSIGN_OR_RETURN(stmt.name, ParseIdent("table name"));
+    IVM_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return stmt;
+  }
+
+  Result<SqlStatement> ParseUpdate() {
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kUpdate;
+    IVM_ASSIGN_OR_RETURN(stmt.name, ParseIdent("table name"));
+    IVM_RETURN_IF_ERROR(ExpectKeyword("set"));
+    do {
+      SqlAssignment assign;
+      IVM_ASSIGN_OR_RETURN(assign.column, ParseIdent("column name"));
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kEq, "'='"));
+      IVM_ASSIGN_OR_RETURN(assign.value, ParseExpr());
+      stmt.assignments.push_back(std::move(assign));
+    } while (Match(SqlTokenType::kComma));
+    IVM_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return stmt;
+  }
+
+  Result<SqlStatement> ParseCreateTable() {
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kCreateTable;
+    IVM_ASSIGN_OR_RETURN(stmt.name, ParseIdent("table name"));
+    IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kLParen, "'('"));
+    do {
+      IVM_ASSIGN_OR_RETURN(std::string col, ParseIdent("column name"));
+      // Ignore an optional type name (INT, TEXT, ...): purely documentation.
+      if (Check(SqlTokenType::kIdent) && !Peek().Is("primary")) Advance();
+      stmt.columns.push_back(std::move(col));
+    } while (Match(SqlTokenType::kComma));
+    IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kRParen, "')'"));
+    return stmt;
+  }
+
+  Result<SqlStatement> ParseCreateView() {
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kCreateView;
+    IVM_ASSIGN_OR_RETURN(stmt.name, ParseIdent("view name"));
+    if (Match(SqlTokenType::kLParen)) {
+      do {
+        IVM_ASSIGN_OR_RETURN(std::string col, ParseIdent("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (Match(SqlTokenType::kComma));
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kRParen, "')'"));
+    }
+    IVM_RETURN_IF_ERROR(ExpectKeyword("as"));
+    IVM_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    return stmt;
+  }
+
+  Result<SqlSelect> ParseSelect() {
+    SqlSelect select;
+    IVM_ASSIGN_OR_RETURN(SqlSelectCore core, ParseSelectCore());
+    select.cores.push_back(std::move(core));
+    while (true) {
+      if (MatchKeyword("union")) {
+        select.ops.push_back(MatchKeyword("all") ? SqlSetOp::kUnionAll
+                                                 : SqlSetOp::kUnion);
+      } else if (MatchKeyword("except")) {
+        select.ops.push_back(SqlSetOp::kExcept);
+      } else {
+        break;
+      }
+      IVM_ASSIGN_OR_RETURN(SqlSelectCore next, ParseSelectCore());
+      select.cores.push_back(std::move(next));
+    }
+    return select;
+  }
+
+  Result<SqlSelectCore> ParseSelectCore() {
+    SqlSelectCore core;
+    IVM_RETURN_IF_ERROR(ExpectKeyword("select"));
+    (void)MatchKeyword("distinct");  // sets are distinct by construction
+    do {
+      SqlSelectItem item;
+      IVM_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        IVM_ASSIGN_OR_RETURN(item.alias, ParseIdent("column alias"));
+      } else if (Check(SqlTokenType::kIdent) && !IsClauseKeyword(Peek())) {
+        IVM_ASSIGN_OR_RETURN(item.alias, ParseIdent("column alias"));
+      }
+      core.items.push_back(std::move(item));
+    } while (Match(SqlTokenType::kComma));
+
+    IVM_RETURN_IF_ERROR(ExpectKeyword("from"));
+    do {
+      SqlTableRef ref;
+      IVM_ASSIGN_OR_RETURN(ref.table, ParseIdent("table name"));
+      ref.alias = ref.table;
+      if (MatchKeyword("as")) {
+        IVM_ASSIGN_OR_RETURN(ref.alias, ParseIdent("table alias"));
+      } else if (Check(SqlTokenType::kIdent) && !IsClauseKeyword(Peek())) {
+        IVM_ASSIGN_OR_RETURN(ref.alias, ParseIdent("table alias"));
+      }
+      core.tables.push_back(std::move(ref));
+    } while (Match(SqlTokenType::kComma));
+
+    if (MatchKeyword("where")) {
+      do {
+        SqlComparison cmp;
+        IVM_ASSIGN_OR_RETURN(cmp.lhs, ParseExpr());
+        switch (Peek().type) {
+          case SqlTokenType::kEq: cmp.op = ComparisonOp::kEq; break;
+          case SqlTokenType::kNe: cmp.op = ComparisonOp::kNe; break;
+          case SqlTokenType::kLt: cmp.op = ComparisonOp::kLt; break;
+          case SqlTokenType::kLe: cmp.op = ComparisonOp::kLe; break;
+          case SqlTokenType::kGt: cmp.op = ComparisonOp::kGt; break;
+          case SqlTokenType::kGe: cmp.op = ComparisonOp::kGe; break;
+          default:
+            return Errf("expected comparison operator");
+        }
+        Advance();
+        IVM_ASSIGN_OR_RETURN(cmp.rhs, ParseExpr());
+        core.where.push_back(std::move(cmp));
+      } while (MatchKeyword("and"));
+    }
+
+    if (MatchKeyword("group")) {
+      IVM_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        IVM_ASSIGN_OR_RETURN(SqlExpr col, ParsePrimary());
+        if (col.kind != SqlExpr::Kind::kColumn) {
+          return Errf("GROUP BY supports column references only");
+        }
+        core.group_by.push_back(std::move(col));
+      } while (Match(SqlTokenType::kComma));
+    }
+    return core;
+  }
+
+  static bool IsClauseKeyword(const SqlToken& t) {
+    return t.Is("from") || t.Is("where") || t.Is("group") || t.Is("union") ||
+           t.Is("except") || t.Is("and") || t.Is("by") || t.Is("as");
+  }
+
+  Result<SqlExpr> ParseExpr() { return ParseAdd(); }
+
+  Result<SqlExpr> ParseAdd() {
+    IVM_ASSIGN_OR_RETURN(SqlExpr lhs, ParseMul());
+    while (Check(SqlTokenType::kPlus) || Check(SqlTokenType::kMinus)) {
+      ArithOp op = Check(SqlTokenType::kPlus) ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      IVM_ASSIGN_OR_RETURN(SqlExpr rhs, ParseMul());
+      SqlExpr e;
+      e.kind = SqlExpr::Kind::kArith;
+      e.op = op;
+      e.lhs = std::make_shared<SqlExpr>(std::move(lhs));
+      e.rhs = std::make_shared<SqlExpr>(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<SqlExpr> ParseMul() {
+    IVM_ASSIGN_OR_RETURN(SqlExpr lhs, ParsePrimary());
+    while (Check(SqlTokenType::kStar) || Check(SqlTokenType::kSlash)) {
+      ArithOp op = Check(SqlTokenType::kStar) ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      IVM_ASSIGN_OR_RETURN(SqlExpr rhs, ParsePrimary());
+      SqlExpr e;
+      e.kind = SqlExpr::Kind::kArith;
+      e.op = op;
+      e.lhs = std::make_shared<SqlExpr>(std::move(lhs));
+      e.rhs = std::make_shared<SqlExpr>(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<SqlExpr> ParsePrimary() {
+    SqlExpr e;
+    if (Check(SqlTokenType::kInt)) {
+      e.kind = SqlExpr::Kind::kLiteral;
+      e.literal = Value::Int(Advance().int_value);
+      return e;
+    }
+    if (Check(SqlTokenType::kFloat)) {
+      e.kind = SqlExpr::Kind::kLiteral;
+      e.literal = Value::Real(Advance().double_value);
+      return e;
+    }
+    if (Check(SqlTokenType::kString)) {
+      e.kind = SqlExpr::Kind::kLiteral;
+      e.literal = Value::Str(Advance().text);
+      return e;
+    }
+    if (Match(SqlTokenType::kMinus)) {
+      if (Check(SqlTokenType::kInt)) {
+        e.kind = SqlExpr::Kind::kLiteral;
+        e.literal = Value::Int(-Advance().int_value);
+        return e;
+      }
+      if (Check(SqlTokenType::kFloat)) {
+        e.kind = SqlExpr::Kind::kLiteral;
+        e.literal = Value::Real(-Advance().double_value);
+        return e;
+      }
+      return Errf("expected numeric literal after '-'");
+    }
+    if (Match(SqlTokenType::kLParen)) {
+      IVM_ASSIGN_OR_RETURN(e, ParseExpr());
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kRParen, "')'"));
+      return e;
+    }
+    if (!Check(SqlTokenType::kIdent)) return Errf("expected an expression");
+
+    // Aggregate function?
+    const std::string lower = AsciiLower(Peek().text);
+    AggregateFunc func = AggregateFunc::kCount;
+    bool is_agg = true;
+    if (lower == "min") {
+      func = AggregateFunc::kMin;
+    } else if (lower == "max") {
+      func = AggregateFunc::kMax;
+    } else if (lower == "sum") {
+      func = AggregateFunc::kSum;
+    } else if (lower == "count") {
+      func = AggregateFunc::kCount;
+    } else if (lower == "avg") {
+      func = AggregateFunc::kAvg;
+    } else {
+      is_agg = false;
+    }
+    if (is_agg && Peek(1).type == SqlTokenType::kLParen) {
+      Advance();
+      Advance();
+      e.kind = SqlExpr::Kind::kAggregate;
+      e.func = func;
+      if (func == AggregateFunc::kCount && Match(SqlTokenType::kStar)) {
+        e.arg = nullptr;
+      } else {
+        IVM_ASSIGN_OR_RETURN(SqlExpr arg, ParseExpr());
+        e.arg = std::make_shared<SqlExpr>(std::move(arg));
+      }
+      IVM_RETURN_IF_ERROR(Expect(SqlTokenType::kRParen, "')'"));
+      return e;
+    }
+
+    // Column reference: ident or ident.ident.
+    e.kind = SqlExpr::Kind::kColumn;
+    IVM_ASSIGN_OR_RETURN(std::string first, ParseIdent("column"));
+    if (Match(SqlTokenType::kDot)) {
+      e.table_alias = first;
+      IVM_ASSIGN_OR_RETURN(e.column, ParseIdent("column"));
+    } else {
+      e.column = std::move(first);
+    }
+    return e;
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<SqlStatement>> ParseSql(std::string_view sql) {
+  IVM_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, SqlTokenize(sql));
+  return SqlParser(std::move(tokens)).Run();
+}
+
+}  // namespace ivm

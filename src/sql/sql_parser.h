@@ -1,0 +1,101 @@
+#ifndef IVM_SQL_SQL_PARSER_H_
+#define IVM_SQL_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/ast.h"
+
+namespace ivm {
+
+/// SQL expression AST (the fragment the translator supports).
+struct SqlExpr {
+  enum class Kind { kColumn, kLiteral, kArith, kAggregate };
+
+  Kind kind = Kind::kLiteral;
+  // kColumn
+  std::string table_alias;  // may be empty
+  std::string column;
+  // kLiteral
+  Value literal;
+  // kArith
+  ArithOp op = ArithOp::kAdd;
+  std::shared_ptr<SqlExpr> lhs;
+  std::shared_ptr<SqlExpr> rhs;
+  // kAggregate
+  AggregateFunc func = AggregateFunc::kCount;
+  std::shared_ptr<SqlExpr> arg;  // null for COUNT(*)
+
+  bool HasAggregate() const;
+  std::string ToString() const;
+};
+
+struct SqlSelectItem {
+  SqlExpr expr;
+  std::string alias;  // may be empty
+};
+
+struct SqlTableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+struct SqlComparison {
+  ComparisonOp op = ComparisonOp::kEq;
+  SqlExpr lhs;
+  SqlExpr rhs;
+};
+
+/// One SELECT core: SELECT items FROM tables [WHERE conj] [GROUP BY cols].
+struct SqlSelectCore {
+  std::vector<SqlSelectItem> items;
+  std::vector<SqlTableRef> tables;
+  std::vector<SqlComparison> where;
+  std::vector<SqlExpr> group_by;  // column refs
+};
+
+enum class SqlSetOp { kUnionAll, kUnion, kExcept };
+
+/// cores[0] op[0] cores[1] op[1] ... (left-associative).
+struct SqlSelect {
+  std::vector<SqlSelectCore> cores;
+  std::vector<SqlSetOp> ops;
+};
+
+/// col = expr assignment of an UPDATE ... SET clause.
+struct SqlAssignment {
+  std::string column;
+  SqlExpr value;
+};
+
+struct SqlStatement {
+  enum class Kind { kCreateTable, kCreateView, kInsert, kDelete, kUpdate };
+  Kind kind = Kind::kCreateTable;
+  std::string name;
+  std::vector<std::string> columns;  // table columns / optional view or
+                                     // INSERT column list
+  SqlSelect select;                  // for kCreateView
+  // DML payloads:
+  std::vector<std::vector<Value>> rows;     // kInsert VALUES rows
+  std::vector<SqlComparison> where;         // kDelete / kUpdate
+  std::vector<SqlAssignment> assignments;   // kUpdate SET
+};
+
+/// Parses a script of ';'-separated statements: CREATE TABLE, CREATE
+/// [MATERIALIZED] VIEW, and the DML fragment INSERT INTO ... VALUES,
+/// DELETE FROM ... [WHERE ...], UPDATE ... SET ... [WHERE ...]:
+///
+///   CREATE TABLE link(s, d);
+///   CREATE VIEW hop(s, d) AS
+///     SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+///   INSERT INTO link VALUES ('a', 'b'), ('b', 'c');
+///   DELETE FROM link WHERE s = 'a';
+Result<std::vector<SqlStatement>> ParseSql(std::string_view sql);
+
+}  // namespace ivm
+
+#endif  // IVM_SQL_SQL_PARSER_H_

@@ -1,0 +1,570 @@
+#include "sql/sql_translator.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ivm {
+
+namespace {
+
+std::string Capitalize(const std::string& s) {
+  std::string out = s;
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+/// Column slots of one SELECT core with union-find for '='-joins and
+/// constant bindings.
+class Scope {
+ public:
+  Status Init(const std::vector<SqlTableRef>& tables,
+              const std::map<std::string, std::vector<std::string>>& columns_of) {
+    for (const SqlTableRef& ref : tables) {
+      auto it = columns_of.find(ref.table);
+      if (it == columns_of.end()) {
+        return Status::NotFound("unknown table or view '" + ref.table + "'");
+      }
+      if (aliases_.count(ref.alias) > 0) {
+        return Status::InvalidArgument("duplicate table alias '" + ref.alias +
+                                       "'");
+      }
+      aliases_[ref.alias] = static_cast<int>(tables_.size());
+      tables_.push_back(ref);
+      table_columns_.push_back(it->second);
+      std::vector<int> ids;
+      for (const std::string& col : it->second) {
+        (void)col;
+        ids.push_back(static_cast<int>(parent_.size()));
+        parent_.push_back(static_cast<int>(parent_.size()));
+        constants_.push_back(Value::Null());
+        has_constant_.push_back(false);
+      }
+      slot_ids_.push_back(std::move(ids));
+    }
+    return Status::OK();
+  }
+
+  Result<int> Resolve(const std::string& alias, const std::string& col) const {
+    if (!alias.empty()) {
+      auto it = aliases_.find(alias);
+      if (it == aliases_.end()) {
+        return Status::NotFound("unknown table alias '" + alias + "'");
+      }
+      int t = it->second;
+      for (size_t c = 0; c < table_columns_[t].size(); ++c) {
+        if (table_columns_[t][c] == col) return slot_ids_[t][c];
+      }
+      return Status::NotFound("table '" + tables_[t].table +
+                              "' has no column '" + col + "'");
+    }
+    int found = -1;
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      for (size_t c = 0; c < table_columns_[t].size(); ++c) {
+        if (table_columns_[t][c] == col) {
+          if (found >= 0) {
+            return Status::InvalidArgument("ambiguous column '" + col + "'");
+          }
+          found = slot_ids_[t][c];
+        }
+      }
+    }
+    if (found < 0) return Status::NotFound("unknown column '" + col + "'");
+    return found;
+  }
+
+  int Find(int slot) const {
+    while (parent_[slot] != slot) slot = parent_[slot];
+    return slot;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    parent_[b] = a;
+    if (has_constant_[b] && !has_constant_[a]) {
+      has_constant_[a] = true;
+      constants_[a] = constants_[b];
+    }
+    if (has_constant_[b] && has_constant_[a] &&
+        !(constants_[a] == constants_[b])) {
+      conflict_ = true;
+    }
+  }
+
+  void BindConstant(int slot, const Value& v) {
+    int root = Find(slot);
+    if (has_constant_[root] && !(constants_[root] == v)) {
+      conflict_ = true;
+      return;
+    }
+    has_constant_[root] = true;
+    constants_[root] = v;
+  }
+
+  /// True when two different constants were equated (empty result).
+  bool conflict() const { return conflict_; }
+
+  /// The Datalog term of a slot (shared variable or bound constant).
+  Term TermOf(int slot) {
+    int root = Find(slot);
+    if (has_constant_[root]) return Term::Const(constants_[root]);
+    auto it = var_names_.find(root);
+    if (it == var_names_.end()) {
+      // Name the variable after the first slot of the class.
+      std::string name = NameOf(root);
+      it = var_names_.emplace(root, name).first;
+    }
+    return Term::Var(it->second);
+  }
+
+  size_t num_tables() const { return tables_.size(); }
+  const SqlTableRef& table(size_t t) const { return tables_[t]; }
+  const std::vector<std::string>& columns(size_t t) const {
+    return table_columns_[t];
+  }
+  int slot(size_t t, size_t c) const { return slot_ids_[t][c]; }
+
+ private:
+  std::string NameOf(int root) const {
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      for (size_t c = 0; c < table_columns_[t].size(); ++c) {
+        if (Find(slot_ids_[t][c]) == root) {
+          return Capitalize(tables_[t].alias) + "_" + table_columns_[t][c];
+        }
+      }
+    }
+    return "X" + std::to_string(root);
+  }
+
+  std::vector<SqlTableRef> tables_;
+  std::vector<std::vector<std::string>> table_columns_;
+  std::map<std::string, int> aliases_;
+  std::vector<std::vector<int>> slot_ids_;
+  std::vector<int> parent_;
+  std::vector<Value> constants_;
+  std::vector<bool> has_constant_;
+  std::map<int, std::string> var_names_;
+  bool conflict_ = false;
+};
+
+bool IsPlainColumn(const SqlExpr& e) { return e.kind == SqlExpr::Kind::kColumn; }
+
+}  // namespace
+
+Status SqlTranslator::AddBaseTable(const std::string& name,
+                                   const std::vector<std::string>& columns) {
+  if (catalog_.count(name) > 0) {
+    return Status::AlreadyExists("table or view '" + name + "' already exists");
+  }
+  IVM_RETURN_IF_ERROR(program_.DeclareBase(name, columns).status());
+  catalog_[name] = TableInfo{columns, /*is_base=*/true};
+  return Status::OK();
+}
+
+Status SqlTranslator::AddScript(const std::string& sql) {
+  IVM_ASSIGN_OR_RETURN(std::vector<SqlStatement> stmts, ParseSql(sql));
+  for (const SqlStatement& stmt : stmts) {
+    IVM_RETURN_IF_ERROR(AddStatement(stmt));
+  }
+  return Status::OK();
+}
+
+Status SqlTranslator::AddStatement(const SqlStatement& stmt) {
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kCreateTable:
+      return AddBaseTable(stmt.name, stmt.columns);
+    case SqlStatement::Kind::kCreateView:
+      return TranslateView(stmt);
+    case SqlStatement::Kind::kInsert:
+    case SqlStatement::Kind::kDelete:
+    case SqlStatement::Kind::kUpdate:
+      return Status::InvalidArgument(
+          "DML statements go through CompileDml (sql/sql_dml.h), not the "
+          "schema translator");
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Status SqlTranslator::TranslateView(const SqlStatement& stmt) {
+  if (catalog_.count(stmt.name) > 0) {
+    return Status::AlreadyExists("table or view '" + stmt.name +
+                                 "' already exists");
+  }
+  const SqlSelect& select = stmt.select;
+  IVM_CHECK(!select.cores.empty());
+
+  // Output columns: explicit list, or derived from the first core's items.
+  std::vector<std::string> columns = stmt.columns;
+  if (columns.empty()) {
+    for (size_t i = 0; i < select.cores[0].items.size(); ++i) {
+      const SqlSelectItem& item = select.cores[0].items[i];
+      if (!item.alias.empty()) {
+        columns.push_back(item.alias);
+      } else if (IsPlainColumn(item.expr)) {
+        columns.push_back(item.expr.column);
+      } else {
+        columns.push_back("col" + std::to_string(i + 1));
+      }
+    }
+  }
+  for (const SqlSelectCore& core : select.cores) {
+    if (core.items.size() != columns.size()) {
+      return Status::InvalidArgument(
+          "view '" + stmt.name + "': SELECT item count mismatch (" +
+          std::to_string(core.items.size()) + " vs " +
+          std::to_string(columns.size()) + " columns)");
+    }
+  }
+
+  bool has_except = false;
+  for (SqlSetOp op : select.ops) {
+    if (op == SqlSetOp::kExcept) has_except = true;
+  }
+
+  if (!has_except) {
+    // UNION [ALL]: one rule per core, same head.
+    for (const SqlSelectCore& core : select.cores) {
+      IVM_RETURN_IF_ERROR(TranslateCore(core, stmt.name, columns.size()));
+    }
+  } else {
+    if (select.cores.size() != 2) {
+      return Status::Unimplemented(
+          "EXCEPT is supported as a single binary operator");
+    }
+    // lhs EXCEPT rhs  ≡  v(X…) :- lhs(X…) & !rhs(X…).
+    std::string lhs = stmt.name + "__except_lhs";
+    std::string rhs = stmt.name + "__except_rhs";
+    IVM_RETURN_IF_ERROR(TranslateCore(select.cores[0], lhs, columns.size()));
+    IVM_RETURN_IF_ERROR(TranslateCore(select.cores[1], rhs, columns.size()));
+    Rule rule;
+    rule.head.predicate = stmt.name;
+    Atom lhs_atom, rhs_atom;
+    lhs_atom.predicate = lhs;
+    rhs_atom.predicate = rhs;
+    for (const std::string& col : columns) {
+      Term v = Term::Var(Capitalize(col));
+      rule.head.terms.push_back(v);
+      lhs_atom.terms.push_back(v);
+      rhs_atom.terms.push_back(v);
+    }
+    rule.body.push_back(Literal::Positive(std::move(lhs_atom)));
+    rule.body.push_back(Literal::Negated(std::move(rhs_atom)));
+    IVM_RETURN_IF_ERROR(program_.AddRule(std::move(rule)).status());
+  }
+
+  catalog_[stmt.name] = TableInfo{columns, /*is_base=*/false};
+  return Status::OK();
+}
+
+Status SqlTranslator::TranslateCore(const SqlSelectCore& core,
+                                    const std::string& head_name,
+                                    size_t num_columns) {
+  IVM_CHECK_EQ(core.items.size(), num_columns);
+  std::map<std::string, std::vector<std::string>> columns_of;
+  for (const auto& [name, info] : catalog_) columns_of[name] = info.columns;
+
+  Scope scope;
+  IVM_RETURN_IF_ERROR(scope.Init(core.tables, columns_of));
+
+  // Partition WHERE into unifications, constant bindings, and residual
+  // comparison literals.
+  std::vector<const SqlComparison*> residual;
+  for (const SqlComparison& cmp : core.where) {
+    if (cmp.op == ComparisonOp::kEq && IsPlainColumn(cmp.lhs) &&
+        IsPlainColumn(cmp.rhs)) {
+      IVM_ASSIGN_OR_RETURN(int a,
+                           scope.Resolve(cmp.lhs.table_alias, cmp.lhs.column));
+      IVM_ASSIGN_OR_RETURN(int b,
+                           scope.Resolve(cmp.rhs.table_alias, cmp.rhs.column));
+      scope.Union(a, b);
+    } else if (cmp.op == ComparisonOp::kEq && IsPlainColumn(cmp.lhs) &&
+               cmp.rhs.kind == SqlExpr::Kind::kLiteral) {
+      IVM_ASSIGN_OR_RETURN(int a,
+                           scope.Resolve(cmp.lhs.table_alias, cmp.lhs.column));
+      scope.BindConstant(a, cmp.rhs.literal);
+    } else if (cmp.op == ComparisonOp::kEq &&
+               cmp.lhs.kind == SqlExpr::Kind::kLiteral &&
+               IsPlainColumn(cmp.rhs)) {
+      IVM_ASSIGN_OR_RETURN(int b,
+                           scope.Resolve(cmp.rhs.table_alias, cmp.rhs.column));
+      scope.BindConstant(b, cmp.lhs.literal);
+    } else {
+      residual.push_back(&cmp);
+    }
+  }
+
+  // Translates a non-aggregate expression to a Datalog term.
+  std::function<Result<Term>(const SqlExpr&)> to_term =
+      [&](const SqlExpr& e) -> Result<Term> {
+    switch (e.kind) {
+      case SqlExpr::Kind::kColumn: {
+        IVM_ASSIGN_OR_RETURN(int slot, scope.Resolve(e.table_alias, e.column));
+        return scope.TermOf(slot);
+      }
+      case SqlExpr::Kind::kLiteral:
+        return Term::Const(e.literal);
+      case SqlExpr::Kind::kArith: {
+        IVM_ASSIGN_OR_RETURN(Term l, to_term(*e.lhs));
+        IVM_ASSIGN_OR_RETURN(Term r, to_term(*e.rhs));
+        return Term::Arith(e.op, std::move(l), std::move(r));
+      }
+      case SqlExpr::Kind::kAggregate:
+        return Status::InvalidArgument(
+            "aggregate in an unexpected position: " + e.ToString());
+    }
+    return Status::Internal("bad expr kind");
+  };
+
+  // Body atoms and residual comparison literals.
+  auto build_body = [&]() -> Result<std::vector<Literal>> {
+    std::vector<Literal> body;
+    for (size_t t = 0; t < scope.num_tables(); ++t) {
+      Atom atom;
+      atom.predicate = scope.table(t).table;
+      for (size_t c = 0; c < scope.columns(t).size(); ++c) {
+        atom.terms.push_back(scope.TermOf(scope.slot(t, c)));
+      }
+      body.push_back(Literal::Positive(std::move(atom)));
+    }
+    for (const SqlComparison* cmp : residual) {
+      IVM_ASSIGN_OR_RETURN(Term l, to_term(cmp->lhs));
+      IVM_ASSIGN_OR_RETURN(Term r, to_term(cmp->rhs));
+      body.push_back(Literal::Comparison(cmp->op, std::move(l), std::move(r)));
+    }
+    if (scope.conflict()) {
+      // Contradictory constant equalities: emit an always-false guard so the
+      // rule contributes nothing while the view stays defined.
+      body.push_back(Literal::Comparison(ComparisonOp::kEq,
+                                         Term::Const(Value::Int(0)),
+                                         Term::Const(Value::Int(1))));
+    }
+    return body;
+  };
+
+  const bool has_aggregates = [&] {
+    if (!core.group_by.empty()) return true;
+    for (const SqlSelectItem& item : core.items) {
+      if (item.expr.HasAggregate()) return true;
+    }
+    return false;
+  }();
+
+  if (!has_aggregates) {
+    Rule rule;
+    rule.head.predicate = head_name;
+    for (const SqlSelectItem& item : core.items) {
+      IVM_ASSIGN_OR_RETURN(Term t, to_term(item.expr));
+      rule.head.terms.push_back(std::move(t));
+    }
+    IVM_ASSIGN_OR_RETURN(rule.body, build_body());
+    return program_.AddRule(std::move(rule)).status();
+  }
+
+  // ---- Aggregation: build GROUPBY subgoals (Section 6.2). ----
+  // Resolve group-by columns to slots.
+  std::vector<int> group_roots;
+  std::vector<Term> group_terms;
+  for (const SqlExpr& g : core.group_by) {
+    IVM_ASSIGN_OR_RETURN(int slot, scope.Resolve(g.table_alias, g.column));
+    Term t = scope.TermOf(slot);
+    if (!t.IsVariable()) {
+      return Status::Unimplemented(
+          "GROUP BY on a column bound to a constant");
+    }
+    bool dup = false;
+    for (int r : group_roots) {
+      if (r == scope.Find(slot)) dup = true;
+    }
+    if (dup) continue;
+    group_roots.push_back(scope.Find(slot));
+    group_terms.push_back(std::move(t));
+  }
+
+  // The grouped relation U: the single FROM table when there are no joins,
+  // filters, or conflicts; otherwise a helper view of the core's rows.
+  std::string u_name;
+  std::vector<Term> u_outer_terms;  // U's columns as terms of this rule
+  bool direct = scope.num_tables() == 1 && residual.empty() && !scope.conflict();
+  if (direct) {
+    // A self-equality (WHERE t.a = t.b) merges two columns of the single
+    // table; the helper view is needed to preserve that constraint.
+    std::set<std::string> seen_vars;
+    for (size_t c = 0; c < scope.columns(0).size(); ++c) {
+      Term t = scope.TermOf(scope.slot(0, c));
+      if (t.IsVariable() && !seen_vars.insert(t.var_name()).second) {
+        direct = false;
+      }
+    }
+  }
+  if (direct) {
+    u_name = scope.table(0).table;
+    for (size_t c = 0; c < scope.columns(0).size(); ++c) {
+      u_outer_terms.push_back(scope.TermOf(scope.slot(0, c)));
+    }
+  } else {
+    u_name = head_name + "__src" + std::to_string(helper_counter_++);
+    // Export every distinct root referenced by group-bys or aggregate
+    // arguments... exporting all table columns keeps it simple and correct.
+    Rule helper;
+    helper.head.predicate = u_name;
+    std::vector<int> exported_roots;
+    for (size_t t = 0; t < scope.num_tables(); ++t) {
+      for (size_t c = 0; c < scope.columns(t).size(); ++c) {
+        int root = scope.Find(scope.slot(t, c));
+        bool seen = false;
+        for (int r : exported_roots) {
+          if (r == root) seen = true;
+        }
+        if (seen) continue;
+        exported_roots.push_back(root);
+        helper.head.terms.push_back(scope.TermOf(scope.slot(t, c)));
+      }
+    }
+    IVM_ASSIGN_OR_RETURN(helper.body, build_body());
+    u_outer_terms = helper.head.terms;
+    IVM_RETURN_IF_ERROR(program_.AddRule(std::move(helper)).status());
+  }
+
+  // For each aggregate in the select list, emit a GROUPBY literal with a
+  // fresh copy of U's non-group variables (they are local to the literal).
+  Rule rule;
+  rule.head.predicate = head_name;
+  std::vector<Literal> agg_literals;
+  int agg_counter = 0;
+
+  // Maps an aggregate expression to its result variable, creating the
+  // GROUPBY literal on the way.
+  auto lower_aggregate = [&](const SqlExpr& agg) -> Result<Term> {
+    IVM_CHECK(agg.kind == SqlExpr::Kind::kAggregate);
+    const int k = agg_counter++;
+    auto fresh = [&](size_t i) {
+      return Term::Var("U" + std::to_string(k) + "_" + std::to_string(i));
+    };
+    // Build the inner atom: group columns keep the outer group variables,
+    // everything else gets literal-local variables.
+    Atom inner;
+    inner.predicate = u_name;
+    std::map<std::string, Term> inner_var_of;  // outer var name -> inner term
+    for (size_t i = 0; i < u_outer_terms.size(); ++i) {
+      const Term& outer = u_outer_terms[i];
+      bool is_group = false;
+      if (outer.IsVariable()) {
+        for (const Term& g : group_terms) {
+          if (g.var_name() == outer.var_name()) is_group = true;
+        }
+      }
+      if (is_group || outer.IsConstant()) {
+        inner.terms.push_back(outer);
+        if (outer.IsVariable()) inner_var_of.insert_or_assign(outer.var_name(), outer);
+      } else {
+        Term t = fresh(i);
+        if (outer.IsVariable()) inner_var_of.insert_or_assign(outer.var_name(), t);
+        inner.terms.push_back(std::move(t));
+      }
+    }
+    // The aggregated expression over inner variables.
+    std::function<Result<Term>(const SqlExpr&)> arg_term =
+        [&](const SqlExpr& e) -> Result<Term> {
+      switch (e.kind) {
+        case SqlExpr::Kind::kColumn: {
+          IVM_ASSIGN_OR_RETURN(int slot, scope.Resolve(e.table_alias, e.column));
+          Term outer = scope.TermOf(slot);
+          if (outer.IsConstant()) return outer;
+          auto it = inner_var_of.find(outer.var_name());
+          if (it == inner_var_of.end()) {
+            return Status::Internal("aggregate argument column not exported");
+          }
+          return it->second;
+        }
+        case SqlExpr::Kind::kLiteral:
+          return Term::Const(e.literal);
+        case SqlExpr::Kind::kArith: {
+          IVM_ASSIGN_OR_RETURN(Term l, arg_term(*e.lhs));
+          IVM_ASSIGN_OR_RETURN(Term r, arg_term(*e.rhs));
+          return Term::Arith(e.op, std::move(l), std::move(r));
+        }
+        case SqlExpr::Kind::kAggregate:
+          return Status::InvalidArgument("nested aggregates are not supported");
+      }
+      return Status::Internal("bad expr kind");
+    };
+    Term arg = Term::Const(Value::Int(1));  // COUNT(*)
+    if (agg.arg != nullptr) {
+      IVM_ASSIGN_OR_RETURN(arg, arg_term(*agg.arg));
+    }
+    Term result = Term::Var("Agg" + std::to_string(k));
+    agg_literals.push_back(Literal::Aggregate(std::move(inner), group_terms,
+                                              result, agg.func,
+                                              std::move(arg)));
+    return result;
+  };
+
+  // Select items: group columns pass through; aggregates lower to result
+  // variables; arithmetic may mix both.
+  std::function<Result<Term>(const SqlExpr&)> item_term =
+      [&](const SqlExpr& e) -> Result<Term> {
+    switch (e.kind) {
+      case SqlExpr::Kind::kAggregate:
+        return lower_aggregate(e);
+      case SqlExpr::Kind::kColumn: {
+        IVM_ASSIGN_OR_RETURN(int slot, scope.Resolve(e.table_alias, e.column));
+        int root = scope.Find(slot);
+        Term t = scope.TermOf(slot);
+        if (t.IsConstant()) return t;
+        for (int g : group_roots) {
+          if (g == root) return t;
+        }
+        return Status::InvalidArgument(
+            "column '" + e.ToString() +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+      case SqlExpr::Kind::kLiteral:
+        return Term::Const(e.literal);
+      case SqlExpr::Kind::kArith: {
+        IVM_ASSIGN_OR_RETURN(Term l, item_term(*e.lhs));
+        IVM_ASSIGN_OR_RETURN(Term r, item_term(*e.rhs));
+        return Term::Arith(e.op, std::move(l), std::move(r));
+      }
+    }
+    return Status::Internal("bad expr kind");
+  };
+
+  for (const SqlSelectItem& item : core.items) {
+    IVM_ASSIGN_OR_RETURN(Term t, item_term(item.expr));
+    rule.head.terms.push_back(std::move(t));
+  }
+  rule.body = std::move(agg_literals);
+  if (rule.body.empty()) {
+    return Status::InvalidArgument(
+        "GROUP BY without any aggregate in the select list");
+  }
+  return program_.AddRule(std::move(rule)).status();
+}
+
+Result<std::vector<std::string>> SqlTranslator::ColumnsOf(
+    const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("unknown table or view '" + name + "'");
+  }
+  return it->second.columns;
+}
+
+Result<Program> SqlTranslator::Build() const {
+  Program copy = program_;
+  IVM_RETURN_IF_ERROR(copy.Analyze());
+  return copy;
+}
+
+std::string SqlTranslator::DatalogText() const {
+  return program_.ToString();
+}
+
+}  // namespace ivm

@@ -1,0 +1,73 @@
+#ifndef IVM_SQL_SQL_TRANSLATOR_H_
+#define IVM_SQL_SQL_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "sql/sql_parser.h"
+
+namespace ivm {
+
+/// Translates the supported SQL fragment into Datalog rules — the paper
+/// treats SQL and Datalog view definitions interchangeably (Section 3), and
+/// Example 1.1's CREATE VIEW hop is the canonical case:
+///
+///   CREATE TABLE link(s, d);
+///   CREATE VIEW hop(s, d) AS
+///     SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+///
+/// becomes
+///
+///   base link(s, d).
+///   hop(R1_s, R2_d) :- link(R1_s, X) & link(X, R2_d).
+///
+/// Supported: SELECT-FROM-WHERE with conjunctive predicates (=, <>, <, <=,
+/// >, >=, AND), arithmetic in the select list, GROUP BY with MIN/MAX/SUM/
+/// COUNT/AVG (translated to GROUPBY subgoals), UNION [ALL] (multiple rules),
+/// and a binary EXCEPT (translated through negation). Views can reference
+/// previously created views. DISTINCT is implied by set semantics.
+class SqlTranslator {
+ public:
+  SqlTranslator() = default;
+
+  /// Registers a base table without SQL.
+  Status AddBaseTable(const std::string& name,
+                      const std::vector<std::string>& columns);
+
+  /// Parses and translates a script of ';'-separated statements.
+  Status AddScript(const std::string& sql);
+
+  Status AddStatement(const SqlStatement& stmt);
+
+  /// Column names of a known table or view.
+  Result<std::vector<std::string>> ColumnsOf(const std::string& name) const;
+
+  /// The accumulated program, analyzed. Safe to call repeatedly.
+  Result<Program> Build() const;
+
+  /// The translated rules as Datalog text (for inspection / documentation).
+  std::string DatalogText() const;
+
+ private:
+  struct TableInfo {
+    std::vector<std::string> columns;
+    bool is_base = false;
+  };
+
+  Status TranslateView(const SqlStatement& stmt);
+  /// Translates one SELECT core into rules with head `head_name`
+  /// (arity = `num_columns`); appends to program_.
+  Status TranslateCore(const SqlSelectCore& core, const std::string& head_name,
+                       size_t num_columns);
+
+  std::map<std::string, TableInfo> catalog_;
+  Program program_;
+  int helper_counter_ = 0;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_SQL_SQL_TRANSLATOR_H_

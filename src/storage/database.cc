@@ -1,0 +1,66 @@
+#include "storage/database.h"
+
+namespace ivm {
+
+Status Database::CreateRelation(const std::string& name, size_t arity) {
+  auto [it, inserted] = relations_.try_emplace(name, Relation(name, arity));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+const Relation& Database::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  IVM_CHECK(it != relations_.end()) << "unknown relation '" << name << "'";
+  return it->second;
+}
+
+Relation& Database::mutable_relation(const std::string& name) {
+  auto it = relations_.find(name);
+  IVM_CHECK(it != relations_.end()) << "unknown relation '" << name << "'";
+  return it->second;
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    (void)rel;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status Database::ApplyDelta(const std::string& name, const Relation& delta) {
+  IVM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(name));
+  // Validate the Γ⁻ ⊆ E precondition before mutating.
+  for (const auto& [tuple, count] : delta.tuples()) {
+    if (count < 0 && rel->Count(tuple) + count < 0) {
+      return Status::FailedPrecondition(
+          "delta deletes more copies of " + tuple.ToString() + " (" +
+          std::to_string(-count) + ") than stored in '" + name + "' (" +
+          std::to_string(rel->Count(tuple)) + ")");
+    }
+  }
+  rel->UnionInPlace(delta);
+  return Status::OK();
+}
+
+}  // namespace ivm

@@ -1,0 +1,49 @@
+#ifndef IVM_STORAGE_DATABASE_H_
+#define IVM_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// A named collection of base (edb) relations. Views are *not* stored here;
+/// materializations are owned by the maintenance algorithms (see
+/// core/view_manager.h), which snapshot base data from a Database.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty relation; errors with kAlreadyExists on name reuse.
+  Status CreateRelation(const std::string& name, size_t arity);
+
+  bool Has(const std::string& name) const { return relations_.count(name) > 0; }
+
+  /// Checked accessors; the relation must exist.
+  const Relation& relation(const std::string& name) const;
+  Relation& mutable_relation(const std::string& name);
+
+  Result<const Relation*> Get(const std::string& name) const;
+  Result<Relation*> GetMutable(const std::string& name);
+
+  /// Names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return relations_.size(); }
+
+  /// Applies a signed delta to a stored relation with the ⊎ operator. Errors
+  /// (leaving the relation untouched) if any stored count would go negative,
+  /// i.e. if the deletions are not a sub-multiset of the stored data — the
+  /// paper's precondition Γ⁻ ⊆ E (Lemma 4.1).
+  Status ApplyDelta(const std::string& name, const Relation& delta);
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_STORAGE_DATABASE_H_

@@ -1,0 +1,52 @@
+#include "storage/index.h"
+
+namespace ivm {
+
+void Index::Build(const CountMap& tuples) {
+  buckets_.clear();
+  buckets_.reserve(tuples.size());
+  for (const auto& [tuple, count] : tuples) {
+    buckets_[tuple.Project(key_columns_)].push_back(Entry{&tuple, count});
+  }
+}
+
+void Index::InsertEntry(const Tuple* tuple, int64_t count) {
+  buckets_[tuple->Project(key_columns_)].push_back(Entry{tuple, count});
+}
+
+void Index::UpdateEntry(const Tuple* tuple, int64_t count) {
+  auto it = buckets_.find(tuple->Project(key_columns_));
+  if (it == buckets_.end()) return;
+  for (Entry& e : it->second) {
+    if (*e.tuple == *tuple) {
+      e.tuple = tuple;
+      e.count = count;
+      return;
+    }
+  }
+  // Not present (shouldn't happen if callers keep the index in sync); fall
+  // back to insertion so lookups stay correct.
+  it->second.push_back(Entry{tuple, count});
+}
+
+void Index::RemoveEntry(const Tuple& tuple) {
+  auto it = buckets_.find(tuple.Project(key_columns_));
+  if (it == buckets_.end()) return;
+  std::vector<Entry>& entries = it->second;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (*entries[i].tuple == tuple) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      break;
+    }
+  }
+  if (entries.empty()) buckets_.erase(it);
+}
+
+const std::vector<Index::Entry>* Index::Lookup(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace ivm

@@ -1,0 +1,55 @@
+#ifndef IVM_STORAGE_INDEX_H_
+#define IVM_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace ivm {
+
+/// Distinct tuples with signed multiplicities ("Z-relation" payload). Stored
+/// views hold strictly positive counts; deltas may hold negative counts
+/// (deletions), per Section 3 of the paper.
+using CountMap = std::unordered_map<Tuple, int64_t, TupleHash>;
+
+/// A hash index over a fixed subset of columns of a counted relation.
+/// Entries reference tuples owned by the indexed CountMap; an index is only
+/// valid for the relation version it was built against (Relation handles
+/// invalidation).
+class Index {
+ public:
+  struct Entry {
+    const Tuple* tuple;
+    int64_t count;
+  };
+
+  explicit Index(std::vector<size_t> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// (Re)builds the index over all tuples in `tuples`.
+  void Build(const CountMap& tuples);
+
+  /// Incremental maintenance (Relation calls these on mutation so cached
+  /// indexes stay valid in O(1) per changed tuple).
+  void InsertEntry(const Tuple* tuple, int64_t count);
+  void UpdateEntry(const Tuple* tuple, int64_t count);
+  void RemoveEntry(const Tuple& tuple);
+
+  /// Returns the postings list for `key` (values of the key columns, in
+  /// key_columns() order), or nullptr if no tuple matches.
+  const std::vector<Entry>* Lookup(const Tuple& key) const;
+
+  size_t distinct_keys() const { return buckets_.size(); }
+
+ private:
+  std::vector<size_t> key_columns_;
+  std::unordered_map<Tuple, std::vector<Entry>, TupleHash> buckets_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_STORAGE_INDEX_H_

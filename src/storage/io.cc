@@ -1,0 +1,170 @@
+#include "storage/io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ivm {
+
+namespace {
+
+/// Splits one CSV line honoring double quotes with "" escapes.
+Result<std::vector<std::pair<std::string, bool>>> SplitCsvLine(
+    const std::string& line, char delimiter, int line_number) {
+  std::vector<std::pair<std::string, bool>> fields;  // (text, was_quoted)
+  std::string current;
+  bool quoted = false;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.emplace_back(std::move(current), quoted);
+      current.clear();
+      quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote on line " +
+                                   std::to_string(line_number));
+  }
+  fields.emplace_back(std::move(current), quoted);
+  return fields;
+}
+
+Value ParseField(const std::string& text, bool was_quoted, bool infer_types) {
+  if (was_quoted || !infer_types) return Value::Str(text);
+  std::string_view trimmed = StripWhitespace(text);
+  if (trimmed.empty()) return Value::Str(std::string(trimmed));
+  int64_t i = 0;
+  auto ir = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), i);
+  if (ir.ec == std::errc() && ir.ptr == trimmed.data() + trimmed.size()) {
+    return Value::Int(i);
+  }
+  double d = 0;
+  auto dr = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), d);
+  if (dr.ec == std::errc() && dr.ptr == trimmed.data() + trimmed.size()) {
+    return Value::Real(d);
+  }
+  return Value::Str(std::string(trimmed));
+}
+
+void WriteField(const Value& v, char delimiter, std::ostream* out) {
+  if (v.is_string()) {
+    const std::string& s = v.string_value();
+    bool needs_quotes = s.find(delimiter) != std::string::npos ||
+                        s.find('"') != std::string::npos ||
+                        s.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      // Quote strings that would otherwise parse as numbers.
+      int64_t i;
+      auto r = std::from_chars(s.data(), s.data() + s.size(), i);
+      needs_quotes = (r.ec == std::errc() && r.ptr == s.data() + s.size());
+    }
+    if (needs_quotes) {
+      *out << '"';
+      for (char c : s) {
+        if (c == '"') *out << '"';
+        *out << c;
+      }
+      *out << '"';
+    } else {
+      *out << s;
+    }
+    return;
+  }
+  if (v.is_int()) {
+    *out << v.int_value();
+  } else if (v.is_double()) {
+    *out << v.double_value();
+  } else {
+    *out << "";
+  }
+}
+
+}  // namespace
+
+Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel) {
+  std::string line;
+  int line_number = 0;
+  bool skipped_header = !options.header;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StripWhitespace(line).empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    IVM_ASSIGN_OR_RETURN(auto fields,
+                         SplitCsvLine(line, options.delimiter, line_number));
+    if (rel->arity() != 0 && fields.size() != rel->arity()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields; relation '" + rel->name() +
+          "' has arity " + std::to_string(rel->arity()));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (const auto& [text, was_quoted] : fields) {
+      values.push_back(ParseField(text, was_quoted, options.infer_types));
+    }
+    rel->Add(Tuple(std::move(values)), 1);
+  }
+  return Status::OK();
+}
+
+Status ReadCsvString(const std::string& text, const CsvOptions& options,
+                     Relation* rel) {
+  std::istringstream in(text);
+  return ReadCsv(in, options, rel);
+}
+
+Status WriteCsv(const Relation& rel, const CsvOptions& options,
+                bool with_counts, std::ostream* out) {
+  if (options.header) {
+    for (size_t c = 0; c < rel.arity(); ++c) {
+      if (c > 0) *out << options.delimiter;
+      *out << "col" << (c + 1);
+    }
+    if (with_counts) *out << options.delimiter << "#count";
+    *out << "\n";
+  }
+  for (const Tuple& tuple : rel.SortedTuples()) {
+    for (size_t c = 0; c < tuple.size(); ++c) {
+      if (c > 0) *out << options.delimiter;
+      WriteField(tuple[c], options.delimiter, out);
+    }
+    if (with_counts) *out << options.delimiter << rel.Count(tuple);
+    *out << "\n";
+  }
+  return Status::OK();
+}
+
+std::string WriteCsvString(const Relation& rel, const CsvOptions& options,
+                           bool with_counts) {
+  std::ostringstream out;
+  WriteCsv(rel, options, with_counts, &out).CheckOK();
+  return out.str();
+}
+
+}  // namespace ivm

@@ -1,0 +1,42 @@
+#ifndef IVM_STORAGE_IO_H_
+#define IVM_STORAGE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Options for delimited-text import/export.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Try to parse unquoted fields as integers, then doubles; fall back to
+  /// strings. Quoted fields ("...") are always strings.
+  bool infer_types = true;
+  /// Skip the first line on import / emit column names on export.
+  bool header = false;
+};
+
+/// Reads delimited rows from `in` into `rel` (each row one tuple, count 1;
+/// duplicate rows accumulate counts). Field count must match the relation's
+/// arity when the relation is non-empty or has nonzero arity. Supports
+/// double-quoted fields with "" escapes.
+Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel);
+
+/// Convenience: parse from a string.
+Status ReadCsvString(const std::string& text, const CsvOptions& options,
+                     Relation* rel);
+
+/// Writes `rel` as delimited text (sorted for determinism). Counts other
+/// than 1 are emitted as a trailing `#count` column when `with_counts`.
+Status WriteCsv(const Relation& rel, const CsvOptions& options,
+                bool with_counts, std::ostream* out);
+
+std::string WriteCsvString(const Relation& rel, const CsvOptions& options,
+                           bool with_counts = false);
+
+}  // namespace ivm
+
+#endif  // IVM_STORAGE_IO_H_

@@ -1,0 +1,186 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ivm {
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  arity_ = other.arity_;
+  tuples_ = other.tuples_;
+  index_cache_.clear();
+  Touch();
+  return *this;
+}
+
+int64_t Relation::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& [tuple, count] : tuples_) total += count;
+  return total;
+}
+
+int64_t Relation::Count(const Tuple& tuple) const {
+  auto it = tuples_.find(tuple);
+  return it == tuples_.end() ? 0 : it->second;
+}
+
+void Relation::Add(const Tuple& tuple, int64_t count) {
+  if (count == 0) return;
+  AddInternal(tuple, count);
+  Touch();
+}
+
+void Relation::AddInternal(const Tuple& tuple, int64_t count) {
+  auto [it, inserted] = tuples_.try_emplace(tuple, count);
+  if (inserted) {
+    ForEachLiveIndex([&](Index& index) { index.InsertEntry(&it->first, count); });
+    return;
+  }
+  it->second += count;
+  if (it->second == 0) {
+    ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
+    tuples_.erase(it);
+  } else {
+    int64_t new_count = it->second;
+    ForEachLiveIndex(
+        [&](Index& index) { index.UpdateEntry(&it->first, new_count); });
+  }
+}
+
+void Relation::Set(const Tuple& tuple, int64_t count) {
+  auto it = tuples_.find(tuple);
+  if (it == tuples_.end()) {
+    if (count != 0) AddInternal(tuple, count);
+  } else if (count == 0) {
+    ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
+    tuples_.erase(it);
+  } else {
+    it->second = count;
+    ForEachLiveIndex([&](Index& index) { index.UpdateEntry(&it->first, count); });
+  }
+  Touch();
+}
+
+void Relation::Erase(const Tuple& tuple) {
+  auto it = tuples_.find(tuple);
+  if (it != tuples_.end()) {
+    ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
+    tuples_.erase(it);
+  }
+  Touch();
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  index_cache_.clear();
+  Touch();
+}
+
+void Relation::UnionInPlace(const Relation& other) {
+  for (const auto& [tuple, count] : other.tuples_) {
+    if (count != 0) AddInternal(tuple, count);
+  }
+  Touch();
+}
+
+Relation Relation::UPlus(const Relation& a, const Relation& b) {
+  Relation out = a;
+  out.UnionInPlace(b);
+  return out;
+}
+
+Relation Relation::AsSet() const {
+  Relation out(name_, arity_);
+  for (const auto& [tuple, count] : tuples_) {
+    (void)count;
+    out.tuples_.emplace(tuple, 1);
+  }
+  return out;
+}
+
+Relation Relation::SetDifference(const Relation& a, const Relation& b) {
+  Relation out(a.name_, a.arity_);
+  for (const auto& [tuple, count] : a.tuples_) {
+    (void)count;
+    if (!b.Contains(tuple)) out.tuples_.emplace(tuple, 1);
+  }
+  for (const auto& [tuple, count] : b.tuples_) {
+    (void)count;
+    if (!a.Contains(tuple)) out.tuples_.emplace(tuple, -1);
+  }
+  return out;
+}
+
+bool Relation::SameSet(const Relation& other) const {
+  if (size() != other.size()) return false;
+  for (const auto& [tuple, count] : tuples_) {
+    (void)count;
+    if (!other.Contains(tuple)) return false;
+  }
+  return true;
+}
+
+bool Relation::HasNegativeCounts() const {
+  for (const auto& [tuple, count] : tuples_) {
+    (void)tuple;
+    if (count < 0) return true;
+  }
+  return false;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  for (const auto& [tuple, count] : tuples_) {
+    (void)count;
+    out.push_back(tuple);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& tuple : SortedTuples()) {
+    if (!first) out += ", ";
+    first = false;
+    out += tuple.ToString();
+    int64_t count = Count(tuple);
+    if (count != 1) {
+      out += ":";
+      out += std::to_string(count);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+const Index& Relation::GetIndex(const std::vector<size_t>& key_columns) const {
+  uint64_t mask = 0;
+  for (size_t c : key_columns) {
+    IVM_CHECK_LT(c, 64u) << "index key column beyond 64 columns";
+    mask |= (uint64_t{1} << c);
+  }
+  CachedIndex& slot = index_cache_[mask];
+  if (slot.index == nullptr || slot.built_version != version_) {
+    // Canonicalize key order to ascending columns so all callers share one
+    // index per column subset.
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < 64; ++c) {
+      if (mask & (uint64_t{1} << c)) cols.push_back(c);
+    }
+    slot.index = std::make_unique<Index>(std::move(cols));
+    slot.index->Build(tuples_);
+    slot.built_version = version_;
+  }
+  return *slot.index;
+}
+
+std::ostream& operator<<(std::ostream& os, const Relation& r) {
+  return os << r.ToString();
+}
+
+}  // namespace ivm

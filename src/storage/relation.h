@@ -1,0 +1,155 @@
+#ifndef IVM_STORAGE_RELATION_H_
+#define IVM_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "storage/index.h"
+
+namespace ivm {
+
+/// A relation with counted tuples (Section 3 of the paper). Each distinct
+/// tuple carries a signed 64-bit count:
+///   * stored base relations and materialized views hold positive counts
+///     (the number of distinct derivations, or the SQL duplicate
+///     multiplicity);
+///   * delta relations may hold negative counts, meaning deletions.
+/// Tuples whose count reaches zero are removed, so `Contains` means
+/// "count != 0".
+///
+/// Relations build hash indexes on demand for any column subset; indexes are
+/// versioned and rebuilt lazily after modifications.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  Relation(const Relation& other)
+      : name_(other.name_), arity_(other.arity_), tuples_(other.tuples_) {}
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  size_t arity() const { return arity_; }
+
+  /// Number of distinct tuples.
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Sum of all counts (total multiset cardinality; may be negative for
+  /// deltas).
+  int64_t TotalCount() const;
+
+  /// Count of `tuple`, 0 if absent.
+  int64_t Count(const Tuple& tuple) const;
+  bool Contains(const Tuple& tuple) const { return Count(tuple) != 0; }
+
+  /// Adds `count` derivations of `tuple` (merging counts, erasing on zero).
+  /// This is the single-tuple form of the ⊎ operator.
+  void Add(const Tuple& tuple, int64_t count = 1);
+
+  /// Sets the count of `tuple` outright (erases when count == 0).
+  void Set(const Tuple& tuple, int64_t count);
+
+  /// Removes `tuple` entirely regardless of count.
+  void Erase(const Tuple& tuple);
+
+  void Clear();
+
+  const CountMap& tuples() const { return tuples_; }
+
+  /// In-place S := S ⊎ other (Section 3): counts merge, zeros vanish.
+  void UnionInPlace(const Relation& other);
+
+  /// S1 ⊎ S2 as a new relation.
+  static Relation UPlus(const Relation& a, const Relation& b);
+
+  /// set(R): every present tuple with count 1. Used by the boxed
+  /// set-semantics optimization (statement (2) of Algorithm 4.1).
+  Relation AsSet() const;
+
+  /// set(a) - set(b) as a delta: tuples in a but not b get +1, tuples in b
+  /// but not a get -1. This is exactly Δ(P) = set(P_new) - set(P_old) from
+  /// statement (2) of Algorithm 4.1 when called as SetDifference(new, old).
+  static Relation SetDifference(const Relation& a, const Relation& b);
+
+  /// True when both relations contain the same distinct tuples (counts
+  /// ignored).
+  bool SameSet(const Relation& other) const;
+
+  /// True when both relations have identical tuples *and* counts.
+  bool operator==(const Relation& other) const { return tuples_ == other.tuples_; }
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// True if any tuple has a negative count (useful for Lemma 4.1 checks).
+  bool HasNegativeCounts() const;
+
+  /// Distinct tuples in sorted order (deterministic output for tests/docs).
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Renders "{(a, b):2, (c, d):1}" with tuples sorted.
+  std::string ToString() const;
+
+  /// Monotone modification counter; bumps on every mutation.
+  uint64_t version() const { return version_; }
+
+  /// Returns a hash index on `key_columns` (built or rebuilt if stale). The
+  /// returned reference is invalidated by any subsequent modification.
+  const Index& GetIndex(const std::vector<size_t>& key_columns) const;
+
+ private:
+  /// Applies a single-tuple merge without bumping the version (callers batch
+  /// a Touch() after a group of merges).
+  void AddInternal(const Tuple& tuple, int64_t count);
+
+  /// Runs `f` on every cached index that is currently in sync with the
+  /// data. Mutators call this to maintain indexes incrementally — index
+  /// upkeep is O(1) per changed tuple, never a rebuild.
+  template <typename F>
+  void ForEachLiveIndex(F&& f) {
+    for (auto& [mask, slot] : index_cache_) {
+      (void)mask;
+      if (slot.index != nullptr && slot.built_version == version_) {
+        f(*slot.index);
+      }
+    }
+  }
+
+  /// Bumps the version; indexes that were kept in sync stay valid.
+  void Touch() {
+    ++version_;
+    for (auto& [mask, slot] : index_cache_) {
+      (void)mask;
+      if (slot.index != nullptr && slot.built_version == version_ - 1) {
+        slot.built_version = version_;
+      }
+    }
+  }
+
+  std::string name_;
+  size_t arity_ = 0;
+  CountMap tuples_;
+  uint64_t version_ = 0;
+
+  struct CachedIndex {
+    uint64_t built_version = 0;
+    std::unique_ptr<Index> index;
+  };
+  /// Keyed by column bitmask (column i -> bit i). Arities beyond 64 columns
+  /// are not supported (checked).
+  mutable std::unordered_map<uint64_t, CachedIndex> index_cache_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Relation& r);
+
+}  // namespace ivm
+
+#endif  // IVM_STORAGE_RELATION_H_

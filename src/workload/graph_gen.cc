@@ -1,0 +1,101 @@
+#include "workload/graph_gen.h"
+
+#include <random>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ivm {
+
+EdgeList RandomGraph(int num_nodes, int num_edges, uint64_t seed) {
+  IVM_CHECK_GE(num_nodes, 2);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, num_nodes - 1);
+  std::set<std::pair<int, int>> seen;
+  EdgeList edges;
+  edges.reserve(num_edges);
+  const int64_t max_edges =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1);
+  IVM_CHECK_LE(num_edges, max_edges) << "more edges than the graph can hold";
+  while (static_cast<int>(edges.size()) < num_edges) {
+    int a = pick(rng);
+    int b = pick(rng);
+    if (a == b) continue;
+    if (!seen.insert({a, b}).second) continue;
+    edges.emplace_back(a, b);
+  }
+  return edges;
+}
+
+EdgeList ChainGraph(int num_nodes) {
+  EdgeList edges;
+  edges.reserve(num_nodes > 0 ? num_nodes - 1 : 0);
+  for (int i = 0; i + 1 < num_nodes; ++i) edges.emplace_back(i, i + 1);
+  return edges;
+}
+
+EdgeList CycleGraph(int num_nodes) {
+  EdgeList edges = ChainGraph(num_nodes);
+  if (num_nodes > 1) edges.emplace_back(num_nodes - 1, 0);
+  return edges;
+}
+
+EdgeList GridGraph(int rows, int cols) {
+  EdgeList edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return edges;
+}
+
+EdgeList TreeGraph(int num_nodes, int fanout) {
+  IVM_CHECK_GE(fanout, 1);
+  EdgeList edges;
+  for (int child = 1; child < num_nodes; ++child) {
+    edges.emplace_back((child - 1) / fanout, child);
+  }
+  return edges;
+}
+
+EdgeList PreferentialAttachmentGraph(int num_nodes, int edges_per_node,
+                                     uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  EdgeList edges;
+  // Targets vector holds one entry per in-edge endpoint, so sampling from it
+  // is degree-proportional.
+  std::vector<int> targets{0};
+  std::set<std::pair<int, int>> seen;
+  for (int node = 1; node < num_nodes; ++node) {
+    for (int e = 0; e < edges_per_node; ++e) {
+      std::uniform_int_distribution<size_t> pick(0, targets.size() - 1);
+      int dst = targets[pick(rng)];
+      if (dst == node) continue;
+      if (!seen.insert({node, dst}).second) continue;
+      edges.emplace_back(node, dst);
+      targets.push_back(dst);
+    }
+    targets.push_back(node);
+  }
+  return edges;
+}
+
+void FillEdgeRelation(const EdgeList& edges, Relation* rel) {
+  for (const auto& [a, b] : edges) {
+    rel->Add(Tup(int64_t{a}, int64_t{b}), 1);
+  }
+}
+
+void FillCostEdgeRelation(const EdgeList& edges, int min_cost, int max_cost,
+                          uint64_t seed, Relation* rel) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> cost(min_cost, max_cost);
+  for (const auto& [a, b] : edges) {
+    rel->Add(Tup(int64_t{a}, int64_t{b}, int64_t{cost(rng)}), 1);
+  }
+}
+
+}  // namespace ivm

@@ -1,0 +1,47 @@
+#ifndef IVM_WORKLOAD_GRAPH_GEN_H_
+#define IVM_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Deterministic, seeded graph generators for benchmarks and property
+/// tests. Nodes are integers 0..n-1; edges are (src, dst) pairs without
+/// duplicates or self-loops.
+using EdgeList = std::vector<std::pair<int, int>>;
+
+/// Uniform random digraph with `num_edges` distinct edges.
+EdgeList RandomGraph(int num_nodes, int num_edges, uint64_t seed);
+
+/// 0 -> 1 -> ... -> n-1.
+EdgeList ChainGraph(int num_nodes);
+
+/// Chain plus the closing edge n-1 -> 0.
+EdgeList CycleGraph(int num_nodes);
+
+/// rows x cols grid with right and down edges.
+EdgeList GridGraph(int rows, int cols);
+
+/// Complete `fanout`-ary tree edges, parent -> child.
+EdgeList TreeGraph(int num_nodes, int fanout);
+
+/// Scale-free-ish digraph: each new node attaches `edges_per_node` out-edges
+/// to earlier nodes, preferring nodes with high in-degree.
+EdgeList PreferentialAttachmentGraph(int num_nodes, int edges_per_node,
+                                     uint64_t seed);
+
+/// Fills a binary relation with the edges (as int values), count 1 each.
+void FillEdgeRelation(const EdgeList& edges, Relation* rel);
+
+/// Fills a ternary relation (src, dst, cost) with integer costs drawn
+/// uniformly from [min_cost, max_cost].
+void FillCostEdgeRelation(const EdgeList& edges, int min_cost, int max_cost,
+                          uint64_t seed, Relation* rel);
+
+}  // namespace ivm
+
+#endif  // IVM_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,65 @@
+#include "workload/update_gen.h"
+
+#include <algorithm>
+#include <random>
+
+namespace ivm {
+
+std::vector<Tuple> SampleTuples(const Relation& rel, size_t k, uint64_t seed) {
+  std::vector<Tuple> all = rel.SortedTuples();
+  std::mt19937_64 rng(seed);
+  std::shuffle(all.begin(), all.end(), rng);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Tuple> RandomAbsentEdges(const Relation& existing, int num_nodes,
+                                     size_t k, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, num_nodes - 1);
+  std::vector<Tuple> out;
+  Relation chosen("chosen", 2);
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * (k + 1);
+  while (out.size() < k && attempts++ < max_attempts) {
+    int a = pick(rng);
+    int b = pick(rng);
+    if (a == b) continue;
+    Tuple t = Tup(int64_t{a}, int64_t{b});
+    if (existing.Contains(t) || chosen.Contains(t)) continue;
+    chosen.Add(t, 1);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+ChangeSet MakeDeletions(const std::string& relation,
+                        const std::vector<Tuple>& tuples) {
+  ChangeSet out;
+  for (const Tuple& t : tuples) out.Delete(relation, t);
+  return out;
+}
+
+ChangeSet MakeInsertions(const std::string& relation,
+                         const std::vector<Tuple>& tuples) {
+  ChangeSet out;
+  for (const Tuple& t : tuples) out.Insert(relation, t);
+  return out;
+}
+
+ChangeSet MakeMixedEdgeBatch(const std::string& relation,
+                             const Relation& existing, int num_nodes,
+                             size_t num_deletes, size_t num_inserts,
+                             uint64_t seed) {
+  ChangeSet out;
+  for (const Tuple& t : SampleTuples(existing, num_deletes, seed)) {
+    out.Delete(relation, t);
+  }
+  for (const Tuple& t :
+       RandomAbsentEdges(existing, num_nodes, num_inserts, seed ^ 0x9e3779b9)) {
+    out.Insert(relation, t);
+  }
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,39 @@
+#ifndef IVM_WORKLOAD_UPDATE_GEN_H_
+#define IVM_WORKLOAD_UPDATE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/change_set.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// Deterministically samples `k` distinct tuples from `rel` (fewer if the
+/// relation is smaller).
+std::vector<Tuple> SampleTuples(const Relation& rel, size_t k, uint64_t seed);
+
+/// Random (src, dst) integer edges over 0..num_nodes-1 that are NOT in
+/// `existing` — candidates for insertion.
+std::vector<Tuple> RandomAbsentEdges(const Relation& existing, int num_nodes,
+                                     size_t k, uint64_t seed);
+
+/// Builds a ChangeSet deleting all `tuples` from `relation`.
+ChangeSet MakeDeletions(const std::string& relation,
+                        const std::vector<Tuple>& tuples);
+
+/// Builds a ChangeSet inserting all `tuples` into `relation`.
+ChangeSet MakeInsertions(const std::string& relation,
+                         const std::vector<Tuple>& tuples);
+
+/// A mixed batch: deletes `num_deletes` existing tuples and inserts
+/// `num_inserts` absent edges (binary integer relations only).
+ChangeSet MakeMixedEdgeBatch(const std::string& relation,
+                             const Relation& existing, int num_nodes,
+                             size_t num_deletes, size_t num_inserts,
+                             uint64_t seed);
+
+}  // namespace ivm
+
+#endif  // IVM_WORKLOAD_UPDATE_GEN_H_

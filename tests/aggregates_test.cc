@@ -1,0 +1,212 @@
+#include "eval/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+/// Returns the aggregate literal of rule 0 of `program_text`.
+struct AggFixture {
+  Program program;
+  const Literal* lit;
+};
+
+AggFixture MakeAgg(const std::string& program_text) {
+  AggFixture f;
+  f.program = MustParseProgram(program_text);
+  f.lit = &f.program.rule(0).body[0];
+  EXPECT_EQ(f.lit->kind, Literal::Kind::kAggregate);
+  return f;
+}
+
+constexpr const char* kMinProgram =
+    "base hop(S, D, C).\n"
+    "min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).";
+
+TEST(AggregatesTest, MinPerGroup) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation(
+      "hop", 3, "hop(a, b, 10). hop(a, b, 7). hop(a, c, 3).");
+  Relation t = EvaluateAggregate(*f.lit, u, /*multiset=*/false).value();
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.Contains(Tup("a", "b", 7)));
+  EXPECT_TRUE(t.Contains(Tup("a", "c", 3)));
+}
+
+TEST(AggregatesTest, SumCountAvgMax) {
+  Program p = MustParseProgram(
+      "base v(G, X).\n"
+      "s(G, R) :- groupby(v(G, X), [G], R = sum(X)).\n"
+      "c(G, R) :- groupby(v(G, X), [G], R = count(*)).\n"
+      "a(G, R) :- groupby(v(G, X), [G], R = avg(X)).\n"
+      "m(G, R) :- groupby(v(G, X), [G], R = max(X)).");
+  Relation u = testing_util::MustMakeRelation(
+      "v", 2, "v(g, 1). v(g, 2). v(g, 3). v(h, 10).");
+  Relation s = EvaluateAggregate(p.rule(0).body[0], u, false).value();
+  EXPECT_TRUE(s.Contains(Tup("g", 6)));
+  EXPECT_TRUE(s.Contains(Tup("h", 10)));
+  Relation c = EvaluateAggregate(p.rule(1).body[0], u, false).value();
+  EXPECT_TRUE(c.Contains(Tup("g", 3)));
+  EXPECT_TRUE(c.Contains(Tup("h", 1)));
+  Relation a = EvaluateAggregate(p.rule(2).body[0], u, false).value();
+  EXPECT_TRUE(a.Contains(Tup("g", 2.0)));
+  Relation m = EvaluateAggregate(p.rule(3).body[0], u, false).value();
+  EXPECT_TRUE(m.Contains(Tup("g", 3)));
+}
+
+TEST(AggregatesTest, MultisetWeighting) {
+  Program p = MustParseProgram(
+      "base v(G, X). s(G, R) :- groupby(v(G, X), [G], R = sum(X)).");
+  Relation u("v", 2);
+  u.Add(Tup("g", 5), 3);  // three derivations of the same tuple
+  u.Add(Tup("g", 1), 1);
+  Relation multiset = EvaluateAggregate(p.rule(0).body[0], u, true).value();
+  EXPECT_TRUE(multiset.Contains(Tup("g", 16)));
+  Relation set = EvaluateAggregate(p.rule(0).body[0], u, false).value();
+  EXPECT_TRUE(set.Contains(Tup("g", 6)));
+}
+
+TEST(AggregatesTest, GlobalAggregateSingleGroup) {
+  Program p = MustParseProgram(
+      "base v(X). total(R) :- groupby(v(X), [], R = sum(X)).");
+  Relation u = testing_util::MustMakeRelation("v", 1, "v(1). v(2). v(3).");
+  Relation t = EvaluateAggregate(p.rule(0).body[0], u, false).value();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains(Tup(6)));
+}
+
+TEST(AggregatesTest, AggregateOverExpression) {
+  Program p = MustParseProgram(
+      "base v(G, X, Y). s(G, R) :- groupby(v(G, X, Y), [G], R = sum(X * Y)).");
+  Relation u = testing_util::MustMakeRelation("v", 3, "v(g, 2, 3). v(g, 4, 5).");
+  Relation t = EvaluateAggregate(p.rule(0).body[0], u, false).value();
+  EXPECT_TRUE(t.Contains(Tup("g", 26)));
+}
+
+TEST(AggregatesTest, EmptyRelationYieldsNoGroups) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u("hop", 3);
+  Relation t = EvaluateAggregate(*f.lit, u, false).value();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(AggregatesTest, DeltaInsertIntoNewGroup) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation("hop", 3, "hop(a, b, 5).");
+  Relation delta("Δhop", 3);
+  delta.Add(Tup("x", "y", 9), 1);
+  Relation dt = AggregateDelta(*f.lit, u, delta, false).value();
+  EXPECT_EQ(dt.size(), 1u);
+  EXPECT_EQ(dt.Count(Tup("x", "y", 9)), 1);
+}
+
+TEST(AggregatesTest, DeltaInsertImprovesMin) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation("hop", 3, "hop(a, b, 5). hop(a, b, 8).");
+  Relation delta("Δhop", 3);
+  delta.Add(Tup("a", "b", 3), 1);
+  Relation dt = AggregateDelta(*f.lit, u, delta, false).value();
+  // Algorithm 6.1: old tuple out (-1), new tuple in (+1).
+  EXPECT_EQ(dt.Count(Tup("a", "b", 5)), -1);
+  EXPECT_EQ(dt.Count(Tup("a", "b", 3)), 1);
+}
+
+TEST(AggregatesTest, DeltaInsertAboveMinIsNoop) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation("hop", 3, "hop(a, b, 5).");
+  Relation delta("Δhop", 3);
+  delta.Add(Tup("a", "b", 9), 1);
+  Relation dt = AggregateDelta(*f.lit, u, delta, false).value();
+  EXPECT_TRUE(dt.empty());
+}
+
+TEST(AggregatesTest, DeltaDeleteOfMinRescansGroup) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation(
+      "hop", 3, "hop(a, b, 5). hop(a, b, 8). hop(a, b, 11).");
+  Relation delta("Δhop", 3);
+  delta.Add(Tup("a", "b", 5), -1);
+  Relation dt = AggregateDelta(*f.lit, u, delta, false).value();
+  EXPECT_EQ(dt.Count(Tup("a", "b", 5)), -1);
+  EXPECT_EQ(dt.Count(Tup("a", "b", 8)), 1);
+}
+
+TEST(AggregatesTest, DeltaDeleteLastTupleRemovesGroup) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation("hop", 3, "hop(a, b, 5).");
+  Relation delta("Δhop", 3);
+  delta.Add(Tup("a", "b", 5), -1);
+  Relation dt = AggregateDelta(*f.lit, u, delta, false).value();
+  EXPECT_EQ(dt.size(), 1u);
+  EXPECT_EQ(dt.Count(Tup("a", "b", 5)), -1);
+}
+
+TEST(AggregatesTest, DeltaTouchesOnlyChangedGroups) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u("hop", 3);
+  for (int g = 0; g < 100; ++g) u.Add(Tup(g, g, g + 100), 1);
+  Relation delta("Δhop", 3);
+  delta.Add(Tup(7, 7, 1), 1);
+  Relation dt = AggregateDelta(*f.lit, u, delta, false).value();
+  EXPECT_EQ(dt.size(), 2u);  // only group (7,7) changes
+}
+
+TEST(AggregatesTest, DeltaSumIncremental) {
+  Program p = MustParseProgram(
+      "base v(G, X). s(G, R) :- groupby(v(G, X), [G], R = sum(X)).");
+  Relation u = testing_util::MustMakeRelation("v", 2, "v(g, 1). v(g, 2).");
+  Relation delta("Δv", 2);
+  delta.Add(Tup("g", 7), 1);
+  delta.Add(Tup("g", 1), -1);
+  Relation dt = AggregateDelta(p.rule(0).body[0], u, delta, false).value();
+  EXPECT_EQ(dt.Count(Tup("g", 3)), -1);
+  EXPECT_EQ(dt.Count(Tup("g", 9)), 1);
+}
+
+TEST(AggregatesTest, DeltaFromNewExtent) {
+  // u_ref_is_new = true: the reference relation is the post-update state.
+  Program p = MustParseProgram(
+      "base v(G, X). s(G, R) :- groupby(v(G, X), [G], R = sum(X)).");
+  Relation u_new = testing_util::MustMakeRelation("v", 2, "v(g, 2). v(g, 7).");
+  Relation delta("Δv", 2);
+  delta.Add(Tup("g", 7), 1);
+  delta.Add(Tup("g", 1), -1);
+  // So old = {g:2, g:1}: old sum 3, new sum 9.
+  Relation dt =
+      AggregateDelta(p.rule(0).body[0], u_new, delta, false, true).value();
+  EXPECT_EQ(dt.Count(Tup("g", 3)), -1);
+  EXPECT_EQ(dt.Count(Tup("g", 9)), 1);
+}
+
+TEST(AggregatesTest, DeltaOverDeletionErrors) {
+  AggFixture f = MakeAgg(kMinProgram);
+  Relation u = testing_util::MustMakeRelation("hop", 3, "hop(a, b, 5).");
+  Relation delta("Δhop", 3);
+  delta.Add(Tup("a", "b", 9), -1);  // not present
+  EXPECT_FALSE(AggregateDelta(*f.lit, u, delta, false).ok());
+}
+
+TEST(AggregatesTest, PatternWithConstantFilters) {
+  Program p = MustParseProgram(
+      "base v(G, T, X). s(G, R) :- groupby(v(G, red, X), [G], R = sum(X)).");
+  Relation u = testing_util::MustMakeRelation(
+      "v", 3, "v(g, red, 1). v(g, blue, 50). v(g, red, 2).");
+  Relation t = EvaluateAggregate(p.rule(0).body[0], u, false).value();
+  EXPECT_TRUE(t.Contains(Tup("g", 3)));
+}
+
+TEST(AggregatesTest, AggregatePatternShape) {
+  AggFixture f = MakeAgg(kMinProgram);
+  std::vector<Term> pattern = AggregatePattern(*f.lit);
+  ASSERT_EQ(pattern.size(), 3u);
+  EXPECT_EQ(pattern[0].var_name(), "S");
+  EXPECT_EQ(pattern[1].var_name(), "D");
+  EXPECT_EQ(pattern[2].var_name(), "M");
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,108 @@
+#include "datalog/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+TEST(TermTest, Constructors) {
+  Term v = Term::Var("X");
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_EQ(v.var_name(), "X");
+  EXPECT_EQ(v.var(), kUnassignedVar);
+
+  Term c = Term::Const(Value::Int(3));
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_EQ(c.constant(), Value::Int(3));
+
+  Term a = Term::Arith(ArithOp::kAdd, Term::Var("X"), Term::Const(Value::Int(1)));
+  EXPECT_TRUE(a.IsArith());
+  EXPECT_TRUE(a.lhs().IsVariable());
+  EXPECT_TRUE(a.rhs().IsConstant());
+}
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Var("Foo").ToString(), "Foo");
+  EXPECT_EQ(Term::Const(Value::Str("s")).ToString(), "\"s\"");
+  Term nested = Term::Arith(
+      ArithOp::kMul, Term::Var("X"),
+      Term::Arith(ArithOp::kSub, Term::Var("Y"), Term::Const(Value::Int(2))));
+  EXPECT_EQ(nested.ToString(), "(X * (Y - 2))");
+}
+
+TEST(TermTest, CollectVarNames) {
+  Term t = Term::Arith(ArithOp::kAdd, Term::Var("A"),
+                       Term::Arith(ArithOp::kDiv, Term::Var("B"), Term::Var("A")));
+  std::vector<std::string> names;
+  t.CollectVarNames(&names);
+  EXPECT_EQ(names, (std::vector<std::string>{"A", "B", "A"}));
+}
+
+TEST(AtomTest, ToString) {
+  Atom a;
+  a.predicate = "link";
+  a.terms = {Term::Var("X"), Term::Const(Value::Str("b"))};
+  EXPECT_EQ(a.ToString(), "link(X, \"b\")");
+  EXPECT_EQ(a.arity(), 2u);
+  Atom empty;
+  empty.predicate = "unit";
+  EXPECT_EQ(empty.ToString(), "unit()");
+}
+
+TEST(LiteralTest, Factories) {
+  Atom a;
+  a.predicate = "p";
+  a.terms = {Term::Var("X")};
+  EXPECT_EQ(Literal::Positive(a).kind, Literal::Kind::kPositive);
+  EXPECT_EQ(Literal::Negated(a).kind, Literal::Kind::kNegated);
+  EXPECT_EQ(Literal::Negated(a).ToString(), "!p(X)");
+  Literal cmp = Literal::Comparison(ComparisonOp::kLe, Term::Var("X"),
+                                    Term::Const(Value::Int(5)));
+  EXPECT_EQ(cmp.ToString(), "X <= 5");
+  EXPECT_TRUE(Literal::Positive(a).IsAtomBased());
+  EXPECT_FALSE(cmp.IsAtomBased());
+}
+
+TEST(LiteralTest, AggregateToString) {
+  Atom a;
+  a.predicate = "hop";
+  a.terms = {Term::Var("S"), Term::Var("D"), Term::Var("C")};
+  Literal agg = Literal::Aggregate(a, {Term::Var("S"), Term::Var("D")},
+                                   Term::Var("M"), AggregateFunc::kMin,
+                                   Term::Var("C"));
+  EXPECT_EQ(agg.ToString(), "groupby(hop(S, D, C), [S, D], M = min(C))");
+  EXPECT_TRUE(agg.IsAtomBased());
+}
+
+TEST(RuleTest, ToString) {
+  Rule r;
+  r.head.predicate = "hop";
+  r.head.terms = {Term::Var("X"), Term::Var("Y")};
+  Atom l1;
+  l1.predicate = "link";
+  l1.terms = {Term::Var("X"), Term::Var("Z")};
+  Atom l2;
+  l2.predicate = "link";
+  l2.terms = {Term::Var("Z"), Term::Var("Y")};
+  r.body.push_back(Literal::Positive(l1));
+  r.body.push_back(Literal::Positive(l2));
+  EXPECT_EQ(r.ToString(), "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+}
+
+TEST(NamesTest, OperatorAndFunctionNames) {
+  EXPECT_STREQ(ComparisonOpName(ComparisonOp::kEq), "=");
+  EXPECT_STREQ(ComparisonOpName(ComparisonOp::kNe), "!=");
+  EXPECT_STREQ(ComparisonOpName(ComparisonOp::kGe), ">=");
+  EXPECT_STREQ(AggregateFuncName(AggregateFunc::kSum), "sum");
+  EXPECT_STREQ(AggregateFuncName(AggregateFunc::kAvg), "avg");
+}
+
+TEST(TermTest, SharedArithChildrenSurviveCopies) {
+  Term a = Term::Arith(ArithOp::kAdd, Term::Var("X"), Term::Var("Y"));
+  Term b = a;  // copies share children by design (documented in ast.h)
+  EXPECT_EQ(b.lhs().var_name(), "X");
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace ivm

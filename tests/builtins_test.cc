@@ -1,0 +1,57 @@
+#include "eval/builtins.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/bindings.h"
+
+namespace ivm {
+namespace {
+
+TEST(BuiltinsTest, NumericComparisonsCoerce) {
+  EXPECT_TRUE(EvalComparison(ComparisonOp::kEq, Value::Int(1), Value::Real(1.0)).value());
+  EXPECT_TRUE(EvalComparison(ComparisonOp::kLt, Value::Int(1), Value::Real(1.5)).value());
+  EXPECT_TRUE(EvalComparison(ComparisonOp::kGe, Value::Real(2.0), Value::Int(2)).value());
+  EXPECT_FALSE(EvalComparison(ComparisonOp::kNe, Value::Int(3), Value::Int(3)).value());
+}
+
+TEST(BuiltinsTest, StringOrdering) {
+  EXPECT_TRUE(EvalComparison(ComparisonOp::kLt, Value::Str("a"), Value::Str("b")).value());
+  EXPECT_TRUE(EvalComparison(ComparisonOp::kEq, Value::Str("x"), Value::Str("x")).value());
+}
+
+TEST(BuiltinsTest, CrossKindEqualityIsFalse) {
+  EXPECT_FALSE(EvalComparison(ComparisonOp::kEq, Value::Str("1"), Value::Int(1)).value());
+  EXPECT_TRUE(EvalComparison(ComparisonOp::kNe, Value::Str("1"), Value::Int(1)).value());
+}
+
+TEST(BuiltinsTest, CrossKindOrderingErrors) {
+  EXPECT_FALSE(EvalComparison(ComparisonOp::kLt, Value::Str("1"), Value::Int(1)).ok());
+}
+
+TEST(BindingsTest, BindUnbindAndEval) {
+  Bindings b(3);
+  EXPECT_FALSE(b.IsBound(0));
+  b.Bind(0, Value::Int(7));
+  EXPECT_TRUE(b.IsBound(0));
+  EXPECT_EQ(b.Get(0), Value::Int(7));
+  b.Unbind(0);
+  EXPECT_FALSE(b.IsBound(0));
+}
+
+TEST(BindingsTest, EvalTermArithmetic) {
+  Bindings b(2);
+  b.Bind(0, Value::Int(3));
+  b.Bind(1, Value::Int(4));
+  Term x = Term::Var("X");
+  x.set_var(0);
+  Term y = Term::Var("Y");
+  y.set_var(1);
+  Term expr = Term::Arith(ArithOp::kAdd, x, Term::Arith(ArithOp::kMul, y, Term::Const(Value::Int(2))));
+  EXPECT_EQ(EvalTerm(expr, b).value(), Value::Int(11));
+  EXPECT_TRUE(TermIsGround(expr, b));
+  b.Unbind(1);
+  EXPECT_FALSE(TermIsGround(expr, b));
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,61 @@
+#include "core/change_set.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+TEST(ChangeSetTest, InsertDeleteUpdate) {
+  ChangeSet cs;
+  cs.Insert("r", Tup(1));
+  cs.Delete("r", Tup(2));
+  cs.Update("r", Tup(3), Tup(4));
+  const Relation& d = cs.Delta("r");
+  EXPECT_EQ(d.Count(Tup(1)), 1);
+  EXPECT_EQ(d.Count(Tup(2)), -1);
+  EXPECT_EQ(d.Count(Tup(3)), -1);
+  EXPECT_EQ(d.Count(Tup(4)), 1);
+}
+
+TEST(ChangeSetTest, CountsMerge) {
+  ChangeSet cs;
+  cs.Insert("r", Tup(1), 2);
+  cs.Insert("r", Tup(1), 3);
+  EXPECT_EQ(cs.Delta("r").Count(Tup(1)), 5);
+  cs.Delete("r", Tup(1), 5);
+  EXPECT_TRUE(cs.empty());  // cancelled out
+}
+
+TEST(ChangeSetTest, EmptyAndTotals) {
+  ChangeSet cs;
+  EXPECT_TRUE(cs.empty());
+  EXPECT_EQ(cs.TotalTuples(), 0u);
+  cs.Insert("a", Tup(1));
+  cs.Insert("b", Tup(2));
+  EXPECT_FALSE(cs.empty());
+  EXPECT_EQ(cs.TotalTuples(), 2u);
+}
+
+TEST(ChangeSetTest, DeltaOfUnknownRelationIsEmpty) {
+  ChangeSet cs;
+  EXPECT_TRUE(cs.Delta("nope").empty());
+  EXPECT_FALSE(cs.Has("nope"));
+}
+
+TEST(ChangeSetTest, MergeRelation) {
+  ChangeSet cs;
+  Relation delta("d", 1);
+  delta.Add(Tup(1), -2);
+  cs.Merge("r", delta);
+  EXPECT_EQ(cs.Delta("r").Count(Tup(1)), -2);
+}
+
+TEST(ChangeSetTest, ToStringSkipsEmpty) {
+  ChangeSet cs;
+  cs.Insert("r", Tup(1));
+  cs.Delete("r", Tup(1));
+  EXPECT_EQ(cs.ToString(), "");
+}
+
+}  // namespace
+}  // namespace ivm

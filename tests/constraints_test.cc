@@ -1,0 +1,167 @@
+#include "core/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+std::unique_ptr<ViewManager> MakeRefIntegrity() {
+  auto vm = ViewManager::CreateFromText(
+      "base employee(Id, Dept).\n"
+      "base dept(Name).\n"
+      "% violation views: must stay empty\n"
+      "bad_dept(Id, D) :- employee(Id, D) & !dept(D).\n"
+      "dup_id(Id) :- employee(Id, D1), employee(Id, D2), D1 != D2.");
+  vm.status().CheckOK();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "dept(eng). dept(sales). employee(1, eng). employee(2, sales).");
+  (*vm)->Initialize(db).CheckOK();
+  return std::move(vm).value();
+}
+
+TEST(ConstraintsTest, AcceptsValidUpdates) {
+  auto vm = MakeRefIntegrity();
+  ConstraintChecker checker(vm.get());
+  IVM_ASSERT_OK(checker.AddConstraint("bad_dept", "unknown department"));
+  IVM_ASSERT_OK(checker.AddConstraint("dup_id", "duplicate employee id"));
+  IVM_ASSERT_OK(checker.CheckNow());
+
+  ChangeSet ok;
+  ok.Insert("employee", Tup(3, "eng"));
+  auto out = checker.ApplyChecked(ok);
+  IVM_ASSERT_OK(out.status());
+  EXPECT_TRUE(vm->GetRelation("employee").value()->Contains(Tup(3, "eng")));
+}
+
+TEST(ConstraintsTest, RejectsAndRollsBackViolations) {
+  auto vm = MakeRefIntegrity();
+  ConstraintChecker checker(vm.get());
+  IVM_ASSERT_OK(checker.AddConstraint("bad_dept", "unknown department"));
+
+  ChangeSet bad;
+  bad.Insert("employee", Tup(9, "nonexistent"));
+  auto out = checker.ApplyChecked(bad);
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_EQ(checker.last_violations().size(), 1u);
+  EXPECT_EQ(checker.last_violations()[0].view, "bad_dept");
+  EXPECT_EQ(checker.last_violations()[0].tuples[0], Tup(9, "nonexistent"));
+  // Rolled back: the employee is gone and the violation view is empty.
+  EXPECT_FALSE(vm->GetRelation("employee").value()->Contains(Tup(9, "nonexistent")));
+  EXPECT_TRUE(vm->GetRelation("bad_dept").value()->empty());
+}
+
+TEST(ConstraintsTest, ViolationThroughDeletion) {
+  // Deleting a department orphans its employees.
+  auto vm = MakeRefIntegrity();
+  ConstraintChecker checker(vm.get());
+  IVM_ASSERT_OK(checker.AddConstraint("bad_dept", "unknown department"));
+  ChangeSet bad;
+  bad.Delete("dept", Tup("eng"));
+  EXPECT_FALSE(checker.ApplyChecked(bad).ok());
+  // Rolled back.
+  EXPECT_TRUE(vm->GetRelation("dept").value()->Contains(Tup("eng")));
+  EXPECT_TRUE(vm->GetRelation("bad_dept").value()->empty());
+}
+
+TEST(ConstraintsTest, MixedBatchRollsBackAtomically) {
+  auto vm = MakeRefIntegrity();
+  ConstraintChecker checker(vm.get());
+  IVM_ASSERT_OK(checker.AddConstraint("dup_id", "duplicate id"));
+  ChangeSet batch;
+  batch.Insert("employee", Tup(5, "eng"));     // fine on its own
+  batch.Insert("employee", Tup(1, "sales"));   // collides with employee 1
+  EXPECT_FALSE(checker.ApplyChecked(batch).ok());
+  // Both inserts rolled back.
+  EXPECT_FALSE(vm->GetRelation("employee").value()->Contains(Tup(5, "eng")));
+  EXPECT_FALSE(vm->GetRelation("employee").value()->Contains(Tup(1, "sales")));
+}
+
+TEST(ConstraintsTest, RedundantInsertRollbackIsExact) {
+  // A redundant insert (tuple already present) must not be deleted by the
+  // rollback under set semantics.
+  auto vm = MakeRefIntegrity();
+  ConstraintChecker checker(vm.get());
+  IVM_ASSERT_OK(checker.AddConstraint("bad_dept", "unknown department"));
+  ChangeSet batch;
+  batch.Insert("employee", Tup(1, "eng"));         // already present
+  batch.Insert("employee", Tup(9, "nonexistent")); // violates
+  EXPECT_FALSE(checker.ApplyChecked(batch).ok());
+  EXPECT_TRUE(vm->GetRelation("employee").value()->Contains(Tup(1, "eng")));
+}
+
+TEST(ConstraintsTest, AddConstraintValidatesViewName) {
+  auto vm = MakeRefIntegrity();
+  ConstraintChecker checker(vm.get());
+  EXPECT_EQ(checker.AddConstraint("nope", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(checker.AddConstraint("employee", "x").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConstraintsTest, CheckNowReportsPreexistingViolations) {
+  auto vm = ViewManager::CreateFromText(
+      "base e(X). base d(X). bad(X) :- e(X) & !d(X).");
+  vm.status().CheckOK();
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(1).");
+  db.CreateRelation("d", 1).CheckOK();
+  (*vm)->Initialize(db).CheckOK();
+  ConstraintChecker checker((*vm).get());
+  IVM_ASSERT_OK(checker.AddConstraint("bad", "dangling"));
+  EXPECT_EQ(checker.CheckNow().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(checker.last_violations().size(), 1u);
+}
+
+TEST(TriggersTest, SubscriberSeesViewDeltas) {
+  auto vm = ViewManager::CreateFromText(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).").value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  int fired = 0;
+  Relation last_delta("d", 2);
+  int id = vm->Subscribe("hop", [&](const std::string& view, const Relation& delta) {
+    EXPECT_EQ(view, "hop");
+    last_delta = delta;
+    ++fired;
+  });
+
+  ChangeSet grow;
+  grow.Insert("link", Tup("b", "c"));
+  vm->Apply(grow).value();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(last_delta.Count(Tup("a", "c")), 1);
+
+  // No hop change -> no firing.
+  ChangeSet unrelated;
+  unrelated.Insert("link", Tup("x", "y"));
+  vm->Apply(unrelated).value();
+  EXPECT_EQ(fired, 1);
+
+  vm->Unsubscribe(id);
+  ChangeSet shrink;
+  shrink.Delete("link", Tup("b", "c"));
+  vm->Apply(shrink).value();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TriggersTest, MultipleSubscribersAndRuleChanges) {
+  auto vm = ViewManager::CreateFromText(
+      "base e(X, Y). p(X, Y) :- e(X, Y).", Strategy::kDRed).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(1,2).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  int a = 0, b = 0;
+  vm->Subscribe("p", [&](const std::string&, const Relation&) { ++a; });
+  vm->Subscribe("p", [&](const std::string&, const Relation&) { ++b; });
+  // A rule change that adds tuples must fire triggers too.
+  vm->AddRuleText("p(X, Y) :- e(Y, X).").value();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,363 @@
+#include "core/counting.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+constexpr const char* kHopProgram =
+    "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).";
+
+std::unique_ptr<CountingMaintainer> MakeHop(Semantics semantics,
+                                            const std::string& facts) {
+  auto m = CountingMaintainer::Create(MustParseProgram(kHopProgram), semantics);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  Database db;
+  testing_util::MustLoadFacts(&db, facts);
+  if (!db.Has("link")) db.CreateRelation("link", 2).CheckOK();
+  (*m)->Initialize(db).CheckOK();
+  return std::move(m).value();
+}
+
+TEST(CountingTest, RejectsRecursivePrograms) {
+  auto m = CountingMaintainer::Create(
+      MustParseProgram("base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y)."),
+      Semantics::kSet);
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CountingTest, InitializeStoresCounts) {
+  auto m = MakeHop(Semantics::kDuplicate,
+                   "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  const Relation& hop = *m->GetRelation("hop").value();
+  EXPECT_EQ(hop.Count(Tup("a", "c")), 2);
+  EXPECT_EQ(hop.Count(Tup("a", "e")), 1);
+}
+
+TEST(CountingTest, Example11DeleteLinkAB) {
+  // The paper's running example: deleting link(a,b) must delete hop(a,e)
+  // only — hop(a,c) retains one derivation.
+  auto m = MakeHop(Semantics::kSet,
+                   "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& delta = out.Delta("hop");
+  EXPECT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.Count(Tup("a", "e")), -1);
+  const Relation& hop = *m->GetRelation("hop").value();
+  EXPECT_TRUE(hop.Contains(Tup("a", "c")));
+  EXPECT_FALSE(hop.Contains(Tup("a", "e")));
+}
+
+TEST(CountingTest, DuplicateSemanticsReportsCountChanges) {
+  auto m = MakeHop(Semantics::kDuplicate,
+                   "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& delta = out.Delta("hop");
+  // Under duplicate semantics the count drop of hop(a,c) is reported too.
+  EXPECT_EQ(delta.Count(Tup("a", "c")), -1);
+  EXPECT_EQ(delta.Count(Tup("a", "e")), -1);
+  EXPECT_EQ(m->GetRelation("hop").value()->Count(Tup("a", "c")), 1);
+}
+
+TEST(CountingTest, InsertionCreatesNewDerivations) {
+  auto m = MakeHop(Semantics::kDuplicate, "link(a,b).");
+  ChangeSet changes;
+  changes.Insert("link", Tup("b", "c"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "c")), 1);
+  EXPECT_EQ(m->GetRelation("hop").value()->Count(Tup("a", "c")), 1);
+}
+
+TEST(CountingTest, SelfJoinDeltaHandlesBothPositions) {
+  // Inserting a single link that joins with itself: link(x,x) gives hop(x,x).
+  auto m = MakeHop(Semantics::kDuplicate, "link(a,b).");
+  ChangeSet changes;
+  changes.Insert("link", Tup("x", "x"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("x", "x")), 1);
+}
+
+TEST(CountingTest, UpdateIsDeletePlusInsert) {
+  auto m = MakeHop(Semantics::kSet, "link(a,b). link(b,c).");
+  ChangeSet changes;
+  changes.Update("link", Tup("b", "c"), Tup("b", "d"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "c")), -1);
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "d")), 1);
+}
+
+TEST(CountingTest, Example42FullDeltaPropagation) {
+  // link = {ab, ad, dc, bc, ch, fg}; Δlink = {ab -1, df +1, af +1}.
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).");
+  auto m = CountingMaintainer::Create(std::move(p), Semantics::kDuplicate).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).");
+  m->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  changes.Insert("link", Tup("d", "f"));
+  changes.Insert("link", Tup("a", "f"));
+  ChangeSet out = m->Apply(changes).value();
+
+  // Δ(hop) = {ac -1, ag +1, dg +1, af +1}  (af via a->d->f... wait: the
+  // paper's Δ(hop) = {ac -1, ag, dg} from rule Δ1 and {af} from Δ2).
+  const Relation& dhop = out.Delta("hop");
+  EXPECT_EQ(dhop.Count(Tup("a", "c")), -1);
+  EXPECT_EQ(dhop.Count(Tup("a", "g")), 1);
+  EXPECT_EQ(dhop.Count(Tup("d", "g")), 1);
+  EXPECT_EQ(dhop.Count(Tup("a", "f")), 1);
+  EXPECT_EQ(dhop.size(), 4u);
+
+  // hop^new = {ac, af, ag, dg, dh, bh}.
+  const Relation& hop = *m->GetRelation("hop").value();
+  EXPECT_EQ(hop.size(), 6u);
+  EXPECT_EQ(hop.Count(Tup("a", "c")), 1);
+
+  // Δ(tri_hop) = {ah -1, ag +1}; tri_hop^new = {ah 1, ag 1}.
+  const Relation& dtri = out.Delta("tri_hop");
+  EXPECT_EQ(dtri.Count(Tup("a", "h")), -1);
+  EXPECT_EQ(dtri.Count(Tup("a", "g")), 1);
+  const Relation& tri = *m->GetRelation("tri_hop").value();
+  EXPECT_EQ(tri.Count(Tup("a", "h")), 1);
+  EXPECT_EQ(tri.Count(Tup("a", "g")), 1);
+  EXPECT_EQ(tri.size(), 2u);
+}
+
+TEST(CountingTest, Example51SetOptimizationStopsCascade) {
+  // Same as Example 4.2 but with set semantics: the count-only change of
+  // hop(a,c) must NOT cascade into tri_hop (tuple (ah -1) is not derived).
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).");
+  auto m = CountingMaintainer::Create(std::move(p), Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).");
+  m->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  changes.Insert("link", Tup("d", "f"));
+  changes.Insert("link", Tup("a", "f"));
+  ChangeSet out = m->Apply(changes).value();
+
+  // Δ(hop) as a set change = {af, ag, dg} — ac stays (Example 5.1).
+  const Relation& dhop = out.Delta("hop");
+  EXPECT_FALSE(dhop.Contains(Tup("a", "c")));
+  EXPECT_EQ(dhop.Count(Tup("a", "f")), 1);
+  EXPECT_EQ(dhop.Count(Tup("a", "g")), 1);
+  EXPECT_EQ(dhop.Count(Tup("d", "g")), 1);
+  EXPECT_EQ(dhop.size(), 3u);
+
+  // tri_hop gains ag (and ah is NOT deleted).
+  const Relation& dtri = out.Delta("tri_hop");
+  EXPECT_FALSE(dtri.Contains(Tup("a", "h")));
+  EXPECT_EQ(dtri.Count(Tup("a", "g")), 1);
+  EXPECT_TRUE(m->GetRelation("tri_hop").value()->Contains(Tup("a", "h")));
+}
+
+TEST(CountingTest, NegationMaintenance) {
+  Program p = MustParseProgram(
+      "base e(X). base q(X). p(X) :- e(X) & !q(X).");
+  auto m = CountingMaintainer::Create(std::move(p), Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a). e(b). q(b).");
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("p").value()->Contains(Tup("a")));
+  EXPECT_FALSE(m->GetRelation("p").value()->Contains(Tup("b")));
+
+  // Delete q(b): p(b) appears. Insert q(a): p(a) disappears.
+  ChangeSet changes;
+  changes.Delete("q", Tup("b"));
+  changes.Insert("q", Tup("a"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("p").Count(Tup("b")), 1);
+  EXPECT_EQ(out.Delta("p").Count(Tup("a")), -1);
+  EXPECT_TRUE(m->GetRelation("p").value()->Contains(Tup("b")));
+  EXPECT_FALSE(m->GetRelation("p").value()->Contains(Tup("a")));
+}
+
+TEST(CountingTest, OnlyTriHopExample61Maintenance) {
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).\n"
+      "only_tri_hop(X, Y) :- tri_hop(X, Y) & !hop(X, Y).");
+  auto m = CountingMaintainer::Create(std::move(p), Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db,
+      "link(a,b). link(a,e). link(a,f). link(a,g). link(b,c). link(c,d). "
+      "link(c,k). link(e,d). link(f,d). link(g,h). link(h,k).");
+  m->Initialize(db).CheckOK();
+  EXPECT_EQ(m->GetRelation("only_tri_hop").value()->ToString(),
+            "{(\"a\", \"k\")}");
+
+  // Insert link(a,c): hop(a,k) appears (a->c->k)... so only_tri_hop(a,k)
+  // must disappear, and hop(a,d) gets another derivation.
+  ChangeSet changes;
+  changes.Insert("link", Tup("a", "c"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("only_tri_hop").Count(Tup("a", "k")), -1);
+  EXPECT_FALSE(m->GetRelation("only_tri_hop").value()->Contains(Tup("a", "k")));
+}
+
+TEST(CountingTest, AggregateMinMaintenance) {
+  Program p = MustParseProgram(
+      "base link(S, D, C).\n"
+      "hop(S, D, C1 + C2) :- link(S, I, C1) & link(I, D, C2).\n"
+      "min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).");
+  auto m = CountingMaintainer::Create(std::move(p), Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a, b, 1). link(b, c, 2). link(a, d, 5). link(d, c, 1).");
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("min_cost_hop").value()->Contains(Tup("a", "c", 3)));
+
+  // Insert a cheaper path a->x->c with cost 1+1=2: min drops to 2.
+  ChangeSet changes;
+  changes.Insert("link", Tup("a", "x", 1));
+  changes.Insert("link", Tup("x", "c", 1));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("min_cost_hop").Count(Tup("a", "c", 3)), -1);
+  EXPECT_EQ(out.Delta("min_cost_hop").Count(Tup("a", "c", 2)), 1);
+  EXPECT_TRUE(m->GetRelation("min_cost_hop").value()->Contains(Tup("a", "c", 2)));
+
+  // Delete the cheap path: min goes back to 3.
+  ChangeSet undo;
+  undo.Delete("link", Tup("a", "x", 1));
+  ChangeSet out2 = m->Apply(undo).value();
+  EXPECT_EQ(out2.Delta("min_cost_hop").Count(Tup("a", "c", 2)), -1);
+  EXPECT_EQ(out2.Delta("min_cost_hop").Count(Tup("a", "c", 3)), 1);
+}
+
+TEST(CountingTest, AggregateSumOverBaseRelation) {
+  Program p = MustParseProgram(
+      "base sales(Region, Amount).\n"
+      "total(R, T) :- groupby(sales(R, A), [R], T = sum(A)).");
+  auto m = CountingMaintainer::Create(std::move(p), Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "sales(east, 10). sales(east, 5). sales(west, 7).");
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("total").value()->Contains(Tup("east", 15)));
+
+  ChangeSet changes;
+  changes.Insert("sales", Tup("east", 3));
+  changes.Delete("sales", Tup("west", 7));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("total").Count(Tup("east", 15)), -1);
+  EXPECT_EQ(out.Delta("total").Count(Tup("east", 18)), 1);
+  EXPECT_EQ(out.Delta("total").Count(Tup("west", 7)), -1);
+  EXPECT_EQ(m->GetRelation("total").value()->size(), 1u);
+}
+
+TEST(CountingTest, ErrorOnDeletingAbsentTuple) {
+  auto m = MakeHop(Semantics::kSet, "link(a,b).");
+  ChangeSet changes;
+  changes.Delete("link", Tup("z", "z"));
+  EXPECT_EQ(m->Apply(changes).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CountingTest, ErrorOnModifyingView) {
+  auto m = MakeHop(Semantics::kSet, "link(a,b).");
+  ChangeSet changes;
+  changes.Insert("hop", Tup("x", "y"));
+  EXPECT_EQ(m->Apply(changes).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CountingTest, ErrorBeforeInitialize) {
+  auto m = CountingMaintainer::Create(MustParseProgram(kHopProgram),
+                                      Semantics::kSet).value();
+  ChangeSet changes;
+  changes.Insert("link", Tup("a", "b"));
+  EXPECT_EQ(m->Apply(changes).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CountingTest, RedundantSetInsertIsNoop) {
+  auto m = MakeHop(Semantics::kSet, "link(a,b). link(b,c).");
+  ChangeSet changes;
+  changes.Insert("link", Tup("a", "b"));  // already present
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CountingTest, DuplicateSemanticsTracksMultiplicity) {
+  auto m = MakeHop(Semantics::kDuplicate, "link(a,b). link(b,c).");
+  ChangeSet changes;
+  changes.Insert("link", Tup("a", "b"));  // second copy
+  ChangeSet out = m->Apply(changes).value();
+  // hop(a,c) now has 2 derivations (2 copies of link(a,b) × link(b,c)).
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "c")), 1);
+  EXPECT_EQ(m->GetRelation("hop").value()->Count(Tup("a", "c")), 2);
+}
+
+TEST(CountingTest, LongSequenceOfBatchesMatchesRecompute) {
+  auto m = MakeHop(Semantics::kSet, "link(a,b). link(b,c). link(c,d).");
+  // Apply a sequence of batches; after each, hop must equal the from-scratch
+  // evaluation.
+  const char* batches[][2] = {
+      {"ins", "c e"}, {"ins", "d e"}, {"del", "b c"},
+      {"ins", "b c"}, {"del", "a b"}, {"ins", "e a"},
+  };
+  Program oracle_prog = MustParseProgram(kHopProgram);
+  for (const auto& batch : batches) {
+    ChangeSet changes;
+    std::string src(1, batch[1][0]);
+    std::string dst(1, batch[1][2]);
+    if (std::string(batch[0]) == "ins") {
+      changes.Insert("link", Tup(src, dst));
+    } else {
+      changes.Delete("link", Tup(src, dst));
+    }
+    m->Apply(changes).value();
+    // Oracle: evaluate from the maintainer's own base snapshot.
+    Database db2;
+    db2.CreateRelation("link", 2).CheckOK();
+    for (const auto& [t, c] : m->GetRelation("link").value()->tuples()) {
+      db2.mutable_relation("link").Add(t, c);
+    }
+    Evaluator ev(oracle_prog, {Semantics::kSet, false});
+    std::map<PredicateId, Relation> views;
+    ev.EvaluateAll(db2, &views).CheckOK();
+    const Relation& expected = views.at(oracle_prog.Lookup("hop").value());
+    EXPECT_TRUE(m->GetRelation("hop").value()->SameSet(expected))
+        << "after batch " << batch[0] << " " << batch[1];
+  }
+}
+
+TEST(CountingTest, TheoremFourOneDeltaEqualsCountDifference) {
+  // Δ(t) must equal count_new(t) - count_old(t) for every tuple.
+  auto m = MakeHop(Semantics::kDuplicate,
+                   "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  Relation before = *m->GetRelation("hop").value();
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  changes.Insert("link", Tup("d", "e"));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& after = *m->GetRelation("hop").value();
+  const Relation& delta = out.Delta("hop");
+  // Check on the union of tuples.
+  for (const auto& [t, c] : before.tuples()) {
+    EXPECT_EQ(delta.Count(t), after.Count(t) - c) << t.ToString();
+  }
+  for (const auto& [t, c] : after.tuples()) {
+    EXPECT_EQ(delta.Count(t), c - before.Count(t)) << t.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,60 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  IVM_EXPECT_OK(db.CreateRelation("link", 2));
+  EXPECT_TRUE(db.Has("link"));
+  EXPECT_FALSE(db.Has("hop"));
+  EXPECT_EQ(db.relation("link").arity(), 2u);
+  EXPECT_FALSE(db.Get("hop").ok());
+}
+
+TEST(DatabaseTest, DuplicateCreateFails) {
+  Database db;
+  IVM_EXPECT_OK(db.CreateRelation("r", 1));
+  Status s = db.CreateRelation("r", 1);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, ApplyDeltaInsertsAndDeletes) {
+  Database db;
+  IVM_EXPECT_OK(db.CreateRelation("r", 1));
+  db.mutable_relation("r").Add(Tup(1), 2);
+  Relation delta("Δr", 1);
+  delta.Add(Tup(1), -1);
+  delta.Add(Tup(2), 3);
+  IVM_EXPECT_OK(db.ApplyDelta("r", delta));
+  EXPECT_EQ(db.relation("r").Count(Tup(1)), 1);
+  EXPECT_EQ(db.relation("r").Count(Tup(2)), 3);
+}
+
+TEST(DatabaseTest, ApplyDeltaRejectsOverDeletion) {
+  // The paper's precondition: deleted tuples must be a sub-multiset of the
+  // stored database (Lemma 4.1).
+  Database db;
+  IVM_EXPECT_OK(db.CreateRelation("r", 1));
+  db.mutable_relation("r").Add(Tup(1), 1);
+  Relation delta("Δr", 1);
+  delta.Add(Tup(1), -2);
+  Status s = db.ApplyDelta("r", delta);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // And the store is untouched.
+  EXPECT_EQ(db.relation("r").Count(Tup(1)), 1);
+}
+
+TEST(DatabaseTest, RelationNamesSorted) {
+  Database db;
+  IVM_EXPECT_OK(db.CreateRelation("b", 1));
+  IVM_EXPECT_OK(db.CreateRelation("a", 1));
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,136 @@
+#include "core/delta_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+TEST(DeltaRulesTest, OneDeltaRulePerAtomPosition) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  std::vector<DeltaRule> drs = CompileDeltaRules(p, 0);
+  ASSERT_EQ(drs.size(), 2u);
+  EXPECT_EQ(drs[0].delta_position, 0);
+  EXPECT_EQ(drs[1].delta_position, 1);
+}
+
+TEST(DeltaRulesTest, ComparisonsAreNotDeltaPositions) {
+  Program p = MustParseProgram(
+      "base e(X, Y). p(X) :- e(X, Y), Y > 3, e(Y, X).");
+  std::vector<DeltaRule> drs = CompileDeltaRules(p, 0);
+  ASSERT_EQ(drs.size(), 2u);
+  EXPECT_EQ(drs[0].delta_position, 0);
+  EXPECT_EQ(drs[1].delta_position, 2);
+}
+
+TEST(DeltaRulesTest, ToStringMatchesExample41) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  std::vector<DeltaRule> drs = CompileDeltaRules(p, 0);
+  // (d1): Δhop(X,Y) :- Δ(link(X,Z)) & link(Z,Y).
+  EXPECT_EQ(DeltaRuleToString(p, drs[0]),
+            "Δhop(X, Y) :- Δ(link(X, Z)) & link(Z, Y).");
+  // (d2): Δhop(X,Y) :- link^new(X,Z) & Δ(link(Z,Y)).
+  EXPECT_EQ(DeltaRuleToString(p, drs[1]),
+            "Δhop(X, Y) :- link(X, Z)^new & Δ(link(Z, Y)).");
+}
+
+TEST(DeltaRulesTest, MembershipDelta) {
+  Relation stored("r", 1);
+  stored.Add(Tup(1), 2);
+  stored.Add(Tup(2), 1);
+  Relation delta("Δr", 1);
+  delta.Add(Tup(1), -1);  // count 2 -> 1: no membership change
+  delta.Add(Tup(2), -1);  // count 1 -> 0: leaves the set
+  delta.Add(Tup(3), 4);   // enters the set
+  Relation md = MembershipDelta(stored, delta);
+  EXPECT_FALSE(md.Contains(Tup(1)));
+  EXPECT_EQ(md.Count(Tup(2)), -1);
+  EXPECT_EQ(md.Count(Tup(3)), 1);
+}
+
+/// A DeltaSource over two explicit maps.
+class TestSource : public DeltaSource {
+ public:
+  const Relation* Old(PredicateId pred) const override {
+    auto it = old_.find(pred);
+    return it == old_.end() ? nullptr : &it->second;
+  }
+  const Relation* DeltaOf(PredicateId pred) const override {
+    auto it = delta_.find(pred);
+    return it == delta_.end() ? nullptr : &it->second;
+  }
+  std::map<PredicateId, Relation> old_;
+  std::map<PredicateId, Relation> delta_;
+};
+
+TEST(DeltaRulesTest, LoweredDeltaRuleComputesHopDelta) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  PredicateId link = p.Lookup("link").value();
+
+  TestSource source;
+  source.old_[link] = testing_util::MustMakeRelation(
+      "link", 2, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  Relation d("Δlink", 2);
+  d.Add(Tup("a", "b"), -1);
+  source.delta_[link] = d;
+
+  DeltaRuleLowering lowering(p, source, /*multiset_aggregates=*/true,
+                             /*counts_as_one=*/false);
+  Relation delta_hop("Δhop", 2);
+  for (const DeltaRule& dr : CompileDeltaRules(p, 0)) {
+    ASSERT_TRUE(lowering.HasWork(dr).value());
+    PreparedRule prepared = lowering.Lower(dr).value();
+    IVM_EXPECT_OK(EvaluateJoin(prepared, &delta_hop));
+  }
+  // Deleting link(a,b) removes one derivation of hop(a,c) and of hop(a,e).
+  EXPECT_EQ(delta_hop.Count(Tup("a", "c")), -1);
+  EXPECT_EQ(delta_hop.Count(Tup("a", "e")), -1);
+  EXPECT_EQ(delta_hop.size(), 2u);
+}
+
+TEST(DeltaRulesTest, NegationDeltaFollowsDefinition61) {
+  Program p = MustParseProgram(
+      "base e(X). base q(X). p(X) :- e(X) & !q(X).");
+  PredicateId q = p.Lookup("q").value();
+  PredicateId e = p.Lookup("e").value();
+
+  TestSource source;
+  source.old_[e] = testing_util::MustMakeRelation("e", 1, "e(a). e(b). e(c).");
+  source.old_[q] = testing_util::MustMakeRelation("q", 1, "q(a).");
+  Relation dq("Δq", 1);
+  dq.Add(Tup("a"), -1);  // q(a) deleted -> ¬q(a) becomes true
+  dq.Add(Tup("b"), 1);   // q(b) inserted -> ¬q(b) becomes false
+  source.delta_[q] = dq;
+
+  DeltaRuleLowering lowering(p, source, true, false);
+  Relation delta_p("Δp", 1);
+  for (const DeltaRule& dr : CompileDeltaRules(p, 0)) {
+    if (!lowering.HasWork(dr).value()) continue;
+    PreparedRule prepared = lowering.Lower(dr).value();
+    IVM_EXPECT_OK(EvaluateJoin(prepared, &delta_p));
+  }
+  EXPECT_EQ(delta_p.Count(Tup("a")), 1);
+  EXPECT_EQ(delta_p.Count(Tup("b")), -1);
+  EXPECT_FALSE(delta_p.Contains(Tup("c")));
+}
+
+TEST(DeltaRulesTest, HasWorkFalseWhenNoDeltas) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  PredicateId link = p.Lookup("link").value();
+  TestSource source;
+  source.old_[link] = testing_util::MustMakeRelation("link", 2, "link(a,b).");
+  DeltaRuleLowering lowering(p, source, true, false);
+  for (const DeltaRule& dr : CompileDeltaRules(p, 0)) {
+    EXPECT_FALSE(lowering.HasWork(dr).value());
+  }
+}
+
+}  // namespace
+}  // namespace ivm

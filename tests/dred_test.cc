@@ -1,0 +1,329 @@
+#include "core/dred.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+constexpr const char* kTcProgram =
+    "base edge(X, Y).\n"
+    "path(X, Y) :- edge(X, Y).\n"
+    "path(X, Y) :- path(X, Z) & edge(Z, Y).";
+
+std::unique_ptr<DRedMaintainer> MakeTc(const std::string& facts) {
+  auto m = DRedMaintainer::Create(MustParseProgram(kTcProgram));
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  testing_util::MustLoadFacts(&db, facts);
+  (*m)->Initialize(db).CheckOK();
+  return std::move(m).value();
+}
+
+/// Recomputes the maintainer's program from its own base snapshot and checks
+/// every view matches (Theorem 7.1).
+void ExpectMatchesRecompute(const DRedMaintainer& m) {
+  const Program& p = m.program();
+  Database db;
+  for (PredicateId b : p.BasePredicates()) {
+    const auto& info = p.predicate(b);
+    db.CreateRelation(info.name, info.arity).CheckOK();
+    auto rel = m.GetRelation(info.name);
+    ASSERT_TRUE(rel.ok());
+    db.mutable_relation(info.name) = **rel;
+  }
+  Evaluator ev(p, {Semantics::kSet, false});
+  std::map<PredicateId, Relation> views;
+  ev.EvaluateAll(db, &views).CheckOK();
+  for (const auto& [pred, expected] : views) {
+    auto actual = m.GetRelation(p.predicate(pred).name);
+    ASSERT_TRUE(actual.ok());
+    EXPECT_TRUE((*actual)->SameSet(expected))
+        << p.predicate(pred).name << "\nactual:   " << (*actual)->ToString()
+        << "\nexpected: " << expected.ToString();
+  }
+}
+
+TEST(DRedTest, Example11OverDeleteAndRederive) {
+  // Deleting link(a,b): DRed over-deletes hop(a,c) and hop(a,e), then
+  // rederives hop(a,c) (alternative derivation a->d->c).
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).")).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  m->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").size(), 1u);
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "e")), -1);
+  EXPECT_TRUE(m->GetRelation("hop").value()->Contains(Tup("a", "c")));
+}
+
+TEST(DRedTest, TcDeleteChainEdge) {
+  auto m = MakeTc("edge(0,1). edge(1,2). edge(2,3). edge(3,4).");
+  ChangeSet changes;
+  changes.Delete("edge", Tup(2, 3));
+  ChangeSet out = m->Apply(changes).value();
+  // Pairs crossing the cut (i<=2, j>=3): (0,3),(0,4),(1,3),(1,4),(2,3),(2,4).
+  EXPECT_EQ(out.Delta("path").size(), 6u);
+  EXPECT_EQ(out.Delta("path").Count(Tup(0, 4)), -1);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, TcDeleteWithAlternativePathRederives) {
+  // Diamond: 0->1->3 and 0->2->3; deleting 0->1 keeps 0~>3.
+  auto m = MakeTc("edge(0,1). edge(1,3). edge(0,2). edge(2,3). edge(3,4).");
+  ChangeSet changes;
+  changes.Delete("edge", Tup(0, 1));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& d = out.Delta("path");
+  EXPECT_EQ(d.Count(Tup(0, 1)), -1);
+  EXPECT_FALSE(d.Contains(Tup(0, 3)));  // rederived via 0->2->3
+  EXPECT_FALSE(d.Contains(Tup(0, 4)));
+  EXPECT_TRUE(m->GetRelation("path").value()->Contains(Tup(0, 4)));
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, TcCycleDeletionRemovesSelfSupport) {
+  // A pure cycle: deleting one edge must delete the tuples that only
+  // supported each other (the case where naive per-tuple rederivation
+  // without over-deletion fails).
+  auto m = MakeTc("edge(0,1). edge(1,2). edge(2,0).");
+  EXPECT_EQ(m->GetRelation("path").value()->size(), 9u);
+  ChangeSet changes;
+  changes.Delete("edge", Tup(2, 0));
+  m->Apply(changes).value();
+  const Relation& path = *m->GetRelation("path").value();
+  // Remaining: chain 0->1->2.
+  EXPECT_EQ(path.size(), 3u);
+  EXPECT_TRUE(path.Contains(Tup(0, 2)));
+  EXPECT_FALSE(path.Contains(Tup(0, 0)));
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, TcInsertions) {
+  auto m = MakeTc("edge(0,1). edge(2,3).");
+  ChangeSet changes;
+  changes.Insert("edge", Tup(1, 2));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& d = out.Delta("path");
+  EXPECT_EQ(d.Count(Tup(1, 2)), 1);
+  EXPECT_EQ(d.Count(Tup(0, 2)), 1);
+  EXPECT_EQ(d.Count(Tup(0, 3)), 1);
+  EXPECT_EQ(d.Count(Tup(1, 3)), 1);
+  EXPECT_EQ(d.size(), 4u);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, MixedInsertAndDelete) {
+  auto m = MakeTc("edge(0,1). edge(1,2). edge(2,3).");
+  ChangeSet changes;
+  changes.Delete("edge", Tup(1, 2));
+  changes.Insert("edge", Tup(1, 3));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& path = *m->GetRelation("path").value();
+  EXPECT_TRUE(path.Contains(Tup(0, 3)));   // via new 1->3
+  EXPECT_FALSE(path.Contains(Tup(0, 2)));  // lost
+  EXPECT_FALSE(out.Delta("path").Contains(Tup(0, 3)));  // deleted+readded nets out
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, MutualRecursionMaintenance) {
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base e(X, Y).\n"
+      "odd(X, Y) :- e(X, Y).\n"
+      "odd(X, Y) :- even(X, Z) & e(Z, Y).\n"
+      "even(X, Y) :- odd(X, Z) & e(Z, Y).")).value();
+  Database db;
+  db.CreateRelation("e", 2).CheckOK();
+  for (int i = 0; i < 6; ++i) db.mutable_relation("e").Add(Tup(i, i + 1), 1);
+  m->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("e", Tup(3, 4));
+  changes.Insert("e", Tup(3, 5));
+  m->Apply(changes).value();
+  ExpectMatchesRecompute(*m);
+  // 0..3 (odd length 3), then 3->5 (len 4 from 0): even.
+  EXPECT_TRUE(m->GetRelation("even").value()->Contains(Tup(0, 5)));
+}
+
+TEST(DRedTest, NegationStratifiedMaintenance) {
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base edge(X, Y). base blocked(X, Y).\n"
+      "ok(X, Y) :- edge(X, Y) & !blocked(X, Y).\n"
+      "path(X, Y) :- ok(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & ok(Z, Y).")).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "edge(1,2). edge(2,3). edge(3,4).");
+  db.CreateRelation("blocked", 2).CheckOK();
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("path").value()->Contains(Tup(1, 4)));
+
+  // Blocking edge(2,3) cuts paths through it.
+  ChangeSet changes;
+  changes.Insert("blocked", Tup(2, 3));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("path").Count(Tup(1, 4)), -1);
+  EXPECT_FALSE(m->GetRelation("path").value()->Contains(Tup(1, 3)));
+  ExpectMatchesRecompute(*m);
+
+  // Unblocking restores them.
+  ChangeSet undo;
+  undo.Delete("blocked", Tup(2, 3));
+  ChangeSet out2 = m->Apply(undo).value();
+  EXPECT_EQ(out2.Delta("path").Count(Tup(1, 4)), 1);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, AggregationOverRecursionMaintenance) {
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & edge(Z, Y).\n"
+      "reach_count(X, N) :- groupby(path(X, Y), [X], N = count(*)).")).value();
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  for (int i = 0; i < 4; ++i) db.mutable_relation("edge").Add(Tup(i, i + 1), 1);
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("reach_count").value()->Contains(Tup(0, 4)));
+
+  ChangeSet changes;
+  changes.Delete("edge", Tup(3, 4));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("reach_count").Count(Tup(0, 4)), -1);
+  EXPECT_EQ(out.Delta("reach_count").Count(Tup(0, 3)), 1);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, MinCostAggregateMaintenance) {
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base link(S, D, C).\n"
+      "hop(S, D, C1 + C2) :- link(S, I, C1) & link(I, D, C2).\n"
+      "min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).")).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a, b, 1). link(b, c, 2). link(a, d, 5). link(d, c, 1).");
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("min_cost_hop").value()->Contains(Tup("a", "c", 3)));
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b", 1));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("min_cost_hop").Count(Tup("a", "c", 3)), -1);
+  EXPECT_EQ(out.Delta("min_cost_hop").Count(Tup("a", "c", 6)), 1);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, AddRuleIncrementally) {
+  // Section 7: view redefinition. Add a reverse-edge rule to TC.
+  auto m = MakeTc("edge(0,1). edge(1,2).");
+  EXPECT_FALSE(m->GetRelation("path").value()->Contains(Tup(1, 0)));
+  ChangeSet out = m->AddRuleText("path(X, Y) :- edge(Y, X).").value();
+  const Relation& path = *m->GetRelation("path").value();
+  EXPECT_TRUE(path.Contains(Tup(1, 0)));   // directly from the new rule
+  EXPECT_TRUE(path.Contains(Tup(2, 2)));   // path(2,1) (new rule) + edge(1,2)
+  EXPECT_TRUE(path.Contains(Tup(1, 1)));   // path(1,0) + edge(0,1)
+  EXPECT_GT(out.Delta("path").size(), 0u);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, RemoveRuleIncrementally) {
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & edge(Z, Y).")).value();
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  for (int i = 0; i < 4; ++i) db.mutable_relation("edge").Add(Tup(i, i + 1), 1);
+  m->Initialize(db).CheckOK();
+  EXPECT_TRUE(m->GetRelation("path").value()->Contains(Tup(0, 4)));
+
+  // Remove the recursive rule: path collapses to edge.
+  ChangeSet out = m->RemoveRule(1).value();
+  EXPECT_EQ(m->GetRelation("path").value()->size(), 4u);
+  EXPECT_EQ(out.Delta("path").Count(Tup(0, 4)), -1);
+  ExpectMatchesRecompute(*m);
+  EXPECT_EQ(m->program().num_rules(), 1u);
+}
+
+TEST(DRedTest, RemoveBaseCaseRuleEmptiesView) {
+  auto m = MakeTc("edge(0,1). edge(1,2).");
+  // Removing the base-case rule leaves the recursive rule with nothing to
+  // build on: path empties.
+  m->RemoveRule(0).value();
+  EXPECT_TRUE(m->GetRelation("path").value()->empty());
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, AddRuleThatIsUnsafeRollsBack) {
+  auto m = MakeTc("edge(0,1).");
+  auto bad = ParseRule("path(X, Y) :- edge(X, X).");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(m->AddRule(*bad).ok());
+  // Maintainer still works.
+  ChangeSet changes;
+  changes.Insert("edge", Tup(1, 2));
+  EXPECT_TRUE(m->Apply(changes).ok());
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, ApplyRejectsSetViolations) {
+  auto m = MakeTc("edge(0,1).");
+  ChangeSet changes;
+  changes.Delete("edge", Tup(5, 5));
+  EXPECT_EQ(m->Apply(changes).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DRedTest, RedundantInsertIsNoop) {
+  auto m = MakeTc("edge(0,1).");
+  ChangeSet changes;
+  changes.Insert("edge", Tup(0, 1));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DRedTest, NonrecursiveProgramsWorkToo) {
+  // DRed "can also be used to maintain nonrecursive views" (Section 7).
+  auto m = DRedMaintainer::Create(MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).")).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  m->Initialize(db).CheckOK();
+  ChangeSet changes;
+  changes.Insert("link", Tup("c", "d"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("b", "d")), 1);
+  ExpectMatchesRecompute(*m);
+}
+
+TEST(DRedTest, LargeRandomSequenceMatchesRecompute) {
+  auto m = MakeTc("edge(0,1). edge(1,2). edge(2,0). edge(2,3). edge(3,4). edge(4,2).");
+  struct Op { bool ins; int a, b; };
+  const Op ops[] = {
+      {false, 2, 0}, {true, 0, 3}, {false, 3, 4}, {true, 4, 0},
+      {true, 3, 4},  {false, 0, 1}, {true, 1, 0}, {false, 4, 2},
+  };
+  for (const Op& op : ops) {
+    ChangeSet changes;
+    if (op.ins) {
+      changes.Insert("edge", Tup(op.a, op.b));
+    } else {
+      changes.Delete("edge", Tup(op.a, op.b));
+    }
+    auto r = m->Apply(changes);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectMatchesRecompute(*m);
+  }
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,243 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+std::map<PredicateId, Relation> Eval(const Program& p, const Database& db,
+                                     EvalOptions options) {
+  Evaluator evaluator(p, options);
+  std::map<PredicateId, Relation> out;
+  Status s = evaluator.EvaluateAll(db, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+const Relation& Of(const Program& p,
+                   const std::map<PredicateId, Relation>& views,
+                   const std::string& name) {
+  return views.at(p.Lookup(name).value());
+}
+
+TEST(EvaluatorTest, HopWithDuplicateSemantics) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  auto views = Eval(p, db, {Semantics::kDuplicate, false});
+  const Relation& hop = Of(p, views, "hop");
+  EXPECT_EQ(hop.Count(Tup("a", "c")), 2);
+  EXPECT_EQ(hop.Count(Tup("a", "e")), 1);
+}
+
+TEST(EvaluatorTest, SetSemanticsCountsAreOne) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  const Relation& hop = Of(p, views, "hop");
+  EXPECT_EQ(hop.Count(Tup("a", "c")), 1);
+}
+
+TEST(EvaluatorTest, StratumCountsKeepPerStratumDerivations) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  auto views = Eval(p, db, {Semantics::kSet, true});
+  EXPECT_EQ(Of(p, views, "hop").Count(Tup("a", "c")), 2);
+}
+
+TEST(EvaluatorTest, Example42TriHop) {
+  // link = {ab, ad, dc, bc, ch, fg}; hop = {ac 2, dh, bh}; tri_hop = {ah 2}.
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).");
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).");
+  auto views = Eval(p, db, {Semantics::kDuplicate, false});
+  const Relation& hop = Of(p, views, "hop");
+  EXPECT_EQ(hop.Count(Tup("a", "c")), 2);
+  EXPECT_EQ(hop.Count(Tup("d", "h")), 1);
+  EXPECT_EQ(hop.Count(Tup("b", "h")), 1);
+  EXPECT_EQ(hop.size(), 3u);
+  const Relation& tri = Of(p, views, "tri_hop");
+  EXPECT_EQ(tri.Count(Tup("a", "h")), 2);
+  EXPECT_EQ(tri.size(), 1u);
+}
+
+TEST(EvaluatorTest, MultisetBaseRelationsUnderDuplicateSemantics) {
+  Program p = MustParseProgram("base e(X). p(X) :- e(X).");
+  Database db;
+  db.CreateRelation("e", 1).CheckOK();
+  db.mutable_relation("e").Add(Tup(1), 3);
+  auto dup = Eval(p, db, {Semantics::kDuplicate, false});
+  EXPECT_EQ(Of(p, dup, "p").Count(Tup(1)), 3);
+  auto set = Eval(p, db, {Semantics::kSet, false});
+  EXPECT_EQ(Of(p, set, "p").Count(Tup(1)), 1);
+}
+
+TEST(EvaluatorTest, TransitiveClosureOnChain) {
+  Program p = MustParseProgram(
+      "base edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & edge(Z, Y).");
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  for (int i = 0; i < 10; ++i) db.mutable_relation("edge").Add(Tup(i, i + 1), 1);
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  const Relation& path = Of(p, views, "path");
+  EXPECT_EQ(path.size(), 11u * 10u / 2u);  // all i<j pairs
+  EXPECT_TRUE(path.Contains(Tup(0, 10)));
+  EXPECT_FALSE(path.Contains(Tup(3, 3)));
+}
+
+TEST(EvaluatorTest, TransitiveClosureOnCycleTerminates) {
+  Program p = MustParseProgram(
+      "base edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & edge(Z, Y).");
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  for (int i = 0; i < 5; ++i) db.mutable_relation("edge").Add(Tup(i, (i + 1) % 5), 1);
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  EXPECT_EQ(Of(p, views, "path").size(), 25u);  // complete
+}
+
+TEST(EvaluatorTest, DuplicateSemanticsRejectsRecursion) {
+  Program p = MustParseProgram(
+      "base edge(X, Y). path(X, Y) :- edge(X, Y). path(X, Y) :- path(X, Z) & edge(Z, Y).");
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  Evaluator evaluator(p, {Semantics::kDuplicate, false});
+  std::map<PredicateId, Relation> out;
+  EXPECT_EQ(evaluator.EvaluateAll(db, &out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EvaluatorTest, MutualRecursion) {
+  // Even/odd path lengths on a chain.
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "odd(X, Y) :- e(X, Y).\n"
+      "odd(X, Y) :- even(X, Z) & e(Z, Y).\n"
+      "even(X, Y) :- odd(X, Z) & e(Z, Y).");
+  Database db;
+  db.CreateRelation("e", 2).CheckOK();
+  for (int i = 0; i < 6; ++i) db.mutable_relation("e").Add(Tup(i, i + 1), 1);
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  EXPECT_TRUE(Of(p, views, "odd").Contains(Tup(0, 1)));
+  EXPECT_TRUE(Of(p, views, "even").Contains(Tup(0, 2)));
+  EXPECT_TRUE(Of(p, views, "odd").Contains(Tup(0, 5)));
+  EXPECT_FALSE(Of(p, views, "even").Contains(Tup(0, 5)));
+}
+
+TEST(EvaluatorTest, NegationAcrossStrata) {
+  // Example 6.1's only_tri_hop shape.
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).\n"
+      "only_tri_hop(X, Y) :- tri_hop(X, Y) & !hop(X, Y).");
+  Database db;
+  testing_util::MustLoadFacts(
+      &db,
+      "link(a,b). link(a,e). link(a,f). link(a,g). link(b,c). link(c,d). "
+      "link(c,k). link(e,d). link(f,d). link(g,h). link(h,k).");
+  auto views = Eval(p, db, {Semantics::kDuplicate, false});
+  const Relation& only = Of(p, views, "only_tri_hop");
+  EXPECT_EQ(only.size(), 1u);
+  EXPECT_EQ(only.Count(Tup("a", "k")), 2);
+}
+
+TEST(EvaluatorTest, AggregationExample62) {
+  Program p = MustParseProgram(
+      "base link(S, D, C).\n"
+      "hop(S, D, C1 + C2) :- link(S, I, C1) & link(I, D, C2).\n"
+      "min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).");
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a, b, 1). link(b, c, 2). link(a, d, 5). link(d, c, 1).");
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  const Relation& mch = Of(p, views, "min_cost_hop");
+  EXPECT_EQ(mch.size(), 1u);
+  EXPECT_TRUE(mch.Contains(Tup("a", "c", 3)));
+}
+
+TEST(EvaluatorTest, AggregateOverRecursiveView) {
+  // Count reachable nodes per source — aggregation stratified above
+  // recursion.
+  Program p = MustParseProgram(
+      "base edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & edge(Z, Y).\n"
+      "reach_count(X, N) :- groupby(path(X, Y), [X], N = count(*)).");
+  Database db;
+  db.CreateRelation("edge", 2).CheckOK();
+  for (int i = 0; i < 4; ++i) db.mutable_relation("edge").Add(Tup(i, i + 1), 1);
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  const Relation& rc = Of(p, views, "reach_count");
+  EXPECT_TRUE(rc.Contains(Tup(0, 4)));
+  EXPECT_TRUE(rc.Contains(Tup(3, 1)));
+}
+
+TEST(EvaluatorTest, NegationInsideRecursionOverLowerStratum) {
+  // path over edges not marked blocked.
+  Program p = MustParseProgram(
+      "base edge(X, Y). base blocked(X, Y).\n"
+      "ok(X, Y) :- edge(X, Y) & !blocked(X, Y).\n"
+      "path(X, Y) :- ok(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & ok(Z, Y).");
+  Database db;
+  testing_util::MustLoadFacts(&db, "edge(1,2). edge(2,3). edge(3,4). blocked(2,3).");
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  const Relation& path = Of(p, views, "path");
+  EXPECT_TRUE(path.Contains(Tup(1, 2)));
+  EXPECT_TRUE(path.Contains(Tup(3, 4)));
+  EXPECT_FALSE(path.Contains(Tup(1, 3)));
+  EXPECT_FALSE(path.Contains(Tup(1, 4)));
+}
+
+TEST(EvaluatorTest, UnionOfRules) {
+  Program p = MustParseProgram(
+      "base e(X, Y). base f(X, Y).\n"
+      "u(X, Y) :- e(X, Y).\n"
+      "u(X, Y) :- f(X, Y).");
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a, b). f(a, b). f(c, d).");
+  auto dup = Eval(p, db, {Semantics::kDuplicate, false});
+  EXPECT_EQ(Of(p, dup, "u").Count(Tup("a", "b")), 2);  // two derivations
+  auto set = Eval(p, db, {Semantics::kSet, false});
+  EXPECT_EQ(Of(p, set, "u").Count(Tup("a", "b")), 1);
+}
+
+TEST(EvaluatorTest, EmptyBaseYieldsEmptyViews) {
+  Program p = MustParseProgram(
+      "base e(X, Y). path(X, Y) :- e(X, Y). path(X, Y) :- path(X, Z) & e(Z, Y).");
+  Database db;
+  db.CreateRelation("e", 2).CheckOK();
+  auto views = Eval(p, db, {Semantics::kSet, false});
+  EXPECT_TRUE(Of(p, views, "path").empty());
+}
+
+TEST(EvaluatorTest, MissingBaseRelationErrors) {
+  Program p = MustParseProgram("base e(X). p(X) :- e(X).");
+  Database db;
+  Evaluator evaluator(p, {Semantics::kSet, false});
+  std::map<PredicateId, Relation> out;
+  EXPECT_EQ(evaluator.EvaluateAll(db, &out).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ivm

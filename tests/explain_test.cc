@@ -1,0 +1,61 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+TEST(ExplainTest, HopDeltaProgram) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  std::string delta = ExplainDeltaProgram(p).value();
+  EXPECT_EQ(delta,
+            "Δhop(X, Y) :- Δ(link(X, Z)) & link(Z, Y).\n"
+            "Δhop(X, Y) :- link(X, Z)^new & Δ(link(Z, Y)).\n");
+}
+
+TEST(ExplainTest, FullReportSections) {
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).");
+  std::string report = ExplainProgram(p).value();
+  EXPECT_NE(report.find("stratum 0: link (base)"), std::string::npos);
+  EXPECT_NE(report.find("stratum 1: hop"), std::string::npos);
+  EXPECT_NE(report.find("stratum 2: tri_hop"), std::string::npos);
+  EXPECT_NE(report.find("[0] (RSN 1)"), std::string::npos);
+  EXPECT_NE(report.find("[1] (RSN 2)"), std::string::npos);
+  EXPECT_NE(report.find("Δtri_hop"), std::string::npos);
+}
+
+TEST(ExplainTest, MarksRecursivePredicates) {
+  Program p = MustParseProgram(
+      "base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y).");
+  std::string report = ExplainProgram(p).value();
+  EXPECT_NE(report.find("p (recursive)"), std::string::npos);
+}
+
+TEST(ExplainTest, DeltaPositionsForNegationAndAggregation) {
+  Program p = MustParseProgram(
+      "base e(X). base q(X).\n"
+      "v(X) :- e(X) & !q(X).\n"
+      "c(N) :- groupby(e(X), [], N = count(*)).");
+  std::string delta = ExplainDeltaProgram(p).value();
+  // One delta rule per atom-based literal, including the negated and
+  // aggregate subgoals.
+  EXPECT_NE(delta.find("Δ(!q(X))"), std::string::npos);
+  EXPECT_NE(delta.find("Δ(groupby(e(X), [], N = count(1)))"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, RequiresAnalyzedProgram) {
+  Program p;
+  EXPECT_FALSE(ExplainProgram(p).ok());
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,103 @@
+#include "datalog/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+TEST(SccTest, ChainHasSingletonComponents) {
+  DependencyGraph g(3);
+  g.AddEdge(0, 1, false);
+  g.AddEdge(1, 2, false);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 3);
+  EXPECT_FALSE(scc.recursive[scc.component_of[0]]);
+  EXPECT_FALSE(scc.recursive[scc.component_of[1]]);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  DependencyGraph g(3);
+  g.AddEdge(0, 1, false);
+  g.AddEdge(1, 2, false);
+  g.AddEdge(2, 0, false);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_TRUE(scc.recursive[0]);
+}
+
+TEST(SccTest, SelfLoopIsRecursive) {
+  DependencyGraph g(2);
+  g.AddEdge(0, 0, false);
+  SccResult scc = ComputeScc(g);
+  EXPECT_TRUE(scc.recursive[scc.component_of[0]]);
+  EXPECT_FALSE(scc.recursive[scc.component_of[1]]);
+}
+
+TEST(SccTest, TwoCyclesBridged) {
+  DependencyGraph g(5);
+  // 0 <-> 1, 2 <-> 3, bridge 1 -> 2, isolated 4.
+  g.AddEdge(0, 1, false);
+  g.AddEdge(1, 0, false);
+  g.AddEdge(2, 3, false);
+  g.AddEdge(3, 2, false);
+  g.AddEdge(1, 2, false);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 3);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  const int n = 200000;
+  DependencyGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, false);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(StrataTest, BaseIsZeroAndLevelsIncrease) {
+  // 0=base -> 1 -> 2 (derived chain).
+  DependencyGraph g(3);
+  g.AddEdge(0, 1, false);
+  g.AddEdge(1, 2, false);
+  SccResult scc = ComputeScc(g);
+  auto strata = ComputeStrata(g, scc, {true, false, false});
+  ASSERT_TRUE(strata.ok());
+  EXPECT_EQ((*strata)[0], 0);
+  EXPECT_EQ((*strata)[1], 1);
+  EXPECT_EQ((*strata)[2], 2);
+}
+
+TEST(StrataTest, RecursiveComponentSharesLevel) {
+  DependencyGraph g(3);
+  g.AddEdge(0, 1, false);
+  g.AddEdge(1, 2, false);
+  g.AddEdge(2, 1, false);
+  SccResult scc = ComputeScc(g);
+  auto strata = ComputeStrata(g, scc, {true, false, false});
+  ASSERT_TRUE(strata.ok());
+  EXPECT_EQ((*strata)[1], (*strata)[2]);
+  EXPECT_GT((*strata)[1], 0);
+}
+
+TEST(StrataTest, NegativeEdgeInsideSccRejected) {
+  DependencyGraph g(2);
+  g.AddEdge(0, 1, true);
+  g.AddEdge(1, 0, false);
+  SccResult scc = ComputeScc(g);
+  auto strata = ComputeStrata(g, scc, {false, false});
+  EXPECT_FALSE(strata.ok());
+}
+
+TEST(StrataTest, NegativeEdgeAcrossSccsAllowed) {
+  DependencyGraph g(2);
+  g.AddEdge(0, 1, true);
+  SccResult scc = ComputeScc(g);
+  auto strata = ComputeStrata(g, scc, {true, false});
+  ASSERT_TRUE(strata.ok());
+  EXPECT_LT((*strata)[0], (*strata)[1]);
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,181 @@
+// End-to-end scenario tests exercising many features together, the way an
+// application would: a social-network recommendation stack (SQL-defined,
+// counting-maintained) and an org-chart/permissions stack (recursive,
+// DRed-maintained), driven through realistic update sequences with oracle
+// checks along the way.
+
+#include <gtest/gtest.h>
+
+#include "core/view_manager.h"
+#include "eval/evaluator.h"
+#include "sql/sql_dml.h"
+#include "sql/sql_translator.h"
+#include "storage/io.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+class VmSource : public DmlSource {
+ public:
+  VmSource(ViewManager* vm, SqlTranslator* tr) : vm_(vm), tr_(tr) {}
+  Result<const Relation*> GetExtent(const std::string& t) const override {
+    return vm_->GetRelation(t);
+  }
+  Result<std::vector<std::string>> GetColumns(
+      const std::string& t) const override {
+    return tr_->ColumnsOf(t);
+  }
+
+ private:
+  ViewManager* vm_;
+  SqlTranslator* tr_;
+};
+
+TEST(IntegrationTest, SocialNetworkRecommendations) {
+  // friend-of-friend recommendations: pairs two hops apart, not already
+  // friends, ranked by the number of mutual friends.
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(R"sql(
+    CREATE TABLE follows(src, dst);
+
+    CREATE VIEW fof(src, dst) AS
+      SELECT f1.src, f2.dst FROM follows f1, follows f2
+      WHERE f1.dst = f2.src;
+
+    CREATE VIEW candidates(src, dst) AS
+      SELECT src, dst FROM fof
+      EXCEPT
+      SELECT src, dst FROM follows;
+
+    CREATE VIEW mutual_count(src, dst, n) AS
+      SELECT f1.src, f2.dst, COUNT(*) FROM follows f1, follows f2
+      WHERE f1.dst = f2.src GROUP BY f1.src, f2.dst;
+  )sql"));
+  auto vm = ViewManager::Create(tr.Build().value(), Strategy::kCounting).value();
+  Database db;
+  db.CreateRelation("follows", 2).CheckOK();
+  IVM_ASSERT_OK(vm->Initialize(db));
+  VmSource source(vm.get(), &tr);
+
+  // Seed the graph: ada -> {bob, cam}; bob -> dan; cam -> dan.
+  ChangeSet seed = CompileDmlScript(
+      "INSERT INTO follows VALUES ('ada','bob'), ('ada','cam'), "
+      "('bob','dan'), ('cam','dan');",
+      source).value();
+  vm->Apply(seed).value();
+
+  // ada is two hops from dan via both bob and cam.
+  EXPECT_TRUE(vm->GetRelation("candidates").value()->Contains(Tup("ada", "dan")));
+  EXPECT_TRUE(
+      vm->GetRelation("mutual_count").value()->Contains(Tup("ada", "dan", 2)));
+
+  // ada follows dan: the recommendation must disappear (EXCEPT path).
+  ChangeSet follow = CompileDmlScript(
+      "INSERT INTO follows VALUES ('ada','dan');", source).value();
+  ChangeSet out = vm->Apply(follow).value();
+  EXPECT_EQ(out.Delta("candidates").Count(Tup("ada", "dan")), -1);
+  EXPECT_FALSE(vm->GetRelation("candidates").value()->Contains(Tup("ada", "dan")));
+
+  // bob unfollows dan: mutual count drops to 1.
+  ChangeSet unfollow = CompileDmlScript(
+      "DELETE FROM follows WHERE src = 'bob' AND dst = 'dan';", source).value();
+  ChangeSet out2 = vm->Apply(unfollow).value();
+  EXPECT_EQ(out2.Delta("mutual_count").Count(Tup("ada", "dan", 2)), -1);
+  EXPECT_EQ(out2.Delta("mutual_count").Count(Tup("ada", "dan", 1)), 1);
+}
+
+TEST(IntegrationTest, OrgChartPermissions) {
+  // Recursive management chain with per-person grants and revocations:
+  // a person can access a resource if someone in their management chain
+  // (including themselves) holds a grant that is not revoked.
+  auto vm = ViewManager::CreateFromText(
+      "base manages(Mgr, Emp).\n"
+      "base grant(Person, Resource).\n"
+      "base revoked(Person, Resource).\n"
+      "chain(M, E) :- manages(M, E).\n"
+      "chain(M, E) :- chain(M, X) & manages(X, E).\n"
+      "holds(P, R) :- grant(P, R) & !revoked(P, R).\n"
+      "access(E, R) :- holds(E, R).\n"
+      "access(E, R) :- chain(M, E) & holds(M, R).\n"
+      "access_count(R, N) :- groupby(access(E, R), [R], N = count(*)).",
+      Strategy::kDRed).value();
+
+  Database db;
+  testing_util::MustLoadFacts(&db,
+                              "manages(root, alice). manages(alice, bob). "
+                              "manages(alice, carol). manages(bob, dave). "
+                              "grant(alice, repo).");
+  db.CreateRelation("revoked", 2).CheckOK();
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  // alice's grant flows to bob, carol, dave (and alice).
+  const Relation& access = *vm->GetRelation("access").value();
+  EXPECT_TRUE(access.Contains(Tup("dave", "repo")));
+  EXPECT_TRUE(access.Contains(Tup("carol", "repo")));
+  EXPECT_FALSE(access.Contains(Tup("root", "repo")));
+  EXPECT_TRUE(vm->GetRelation("access_count").value()->Contains(Tup("repo", 4)));
+
+  // Re-org: dave moves under carol. His access survives (carol is still
+  // under alice).
+  ChangeSet reorg;
+  reorg.Update("manages", Tup("bob", "dave"), Tup("carol", "dave"));
+  ChangeSet out = vm->Apply(reorg).value();
+  EXPECT_TRUE(vm->GetRelation("access").value()->Contains(Tup("dave", "repo")));
+  EXPECT_FALSE(out.Delta("access").Contains(Tup("dave", "repo")));
+
+  // Revoking alice's grant kills everyone's access (negation over base).
+  ChangeSet revoke;
+  revoke.Insert("revoked", Tup("alice", "repo"));
+  ChangeSet out2 = vm->Apply(revoke).value();
+  EXPECT_EQ(out2.Delta("access").Count(Tup("dave", "repo")), -1);
+  EXPECT_TRUE(vm->GetRelation("access").value()->empty());
+  EXPECT_EQ(out2.Delta("access_count").Count(Tup("repo", 4)), -1);
+
+  // A live policy change: also allow peer visibility (view redefinition).
+  ChangeSet undo_revoke;
+  undo_revoke.Delete("revoked", Tup("alice", "repo"));
+  vm->Apply(undo_revoke).value();
+  ChangeSet out3 =
+      vm->AddRuleText("access(E, R) :- manages(M, E) & holds(M, R).").value();
+  // The new rule is redundant here (chain covers direct reports), so no
+  // visible change.
+  EXPECT_TRUE(out3.empty());
+
+  // Final cross-check against from-scratch evaluation.
+  Database snapshot;
+  for (PredicateId b : vm->program().BasePredicates()) {
+    const auto& info = vm->program().predicate(b);
+    snapshot.CreateRelation(info.name, info.arity).CheckOK();
+    snapshot.mutable_relation(info.name) = **vm->GetRelation(info.name);
+  }
+  Evaluator ev(vm->program(), {Semantics::kSet, false});
+  std::map<PredicateId, Relation> views;
+  ev.EvaluateAll(snapshot, &views).CheckOK();
+  for (const auto& [pred, expected] : views) {
+    const std::string& name = vm->program().predicate(pred).name;
+    EXPECT_TRUE(vm->GetRelation(name).value()->SameSet(expected)) << name;
+  }
+}
+
+TEST(IntegrationTest, CsvToViewsPipeline) {
+  // Load base data from CSV text, maintain, export a view as CSV.
+  auto vm = ViewManager::CreateFromText(
+      "base sales(Region, Product, Amount).\n"
+      "by_region(R, T) :- groupby(sales(R, P, A), [R], T = sum(A)).").value();
+  Database db;
+  db.CreateRelation("sales", 3).CheckOK();
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  Relation rows("rows", 3);
+  IVM_ASSERT_OK(ReadCsvString(
+      "east,widget,10\neast,gadget,5\nwest,widget,7\n", CsvOptions(), &rows));
+  ChangeSet load;
+  load.Merge("sales", rows);
+  vm->Apply(load).value();
+  EXPECT_EQ(WriteCsvString(*vm->GetRelation("by_region").value(), CsvOptions()),
+            "east,15\nwest,7\n");
+}
+
+}  // namespace
+}  // namespace ivm

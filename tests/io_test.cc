@@ -1,0 +1,84 @@
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+TEST(CsvTest, ReadInfersTypes) {
+  Relation rel("r", 3);
+  IVM_EXPECT_OK(ReadCsvString("a,1,2.5\nb,2,3.25\n", CsvOptions(), &rel));
+  EXPECT_EQ(rel.Count(Tup("a", 1, 2.5)), 1);
+  EXPECT_EQ(rel.Count(Tup("b", 2, 3.25)), 1);
+}
+
+TEST(CsvTest, QuotedFieldsStayStrings) {
+  Relation rel("r", 2);
+  IVM_EXPECT_OK(ReadCsvString("\"1\",\"he said \"\"hi\"\"\"\n",
+                                  CsvOptions(), &rel));
+  EXPECT_EQ(rel.Count(Tup("1", "he said \"hi\"")), 1);
+}
+
+TEST(CsvTest, DuplicateRowsAccumulateCounts) {
+  Relation rel("r", 1);
+  IVM_EXPECT_OK(ReadCsvString("x\nx\ny\n", CsvOptions(), &rel));
+  EXPECT_EQ(rel.Count(Tup("x")), 2);
+  EXPECT_EQ(rel.Count(Tup("y")), 1);
+}
+
+TEST(CsvTest, HeaderSkippedAndBlankLinesIgnored) {
+  Relation rel("r", 2);
+  CsvOptions options;
+  options.header = true;
+  IVM_EXPECT_OK(ReadCsvString("a,b\n\n1,2\n", options, &rel));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains(Tup(1, 2)));
+}
+
+TEST(CsvTest, ArityMismatchErrors) {
+  Relation rel("r", 2);
+  Status s = ReadCsvString("1,2,3\n", CsvOptions(), &rel);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteErrors) {
+  Relation rel("r", 1);
+  EXPECT_FALSE(ReadCsvString("\"oops\n", CsvOptions(), &rel).ok());
+}
+
+TEST(CsvTest, TabDelimiter) {
+  Relation rel("r", 2);
+  CsvOptions options;
+  options.delimiter = '\t';
+  IVM_EXPECT_OK(ReadCsvString("a\t1\n", options, &rel));
+  EXPECT_TRUE(rel.Contains(Tup("a", 1)));
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation rel("r", 2);
+  rel.Add(Tup("plain", 1), 1);
+  rel.Add(Tup("with,comma", 2), 1);
+  rel.Add(Tup("123", 3), 1);  // numeric-looking string must stay a string
+  std::string text = WriteCsvString(rel, CsvOptions());
+  Relation back("r2", 2);
+  IVM_EXPECT_OK(ReadCsvString(text, CsvOptions(), &back));
+  EXPECT_EQ(back.ToString(), rel.ToString());
+}
+
+TEST(CsvTest, WriteWithCounts) {
+  Relation rel("r", 1);
+  rel.Add(Tup("x"), 3);
+  std::string text = WriteCsvString(rel, CsvOptions(), /*with_counts=*/true);
+  EXPECT_EQ(text, "x,3\n");
+}
+
+TEST(CsvTest, CrLfHandled) {
+  Relation rel("r", 2);
+  IVM_EXPECT_OK(ReadCsvString("a,1\r\nb,2\r\n", CsvOptions(), &rel));
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,104 @@
+#include "datalog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& tokens) {
+  std::vector<TokenType> out;
+  for (const Token& t : tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, BasicRule) {
+  auto tokens = Tokenize("hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Types(tokens.value()),
+            (std::vector<TokenType>{
+                TokenType::kIdent, TokenType::kLParen, TokenType::kVariable,
+                TokenType::kComma, TokenType::kVariable, TokenType::kRParen,
+                TokenType::kColonDash, TokenType::kIdent, TokenType::kLParen,
+                TokenType::kVariable, TokenType::kComma, TokenType::kVariable,
+                TokenType::kRParen, TokenType::kAmp, TokenType::kIdent,
+                TokenType::kLParen, TokenType::kVariable, TokenType::kComma,
+                TokenType::kVariable, TokenType::kRParen, TokenType::kDot,
+                TokenType::kEof}));
+}
+
+TEST(LexerTest, VariablesStartUppercaseOrUnderscore) {
+  auto tokens = Tokenize("Xy _anon lower Mixed_case");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kVariable);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kVariable);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kIdent);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kVariable);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.5 1e3 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.5);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 1000.0);
+  EXPECT_EQ((*tokens)[3].int_value, 7);
+}
+
+TEST(LexerTest, IntFollowedByDotIsNotAFloat) {
+  // "p(1)." must lex the final '.' as the statement terminator.
+  auto tokens = Tokenize("p(1).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].type, TokenType::kInt);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kDot);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize(R"("hello" "with \"quote\"" "tab\t")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "hello");
+  EXPECT_EQ((*tokens)[1].text, "with \"quote\"");
+  EXPECT_EQ((*tokens)[2].text, "tab\t");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Tokenize("a % comment :- ignored\nb // also\nc");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // a, b, c, eof
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[2].text, "c");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("= != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Types(tokens.value()),
+            (std::vector<TokenType>{TokenType::kEq, TokenType::kNe,
+                                    TokenType::kNe, TokenType::kLt,
+                                    TokenType::kLe, TokenType::kGt,
+                                    TokenType::kGe, TokenType::kEof}));
+}
+
+TEST(LexerTest, LineTracking) {
+  auto tokens = Tokenize("a\nb\n  c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 3);
+  EXPECT_EQ((*tokens)[2].column, 3);
+}
+
+TEST(LexerTest, StrayCharacterErrors) {
+  EXPECT_FALSE(Tokenize("p(x) @ q(y)").ok());
+  EXPECT_FALSE(Tokenize("p : q").ok());
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,146 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+TEST(ParserTest, HopProgram) {
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  EXPECT_TRUE(p.analyzed());
+  EXPECT_EQ(p.num_rules(), 1u);
+  EXPECT_EQ(p.rule(0).ToString(), "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  ASSERT_TRUE(p.Lookup("link").ok());
+  ASSERT_TRUE(p.Lookup("hop").ok());
+  EXPECT_TRUE(p.predicate(p.Lookup("link").value()).is_base);
+  EXPECT_FALSE(p.predicate(p.Lookup("hop").value()).is_base);
+}
+
+TEST(ParserTest, CommaAndAmpersandBothSeparate) {
+  Program p = MustParseProgram(
+      "base e(X, Y). t(X, Y) :- e(X, Z), e(Z, Y). s(X, Y) :- e(X, Z) & e(Z, Y).");
+  EXPECT_EQ(p.num_rules(), 2u);
+}
+
+TEST(ParserTest, ArityDeclarationForm) {
+  Program p = MustParseProgram("base link/2. hop(X,Y) :- link(X,Z), link(Z,Y).");
+  EXPECT_EQ(p.predicate(p.Lookup("link").value()).arity, 2u);
+}
+
+TEST(ParserTest, NegationBothSyntaxes) {
+  Program p = MustParseProgram(
+      "base e(X, Y). base f(X, Y).\n"
+      "a(X, Y) :- e(X, Y), !f(X, Y).\n"
+      "b(X, Y) :- e(X, Y), not f(X, Y).");
+  EXPECT_EQ(p.rule(0).body[1].kind, Literal::Kind::kNegated);
+  EXPECT_EQ(p.rule(1).body[1].kind, Literal::Kind::kNegated);
+}
+
+TEST(ParserTest, GroupbyLiteral) {
+  Program p = MustParseProgram(
+      "base hop(S, D, C).\n"
+      "min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).");
+  const Literal& lit = p.rule(0).body[0];
+  EXPECT_EQ(lit.kind, Literal::Kind::kAggregate);
+  EXPECT_EQ(lit.agg_func, AggregateFunc::kMin);
+  EXPECT_EQ(lit.group_vars.size(), 2u);
+  EXPECT_EQ(lit.result_var.var_name(), "M");
+}
+
+TEST(ParserTest, CountStar) {
+  Program p = MustParseProgram(
+      "base e(X, Y). deg(X, N) :- groupby(e(X, Y), [X], N = count(*)).");
+  EXPECT_EQ(p.rule(0).body[0].agg_func, AggregateFunc::kCount);
+}
+
+TEST(ParserTest, ArithmeticInHead) {
+  Program p = MustParseProgram(
+      "base link(S, D, C).\n"
+      "hop(S, D, C1 + C2) :- link(S, I, C1) & link(I, D, C2).");
+  EXPECT_TRUE(p.rule(0).head.terms[2].IsArith());
+}
+
+TEST(ParserTest, ComparisonLiterals) {
+  Program p = MustParseProgram(
+      "base e(X, Y). big(X, Y) :- e(X, Y), Y > 10, X != Y.");
+  EXPECT_EQ(p.rule(0).body[1].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(p.rule(0).body[1].cmp_op, ComparisonOp::kGt);
+  EXPECT_EQ(p.rule(0).body[2].cmp_op, ComparisonOp::kNe);
+}
+
+TEST(ParserTest, SymbolsAndLiterals) {
+  Program p = MustParseProgram(
+      "base e(X, Y). r(X) :- e(X, abc). s(X) :- e(X, 42). t(X) :- e(X, \"q\").");
+  EXPECT_EQ(p.rule(0).body[0].atom.terms[1].constant(), Value::Str("abc"));
+  EXPECT_EQ(p.rule(1).body[0].atom.terms[1].constant(), Value::Int(42));
+  EXPECT_EQ(p.rule(2).body[0].atom.terms[1].constant(), Value::Str("q"));
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  Program p = MustParseProgram("base e(X). r(X) :- e(X), X > -5.");
+  EXPECT_EQ(p.rule(0).body[1].cmp_rhs.constant(), Value::Int(-5));
+}
+
+TEST(ParserTest, AnonymousVariable) {
+  Program p = MustParseProgram("base e(X, Y). src(X) :- e(X, _).");
+  EXPECT_EQ(p.num_rules(), 1u);
+  // Two distinct variables: X and the anonymous one.
+  EXPECT_EQ(p.num_vars(0), 2);
+}
+
+TEST(ParserTest, ErrorsOnFactInProgram) {
+  EXPECT_FALSE(ParseProgram("base e(X). e(a).").ok());
+}
+
+TEST(ParserTest, ErrorsOnMissingDot) {
+  EXPECT_FALSE(ParseProgram("base e(X). r(X) :- e(X)").ok());
+}
+
+TEST(ParserTest, ErrorsOnUndeclaredBodyPredicate) {
+  auto r = ParseProgram("r(X) :- unknown(X).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorsOnArityMismatch) {
+  EXPECT_FALSE(ParseProgram("base e(X, Y). r(X) :- e(X).").ok());
+}
+
+TEST(ParserTest, ErrorsOnRuleForBaseRelation) {
+  EXPECT_FALSE(ParseProgram("base e(X). e(X) :- e(X).").ok());
+}
+
+TEST(ParserTest, ParseSingleRule) {
+  auto rule = ParseRule("p(X) :- q(X, Y), Y > 2.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.predicate, "p");
+  EXPECT_EQ(rule->body.size(), 2u);
+}
+
+TEST(ParserTest, ParseGroundFacts) {
+  auto facts = ParseGroundFacts("link(a, b). link(b, c). cost(a, b, 3).");
+  ASSERT_TRUE(facts.ok());
+  ASSERT_EQ(facts->size(), 3u);
+  EXPECT_EQ((*facts)[0].first, "link");
+  EXPECT_EQ((*facts)[0].second, Tup("a", "b"));
+  EXPECT_EQ((*facts)[2].second, Tup("a", "b", 3));
+}
+
+TEST(ParserTest, GroundFactsRejectVariables) {
+  EXPECT_FALSE(ParseGroundFacts("link(X, b).").ok());
+}
+
+TEST(ParserTest, ProgramToStringRoundTrips) {
+  Program p = MustParseProgram(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  Program p2 = MustParseProgram(p.ToString());
+  EXPECT_EQ(p2.num_rules(), 1u);
+}
+
+}  // namespace
+}  // namespace ivm

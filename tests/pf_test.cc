@@ -1,0 +1,82 @@
+#include "core/pf.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+constexpr const char* kTcProgram =
+    "base edge(X, Y).\n"
+    "path(X, Y) :- edge(X, Y).\n"
+    "path(X, Y) :- path(X, Z) & edge(Z, Y).";
+
+TEST(PFTest, RejectsAggregation) {
+  auto m = PFMaintainer::Create(MustParseProgram(
+      "base e(X, Y). c(X, N) :- groupby(e(X, Y), [X], N = count(*))."));
+  EXPECT_EQ(m.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PFTest, MaintainsTransitiveClosure) {
+  auto m = PFMaintainer::Create(MustParseProgram(kTcProgram)).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "edge(0,1). edge(1,3). edge(0,2). edge(2,3). edge(3,4).");
+  m->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("edge", Tup(0, 1));
+  changes.Insert("edge", Tup(4, 5));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& path = *m->GetRelation("path").value();
+  EXPECT_TRUE(path.Contains(Tup(0, 3)));  // alternative via 0->2->3
+  EXPECT_FALSE(path.Contains(Tup(0, 1)));
+  EXPECT_TRUE(path.Contains(Tup(0, 5)));
+  EXPECT_EQ(out.Delta("path").Count(Tup(0, 1)), -1);
+  EXPECT_EQ(out.Delta("path").Count(Tup(0, 5)), 1);
+}
+
+TEST(PFTest, FragmentedResultEqualsBatchResult) {
+  // PF (per-tuple fragments) and DRed (one batch) must agree on the final
+  // state and on the net delta.
+  auto pf = PFMaintainer::Create(MustParseProgram(kTcProgram)).value();
+  auto dred = DRedMaintainer::Create(MustParseProgram(kTcProgram)).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db,
+      "edge(0,1). edge(1,2). edge(2,0). edge(2,3). edge(3,4). edge(4,2). "
+      "edge(1,4).");
+  pf->Initialize(db).CheckOK();
+  dred->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("edge", Tup(2, 0));
+  changes.Delete("edge", Tup(4, 2));
+  changes.Insert("edge", Tup(0, 4));
+  ChangeSet pf_out = pf->Apply(changes).value();
+  ChangeSet dred_out = dred->Apply(changes).value();
+  EXPECT_TRUE(pf->GetRelation("path").value()->SameSet(
+      *dred->GetRelation("path").value()));
+}
+
+TEST(PFTest, PerRelationGranularity) {
+  auto m = PFMaintainer::Create(MustParseProgram(kTcProgram),
+                                PFMaintainer::Granularity::kPerRelation).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "edge(0,1). edge(1,2).");
+  m->Initialize(db).CheckOK();
+  ChangeSet changes;
+  changes.Insert("edge", Tup(2, 3));
+  changes.Delete("edge", Tup(0, 1));
+  ChangeSet out = m->Apply(changes).value();
+  const Relation& path = *m->GetRelation("path").value();
+  EXPECT_TRUE(path.Contains(Tup(1, 3)));
+  EXPECT_FALSE(path.Contains(Tup(0, 2)));
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,179 @@
+#include "datalog/program.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+TEST(ProgramTest, StratumNumbersFollowDefinition31) {
+  // hop is stratum 1, tri_hop stratum 2 (Example 4.2); link is base = 0.
+  Program p = MustParseProgram(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).");
+  EXPECT_EQ(p.predicate(p.Lookup("link").value()).stratum, 0);
+  EXPECT_EQ(p.predicate(p.Lookup("hop").value()).stratum, 1);
+  EXPECT_EQ(p.predicate(p.Lookup("tri_hop").value()).stratum, 2);
+  EXPECT_EQ(p.max_stratum(), 2);
+  EXPECT_EQ(p.rule_stratum(0), 1);
+  EXPECT_EQ(p.rule_stratum(1), 2);
+  EXPECT_FALSE(p.IsRecursive());
+}
+
+TEST(ProgramTest, RecursiveSccDetected) {
+  Program p = MustParseProgram(
+      "base edge(X, Y).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Y) :- path(X, Z) & edge(Z, Y).");
+  PredicateId path = p.Lookup("path").value();
+  EXPECT_TRUE(p.predicate(path).recursive);
+  EXPECT_TRUE(p.IsRecursive());
+  EXPECT_TRUE(p.StratumIsRecursive(p.predicate(path).stratum));
+}
+
+TEST(ProgramTest, MutualRecursionSharesStratum) {
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "even(X, Y) :- e(X, Y).\n"
+      "even(X, Y) :- odd(X, Z) & e(Z, Y).\n"
+      "odd(X, Y) :- even(X, Z) & e(Z, Y).");
+  EXPECT_EQ(p.predicate(p.Lookup("even").value()).stratum,
+            p.predicate(p.Lookup("odd").value()).stratum);
+  EXPECT_TRUE(p.predicate(p.Lookup("even").value()).recursive);
+}
+
+TEST(ProgramTest, NegationForcesHigherStratum) {
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "a(X, Y) :- e(X, Y).\n"
+      "b(X, Y) :- e(X, Y) & !a(X, Y).");
+  EXPECT_LT(p.predicate(p.Lookup("a").value()).stratum,
+            p.predicate(p.Lookup("b").value()).stratum);
+}
+
+TEST(ProgramTest, AggregationForcesHigherStratum) {
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "deg(X, N) :- groupby(e(X, Y), [X], N = count(*)).\n"
+      "big(X) :- deg(X, N), N > 3.");
+  EXPECT_LT(p.predicate(p.Lookup("deg").value()).stratum,
+            p.predicate(p.Lookup("big").value()).stratum);
+}
+
+TEST(ProgramTest, RecursionThroughNegationRejected) {
+  auto r = ParseProgram(
+      "base e(X).\n"
+      "p(X) :- e(X) & !q(X).\n"
+      "q(X) :- e(X) & !p(X).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProgramTest, RecursionThroughAggregationRejected) {
+  auto r = ParseProgram(
+      "base e(X, Y).\n"
+      "p(X, N) :- groupby(q(X, Y), [X], N = count(*)).\n"
+      "q(X, N) :- p(X, N).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ProgramTest, SelfLoopIsRecursive) {
+  Program p = MustParseProgram(
+      "base e(X, Y). t(X, Y) :- e(X, Y). t(X, Y) :- t(Y, X).");
+  EXPECT_TRUE(p.predicate(p.Lookup("t").value()).recursive);
+}
+
+TEST(ProgramTest, UnsafeHeadVariableRejected) {
+  EXPECT_FALSE(ParseProgram("base e(X). p(X, Y) :- e(X).").ok());
+}
+
+TEST(ProgramTest, UnsafeNegatedVariableRejected) {
+  EXPECT_FALSE(ParseProgram("base e(X). base f(X, Y). p(X) :- e(X), !f(X, Y).").ok());
+}
+
+TEST(ProgramTest, UnsafeComparisonRejected) {
+  EXPECT_FALSE(ParseProgram("base e(X). p(X) :- e(X), Y > 3.").ok());
+}
+
+TEST(ProgramTest, EqualityCanBindVariables) {
+  // Y is bound through '=' from a bound expression.
+  Program p = MustParseProgram("base e(X). p(X, Y) :- e(X), Y = X + 1.");
+  EXPECT_EQ(p.num_rules(), 1u);
+}
+
+TEST(ProgramTest, EqualityChainBinding) {
+  Program p = MustParseProgram(
+      "base e(X). p(X, Z) :- e(X), Y = X * 2, Z = Y + 1.");
+  EXPECT_EQ(p.num_rules(), 1u);
+}
+
+TEST(ProgramTest, AggregateLocalVariableMustNotEscape) {
+  // C is local to the groupby; using it outside is an error.
+  auto r = ParseProgram(
+      "base hop(S, D, C).\n"
+      "bad(S, D, C) :- groupby(hop(S, D, C), [S, D], M = min(C)).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ProgramTest, GroupVarMustOccurInGroupedAtom) {
+  auto r = ParseProgram(
+      "base hop(S, D, C). base n(Q).\n"
+      "bad(Q, M) :- n(Q), groupby(hop(S, D, C), [Q], M = min(C)).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ProgramTest, RemoveRuleShiftsIndices) {
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "a(X, Y) :- e(X, Y).\n"
+      "b(X, Y) :- e(Y, X).");
+  IVM_EXPECT_OK(p.RemoveRule(0));
+  IVM_EXPECT_OK(p.Analyze());
+  EXPECT_EQ(p.num_rules(), 1u);
+  EXPECT_EQ(p.rule(0).head.predicate, "b");
+  // 'a' now has no rules but is unreferenced: tolerated as an empty view.
+}
+
+TEST(ProgramTest, RemoveRuleLeavingReferencedPredicateUndefinedFails) {
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "a(X, Y) :- e(X, Y).\n"
+      "b(X, Y) :- a(X, Y).");
+  IVM_EXPECT_OK(p.RemoveRule(0));
+  EXPECT_FALSE(p.Analyze().ok());
+}
+
+TEST(ProgramTest, BaseAndDerivedPredicateLists) {
+  Program p = MustParseProgram(
+      "base e(X, Y). base f(X).\n"
+      "a(X, Y) :- e(X, Y).\n");
+  EXPECT_EQ(p.BasePredicates().size(), 2u);
+  EXPECT_EQ(p.DerivedPredicates().size(), 1u);
+}
+
+TEST(ProgramTest, RulesInStratumGrouping) {
+  Program p = MustParseProgram(
+      "base e(X, Y).\n"
+      "a(X, Y) :- e(X, Y).\n"
+      "a(X, Y) :- e(Y, X).\n"
+      "b(X, Y) :- a(X, Y).");
+  EXPECT_EQ(p.rules_in_stratum(1).size(), 2u);
+  EXPECT_EQ(p.rules_in_stratum(2).size(), 1u);
+}
+
+TEST(ProgramTest, VariableNumberingPerRule) {
+  Program p = MustParseProgram(
+      "base e(X, Y). a(X, Y) :- e(X, Z), e(Z, Y).");
+  EXPECT_EQ(p.num_vars(0), 3);
+  const Rule& r = p.rule(0);
+  // Same variable shares an id within a rule.
+  EXPECT_EQ(r.body[0].atom.terms[1].var(), r.body[1].atom.terms[0].var());
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,76 @@
+#include "core/recompute.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+TEST(RecomputeTest, ReportsSetDiffs) {
+  auto m = RecomputeMaintainer::Create(
+      MustParseProgram("base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y)."),
+      Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  m->Initialize(db).CheckOK();
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").size(), 1u);
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "e")), -1);
+}
+
+TEST(RecomputeTest, ReportsCountDiffsUnderDuplicateSemantics) {
+  auto m = RecomputeMaintainer::Create(
+      MustParseProgram("base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y)."),
+      Semantics::kDuplicate).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  m->Initialize(db).CheckOK();
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = m->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "c")), -1);
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "e")), -1);
+}
+
+TEST(RecomputeTest, RecursiveViews) {
+  auto m = RecomputeMaintainer::Create(
+      MustParseProgram("base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y)."),
+      Semantics::kSet).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(1,2). e(2,3).");
+  m->Initialize(db).CheckOK();
+  ChangeSet changes;
+  changes.Insert("e", Tup(3, 4));
+  ChangeSet out = m->Apply(changes).value();
+  // New pairs: (3,4), (2,4), (1,4).
+  EXPECT_EQ(out.Delta("p").size(), 3u);
+  EXPECT_TRUE(m->GetRelation("p").value()->Contains(Tup(1, 4)));
+}
+
+TEST(RecomputeTest, DuplicateSemanticsRejectsRecursion) {
+  auto m = RecomputeMaintainer::Create(
+      MustParseProgram("base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y)."),
+      Semantics::kDuplicate);
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecomputeTest, RejectsBadDeletions) {
+  auto m = RecomputeMaintainer::Create(
+      MustParseProgram("base e(X). p(X) :- e(X)."), Semantics::kSet).value();
+  Database db;
+  db.CreateRelation("e", 1).CheckOK();
+  m->Initialize(db).CheckOK();
+  ChangeSet changes;
+  changes.Delete("e", Tup(1));
+  EXPECT_EQ(m->Apply(changes).status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ivm

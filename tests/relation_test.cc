@@ -1,0 +1,148 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+TEST(RelationTest, AddMergesCountsAndErasesZero) {
+  Relation r("r", 2);
+  r.Add(Tup("a", "b"), 1);
+  r.Add(Tup("a", "b"), 2);
+  EXPECT_EQ(r.Count(Tup("a", "b")), 3);
+  EXPECT_EQ(r.size(), 1u);
+  r.Add(Tup("a", "b"), -3);
+  EXPECT_FALSE(r.Contains(Tup("a", "b")));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, NegativeCountsRepresentDeletions) {
+  Relation delta("Δr", 2);
+  delta.Add(Tup("a", "b"), -2);
+  EXPECT_EQ(delta.Count(Tup("a", "b")), -2);
+  EXPECT_TRUE(delta.HasNegativeCounts());
+  EXPECT_TRUE(delta.Contains(Tup("a", "b")));  // present with count != 0
+}
+
+TEST(RelationTest, UPlusMatchesSectionThreeSemantics) {
+  // Δ(P) = {ab 4, mn -2} per the paper's Definition 3.2 example.
+  Relation p("p", 2);
+  p.Add(Tup("a", "b"), 1);
+  p.Add(Tup("m", "n"), 2);
+  Relation dp("Δp", 2);
+  dp.Add(Tup("a", "b"), 4);
+  dp.Add(Tup("m", "n"), -2);
+  Relation merged = Relation::UPlus(p, dp);
+  EXPECT_EQ(merged.Count(Tup("a", "b")), 5);
+  EXPECT_FALSE(merged.Contains(Tup("m", "n")));  // counts cancel to zero
+}
+
+TEST(RelationTest, UPlusKeepsDisjointTuples) {
+  Relation a("a", 1), b("b", 1);
+  a.Add(Tup(1), 1);
+  b.Add(Tup(2), 3);
+  Relation u = Relation::UPlus(a, b);
+  EXPECT_EQ(u.Count(Tup(1)), 1);
+  EXPECT_EQ(u.Count(Tup(2)), 3);
+}
+
+TEST(RelationTest, AsSetProjectsCountsToOne) {
+  Relation r("r", 1);
+  r.Add(Tup(1), 5);
+  r.Add(Tup(2), 1);
+  Relation s = r.AsSet();
+  EXPECT_EQ(s.Count(Tup(1)), 1);
+  EXPECT_EQ(s.Count(Tup(2)), 1);
+  EXPECT_TRUE(s.SameSet(r));
+}
+
+TEST(RelationTest, SetDifference) {
+  Relation now("now", 1), before("before", 1);
+  now.Add(Tup(1), 7);   // stays (count irrelevant)
+  now.Add(Tup(2), 1);   // inserted
+  before.Add(Tup(1), 2);
+  before.Add(Tup(3), 1);  // deleted
+  Relation diff = Relation::SetDifference(now, before);
+  EXPECT_EQ(diff.Count(Tup(2)), 1);
+  EXPECT_EQ(diff.Count(Tup(3)), -1);
+  EXPECT_FALSE(diff.Contains(Tup(1)));
+}
+
+TEST(RelationTest, SameSetIgnoresCounts) {
+  Relation a("a", 1), b("b", 1);
+  a.Add(Tup(1), 5);
+  b.Add(Tup(1), 1);
+  EXPECT_TRUE(a.SameSet(b));
+  b.Add(Tup(2), 1);
+  EXPECT_FALSE(a.SameSet(b));
+}
+
+TEST(RelationTest, ToStringIsSortedAndShowsCounts) {
+  Relation r("r", 2);
+  r.Add(Tup("b", "b"), 1);
+  r.Add(Tup("a", "c"), 2);
+  EXPECT_EQ(r.ToString(), "{(\"a\", \"c\"):2, (\"b\", \"b\")}");
+}
+
+TEST(RelationTest, VersionBumpsOnModification) {
+  Relation r("r", 1);
+  uint64_t v0 = r.version();
+  r.Add(Tup(1), 1);
+  EXPECT_GT(r.version(), v0);
+}
+
+TEST(RelationTest, IndexLookup) {
+  Relation r("edge", 2);
+  r.Add(Tup(1, 2), 1);
+  r.Add(Tup(1, 3), 2);
+  r.Add(Tup(2, 3), 1);
+  const Index& by_src = r.GetIndex({0});
+  const auto* entries = by_src.Lookup(Tup(1));
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(by_src.Lookup(Tup(9)), nullptr);
+}
+
+TEST(RelationTest, IndexRebuildsAfterModification) {
+  Relation r("edge", 2);
+  r.Add(Tup(1, 2), 1);
+  const Index& idx1 = r.GetIndex({0});
+  EXPECT_NE(idx1.Lookup(Tup(1)), nullptr);
+  r.Add(Tup(1, 5), 1);
+  const Index& idx2 = r.GetIndex({0});
+  const auto* entries = idx2.Lookup(Tup(1));
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST(RelationTest, IndexOnMultipleColumns) {
+  Relation r("t", 3);
+  r.Add(Tup(1, 2, 3), 1);
+  r.Add(Tup(1, 2, 4), 1);
+  r.Add(Tup(1, 5, 3), 1);
+  const Index& idx = r.GetIndex({0, 1});
+  const auto* entries = idx.Lookup(Tup(1, 2));
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST(RelationTest, TotalCount) {
+  Relation r("r", 1);
+  r.Add(Tup(1), 2);
+  r.Add(Tup(2), -5);
+  EXPECT_EQ(r.TotalCount(), -3);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, CopyDropsIndexCacheButKeepsData) {
+  Relation r("r", 2);
+  r.Add(Tup(1, 2), 1);
+  r.GetIndex({0});
+  Relation copy = r;
+  EXPECT_EQ(copy.Count(Tup(1, 2)), 1);
+  const Index& idx = copy.GetIndex({0});
+  EXPECT_NE(idx.Lookup(Tup(1)), nullptr);
+}
+
+}  // namespace
+}  // namespace ivm

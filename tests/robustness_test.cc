@@ -1,0 +1,148 @@
+// Robustness: malformed inputs must produce error Statuses, never crashes,
+// and maintainers must stay usable after rejected operations.
+
+#include <gtest/gtest.h>
+
+#include "core/view_manager.h"
+#include "datalog/parser.h"
+#include "sql/sql_translator.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+TEST(RobustnessTest, MalformedDatalogInputsErrorCleanly) {
+  const char* kBadPrograms[] = {
+      "hop(X",                               // truncated
+      "hop(X, Y) :-",                        // missing body
+      "hop(X, Y) :- link(X, Y)",             // missing dot
+      ":- link(X, Y).",                      // missing head
+      "base .",                              // missing name
+      "base link(S, D). hop(X, Y) :- link(X).",        // arity mismatch
+      "base link(S, D). hop(X, Q) :- link(X, Y).",     // unsafe head
+      "base l(X). p(X) :- l(X) & !p(X).",              // unstratified
+      "p(X) :- q(X).",                       // undeclared q
+      "base l(X). 42(X) :- l(X).",           // numeric predicate
+      "base l(X). p(X) :- l(X), X <.",       // dangling comparison
+      "base l(X). p(X) :- groupby(l(X), [Y], M = min(X)).",  // group var not in atom
+  };
+  for (const char* text : kBadPrograms) {
+    auto r = ParseProgram(text);
+    EXPECT_FALSE(r.ok()) << text;
+  }
+  // The empty program is valid (no rules, no views).
+  EXPECT_TRUE(ParseProgram("").ok());
+}
+
+TEST(RobustnessTest, MalformedSqlErrorsCleanly) {
+  const char* kBadSql[] = {
+      "SELECT",  // not a statement we accept at top level
+      "CREATE",
+      "CREATE VIEW v AS SELECT FROM t;",
+      "CREATE TABLE t(;",
+      "CREATE VIEW v AS SELECT x FROM;",
+      "INSERT INTO;",
+      "INSERT INTO t VALUES;",
+      "DELETE t;",
+      "UPDATE t WHERE x = 1;",
+      "CREATE VIEW v AS SELECT x FROM a UNION;",
+  };
+  for (const char* text : kBadSql) {
+    SqlTranslator tr;
+    Status s = tr.AddScript(text);
+    EXPECT_FALSE(s.ok()) << text;
+  }
+}
+
+TEST(RobustnessTest, ManagerSurvivesRejectedApply) {
+  auto vm = ViewManager::CreateFromText(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).").value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  // Rejected: deleting a missing tuple.
+  ChangeSet bad;
+  bad.Delete("link", Tup("z", "z"));
+  EXPECT_FALSE(vm->Apply(bad).ok());
+
+  // Rejected: touching an unknown relation.
+  ChangeSet unknown;
+  unknown.Insert("nope", Tup(1));
+  EXPECT_FALSE(vm->Apply(unknown).ok());
+
+  // Rejected: touching a view directly.
+  ChangeSet view_write;
+  view_write.Insert("hop", Tup("x", "y"));
+  EXPECT_FALSE(vm->Apply(view_write).ok());
+
+  // The manager still works and its state is unchanged.
+  EXPECT_EQ(vm->GetRelation("hop").value()->ToString(), "{(\"a\", \"c\")}");
+  ChangeSet good;
+  good.Insert("link", Tup("c", "d"));
+  ChangeSet out = vm->Apply(good).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("b", "d")), 1);
+}
+
+TEST(RobustnessTest, EmptyApplyIsANoop) {
+  auto vm = ViewManager::CreateFromText(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).").value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  ChangeSet empty;
+  ChangeSet out = vm->Apply(empty).value();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RobustnessTest, ViewsOverEmptyBaseRelations) {
+  for (Strategy s : {Strategy::kCounting, Strategy::kDRed, Strategy::kRecompute}) {
+    auto vm = ViewManager::CreateFromText(
+        "base a(X). base b(X).\n"
+        "u(X) :- a(X).\n"
+        "u(X) :- b(X).\n"
+        "only_a(X) :- a(X) & !b(X).\n"
+        "n(C) :- groupby(a(X), [], C = count(*)).",
+        s).value();
+    Database db;
+    db.CreateRelation("a", 1).CheckOK();
+    db.CreateRelation("b", 1).CheckOK();
+    IVM_ASSERT_OK(vm->Initialize(db));
+    EXPECT_TRUE(vm->GetRelation("u").value()->empty());
+    EXPECT_TRUE(vm->GetRelation("n").value()->empty());
+    // First-ever tuple.
+    ChangeSet first;
+    first.Insert("a", Tup(1));
+    ChangeSet out = vm->Apply(first).value();
+    EXPECT_EQ(out.Delta("u").Count(Tup(1)), 1) << StrategyName(s);
+    EXPECT_EQ(out.Delta("only_a").Count(Tup(1)), 1) << StrategyName(s);
+    EXPECT_EQ(out.Delta("n").Count(Tup(1)), 1) << StrategyName(s);
+    // And back to empty.
+    ChangeSet undo;
+    undo.Delete("a", Tup(1));
+    ChangeSet out2 = vm->Apply(undo).value();
+    EXPECT_EQ(out2.Delta("n").Count(Tup(1)), -1) << StrategyName(s);
+    EXPECT_TRUE(vm->GetRelation("u").value()->empty());
+  }
+}
+
+TEST(RobustnessTest, LongChainDeepRecursionNoStackIssues) {
+  auto vm = ViewManager::CreateFromText(
+      "base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y).",
+      Strategy::kDRed).value();
+  Database db;
+  db.CreateRelation("e", 2).CheckOK();
+  const int n = 600;
+  for (int i = 0; i < n; ++i) db.mutable_relation("e").Add(Tup(i, i + 1), 1);
+  IVM_ASSERT_OK(vm->Initialize(db));
+  EXPECT_EQ(vm->GetRelation("p").value()->size(),
+            static_cast<size_t>(n) * (n + 1) / 2);
+  ChangeSet cut;
+  cut.Delete("e", Tup(n / 2, n / 2 + 1));
+  ChangeSet out = vm->Apply(cut).value();
+  EXPECT_EQ(out.Delta("p").size(),
+            static_cast<size_t>(n / 2 + 1) * (n - n / 2));
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,265 @@
+#include "eval/rule_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+/// Evaluates rule 0 of `program_text` against the relations in `db`.
+Relation EvalRule0(const std::string& program_text, Database* db,
+                   bool multiset = true, JoinStats* stats = nullptr) {
+  Program p = MustParseProgram(program_text);
+  MapResolver resolver;
+  for (PredicateId pred : p.BasePredicates()) {
+    const auto& info = p.predicate(pred);
+    if (!db->Has(info.name)) db->CreateRelation(info.name, info.arity).CheckOK();
+    resolver.Put(pred, &db->relation(info.name));
+  }
+  Relation out("out", p.rule(0).head.terms.size());
+  Status s = EvaluateRuleOnce(p, 0, resolver, multiset, &out, stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(RuleEvalTest, SimpleJoinCountsDerivations) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  Relation hop =
+      EvalRule0("base link(S,D). hop(X,Y) :- link(X,Z) & link(Z,Y).", &db);
+  // Example 1.1: hop(a,c) has two derivations, hop(a,e) one.
+  EXPECT_EQ(hop.Count(Tup("a", "c")), 2);
+  EXPECT_EQ(hop.Count(Tup("a", "e")), 1);
+  EXPECT_EQ(hop.size(), 2u);
+}
+
+TEST(RuleEvalTest, CountsMultiply) {
+  Database db;
+  db.CreateRelation("r", 1).CheckOK();
+  db.CreateRelation("s", 1).CheckOK();
+  db.mutable_relation("r").Add(Tup(1), 2);
+  db.mutable_relation("s").Add(Tup(1), 3);
+  Relation out = EvalRule0("base r(X). base s(X). p(X) :- r(X) & s(X).", &db);
+  EXPECT_EQ(out.Count(Tup(1)), 6);
+}
+
+TEST(RuleEvalTest, NegativeCountsPropagateSign) {
+  Database db;
+  db.CreateRelation("r", 1).CheckOK();
+  db.CreateRelation("s", 1).CheckOK();
+  db.mutable_relation("r").Add(Tup(1), -1);
+  db.mutable_relation("s").Add(Tup(1), 4);
+  Relation out = EvalRule0("base r(X). base s(X). p(X) :- r(X) & s(X).", &db);
+  EXPECT_EQ(out.Count(Tup(1)), -4);
+}
+
+TEST(RuleEvalTest, ProjectionAccumulatesCounts) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a, x). e(a, y). e(b, z).");
+  Relation out = EvalRule0("base e(X, Y). src(X) :- e(X, Y).", &db);
+  EXPECT_EQ(out.Count(Tup("a")), 2);
+  EXPECT_EQ(out.Count(Tup("b")), 1);
+}
+
+TEST(RuleEvalTest, ConstantsInPatternsFilter) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a, x). e(b, x). e(a, y).");
+  Relation out = EvalRule0("base e(X, Y). p(Y) :- e(a, Y).", &db);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(Tup("x")));
+  EXPECT_TRUE(out.Contains(Tup("y")));
+}
+
+TEST(RuleEvalTest, RepeatedVariableInAtom) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a, a). e(a, b). e(c, c).");
+  Relation out = EvalRule0("base e(X, Y). loop(X) :- e(X, X).", &db);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(Tup("a")));
+  EXPECT_TRUE(out.Contains(Tup("c")));
+}
+
+TEST(RuleEvalTest, NegationChecksAbsence) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a). e(b). f(b).");
+  Relation out = EvalRule0("base e(X). base f(X). p(X) :- e(X), !f(X).", &db);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Tup("a")));
+}
+
+TEST(RuleEvalTest, NegationContributesCountOne) {
+  // Even if e(a) has count 5, ¬f filters with factor 1 (Example 6.1).
+  Database db;
+  db.CreateRelation("e", 1).CheckOK();
+  db.CreateRelation("f", 1).CheckOK();
+  db.mutable_relation("e").Add(Tup("a"), 5);
+  Relation out = EvalRule0("base e(X). base f(X). p(X) :- e(X), !f(X).", &db);
+  EXPECT_EQ(out.Count(Tup("a")), 5);  // 5 (from e) × 1 (from ¬f)
+}
+
+TEST(RuleEvalTest, ComparisonsFilter) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "n(1). n(5). n(10).");
+  Relation out = EvalRule0("base n(X). big(X) :- n(X), X > 4.", &db);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out.Contains(Tup(1)));
+}
+
+TEST(RuleEvalTest, EqualityBindsNewVariable) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "n(3). n(4).");
+  Relation out = EvalRule0("base n(X). p(X, Y) :- n(X), Y = X * 2.", &db);
+  EXPECT_TRUE(out.Contains(Tup(3, 6)));
+  EXPECT_TRUE(out.Contains(Tup(4, 8)));
+}
+
+TEST(RuleEvalTest, ArithmeticInHead) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a, b, 3). link(b, c, 4).");
+  Relation out = EvalRule0(
+      "base link(S, D, C). hop(S, D, C1 + C2) :- link(S, I, C1) & link(I, D, C2).",
+      &db);
+  EXPECT_TRUE(out.Contains(Tup("a", "c", 7)));
+}
+
+TEST(RuleEvalTest, ArithmeticInBodyPatternChecksValue) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "n(2). n(3). pair(2, 3). pair(2, 4).");
+  // q matches only when second column equals X+1.
+  Relation out = EvalRule0("base n(X). base pair(X, Y). p(X) :- n(X), pair(X, X + 1).", &db);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Tup(2)));
+}
+
+TEST(RuleEvalTest, CrossArithmeticDependency) {
+  // a's arithmetic needs b's variable and vice versa: deferred checks.
+  Database db;
+  testing_util::MustLoadFacts(&db, "a(1, 3). a(2, 9). b(2, 2). b(5, 3).");
+  Relation out = EvalRule0(
+      "base a(X, Y). base b(Y2, X2). p(X, Y) :- a(X, Y + 1) & b(Y, X + 1).",
+      &db);
+  // Need a(X, Y+1) and b(Y, X+1): try X=1: a(1,3) → Y+1=3 → Y=2?? — Y is not
+  // invertible, so the only satisfying assignments come from b: b(2,2) gives
+  // Y=2, X+1=2 → X=1; check a(1, 3) with Y+1=3 ✓.
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Tup(1, 2)));
+}
+
+TEST(RuleEvalTest, EmptyRelationShortCircuits) {
+  Database db;
+  db.CreateRelation("e", 1).CheckOK();
+  db.CreateRelation("f", 1).CheckOK();
+  db.mutable_relation("f").Add(Tup(1), 1);
+  JoinStats stats;
+  Relation out =
+      EvalRule0("base e(X). base f(X). p(X) :- f(X), e(X).", &db, true, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.tuples_matched, 0u);
+}
+
+TEST(RuleEvalTest, IndexedJoinTouchesFewTuples) {
+  Database db;
+  db.CreateRelation("e", 2).CheckOK();
+  Relation& e = db.mutable_relation("e");
+  for (int i = 0; i < 1000; ++i) e.Add(Tup(i, i + 1), 1);
+  JoinStats stats;
+  Relation out = EvalRule0(
+      "base e(X, Y). p(X, Z) :- e(X, Y), e(Y, Z), X = 10.", &db, true, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Tup(10, 12)));
+  // With index joins this should touch a handful of tuples, not ~10^6.
+  EXPECT_LT(stats.tuples_matched, 100u);
+}
+
+TEST(RuleEvalTest, OverlayActsAsUPlus) {
+  // Scanning base ⊎ overlay must see inserted tuples and skip deleted ones.
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a). e(b).");
+  Relation delta("Δe", 1);
+  delta.Add(Tup("b"), -1);  // delete b
+  delta.Add(Tup("c"), 1);   // insert c
+
+  Program p = MustParseProgram("base e(X). p(X) :- e(X).");
+  PreparedRule prepared;
+  prepared.head = &p.rule(0).head;
+  prepared.num_vars = p.num_vars(0);
+  PreparedSubgoal sg =
+      PreparedSubgoal::Scan(&db.relation("e"), p.rule(0).body[0].atom.terms);
+  sg.overlay = &delta;
+  prepared.subgoals.push_back(sg);
+  Relation out("out", 1);
+  IVM_EXPECT_OK(EvaluateJoin(prepared, &out));
+  EXPECT_TRUE(out.Contains(Tup("a")));
+  EXPECT_FALSE(out.Contains(Tup("b")));
+  EXPECT_TRUE(out.Contains(Tup("c")));
+}
+
+TEST(RuleEvalTest, CountsAsOneClampsMultiplicities) {
+  Database db;
+  db.CreateRelation("e", 1).CheckOK();
+  db.mutable_relation("e").Add(Tup("a"), 7);
+  Program p = MustParseProgram("base e(X). p(X) :- e(X).");
+  PreparedRule prepared;
+  prepared.head = &p.rule(0).head;
+  prepared.num_vars = p.num_vars(0);
+  PreparedSubgoal sg =
+      PreparedSubgoal::Scan(&db.relation("e"), p.rule(0).body[0].atom.terms);
+  sg.counts_as_one = true;
+  prepared.subgoals.push_back(sg);
+  Relation out("out", 1);
+  IVM_EXPECT_OK(EvaluateJoin(prepared, &out));
+  EXPECT_EQ(out.Count(Tup("a")), 1);
+}
+
+TEST(RuleEvalTest, NegCheckWithOverlaySeesNewState) {
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(a). e(b). f(a).");
+  Relation delta_f("Δf", 1);
+  delta_f.Add(Tup("a"), -1);
+  delta_f.Add(Tup("b"), 1);
+  Program p = MustParseProgram("base e(X). base f(X). p(X) :- e(X), !f(X).");
+  PreparedRule prepared;
+  prepared.head = &p.rule(0).head;
+  prepared.num_vars = p.num_vars(0);
+  prepared.subgoals.push_back(PreparedSubgoal::Scan(
+      &db.relation("e"), p.rule(0).body[0].atom.terms));
+  PreparedSubgoal neg = PreparedSubgoal::NegCheck(
+      &db.relation("f"), p.rule(0).body[1].atom.terms);
+  neg.overlay = &delta_f;
+  prepared.subgoals.push_back(neg);
+  Relation out("out", 1);
+  IVM_EXPECT_OK(EvaluateJoin(prepared, &out));
+  // New f = {b}: ¬f(a) true, ¬f(b) false.
+  EXPECT_TRUE(out.Contains(Tup("a")));
+  EXPECT_FALSE(out.Contains(Tup("b")));
+}
+
+TEST(RuleEvalTest, StartSubgoalIsRespected) {
+  // Planner must start at the delta subgoal even if another scan looks
+  // cheaper.
+  Database db;
+  db.CreateRelation("big", 2).CheckOK();
+  for (int i = 0; i < 100; ++i) db.mutable_relation("big").Add(Tup(i, i), 1);
+  Relation delta("Δ", 2);
+  delta.Add(Tup(5, 5), 1);
+  Program p = MustParseProgram("base big(X, Y). p(X) :- big(X, Y) & big(Y, X).");
+  PreparedRule prepared;
+  prepared.head = &p.rule(0).head;
+  prepared.num_vars = p.num_vars(0);
+  prepared.subgoals.push_back(
+      PreparedSubgoal::Scan(&delta, p.rule(0).body[0].atom.terms));
+  prepared.subgoals.push_back(PreparedSubgoal::Scan(
+      &db.relation("big"), p.rule(0).body[1].atom.terms));
+  prepared.start_subgoal = 0;
+  JoinStats stats;
+  Relation out("out", 1);
+  IVM_EXPECT_OK(EvaluateJoin(prepared, &out, &stats));
+  EXPECT_EQ(out.Count(Tup(5)), 1);
+  EXPECT_LT(stats.tuples_matched, 10u);
+}
+
+}  // namespace
+}  // namespace ivm

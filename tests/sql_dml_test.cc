@@ -1,0 +1,135 @@
+#include "sql/sql_dml.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_manager.h"
+#include "sql/sql_translator.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+const std::vector<std::string> kCols = {"s", "d", "c"};
+
+Relation LinkExtent() {
+  Relation rel("link", 3);
+  rel.Add(Tup("a", "b", 1), 1);
+  rel.Add(Tup("b", "c", 5), 1);
+  rel.Add(Tup("a", "c", 9), 1);
+  return rel;
+}
+
+SqlStatement ParseOne(const std::string& sql) {
+  auto stmts = ParseSql(sql);
+  EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+  EXPECT_EQ(stmts->size(), 1u);
+  return (*stmts)[0];
+}
+
+TEST(SqlDmlTest, InsertValues) {
+  SqlStatement stmt =
+      ParseOne("INSERT INTO link VALUES ('x', 'y', 3), ('y', 'z', 4);");
+  Relation extent = LinkExtent();
+  ChangeSet out = CompileDml(stmt, kCols, extent).value();
+  EXPECT_EQ(out.Delta("link").Count(Tup("x", "y", 3)), 1);
+  EXPECT_EQ(out.Delta("link").Count(Tup("y", "z", 4)), 1);
+}
+
+TEST(SqlDmlTest, InsertWithColumnList) {
+  SqlStatement stmt =
+      ParseOne("INSERT INTO link(c, s, d) VALUES (7, 'p', 'q');");
+  Relation extent = LinkExtent();
+  ChangeSet out = CompileDml(stmt, kCols, extent).value();
+  EXPECT_EQ(out.Delta("link").Count(Tup("p", "q", 7)), 1);
+}
+
+TEST(SqlDmlTest, DeleteWithWhere) {
+  SqlStatement stmt = ParseOne("DELETE FROM link WHERE s = 'a';");
+  Relation extent = LinkExtent();
+  ChangeSet out = CompileDml(stmt, kCols, extent).value();
+  EXPECT_EQ(out.Delta("link").Count(Tup("a", "b", 1)), -1);
+  EXPECT_EQ(out.Delta("link").Count(Tup("a", "c", 9)), -1);
+  EXPECT_FALSE(out.Delta("link").Contains(Tup("b", "c", 5)));
+}
+
+TEST(SqlDmlTest, DeleteWithComparison) {
+  SqlStatement stmt = ParseOne("DELETE FROM link WHERE c > 4 AND s <> 'a';");
+  ChangeSet out = CompileDml(stmt, kCols, LinkExtent()).value();
+  EXPECT_EQ(out.Delta("link").size(), 1u);
+  EXPECT_EQ(out.Delta("link").Count(Tup("b", "c", 5)), -1);
+}
+
+TEST(SqlDmlTest, DeleteWithoutWhereClearsTable) {
+  SqlStatement stmt = ParseOne("DELETE FROM link;");
+  ChangeSet out = CompileDml(stmt, kCols, LinkExtent()).value();
+  EXPECT_EQ(out.Delta("link").size(), 3u);
+}
+
+TEST(SqlDmlTest, UpdateSetsFromOldRow) {
+  SqlStatement stmt = ParseOne("UPDATE link SET c = c + 10 WHERE s = 'a';");
+  ChangeSet out = CompileDml(stmt, kCols, LinkExtent()).value();
+  EXPECT_EQ(out.Delta("link").Count(Tup("a", "b", 1)), -1);
+  EXPECT_EQ(out.Delta("link").Count(Tup("a", "b", 11)), 1);
+  EXPECT_EQ(out.Delta("link").Count(Tup("a", "c", 9)), -1);
+  EXPECT_EQ(out.Delta("link").Count(Tup("a", "c", 19)), 1);
+}
+
+TEST(SqlDmlTest, UpdateNoopWhenValueUnchanged) {
+  SqlStatement stmt = ParseOne("UPDATE link SET c = c WHERE s = 'a';");
+  ChangeSet out = CompileDml(stmt, kCols, LinkExtent()).value();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SqlDmlTest, ErrorsOnUnknownColumn) {
+  SqlStatement del = ParseOne("DELETE FROM link WHERE nope = 1;");
+  EXPECT_FALSE(CompileDml(del, kCols, LinkExtent()).ok());
+  SqlStatement upd = ParseOne("UPDATE link SET nope = 1;");
+  EXPECT_FALSE(CompileDml(upd, kCols, LinkExtent()).ok());
+}
+
+TEST(SqlDmlTest, ErrorsOnArityMismatch) {
+  SqlStatement stmt = ParseOne("INSERT INTO link VALUES ('x', 'y');");
+  EXPECT_FALSE(CompileDml(stmt, kCols, LinkExtent()).ok());
+}
+
+TEST(SqlDmlTest, EndToEndWithViewMaintenance) {
+  SqlTranslator translator;
+  IVM_ASSERT_OK(translator.AddScript(
+      "CREATE TABLE link(s, d);"
+      "CREATE VIEW hop(s, d) AS SELECT r1.s, r2.d FROM link r1, link r2 "
+      "WHERE r1.d = r2.s;"));
+  auto vm = ViewManager::Create(translator.Build().value()).value();
+  Database db;
+  db.CreateRelation("link", 2).CheckOK();
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  class Source : public DmlSource {
+   public:
+    Source(ViewManager* vm, SqlTranslator* tr) : vm_(vm), tr_(tr) {}
+    Result<const Relation*> GetExtent(const std::string& t) const override {
+      return vm_->GetRelation(t);
+    }
+    Result<std::vector<std::string>> GetColumns(
+        const std::string& t) const override {
+      return tr_->ColumnsOf(t);
+    }
+   private:
+    ViewManager* vm_;
+    SqlTranslator* tr_;
+  };
+  Source source(vm.get(), &translator);
+
+  ChangeSet insert = CompileDmlScript(
+      "INSERT INTO link VALUES ('a','b'), ('b','c');", source).value();
+  ChangeSet out1 = vm->Apply(insert).value();
+  EXPECT_EQ(out1.Delta("hop").Count(Tup("a", "c")), 1);
+
+  ChangeSet remove =
+      CompileDmlScript("DELETE FROM link WHERE s = 'a';", source).value();
+  ChangeSet out2 = vm->Apply(remove).value();
+  EXPECT_EQ(out2.Delta("hop").Count(Tup("a", "c")), -1);
+  EXPECT_TRUE(vm->GetRelation("hop").value()->empty());
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,275 @@
+#include "sql/sql_translator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_manager.h"
+#include "sql/sql_lexer.h"
+#include "sql/sql_parser.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+Program MustTranslate(const std::string& sql) {
+  SqlTranslator tr;
+  Status s = tr.AddScript(sql);
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\nsql: " << sql;
+  auto p = tr.Build();
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+TEST(SqlLexerTest, TokensAndComments) {
+  auto tokens = SqlTokenize(
+      "SELECT a.x, 'it''s' FROM t -- comment\nWHERE x <> 3.5;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].Is("select"));
+  EXPECT_TRUE((*tokens)[0].Is("SELECT"));
+  // 'it''s' unescapes to it's.
+  bool found = false;
+  for (const auto& t : *tokens) {
+    if (t.type == SqlTokenType::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SqlParserTest, CreateTableAndView) {
+  auto stmts = ParseSql(
+      "CREATE TABLE link(s, d);"
+      "CREATE VIEW hop(s, d) AS SELECT r1.s, r2.d FROM link r1, link r2 "
+      "WHERE r1.d = r2.s;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  ASSERT_EQ(stmts->size(), 2u);
+  EXPECT_EQ((*stmts)[0].kind, SqlStatement::Kind::kCreateTable);
+  EXPECT_EQ((*stmts)[1].kind, SqlStatement::Kind::kCreateView);
+  EXPECT_EQ((*stmts)[1].select.cores[0].tables.size(), 2u);
+  EXPECT_EQ((*stmts)[1].select.cores[0].where.size(), 1u);
+}
+
+TEST(SqlParserTest, GroupByAndAggregates) {
+  auto stmts = ParseSql(
+      "CREATE VIEW t(r, total, n) AS SELECT region, SUM(amount), COUNT(*) "
+      "FROM sales GROUP BY region;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  const SqlSelectCore& core = (*stmts)[0].select.cores[0];
+  EXPECT_EQ(core.group_by.size(), 1u);
+  EXPECT_TRUE(core.items[1].expr.HasAggregate());
+  EXPECT_EQ(core.items[2].expr.func, AggregateFunc::kCount);
+}
+
+TEST(SqlParserTest, UnionAndExcept) {
+  auto stmts = ParseSql(
+      "CREATE VIEW u AS SELECT x FROM a UNION ALL SELECT x FROM b "
+      "UNION SELECT x FROM c;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ((*stmts)[0].select.cores.size(), 3u);
+  EXPECT_EQ((*stmts)[0].select.ops[0], SqlSetOp::kUnionAll);
+  EXPECT_EQ((*stmts)[0].select.ops[1], SqlSetOp::kUnion);
+}
+
+TEST(SqlTranslatorTest, Example11HopView) {
+  Program p = MustTranslate(
+      "CREATE TABLE link(s, d);"
+      "CREATE VIEW hop(s, d) AS SELECT r1.s, r2.d FROM link r1, link r2 "
+      "WHERE r1.d = r2.s;");
+  ASSERT_EQ(p.num_rules(), 1u);
+  // The join variable is shared between the two atoms (unification).
+  const Rule& rule = p.rule(0);
+  EXPECT_EQ(rule.body.size(), 2u);
+  EXPECT_EQ(rule.body[0].atom.terms[1].var(), rule.body[1].atom.terms[0].var());
+}
+
+TEST(SqlTranslatorTest, EndToEndHopMaintenance) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE link(s, d);"
+      "CREATE VIEW hop(s, d) AS SELECT r1.s, r2.d FROM link r1, link r2 "
+      "WHERE r1.d = r2.s;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = vm->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").ToString(), "{(\"a\", \"e\"):-1}");
+}
+
+TEST(SqlTranslatorTest, ConstantsInWhere) {
+  Program p = MustTranslate(
+      "CREATE TABLE e(x, y);"
+      "CREATE VIEW v(y) AS SELECT y FROM e WHERE x = 5;");
+  // Constant folded into the atom pattern.
+  const Rule& rule = p.rule(0);
+  EXPECT_TRUE(rule.body[0].atom.terms[0].IsConstant());
+  EXPECT_EQ(rule.body[0].atom.terms[0].constant(), Value::Int(5));
+}
+
+TEST(SqlTranslatorTest, ResidualComparisons) {
+  Program p = MustTranslate(
+      "CREATE TABLE e(x, y);"
+      "CREATE VIEW v(x) AS SELECT x FROM e WHERE y > 3 AND x <> y;");
+  const Rule& rule = p.rule(0);
+  ASSERT_EQ(rule.body.size(), 3u);
+  EXPECT_EQ(rule.body[1].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(rule.body[2].kind, Literal::Kind::kComparison);
+}
+
+TEST(SqlTranslatorTest, GroupByOverSingleTable) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE sales(region, amount);"
+      "CREATE VIEW totals(region, total) AS "
+      "SELECT region, SUM(amount) FROM sales GROUP BY region;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "sales(east, 10). sales(east, 5). sales(west, 2).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  const Relation& totals = *vm->GetRelation("totals").value();
+  EXPECT_TRUE(totals.Contains(Tup("east", 15)));
+  EXPECT_TRUE(totals.Contains(Tup("west", 2)));
+
+  ChangeSet changes;
+  changes.Insert("sales", Tup("west", 8));
+  ChangeSet out = vm->Apply(changes).value();
+  EXPECT_EQ(out.Delta("totals").Count(Tup("west", 2)), -1);
+  EXPECT_EQ(out.Delta("totals").Count(Tup("west", 10)), 1);
+}
+
+TEST(SqlTranslatorTest, GroupByOverJoinUsesHelperView) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE link(s, d, c);"
+      "CREATE VIEW min_two_hop(s, d, m) AS "
+      "SELECT r1.s, r2.d, MIN(r1.c + r2.c) FROM link r1, link r2 "
+      "WHERE r1.d = r2.s GROUP BY r1.s, r2.d;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a, b, 2). link(b, c, 3). link(a, d, 1). link(d, c, 1).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  EXPECT_TRUE(vm->GetRelation("min_two_hop").value()->Contains(Tup("a", "c", 2)));
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("d", "c", 1));
+  ChangeSet out = vm->Apply(changes).value();
+  EXPECT_EQ(out.Delta("min_two_hop").Count(Tup("a", "c", 2)), -1);
+  EXPECT_EQ(out.Delta("min_two_hop").Count(Tup("a", "c", 5)), 1);
+}
+
+TEST(SqlTranslatorTest, MultipleAggregatesShareGroups) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE v(g, x);"
+      "CREATE VIEW stats(g, lo, hi, n) AS "
+      "SELECT g, MIN(x), MAX(x), COUNT(*) FROM v GROUP BY g;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "v(a, 3). v(a, 9). v(b, 4).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  const Relation& stats = *vm->GetRelation("stats").value();
+  EXPECT_TRUE(stats.Contains(Tup("a", 3, 9, 2)));
+  EXPECT_TRUE(stats.Contains(Tup("b", 4, 4, 1)));
+}
+
+TEST(SqlTranslatorTest, UnionAllBecomesTwoRules) {
+  Program p = MustTranslate(
+      "CREATE TABLE a(x); CREATE TABLE b(x);"
+      "CREATE VIEW u(x) AS SELECT x FROM a UNION ALL SELECT x FROM b;");
+  EXPECT_EQ(p.num_rules(), 2u);
+}
+
+TEST(SqlTranslatorTest, ExceptBecomesNegation) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE a(x); CREATE TABLE b(x);"
+      "CREATE VIEW d(x) AS SELECT x FROM a EXCEPT SELECT x FROM b;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "a(1). a(2). b(2).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  EXPECT_EQ(vm->GetRelation("d").value()->ToString(), "{(1)}");
+  ChangeSet changes;
+  changes.Delete("b", Tup(2));
+  ChangeSet out = vm->Apply(changes).value();
+  EXPECT_EQ(out.Delta("d").Count(Tup(2)), 1);
+}
+
+TEST(SqlTranslatorTest, ViewsCanReferenceViews) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE link(s, d);"
+      "CREATE VIEW hop(s, d) AS SELECT r1.s, r2.d FROM link r1, link r2 "
+      "WHERE r1.d = r2.s;"
+      "CREATE VIEW tri_hop(s, d) AS SELECT h.s, l.d FROM hop h, link l "
+      "WHERE h.d = l.s;"));
+  auto p = tr.Build().value();
+  EXPECT_EQ(p.num_rules(), 2u);
+  EXPECT_EQ(p.predicate(p.Lookup("tri_hop").value()).stratum, 2);
+}
+
+TEST(SqlTranslatorTest, SelectItemArithmetic) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE e(x, y);"
+      "CREATE VIEW v(s) AS SELECT x + y * 2 FROM e;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(1, 3).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  EXPECT_TRUE(vm->GetRelation("v").value()->Contains(Tup(7)));
+}
+
+TEST(SqlTranslatorTest, ErrorOnUnknownTable) {
+  SqlTranslator tr;
+  EXPECT_FALSE(tr.AddScript("CREATE VIEW v(x) AS SELECT x FROM nope;").ok());
+}
+
+TEST(SqlTranslatorTest, ErrorOnAmbiguousColumn) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript("CREATE TABLE a(x); CREATE TABLE b(x);"));
+  EXPECT_FALSE(tr.AddScript("CREATE VIEW v(x) AS SELECT x FROM a, b;").ok());
+}
+
+TEST(SqlTranslatorTest, ErrorOnNonGroupedColumn) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript("CREATE TABLE s(g, x);"));
+  EXPECT_FALSE(
+      tr.AddScript("CREATE VIEW v(x, m) AS SELECT x, MIN(x) FROM s GROUP BY g;")
+          .ok());
+}
+
+TEST(SqlTranslatorTest, ErrorOnDuplicateView) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript("CREATE TABLE a(x);"));
+  IVM_ASSERT_OK(tr.AddScript("CREATE VIEW v(x) AS SELECT x FROM a;"));
+  EXPECT_EQ(tr.AddScript("CREATE VIEW v(x) AS SELECT x FROM a;").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SqlTranslatorTest, ColumnsOfTracksViews) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE t(a, b); CREATE VIEW v AS SELECT b, a FROM t;"));
+  EXPECT_EQ(tr.ColumnsOf("v").value(),
+            (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(SqlTranslatorTest, ContradictoryConstantsYieldEmptyView) {
+  SqlTranslator tr;
+  IVM_ASSERT_OK(tr.AddScript(
+      "CREATE TABLE t(a, b);"
+      "CREATE VIEW v(a) AS SELECT a FROM t WHERE a = 1 AND a = 2;"));
+  auto vm = ViewManager::Create(tr.Build().value()).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "t(1, 2). t(2, 3).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  EXPECT_TRUE(vm->GetRelation("v").value()->empty());
+}
+
+}  // namespace
+}  // namespace ivm

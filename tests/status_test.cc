@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace ivm {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.message(), "bad");
+  EXPECT_EQ(e.ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, AllCodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  IVM_RETURN_IF_ERROR(Succeeds());
+  if (fail) IVM_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+Result<int> ProduceInt(bool fail) {
+  if (fail) return Status::InvalidArgument("no int");
+  return 7;
+}
+
+Result<int> UseAssignOrReturn(bool fail) {
+  IVM_ASSIGN_OR_RETURN(int v, ProduceInt(fail));
+  return v + 1;
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  EXPECT_EQ(UseAssignOrReturn(false).value(), 8);
+  EXPECT_EQ(UseAssignOrReturn(true).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, JoinSplitStrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(SplitAndTrim(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(AsciiLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,89 @@
+#ifndef IVM_TESTS_TEST_UTIL_H_
+#define IVM_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/change_set.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace ivm {
+namespace testing_util {
+
+/// gtest helpers for Status/Result.
+#define IVM_EXPECT_OK(expr)                              \
+  do {                                                   \
+    const ::ivm::Status ivm_test_status_ = (expr);       \
+    EXPECT_TRUE(ivm_test_status_.ok())                   \
+        << "status: " << ivm_test_status_.ToString();    \
+  } while (false)
+
+#define IVM_ASSERT_OK(expr)                              \
+  do {                                                   \
+    const ::ivm::Status ivm_test_status_ = (expr);       \
+    ASSERT_TRUE(ivm_test_status_.ok())                   \
+        << "status: " << ivm_test_status_.ToString();    \
+  } while (false)
+
+/// Parses a program; fails the test on error.
+inline Program MustParseProgram(std::string_view src) {
+  auto result = ParseProgram(src);
+  if (!result.ok()) {
+    ADD_FAILURE() << "parse failed: " << result.status().ToString();
+    return Program();
+  }
+  return std::move(result).value();
+}
+
+/// Populates `db` from ground facts text: "link(a,b). link(b,c)." — creating
+/// relations on demand. Symbols are strings, numbers are ints/doubles.
+inline void MustLoadFacts(Database* db, std::string_view facts) {
+  auto parsed = ParseGroundFacts(facts);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const auto& [name, tuple] : parsed.value()) {
+    if (!db->Has(name)) {
+      ASSERT_TRUE(db->CreateRelation(name, tuple.size()).ok());
+    }
+    db->mutable_relation(name).Add(tuple, 1);
+  }
+}
+
+/// Builds a counted relation from facts text plus explicit counts, e.g.
+/// MustMakeRelation("hop", 2, "hop(a,c). hop(a,c). hop(d,h).") gives
+/// {(a,c):2, (d,h):1}.
+inline Relation MustMakeRelation(const std::string& name, size_t arity,
+                                 std::string_view facts) {
+  Relation rel(name, arity);
+  auto parsed = ParseGroundFacts(facts);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (parsed.ok()) {
+    for (const auto& [fact_name, tuple] : parsed.value()) {
+      EXPECT_EQ(fact_name, name);
+      rel.Add(tuple, 1);
+    }
+  }
+  return rel;
+}
+
+/// Asserts two relations hold the same tuples with the same counts.
+inline void ExpectRelationEq(const Relation& actual, const Relation& expected) {
+  EXPECT_EQ(actual.ToString(), expected.ToString());
+}
+
+/// Asserts set-level equality (counts ignored).
+inline void ExpectSameSet(const Relation& actual, const Relation& expected) {
+  EXPECT_TRUE(actual.SameSet(expected))
+      << "actual:   " << actual.ToString() << "\n"
+      << "expected: " << expected.ToString();
+}
+
+}  // namespace testing_util
+}  // namespace ivm
+
+#endif  // IVM_TESTS_TEST_UTIL_H_

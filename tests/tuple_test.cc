@@ -1,0 +1,46 @@
+#include "common/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+TEST(TupleTest, TupHelperBuildsTypedValues) {
+  Tuple t = Tup(1, "a", 2.5);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], Value::Int(1));
+  EXPECT_EQ(t[1], Value::Str("a"));
+  EXPECT_EQ(t[2], Value::Real(2.5));
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  EXPECT_EQ(Tup("a", "b"), Tup("a", "b"));
+  EXPECT_NE(Tup("a", "b"), Tup("b", "a"));
+  EXPECT_NE(Tup(1), Tup(1, 1));
+  EXPECT_EQ(Tup(1, 2).Hash(), Tup(1, 2).Hash());
+  EXPECT_NE(Tup(1, 2).Hash(), Tup(2, 1).Hash());
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT(Tup("a", "b"), Tup("a", "c"));
+  EXPECT_LT(Tup("a"), Tup("a", "a"));
+  EXPECT_LT(Tup(1, 9), Tup(2, 0));
+}
+
+TEST(TupleTest, Project) {
+  Tuple t = Tup("x", "y", "z");
+  EXPECT_EQ(t.Project({2, 0}), Tup("z", "x"));
+  EXPECT_EQ(t.Project({}), Tuple());
+  EXPECT_EQ(t.Project({1, 1}), Tup("y", "y"));
+}
+
+TEST(TupleTest, AppendAndToString) {
+  Tuple t;
+  t.Append(Value::Int(1));
+  t.Append(Value::Str("q"));
+  EXPECT_EQ(t.ToString(), "(1, \"q\")");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+}  // namespace
+}  // namespace ivm

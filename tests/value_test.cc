@@ -1,0 +1,91 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(2.5).is_double());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_EQ(Value::Int(3).int_value(), 3);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Str("abc").string_value(), "abc");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Real(1).is_numeric());
+  EXPECT_FALSE(Value::Str("1").is_numeric());
+}
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+}
+
+TEST(ValueTest, EqualityIsKindSensitive) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  // Int 1 and double 1.0 are distinct *values* (comparison builtins treat
+  // them numerically, but storage does not).
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Str("1"), Value::Int(1));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, OrderingWithinKind) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Real(1.5), Value::Real(2.5));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_FALSE(Value::Int(2) < Value::Int(1));
+}
+
+TEST(ValueTest, OrderingAcrossKindsIsTotal) {
+  // null < int < double < string by kind.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(100), Value::Real(-5.0));
+  EXPECT_LT(Value::Real(1e18), Value::Str(""));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Str("hop").Hash(), Value::Str("hop").Hash());
+  EXPECT_NE(Value::Int(42).Hash(), Value::Int(43).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(ValueTest, ArithmeticIntInt) {
+  EXPECT_EQ(Value::Add(Value::Int(2), Value::Int(3)).value(), Value::Int(5));
+  EXPECT_EQ(Value::Subtract(Value::Int(2), Value::Int(3)).value(),
+            Value::Int(-1));
+  EXPECT_EQ(Value::Multiply(Value::Int(2), Value::Int(3)).value(),
+            Value::Int(6));
+  EXPECT_EQ(Value::Divide(Value::Int(7), Value::Int(2)).value(), Value::Int(3));
+}
+
+TEST(ValueTest, ArithmeticPromotesToDouble) {
+  Value v = Value::Add(Value::Int(1), Value::Real(0.5)).value();
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.double_value(), 1.5);
+}
+
+TEST(ValueTest, StringConcatenation) {
+  EXPECT_EQ(Value::Add(Value::Str("a"), Value::Str("b")).value(),
+            Value::Str("ab"));
+}
+
+TEST(ValueTest, ArithmeticErrors) {
+  EXPECT_FALSE(Value::Add(Value::Int(1), Value::Str("x")).ok());
+  EXPECT_FALSE(Value::Divide(Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(Value::Divide(Value::Real(1), Value::Real(0.0)).ok());
+  EXPECT_FALSE(Value::Multiply(Value::Null(), Value::Int(2)).ok());
+}
+
+}  // namespace
+}  // namespace ivm

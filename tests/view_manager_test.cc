@@ -1,0 +1,92 @@
+#include "core/view_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+TEST(ViewManagerTest, AutoPicksCountingForNonrecursive) {
+  auto vm = ViewManager::CreateFromText(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+  EXPECT_EQ((*vm)->strategy(), Strategy::kCounting);
+}
+
+TEST(ViewManagerTest, AutoPicksDRedForRecursive) {
+  auto vm = ViewManager::CreateFromText(
+      "base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y).");
+  ASSERT_TRUE(vm.ok());
+  EXPECT_EQ((*vm)->strategy(), Strategy::kDRed);
+}
+
+TEST(ViewManagerTest, EndToEndQuickstartFlow) {
+  auto vm = ViewManager::CreateFromText(
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).").value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  ChangeSet out = vm->Apply(changes).value();
+  EXPECT_EQ(out.Delta("hop").Count(Tup("a", "e")), -1);
+  EXPECT_EQ(out.Delta("hop").size(), 1u);
+}
+
+TEST(ViewManagerTest, DuplicateSemanticsWithRecursionRejected) {
+  auto vm = ViewManager::CreateFromText(
+      "base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y).",
+      Strategy::kAuto, Semantics::kDuplicate);
+  EXPECT_FALSE(vm.ok());
+}
+
+TEST(ViewManagerTest, ExplicitStrategies) {
+  const std::string text =
+      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).";
+  for (Strategy s : {Strategy::kCounting, Strategy::kDRed, Strategy::kRecompute,
+                     Strategy::kPF}) {
+    auto vm = ViewManager::CreateFromText(text, s);
+    ASSERT_TRUE(vm.ok()) << StrategyName(s);
+    Database db;
+    testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+    IVM_ASSERT_OK((*vm)->Initialize(db));
+    ChangeSet changes;
+    changes.Insert("link", Tup("c", "d"));
+    ChangeSet out = (*vm)->Apply(changes).value();
+    EXPECT_EQ(out.Delta("hop").Count(Tup("b", "d")), 1) << StrategyName(s);
+  }
+}
+
+TEST(ViewManagerTest, RuleChangesOnlyViaDRed) {
+  auto counting = ViewManager::CreateFromText(
+      "base e(X, Y). v(X, Y) :- e(X, Y).", Strategy::kCounting).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "e(1,2).");
+  IVM_ASSERT_OK(counting->Initialize(db));
+  EXPECT_EQ(counting->AddRuleText("v(X, Y) :- e(Y, X).").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  auto dred = ViewManager::CreateFromText("base e(X, Y). v(X, Y) :- e(X, Y).",
+                                          Strategy::kDRed).value();
+  IVM_ASSERT_OK(dred->Initialize(db));
+  ChangeSet out = dred->AddRuleText("v(X, Y) :- e(Y, X).").value();
+  EXPECT_EQ(out.Delta("v").Count(Tup(2, 1)), 1);
+}
+
+TEST(ViewManagerTest, ParseErrorsSurface) {
+  EXPECT_FALSE(ViewManager::CreateFromText("this is not datalog").ok());
+}
+
+TEST(ViewManagerTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kCounting), "counting");
+  EXPECT_STREQ(StrategyName(Strategy::kDRed), "dred");
+  EXPECT_STREQ(StrategyName(Strategy::kRecompute), "recompute");
+  EXPECT_STREQ(StrategyName(Strategy::kPF), "pf");
+}
+
+}  // namespace
+}  // namespace ivm

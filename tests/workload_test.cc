@@ -1,0 +1,101 @@
+#include "workload/graph_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/update_gen.h"
+
+namespace ivm {
+namespace {
+
+TEST(GraphGenTest, RandomGraphIsDeterministicAndDistinct) {
+  EdgeList a = RandomGraph(50, 200, 7);
+  EdgeList b = RandomGraph(50, 200, 7);
+  EXPECT_EQ(a, b);
+  EdgeList c = RandomGraph(50, 200, 8);
+  EXPECT_NE(a, c);
+  std::set<std::pair<int, int>> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), 200u);
+  for (const auto& [x, y] : a) {
+    EXPECT_NE(x, y);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 50);
+  }
+}
+
+TEST(GraphGenTest, ChainCycleGridTreeShapes) {
+  EXPECT_EQ(ChainGraph(5).size(), 4u);
+  EXPECT_EQ(CycleGraph(5).size(), 5u);
+  EXPECT_EQ(GridGraph(3, 4).size(), 3u * 3u + 2u * 4u);
+  EXPECT_EQ(TreeGraph(7, 2).size(), 6u);
+  // Tree: node 1 and 2 are children of 0.
+  EdgeList t = TreeGraph(7, 2);
+  EXPECT_EQ(t[0], std::make_pair(0, 1));
+  EXPECT_EQ(t[1], std::make_pair(0, 2));
+}
+
+TEST(GraphGenTest, PreferentialAttachment) {
+  EdgeList e = PreferentialAttachmentGraph(100, 3, 42);
+  EXPECT_GT(e.size(), 100u);
+  std::set<std::pair<int, int>> distinct(e.begin(), e.end());
+  EXPECT_EQ(distinct.size(), e.size());
+}
+
+TEST(GraphGenTest, FillRelations) {
+  Relation rel("edge", 2);
+  FillEdgeRelation(ChainGraph(4), &rel);
+  EXPECT_EQ(rel.size(), 3u);
+  EXPECT_TRUE(rel.Contains(Tup(0, 1)));
+
+  Relation cost("link", 3);
+  FillCostEdgeRelation(ChainGraph(4), 1, 10, 3, &cost);
+  EXPECT_EQ(cost.size(), 3u);
+  for (const auto& [t, c] : cost.tuples()) {
+    (void)c;
+    int64_t v = t[2].int_value();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(UpdateGenTest, SampleTuples) {
+  Relation rel("edge", 2);
+  FillEdgeRelation(RandomGraph(30, 100, 1), &rel);
+  std::vector<Tuple> sample = SampleTuples(rel, 10, 99);
+  EXPECT_EQ(sample.size(), 10u);
+  for (const Tuple& t : sample) EXPECT_TRUE(rel.Contains(t));
+  // Deterministic.
+  EXPECT_EQ(SampleTuples(rel, 10, 99), sample);
+  // Asking for more than available caps out.
+  EXPECT_EQ(SampleTuples(rel, 1000, 1).size(), 100u);
+}
+
+TEST(UpdateGenTest, RandomAbsentEdges) {
+  Relation rel("edge", 2);
+  FillEdgeRelation(ChainGraph(10), &rel);
+  std::vector<Tuple> fresh = RandomAbsentEdges(rel, 10, 20, 5);
+  EXPECT_EQ(fresh.size(), 20u);
+  std::set<Tuple> seen;
+  for (const Tuple& t : fresh) {
+    EXPECT_FALSE(rel.Contains(t));
+    EXPECT_TRUE(seen.insert(t).second);
+  }
+}
+
+TEST(UpdateGenTest, MixedBatch) {
+  Relation rel("edge", 2);
+  FillEdgeRelation(RandomGraph(20, 60, 2), &rel);
+  ChangeSet batch = MakeMixedEdgeBatch("edge", rel, 20, 5, 7, 11);
+  int dels = 0, adds = 0;
+  for (const auto& [t, c] : batch.Delta("edge").tuples()) {
+    (void)t;
+    if (c < 0) ++dels;
+    if (c > 0) ++adds;
+  }
+  EXPECT_EQ(dels, 5);
+  EXPECT_EQ(adds, 7);
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every experiment from DESIGN.md §4:
+#   * runs the paper-example tests (X1-X5),
+#   * runs every benchmark binary (B1-B14),
+#   * writes test_output.txt and bench_output.txt at the repo root.
+#
+# Usage: tools/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "configuring..."
+  cmake -B "$BUILD_DIR" -G Ninja
+fi
+cmake --build "$BUILD_DIR"
+
+echo "== running tests (including paper examples X1-X5) =="
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt | tail -3
+
+echo "== running benchmarks (B1-B14) =="
+{
+  for b in "$BUILD_DIR"/bench/*; do
+    echo "===== $b"
+    "$b" 2>&1
+  done
+} | tee bench_output.txt | grep -E '^(=====|BM_)' | tail -40
+
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"
