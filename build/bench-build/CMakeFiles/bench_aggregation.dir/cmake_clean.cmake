@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aggregation"
+  "../bench/bench_aggregation.pdb"
+  "CMakeFiles/bench_aggregation.dir/bench_aggregation.cc.o"
+  "CMakeFiles/bench_aggregation.dir/bench_aggregation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

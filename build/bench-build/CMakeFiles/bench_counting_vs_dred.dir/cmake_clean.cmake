@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_counting_vs_dred"
+  "../bench/bench_counting_vs_dred.pdb"
+  "CMakeFiles/bench_counting_vs_dred.dir/bench_counting_vs_dred.cc.o"
+  "CMakeFiles/bench_counting_vs_dred.dir/bench_counting_vs_dred.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counting_vs_dred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_counting_vs_recompute"
+  "../bench/bench_counting_vs_recompute.pdb"
+  "CMakeFiles/bench_counting_vs_recompute.dir/bench_counting_vs_recompute.cc.o"
+  "CMakeFiles/bench_counting_vs_recompute.dir/bench_counting_vs_recompute.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counting_vs_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

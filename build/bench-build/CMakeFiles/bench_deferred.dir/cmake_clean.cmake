@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deferred"
+  "../bench/bench_deferred.pdb"
+  "CMakeFiles/bench_deferred.dir/bench_deferred.cc.o"
+  "CMakeFiles/bench_deferred.dir/bench_deferred.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

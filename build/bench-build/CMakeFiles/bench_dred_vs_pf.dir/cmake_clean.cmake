@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dred_vs_pf"
+  "../bench/bench_dred_vs_pf.pdb"
+  "CMakeFiles/bench_dred_vs_pf.dir/bench_dred_vs_pf.cc.o"
+  "CMakeFiles/bench_dred_vs_pf.dir/bench_dred_vs_pf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dred_vs_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_inertia_crossover"
+  "../bench/bench_inertia_crossover.pdb"
+  "CMakeFiles/bench_inertia_crossover.dir/bench_inertia_crossover.cc.o"
+  "CMakeFiles/bench_inertia_crossover.dir/bench_inertia_crossover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inertia_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_join_ordering"
+  "../bench/bench_join_ordering.pdb"
+  "CMakeFiles/bench_join_ordering.dir/bench_join_ordering.cc.o"
+  "CMakeFiles/bench_join_ordering.dir/bench_join_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_negation"
+  "../bench/bench_negation.pdb"
+  "CMakeFiles/bench_negation.dir/bench_negation.cc.o"
+  "CMakeFiles/bench_negation.dir/bench_negation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_recursive_counting"
+  "../bench/bench_recursive_counting.pdb"
+  "CMakeFiles/bench_recursive_counting.dir/bench_recursive_counting.cc.o"
+  "CMakeFiles/bench_recursive_counting.dir/bench_recursive_counting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recursive_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rule_changes"
+  "../bench/bench_rule_changes.pdb"
+  "CMakeFiles/bench_rule_changes.dir/bench_rule_changes.cc.o"
+  "CMakeFiles/bench_rule_changes.dir/bench_rule_changes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

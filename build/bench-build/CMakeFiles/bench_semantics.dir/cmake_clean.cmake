@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_semantics"
+  "../bench/bench_semantics.pdb"
+  "CMakeFiles/bench_semantics.dir/bench_semantics.cc.o"
+  "CMakeFiles/bench_semantics.dir/bench_semantics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

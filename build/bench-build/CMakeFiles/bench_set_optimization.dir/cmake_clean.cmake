@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_set_optimization"
+  "../bench/bench_set_optimization.pdb"
+  "CMakeFiles/bench_set_optimization.dir/bench_set_optimization.cc.o"
+  "CMakeFiles/bench_set_optimization.dir/bench_set_optimization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_shell.dir/ivm_shell.cpp.o"
+  "CMakeFiles/ivm_shell.dir/ivm_shell.cpp.o.d"
+  "ivm_shell"
+  "ivm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

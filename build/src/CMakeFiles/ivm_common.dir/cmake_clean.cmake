@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_common.dir/common/status.cc.o"
+  "CMakeFiles/ivm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ivm_common.dir/common/string_util.cc.o"
+  "CMakeFiles/ivm_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/ivm_common.dir/common/tuple.cc.o"
+  "CMakeFiles/ivm_common.dir/common/tuple.cc.o.d"
+  "CMakeFiles/ivm_common.dir/common/value.cc.o"
+  "CMakeFiles/ivm_common.dir/common/value.cc.o.d"
+  "libivm_common.a"
+  "libivm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

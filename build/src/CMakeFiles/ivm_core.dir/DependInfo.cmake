@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/change_set.cc" "src/CMakeFiles/ivm_core.dir/core/change_set.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/change_set.cc.o.d"
+  "/root/repo/src/core/constraints.cc" "src/CMakeFiles/ivm_core.dir/core/constraints.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/constraints.cc.o.d"
+  "/root/repo/src/core/counting.cc" "src/CMakeFiles/ivm_core.dir/core/counting.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/counting.cc.o.d"
+  "/root/repo/src/core/delta_rules.cc" "src/CMakeFiles/ivm_core.dir/core/delta_rules.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/delta_rules.cc.o.d"
+  "/root/repo/src/core/dred.cc" "src/CMakeFiles/ivm_core.dir/core/dred.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/dred.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/ivm_core.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/pf.cc" "src/CMakeFiles/ivm_core.dir/core/pf.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/pf.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/ivm_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/recompute.cc" "src/CMakeFiles/ivm_core.dir/core/recompute.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/recompute.cc.o.d"
+  "/root/repo/src/core/recursive_counting.cc" "src/CMakeFiles/ivm_core.dir/core/recursive_counting.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/recursive_counting.cc.o.d"
+  "/root/repo/src/core/view_manager.cc" "src/CMakeFiles/ivm_core.dir/core/view_manager.cc.o" "gcc" "src/CMakeFiles/ivm_core.dir/core/view_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_core.dir/core/change_set.cc.o"
+  "CMakeFiles/ivm_core.dir/core/change_set.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/constraints.cc.o"
+  "CMakeFiles/ivm_core.dir/core/constraints.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/counting.cc.o"
+  "CMakeFiles/ivm_core.dir/core/counting.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/delta_rules.cc.o"
+  "CMakeFiles/ivm_core.dir/core/delta_rules.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/dred.cc.o"
+  "CMakeFiles/ivm_core.dir/core/dred.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/explain.cc.o"
+  "CMakeFiles/ivm_core.dir/core/explain.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/pf.cc.o"
+  "CMakeFiles/ivm_core.dir/core/pf.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/query.cc.o"
+  "CMakeFiles/ivm_core.dir/core/query.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/recompute.cc.o"
+  "CMakeFiles/ivm_core.dir/core/recompute.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/recursive_counting.cc.o"
+  "CMakeFiles/ivm_core.dir/core/recursive_counting.cc.o.d"
+  "CMakeFiles/ivm_core.dir/core/view_manager.cc.o"
+  "CMakeFiles/ivm_core.dir/core/view_manager.cc.o.d"
+  "libivm_core.a"
+  "libivm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

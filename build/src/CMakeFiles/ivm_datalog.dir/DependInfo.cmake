@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cc" "src/CMakeFiles/ivm_datalog.dir/datalog/ast.cc.o" "gcc" "src/CMakeFiles/ivm_datalog.dir/datalog/ast.cc.o.d"
+  "/root/repo/src/datalog/graph.cc" "src/CMakeFiles/ivm_datalog.dir/datalog/graph.cc.o" "gcc" "src/CMakeFiles/ivm_datalog.dir/datalog/graph.cc.o.d"
+  "/root/repo/src/datalog/lexer.cc" "src/CMakeFiles/ivm_datalog.dir/datalog/lexer.cc.o" "gcc" "src/CMakeFiles/ivm_datalog.dir/datalog/lexer.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/ivm_datalog.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/ivm_datalog.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/ivm_datalog.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/ivm_datalog.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/safety.cc" "src/CMakeFiles/ivm_datalog.dir/datalog/safety.cc.o" "gcc" "src/CMakeFiles/ivm_datalog.dir/datalog/safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_datalog.dir/datalog/ast.cc.o"
+  "CMakeFiles/ivm_datalog.dir/datalog/ast.cc.o.d"
+  "CMakeFiles/ivm_datalog.dir/datalog/graph.cc.o"
+  "CMakeFiles/ivm_datalog.dir/datalog/graph.cc.o.d"
+  "CMakeFiles/ivm_datalog.dir/datalog/lexer.cc.o"
+  "CMakeFiles/ivm_datalog.dir/datalog/lexer.cc.o.d"
+  "CMakeFiles/ivm_datalog.dir/datalog/parser.cc.o"
+  "CMakeFiles/ivm_datalog.dir/datalog/parser.cc.o.d"
+  "CMakeFiles/ivm_datalog.dir/datalog/program.cc.o"
+  "CMakeFiles/ivm_datalog.dir/datalog/program.cc.o.d"
+  "CMakeFiles/ivm_datalog.dir/datalog/safety.cc.o"
+  "CMakeFiles/ivm_datalog.dir/datalog/safety.cc.o.d"
+  "libivm_datalog.a"
+  "libivm_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/aggregates.cc" "src/CMakeFiles/ivm_eval.dir/eval/aggregates.cc.o" "gcc" "src/CMakeFiles/ivm_eval.dir/eval/aggregates.cc.o.d"
+  "/root/repo/src/eval/bindings.cc" "src/CMakeFiles/ivm_eval.dir/eval/bindings.cc.o" "gcc" "src/CMakeFiles/ivm_eval.dir/eval/bindings.cc.o.d"
+  "/root/repo/src/eval/builtins.cc" "src/CMakeFiles/ivm_eval.dir/eval/builtins.cc.o" "gcc" "src/CMakeFiles/ivm_eval.dir/eval/builtins.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/ivm_eval.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/ivm_eval.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/rule_eval.cc" "src/CMakeFiles/ivm_eval.dir/eval/rule_eval.cc.o" "gcc" "src/CMakeFiles/ivm_eval.dir/eval/rule_eval.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/ivm_eval.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/ivm_eval.dir/eval/seminaive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivm_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_eval.dir/eval/aggregates.cc.o"
+  "CMakeFiles/ivm_eval.dir/eval/aggregates.cc.o.d"
+  "CMakeFiles/ivm_eval.dir/eval/bindings.cc.o"
+  "CMakeFiles/ivm_eval.dir/eval/bindings.cc.o.d"
+  "CMakeFiles/ivm_eval.dir/eval/builtins.cc.o"
+  "CMakeFiles/ivm_eval.dir/eval/builtins.cc.o.d"
+  "CMakeFiles/ivm_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/ivm_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/ivm_eval.dir/eval/rule_eval.cc.o"
+  "CMakeFiles/ivm_eval.dir/eval/rule_eval.cc.o.d"
+  "CMakeFiles/ivm_eval.dir/eval/seminaive.cc.o"
+  "CMakeFiles/ivm_eval.dir/eval/seminaive.cc.o.d"
+  "libivm_eval.a"
+  "libivm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

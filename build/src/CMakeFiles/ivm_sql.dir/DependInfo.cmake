@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/sql_dml.cc" "src/CMakeFiles/ivm_sql.dir/sql/sql_dml.cc.o" "gcc" "src/CMakeFiles/ivm_sql.dir/sql/sql_dml.cc.o.d"
+  "/root/repo/src/sql/sql_lexer.cc" "src/CMakeFiles/ivm_sql.dir/sql/sql_lexer.cc.o" "gcc" "src/CMakeFiles/ivm_sql.dir/sql/sql_lexer.cc.o.d"
+  "/root/repo/src/sql/sql_parser.cc" "src/CMakeFiles/ivm_sql.dir/sql/sql_parser.cc.o" "gcc" "src/CMakeFiles/ivm_sql.dir/sql/sql_parser.cc.o.d"
+  "/root/repo/src/sql/sql_translator.cc" "src/CMakeFiles/ivm_sql.dir/sql/sql_translator.cc.o" "gcc" "src/CMakeFiles/ivm_sql.dir/sql/sql_translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ivm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_sql.dir/sql/sql_dml.cc.o"
+  "CMakeFiles/ivm_sql.dir/sql/sql_dml.cc.o.d"
+  "CMakeFiles/ivm_sql.dir/sql/sql_lexer.cc.o"
+  "CMakeFiles/ivm_sql.dir/sql/sql_lexer.cc.o.d"
+  "CMakeFiles/ivm_sql.dir/sql/sql_parser.cc.o"
+  "CMakeFiles/ivm_sql.dir/sql/sql_parser.cc.o.d"
+  "CMakeFiles/ivm_sql.dir/sql/sql_translator.cc.o"
+  "CMakeFiles/ivm_sql.dir/sql/sql_translator.cc.o.d"
+  "libivm_sql.a"
+  "libivm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

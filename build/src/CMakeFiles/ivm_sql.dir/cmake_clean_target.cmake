@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libivm_sql.a"
+)

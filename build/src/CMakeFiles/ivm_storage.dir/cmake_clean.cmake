@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_storage.dir/storage/database.cc.o"
+  "CMakeFiles/ivm_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/ivm_storage.dir/storage/index.cc.o"
+  "CMakeFiles/ivm_storage.dir/storage/index.cc.o.d"
+  "CMakeFiles/ivm_storage.dir/storage/io.cc.o"
+  "CMakeFiles/ivm_storage.dir/storage/io.cc.o.d"
+  "CMakeFiles/ivm_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/ivm_storage.dir/storage/relation.cc.o.d"
+  "libivm_storage.a"
+  "libivm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

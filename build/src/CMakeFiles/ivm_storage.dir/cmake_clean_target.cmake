@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libivm_storage.a"
+)

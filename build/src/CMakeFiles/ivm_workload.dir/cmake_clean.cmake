@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_workload.dir/workload/graph_gen.cc.o"
+  "CMakeFiles/ivm_workload.dir/workload/graph_gen.cc.o.d"
+  "CMakeFiles/ivm_workload.dir/workload/update_gen.cc.o"
+  "CMakeFiles/ivm_workload.dir/workload/update_gen.cc.o.d"
+  "libivm_workload.a"
+  "libivm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_set_test.dir/change_set_test.cc.o"
+  "CMakeFiles/change_set_test.dir/change_set_test.cc.o.d"
+  "change_set_test"
+  "change_set_test.pdb"
+  "change_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

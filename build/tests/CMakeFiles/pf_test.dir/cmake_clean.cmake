@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_test.dir/pf_test.cc.o"
+  "CMakeFiles/pf_test.dir/pf_test.cc.o.d"
+  "pf_test"
+  "pf_test.pdb"
+  "pf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_counting_test.dir/recursive_counting_test.cc.o"
+  "CMakeFiles/recursive_counting_test.dir/recursive_counting_test.cc.o.d"
+  "recursive_counting_test"
+  "recursive_counting_test.pdb"
+  "recursive_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_change_property_test.dir/rule_change_property_test.cc.o"
+  "CMakeFiles/rule_change_property_test.dir/rule_change_property_test.cc.o.d"
+  "rule_change_property_test"
+  "rule_change_property_test.pdb"
+  "rule_change_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_change_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_dml_test.dir/sql_dml_test.cc.o"
+  "CMakeFiles/sql_dml_test.dir/sql_dml_test.cc.o.d"
+  "sql_dml_test"
+  "sql_dml_test.pdb"
+  "sql_dml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_dml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/tuple_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregates_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/change_set_test[1]_include.cmake")
+include("/root/repo/build/tests/delta_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/dred_test[1]_include.cmake")
+include("/root/repo/build/tests/recompute_test[1]_include.cmake")
+include("/root/repo/build/tests/pf_test[1]_include.cmake")
+include("/root/repo/build/tests/view_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/seminaive_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/builtins_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/recursive_counting_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_change_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_dml_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/random_program_test[1]_include.cmake")
+include("/root/repo/build/tests/deferred_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_relation_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+add_test(shell_e2e "bash" "-c" "
+    out=\$(/root/repo/build/examples/ivm_shell <<'SCRIPT'
+program base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).
++ link(a, b). link(b, c). link(b, e). link(a, d). link(d, c).
+init
+- link(a, b).
+? hop
+SCRIPT
+    )
+    echo \"\$out\"
+    echo \"\$out\" | grep -q 'hop = {(\"a\", \"c\")}'")
+set_tests_properties(shell_e2e PROPERTIES  DEPENDS "ivm_shell" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
