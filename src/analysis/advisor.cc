@@ -1,0 +1,198 @@
+#include "analysis/advisor.h"
+
+#include "common/logging.h"
+#include "datalog/graph.h"
+
+namespace ivm {
+
+std::string ViewClassification::ToString() const {
+  std::string out = name + ": ";
+  out += recursive ? "recursive" : "nonrecursive";
+  if (uses_negation) out += ", negation";
+  if (uses_aggregation) out += ", aggregation";
+  out += " -> ";
+  out += StrategyName(recommended);
+  return out;
+}
+
+std::string StrategyAdvice::Summary() const {
+  std::string out = "recommended strategy: ";
+  out += StrategyName(recommended);
+  out += (recommended == Strategy::kDRed)
+             ? " (recursive program, Section 7)"
+             : " (nonrecursive program, Algorithm 4.1)";
+  for (const ViewClassification& v : views) {
+    out += "\n  ";
+    out += v.ToString();
+  }
+  return out;
+}
+
+StrategyAdvice AdviseStrategy(const Program& program) {
+  IVM_CHECK(program.analyzed()) << "AdviseStrategy requires Analyze()";
+  const int n = static_cast<int>(program.num_predicates());
+
+  // Direct properties per predicate: negation/aggregation in the bodies of
+  // its rules; recursion from its SCC.
+  std::vector<bool> neg(n, false), agg(n, false), rec(n, false);
+  for (int p = 0; p < n; ++p) rec[p] = program.predicate(p).recursive;
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegated) neg[rule.head.pred] = true;
+      if (lit.kind == Literal::Kind::kAggregate) agg[rule.head.pred] = true;
+    }
+  }
+  // Propagate along dependency edges (q -> p when p's body reads q): a view
+  // built on top of negation/aggregation/recursion inherits the property.
+  DependencyGraph graph = program.BuildDependencyGraph();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < n; ++q) {
+      for (int p : graph.Successors(q)) {
+        if (neg[q] && !neg[p]) { neg[p] = true; changed = true; }
+        if (agg[q] && !agg[p]) { agg[p] = true; changed = true; }
+        if (rec[q] && !rec[p]) { rec[p] = true; changed = true; }
+      }
+    }
+  }
+
+  StrategyAdvice advice;
+  for (PredicateId p : program.DerivedPredicates()) {
+    ViewClassification v;
+    v.pred = p;
+    v.name = program.predicate(p).name;
+    v.recursive = rec[p];
+    v.uses_negation = neg[p];
+    v.uses_aggregation = agg[p];
+    v.recommended = rec[p] ? Strategy::kDRed : Strategy::kCounting;
+    advice.program_recursive = advice.program_recursive || rec[p];
+    advice.program_uses_negation = advice.program_uses_negation || neg[p];
+    advice.program_uses_aggregation =
+        advice.program_uses_aggregation || agg[p];
+    advice.views.push_back(std::move(v));
+  }
+  advice.recommended =
+      advice.program_recursive ? Strategy::kDRed : Strategy::kCounting;
+  return advice;
+}
+
+namespace {
+
+/// Comma-separated names of the recursive views, for messages that must
+/// name the offenders.
+std::string RecursiveViewNames(const StrategyAdvice& advice) {
+  std::string out;
+  for (const ViewClassification& v : advice.views) {
+    if (!v.recursive) continue;
+    if (!out.empty()) out += ", ";
+    out += "'" + v.name + "'";
+  }
+  return out;
+}
+
+Diagnostic MakeStrategyDiag(DiagSeverity severity, std::string message) {
+  Diagnostic d;
+  d.code = DiagCode::kStrategyMismatch;
+  d.severity = severity;
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace
+
+AnalysisReport CheckStrategyChoice(const Program& program, Strategy strategy,
+                                   Semantics semantics) {
+  AnalysisReport report;
+  const StrategyAdvice advice = AdviseStrategy(program);
+
+  Strategy resolved = strategy;
+  if (strategy == Strategy::kAuto) {
+    resolved = advice.recommended;
+    report.Add(MakeStrategyDiag(
+        DiagSeverity::kNote,
+        std::string("auto resolves to ") + StrategyName(resolved) + ": " +
+            (advice.program_recursive
+                 ? "the program is recursive (DRed, Section 7)"
+                 : "the program is nonrecursive (counting, Algorithm "
+                   "4.1)")));
+  }
+
+  switch (resolved) {
+    case Strategy::kCounting:
+      if (advice.program_recursive) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kError,
+            "counting handles nonrecursive views only (Section 4) but view(s) " +
+                RecursiveViewNames(advice) +
+                " are recursive; use dred (Section 7) or recursive-counting "
+                "(Section 8)"));
+      }
+      break;
+    case Strategy::kDRed:
+      if (semantics == Semantics::kDuplicate) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kError,
+            "DRed maintains set semantics only (Section 7); duplicate "
+            "semantics requires counting (nonrecursive, Section 4) or "
+            "recursive-counting (Section 8)"));
+      }
+      if (!advice.program_recursive) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kWarning,
+            "the program is nonrecursive; the paper recommends counting "
+            "(Algorithm 4.1) over DRed for nonrecursive views"));
+      }
+      break;
+    case Strategy::kPF:
+      if (semantics == Semantics::kDuplicate) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kError, "PF supports set semantics only"));
+      }
+      break;
+    case Strategy::kRecursiveCounting:
+      if (semantics == Semantics::kSet) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kError,
+            "recursive counting maintains full derivation counts (duplicate "
+            "semantics, Section 8); use Semantics::kDuplicate"));
+      }
+      if (!advice.program_recursive) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kWarning,
+            "the program is nonrecursive; plain counting (Algorithm 4.1) "
+            "maintains the same counts without the one-update-at-a-time "
+            "propagation overhead"));
+      }
+      break;
+    case Strategy::kRecompute:
+      report.Add(MakeStrategyDiag(
+          DiagSeverity::kWarning,
+          "recompute is the non-incremental baseline; " +
+              std::string(StrategyName(advice.recommended)) +
+              " maintains these views incrementally"));
+      break;
+    case Strategy::kAuto:
+      break;  // unreachable: resolved above
+  }
+
+  // Independent of the concrete strategy: duplicate semantics cannot follow
+  // a recursive program, whose derivation counts may be infinite (Section
+  // 8's motivation) — recursive-counting is the one exception, it detects
+  // divergence at propagation time.
+  if (semantics == Semantics::kDuplicate && advice.program_recursive &&
+      resolved != Strategy::kRecursiveCounting &&
+      resolved != Strategy::kDRed) {
+    report.Add(MakeStrategyDiag(
+        DiagSeverity::kError,
+        "recursive programs require set semantics (counts may be infinite, "
+        "Section 8); view(s) " +
+            RecursiveViewNames(advice) +
+            " are recursive — use recursive-counting to maintain duplicate "
+            "counts with divergence detection"));
+  }
+
+  return report;
+}
+
+}  // namespace ivm

@@ -1,0 +1,65 @@
+#ifndef IVM_ANALYSIS_ADVISOR_H_
+#define IVM_ANALYSIS_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/strategy.h"
+#include "datalog/program.h"
+#include "eval/evaluator.h"
+
+namespace ivm {
+
+/// Structural classification of one view (derived predicate), the inputs to
+/// the paper's strategy choice: is its SCC recursive, and does its
+/// definition go through negation or aggregation (directly or transitively)?
+struct ViewClassification {
+  PredicateId pred = kUnresolvedPredicate;
+  std::string name;
+  /// True when the view's SCC is recursive, or it depends on a recursive
+  /// view (its maintenance inherits the recursive machinery either way).
+  bool recursive = false;
+  bool uses_negation = false;
+  bool uses_aggregation = false;
+  /// The paper's per-view recommendation: counting (§4) for nonrecursive
+  /// views, DRed (§7) for recursive ones.
+  Strategy recommended = Strategy::kCounting;
+
+  std::string ToString() const;
+};
+
+/// Program-level advice: per-view classifications plus the overall
+/// recommendation (a single maintainer runs the whole program, so one
+/// recursive view pushes the program to DRed — exactly kAuto's rule).
+struct StrategyAdvice {
+  std::vector<ViewClassification> views;
+  bool program_recursive = false;
+  bool program_uses_negation = false;
+  bool program_uses_aggregation = false;
+  Strategy recommended = Strategy::kCounting;
+
+  std::string Summary() const;
+};
+
+/// Classifies every view of an *analyzed* program and recommends the
+/// paper's strategy for each.
+StrategyAdvice AdviseStrategy(const Program& program);
+
+/// Validates a user-selected (strategy, semantics) pair against the paper's
+/// preconditions, as strategy-mismatch diagnostics:
+///   error   — the pair will be rejected (counting on a recursive program
+///             §4/§7, DRed or PF under duplicate semantics §7, recursive
+///             counting under set semantics §8, any strategy under duplicate
+///             semantics on a recursive program §8);
+///   warning — legal but against the paper's recommendation (DRed or
+///             recursive counting on a nonrecursive program, plain
+///             recomputation);
+///   note    — what kAuto resolves to.
+/// The program must be analyzed.
+AnalysisReport CheckStrategyChoice(const Program& program, Strategy strategy,
+                                   Semantics semantics);
+
+}  // namespace ivm
+
+#endif  // IVM_ANALYSIS_ADVISOR_H_

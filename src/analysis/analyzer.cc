@@ -1,0 +1,525 @@
+#include "analysis/analyzer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/graph.h"
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+
+namespace ivm {
+
+namespace {
+
+/// Best-effort extraction of "... at line L:C" from a parser Status message,
+/// so parse errors still carry a usable lint location.
+int ExtractLine(const std::string& message) {
+  size_t pos = message.rfind(" at line ");
+  if (pos == std::string::npos) return 0;
+  pos += 9;  // strlen(" at line ")
+  int line = 0;
+  while (pos < message.size() && message[pos] >= '0' && message[pos] <= '9') {
+    line = line * 10 + (message[pos] - '0');
+    ++pos;
+  }
+  return line;
+}
+
+int RuleLine(const Rule& rule) {
+  if (rule.line > 0) return rule.line;
+  return rule.head.line;
+}
+
+int LiteralLine(const Rule& rule, int literal_index) {
+  if (literal_index >= 0 && literal_index < static_cast<int>(rule.body.size())) {
+    int line = rule.body[literal_index].line;
+    if (line > 0) return line;
+  }
+  return RuleLine(rule);
+}
+
+/// Union-find over per-rule variable slots, for join-connectivity.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Serializes a term with variables spelled by resolved VarId — two rules
+/// that differ only by variable renaming produce identical keys, because
+/// Program::ResolveRules numbers variables by first occurrence.
+void TermKey(const Term& term, std::string* out) {
+  switch (term.kind()) {
+    case Term::Kind::kVariable:
+      *out += 'V';
+      *out += std::to_string(term.var());
+      break;
+    case Term::Kind::kConstant:
+      *out += term.constant().ToString();
+      break;
+    case Term::Kind::kArith:
+      *out += '(';
+      TermKey(term.lhs(), out);
+      *out += static_cast<char>('a' + static_cast<int>(term.arith_op()));
+      TermKey(term.rhs(), out);
+      *out += ')';
+      break;
+  }
+}
+
+void AtomKey(const Atom& atom, std::string* out) {
+  *out += atom.predicate;
+  *out += '(';
+  for (const Term& t : atom.terms) {
+    TermKey(t, out);
+    *out += ',';
+  }
+  *out += ')';
+}
+
+std::string CanonicalRuleKey(const Rule& rule) {
+  std::string key;
+  AtomKey(rule.head, &key);
+  key += ":-";
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+        AtomKey(lit.atom, &key);
+        break;
+      case Literal::Kind::kNegated:
+        key += '!';
+        AtomKey(lit.atom, &key);
+        break;
+      case Literal::Kind::kComparison:
+        key += "cmp";
+        key += std::to_string(static_cast<int>(lit.cmp_op));
+        TermKey(lit.cmp_lhs, &key);
+        key += ';';
+        TermKey(lit.cmp_rhs, &key);
+        break;
+      case Literal::Kind::kAggregate:
+        key += "agg";
+        key += std::to_string(static_cast<int>(lit.agg_func));
+        AtomKey(lit.atom, &key);
+        key += '[';
+        for (const Term& g : lit.group_vars) {
+          TermKey(g, &key);
+          key += ',';
+        }
+        key += ']';
+        TermKey(lit.result_var, &key);
+        key += '=';
+        TermKey(lit.agg_arg, &key);
+        break;
+    }
+    key += '&';
+  }
+  return key;
+}
+
+/// Evaluates a comparison between two constants; nullopt when either side is
+/// not a plain constant.
+std::optional<bool> ConstantComparison(const Literal& lit) {
+  if (lit.kind != Literal::Kind::kComparison) return std::nullopt;
+  if (!lit.cmp_lhs.IsConstant() || !lit.cmp_rhs.IsConstant()) {
+    return std::nullopt;
+  }
+  const Value& a = lit.cmp_lhs.constant();
+  const Value& b = lit.cmp_rhs.constant();
+  switch (lit.cmp_op) {
+    case ComparisonOp::kEq: return a == b;
+    case ComparisonOp::kNe: return a != b;
+    case ComparisonOp::kLt: return a < b;
+    case ComparisonOp::kLe: return a <= b;
+    case ComparisonOp::kGt: return a > b;
+    case ComparisonOp::kGe: return a >= b;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeProgram(Program& program) {
+  AnalysisReport report;
+  const std::vector<Rule>& rules = program.rules();
+  const int num_rules = static_cast<int>(rules.size());
+
+  // ---- Catalog consistency (arity-mismatch, base-redefined) ----
+  // Mirrors the checks of Program resolution, but over the raw AST so every
+  // offense is reported, with its own location, instead of the first only.
+  struct NameInfo {
+    size_t arity;
+    bool is_base;
+    int line;  // declaration line (base) or first-occurrence line
+  };
+  std::map<std::string, NameInfo> catalog;
+  for (size_t p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info =
+        program.predicate(static_cast<PredicateId>(p));
+    catalog[info.name] = NameInfo{info.arity, info.is_base, info.decl_line};
+  }
+  // Rules that fail resolution are skipped by the deeper analyses.
+  std::vector<bool> rule_ok(num_rules, true);
+  auto check_atom = [&](const Atom& atom, int rule_index, int line,
+                        bool is_head) {
+    auto [it, inserted] = catalog.try_emplace(
+        atom.predicate, NameInfo{atom.arity(), false, line});
+    if (inserted) return true;
+    if (is_head && it->second.is_base) {
+      Diagnostic d;
+      d.code = DiagCode::kBaseRedefined;
+      d.severity = DiagSeverity::kError;
+      d.rule_index = rule_index;
+      d.line = line;
+      d.predicate = atom.predicate;
+      d.message = "cannot define rules for base relation '" + atom.predicate +
+                  "' (declared at line " + std::to_string(it->second.line) +
+                  "); derived predicates must not collide with declared base "
+                  "relations";
+      report.Add(std::move(d));
+      return false;
+    }
+    if (it->second.arity != atom.arity()) {
+      Diagnostic d;
+      d.code = DiagCode::kArityMismatch;
+      d.severity = DiagSeverity::kError;
+      d.rule_index = rule_index;
+      d.line = line;
+      d.predicate = atom.predicate;
+      d.message = "predicate '" + atom.predicate + "' used with arity " +
+                  std::to_string(atom.arity()) + " but " +
+                  (it->second.is_base ? "declared" : "first seen") +
+                  " with arity " + std::to_string(it->second.arity) +
+                  " (line " + std::to_string(it->second.line) + ")";
+      report.Add(std::move(d));
+      return false;
+    }
+    return true;
+  };
+  for (int r = 0; r < num_rules; ++r) {
+    const Rule& rule = rules[r];
+    if (!check_atom(rule.head, r, RuleLine(rule), /*is_head=*/true)) {
+      rule_ok[r] = false;
+    }
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      const Literal& lit = rule.body[li];
+      if (!lit.IsAtomBased()) continue;
+      if (!check_atom(lit.atom, r, LiteralLine(rule, static_cast<int>(li)),
+                      /*is_head=*/false)) {
+        rule_ok[r] = false;
+      }
+    }
+  }
+
+  // ---- Resolution (names -> PredicateIds, variables -> VarIds) ----
+  std::vector<Status> rule_errors;
+  program.ResolveRules(&rule_errors).CheckOK();
+  for (int r = 0; r < num_rules; ++r) {
+    if (rule_errors[r].ok()) continue;
+    if (rule_ok[r]) {
+      // A resolution failure the catalog scan did not classify; surface it
+      // rather than drop it.
+      Diagnostic d;
+      d.code = DiagCode::kParseError;
+      d.severity = DiagSeverity::kError;
+      d.rule_index = r;
+      d.line = RuleLine(rules[r]);
+      d.message = rule_errors[r].message();
+      report.Add(std::move(d));
+    }
+    rule_ok[r] = false;
+  }
+
+  // ---- undefined-predicate ----
+  std::set<std::string> defined;
+  for (const Rule& rule : rules) defined.insert(rule.head.predicate);
+  std::set<std::string> reported_undefined;
+  for (int r = 0; r < num_rules; ++r) {
+    const Rule& rule = rules[r];
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      const Literal& lit = rule.body[li];
+      if (!lit.IsAtomBased()) continue;
+      auto it = catalog.find(lit.atom.predicate);
+      const bool is_base = it != catalog.end() && it->second.is_base;
+      if (is_base || defined.count(lit.atom.predicate) > 0) continue;
+      if (!reported_undefined.insert(lit.atom.predicate).second) continue;
+      Diagnostic d;
+      d.code = DiagCode::kUndefinedPredicate;
+      d.severity = DiagSeverity::kError;
+      d.rule_index = r;
+      d.literal_index = static_cast<int>(li);
+      d.line = LiteralLine(rule, static_cast<int>(li));
+      d.predicate = lit.atom.predicate;
+      d.message = "predicate '" + lit.atom.predicate +
+                  "' is used in a rule body but is neither declared base nor "
+                  "defined by any rule";
+      report.Add(std::move(d));
+    }
+  }
+
+  // ---- unsafe-rule (§6.1), with unbound-variable provenance ----
+  for (int r = 0; r < num_rules; ++r) {
+    if (!rule_ok[r]) continue;
+    for (const SafetyViolation& v :
+         FindSafetyViolations(rules[r], program.resolved_num_vars(r))) {
+      Diagnostic d;
+      d.code = DiagCode::kUnsafeRule;
+      d.severity = DiagSeverity::kError;
+      d.rule_index = r;
+      d.literal_index = v.literal_index;
+      d.line = LiteralLine(rules[r], v.literal_index);
+      d.predicate = rules[r].head.predicate;
+      d.message = v.message;
+      report.Add(std::move(d));
+    }
+  }
+
+  // ---- negation-cycle (§6): one witness cycle per offending SCC ----
+  DependencyGraph graph = program.BuildDependencyGraph();
+  SccResult scc = ComputeScc(graph);
+  for (const StratificationViolation& v :
+       FindStratificationViolations(graph, scc)) {
+    Diagnostic d;
+    d.code = DiagCode::kNegationCycle;
+    d.severity = DiagSeverity::kError;
+    d.predicate = program.predicate(v.neg_from).name;
+    std::string path;
+    for (size_t i = 0; i < v.cycle.size(); ++i) {
+      if (i > 0) path += " -> ";
+      path += program.predicate(v.cycle[i]).name;
+    }
+    // Locate the rule realizing the negative edge neg_from -> neg_to: a rule
+    // for neg_to whose body negates (or aggregates over) neg_from.
+    for (int r = 0; r < num_rules && d.rule_index < 0; ++r) {
+      if (!rule_ok[r] || rules[r].head.pred != v.neg_to) continue;
+      for (size_t li = 0; li < rules[r].body.size(); ++li) {
+        const Literal& lit = rules[r].body[li];
+        if ((lit.kind == Literal::Kind::kNegated ||
+             lit.kind == Literal::Kind::kAggregate) &&
+            lit.atom.pred == v.neg_from) {
+          d.rule_index = r;
+          d.literal_index = static_cast<int>(li);
+          d.line = LiteralLine(rules[r], static_cast<int>(li));
+          break;
+        }
+      }
+    }
+    d.message = "program is not stratifiable: predicate '" + d.predicate +
+                "' depends on itself through negation or aggregation "
+                "(cycle: " +
+                path + ")";
+    report.Add(std::move(d));
+  }
+
+  // ---- unused-predicate: base relations no rule reads ----
+  std::set<std::string> referenced;
+  for (const Rule& rule : rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.IsAtomBased()) referenced.insert(lit.atom.predicate);
+    }
+  }
+  for (size_t p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info =
+        program.predicate(static_cast<PredicateId>(p));
+    if (!info.is_base || referenced.count(info.name) > 0) continue;
+    Diagnostic d;
+    d.code = DiagCode::kUnusedPredicate;
+    d.severity = DiagSeverity::kWarning;
+    d.line = info.decl_line;
+    d.predicate = info.name;
+    d.message = "base relation '" + info.name +
+                "' is never read by any rule; drop the declaration or use it";
+    report.Add(std::move(d));
+  }
+
+  // ---- unreachable-rule: body reads a provably empty predicate or a
+  // constant-false comparison ----
+  // Fixpoint over "possibly nonempty": base relations may hold data; a
+  // derived predicate may, once some rule for it can fire.
+  std::set<std::string> possibly_nonempty;
+  for (const auto& [name, info] : catalog) {
+    if (info.is_base) possibly_nonempty.insert(name);
+  }
+  auto rule_can_fire = [&](const Rule& rule) {
+    for (const Literal& lit : rule.body) {
+      if ((lit.kind == Literal::Kind::kPositive ||
+           lit.kind == Literal::Kind::kAggregate) &&
+          possibly_nonempty.count(lit.atom.predicate) == 0) {
+        return false;
+      }
+      if (auto cmp = ConstantComparison(lit); cmp.has_value() && !*cmp) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int r = 0; r < num_rules; ++r) {
+      if (!rule_ok[r] || possibly_nonempty.count(rules[r].head.predicate)) {
+        continue;
+      }
+      if (rule_can_fire(rules[r])) {
+        possibly_nonempty.insert(rules[r].head.predicate);
+        changed = true;
+      }
+    }
+  }
+  for (int r = 0; r < num_rules; ++r) {
+    if (!rule_ok[r] || rule_can_fire(rules[r])) continue;
+    // Name the first reason the rule cannot fire.
+    std::string reason;
+    for (const Literal& lit : rules[r].body) {
+      if ((lit.kind == Literal::Kind::kPositive ||
+           lit.kind == Literal::Kind::kAggregate) &&
+          possibly_nonempty.count(lit.atom.predicate) == 0 &&
+          reported_undefined.count(lit.atom.predicate) == 0) {
+        reason = "subgoal " + lit.atom.ToString() + " reads '" +
+                 lit.atom.predicate + "', which can never contain tuples";
+        break;
+      }
+      if (auto cmp = ConstantComparison(lit); cmp.has_value() && !*cmp) {
+        reason = "comparison " + lit.ToString() + " is always false";
+        break;
+      }
+    }
+    if (reason.empty()) continue;  // only reason was an undefined predicate
+    Diagnostic d;
+    d.code = DiagCode::kUnreachableRule;
+    d.severity = DiagSeverity::kWarning;
+    d.rule_index = r;
+    d.line = RuleLine(rules[r]);
+    d.predicate = rules[r].head.predicate;
+    d.message = "rule can never derive a tuple: " + reason + ", in rule: " +
+                rules[r].ToString();
+    report.Add(std::move(d));
+  }
+
+  // ---- duplicate-rule: alpha-equivalent rules ----
+  std::map<std::string, int> first_rule_with_key;
+  for (int r = 0; r < num_rules; ++r) {
+    if (!rule_ok[r]) continue;
+    std::string key = CanonicalRuleKey(rules[r]);
+    auto [it, inserted] = first_rule_with_key.try_emplace(key, r);
+    if (inserted) continue;
+    Diagnostic d;
+    d.code = DiagCode::kDuplicateRule;
+    d.severity = DiagSeverity::kWarning;
+    d.rule_index = r;
+    d.line = RuleLine(rules[r]);
+    d.predicate = rules[r].head.predicate;
+    d.message = "rule duplicates the rule at line " +
+                std::to_string(RuleLine(rules[it->second])) +
+                " (identical up to variable renaming): " +
+                rules[r].ToString();
+    report.Add(std::move(d));
+  }
+
+  // ---- cartesian-product-join: positive subgoals that share no variables
+  // (directly, or transitively through '=' or groupby literals) ----
+  for (int r = 0; r < num_rules; ++r) {
+    if (!rule_ok[r]) continue;
+    const Rule& rule = rules[r];
+    const int num_vars = program.resolved_num_vars(r);
+    if (num_vars == 0) continue;
+    UnionFind uf(num_vars);
+    auto union_all = [&](const std::vector<VarId>& vars) {
+      for (size_t i = 1; i < vars.size(); ++i) uf.Union(vars[0], vars[i]);
+    };
+    // Join participants: positive atoms and aggregate literals (they produce
+    // bindings). '=' comparisons connect components without participating.
+    struct Participant {
+      int literal_index;
+      VarId representative_var;  // any variable of the literal
+      std::string label;
+    };
+    std::vector<Participant> participants;
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      const Literal& lit = rule.body[li];
+      std::vector<VarId> vars;
+      if (lit.kind == Literal::Kind::kPositive) {
+        for (const Term& t : lit.atom.terms) t.CollectVars(&vars);
+        if (!vars.empty()) {
+          participants.push_back(
+              {static_cast<int>(li), vars[0], lit.atom.ToString()});
+        }
+      } else if (lit.kind == Literal::Kind::kAggregate) {
+        for (const Term& t : lit.group_vars) t.CollectVars(&vars);
+        lit.result_var.CollectVars(&vars);
+        if (!vars.empty()) {
+          participants.push_back(
+              {static_cast<int>(li), vars[0], lit.ToString()});
+        }
+      } else if (lit.kind == Literal::Kind::kComparison &&
+                 lit.cmp_op == ComparisonOp::kEq) {
+        lit.cmp_lhs.CollectVars(&vars);
+        lit.cmp_rhs.CollectVars(&vars);
+      } else {
+        continue;
+      }
+      union_all(vars);
+    }
+    if (participants.size() < 2) continue;
+    std::map<int, std::vector<const Participant*>> components;
+    for (const Participant& p : participants) {
+      components[uf.Find(p.representative_var)].push_back(&p);
+    }
+    if (components.size() < 2) continue;
+    Diagnostic d;
+    d.code = DiagCode::kCartesianProductJoin;
+    d.severity = DiagSeverity::kWarning;
+    d.rule_index = r;
+    d.line = RuleLine(rule);
+    d.predicate = rule.head.predicate;
+    std::string groups;
+    for (const auto& [rep, members] : components) {
+      if (!groups.empty()) groups += " | ";
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) groups += ", ";
+        groups += members[i]->label;
+      }
+    }
+    d.message =
+        "body subgoals form a cartesian product (" +
+        std::to_string(components.size()) +
+        " variable-disjoint groups: " + groups +
+        "); the join's cost is the product of the groups' sizes, in rule: " +
+        rule.ToString();
+    report.Add(std::move(d));
+  }
+
+  report.SortByLocation();
+  return report;
+}
+
+AnalysisReport AnalyzeProgramText(std::string_view src) {
+  Result<Program> program = ParseProgramUnanalyzed(src);
+  if (!program.ok()) {
+    AnalysisReport report;
+    Diagnostic d;
+    d.code = DiagCode::kParseError;
+    d.severity = DiagSeverity::kError;
+    d.line = ExtractLine(program.status().message());
+    d.message = program.status().message();
+    report.Add(std::move(d));
+    return report;
+  }
+  return AnalyzeProgram(*program);
+}
+
+}  // namespace ivm

@@ -1,0 +1,44 @@
+#ifndef IVM_ANALYSIS_ANALYZER_H_
+#define IVM_ANALYSIS_ANALYZER_H_
+
+#include <string_view>
+
+#include "analysis/diagnostic.h"
+#include "datalog/program.h"
+
+namespace ivm {
+
+/// Runs every static analysis over `program` and returns the collected
+/// diagnostics:
+///
+///   arity-mismatch, base-redefined      — catalog consistency
+///   undefined-predicate                 — body predicate with no definition
+///   unsafe-rule                         — range restriction / safe negation
+///                                         (§6.1), with unbound-variable
+///                                         provenance
+///   negation-cycle                      — unstratifiable recursion through
+///                                         negation/aggregation (§6), with
+///                                         the offending predicate cycle
+///   unused-predicate                    — base relation never read
+///   unreachable-rule                    — body reads a provably empty
+///                                         predicate or a constant-false
+///                                         comparison
+///   duplicate-rule                      — alpha-equivalent rule repeated
+///   cartesian-product-join              — body positive subgoals share no
+///                                         variables
+///
+/// The program may be unanalyzed (see ParseProgramUnanalyzed) — unlike
+/// Program::Analyze(), the analyzer reports *all* violations instead of
+/// failing on the first, and never returns an error itself. `program` is
+/// mutated only by name/variable resolution (the first phase of Analyze()).
+///
+/// The diagnostics are sorted by source location.
+AnalysisReport AnalyzeProgram(Program& program);
+
+/// Convenience for lint-style callers: parses `src` (reporting a
+/// parse-error diagnostic on failure) and analyzes the result.
+AnalysisReport AnalyzeProgramText(std::string_view src);
+
+}  // namespace ivm
+
+#endif  // IVM_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,91 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+
+namespace ivm {
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError: return "parse-error";
+    case DiagCode::kArityMismatch: return "arity-mismatch";
+    case DiagCode::kBaseRedefined: return "base-redefined";
+    case DiagCode::kUndefinedPredicate: return "undefined-predicate";
+    case DiagCode::kUnsafeRule: return "unsafe-rule";
+    case DiagCode::kNegationCycle: return "negation-cycle";
+    case DiagCode::kUnusedPredicate: return "unused-predicate";
+    case DiagCode::kUnreachableRule: return "unreachable-rule";
+    case DiagCode::kDuplicateRule: return "duplicate-rule";
+    case DiagCode::kCartesianProductJoin: return "cartesian-product-join";
+    case DiagCode::kStrategyMismatch: return "strategy-mismatch";
+  }
+  return "?";
+}
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError: return "error";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = DiagSeverityName(severity);
+  out += " [";
+  out += DiagCodeName(code);
+  out += "] ";
+  out += message;
+  return out;
+}
+
+bool AnalysisReport::HasErrors() const { return error_count() > 0; }
+
+size_t AnalysisReport::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == DiagSeverity::kError;
+                    }));
+}
+
+size_t AnalysisReport::warning_count() const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == DiagSeverity::kWarning;
+                    }));
+}
+
+std::vector<Diagnostic> AnalysisReport::WithCode(DiagCode code) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) out.push_back(d);
+  }
+  return out;
+}
+
+bool AnalysisReport::Has(DiagCode code) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+void AnalysisReport::SortByLocation() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule_index < b.rule_index;
+                   });
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,107 @@
+#ifndef IVM_ANALYSIS_DIAGNOSTIC_H_
+#define IVM_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace ivm {
+
+/// Stable diagnostic codes produced by the static analyzer. Codes are part
+/// of the public surface (`ivm_lint` prints them, tests golden-match them);
+/// add new ones at the end and never renumber.
+enum class DiagCode {
+  /// Parse failure; the analyzer could not even build an AST.
+  kParseError,
+  /// A predicate is used with different arities, or against its declaration.
+  kArityMismatch,
+  /// A rule head redefines a declared base relation.
+  kBaseRedefined,
+  /// A body predicate has no rules and is not declared base (§3: every IDB
+  /// predicate needs a definition).
+  kUndefinedPredicate,
+  /// Range-restriction/safe-negation violation (§6.1); message carries the
+  /// unbound variable's provenance.
+  kUnsafeRule,
+  /// Recursion through negation or aggregation (§6): the program is not
+  /// stratifiable; message names the offending predicate cycle.
+  kNegationCycle,
+  /// A base predicate is never read by any rule body.
+  kUnusedPredicate,
+  /// The rule can never derive a tuple: its body reads a provably empty
+  /// predicate or contains a comparison that is false for all bindings.
+  kUnreachableRule,
+  /// Two rules are identical up to variable renaming.
+  kDuplicateRule,
+  /// The positive subgoals of a rule body do not share variables — the join
+  /// degenerates into a cartesian product (a common performance bug in
+  /// hand-written delta rules, §4).
+  kCartesianProductJoin,
+  /// The selected maintenance Strategy violates one of the paper's
+  /// preconditions for this program (e.g. counting on a recursive view, §4
+  /// vs §7), or contradicts the paper's recommendation.
+  kStrategyMismatch,
+};
+
+/// The lint-facing kebab-case spelling of `code` (e.g. "unsafe-rule").
+const char* DiagCodeName(DiagCode code);
+
+enum class DiagSeverity {
+  kError,    // the program (or strategy choice) will be rejected
+  kWarning,  // suspicious but runnable
+  kNote,     // advisory (e.g. the recommended strategy)
+};
+
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// One structured diagnostic: code, severity, location (rule index and
+/// source line when known), and a human-readable message.
+struct Diagnostic {
+  DiagCode code = DiagCode::kParseError;
+  DiagSeverity severity = DiagSeverity::kError;
+  /// Index of the offending rule in Program::rules(), or -1 when the
+  /// diagnostic is not tied to a rule (e.g. unused predicate, strategy
+  /// mismatch).
+  int rule_index = -1;
+  /// Body literal within the rule, or -1 (head / whole rule).
+  int literal_index = -1;
+  /// 1-based source line, or 0 when unknown (programs built in code).
+  int line = 0;
+  /// Predicate the diagnostic is about, when applicable.
+  std::string predicate;
+  std::string message;
+
+  /// Renders "severity [code] message" (the part after "file:line:" in lint
+  /// output).
+  std::string ToString() const;
+};
+
+/// The result of running the static analyzer: all diagnostics, ordered by
+/// source line then rule index.
+class AnalysisReport {
+ public:
+  void Add(Diagnostic diag) { diagnostics_.push_back(std::move(diag)); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  bool HasErrors() const;
+  size_t error_count() const;
+  size_t warning_count() const;
+
+  /// All diagnostics with the given code.
+  std::vector<Diagnostic> WithCode(DiagCode code) const;
+  bool Has(DiagCode code) const;
+
+  /// Stable-sorts diagnostics by (line, rule_index).
+  void SortByLocation();
+
+  /// Multi-line rendering, one "severity [code] message" per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,44 @@
+#ifndef IVM_CORE_STRATEGY_H_
+#define IVM_CORE_STRATEGY_H_
+
+namespace ivm {
+
+/// Maintenance strategies offered by the library. Lives in its own header
+/// (no dependencies) so lower layers — notably the static analyzer's
+/// strategy advisor — can name strategies without pulling in the
+/// maintainers.
+enum class Strategy {
+  /// Counting (Algorithm 4.1) — the paper's choice for nonrecursive views.
+  kCounting,
+  /// Delete-and-Rederive (Section 7) — the paper's choice for recursive
+  /// views; set semantics only.
+  kDRed,
+  /// Full recomputation baseline.
+  kRecompute,
+  /// Propagation/Filtration-style baseline (Section 2's comparison target).
+  kPF,
+  /// Counting extended to recursive views ([GKM92], Section 8): exact
+  /// derivation counts maintained by one-update-at-a-time propagation.
+  /// Requires finite counts (acyclic derivations) — diverging propagation
+  /// is detected and reported.
+  kRecursiveCounting,
+  /// kCounting for nonrecursive programs, kDRed for recursive programs —
+  /// exactly the paper's recommendation.
+  kAuto,
+};
+
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kCounting: return "counting";
+    case Strategy::kDRed: return "dred";
+    case Strategy::kRecompute: return "recompute";
+    case Strategy::kPF: return "pf";
+    case Strategy::kRecursiveCounting: return "recursive-counting";
+    case Strategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_STRATEGY_H_

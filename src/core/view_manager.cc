@@ -1,35 +1,35 @@
 #include "core/view_manager.h"
 
+#include "analysis/advisor.h"
 #include "datalog/parser.h"
 
 namespace ivm {
-
-const char* StrategyName(Strategy s) {
-  switch (s) {
-    case Strategy::kCounting: return "counting";
-    case Strategy::kDRed: return "dred";
-    case Strategy::kRecompute: return "recompute";
-    case Strategy::kPF: return "pf";
-    case Strategy::kRecursiveCounting: return "recursive-counting";
-    case Strategy::kAuto: return "auto";
-  }
-  return "?";
-}
 
 Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
                                                          Strategy strategy,
                                                          Semantics semantics) {
   IVM_RETURN_IF_ERROR(program.Analyze());
 
+  // Let the strategy advisor explain *why* a (strategy, semantics) pair is
+  // invalid for this program — which views are recursive, which paper
+  // precondition is violated, and what to use instead — rather than
+  // reporting a bare pass/fail.
+  AnalysisReport strategy_report =
+      CheckStrategyChoice(program, strategy, semantics);
+  if (strategy_report.HasErrors()) {
+    std::string msg = "strategy precondition violated:";
+    for (const Diagnostic& d : strategy_report.diagnostics()) {
+      if (d.severity != DiagSeverity::kError) continue;
+      msg += "\n  " + d.ToString();
+    }
+    return Status::FailedPrecondition(std::move(msg));
+  }
+
   Strategy resolved = strategy;
   if (strategy == Strategy::kAuto) {
     // The paper's recommendation: counting for nonrecursive views, DRed for
     // recursive views.
     resolved = program.IsRecursive() ? Strategy::kDRed : Strategy::kCounting;
-    if (resolved == Strategy::kDRed && semantics == Semantics::kDuplicate) {
-      return Status::FailedPrecondition(
-          "recursive programs require set semantics (counts may be infinite)");
-    }
   }
 
   // The semantics the chosen maintainer actually runs under.
@@ -49,10 +49,6 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
       break;
     }
     case Strategy::kDRed: {
-      if (semantics == Semantics::kDuplicate) {
-        return Status::FailedPrecondition(
-            "DRed supports set semantics only (Section 7)");
-      }
       IVM_ASSIGN_OR_RETURN(auto m, DRedMaintainer::Create(std::move(program)));
       impl = std::move(m);
       break;
@@ -64,19 +60,11 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
       break;
     }
     case Strategy::kPF: {
-      if (semantics == Semantics::kDuplicate) {
-        return Status::FailedPrecondition("PF supports set semantics only");
-      }
       IVM_ASSIGN_OR_RETURN(auto m, PFMaintainer::Create(std::move(program)));
       impl = std::move(m);
       break;
     }
     case Strategy::kRecursiveCounting: {
-      if (semantics == Semantics::kSet) {
-        return Status::FailedPrecondition(
-            "recursive counting maintains full derivation counts (duplicate "
-            "semantics); use Semantics::kDuplicate");
-      }
       IVM_ASSIGN_OR_RETURN(auto m, RecursiveCountingMaintainer::Create(
                                        std::move(program)));
       impl = std::move(m);

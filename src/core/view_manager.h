@@ -14,34 +14,12 @@
 #include "core/pf.h"
 #include "core/recompute.h"
 #include "core/recursive_counting.h"
+#include "core/strategy.h"
 #include "datalog/program.h"
 #include "eval/evaluator.h"
 #include "storage/database.h"
 
 namespace ivm {
-
-/// Maintenance strategies offered by the library.
-enum class Strategy {
-  /// Counting (Algorithm 4.1) — the paper's choice for nonrecursive views.
-  kCounting,
-  /// Delete-and-Rederive (Section 7) — the paper's choice for recursive
-  /// views; set semantics only.
-  kDRed,
-  /// Full recomputation baseline.
-  kRecompute,
-  /// Propagation/Filtration-style baseline (Section 2's comparison target).
-  kPF,
-  /// Counting extended to recursive views ([GKM92], Section 8): exact
-  /// derivation counts maintained by one-update-at-a-time propagation.
-  /// Requires finite counts (acyclic derivations) — diverging propagation
-  /// is detected and reported.
-  kRecursiveCounting,
-  /// kCounting for nonrecursive programs, kDRed for recursive programs —
-  /// exactly the paper's recommendation.
-  kAuto,
-};
-
-const char* StrategyName(Strategy s);
 
 /// The top-level facade: owns the view definitions (a Datalog program, or
 /// SQL translated into one — see sql/sql_translator.h), the snapshot of the

@@ -74,6 +74,8 @@ struct Atom {
   std::string predicate;
   PredicateId pred = kUnresolvedPredicate;
   std::vector<Term> terms;
+  /// 1-based source line of the predicate token; 0 when built in code.
+  int line = 0;
 
   size_t arity() const { return terms.size(); }
   std::string ToString() const;
@@ -95,6 +97,9 @@ struct Literal {
   enum class Kind { kPositive, kNegated, kComparison, kAggregate };
 
   Kind kind = Kind::kPositive;
+
+  /// 1-based source line of the literal's first token; 0 when built in code.
+  int line = 0;
 
   /// Atom payload for kPositive/kNegated; the grouped atom for kAggregate.
   Atom atom;
@@ -128,6 +133,8 @@ struct Literal {
 struct Rule {
   Atom head;
   std::vector<Literal> body;
+  /// 1-based source line where the rule starts; 0 when built in code.
+  int line = 0;
 
   std::string ToString() const;
 };

@@ -121,6 +121,61 @@ SccResult ComputeScc(const DependencyGraph& graph) {
   return TarjanScc(graph).Run();
 }
 
+std::vector<StratificationViolation> FindStratificationViolations(
+    const DependencyGraph& graph, const SccResult& scc) {
+  std::vector<StratificationViolation> violations;
+  std::vector<bool> component_reported(scc.num_components, false);
+  const int n = graph.num_nodes();
+  for (int v = 0; v < n; ++v) {
+    for (int w : graph.Successors(v)) {
+      if (scc.component_of[v] != scc.component_of[w] ||
+          !graph.EdgeIsNegative(v, w) ||
+          component_reported[scc.component_of[v]]) {
+        continue;
+      }
+      // BFS w -> ... -> v restricted to the shared SCC; the negative edge
+      // v -> w closes the cycle. w == v (negative self-loop) falls out
+      // naturally: the path is just [v].
+      StratificationViolation out;
+      out.neg_from = v;
+      out.neg_to = w;
+      std::vector<int> parent(n, -2);
+      std::vector<int> queue{w};
+      parent[w] = -1;
+      for (size_t qi = 0; qi < queue.size() && parent[v] == -2; ++qi) {
+        int u = queue[qi];
+        for (int s : graph.Successors(u)) {
+          if (parent[s] != -2 || scc.component_of[s] != scc.component_of[v]) {
+            continue;
+          }
+          parent[s] = u;
+          queue.push_back(s);
+        }
+      }
+      if (parent[v] == -2) continue;  // unreachable within an SCC; defensive
+      std::vector<int> path;
+      for (int u = v; u != -1; u = parent[u]) path.push_back(u);
+      // path is v, ..., w in reverse BFS order; prepend v's negative edge by
+      // reversing into v -> w -> ... -> v.
+      out.cycle.push_back(v);
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        out.cycle.push_back(*it);
+      }
+      component_reported[scc.component_of[v]] = true;
+      violations.push_back(std::move(out));
+    }
+  }
+  return violations;
+}
+
+std::optional<StratificationViolation> FindStratificationViolation(
+    const DependencyGraph& graph, const SccResult& scc) {
+  std::vector<StratificationViolation> all =
+      FindStratificationViolations(graph, scc);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
 Result<std::vector<int>> ComputeStrata(const DependencyGraph& graph,
                                        const SccResult& scc,
                                        const std::vector<bool>& is_base) {

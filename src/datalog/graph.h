@@ -1,6 +1,7 @@
 #ifndef IVM_DATALOG_GRAPH_H_
 #define IVM_DATALOG_GRAPH_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -51,6 +52,29 @@ SccResult ComputeScc(const DependencyGraph& graph);
 Result<std::vector<int>> ComputeStrata(const DependencyGraph& graph,
                                        const SccResult& scc,
                                        const std::vector<bool>& is_base);
+
+/// Witness of a stratification failure: a negative edge `neg_from ->
+/// neg_to` whose endpoints share an SCC, together with the concrete cycle
+/// that closes it. `cycle` lists nodes starting and ending at `neg_from`
+/// (cycle.front() == cycle.back()); its first step is the negative edge.
+struct StratificationViolation {
+  int neg_from = -1;
+  int neg_to = -1;
+  std::vector<int> cycle;
+};
+
+/// Finds one stratification violation (recursion through a negative edge),
+/// or nullopt when the graph is stratifiable. The returned cycle is a
+/// shortest path neg_to -> ... -> neg_from within the SCC, closed by the
+/// negative edge — the path users need to break to stratify the program.
+std::optional<StratificationViolation> FindStratificationViolation(
+    const DependencyGraph& graph, const SccResult& scc);
+
+/// All stratification violations, one witness per offending SCC (an SCC may
+/// contain many internal negative edges; reporting one cycle per component
+/// keeps diagnostics readable).
+std::vector<StratificationViolation> FindStratificationViolations(
+    const DependencyGraph& graph, const SccResult& scc);
 
 }  // namespace ivm
 

@@ -12,7 +12,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<Program> ParseProgramTokens() {
+  Result<Program> ParseProgramTokens(bool analyze) {
     Program program;
     while (!Check(TokenType::kEof)) {
       if (CheckIdent("base") || CheckIdent("edb")) {
@@ -24,7 +24,7 @@ class Parser {
         IVM_RETURN_IF_ERROR(program.AddRule(std::move(rule)).status());
       }
     }
-    IVM_RETURN_IF_ERROR(program.Analyze());
+    if (analyze) IVM_RETURN_IF_ERROR(program.Analyze());
     return program;
   }
 
@@ -82,6 +82,7 @@ class Parser {
 
   Status ParseBaseDecl(Program* program) {
     if (!Check(TokenType::kIdent)) return Errf("expected base relation name");
+    const int decl_line = Peek().line;
     std::string name = Advance().text;
     // Either `base p/2.` or `base p(Col1, Col2).`
     if (Match(TokenType::kSlash)) {
@@ -89,7 +90,8 @@ class Parser {
       int64_t arity = Advance().int_value;
       if (arity < 0) return Errf("negative arity");
       IVM_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.' after declaration"));
-      return program->DeclareBase(name, static_cast<size_t>(arity)).status();
+      return program->DeclareBase(name, static_cast<size_t>(arity), decl_line)
+          .status();
     }
     IVM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' in base declaration"));
     std::vector<std::string> columns;
@@ -103,11 +105,12 @@ class Parser {
     }
     IVM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')' in base declaration"));
     IVM_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.' after declaration"));
-    return program->DeclareBase(name, std::move(columns)).status();
+    return program->DeclareBase(name, std::move(columns), decl_line).status();
   }
 
   Result<Rule> ParseRuleBody() {
     Rule rule;
+    rule.line = Peek().line;
     IVM_ASSIGN_OR_RETURN(rule.head, ParseAtom());
     IVM_RETURN_IF_ERROR(Expect(TokenType::kColonDash, "':-' after rule head"));
     do {
@@ -118,6 +121,13 @@ class Parser {
   }
 
   Result<Literal> ParseLiteral() {
+    const int line = Peek().line;
+    IVM_ASSIGN_OR_RETURN(Literal lit, ParseLiteralBody());
+    lit.line = line;
+    return lit;
+  }
+
+  Result<Literal> ParseLiteralBody() {
     if (Match(TokenType::kBang)) {
       IVM_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
       return Literal::Negated(std::move(atom));
@@ -208,6 +218,7 @@ class Parser {
   Result<Atom> ParseAtom() {
     if (!Check(TokenType::kIdent)) return Errf("expected predicate name");
     Atom atom;
+    atom.line = Peek().line;
     atom.predicate = Advance().text;
     IVM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'(' after predicate name"));
     if (!Check(TokenType::kRParen)) {
@@ -296,7 +307,12 @@ class Parser {
 
 Result<Program> ParseProgram(std::string_view src) {
   IVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
-  return Parser(std::move(tokens)).ParseProgramTokens();
+  return Parser(std::move(tokens)).ParseProgramTokens(/*analyze=*/true);
+}
+
+Result<Program> ParseProgramUnanalyzed(std::string_view src) {
+  IVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  return Parser(std::move(tokens)).ParseProgramTokens(/*analyze=*/false);
 }
 
 Result<Rule> ParseRule(std::string_view src) {

@@ -28,6 +28,13 @@ namespace ivm {
 /// safety-checked).
 Result<Program> ParseProgram(std::string_view src);
 
+/// Like ParseProgram but skips Program::Analyze(), so syntactically valid
+/// programs that violate static preconditions (safety, stratification,
+/// undefined predicates) can still be inspected — the static analyzer
+/// (analysis/analyzer.h) turns those violations into diagnostics instead of
+/// a single fail-fast Status.
+Result<Program> ParseProgramUnanalyzed(std::string_view src);
+
 /// Parses a single rule (without trailing '.') against no catalog; for tests
 /// and programmatic construction. Predicates are left unresolved.
 Result<Rule> ParseRule(std::string_view src);

@@ -37,13 +37,14 @@ void AssignTermVars(Term* term, std::map<std::string, VarId>* vars,
 
 }  // namespace
 
-Result<PredicateId> Program::DeclareBase(const std::string& name,
-                                         size_t arity) {
-  return DeclareBase(name, std::vector<std::string>(arity));
+Result<PredicateId> Program::DeclareBase(const std::string& name, size_t arity,
+                                         int decl_line) {
+  return DeclareBase(name, std::vector<std::string>(arity), decl_line);
 }
 
 Result<PredicateId> Program::DeclareBase(const std::string& name,
-                                         std::vector<std::string> columns) {
+                                         std::vector<std::string> columns,
+                                         int decl_line) {
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     return Status::AlreadyExists("predicate '" + name + "' already declared");
@@ -54,6 +55,7 @@ Result<PredicateId> Program::DeclareBase(const std::string& name,
   info.arity = columns.size();
   info.is_base = true;
   info.stratum = 0;
+  info.decl_line = decl_line;
   info.columns = std::move(columns);
   predicates_.push_back(std::move(info));
   by_name_[name] = id;
@@ -151,27 +153,54 @@ Status Program::AssignVars(int rule_index) {
   return Status::OK();
 }
 
+DependencyGraph Program::BuildDependencyGraph() const {
+  DependencyGraph graph(static_cast<int>(predicates_.size()));
+  for (const Rule& rule : rules_) {
+    if (rule.head.pred == kUnresolvedPredicate) continue;
+    for (const Literal& lit : rule.body) {
+      if (!lit.IsAtomBased() || lit.atom.pred == kUnresolvedPredicate) {
+        continue;
+      }
+      bool negative = lit.kind == Literal::Kind::kNegated ||
+                      lit.kind == Literal::Kind::kAggregate;
+      graph.AddEdge(lit.atom.pred, rule.head.pred, negative);
+    }
+  }
+  return graph;
+}
+
 Status Program::BuildStrata() {
   const int n = static_cast<int>(predicates_.size());
-  DependencyGraph graph(n);
   std::vector<bool> is_base(n, false);
   for (int p = 0; p < n; ++p) {
     is_base[p] = predicates_[p].is_base;
     predicates_[p].rules.clear();
   }
   for (size_t r = 0; r < rules_.size(); ++r) {
-    const Rule& rule = rules_[r];
-    predicates_[rule.head.pred].rules.push_back(static_cast<int>(r));
-    for (const Literal& lit : rule.body) {
-      if (!lit.IsAtomBased()) continue;
-      bool negative = lit.kind == Literal::Kind::kNegated ||
-                      lit.kind == Literal::Kind::kAggregate;
-      graph.AddEdge(lit.atom.pred, rule.head.pred, negative);
-    }
+    if (rules_[r].head.pred == kUnresolvedPredicate) continue;
+    predicates_[rules_[r].head.pred].rules.push_back(static_cast<int>(r));
   }
+  DependencyGraph graph = BuildDependencyGraph();
   SccResult scc = ComputeScc(graph);
-  IVM_ASSIGN_OR_RETURN(std::vector<int> strata,
-                       ComputeStrata(graph, scc, is_base));
+  Result<std::vector<int>> strata_or = ComputeStrata(graph, scc, is_base);
+  if (!strata_or.ok()) {
+    // Name the concrete offending cycle — "p -> q -> p" tells the user which
+    // negation to break, where the bare Status could not.
+    if (auto violation = FindStratificationViolation(graph, scc)) {
+      std::string path;
+      for (size_t i = 0; i < violation->cycle.size(); ++i) {
+        if (i > 0) path += " -> ";
+        path += predicates_[violation->cycle[i]].name;
+      }
+      return Status::InvalidArgument(
+          "program is not stratifiable: predicate '" +
+          predicates_[violation->neg_from].name +
+          "' depends on itself through negation or aggregation (cycle: " +
+          path + ")");
+    }
+    return strata_or.status();
+  }
+  std::vector<int> strata = std::move(strata_or).value();
 
   max_stratum_ = 0;
   recursive_ = false;
@@ -201,13 +230,25 @@ Status Program::BuildStrata() {
   return Status::OK();
 }
 
-Status Program::Analyze() {
-  if (analyzed_) return Status::OK();
+Status Program::ResolveRules(std::vector<Status>* rule_errors) {
+  if (rule_errors != nullptr) {
+    rule_errors->assign(rules_.size(), Status::OK());
+  }
   rule_num_vars_.assign(rules_.size(), 0);
   for (size_t r = 0; r < rules_.size(); ++r) {
-    IVM_RETURN_IF_ERROR(ResolveRule(static_cast<int>(r)));
-    IVM_RETURN_IF_ERROR(AssignVars(static_cast<int>(r)));
+    Status status = ResolveRule(static_cast<int>(r));
+    if (status.ok()) status = AssignVars(static_cast<int>(r));
+    if (!status.ok()) {
+      if (rule_errors == nullptr) return status;
+      (*rule_errors)[r] = std::move(status);
+    }
   }
+  return Status::OK();
+}
+
+Status Program::Analyze() {
+  if (analyzed_) return Status::OK();
+  IVM_RETURN_IF_ERROR(ResolveRules());
   // A derived predicate that is referenced in a body needs at least one rule
   // (otherwise it is almost certainly a typo or an undeclared base relation).
   // Ruleless *unreferenced* derived predicates are tolerated as empty views —

@@ -16,6 +16,9 @@ struct PredicateInfo {
   std::string name;
   size_t arity = 0;
   bool is_base = false;
+  /// 1-based source line of the `base` declaration; 0 when built in code or
+  /// for derived predicates (use their rules' lines instead).
+  int decl_line = 0;
   /// Optional column names from a `base p(Col, ...)` declaration.
   std::vector<std::string> columns;
   /// Stratum number SN (Definition 3.1); base predicates are stratum 0.
@@ -37,10 +40,13 @@ class Program {
  public:
   Program() = default;
 
-  /// Declares a base (edb) relation.
-  Result<PredicateId> DeclareBase(const std::string& name, size_t arity);
+  /// Declares a base (edb) relation. `decl_line` is the 1-based source line
+  /// of the declaration when parsed from text (0 for programs built in code).
+  Result<PredicateId> DeclareBase(const std::string& name, size_t arity,
+                                  int decl_line = 0);
   Result<PredicateId> DeclareBase(const std::string& name,
-                                  std::vector<std::string> columns);
+                                  std::vector<std::string> columns,
+                                  int decl_line = 0);
 
   /// Adds a rule (resolution deferred to Analyze()). Returns its index.
   Result<int> AddRule(Rule rule);
@@ -52,6 +58,24 @@ class Program {
   /// strata, and runs safety checks. Idempotent; re-run after mutation.
   Status Analyze();
   bool analyzed() const { return analyzed_; }
+
+  /// First phase of Analyze(): resolves predicate names and assigns variable
+  /// slots for every rule, without safety or stratification checks. When
+  /// `rule_errors` is non-null it receives one Status per rule and resolution
+  /// continues past failing rules (the static analyzer wants every error,
+  /// not just the first); otherwise the first error is returned. Rules whose
+  /// entry is non-OK carry unresolved predicates/variables and must be
+  /// skipped by callers.
+  Status ResolveRules(std::vector<Status>* rule_errors = nullptr);
+
+  /// Number of variable slots in rule `index` after ResolveRules() — the
+  /// unchecked counterpart of num_vars() for not-yet-analyzed programs.
+  int resolved_num_vars(int index) const { return rule_num_vars_[index]; }
+
+  /// Builds the predicate dependency graph (node q -> node p when q occurs
+  /// in the body of a rule for p; negation/aggregation edges marked
+  /// negative). Requires resolved rules (ResolveRules() or Analyze()).
+  DependencyGraph BuildDependencyGraph() const;
 
   // --- Catalog ---
   Result<PredicateId> Lookup(const std::string& name) const;

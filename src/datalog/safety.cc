@@ -1,5 +1,7 @@
 #include "datalog/safety.h"
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
 #include "common/logging.h"
@@ -25,12 +27,11 @@ bool AllBound(const Term& term, const std::vector<bool>& bound) {
   return true;
 }
 
-}  // namespace
-
-Status CheckRuleSafety(const Rule& rule, int num_vars) {
+/// Computes the bound-variable set of a rule: plain variables of positive
+/// atoms, group/result variables of aggregates, and variables equated (via
+/// '=') to bound expressions, to fixpoint.
+std::vector<bool> ComputeBound(const Rule& rule, int num_vars) {
   std::vector<bool> bound(num_vars, false);
-
-  // Seed: positive atoms and aggregate literals bind.
   for (const Literal& lit : rule.body) {
     if (lit.kind == Literal::Kind::kPositive) {
       std::vector<VarId> vars;
@@ -38,22 +39,11 @@ Status CheckRuleSafety(const Rule& rule, int num_vars) {
       for (VarId v : vars) bound[v] = true;
     } else if (lit.kind == Literal::Kind::kAggregate) {
       for (const Term& g : lit.group_vars) {
-        if (!g.IsVariable()) {
-          return Status::InvalidArgument("groupby grouping list must contain "
-                                         "variables, in rule: " +
-                                         rule.ToString());
-        }
-        bound[g.var()] = true;
+        if (g.IsVariable()) bound[g.var()] = true;
       }
-      if (!lit.result_var.IsVariable()) {
-        return Status::InvalidArgument(
-            "groupby result must be a variable, in rule: " + rule.ToString());
-      }
-      bound[lit.result_var.var()] = true;
+      if (lit.result_var.IsVariable()) bound[lit.result_var.var()] = true;
     }
   }
-
-  // Fixpoint: '=' comparisons can bind one side from the other.
   bool changed = true;
   while (changed) {
     changed = false;
@@ -74,91 +64,214 @@ Status CheckRuleSafety(const Rule& rule, int num_vars) {
       }
     }
   }
+  return bound;
+}
 
-  auto require_bound = [&](const Term& term, const char* where) -> Status {
+/// Records, per variable, a description of every place it occurs — the
+/// provenance half of an unbound-variable diagnostic ("Y occurs only under
+/// negation in !r(X, Y)" explains *why* Y is unbound far better than "Y is
+/// not bound").
+class OccurrenceIndex {
+ public:
+  OccurrenceIndex(const Rule& rule, int num_vars) : occurs_(num_vars) {
+    for (const Term& t : rule.head.terms) {
+      Record(t, "the head " + rule.head.ToString());
+    }
+    for (const Literal& lit : rule.body) {
+      switch (lit.kind) {
+        case Literal::Kind::kPositive:
+          for (const Term& t : lit.atom.terms) {
+            if (t.IsVariable()) {
+              Record(t, "positive subgoal " + lit.atom.ToString());
+            } else {
+              Record(t, "an arithmetic term of " + lit.atom.ToString());
+            }
+          }
+          break;
+        case Literal::Kind::kNegated:
+          for (const Term& t : lit.atom.terms) {
+            Record(t, "negated subgoal " + lit.ToString());
+          }
+          break;
+        case Literal::Kind::kComparison:
+          Record(lit.cmp_lhs, "comparison " + lit.ToString());
+          Record(lit.cmp_rhs, "comparison " + lit.ToString());
+          break;
+        case Literal::Kind::kAggregate:
+          for (const Term& t : lit.atom.terms) {
+            Record(t, "the grouped atom of " + lit.ToString());
+          }
+          for (const Term& t : lit.group_vars) {
+            Record(t, "the grouping list of a groupby");
+          }
+          Record(lit.result_var, "the result of a groupby");
+          Record(lit.agg_arg, "the aggregated expression of a groupby");
+          break;
+      }
+    }
+  }
+
+  /// Renders where `v` occurs, excluding `excluded` (the site being
+  /// reported, which the caller already names).
+  std::string Describe(VarId v, const std::string& excluded) const {
+    std::vector<std::string> sites;
+    for (const std::string& site : occurs_[v]) {
+      if (site != excluded &&
+          std::find(sites.begin(), sites.end(), site) == sites.end()) {
+        sites.push_back(site);
+      }
+    }
+    if (sites.empty()) return "it occurs nowhere else in the rule";
+    std::string out = "it occurs only in ";
+    for (size_t i = 0; i < sites.size(); ++i) {
+      if (i > 0) out += (i + 1 == sites.size()) ? " and " : ", ";
+      out += sites[i];
+    }
+    out += ", which cannot bind it";
+    return out;
+  }
+
+ private:
+  void Record(const Term& term, const std::string& site) {
+    std::vector<VarId> vars;
+    term.CollectVars(&vars);
+    for (VarId v : vars) {
+      if (v >= 0 && static_cast<size_t>(v) < occurs_.size()) {
+        occurs_[v].push_back(site);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> occurs_;
+};
+
+}  // namespace
+
+std::vector<SafetyViolation> FindSafetyViolations(const Rule& rule,
+                                                  int num_vars) {
+  std::vector<SafetyViolation> out;
+  const std::vector<bool> bound = ComputeBound(rule, num_vars);
+  const OccurrenceIndex occurrences(rule, num_vars);
+
+  // One violation per (variable, reported site); the same unbound variable
+  // may appear several times inside one literal.
+  std::map<std::pair<VarId, int>, bool> reported;
+  auto require_bound = [&](const Term& term, int literal_index,
+                           const std::string& where) {
     std::vector<VarId> vars;
     std::vector<std::string> names;
     term.CollectVars(&vars);
     term.CollectVarNames(&names);
     for (size_t i = 0; i < vars.size(); ++i) {
-      if (!bound[vars[i]]) {
-        return Status::InvalidArgument("unsafe rule: variable " + names[i] +
-                                       " in " + where +
-                                       " is not bound by a positive subgoal, "
-                                       "in rule: " +
-                                       rule.ToString());
+      if (bound[vars[i]]) continue;
+      if (!reported.emplace(std::make_pair(vars[i], literal_index), true)
+               .second) {
+        continue;
       }
+      SafetyViolation v;
+      v.variable = names[i];
+      v.literal_index = literal_index;
+      v.message = "unsafe rule: variable " + names[i] + " in " + where +
+                  " is not bound by a positive subgoal (" +
+                  occurrences.Describe(vars[i], where) +
+                  "); bind it with a positive atom or an '=' equation, in "
+                  "rule: " +
+                  rule.ToString();
+      out.push_back(std::move(v));
     }
-    return Status::OK();
   };
 
   // Head variables (including inside arithmetic) must be bound.
   for (const Term& t : rule.head.terms) {
-    IVM_RETURN_IF_ERROR(require_bound(t, "the head"));
+    require_bound(t, -1, "the head " + rule.head.ToString());
   }
 
-  for (const Literal& lit : rule.body) {
+  for (size_t li = 0; li < rule.body.size(); ++li) {
+    const Literal& lit = rule.body[li];
+    const int idx = static_cast<int>(li);
     switch (lit.kind) {
       case Literal::Kind::kPositive:
         // Arithmetic terms inside positive atoms must be computable.
         for (const Term& t : lit.atom.terms) {
-          if (t.IsArith()) IVM_RETURN_IF_ERROR(require_bound(t, "an arithmetic term"));
+          if (t.IsArith()) {
+            require_bound(t, idx,
+                          "an arithmetic term of " + lit.atom.ToString());
+          }
         }
         break;
       case Literal::Kind::kNegated:
         for (const Term& t : lit.atom.terms) {
-          IVM_RETURN_IF_ERROR(require_bound(t, "a negated subgoal"));
+          require_bound(t, idx, "negated subgoal " + lit.ToString());
         }
         break;
       case Literal::Kind::kComparison:
-        if (lit.cmp_op != ComparisonOp::kEq) {
-          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_lhs, "a comparison"));
-          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_rhs, "a comparison"));
-        } else {
-          // After the fixpoint, both sides of '=' must be bound.
-          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_lhs, "a comparison"));
-          IVM_RETURN_IF_ERROR(require_bound(lit.cmp_rhs, "a comparison"));
-        }
+        require_bound(lit.cmp_lhs, idx, "comparison " + lit.ToString());
+        require_bound(lit.cmp_rhs, idx, "comparison " + lit.ToString());
         break;
       case Literal::Kind::kAggregate: {
+        // Structural checks first: the grouping list and result must be
+        // variables at all.
+        bool structure_ok = true;
+        for (const Term& g : lit.group_vars) {
+          if (!g.IsVariable()) {
+            SafetyViolation v;
+            v.literal_index = idx;
+            v.message =
+                "groupby grouping list must contain variables, in rule: " +
+                rule.ToString();
+            out.push_back(std::move(v));
+            structure_ok = false;
+          }
+        }
+        if (!lit.result_var.IsVariable()) {
+          SafetyViolation v;
+          v.literal_index = idx;
+          v.message =
+              "groupby result must be a variable, in rule: " + rule.ToString();
+          out.push_back(std::move(v));
+          structure_ok = false;
+        }
+        if (!structure_ok) break;
+
         // Group vars must occur as plain variables of the grouped atom.
         std::vector<VarId> inner;
         BindingVars(lit.atom.terms, &inner);
         auto in_inner = [&](VarId v) {
-          for (VarId w : inner) {
-            if (w == v) return true;
-          }
-          return false;
+          return std::find(inner.begin(), inner.end(), v) != inner.end();
         };
         for (const Term& g : lit.group_vars) {
           if (!in_inner(g.var())) {
-            return Status::InvalidArgument(
-                "groupby grouping variable " + g.var_name() +
-                " does not occur in the grouped atom, in rule: " +
-                rule.ToString());
+            SafetyViolation v;
+            v.variable = g.var_name();
+            v.literal_index = idx;
+            v.message = "groupby grouping variable " + g.var_name() +
+                        " does not occur in the grouped atom, in rule: " +
+                        rule.ToString();
+            out.push_back(std::move(v));
           }
         }
         // The aggregated expression only uses grouped-atom variables.
         std::vector<VarId> arg_vars;
+        std::vector<std::string> arg_names;
         lit.agg_arg.CollectVars(&arg_vars);
-        for (VarId v : arg_vars) {
-          if (!in_inner(v)) {
-            return Status::InvalidArgument(
-                "aggregated expression uses a variable outside the grouped "
-                "atom, in rule: " +
-                rule.ToString());
+        lit.agg_arg.CollectVarNames(&arg_names);
+        for (size_t i = 0; i < arg_vars.size(); ++i) {
+          if (!in_inner(arg_vars[i])) {
+            SafetyViolation v;
+            v.variable = arg_names[i];
+            v.literal_index = idx;
+            v.message = "aggregated expression uses variable " + arg_names[i] +
+                        " outside the grouped atom, in rule: " +
+                        rule.ToString();
+            out.push_back(std::move(v));
           }
         }
         // Inner non-group variables are local: they must not occur in any
-        // other literal or the head. We check by scanning all other
-        // literals' variables.
+        // other literal or the head.
         std::vector<VarId> group;
         for (const Term& g : lit.group_vars) group.push_back(g.var());
         auto is_group = [&](VarId v) {
-          for (VarId w : group) {
-            if (w == v) return true;
-          }
-          return false;
+          return std::find(group.begin(), group.end(), v) != group.end();
         };
         std::vector<VarId> outside;
         for (const Term& t : rule.head.terms) t.CollectVars(&outside);
@@ -176,22 +289,38 @@ Status CheckRuleSafety(const Rule& rule, int num_vars) {
             other.cmp_rhs.CollectVars(&outside);
           }
         }
-        for (VarId v : inner) {
+        std::vector<std::string> inner_names;
+        for (const Term& t : lit.atom.terms) {
+          if (t.IsVariable()) inner_names.push_back(t.var_name());
+        }
+        for (size_t i = 0; i < inner.size(); ++i) {
+          VarId v = inner[i];
           if (is_group(v)) continue;
-          for (VarId w : outside) {
-            if (v == w) {
-              return Status::InvalidArgument(
-                  "variable local to a groupby subgoal escapes its scope, in "
-                  "rule: " +
-                  rule.ToString());
+          if (std::find(outside.begin(), outside.end(), v) != outside.end()) {
+            if (!reported.emplace(std::make_pair(v, idx), true).second) {
+              continue;
             }
+            SafetyViolation sv;
+            sv.variable = inner_names[i];
+            sv.literal_index = idx;
+            sv.message = "variable " + sv.variable +
+                         " local to a groupby subgoal escapes its scope, in "
+                         "rule: " +
+                         rule.ToString();
+            out.push_back(std::move(sv));
           }
         }
         break;
       }
     }
   }
-  return Status::OK();
+  return out;
+}
+
+Status CheckRuleSafety(const Rule& rule, int num_vars) {
+  std::vector<SafetyViolation> violations = FindSafetyViolations(rule, num_vars);
+  if (violations.empty()) return Status::OK();
+  return Status::InvalidArgument(violations.front().message);
 }
 
 }  // namespace ivm

@@ -1,10 +1,33 @@
 #ifndef IVM_DATALOG_SAFETY_H_
 #define IVM_DATALOG_SAFETY_H_
 
+#include <string>
+#include <vector>
+
 #include "common/status.h"
 #include "datalog/ast.h"
 
 namespace ivm {
+
+/// One range-restriction (safety) violation inside a rule, with enough
+/// structure for diagnostics: which variable, which body literal (-1 for the
+/// head), and a human-readable message that explains the *provenance* of the
+/// failure — where the variable does occur and why those occurrences do not
+/// bind it (negation, comparison, and arithmetic contexts never bind).
+struct SafetyViolation {
+  /// Source name of the offending variable; empty for structural aggregate
+  /// violations (malformed group list etc.).
+  std::string variable;
+  /// Index of the offending body literal, or -1 when the head is at fault.
+  int literal_index = -1;
+  std::string message;
+};
+
+/// Finds every safety violation in one rule whose variables carry VarIds
+/// (assigned by Program resolution). Unlike CheckRuleSafety this does not
+/// stop at the first problem — the static analyzer reports them all.
+std::vector<SafetyViolation> FindSafetyViolations(const Rule& rule,
+                                                  int num_vars);
 
 /// Checks range restriction (safety) for one analyzed rule (variables must
 /// already carry VarIds):
@@ -20,6 +43,9 @@ namespace ivm {
 /// "Bound" means: occurs as a plain variable term of a positive atom, is a
 /// group/result variable of an aggregate literal, or is equated (via '=') to
 /// an expression whose variables are bound (computed to fixpoint).
+///
+/// Returns the first violation found by FindSafetyViolations as an
+/// InvalidArgument status.
 Status CheckRuleSafety(const Rule& rule, int num_vars);
 
 }  // namespace ivm

@@ -1,0 +1,511 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/advisor.h"
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "core/view_manager.h"
+#include "datalog/parser.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+using ::ivm::testing_util::MustParseProgram;
+
+bool MessageContains(const Diagnostic& d, std::string_view needle) {
+  return d.message.find(needle) != std::string::npos;
+}
+
+// Fails the test (with the full report) unless exactly one diagnostic with
+// `code` exists; returns it.
+Diagnostic MustFindOne(const AnalysisReport& report, DiagCode code) {
+  std::vector<Diagnostic> matches = report.WithCode(code);
+  EXPECT_EQ(matches.size(), 1u)
+      << "expected exactly one [" << DiagCodeName(code)
+      << "] diagnostic, report:\n"
+      << report.ToString();
+  if (matches.empty()) return Diagnostic{};
+  return matches.front();
+}
+
+// ---------------------------------------------------------------------------
+// Clean programs produce no diagnostics.
+
+TEST(AnalyzerTest, CleanNonrecursiveProgramIsQuiet) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(AnalyzerTest, CleanRecursiveNegationAggregationProgramIsQuiet) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). base cost(S, D, C). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y). "
+      "dead(X, Y) :- cost(X, Y, C) & !tc(X, Y). "
+      "best(S, M) :- groupby(cost(S, D, C), [S], M = min(C)).");
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-rule: provenance of the unbound variable.
+
+TEST(AnalyzerTest, UnsafeRuleHeadVariableNamesVariableAndProvenance) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "bad(X, Y) :- link(X, Z).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kUnsafeRule);
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+  EXPECT_EQ(d.line, 2);
+  EXPECT_TRUE(MessageContains(d, "variable Y")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "head")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "not bound by a positive subgoal"))
+      << d.message;
+}
+
+TEST(AnalyzerTest, UnsafeRuleNegatedVariableBlamesTheNegation) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "bad(X) :- link(X, Y) & !link(Y, W).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kUnsafeRule);
+  EXPECT_TRUE(MessageContains(d, "variable W")) << d.message;
+  // The provenance must point at the negated subgoal that cannot bind it.
+  EXPECT_TRUE(MessageContains(d, "negated subgoal")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "!link(Y, W)")) << d.message;
+}
+
+TEST(AnalyzerTest, UnsafeRuleComparisonOnlyVariableIsReported) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "bad(X) :- link(X, Y) & Z < Y.\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kUnsafeRule);
+  EXPECT_TRUE(MessageContains(d, "variable Z")) << d.message;
+}
+
+TEST(AnalyzerTest, EqualityChainBindsVariables) {
+  // '=' propagation (X bound -> C bound -> D bound) keeps this rule safe.
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "ok(X, E) :- link(X, Y) & C = X & E = C.");
+  EXPECT_FALSE(report.Has(DiagCode::kUnsafeRule)) << report.ToString();
+}
+
+TEST(AnalyzerTest, AllUnsafeRulesAreReportedNotJustTheFirst) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "bad1(X, Y) :- link(X, Z).\n"
+      "bad2(X) :- link(X, Y) & !link(Y, W).\n");
+  EXPECT_EQ(report.WithCode(DiagCode::kUnsafeRule).size(), 2u)
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// negation-cycle: the stratification failure names the offending cycle.
+
+TEST(AnalyzerTest, NegationCycleNamesTheCyclePath) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "win(X) :- link(X, Y) & !lose(Y).\n"
+      "lose(X) :- link(X, Y) & !win(Y).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kNegationCycle);
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+  EXPECT_TRUE(MessageContains(d, "not stratifiable")) << d.message;
+  // The witness cycle must be spelled out, starting from the predicate
+  // whose negative edge closes it.
+  const bool names_cycle = MessageContains(d, "win -> lose -> win") ||
+                           MessageContains(d, "lose -> win -> lose");
+  EXPECT_TRUE(names_cycle) << d.message;
+}
+
+TEST(AnalyzerTest, NegationSelfCycleIsReported) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "p(X) :- link(X, Y) & !p(Y).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kNegationCycle);
+  EXPECT_TRUE(MessageContains(d, "p -> p")) << d.message;
+  EXPECT_EQ(d.line, 2);
+}
+
+TEST(AnalyzerTest, AggregationCycleIsReportedAsNegationCycle) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base cost(S, D, C).\n"
+      "total(S, M) :- groupby(total(S, C), [S], M = sum(C)).\n"
+      "total(S, C) :- cost(S, D, C).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kNegationCycle);
+  EXPECT_TRUE(MessageContains(d, "negation or aggregation")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "total")) << d.message;
+}
+
+TEST(AnalyzerTest, StratifiedNegationIsNotACycle) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y). "
+      "untc(X, Y) :- link(X, X2) & link(Y, Y2) & !tc(X, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kNegationCycle)) << report.ToString();
+}
+
+// Program::Analyze()'s own error message also names the cycle (the analyzer
+// and the fail-fast path share the witness search).
+TEST(AnalyzerTest, ProgramAnalyzeErrorNamesTheCycle) {
+  Result<Program> program = ParseProgramUnanalyzed(
+      "base link(S, D). "
+      "win(X) :- link(X, Y) & !lose(Y). "
+      "lose(X) :- link(X, Y) & !win(Y).");
+  ASSERT_TRUE(program.ok());
+  Status status = program->Analyze();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("cycle:"), std::string::npos)
+      << status.message();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog diagnostics: arity-mismatch, base-redefined, undefined-predicate,
+// unused-predicate.
+
+TEST(AnalyzerTest, ArityMismatchAgainstDeclaration) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "confused(X) :- link(X).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kArityMismatch);
+  EXPECT_EQ(d.predicate, "link");
+  EXPECT_EQ(d.line, 2);
+}
+
+TEST(AnalyzerTest, BaseRedefinedByRuleHead) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "link(X, Y) :- link(Y, X).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kBaseRedefined);
+  EXPECT_EQ(d.predicate, "link");
+}
+
+TEST(AnalyzerTest, UndefinedPredicateInBody) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "haunted(X) :- link(X, Y) & ghost(Y).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kUndefinedPredicate);
+  EXPECT_EQ(d.predicate, "ghost");
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+}
+
+TEST(AnalyzerTest, UnusedBasePredicateIsWarnedAtItsDeclaration) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "base lonely(X).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kUnusedPredicate);
+  EXPECT_EQ(d.predicate, "lonely");
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// duplicate-rule, unreachable-rule, cartesian-product-join.
+
+TEST(AnalyzerTest, AlphaEquivalentRulesAreDuplicates) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "hop(A, B) :- link(A, C) & link(C, B).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kDuplicateRule);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.line, 3);  // The second occurrence is the duplicate.
+}
+
+TEST(AnalyzerTest, DistinctRulesAreNotDuplicates) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y). "
+      "hop(X, Y) :- link(X, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kDuplicateRule)) << report.ToString();
+}
+
+TEST(AnalyzerTest, ConstantFalseComparisonMakesRuleUnreachable) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "never(X) :- link(X, Y) & 1 > 2.\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kUnreachableRule);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.line, 2);
+}
+
+TEST(AnalyzerTest, RuleOverProvablyEmptyPredicateIsUnreachable) {
+  // `mid` can never hold tuples (its only rule is constant-false), so the
+  // rule reading it is transitively unreachable too.
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "mid(X) :- link(X, Y) & 1 = 2.\n"
+      "top(X) :- mid(X) & link(X, Y).\n");
+  EXPECT_EQ(report.WithCode(DiagCode::kUnreachableRule).size(), 2u)
+      << report.ToString();
+}
+
+TEST(AnalyzerTest, DisconnectedSubgoalsAreACartesianProduct) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"
+      "pairs(X, Y) :- link(X, X2) & link(Y, Y2).\n");
+  Diagnostic d = MustFindOne(report, DiagCode::kCartesianProductJoin);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.line, 2);
+}
+
+TEST(AnalyzerTest, EqualityComparisonConnectsTheJoin) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "same(X, Y) :- link(X, X2) & link(Y, Y2) & X = Y.");
+  EXPECT_FALSE(report.Has(DiagCode::kCartesianProductJoin))
+      << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Parse errors surface as diagnostics (with the reported line).
+
+TEST(AnalyzerTest, ParseErrorBecomesADiagnostic) {
+  AnalysisReport report =
+      AnalyzeProgramText("base link(S, D). hop(X, Y) :- ");
+  Diagnostic d = MustFindOne(report, DiagCode::kParseError);
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+  EXPECT_TRUE(report.HasErrors());
+}
+
+// ---------------------------------------------------------------------------
+// The showcase of everything at once: one broken program, all codes, sorted
+// by source location.
+
+TEST(AnalyzerTest, ShowcaseProgramReportsAllCodesInLineOrder) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D).\n"                             // 1
+      "base lonely(X).\n"                              // 2: unused
+      "bad(S, D2) :- link(S, S2).\n"                   // 3: unsafe
+      "win(X) :- link(X, Y) & !lose(Y).\n"             // 4: negation cycle
+      "lose(X) :- link(X, Y) & !win(Y).\n"             // 5
+      "haunted(X) :- link(X, Y) & ghost(Y).\n"         // 6: undefined
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"        // 7
+      "hop(A, B) :- link(A, C) & link(C, B).\n"        // 8: duplicate
+      "pairs(X, Y) :- link(X, X2) & link(Y, Y2).\n"    // 9: cartesian
+      "never(X) :- link(X, Y) & 1 > 2.\n"              // 10: unreachable
+      "confused(X) :- link(X).\n");                    // 11: arity
+  for (DiagCode code :
+       {DiagCode::kUnusedPredicate, DiagCode::kUnsafeRule,
+        DiagCode::kNegationCycle, DiagCode::kUndefinedPredicate,
+        DiagCode::kDuplicateRule, DiagCode::kCartesianProductJoin,
+        DiagCode::kUnreachableRule, DiagCode::kArityMismatch}) {
+    EXPECT_TRUE(report.Has(code))
+        << "missing [" << DiagCodeName(code) << "], report:\n"
+        << report.ToString();
+  }
+  // >= 7 distinct codes, each located at a source line (rule-level).
+  std::vector<int> lines;
+  for (const Diagnostic& d : report.diagnostics()) {
+    EXPECT_GT(d.line, 0) << d.ToString();
+    lines.push_back(d.line);
+  }
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Strategy advisor: per-view classification and recommendation.
+
+TEST(AdvisorTest, NonrecursiveProgramRecommendsCounting) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_FALSE(advice.program_recursive);
+  EXPECT_EQ(advice.recommended, Strategy::kCounting);
+  ASSERT_EQ(advice.views.size(), 1u);
+  EXPECT_EQ(advice.views[0].name, "hop");
+  EXPECT_FALSE(advice.views[0].recursive);
+  EXPECT_EQ(advice.views[0].recommended, Strategy::kCounting);
+}
+
+TEST(AdvisorTest, RecursiveProgramRecommendsDRed) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y). "
+      "reach(X) :- tc(a, X).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_TRUE(advice.program_recursive);
+  EXPECT_EQ(advice.recommended, Strategy::kDRed);
+  for (const ViewClassification& view : advice.views) {
+    // `reach` depends on recursive `tc`, so both inherit DRed.
+    EXPECT_TRUE(view.recursive) << view.name;
+    EXPECT_EQ(view.recommended, Strategy::kDRed) << view.name;
+  }
+}
+
+TEST(AdvisorTest, NegationAndAggregationArePropagatedToDependents) {
+  Program program = MustParseProgram(
+      "base link(S, D). base cost(S, D, C). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y). "
+      "nohop(X, Y) :- link(X, X2) & link(Y2, Y) & !hop(X, Y). "
+      "agg(S, M) :- groupby(cost(S, D, C), [S], M = min(C)). "
+      "both(X, M) :- nohop(X, X) & agg(X, M).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_TRUE(advice.program_uses_negation);
+  EXPECT_TRUE(advice.program_uses_aggregation);
+  for (const ViewClassification& view : advice.views) {
+    if (view.name == "both") {
+      EXPECT_TRUE(view.uses_negation);
+      EXPECT_TRUE(view.uses_aggregation);
+    }
+    if (view.name == "hop") {
+      EXPECT_FALSE(view.uses_negation);
+      EXPECT_FALSE(view.uses_aggregation);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckStrategyChoice: one test per paper precondition.
+
+constexpr const char* kRecursiveText =
+    "base link(S, D). "
+    "tc(X, Y) :- link(X, Y). "
+    "tc(X, Y) :- link(X, Z) & tc(Z, Y).";
+constexpr const char* kNonrecursiveText =
+    "base link(S, D). "
+    "hop(X, Y) :- link(X, Z) & link(Z, Y).";
+
+TEST(AdvisorTest, CountingOnRecursiveProgramIsAnError) {
+  Program program = MustParseProgram(kRecursiveText);
+  AnalysisReport report =
+      CheckStrategyChoice(program, Strategy::kCounting, Semantics::kSet);
+  Diagnostic d = MustFindOne(report, DiagCode::kStrategyMismatch);
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+  EXPECT_TRUE(MessageContains(d, "nonrecursive views only")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "'tc'")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "Section 4")) << d.message;
+}
+
+TEST(AdvisorTest, DRedUnderDuplicateSemanticsIsAnError) {
+  Program program = MustParseProgram(kNonrecursiveText);
+  AnalysisReport report =
+      CheckStrategyChoice(program, Strategy::kDRed, Semantics::kDuplicate);
+  std::vector<Diagnostic> mismatches =
+      report.WithCode(DiagCode::kStrategyMismatch);
+  ASSERT_FALSE(mismatches.empty());
+  EXPECT_TRUE(report.HasErrors()) << report.ToString();
+  EXPECT_TRUE(MessageContains(mismatches.front(), "set semantics only"))
+      << mismatches.front().message;
+}
+
+TEST(AdvisorTest, PFUnderDuplicateSemanticsIsAnError) {
+  Program program = MustParseProgram(kNonrecursiveText);
+  AnalysisReport report =
+      CheckStrategyChoice(program, Strategy::kPF, Semantics::kDuplicate);
+  EXPECT_TRUE(report.HasErrors()) << report.ToString();
+}
+
+TEST(AdvisorTest, RecursiveCountingUnderSetSemanticsIsAnError) {
+  Program program = MustParseProgram(kRecursiveText);
+  AnalysisReport report = CheckStrategyChoice(
+      program, Strategy::kRecursiveCounting, Semantics::kSet);
+  EXPECT_TRUE(report.HasErrors()) << report.ToString();
+}
+
+TEST(AdvisorTest, DuplicateSemanticsOnRecursiveProgramNeedsSection8) {
+  // Counting's duplicate semantics cannot maintain a recursive program;
+  // recursive counting (Section 8) is the only duplicate-preserving option.
+  Program program = MustParseProgram(kRecursiveText);
+  AnalysisReport counting =
+      CheckStrategyChoice(program, Strategy::kCounting, Semantics::kDuplicate);
+  EXPECT_TRUE(counting.HasErrors()) << counting.ToString();
+  AnalysisReport rc = CheckStrategyChoice(
+      program, Strategy::kRecursiveCounting, Semantics::kDuplicate);
+  EXPECT_FALSE(rc.HasErrors()) << rc.ToString();
+}
+
+TEST(AdvisorTest, DRedOnNonrecursiveProgramIsOnlyAWarning) {
+  Program program = MustParseProgram(kNonrecursiveText);
+  AnalysisReport report =
+      CheckStrategyChoice(program, Strategy::kDRed, Semantics::kSet);
+  Diagnostic d = MustFindOne(report, DiagCode::kStrategyMismatch);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_FALSE(report.HasErrors());
+}
+
+TEST(AdvisorTest, RecomputeIsAlwaysLegalButWarned) {
+  Program program = MustParseProgram(kRecursiveText);
+  AnalysisReport report =
+      CheckStrategyChoice(program, Strategy::kRecompute, Semantics::kSet);
+  Diagnostic d = MustFindOne(report, DiagCode::kStrategyMismatch);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_FALSE(report.HasErrors());
+}
+
+TEST(AdvisorTest, AutoEmitsANoteAndNoErrors) {
+  Program recursive = MustParseProgram(kRecursiveText);
+  AnalysisReport report =
+      CheckStrategyChoice(recursive, Strategy::kAuto, Semantics::kSet);
+  EXPECT_FALSE(report.HasErrors()) << report.ToString();
+  Diagnostic d = MustFindOne(report, DiagCode::kStrategyMismatch);
+  EXPECT_EQ(d.severity, DiagSeverity::kNote);
+  EXPECT_TRUE(MessageContains(d, "auto resolves to dred")) << d.message;
+
+  Program nonrecursive = MustParseProgram(kNonrecursiveText);
+  AnalysisReport report2 =
+      CheckStrategyChoice(nonrecursive, Strategy::kAuto, Semantics::kSet);
+  EXPECT_FALSE(report2.HasErrors()) << report2.ToString();
+  EXPECT_TRUE(MessageContains(
+      MustFindOne(report2, DiagCode::kStrategyMismatch),
+      "auto resolves to counting"));
+}
+
+TEST(AdvisorTest, MatchingChoicesAreQuiet) {
+  Program nonrec = MustParseProgram(kNonrecursiveText);
+  EXPECT_TRUE(
+      CheckStrategyChoice(nonrec, Strategy::kCounting, Semantics::kSet)
+          .empty());
+  Program rec = MustParseProgram(kRecursiveText);
+  EXPECT_TRUE(
+      CheckStrategyChoice(rec, Strategy::kDRed, Semantics::kSet).empty());
+}
+
+// ---------------------------------------------------------------------------
+// ViewManager::Create surfaces strategy-mismatch errors as
+// kFailedPrecondition, with the advisor's explanation.
+
+TEST(ViewManagerStrategyTest, CountingOnRecursiveProgramIsRejected) {
+  Result<std::unique_ptr<ViewManager>> manager =
+      ViewManager::CreateFromText(kRecursiveText, Strategy::kCounting);
+  ASSERT_FALSE(manager.ok());
+  EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(manager.status().message().find("strategy precondition"),
+            std::string::npos)
+      << manager.status().message();
+  EXPECT_NE(manager.status().message().find("'tc'"), std::string::npos)
+      << manager.status().message();
+}
+
+TEST(ViewManagerStrategyTest, DRedUnderDuplicateSemanticsIsRejected) {
+  Result<std::unique_ptr<ViewManager>> manager = ViewManager::CreateFromText(
+      kNonrecursiveText, Strategy::kDRed, Semantics::kDuplicate);
+  ASSERT_FALSE(manager.ok());
+  EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ViewManagerStrategyTest, RecursiveCountingUnderSetSemanticsIsRejected) {
+  Result<std::unique_ptr<ViewManager>> manager = ViewManager::CreateFromText(
+      kRecursiveText, Strategy::kRecursiveCounting, Semantics::kSet);
+  ASSERT_FALSE(manager.ok());
+  EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ViewManagerStrategyTest, WarningsDoNotBlockCreation) {
+  // DRed on a nonrecursive program is legal (merely unadvised).
+  Result<std::unique_ptr<ViewManager>> manager =
+      ViewManager::CreateFromText(kNonrecursiveText, Strategy::kDRed);
+  IVM_EXPECT_OK(manager.status());
+}
+
+}  // namespace
+}  // namespace ivm

@@ -278,8 +278,8 @@ TEST_P(MaintainerPropertyTest, AgreesWithRecomputeOracle) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, MaintainerPropertyTest, ::testing::ValuesIn(MakeParams()),
-    [](const ::testing::TestParamInfo<PropertyParam>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<PropertyParam>& param_info) {
+      return param_info.param.Name();
     });
 
 }  // namespace

@@ -1,0 +1,169 @@
+// ivm_lint: static diagnostics for Datalog view programs.
+//
+//   ivm_lint [options] file.dl [file2.dl ...]
+//
+// Parses each program, runs every static analysis (safety with
+// unbound-variable provenance, stratification with the offending cycle,
+// unused/undefined predicates, duplicate and unreachable rules, cartesian
+// joins), and prints diagnostics as
+//
+//   file:line: severity [code] message
+//
+// Options:
+//   --strategy=<counting|dred|recompute|pf|recursive-counting|auto>
+//       also validate the strategy choice against the paper's preconditions
+//   --semantics=<set|duplicate>   semantics for --strategy (default: set)
+//   --advise                      print the per-view strategy advice
+//   --werror                      treat warnings as errors
+//
+// Exits 1 when any error (or, under --werror, warning) was reported.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/advisor.h"
+#include "analysis/analyzer.h"
+#include "datalog/parser.h"
+
+namespace {
+
+std::optional<ivm::Strategy> ParseStrategy(const std::string& name) {
+  using ivm::Strategy;
+  if (name == "counting") return Strategy::kCounting;
+  if (name == "dred") return Strategy::kDRed;
+  if (name == "recompute") return Strategy::kRecompute;
+  if (name == "pf") return Strategy::kPF;
+  if (name == "recursive-counting") return Strategy::kRecursiveCounting;
+  if (name == "auto") return Strategy::kAuto;
+  return std::nullopt;
+}
+
+void PrintDiagnostics(const std::string& file,
+                      const ivm::AnalysisReport& report) {
+  for (const ivm::Diagnostic& d : report.diagnostics()) {
+    std::cout << file << ":" << d.line << ": " << d.ToString() << "\n";
+  }
+}
+
+int Usage() {
+  std::cerr
+      << "usage: ivm_lint [--strategy=<name>] [--semantics=set|duplicate] "
+         "[--advise] [--werror] file.dl ...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::optional<ivm::Strategy> strategy;
+  ivm::Semantics semantics = ivm::Semantics::kSet;
+  bool advise = false;
+  bool werror = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--strategy=", 0) == 0) {
+      strategy = ParseStrategy(arg.substr(11));
+      if (!strategy.has_value()) {
+        std::cerr << "ivm_lint: unknown strategy '" << arg.substr(11) << "'\n";
+        return Usage();
+      }
+    } else if (arg.rfind("--semantics=", 0) == 0) {
+      std::string s = arg.substr(12);
+      if (s == "set") {
+        semantics = ivm::Semantics::kSet;
+      } else if (s == "duplicate") {
+        semantics = ivm::Semantics::kDuplicate;
+      } else {
+        std::cerr << "ivm_lint: unknown semantics '" << s << "'\n";
+        return Usage();
+      }
+    } else if (arg == "--advise") {
+      advise = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ivm_lint: unknown option '" << arg << "'\n";
+      return Usage();
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) return Usage();
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "ivm_lint: cannot open " << file << "\n";
+      ++errors;
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string src = buffer.str();
+
+    ivm::Result<ivm::Program> program = ivm::ParseProgramUnanalyzed(src);
+    if (!program.ok()) {
+      ivm::AnalysisReport parse_report;
+      ivm::Diagnostic d;
+      d.code = ivm::DiagCode::kParseError;
+      d.severity = ivm::DiagSeverity::kError;
+      d.message = program.status().message();
+      parse_report.Add(std::move(d));
+      PrintDiagnostics(file, parse_report);
+      ++errors;
+      continue;
+    }
+
+    ivm::AnalysisReport report = ivm::AnalyzeProgram(*program);
+    if (!report.HasErrors() && (strategy.has_value() || advise)) {
+      // Strategy checks need strata/SCC classification, i.e. full analysis;
+      // error-free programs must analyze cleanly.
+      ivm::Status analyzed = program->Analyze();
+      if (!analyzed.ok()) {
+        ivm::Diagnostic d;
+        d.code = ivm::DiagCode::kParseError;
+        d.severity = ivm::DiagSeverity::kError;
+        d.message = analyzed.message();
+        report.Add(std::move(d));
+      } else {
+        if (strategy.has_value()) {
+          const ivm::AnalysisReport strategy_report =
+              ivm::CheckStrategyChoice(*program, *strategy, semantics);
+          for (const ivm::Diagnostic& d : strategy_report.diagnostics()) {
+            report.Add(d);
+          }
+        }
+        if (advise) {
+          std::cout << file << ": "
+                    << ivm::AdviseStrategy(*program).Summary() << "\n";
+        }
+      }
+    }
+
+    PrintDiagnostics(file, report);
+    errors += report.error_count();
+    warnings += report.warning_count();
+  }
+
+  if (errors > 0) {
+    std::cout << "ivm_lint: " << errors << " error(s), " << warnings
+              << " warning(s)\n";
+    return 1;
+  }
+  if (warnings > 0) {
+    std::cout << "ivm_lint: " << warnings << " warning(s)\n";
+    if (werror) return 1;
+  }
+  return 0;
+}
