@@ -62,6 +62,16 @@ const Relation& ChangeSet::Delta(const std::string& relation) const {
   return it->second;
 }
 
+Status ChangeSet::Validate() const {
+  for (const auto& [name, delta] : deltas_) {
+    if (delta.overflowed()) {
+      return Status::InvalidArgument("count arithmetic for delta relation '" +
+                                     name + "' overflowed int64");
+    }
+  }
+  return Status::OK();
+}
+
 std::string ChangeSet::ToString() const {
   std::string out;
   for (const auto& [name, delta] : deltas_) {

@@ -46,6 +46,11 @@ class ChangeSet {
 
   const std::map<std::string, Relation>& deltas() const { return deltas_; }
 
+  /// Error when any delta's count arithmetic overflowed int64 (counts were
+  /// saturated rather than wrapped, and the relation's overflow flag set);
+  /// such a change set must not be applied.
+  Status Validate() const;
+
   std::string ToString() const;
 
  private:

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "core/delta_rules.h"
 #include "eval/aggregates.h"
+#include "txn/failpoint.h"
 
 namespace ivm {
 
@@ -15,7 +16,12 @@ namespace {
 /// (Γ⁻ ⊆ E, Lemma 4.1's precondition).
 Status ValidateMultisetDelta(const Relation& stored, const Relation& delta) {
   for (const auto& [tuple, count] : delta.tuples()) {
-    if (count < 0 && stored.Count(tuple) + count < 0) {
+    int64_t merged = 0;
+    if (__builtin_add_overflow(stored.Count(tuple), count, &merged)) {
+      return Status::InvalidArgument("count of " + tuple.ToString() + " in '" +
+                                     stored.name() + "' would overflow int64");
+    }
+    if (count < 0 && merged < 0) {
       return Status::FailedPrecondition(
           "delta deletes more copies of " + tuple.ToString() + " from '" +
           stored.name() + "' than stored");
@@ -191,6 +197,7 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
   // 2. Process rules stratum by stratum, in RSN order (Algorithm 4.1).
   last_apply_stats_ = JoinStats();
   for (int s = 1; s <= program_.max_stratum(); ++s) {
+    IVM_FAILPOINT("counting.stratum.begin");
     for (PredicateId p : program_.predicates_in_stratum(s)) {
       const PredicateInfo& info = program_.predicate(p);
       count_deltas.emplace(p, Relation("Δ" + info.name, info.arity));
@@ -208,11 +215,19 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
     // Finalize this stratum's predicates: register the deltas higher strata
     // will see.
     for (PredicateId p : program_.predicates_in_stratum(s)) {
+      IVM_FAILPOINT("counting.stratum.finalize");
       Relation& dp = count_deltas.at(p);
       const Relation& stored = views_.at(p);
-      // Lemma 4.1: no view tuple may end up with a negative count.
+      // Lemma 4.1: no view tuple may end up with a negative count. The sum is
+      // computed overflow-checked so a huge delta cannot wrap past the test.
       for (const auto& [tuple, count] : dp.tuples()) {
-        if (stored.Count(tuple) + count < 0) {
+        int64_t merged = 0;
+        if (__builtin_add_overflow(stored.Count(tuple), count, &merged)) {
+          return Status::InvalidArgument(
+              "count of view tuple " + tuple.ToString() + " of '" +
+              program_.predicate(p).name + "' would overflow int64");
+        }
+        if (merged < 0) {
           return Status::Internal(
               "Lemma 4.1 violated: view tuple " + tuple.ToString() + " of '" +
               program_.predicate(p).name + "' would get a negative count");
@@ -239,9 +254,11 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
   }
 
   // 4. Fold base and view deltas into the stored state.
+  IVM_FAILPOINT("counting.fold.base");
   for (const auto& [pred, delta] : base_deltas) {
     base_.mutable_relation(program_.predicate(pred).name).UnionInPlace(delta);
   }
+  IVM_FAILPOINT("counting.fold.views");
   for (auto& [pred, delta] : count_deltas) {
     views_.at(pred).UnionInPlace(delta);
   }
@@ -266,6 +283,20 @@ Result<const Relation*> CountingMaintainer::GetRelation(
     return Status::FailedPrecondition("maintainer not initialized");
   }
   return &it->second;
+}
+
+void CountingMaintainer::CollectTxnRelations(std::vector<Relation*>* out) {
+  for (const std::string& name : base_.RelationNames()) {
+    out->push_back(&base_.mutable_relation(name));
+  }
+  for (auto& [pred, rel] : views_) {
+    (void)pred;
+    out->push_back(&rel);
+  }
+  for (auto& [key, rel] : aggregate_ts_) {
+    (void)key;
+    out->push_back(&rel);
+  }
 }
 
 size_t CountingMaintainer::TotalViewTuples() const {

@@ -56,6 +56,9 @@ class CountingMaintainer : public Maintainer {
   /// Current extent of a view (or of a base relation snapshot).
   Result<const Relation*> GetRelation(const std::string& name) const override;
 
+  /// Base snapshot, views, and aggregate extents — everything Apply mutates.
+  void CollectTxnRelations(std::vector<Relation*>* out) override;
+
   const Program& program() const override { return program_; }
   const char* name() const override { return "counting"; }
   Semantics semantics() const { return semantics_; }

@@ -8,6 +8,7 @@
 #include "eval/aggregates.h"
 #include "eval/evaluator.h"
 #include "eval/rule_eval.h"
+#include "txn/failpoint.h"
 
 namespace ivm {
 
@@ -137,6 +138,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
   };
 
   // Commit base relations up front.
+  IVM_FAILPOINT("dred.commit.base");
   for (const auto& [p, d] : base_dels) {
     dels[p] = d;
     Relation& stored = base_.mutable_relation(program_.predicate(p).name);
@@ -315,21 +317,23 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
 
     Relation scratch;
     auto absorb_over = [&](PredicateId head, const Relation& candidates,
-                           std::map<PredicateId, Relation>* pend) {
+                           std::map<PredicateId, Relation>* pend) -> Status {
       const Relation& stored = views_.at(head);
       Relation& o = over.at(head);
       for (const auto& [tuple, count] : candidates.tuples()) {
         (void)count;
         if (!stored.Contains(tuple) || o.Contains(tuple)) continue;
+        IVM_FAILPOINT("dred.overdelete.per_tuple");
         o.Add(tuple, 1);
         pend->at(head).Add(tuple, 1);
       }
+      return Status::OK();
     };
 
     // Round 0: deletion events from base relations and lower strata, plus
     // rule-change seeds.
     for (auto& [p, seeds] : seed_dels) {
-      if (in_stratum(p)) absorb_over(p, seeds, &pending);
+      if (in_stratum(p)) IVM_RETURN_IF_ERROR(absorb_over(p, seeds, &pending));
     }
     for (int r : rule_indices) {
       const Rule& rule = program_.rule(r);
@@ -369,7 +373,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), event,
                                             *pattern, /*old_side=*/true, s,
                                             &scratch));
-        absorb_over(rule.head.pred, scratch, &pending);
+        IVM_RETURN_IF_ERROR(absorb_over(rule.head.pred, scratch, &pending));
       }
     }
 
@@ -400,7 +404,8 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
           IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), &delta,
                                               lit.atom.terms, /*old_side=*/true,
                                               s, &scratch));
-          absorb_over(rule.head.pred, scratch, &next_pending);
+          IVM_RETURN_IF_ERROR(
+              absorb_over(rule.head.pred, scratch, &next_pending));
         }
       }
       pending = std::move(next_pending);
@@ -423,6 +428,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
     bool changed = true;
     while (changed) {
       changed = false;
+      IVM_FAILPOINT("dred.rederive.round");
       for (int r : rule_indices) {
         const Rule& rule = program_.rule(r);
         Relation& still_deleted = deleted.at(rule.head.pred);
@@ -467,19 +473,23 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
       pending_add.emplace(p, Relation("pending+:" + info.name, info.arity));
     }
     auto absorb_add = [&](PredicateId head, const Relation& candidates,
-                          std::map<PredicateId, Relation>* pend) {
+                          std::map<PredicateId, Relation>* pend) -> Status {
       Relation& stored = views_.at(head);
       for (const auto& [tuple, count] : candidates.tuples()) {
         (void)count;
         if (stored.Contains(tuple)) continue;
+        IVM_FAILPOINT("dred.insert.per_tuple");
         stored.Add(tuple, 1);
         added.at(head).Add(tuple, 1);
         pend->at(head).Add(tuple, 1);
       }
+      return Status::OK();
     };
 
     for (auto& [p, seeds] : seed_adds) {
-      if (in_stratum(p)) absorb_add(p, seeds, &pending_add);
+      if (in_stratum(p)) {
+        IVM_RETURN_IF_ERROR(absorb_add(p, seeds, &pending_add));
+      }
     }
     for (int r : rule_indices) {
       const Rule& rule = program_.rule(r);
@@ -518,7 +528,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), event,
                                             *pattern, /*old_side=*/false, s,
                                             &scratch));
-        absorb_add(rule.head.pred, scratch, &pending_add);
+        IVM_RETURN_IF_ERROR(absorb_add(rule.head.pred, scratch, &pending_add));
       }
     }
     while (true) {
@@ -547,13 +557,15 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
           IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), &delta,
                                               lit.atom.terms,
                                               /*old_side=*/false, s, &scratch));
-          absorb_add(rule.head.pred, scratch, &next_pending);
+          IVM_RETURN_IF_ERROR(
+              absorb_add(rule.head.pred, scratch, &next_pending));
         }
       }
       pending_add = std::move(next_pending);
     }
 
     // ---- Commit this stratum: net out del/add, record rev overlays. ----
+    IVM_FAILPOINT("dred.commit.stratum");
     for (PredicateId p : preds) {
       Relation& d = dels.at(p);
       Relation& a = added.at(p);
@@ -684,6 +696,57 @@ Result<ChangeSet> DRedMaintainer::RemoveRule(int rule_index) {
   std::map<PredicateId, Relation> seed_dels;
   seed_dels.emplace(head, seeds.AsSet());
   return ApplyInternal({}, {}, std::move(seed_dels), {});
+}
+
+void DRedMaintainer::CollectTxnRelations(std::vector<Relation*>* out) {
+  for (const std::string& name : base_.RelationNames()) {
+    out->push_back(&base_.mutable_relation(name));
+  }
+  for (auto& [pred, rel] : views_) {
+    (void)pred;
+    out->push_back(&rel);
+  }
+  for (auto& [key, rel] : aggregate_ts_) {
+    (void)key;
+    out->push_back(&rel);
+  }
+}
+
+class DRedMaintainer::SnapshotTxn : public MaintainerTxn {
+ public:
+  explicit SnapshotTxn(DRedMaintainer* m)
+      : m_(m),
+        program_(m->program_),
+        base_(m->base_),
+        views_(m->views_),
+        aggregate_ts_(m->aggregate_ts_) {}
+
+  ~SnapshotTxn() override {
+    if (open_) Rollback();
+  }
+
+  void Commit() override { open_ = false; }
+
+  void Rollback() override {
+    if (!open_) return;
+    open_ = false;
+    m_->program_ = std::move(program_);
+    m_->base_ = std::move(base_);
+    m_->views_ = std::move(views_);
+    m_->aggregate_ts_ = std::move(aggregate_ts_);
+  }
+
+ private:
+  DRedMaintainer* m_;
+  Program program_;
+  Database base_;
+  std::map<PredicateId, Relation> views_;
+  std::map<std::pair<int, int>, Relation> aggregate_ts_;
+  bool open_ = true;
+};
+
+std::unique_ptr<MaintainerTxn> DRedMaintainer::BeginRuleChangeTxn() {
+  return std::make_unique<SnapshotTxn>(this);
 }
 
 Result<const Relation*> DRedMaintainer::GetRelation(

@@ -63,6 +63,15 @@ class DRedMaintainer : public Maintainer {
 
   Result<const Relation*> GetRelation(const std::string& name) const override;
 
+  /// Base snapshot, views, and aggregate extents — everything Apply mutates.
+  void CollectTxnRelations(std::vector<Relation*>* out) override;
+
+  /// Transaction guarding a rule change. AddRule/RemoveRule restructure the
+  /// program and re-key (create/destroy) aggregate and view relations, which
+  /// the per-tuple undo log of BeginTxn() cannot track — this one snapshots
+  /// the whole maintainer state and restores it wholesale on rollback.
+  std::unique_ptr<MaintainerTxn> BeginRuleChangeTxn();
+
   const Program& program() const override { return program_; }
   const char* name() const override { return "dred"; }
   bool initialized() const { return initialized_; }
@@ -83,6 +92,8 @@ class DRedMaintainer : public Maintainer {
   const Stats& last_apply_stats() const { return last_apply_stats_; }
 
  private:
+  class SnapshotTxn;
+
   explicit DRedMaintainer(Program program) : program_(std::move(program)) {}
 
   Status InitializeAggregates();

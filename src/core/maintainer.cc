@@ -1,0 +1,13 @@
+#include "core/maintainer.h"
+
+#include "txn/undo_log.h"
+
+namespace ivm {
+
+std::unique_ptr<MaintainerTxn> Maintainer::BeginTxn() {
+  std::vector<Relation*> relations;
+  CollectTxnRelations(&relations);
+  return BeginUndoTxn(std::move(relations));
+}
+
+}  // namespace ivm

@@ -1,12 +1,15 @@
 #ifndef IVM_CORE_MAINTAINER_H_
 #define IVM_CORE_MAINTAINER_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/change_set.h"
 #include "datalog/program.h"
 #include "storage/database.h"
+#include "txn/txn.h"
 
 namespace ivm {
 
@@ -32,6 +35,20 @@ class Maintainer {
 
   /// Human-readable strategy name ("counting", "dred", ...).
   virtual const char* name() const = 0;
+
+  /// Every Relation object Apply() may mutate in place (base snapshot,
+  /// materialized views, auxiliary aggregate extents). The default BeginTxn()
+  /// instruments exactly these; maintainers whose Apply() creates or destroys
+  /// Relation objects must override BeginTxn() instead.
+  virtual void CollectTxnRelations(std::vector<Relation*>* out) = 0;
+
+  /// Opens a transaction guarding this maintainer's mutable state. Until
+  /// Commit(), every mutation is revocable: Rollback() — or destroying the
+  /// transaction uncommitted — restores the exact state at BeginTxn() time.
+  /// The default implementation is an undo log (txn/undo_log.h) over
+  /// CollectTxnRelations(), so transaction cost is proportional to the
+  /// number of touched tuples, not the database size.
+  virtual std::unique_ptr<MaintainerTxn> BeginTxn();
 };
 
 }  // namespace ivm

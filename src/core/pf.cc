@@ -1,5 +1,7 @@
 #include "core/pf.h"
 
+#include "txn/failpoint.h"
+
 namespace ivm {
 
 Result<std::unique_ptr<PFMaintainer>> PFMaintainer::Create(
@@ -31,6 +33,7 @@ Result<ChangeSet> PFMaintainer::Apply(const ChangeSet& base_changes) {
   // then-insertion staging), each fragment fully propagated through every
   // derived predicate before the next is considered.
   auto apply_fragment = [&](const ChangeSet& fragment) -> Status {
+    IVM_FAILPOINT("pf.fragment");
     IVM_ASSIGN_OR_RETURN(ChangeSet partial, core_->Apply(fragment));
     for (const auto& [name, delta] : partial.deltas()) {
       accumulated.Merge(name, delta);

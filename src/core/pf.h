@@ -44,6 +44,11 @@ class PFMaintainer : public Maintainer {
   const Program& program() const override { return core_->program(); }
   const char* name() const override { return "pf"; }
 
+  /// All mutable state lives in the delete/rederive core.
+  void CollectTxnRelations(std::vector<Relation*>* out) override {
+    core_->CollectTxnRelations(out);
+  }
+
  private:
   PFMaintainer(std::unique_ptr<DRedMaintainer> core, Granularity granularity)
       : core_(std::move(core)), granularity_(granularity) {}

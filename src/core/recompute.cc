@@ -1,6 +1,7 @@
 #include "core/recompute.h"
 
 #include "common/logging.h"
+#include "txn/failpoint.h"
 
 namespace ivm {
 
@@ -69,6 +70,7 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
     }
   }
 
+  IVM_FAILPOINT("recompute.reevaluate");
   std::map<PredicateId, Relation> old_views = std::move(views_);
   IVM_RETURN_IF_ERROR(Reevaluate());
 
@@ -88,6 +90,41 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
     if (!diff.empty()) out.Merge(new_rel.name(), diff);
   }
   return out;
+}
+
+void RecomputeMaintainer::CollectTxnRelations(std::vector<Relation*>* out) {
+  for (const std::string& name : base_.RelationNames()) {
+    out->push_back(&base_.mutable_relation(name));
+  }
+}
+
+class RecomputeMaintainer::SnapshotTxn : public MaintainerTxn {
+ public:
+  explicit SnapshotTxn(RecomputeMaintainer* m)
+      : m_(m), base_(m->base_), views_(m->views_) {}
+
+  ~SnapshotTxn() override {
+    if (open_) Rollback();
+  }
+
+  void Commit() override { open_ = false; }
+
+  void Rollback() override {
+    if (!open_) return;
+    open_ = false;
+    m_->base_ = std::move(base_);
+    m_->views_ = std::move(views_);
+  }
+
+ private:
+  RecomputeMaintainer* m_;
+  Database base_;
+  std::map<PredicateId, Relation> views_;
+  bool open_ = true;
+};
+
+std::unique_ptr<MaintainerTxn> RecomputeMaintainer::BeginTxn() {
+  return std::make_unique<SnapshotTxn>(this);
 }
 
 Result<const Relation*> RecomputeMaintainer::GetRelation(

@@ -31,7 +31,19 @@ class RecomputeMaintainer : public Maintainer {
   const Program& program() const override { return program_; }
   const char* name() const override { return "recompute"; }
 
+  /// Only the base snapshot is mutated in place; the views are *replaced*
+  /// (Reevaluate destroys and recreates every view relation), which an
+  /// in-place undo log cannot track — hence the BeginTxn override below.
+  void CollectTxnRelations(std::vector<Relation*>* out) override;
+
+  /// Snapshot transaction: copies base and views, restores both wholesale on
+  /// rollback. Recompute already pays O(database) per Apply, so an
+  /// O(database) transaction does not change its complexity.
+  std::unique_ptr<MaintainerTxn> BeginTxn() override;
+
  private:
+  class SnapshotTxn;
+
   RecomputeMaintainer(Program program, Semantics semantics)
       : program_(std::move(program)), semantics_(semantics) {}
 

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "eval/aggregates.h"
 #include "eval/rule_eval.h"
+#include "txn/failpoint.h"
 
 namespace ivm {
 
@@ -80,7 +81,13 @@ Result<ChangeSet> RecursiveCountingMaintainer::Apply(
     }
     const Relation& stored = base_.relation(name);
     for (const auto& [tuple, count] : delta.tuples()) {
-      if (count < 0 && stored.Count(tuple) + count < 0) {
+      int64_t merged = 0;
+      if (__builtin_add_overflow(stored.Count(tuple), count, &merged)) {
+        return Status::InvalidArgument("count of " + tuple.ToString() +
+                                       " in '" + name +
+                                       "' would overflow int64");
+      }
+      if (count < 0 && merged < 0) {
         return Status::FailedPrecondition(
             "delta deletes more copies of " + tuple.ToString() + " from '" +
             name + "' than stored");
@@ -135,6 +142,7 @@ Status RecursiveCountingMaintainer::Propagate(
           " propagation steps: derivation counts appear infinite (cyclic "
           "derivations); use the DRed strategy for this view (Section 8)");
     }
+    IVM_FAILPOINT("rc.worklist.step");
     Relation delta = std::move(pending.at(q));
     pending.erase(q);
     const Relation& old_q = Stored(q);
@@ -280,7 +288,13 @@ Status RecursiveCountingMaintainer::Propagate(
     // Commit Δ(q) and the aggregate deltas over q.
     Relation& stored_q = MutableStored(q);
     for (const auto& [tuple, count] : delta.tuples()) {
-      if (stored_q.Count(tuple) + count < 0) {
+      int64_t merged = 0;
+      if (__builtin_add_overflow(stored_q.Count(tuple), count, &merged)) {
+        return Status::InvalidArgument(
+            "derivation count of " + tuple.ToString() + " in '" +
+            q_info.name + "' would overflow int64");
+      }
+      if (merged < 0) {
         return Status::Internal("derivation count of " + tuple.ToString() +
                                 " in '" + q_info.name + "' went negative");
       }
@@ -299,6 +313,21 @@ Status RecursiveCountingMaintainer::Propagate(
     }
   }
   return Status::OK();
+}
+
+void RecursiveCountingMaintainer::CollectTxnRelations(
+    std::vector<Relation*>* out) {
+  for (const std::string& name : base_.RelationNames()) {
+    out->push_back(&base_.mutable_relation(name));
+  }
+  for (auto& [pred, rel] : views_) {
+    (void)pred;
+    out->push_back(&rel);
+  }
+  for (auto& [key, rel] : aggregate_ts_) {
+    (void)key;
+    out->push_back(&rel);
+  }
 }
 
 Result<const Relation*> RecursiveCountingMaintainer::GetRelation(

@@ -55,6 +55,10 @@ class RecursiveCountingMaintainer : public Maintainer {
   Status Initialize(const Database& base) override;
   Result<ChangeSet> Apply(const ChangeSet& base_changes) override;
   Result<const Relation*> GetRelation(const std::string& name) const override;
+
+  /// Base snapshot, views, and aggregate extents — everything Apply mutates.
+  void CollectTxnRelations(std::vector<Relation*>* out) override;
+
   const Program& program() const override { return program_; }
   const char* name() const override { return "recursive-counting"; }
 

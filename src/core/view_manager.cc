@@ -1,9 +1,28 @@
 #include "core/view_manager.h"
 
+#include <exception>
+#include <filesystem>
+#include <utility>
+
 #include "analysis/advisor.h"
 #include "datalog/parser.h"
+#include "txn/checkpoint.h"
+#include "txn/failpoint.h"
 
 namespace ivm {
+
+namespace {
+
+Result<Strategy> StrategyFromName(const std::string& name) {
+  for (Strategy s :
+       {Strategy::kCounting, Strategy::kDRed, Strategy::kRecompute,
+        Strategy::kPF, Strategy::kRecursiveCounting}) {
+    if (name == StrategyName(s)) return s;
+  }
+  return Status::InvalidArgument("unknown strategy name '" + name + "'");
+}
+
+}  // namespace
 
 Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
                                                          Strategy strategy,
@@ -83,10 +102,209 @@ Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
   return Create(std::move(program), strategy, semantics);
 }
 
+Status ViewManager::EnableDurability(const std::string& dir) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create durability directory " + dir +
+                            ": " + ec.message());
+  }
+  IVM_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(dir + "/wal.log"));
+  durable_dir_ = dir;
+  const bool have_checkpoint =
+      fs::exists(fs::path(dir) / "checkpoint" / "MANIFEST") ||
+      fs::exists(fs::path(dir) / "checkpoint.old" / "MANIFEST");
+  if (!have_checkpoint) {
+    // Seed the directory so Recover always has a base snapshot even if we
+    // crash before the first explicit Checkpoint().
+    Status seeded = Checkpoint();
+    if (!seeded.ok()) {
+      wal_.reset();
+      durable_dir_.clear();
+      return seeded;
+    }
+  }
+  return Status::OK();
+}
+
+Status ViewManager::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "durability is not enabled; call EnableDurability() first");
+  }
+  CheckpointData data;
+  data.epoch = epoch_;
+  data.strategy = StrategyName(strategy_);
+  data.semantics = semantics_ == Semantics::kDuplicate ? "duplicate" : "set";
+  const Program& prog = impl_->program();
+  data.program_text = prog.ToString();
+  for (PredicateId p : prog.BasePredicates()) {
+    const PredicateInfo& info = prog.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, impl_->GetRelation(info.name));
+    data.base.emplace(info.name, *rel);
+  }
+  for (PredicateId p : prog.DerivedPredicates()) {
+    const PredicateInfo& info = prog.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, impl_->GetRelation(info.name));
+    data.views.emplace(info.name, *rel);
+  }
+  IVM_RETURN_IF_ERROR(WriteCheckpoint(durable_dir_, data));
+  // The snapshot absorbed every logged record; start the log over.
+  return wal_->Reset();
+}
+
+Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
+    const std::string& dir) {
+  IVM_ASSIGN_OR_RETURN(CheckpointData cp, ReadCheckpoint(dir));
+  IVM_ASSIGN_OR_RETURN(Program program, ParseProgram(cp.program_text));
+  IVM_ASSIGN_OR_RETURN(Strategy strategy, StrategyFromName(cp.strategy));
+  const Semantics semantics = cp.semantics == "duplicate"
+                                  ? Semantics::kDuplicate
+                                  : Semantics::kSet;
+  IVM_ASSIGN_OR_RETURN(std::unique_ptr<ViewManager> manager,
+                       Create(std::move(program), strategy, semantics));
+
+  Database base;
+  for (const auto& [name, rel] : cp.base) {
+    IVM_RETURN_IF_ERROR(base.CreateRelation(name, rel.arity()));
+    base.mutable_relation(name) = rel;
+  }
+  IVM_RETURN_IF_ERROR(manager->Initialize(base));
+
+  // Integrity check: the views recomputed from the checkpointed base must
+  // match the checkpointed views exactly (Theorem 4.1 at rest). A mismatch
+  // means the snapshot is corrupt or the program text drifted.
+  for (const auto& [name, stored] : cp.views) {
+    IVM_ASSIGN_OR_RETURN(const Relation* live, manager->GetRelation(name));
+    if (*live != stored) {
+      return Status::Internal("checkpoint view '" + name +
+                              "' does not match its recomputation; snapshot "
+                              "is corrupt");
+    }
+  }
+
+  // Replay the WAL tail: committed records past the checkpoint epoch, in
+  // order. A torn/corrupt trailing record (mid-append crash) is skipped —
+  // that operation never committed.
+  manager->epoch_ = cp.epoch;
+  bool torn_tail = false;
+  IVM_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                       WriteAheadLog::ReadAll(dir + "/wal.log", &torn_tail));
+  for (const WalRecord& rec : records) {
+    if (rec.epoch <= cp.epoch) continue;
+    switch (rec.kind) {
+      case WalRecordKind::kChangeSet: {
+        ChangeSet changes;
+        for (const auto& [name, delta] : rec.deltas) {
+          changes.Merge(name, delta);
+        }
+        IVM_RETURN_IF_ERROR(manager->Apply(changes).status());
+        break;
+      }
+      case WalRecordKind::kAddRule:
+        IVM_RETURN_IF_ERROR(manager->AddRuleText(rec.rule_text).status());
+        break;
+      case WalRecordKind::kRemoveRule:
+        IVM_RETURN_IF_ERROR(manager->RemoveRule(rec.rule_index).status());
+        break;
+    }
+    // Replay tracks the logged epochs exactly (robust even if the log ever
+    // carries gaps).
+    manager->epoch_ = rec.epoch;
+  }
+
+  IVM_RETURN_IF_ERROR(manager->EnableDurability(dir));
+  return manager;
+}
+
+Status ViewManager::CheckPostConditions(const ChangeSet& base_changes,
+                                        const ChangeSet& view_changes) const {
+  IVM_RETURN_IF_ERROR(view_changes.Validate());
+  auto check = [&](const std::string& name) -> Status {
+    auto rel = impl_->GetRelation(name);
+    if (!rel.ok()) return Status::OK();  // not stored by this maintainer
+    if ((*rel)->overflowed()) {
+      return Status::InvalidArgument("count arithmetic for relation '" + name +
+                                     "' overflowed int64");
+    }
+    if (semantics_ == Semantics::kSet && (*rel)->HasNegativeCounts()) {
+      return Status::Internal("Lemma 4.1 violated: relation '" + name +
+                              "' holds a negative count after maintenance");
+    }
+    return Status::OK();
+  };
+  for (const auto& [name, delta] : base_changes.deltas()) {
+    (void)delta;
+    IVM_RETURN_IF_ERROR(check(name));
+  }
+  for (const auto& [name, delta] : view_changes.deltas()) {
+    (void)delta;
+    IVM_RETURN_IF_ERROR(check(name));
+  }
+  return Status::OK();
+}
+
+Status ViewManager::FireTriggers(const ChangeSet& view_changes) {
+  for (const auto& [id, sub] : subscriptions_) {
+    (void)id;
+    const Relation& delta = view_changes.Delta(sub.view);
+    if (delta.empty()) continue;
+    try {
+      sub.trigger(sub.view, delta);
+    } catch (const std::exception& e) {
+      return Status::Internal("view trigger for '" + sub.view +
+                              "' threw: " + e.what());
+    } catch (...) {
+      return Status::Internal("view trigger for '" + sub.view +
+                              "' threw a non-standard exception");
+    }
+  }
+  return Status::OK();
+}
+
+Status ViewManager::CommitDurable(
+    const std::function<Status(uint64_t)>& append) {
+  IVM_FAILPOINT("viewmanager.commit");
+  const uint64_t next = epoch_ + 1;
+  if (wal_ != nullptr) {
+    IVM_RETURN_IF_ERROR(append(next));
+  }
+  epoch_ = next;
+  return Status::OK();
+}
+
+Status ViewManager::FinishMutation(
+    MaintainerTxn* txn, const ChangeSet& base_changes,
+    const ChangeSet& view_changes,
+    const std::function<Status(uint64_t)>& append) {
+  Status status = CheckPostConditions(base_changes, view_changes);
+  if (status.ok()) status = FireTriggers(view_changes);
+  if (status.ok()) status = CommitDurable(append);
+  if (!status.ok()) {
+    txn->Rollback();
+    return status;
+  }
+  txn->Commit();
+  return Status::OK();
+}
+
 Result<ChangeSet> ViewManager::Apply(const ChangeSet& base_changes) {
-  IVM_ASSIGN_OR_RETURN(ChangeSet out, impl_->Apply(base_changes));
-  FireTriggers(out);
-  return out;
+  IVM_RETURN_IF_ERROR(base_changes.Validate());
+  std::unique_ptr<MaintainerTxn> txn = impl_->BeginTxn();
+  Result<ChangeSet> result = impl_->Apply(base_changes);
+  if (!result.ok()) {
+    txn->Rollback();
+    return result.status();
+  }
+  IVM_RETURN_IF_ERROR(FinishMutation(
+      txn.get(), base_changes, result.value(), [&](uint64_t epoch) {
+        return wal_->AppendChangeSet(epoch, base_changes.deltas());
+      }));
+  return result;
 }
 
 int ViewManager::Subscribe(const std::string& view, ViewTrigger trigger) {
@@ -99,15 +317,6 @@ void ViewManager::Unsubscribe(int subscription_id) {
   subscriptions_.erase(subscription_id);
 }
 
-void ViewManager::FireTriggers(const ChangeSet& view_changes) {
-  if (subscriptions_.empty()) return;
-  for (const auto& [id, sub] : subscriptions_) {
-    (void)id;
-    const Relation& delta = view_changes.Delta(sub.view);
-    if (!delta.empty()) sub.trigger(sub.view, delta);
-  }
-}
-
 Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
   auto* dred = dynamic_cast<DRedMaintainer*>(impl_.get());
   if (dred == nullptr) {
@@ -115,9 +324,20 @@ Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
         "view redefinition is supported by the DRed strategy only "
         "(Section 7); create the manager with Strategy::kDRed");
   }
-  IVM_ASSIGN_OR_RETURN(ChangeSet out, dred->AddRule(rule));
-  FireTriggers(out);
-  return out;
+  // Rule changes restructure the program and the materializations, so they
+  // run under a whole-state snapshot instead of the undo log.
+  std::unique_ptr<MaintainerTxn> txn = dred->BeginRuleChangeTxn();
+  Result<ChangeSet> result = dred->AddRule(rule);
+  if (!result.ok()) {
+    txn->Rollback();
+    return result.status();
+  }
+  const ChangeSet no_base_changes;
+  IVM_RETURN_IF_ERROR(FinishMutation(
+      txn.get(), no_base_changes, result.value(), [&](uint64_t epoch) {
+        return wal_->AppendAddRule(epoch, rule.ToString());
+      }));
+  return result;
 }
 
 Result<ChangeSet> ViewManager::AddRuleText(const std::string& rule_text) {
@@ -132,9 +352,18 @@ Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
         "view redefinition is supported by the DRed strategy only "
         "(Section 7); create the manager with Strategy::kDRed");
   }
-  IVM_ASSIGN_OR_RETURN(ChangeSet out, dred->RemoveRule(rule_index));
-  FireTriggers(out);
-  return out;
+  std::unique_ptr<MaintainerTxn> txn = dred->BeginRuleChangeTxn();
+  Result<ChangeSet> result = dred->RemoveRule(rule_index);
+  if (!result.ok()) {
+    txn->Rollback();
+    return result.status();
+  }
+  const ChangeSet no_base_changes;
+  IVM_RETURN_IF_ERROR(FinishMutation(
+      txn.get(), no_base_changes, result.value(), [&](uint64_t epoch) {
+        return wal_->AppendRemoveRule(epoch, rule_index);
+      }));
+  return result;
 }
 
 }  // namespace ivm

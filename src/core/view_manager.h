@@ -1,6 +1,7 @@
 #ifndef IVM_CORE_VIEW_MANAGER_H_
 #define IVM_CORE_VIEW_MANAGER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "datalog/program.h"
 #include "eval/evaluator.h"
 #include "storage/database.h"
+#include "txn/wal.h"
 
 namespace ivm {
 
@@ -25,6 +27,14 @@ namespace ivm {
 /// SQL translated into one — see sql/sql_translator.h), the snapshot of the
 /// base relations, and the materialized views; dispatches maintenance to the
 /// chosen strategy.
+///
+/// Every mutation (Apply, AddRule, RemoveRule) is *transactional*: the
+/// maintainer's state is staged under a transaction (txn/txn.h) and committed
+/// only after the strategy finishes, the post-conditions hold (no negative
+/// view counts under set semantics, no count overflow), every subscribed
+/// trigger ran without throwing, and — when durability is enabled — the
+/// operation is fsync'd to the write-ahead log. Any failure along the way
+/// rolls the manager back to its exact pre-call state.
 ///
 /// Typical use:
 ///
@@ -54,12 +64,36 @@ class ViewManager {
       const std::string& program_text, Strategy strategy = Strategy::kAuto,
       Semantics semantics = Semantics::kSet);
 
+  /// Rebuilds a manager from `dir` (see docs/recovery.md): loads the newest
+  /// complete checkpoint, re-creates the maintainer from the stored program /
+  /// strategy / semantics, verifies the recomputed views against the stored
+  /// ones, replays the WAL tail (committed records with epoch beyond the
+  /// checkpoint; a torn trailing record is skipped), and re-enables
+  /// durability on `dir`.
+  static Result<std::unique_ptr<ViewManager>> Recover(const std::string& dir);
+
   /// Snapshots the base relations and materializes every view.
   Status Initialize(const Database& base) { return impl_->Initialize(base); }
 
+  /// Makes every subsequent committed mutation durable: appends it to
+  /// `dir`/wal.log (fsync'd before Apply returns) so Recover(dir) can replay
+  /// it. Writes an initial checkpoint of the current state when `dir` holds
+  /// none, so recovery always has a base snapshot to start from. Requires an
+  /// initialized manager.
+  Status EnableDurability(const std::string& dir);
+
+  /// Snapshots the full current state into `dir`'s checkpoint and truncates
+  /// the WAL (its records are absorbed). Requires EnableDurability().
+  Status Checkpoint();
+
+  /// Number of committed mutations (each Apply/AddRule/RemoveRule that
+  /// commits bumps it; rolled-back calls do not).
+  uint64_t epoch() const { return epoch_; }
+
   /// Applies base-relation changes; returns the induced view changes
   /// (insertions positive, deletions negative). Subscribed triggers fire
-  /// before this returns.
+  /// before this returns; if one throws, the whole Apply rolls back and the
+  /// exception is reported as an error Status.
   Result<ChangeSet> Apply(const ChangeSet& base_changes);
 
   /// Active-database hook (one of the paper's motivating applications:
@@ -94,7 +128,25 @@ class ViewManager {
               Semantics semantics)
       : impl_(std::move(impl)), strategy_(strategy), semantics_(semantics) {}
 
-  void FireTriggers(const ChangeSet& view_changes);
+  /// Commit-time invariants, checked before the transaction commits:
+  /// no touched relation overflowed its counts, and under set semantics no
+  /// touched relation holds a negative count (Lemma 4.1).
+  Status CheckPostConditions(const ChangeSet& base_changes,
+                             const ChangeSet& view_changes) const;
+
+  /// Dispatches `view_changes` to every subscription. A throwing trigger is
+  /// converted into an error Status (and the caller rolls back).
+  Status FireTriggers(const ChangeSet& view_changes);
+
+  /// The commit point: appends the WAL record for the next epoch (a no-op
+  /// without durability) and advances the epoch.
+  Status CommitDurable(const std::function<Status(uint64_t)>& append);
+
+  /// Shared Apply/AddRule/RemoveRule tail: post-conditions, triggers,
+  /// durable commit; rolls `txn` back on any failure, commits otherwise.
+  Status FinishMutation(MaintainerTxn* txn, const ChangeSet& base_changes,
+                        const ChangeSet& view_changes,
+                        const std::function<Status(uint64_t)>& append);
 
   std::unique_ptr<Maintainer> impl_;
   Strategy strategy_;
@@ -105,6 +157,10 @@ class ViewManager {
   };
   std::map<int, Subscription> subscriptions_;
   int next_subscription_id_ = 1;
+
+  std::string durable_dir_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace ivm

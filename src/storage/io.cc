@@ -51,7 +51,19 @@ Result<std::vector<std::pair<std::string, bool>>> SplitCsvLine(
   return fields;
 }
 
-Value ParseField(const std::string& text, bool was_quoted, bool infer_types) {
+bool IsIntegerSyntax(std::string_view text) {
+  if (!text.empty() && (text.front() == '+' || text.front() == '-')) {
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+Result<Value> ParseField(const std::string& text, bool was_quoted,
+                         bool infer_types, int line_number) {
   if (was_quoted || !infer_types) return Value::Str(text);
   std::string_view trimmed = StripWhitespace(text);
   if (trimmed.empty()) return Value::Str(std::string(trimmed));
@@ -59,6 +71,13 @@ Value ParseField(const std::string& text, bool was_quoted, bool infer_types) {
   auto ir = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), i);
   if (ir.ec == std::errc() && ir.ptr == trimmed.data() + trimmed.size()) {
     return Value::Int(i);
+  }
+  // A field that is syntactically an integer but does not fit in int64 must
+  // not be silently demoted to an (inexact) double: reject it.
+  if (ir.ec == std::errc::result_out_of_range && IsIntegerSyntax(trimmed)) {
+    return Status::InvalidArgument(
+        "integer field '" + std::string(trimmed) + "' on line " +
+        std::to_string(line_number) + " overflows int64");
   }
   double d = 0;
   auto dr = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), d);
@@ -68,17 +87,30 @@ Value ParseField(const std::string& text, bool was_quoted, bool infer_types) {
   return Value::Str(std::string(trimmed));
 }
 
+bool ParsesAsNumber(const std::string& s) {
+  int64_t i;
+  auto ir = std::from_chars(s.data(), s.data() + s.size(), i);
+  if ((ir.ec == std::errc() || ir.ec == std::errc::result_out_of_range) &&
+      ir.ptr == s.data() + s.size()) {
+    return true;
+  }
+  double d;
+  auto dr = std::from_chars(s.data(), s.data() + s.size(), d);
+  return dr.ec == std::errc() && dr.ptr == s.data() + s.size();
+}
+
 void WriteField(const Value& v, char delimiter, std::ostream* out) {
   if (v.is_string()) {
     const std::string& s = v.string_value();
     bool needs_quotes = s.find(delimiter) != std::string::npos ||
                         s.find('"') != std::string::npos ||
                         s.find('\n') != std::string::npos;
-    if (!needs_quotes) {
-      // Quote strings that would otherwise parse as numbers.
-      int64_t i;
-      auto r = std::from_chars(s.data(), s.data() + s.size(), i);
-      needs_quotes = (r.ec == std::errc() && r.ptr == s.data() + s.size());
+    if (!needs_quotes && !s.empty()) {
+      // Quote strings the reader would otherwise reinterpret: anything
+      // parsing as a number, and anything whose surrounding whitespace the
+      // reader would trim away.
+      needs_quotes = ParsesAsNumber(s) ||
+                     StripWhitespace(s).size() != s.size();
     }
     if (needs_quotes) {
       *out << '"';
@@ -95,21 +127,29 @@ void WriteField(const Value& v, char delimiter, std::ostream* out) {
   if (v.is_int()) {
     *out << v.int_value();
   } else if (v.is_double()) {
-    *out << v.double_value();
+    // Shortest round-trip representation, so Write -> Read is lossless.
+    char buf[64];
+    auto r = std::to_chars(buf, buf + sizeof(buf), v.double_value());
+    out->write(buf, r.ptr - buf);
   } else {
     *out << "";
   }
 }
 
-}  // namespace
-
-Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel) {
+/// Shared line loop for ReadCsv/ReadCountedCsv. Invokes `row` with the split
+/// fields and the 1-based line number for every non-blank data row.
+template <typename RowFn>
+Status ReadRows(std::istream& in, const CsvOptions& options, RowFn row) {
   std::string line;
   int line_number = 0;
   bool skipped_header = !options.header;
   while (std::getline(in, line)) {
     ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find('\0') != std::string::npos) {
+      return Status::InvalidArgument("embedded NUL byte on line " +
+                                     std::to_string(line_number));
+    }
     if (StripWhitespace(line).empty()) continue;
     if (!skipped_header) {
       skipped_header = true;
@@ -117,26 +157,90 @@ Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel) {
     }
     IVM_ASSIGN_OR_RETURN(auto fields,
                          SplitCsvLine(line, options.delimiter, line_number));
-    if (rel->arity() != 0 && fields.size() != rel->arity()) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_number) + " has " +
-          std::to_string(fields.size()) + " fields; relation '" + rel->name() +
-          "' has arity " + std::to_string(rel->arity()));
-    }
-    std::vector<Value> values;
-    values.reserve(fields.size());
-    for (const auto& [text, was_quoted] : fields) {
-      values.push_back(ParseField(text, was_quoted, options.infer_types));
-    }
-    rel->Add(Tuple(std::move(values)), 1);
+    IVM_RETURN_IF_ERROR(row(fields, line_number));
   }
   return Status::OK();
+}
+
+Status ArityMismatch(int line_number, size_t got, const Relation& rel,
+                     size_t want) {
+  return Status::InvalidArgument(
+      "line " + std::to_string(line_number) + " has " + std::to_string(got) +
+      " fields; relation '" + rel.name() + "' expects " +
+      std::to_string(want));
+}
+
+}  // namespace
+
+Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel) {
+  return ReadRows(
+      in, options,
+      [&](const std::vector<std::pair<std::string, bool>>& fields,
+          int line_number) -> Status {
+        if (rel->arity() != 0 && fields.size() != rel->arity()) {
+          return ArityMismatch(line_number, fields.size(), *rel, rel->arity());
+        }
+        std::vector<Value> values;
+        values.reserve(fields.size());
+        for (const auto& [text, was_quoted] : fields) {
+          IVM_ASSIGN_OR_RETURN(
+              Value v,
+              ParseField(text, was_quoted, options.infer_types, line_number));
+          values.push_back(std::move(v));
+        }
+        rel->Add(Tuple(std::move(values)), 1);
+        return Status::OK();
+      });
 }
 
 Status ReadCsvString(const std::string& text, const CsvOptions& options,
                      Relation* rel) {
   std::istringstream in(text);
   return ReadCsv(in, options, rel);
+}
+
+Status ReadCountedCsv(std::istream& in, const CsvOptions& options,
+                      Relation* rel) {
+  return ReadRows(
+      in, options,
+      [&](const std::vector<std::pair<std::string, bool>>& fields,
+          int line_number) -> Status {
+        // A nullary relation's rows serialize as just ",<count>" (an empty
+        // leading field); everything else as arity + 1 fields.
+        size_t ncols = fields.size();
+        if (rel->arity() == 0) {
+          if (!(ncols == 1 || (ncols == 2 && fields[0].first.empty()))) {
+            return ArityMismatch(line_number, ncols, *rel, 1);
+          }
+        } else if (ncols != rel->arity() + 1) {
+          return ArityMismatch(line_number, ncols, *rel, rel->arity() + 1);
+        }
+        const std::string& count_text = fields.back().first;
+        std::string_view trimmed = StripWhitespace(count_text);
+        int64_t count = 0;
+        auto r = std::from_chars(trimmed.data(),
+                                 trimmed.data() + trimmed.size(), count);
+        if (r.ec != std::errc() ||
+            r.ptr != trimmed.data() + trimmed.size()) {
+          return Status::InvalidArgument(
+              "bad count field '" + count_text + "' on line " +
+              std::to_string(line_number));
+        }
+        if (count == 0) {
+          return Status::InvalidArgument("zero count on line " +
+                                         std::to_string(line_number));
+        }
+        std::vector<Value> values;
+        values.reserve(rel->arity());
+        for (size_t i = 0; i < rel->arity(); ++i) {
+          IVM_ASSIGN_OR_RETURN(
+              Value v, ParseField(fields[i].first, fields[i].second,
+                                  options.infer_types, line_number));
+          values.push_back(std::move(v));
+        }
+        rel->Add(Tuple(std::move(values)), count);
+        return Status::OK();
+      });
 }
 
 Status WriteCsv(const Relation& rel, const CsvOptions& options,

@@ -23,11 +23,22 @@ struct CsvOptions {
 /// duplicate rows accumulate counts). Field count must match the relation's
 /// arity when the relation is non-empty or has nonzero arity. Supports
 /// double-quoted fields with "" escapes.
+///
+/// Malformed input yields a clean error Status naming the line: an
+/// unterminated quoted field, a row with an embedded NUL byte, or an
+/// unquoted integer field overflowing int64 all reject the input instead of
+/// crashing or silently mis-parsing.
 Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel);
 
 /// Convenience: parse from a string.
 Status ReadCsvString(const std::string& text, const CsvOptions& options,
                      Relation* rel);
+
+/// Reads rows written by WriteCsv(..., with_counts=true): the last column is
+/// the signed tuple count (the checkpoint format, txn/checkpoint.h). A zero
+/// count is rejected; field count must be arity + 1.
+Status ReadCountedCsv(std::istream& in, const CsvOptions& options,
+                      Relation* rel);
 
 /// Writes `rel` as delimited text (sorted for determinism). Counts other
 /// than 1 are emitted as a trailing `#count` column when `with_counts`.

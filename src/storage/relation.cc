@@ -7,9 +7,34 @@ namespace ivm {
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
+  if (undo_hook_ != nullptr) undo_hook_->OnBulkReplace(this, tuples_);
   name_ = other.name_;
   arity_ = other.arity_;
   tuples_ = other.tuples_;
+  overflowed_ = other.overflowed_;
+  index_cache_.clear();
+  Touch();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      arity_(other.arity_),
+      tuples_(std::move(other.tuples_)),
+      version_(other.version_),
+      overflowed_(other.overflowed_),
+      index_cache_(std::move(other.index_cache_)) {
+  // The source's undo hook is deliberately not inherited: hooks track
+  // storage slots, not values.
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  if (undo_hook_ != nullptr) undo_hook_->OnBulkReplace(this, tuples_);
+  name_ = std::move(other.name_);
+  arity_ = other.arity_;
+  tuples_ = std::move(other.tuples_);
+  overflowed_ = other.overflowed_;
   index_cache_.clear();
   Touch();
   return *this;
@@ -35,10 +60,19 @@ void Relation::Add(const Tuple& tuple, int64_t count) {
 void Relation::AddInternal(const Tuple& tuple, int64_t count) {
   auto [it, inserted] = tuples_.try_emplace(tuple, count);
   if (inserted) {
+    if (undo_hook_ != nullptr) undo_hook_->OnCountChange(this, tuple, 0);
     ForEachLiveIndex([&](Index& index) { index.InsertEntry(&it->first, count); });
     return;
   }
-  it->second += count;
+  if (undo_hook_ != nullptr) undo_hook_->OnCountChange(this, tuple, it->second);
+  int64_t merged = 0;
+  if (__builtin_add_overflow(it->second, count, &merged)) {
+    // Saturate instead of wrapping (UB); the sticky flag turns this into an
+    // error Status at the next validation point.
+    overflowed_ = true;
+    merged = count > 0 ? INT64_MAX : INT64_MIN;
+  }
+  it->second = merged;
   if (it->second == 0) {
     ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
     tuples_.erase(it);
@@ -54,9 +88,13 @@ void Relation::Set(const Tuple& tuple, int64_t count) {
   if (it == tuples_.end()) {
     if (count != 0) AddInternal(tuple, count);
   } else if (count == 0) {
+    if (undo_hook_ != nullptr)
+      undo_hook_->OnCountChange(this, tuple, it->second);
     ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
     tuples_.erase(it);
   } else {
+    if (undo_hook_ != nullptr)
+      undo_hook_->OnCountChange(this, tuple, it->second);
     it->second = count;
     ForEachLiveIndex([&](Index& index) { index.UpdateEntry(&it->first, count); });
   }
@@ -66,6 +104,8 @@ void Relation::Set(const Tuple& tuple, int64_t count) {
 void Relation::Erase(const Tuple& tuple) {
   auto it = tuples_.find(tuple);
   if (it != tuples_.end()) {
+    if (undo_hook_ != nullptr)
+      undo_hook_->OnCountChange(this, tuple, it->second);
     ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
     tuples_.erase(it);
   }
@@ -73,6 +113,8 @@ void Relation::Erase(const Tuple& tuple) {
 }
 
 void Relation::Clear() {
+  if (undo_hook_ != nullptr && !tuples_.empty())
+    undo_hook_->OnBulkReplace(this, tuples_);
   tuples_.clear();
   index_cache_.clear();
   Touch();

@@ -13,6 +13,24 @@
 
 namespace ivm {
 
+class Relation;
+
+/// Observer of destructive edits to a Relation. The transaction layer
+/// (txn/undo_log.h) attaches one to every relation a maintainer may mutate
+/// during an Apply(); the hook records pre-images so a failed maintenance
+/// run can be rolled back to the exact prior state. Hooks fire *before* the
+/// mutation takes effect.
+class RelationUndoHook {
+ public:
+  virtual ~RelationUndoHook() = default;
+  /// The count of `tuple` in `*rel` is about to change; `old_count` is the
+  /// current count (0 when the tuple is absent).
+  virtual void OnCountChange(Relation* rel, const Tuple& tuple,
+                             int64_t old_count) = 0;
+  /// The whole content of `*rel` is about to be replaced (Clear, assignment).
+  virtual void OnBulkReplace(Relation* rel, const CountMap& old_tuples) = 0;
+};
+
 /// A relation with counted tuples (Section 3 of the paper). Each distinct
 /// tuple carries a signed 64-bit count:
 ///   * stored base relations and materialized views hold positive counts
@@ -30,11 +48,18 @@ class Relation {
   Relation(std::string name, size_t arity)
       : name_(std::move(name)), arity_(arity) {}
 
+  /// Copies contents but not the undo hook: a copy is a fresh, untracked
+  /// relation.
   Relation(const Relation& other)
-      : name_(other.name_), arity_(other.arity_), tuples_(other.tuples_) {}
+      : name_(other.name_),
+        arity_(other.arity_),
+        tuples_(other.tuples_),
+        overflowed_(other.overflowed_) {}
   Relation& operator=(const Relation& other);
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  /// Moves contents; the hook stays with the *slot*: the target keeps (and
+  /// notifies) its own hook, the new object starts untracked.
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -101,6 +126,25 @@ class Relation {
   /// Monotone modification counter; bumps on every mutation.
   uint64_t version() const { return version_; }
 
+  /// Sticky flag set when any count merge would have overflowed int64_t.
+  /// The affected counts are saturated instead of wrapping (no UB), and the
+  /// flag lets callers surface an error Status at the API boundary
+  /// (ChangeSet::Validate, the transaction post-conditions) instead of
+  /// silently corrupting derivation counts.
+  bool overflowed() const { return overflowed_; }
+  /// Restores the flag to a recorded value (used by rollback) or clears it.
+  void set_overflowed(bool value) { overflowed_ = value; }
+
+  /// Attaches/detaches the undo hook (see RelationUndoHook). At most one
+  /// hook may be attached; attaching over an existing hook is a checked
+  /// error so nested transactions fail loudly instead of losing pre-images.
+  void set_undo_hook(RelationUndoHook* hook) {
+    IVM_CHECK(hook == nullptr || undo_hook_ == nullptr)
+        << "relation '" << name_ << "' already has an undo hook";
+    undo_hook_ = hook;
+  }
+  RelationUndoHook* undo_hook() const { return undo_hook_; }
+
   /// Returns a hash index on `key_columns` (built or rebuilt if stale). The
   /// returned reference is invalidated by any subsequent modification.
   const Index& GetIndex(const std::vector<size_t>& key_columns) const;
@@ -138,6 +182,8 @@ class Relation {
   size_t arity_ = 0;
   CountMap tuples_;
   uint64_t version_ = 0;
+  bool overflowed_ = false;
+  RelationUndoHook* undo_hook_ = nullptr;
 
   struct CachedIndex {
     uint64_t built_version = 0;

@@ -1,0 +1,49 @@
+#ifndef IVM_TXN_CHECKPOINT_H_
+#define IVM_TXN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// A durable snapshot of one ViewManager: the program, the chosen strategy
+/// and semantics, the base-relation snapshot, and the materialized views
+/// (all with counts). Together with the WAL tail (records with epoch >
+/// checkpoint epoch) this reconstructs the manager exactly.
+struct CheckpointData {
+  /// Epoch of the last committed operation folded into this snapshot; WAL
+  /// replay resumes after it.
+  uint64_t epoch = 0;
+  std::string strategy;       // StrategyName() of the manager's strategy
+  std::string semantics;      // "set" or "duplicate"
+  std::string program_text;   // Program::ToString(); re-parsed on recovery
+  std::map<std::string, Relation> base;
+  std::map<std::string, Relation> views;
+};
+
+/// On-disk layout under `dir`:
+///
+///   dir/checkpoint/MANIFEST          epoch, strategy, semantics, program,
+///                                    relation index (written last: its
+///                                    presence marks the snapshot complete)
+///   dir/checkpoint/base_<name>.csv   counted CSV via storage/io
+///   dir/checkpoint/view_<name>.csv
+///   dir/checkpoint.tmp/              staging area while writing
+///   dir/checkpoint.old/              previous snapshot during the swap
+///
+/// WriteCheckpoint stages into checkpoint.tmp, then swaps: checkpoint ->
+/// checkpoint.old, checkpoint.tmp -> checkpoint, delete checkpoint.old. A
+/// crash at any point leaves either the old or the new snapshot readable.
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data);
+
+/// Loads the newest complete snapshot (falling back to checkpoint.old when
+/// the swap was interrupted). NotFound when `dir` holds no checkpoint.
+Result<CheckpointData> ReadCheckpoint(const std::string& dir);
+
+}  // namespace ivm
+
+#endif  // IVM_TXN_CHECKPOINT_H_

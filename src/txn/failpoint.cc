@@ -1,0 +1,133 @@
+#include "txn/failpoint.h"
+
+namespace ivm {
+
+const std::vector<std::string> kFailpointCatalogue = {
+    // Counting maintainer (Algorithm 4.1).
+    "counting.stratum.begin",     // entering a stratum's delta rules
+    "counting.stratum.finalize",  // after Lemma 4.1 check, before PutDelta
+    "counting.fold.base",         // mid-fold of base deltas into the snapshot
+    "counting.fold.views",        // mid-fold of view deltas into the views
+    // DRed maintainer (Section 7).
+    "dred.commit.base",           // mid-commit of base deltas
+    "dred.overdelete.per_tuple",  // each tuple absorbed into the overestimate
+    "dred.rederive.round",        // each rederivation fixpoint round
+    "dred.insert.per_tuple",      // each tuple absorbed by the insert phase
+    "dred.commit.stratum",        // netting out a stratum's del/add
+    // PF maintainer.
+    "pf.fragment",                // before propagating each fragment
+    // Recursive counting maintainer.
+    "rc.worklist.step",           // each worklist pop
+    // Recompute baseline.
+    "recompute.reevaluate",       // after base fold, before re-evaluation
+    // ViewManager commit path.
+    "viewmanager.commit",         // after maintainer success, before commit
+    // Durability.
+    "wal.append",                 // before a WAL record is written
+    "wal.append.torn",            // after a partial record is written
+    "checkpoint.relation",        // after each relation file is written
+    "checkpoint.manifest",        // before the manifest is written
+    "checkpoint.swap",            // between swapping in the new checkpoint
+};
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* instance = new FailpointRegistry();
+  return *instance;
+}
+
+namespace {
+// xorshift64* — deterministic, seedable, no <random> heft.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+}  // namespace
+
+Status FailpointRegistry::Check(const char* name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, Config()).first;
+  }
+  Config& config = it->second;
+  ++config.hits;
+  bool fire = false;
+  switch (config.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kNthHit:
+      if (config.hits == config.nth) {
+        fire = true;
+        config.mode = Mode::kOff;  // one-shot
+      }
+      break;
+    case Mode::kProbability: {
+      double draw = static_cast<double>(NextRandom(&config.rng_state) >> 11) *
+                    (1.0 / 9007199254740992.0);  // [0, 1)
+      fire = draw < config.probability;
+      break;
+    }
+    case Mode::kAlways:
+      fire = true;
+      break;
+  }
+  if (!fire) return Status::OK();
+  return Status::Internal(std::string("failpoint '") + name + "' triggered");
+}
+
+void FailpointRegistry::ArmOnNthHit(const std::string& name, uint64_t n) {
+  Config& config = points_[name];
+  config.mode = Mode::kNthHit;
+  config.nth = config.hits + n;  // n-th hit from now
+}
+
+void FailpointRegistry::ArmWithProbability(const std::string& name, double p,
+                                           uint64_t seed) {
+  Config& config = points_[name];
+  config.mode = Mode::kProbability;
+  config.probability = p;
+  config.rng_state = seed != 0 ? seed : 0x9E3779B97F4A7C15ULL;
+}
+
+void FailpointRegistry::ArmAlways(const std::string& name) {
+  points_[name].mode = Mode::kAlways;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  auto it = points_.find(name);
+  if (it != points_.end()) it->second.mode = Mode::kOff;
+}
+
+void FailpointRegistry::DisarmAll() {
+  for (auto& [name, config] : points_) {
+    (void)name;
+    config.mode = Mode::kOff;
+  }
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+void FailpointRegistry::ResetHitCounts() {
+  for (auto& [name, config] : points_) {
+    (void)name;
+    config.hits = 0;
+    config.nth = 0;
+    config.mode = Mode::kOff;
+  }
+}
+
+bool FailpointRegistry::CompiledIn() {
+#if defined(IVM_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ivm

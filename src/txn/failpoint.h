@@ -1,0 +1,81 @@
+#ifndef IVM_TXN_FAILPOINT_H_
+#define IVM_TXN_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ivm {
+
+/// Named fault-injection points compiled into the maintenance, WAL, and
+/// checkpoint paths (under -DIVM_FAILPOINTS=ON). A failpoint does nothing
+/// until a test arms it; an armed failpoint makes the instrumented code
+/// return an error Status at that exact site, simulating a crash or
+/// mid-flight failure. The transaction layer must then roll the maintainer
+/// back to its pre-call state, and recovery must restore the last committed
+/// state from disk — the recovery property test exercises every site in
+/// kFailpointCatalogue.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Called by IVM_FAILPOINT at an instrumented site. Returns a non-OK
+  /// Status when the failpoint is armed and its trigger condition fires.
+  Status Check(const char* name);
+
+  /// Fails on the `n`-th execution of the site (1-based), once.
+  void ArmOnNthHit(const std::string& name, uint64_t n);
+  /// Fails each execution independently with probability `p` (seeded,
+  /// deterministic).
+  void ArmWithProbability(const std::string& name, double p, uint64_t seed);
+  /// Fails on every execution.
+  void ArmAlways(const std::string& name);
+
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// Executions of the site since the last ResetHitCounts (armed or not).
+  uint64_t HitCount(const std::string& name) const;
+  void ResetHitCounts();
+
+  /// True when the library was compiled with failpoints instrumented
+  /// (-DIVM_FAILPOINTS=ON); otherwise IVM_FAILPOINT is a no-op and arming
+  /// has no effect.
+  static bool CompiledIn();
+
+ private:
+  enum class Mode { kOff, kNthHit, kProbability, kAlways };
+  struct Config {
+    Mode mode = Mode::kOff;
+    uint64_t nth = 0;
+    double probability = 0.0;
+    uint64_t rng_state = 0;
+    uint64_t hits = 0;
+  };
+  std::map<std::string, Config> points_;
+};
+
+/// Canonical names of every instrumented site; tests iterate this list to
+/// kill maintenance at every possible point. Keep in sync with the
+/// IVM_FAILPOINT call sites (docs/recovery.md lists each site's location).
+extern const std::vector<std::string> kFailpointCatalogue;
+
+#if defined(IVM_FAILPOINTS)
+#define IVM_FAILPOINT(name)                                              \
+  do {                                                                   \
+    ::ivm::Status ivm_fp_status_ =                                       \
+        ::ivm::FailpointRegistry::Instance().Check(name);                \
+    if (!ivm_fp_status_.ok()) return ivm_fp_status_;                     \
+  } while (false)
+#else
+#define IVM_FAILPOINT(name) \
+  do {                      \
+  } while (false)
+#endif
+
+}  // namespace ivm
+
+#endif  // IVM_TXN_FAILPOINT_H_

@@ -1,0 +1,24 @@
+#ifndef IVM_TXN_TXN_H_
+#define IVM_TXN_TXN_H_
+
+namespace ivm {
+
+/// Rollback handle for one in-flight maintenance operation. Obtained from
+/// Maintainer::BeginTxn() before the mutation starts; exactly one of
+/// Commit() or Rollback() must be called before destruction.
+///
+///   * Rollback() restores the maintainer to its state at BeginTxn() —
+///     contents, counts, and overflow flags byte-identical.
+///   * Commit() discards the recorded pre-images and detaches any hooks.
+///
+/// Destroying an open transaction rolls it back (abort-on-unwind safety).
+class MaintainerTxn {
+ public:
+  virtual ~MaintainerTxn() = default;
+  virtual void Commit() = 0;
+  virtual void Rollback() = 0;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_TXN_TXN_H_

@@ -1,0 +1,470 @@
+#include "txn/wal.h"
+
+#include <cstring>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+#include "txn/failpoint.h"
+
+namespace ivm {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'V', 'M', 'W', 'A', 'L', '1', '\n'};
+
+// --- CRC-32 (IEEE 802.3), table-driven. ---
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool built = false;
+  if (!built) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    built = true;
+  }
+  return table;
+}
+
+uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+// --- Little-endian primitive encoding into a byte string. ---
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over a payload.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++])) << (8 * i);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++])) << (8 * i);
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t u;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// --- Value / Tuple / delta-map encoding. ---
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kInt:
+      PutI64(out, v.int_value());
+      break;
+    case Value::Kind::kDouble: {
+      double d = v.double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case Value::Kind::kString:
+      PutString(out, v.string_value());
+      break;
+  }
+}
+
+bool ReadValue(Reader* in, Value* v) {
+  uint8_t kind;
+  if (!in->ReadU8(&kind)) return false;
+  switch (static_cast<Value::Kind>(kind)) {
+    case Value::Kind::kNull:
+      *v = Value::Null();
+      return true;
+    case Value::Kind::kInt: {
+      int64_t i;
+      if (!in->ReadI64(&i)) return false;
+      *v = Value::Int(i);
+      return true;
+    }
+    case Value::Kind::kDouble: {
+      uint64_t bits;
+      if (!in->ReadU64(&bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = Value::Real(d);
+      return true;
+    }
+    case Value::Kind::kString: {
+      std::string s;
+      if (!in->ReadString(&s)) return false;
+      *v = Value::Str(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutU32(out, static_cast<uint32_t>(t.size()));
+  for (size_t i = 0; i < t.size(); ++i) PutValue(out, t[i]);
+}
+
+bool ReadTuple(Reader* in, Tuple* t) {
+  uint32_t arity;
+  if (!in->ReadU32(&arity)) return false;
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!ReadValue(in, &v)) return false;
+    values.push_back(std::move(v));
+  }
+  *t = Tuple(std::move(values));
+  return true;
+}
+
+std::string EncodeDeltas(const std::map<std::string, Relation>& deltas) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(deltas.size()));
+  for (const auto& [name, rel] : deltas) {
+    PutString(&out, name);
+    PutU32(&out, static_cast<uint32_t>(rel.arity()));
+    PutU64(&out, rel.size());
+    // Sorted for a deterministic encoding (same change set -> same bytes).
+    for (const Tuple& tuple : rel.SortedTuples()) {
+      PutTuple(&out, tuple);
+      PutI64(&out, rel.Count(tuple));
+    }
+  }
+  return out;
+}
+
+bool DecodeDeltas(Reader* in, std::map<std::string, Relation>* deltas) {
+  uint32_t num_rels;
+  if (!in->ReadU32(&num_rels)) return false;
+  for (uint32_t r = 0; r < num_rels; ++r) {
+    std::string name;
+    uint32_t arity;
+    uint64_t num_tuples;
+    if (!in->ReadString(&name) || !in->ReadU32(&arity) ||
+        !in->ReadU64(&num_tuples)) {
+      return false;
+    }
+    Relation rel(name, arity);
+    for (uint64_t i = 0; i < num_tuples; ++i) {
+      Tuple tuple;
+      int64_t count;
+      if (!ReadTuple(in, &tuple) || !in->ReadI64(&count)) return false;
+      if (count != 0) rel.Set(tuple, count);
+    }
+    deltas->emplace(std::move(name), std::move(rel));
+  }
+  return true;
+}
+
+Status Flush(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::Internal("WAL flush failed for " + path);
+  }
+#ifdef __unix__
+  if (fsync(fileno(file)) != 0) {
+    return Status::Internal("WAL fsync failed for " + path);
+  }
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  // Validate an existing header first. A file shorter than the magic is a
+  // torn header from a crashed create — no record ever committed — so it is
+  // safe to start over.
+  bool recreate = false;
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe != nullptr) {
+    char magic[sizeof(kMagic)];
+    size_t got = std::fread(magic, 1, sizeof(magic), probe);
+    std::fclose(probe);
+    if (got == sizeof(magic)) {
+      if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        return Status::InvalidArgument(path + " is not an IVM WAL file");
+      }
+    } else if (got > 0) {
+      recreate = true;
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), recreate ? "wb" : "ab");
+  if (file == nullptr) {
+    return Status::Internal("cannot open WAL file " + path);
+  }
+  // A fresh (or header-less empty) file gets the magic header.
+  std::fseek(file, 0, SEEK_END);
+  if (std::ftell(file) == 0) {
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file) != sizeof(kMagic)) {
+      std::fclose(file);
+      return Status::Internal("cannot write WAL header to " + path);
+    }
+    Status flushed = Flush(file, path);
+    if (!flushed.ok()) {
+      std::fclose(file);
+      return flushed;
+    }
+  }
+  std::fseek(file, 0, SEEK_END);
+  int64_t committed = std::ftell(file);
+  // An existing log may carry a torn/corrupt tail from a crash mid-append.
+  // Truncate it away now: appends go at the end of the file, so without the
+  // repair every later record would sit behind the junk, unreadable.
+  if (committed > static_cast<int64_t>(sizeof(kMagic))) {
+    bool torn = false;
+    int64_t valid_end = 0;
+    auto scan = ReadAll(path, &torn, &valid_end);
+    if (!scan.ok()) {
+      std::fclose(file);
+      return scan.status();
+    }
+    if (torn) {
+#ifdef __unix__
+      if (ftruncate(fileno(file), valid_end) != 0) {
+        std::fclose(file);
+        return Status::Internal("cannot truncate torn WAL tail of " + path);
+      }
+      std::fseek(file, 0, SEEK_END);
+      committed = valid_end;
+#else
+      std::fclose(file);
+      return Status::Internal("WAL " + path +
+                              " has a torn tail and cannot be repaired on "
+                              "this platform");
+#endif
+    }
+  }
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
+  wal->committed_size_ = committed;
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::AppendRecord(uint64_t epoch, WalRecordKind kind,
+                                   const std::string& payload) {
+  IVM_FAILPOINT("wal.append");
+  // A previous append may have failed partway (simulated by the
+  // wal.append.torn failpoint, or a real short write): repair the tail
+  // before extending the log, or the new record lands behind the junk.
+  std::fseek(file_, 0, SEEK_END);
+  if (std::ftell(file_) != committed_size_) {
+#ifdef __unix__
+    std::fflush(file_);
+    if (ftruncate(fileno(file_), committed_size_) != 0) {
+      return Status::Internal("cannot truncate torn WAL tail of " + path_);
+    }
+    std::fseek(file_, 0, SEEK_END);
+#else
+    return Status::Internal("WAL " + path_ +
+                            " has a torn tail and cannot be repaired on this "
+                            "platform");
+#endif
+  }
+  std::string body;  // epoch | kind | payload (the CRC-covered bytes)
+  PutU64(&body, epoch);
+  PutU8(&body, static_cast<uint8_t>(kind));
+  body.append(payload);
+  std::string record;
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  record.append(body);
+  PutU32(&record, Crc32(body.data(), body.size()));
+
+#if defined(IVM_FAILPOINTS)
+  {
+    // Simulates a crash mid-write: half the record reaches the disk, then
+    // the append fails. Recovery must skip the torn tail.
+    Status torn = FailpointRegistry::Instance().Check("wal.append.torn");
+    if (!torn.ok()) {
+      size_t half = record.size() / 2;
+      std::fwrite(record.data(), 1, half, file_);
+      (void)Flush(file_, path_);
+      return torn;
+    }
+  }
+#endif
+
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Internal("WAL append failed for " + path_);
+  }
+  IVM_RETURN_IF_ERROR(Flush(file_, path_));
+  committed_size_ += static_cast<int64_t>(record.size());
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendChangeSet(
+    uint64_t epoch, const std::map<std::string, Relation>& deltas) {
+  return AppendRecord(epoch, WalRecordKind::kChangeSet, EncodeDeltas(deltas));
+}
+
+Status WriteAheadLog::AppendAddRule(uint64_t epoch,
+                                    const std::string& rule_text) {
+  std::string payload;
+  PutString(&payload, rule_text);
+  return AppendRecord(epoch, WalRecordKind::kAddRule, payload);
+}
+
+Status WriteAheadLog::AppendRemoveRule(uint64_t epoch, int rule_index) {
+  std::string payload;
+  PutI64(&payload, rule_index);
+  return AppendRecord(epoch, WalRecordKind::kRemoveRule, payload);
+}
+
+Status WriteAheadLog::Reset() {
+  std::FILE* file = std::fopen(path_.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot truncate WAL file " + path_);
+  }
+  std::fclose(file_);
+  file_ = file;
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic)) {
+    return Status::Internal("cannot write WAL header to " + path_);
+  }
+  IVM_RETURN_IF_ERROR(Flush(file_, path_));
+  committed_size_ = static_cast<int64_t>(sizeof(kMagic));
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(const std::string& path,
+                                                      bool* torn_tail,
+                                                      int64_t* valid_end) {
+  if (torn_tail != nullptr) *torn_tail = false;
+  if (valid_end != nullptr) *valid_end = static_cast<int64_t>(sizeof(kMagic));
+  std::vector<WalRecord> records;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return records;  // no log yet: nothing to replay
+
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file);
+    return Status::InvalidArgument(path + " is not an IVM WAL file");
+  }
+
+  uint64_t last_epoch = 0;
+  while (true) {
+    unsigned char header[4];
+    size_t got = std::fread(header, 1, sizeof(header), file);
+    if (got == 0) break;  // clean EOF
+    if (got < sizeof(header)) {
+      if (torn_tail != nullptr) *torn_tail = true;  // torn length prefix
+      break;
+    }
+    uint32_t payload_len = 0;
+    for (int i = 0; i < 4; ++i)
+      payload_len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    // epoch(8) + kind(1) + payload + crc(4)
+    const size_t body_len = 8 + 1 + static_cast<size_t>(payload_len);
+    std::string body(body_len, '\0');
+    if (std::fread(body.data(), 1, body_len, file) != body_len) {
+      if (torn_tail != nullptr) *torn_tail = true;  // torn body
+      break;
+    }
+    unsigned char crc_bytes[4];
+    if (std::fread(crc_bytes, 1, sizeof(crc_bytes), file) != sizeof(crc_bytes)) {
+      if (torn_tail != nullptr) *torn_tail = true;  // torn crc
+      break;
+    }
+    uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i)
+      stored_crc |= static_cast<uint32_t>(crc_bytes[i]) << (8 * i);
+    if (Crc32(body.data(), body.size()) != stored_crc) {
+      if (torn_tail != nullptr) *torn_tail = true;  // corrupt record
+      break;
+    }
+
+    Reader in(body.data(), body.size());
+    WalRecord record;
+    uint8_t kind;
+    bool parsed = in.ReadU64(&record.epoch) && in.ReadU8(&kind);
+    if (parsed) {
+      record.kind = static_cast<WalRecordKind>(kind);
+      switch (record.kind) {
+        case WalRecordKind::kChangeSet:
+          parsed = DecodeDeltas(&in, &record.deltas);
+          break;
+        case WalRecordKind::kAddRule:
+          parsed = in.ReadString(&record.rule_text);
+          break;
+        case WalRecordKind::kRemoveRule: {
+          int64_t index = 0;
+          parsed = in.ReadI64(&index);
+          record.rule_index = static_cast<int>(index);
+          break;
+        }
+        default:
+          parsed = false;
+      }
+      parsed = parsed && in.AtEnd();
+    }
+    if (!parsed || record.epoch <= last_epoch) {
+      if (torn_tail != nullptr) *torn_tail = true;  // malformed payload
+      break;
+    }
+    last_epoch = record.epoch;
+    records.push_back(std::move(record));
+    if (valid_end != nullptr) *valid_end = static_cast<int64_t>(std::ftell(file));
+  }
+  std::fclose(file);
+  return records;
+}
+
+}  // namespace ivm

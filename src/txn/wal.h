@@ -1,0 +1,97 @@
+#ifndef IVM_TXN_WAL_H_
+#define IVM_TXN_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace ivm {
+
+/// What a WAL record describes: a committed base-relation change set, or a
+/// committed view redefinition (Section 7 rule addition/removal).
+enum class WalRecordKind : uint8_t {
+  kChangeSet = 1,
+  kAddRule = 2,
+  kRemoveRule = 3,
+};
+
+struct WalRecord {
+  uint64_t epoch = 0;
+  WalRecordKind kind = WalRecordKind::kChangeSet;
+  /// kChangeSet: the *input* deltas (keyed by base-relation name) whose
+  /// maintenance committed at `epoch`; replaying them through Apply()
+  /// reproduces the views.
+  std::map<std::string, Relation> deltas;
+  /// kAddRule: the rule text.
+  std::string rule_text;
+  /// kRemoveRule: the removed rule's index.
+  int rule_index = 0;
+};
+
+/// Append-only durable change log. Record layout (little-endian):
+///
+///   file      := magic record*
+///   magic     := "IVMWAL1\n" (8 bytes)
+///   record    := u32 payload_len | u64 epoch | u8 kind | payload | u32 crc
+///   crc       := CRC-32 (IEEE) over epoch, kind, and payload bytes
+///
+/// Appends are flushed and fsync'd before they are reported committed.
+/// Readers stop at the first torn (incomplete), corrupt (CRC mismatch), or
+/// out-of-order (non-increasing epoch) record — exactly the crash-recovery
+/// contract: a prefix of committed records survives, a torn tail is ignored.
+class WriteAheadLog {
+ public:
+  /// Opens `path` for appending, creating it (with the magic header) when
+  /// absent. Validates the header of an existing file and truncates any
+  /// torn/corrupt tail left by a crash, so new appends extend the committed
+  /// prefix instead of landing unreadably after the junk.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  Status AppendChangeSet(uint64_t epoch,
+                         const std::map<std::string, Relation>& deltas);
+  Status AppendAddRule(uint64_t epoch, const std::string& rule_text);
+  Status AppendRemoveRule(uint64_t epoch, int rule_index);
+
+  /// Resets the log to just the magic header (after a checkpoint absorbed
+  /// all records).
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+
+  /// Reads every valid record of `path`; returns an empty vector when the
+  /// file does not exist. `torn_tail` (optional) is set to true when
+  /// trailing bytes were skipped as torn/corrupt; `valid_end` (optional)
+  /// receives the file offset just past the last valid record (the size of
+  /// the committed prefix).
+  static Result<std::vector<WalRecord>> ReadAll(const std::string& path,
+                                                bool* torn_tail = nullptr,
+                                                int64_t* valid_end = nullptr);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  Status AppendRecord(uint64_t epoch, WalRecordKind kind,
+                      const std::string& payload);
+
+  std::string path_;
+  std::FILE* file_;
+  /// File size after the last committed append (or header). A failed append
+  /// can leave a torn record past this point; the next append truncates back
+  /// to it first, so a surviving process keeps a fully readable log.
+  int64_t committed_size_ = 0;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_TXN_WAL_H_

@@ -1,6 +1,10 @@
 #include "core/change_set.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
+
+#include "test_util.h"
 
 namespace ivm {
 namespace {
@@ -55,6 +59,28 @@ TEST(ChangeSetTest, ToStringSkipsEmpty) {
   cs.Insert("r", Tup(1));
   cs.Delete("r", Tup(1));
   EXPECT_EQ(cs.ToString(), "");
+}
+
+TEST(ChangeSetTest, ValidateFlagsOverflowedDeltas) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  ChangeSet cs;
+  cs.Insert("r", Tup(1), kMax);
+  IVM_EXPECT_OK(cs.Validate());
+  cs.Insert("r", Tup(1), 1);  // saturates the delta count
+  Status s = cs.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'r'"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("overflow"), std::string::npos) << s.ToString();
+}
+
+TEST(ChangeSetTest, ValidateFlagsOverflowFromMerge) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  ChangeSet cs;
+  cs.Insert("r", Tup(1), kMax);
+  Relation delta("r", 1);
+  delta.Add(Tup(1), kMax);
+  cs.Merge("r", delta);
+  EXPECT_FALSE(cs.Validate().ok());
 }
 
 }  // namespace

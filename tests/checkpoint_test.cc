@@ -1,0 +1,136 @@
+// Checkpoint snapshots: write/read round trips (including counted relations
+// with awkward values), the staged-swap crash contract (checkpoint.old
+// fallback), and error reporting for missing or incomplete snapshots.
+
+#include "txn/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  fs::path p = fs::path(::testing::TempDir()) / ("ivm_ckpt_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+CheckpointData SampleData() {
+  CheckpointData data;
+  data.epoch = 7;
+  data.strategy = "counting";
+  data.semantics = "set";
+  data.program_text = "base link/2.\nhop(X, Y) :- link(X, Z) & link(Z, Y).\n";
+  Relation link("link", 2);
+  link.Add(Tup(1, 2), 1);
+  link.Add(Tup("x", "y"), 3);
+  // Values that stress the CSV layer: number-like strings, doubles needing
+  // shortest-round-trip formatting, quotes and commas.
+  link.Add(Tup("42", 0.1), 2);
+  link.Add(Tup("he said \"hi\"", "a,b"), 1);
+  data.base.emplace("link", std::move(link));
+  Relation hop("hop", 2);
+  hop.Add(Tup(1, 3), 4);
+  data.views.emplace("hop", std::move(hop));
+  Relation empty("lonely", 1);
+  data.views.emplace("lonely", std::move(empty));
+  return data;
+}
+
+void ExpectDataEq(const CheckpointData& got, const CheckpointData& want) {
+  EXPECT_EQ(got.epoch, want.epoch);
+  EXPECT_EQ(got.strategy, want.strategy);
+  EXPECT_EQ(got.semantics, want.semantics);
+  EXPECT_EQ(got.program_text, want.program_text);
+  ASSERT_EQ(got.base.size(), want.base.size());
+  for (const auto& [name, rel] : want.base) {
+    ASSERT_TRUE(got.base.count(name)) << name;
+    EXPECT_EQ(got.base.at(name), rel) << name;
+  }
+  ASSERT_EQ(got.views.size(), want.views.size());
+  for (const auto& [name, rel] : want.views) {
+    ASSERT_TRUE(got.views.count(name)) << name;
+    EXPECT_EQ(got.views.at(name), rel) << name;
+  }
+}
+
+TEST(CheckpointTest, WriteReadRoundTrips) {
+  const std::string dir = TestDir("roundtrip");
+  const CheckpointData data = SampleData();
+  IVM_ASSERT_OK(WriteCheckpoint(dir, data));
+  auto loaded = ReadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDataEq(*loaded, data);
+}
+
+TEST(CheckpointTest, SecondWriteReplacesFirst) {
+  const std::string dir = TestDir("replace");
+  CheckpointData data = SampleData();
+  IVM_ASSERT_OK(WriteCheckpoint(dir, data));
+  data.epoch = 12;
+  data.base.at("link").Add(Tup(9, 9), 1);
+  IVM_ASSERT_OK(WriteCheckpoint(dir, data));
+  auto loaded = ReadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDataEq(*loaded, data);
+  // The swap completed, so no stale fallback lingers.
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "checkpoint.old"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "checkpoint.tmp"));
+}
+
+TEST(CheckpointTest, EmptyDirIsNotFound) {
+  const std::string dir = TestDir("empty");
+  auto loaded = ReadCheckpoint(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, FallsBackToOldWhenSwapWasInterrupted) {
+  const std::string dir = TestDir("fallback");
+  CheckpointData old_data = SampleData();
+  IVM_ASSERT_OK(WriteCheckpoint(dir, old_data));
+  // Simulate a crash after `checkpoint` was demoted to `checkpoint.old` but
+  // before the new staging dir was promoted.
+  fs::rename(fs::path(dir) / "checkpoint", fs::path(dir) / "checkpoint.old");
+  auto loaded = ReadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDataEq(*loaded, old_data);
+}
+
+TEST(CheckpointTest, IncompleteLiveSnapshotFallsBackToOld) {
+  const std::string dir = TestDir("incomplete");
+  CheckpointData old_data = SampleData();
+  IVM_ASSERT_OK(WriteCheckpoint(dir, old_data));
+  fs::rename(fs::path(dir) / "checkpoint", fs::path(dir) / "checkpoint.old");
+  // A live dir without MANIFEST (crash mid-stage-promotion) must not win.
+  fs::create_directories(fs::path(dir) / "checkpoint");
+  std::ofstream(fs::path(dir) / "checkpoint" / "base_link.csv") << "1,2,1\n";
+  auto loaded = ReadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDataEq(*loaded, old_data);
+}
+
+TEST(CheckpointTest, StaleTmpDirIsIgnored) {
+  const std::string dir = TestDir("staletmp");
+  const CheckpointData data = SampleData();
+  IVM_ASSERT_OK(WriteCheckpoint(dir, data));
+  // Leftover staging dir from a crashed writer must neither be read nor
+  // break subsequent writes.
+  fs::create_directories(fs::path(dir) / "checkpoint.tmp");
+  std::ofstream(fs::path(dir) / "checkpoint.tmp" / "junk") << "junk";
+  auto loaded = ReadCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok());
+  ExpectDataEq(*loaded, data);
+  IVM_ASSERT_OK(WriteCheckpoint(dir, data));
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,130 @@
+// The fault-injection registry. The registry itself is always compiled (only
+// the IVM_FAILPOINT macro is gated on -DIVM_FAILPOINTS), so its arming /
+// counting semantics are testable in every build by calling Check() directly.
+
+#include "txn/failpoint.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ivm {
+namespace {
+
+class FailpointRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    FailpointRegistry::Instance().ResetHitCounts();
+  }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  FailpointRegistry& reg() { return FailpointRegistry::Instance(); }
+};
+
+TEST_F(FailpointRegistryTest, UnarmedSiteAlwaysPasses) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(reg().Check("test.unarmed").ok());
+  }
+  EXPECT_EQ(reg().HitCount("test.unarmed"), 5u);
+}
+
+TEST_F(FailpointRegistryTest, ArmOnNthHitFiresExactlyOnce) {
+  reg().ArmOnNthHit("test.nth", 3);
+  EXPECT_TRUE(reg().Check("test.nth").ok());
+  EXPECT_TRUE(reg().Check("test.nth").ok());
+  EXPECT_FALSE(reg().Check("test.nth").ok());
+  // One-shot: after firing, the site passes again.
+  EXPECT_TRUE(reg().Check("test.nth").ok());
+  EXPECT_TRUE(reg().Check("test.nth").ok());
+}
+
+TEST_F(FailpointRegistryTest, ArmOnNthHitCountsFromArmingTime) {
+  // Executions before arming must not count toward the nth hit.
+  EXPECT_TRUE(reg().Check("test.rearm").ok());
+  EXPECT_TRUE(reg().Check("test.rearm").ok());
+  reg().ArmOnNthHit("test.rearm", 2);
+  EXPECT_TRUE(reg().Check("test.rearm").ok());
+  EXPECT_FALSE(reg().Check("test.rearm").ok());
+}
+
+TEST_F(FailpointRegistryTest, ArmAlwaysFailsEveryTime) {
+  reg().ArmAlways("test.always");
+  for (int i = 0; i < 4; ++i) {
+    Status s = reg().Check("test.always");
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("test.always"), std::string::npos)
+        << "failpoint error should name the site: " << s.ToString();
+  }
+  reg().Disarm("test.always");
+  EXPECT_TRUE(reg().Check("test.always").ok());
+}
+
+TEST_F(FailpointRegistryTest, ProbabilityZeroAndOneAreDegenerate) {
+  reg().ArmWithProbability("test.p0", 0.0, /*seed=*/1);
+  reg().ArmWithProbability("test.p1", 1.0, /*seed=*/1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(reg().Check("test.p0").ok());
+    EXPECT_FALSE(reg().Check("test.p1").ok());
+  }
+}
+
+TEST_F(FailpointRegistryTest, ProbabilityIsDeterministicPerSeed) {
+  auto trace = [&](uint64_t seed) {
+    reg().ArmWithProbability("test.prob", 0.5, seed);
+    std::string t;
+    for (int i = 0; i < 64; ++i) {
+      t += reg().Check("test.prob").ok() ? '.' : 'X';
+    }
+    reg().Disarm("test.prob");
+    return t;
+  };
+  const std::string a = trace(42);
+  const std::string b = trace(42);
+  const std::string c = trace(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(c, a);  // different seed, different trace (overwhelmingly likely)
+  // p=0.5 over 64 draws should fire at least once and pass at least once.
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointRegistryTest, DisarmAllClearsEverything) {
+  reg().ArmAlways("test.a");
+  reg().ArmAlways("test.b");
+  reg().DisarmAll();
+  EXPECT_TRUE(reg().Check("test.a").ok());
+  EXPECT_TRUE(reg().Check("test.b").ok());
+}
+
+TEST_F(FailpointRegistryTest, HitCountsTrackAndReset) {
+  reg().Check("test.hits");
+  reg().Check("test.hits");
+  reg().Check("test.other");
+  EXPECT_EQ(reg().HitCount("test.hits"), 2u);
+  EXPECT_EQ(reg().HitCount("test.other"), 1u);
+  EXPECT_EQ(reg().HitCount("test.never"), 0u);
+  reg().ResetHitCounts();
+  EXPECT_EQ(reg().HitCount("test.hits"), 0u);
+}
+
+TEST_F(FailpointRegistryTest, CatalogueIsNonEmptyAndUnique) {
+  EXPECT_GE(kFailpointCatalogue.size(), 15u);
+  std::set<std::string> unique(kFailpointCatalogue.begin(),
+                               kFailpointCatalogue.end());
+  EXPECT_EQ(unique.size(), kFailpointCatalogue.size());
+  for (const auto& name : unique) {
+    EXPECT_FALSE(name.empty());
+  }
+}
+
+TEST_F(FailpointRegistryTest, CompiledInMatchesBuildFlag) {
+#if defined(IVM_FAILPOINTS)
+  EXPECT_TRUE(FailpointRegistry::CompiledIn());
+#else
+  EXPECT_FALSE(FailpointRegistry::CompiledIn());
+#endif
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,5 +1,7 @@
 #include "storage/relation.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace ivm {
@@ -142,6 +144,45 @@ TEST(RelationTest, CopyDropsIndexCacheButKeepsData) {
   EXPECT_EQ(copy.Count(Tup(1, 2)), 1);
   const Index& idx = copy.GetIndex({0});
   EXPECT_NE(idx.Lookup(Tup(1)), nullptr);
+}
+
+TEST(RelationTest, CountOverflowSaturatesAndSticks) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  Relation r("r", 1);
+  r.Add(Tup(1), kMax);
+  EXPECT_FALSE(r.overflowed());
+  r.Add(Tup(1), 1);  // kMax + 1: saturates, no wrap
+  EXPECT_EQ(r.Count(Tup(1)), kMax);
+  EXPECT_TRUE(r.overflowed());
+  // The flag is sticky: later valid mutations don't clear it.
+  r.Add(Tup(2), 1);
+  EXPECT_TRUE(r.overflowed());
+
+  Relation neg("r", 1);
+  neg.Add(Tup(1), kMin);
+  neg.Add(Tup(1), -1);
+  EXPECT_EQ(neg.Count(Tup(1)), kMin);
+  EXPECT_TRUE(neg.overflowed());
+}
+
+TEST(RelationTest, UnionInPlacePropagatesOverflow) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  Relation a("r", 1);
+  a.Add(Tup(1), kMax);
+  Relation b("r", 1);
+  b.Add(Tup(1), kMax);
+  a.UnionInPlace(b);
+  EXPECT_TRUE(a.overflowed());
+  EXPECT_EQ(a.Count(Tup(1)), kMax);
+}
+
+TEST(RelationTest, SetOverflowedRestoresFlag) {
+  Relation r("r", 1);
+  r.set_overflowed(true);
+  EXPECT_TRUE(r.overflowed());
+  r.set_overflowed(false);
+  EXPECT_FALSE(r.overflowed());
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// The write-ahead log: append/read round trips, the crash-recovery contract
+// (a prefix of committed records survives; torn or corrupt tails are
+// skipped), and log resets after checkpoints.
+
+#include "txn/wal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestPath(const std::string& name) {
+  fs::path p = fs::path(::testing::TempDir()) / ("ivm_wal_" + name);
+  fs::remove(p);
+  return p.string();
+}
+
+std::map<std::string, Relation> SampleDeltas() {
+  std::map<std::string, Relation> deltas;
+  Relation link("link", 2);
+  link.Add(Tup(1, 2), 1);
+  link.Add(Tup(2, 3), -1);
+  link.Add(Tup("a", "b"), 2);
+  deltas.emplace("link", std::move(link));
+  Relation cost("cost", 3);
+  cost.Add(Tup(1, 2, 2.5), 1);
+  deltas.emplace("cost", std::move(cost));
+  return deltas;
+}
+
+TEST(WalTest, AppendAndReadAllRoundTrips) {
+  const std::string path = TestPath("roundtrip.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+  IVM_ASSERT_OK((*wal)->AppendAddRule(2, "hop(X, Y) :- link(X, Z) & link(Z, Y)."));
+  IVM_ASSERT_OK((*wal)->AppendRemoveRule(3, 0));
+
+  bool torn = true;
+  auto records = WriteAheadLog::ReadAll(path, &torn);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records->size(), 3u);
+
+  EXPECT_EQ((*records)[0].epoch, 1u);
+  EXPECT_EQ((*records)[0].kind, WalRecordKind::kChangeSet);
+  const auto expected = SampleDeltas();
+  ASSERT_EQ((*records)[0].deltas.size(), expected.size());
+  EXPECT_EQ((*records)[0].deltas.at("link"), expected.at("link"));
+  EXPECT_EQ((*records)[0].deltas.at("cost"), expected.at("cost"));
+
+  EXPECT_EQ((*records)[1].epoch, 2u);
+  EXPECT_EQ((*records)[1].kind, WalRecordKind::kAddRule);
+  EXPECT_EQ((*records)[1].rule_text, "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+
+  EXPECT_EQ((*records)[2].epoch, 3u);
+  EXPECT_EQ((*records)[2].kind, WalRecordKind::kRemoveRule);
+  EXPECT_EQ((*records)[2].rule_index, 0);
+}
+
+TEST(WalTest, MissingFileReadsAsEmpty) {
+  bool torn = true;
+  auto records = WriteAheadLog::ReadAll(TestPath("absent.log"), &torn);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_FALSE(torn);
+}
+
+TEST(WalTest, TornTailIsSkipped) {
+  const std::string path = TestPath("torn.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(2, SampleDeltas()));
+  }
+  // Chop bytes off the end, simulating a crash mid-append: the first record
+  // must still be readable, the truncated second one skipped.
+  const auto full = fs::file_size(path);
+  for (uintmax_t cut = 1; cut < 24; cut += 7) {
+    fs::resize_file(path, full - cut);
+    bool torn = false;
+    auto records = WriteAheadLog::ReadAll(path, &torn);
+    ASSERT_TRUE(records.ok()) << records.status().ToString();
+    EXPECT_TRUE(torn) << "cut=" << cut;
+    ASSERT_EQ(records->size(), 1u) << "cut=" << cut;
+    EXPECT_EQ((*records)[0].epoch, 1u);
+  }
+}
+
+TEST(WalTest, CorruptTailFailsCrcAndIsSkipped) {
+  const std::string path = TestPath("crc.log");
+  uintmax_t first_record_end = 0;
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+    first_record_end = fs::file_size(path);
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(2, SampleDeltas()));
+  }
+  // Flip one payload byte inside the second record.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(first_record_end) + 16);
+    char c = 0;
+    f.seekg(static_cast<std::streamoff>(first_record_end) + 16);
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(first_record_end) + 16);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  bool torn = false;
+  auto records = WriteAheadLog::ReadAll(path, &torn);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].epoch, 1u);
+}
+
+TEST(WalTest, NonIncreasingEpochStopsReplay) {
+  const std::string path = TestPath("epoch.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(5, SampleDeltas()));
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(5, SampleDeltas()));  // stale epoch
+  }
+  bool torn = false;
+  auto records = WriteAheadLog::ReadAll(path, &torn);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(records->size(), 1u);
+}
+
+TEST(WalTest, ResetTruncatesToHeader) {
+  const std::string path = TestPath("reset.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+  IVM_ASSERT_OK((*wal)->Reset());
+  auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  // Appends keep working after a reset.
+  IVM_ASSERT_OK((*wal)->AppendRemoveRule(2, 1));
+  records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].epoch, 2u);
+}
+
+TEST(WalTest, ReopenAppendsAfterExistingRecords) {
+  const std::string path = TestPath("reopen.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+  }
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(2, SampleDeltas()));
+  }
+  auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST(WalTest, GarbageHeaderIsRejected) {
+  const std::string path = TestPath("garbage.log");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTAWAL!respectfully";
+  }
+  auto wal = WriteAheadLog::Open(path);
+  EXPECT_FALSE(wal.ok());
+}
+
+}  // namespace
+}  // namespace ivm
