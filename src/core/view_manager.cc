@@ -282,8 +282,32 @@ Status ViewManager::FinishMutation(
     const ChangeSet& view_changes,
     const std::function<Status(uint64_t)>& append) {
   Status status = CheckPostConditions(base_changes, view_changes);
-  if (status.ok()) status = FireTriggers(view_changes);
+  // The durable append happens BEFORE trigger dispatch, so subscribers only
+  // ever observe deltas of mutations that are already on disk — a failed
+  // WAL append can no longer emit a phantom notification for a mutation
+  // that never committed. A trigger that throws still aborts the whole
+  // mutation: the freshly appended record is truncated away along with the
+  // in-memory rollback. (A crash between the append and that truncation
+  // leaves the record in the log, so recovery replays the mutation — the
+  // one window where a trigger's abort does not survive; docs/recovery.md.)
+  const uint64_t epoch_before = epoch_;
+  const int64_t wal_size_before = wal_ != nullptr ? wal_->committed_size() : 0;
   if (status.ok()) status = CommitDurable(append);
+  if (status.ok()) {
+    status = FireTriggers(view_changes);
+    if (!status.ok()) {
+      epoch_ = epoch_before;
+      if (wal_ != nullptr) {
+        Status undo = wal_->TruncateTo(wal_size_before);
+        if (!undo.ok()) {
+          status = Status::Internal(
+              status.message() +
+              "; and the WAL record could not be rolled back: " +
+              std::string(undo.message()));
+        }
+      }
+    }
+  }
   if (!status.ok()) {
     txn->Rollback();
     return status;

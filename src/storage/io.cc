@@ -62,8 +62,62 @@ bool IsIntegerSyntax(std::string_view text) {
   return true;
 }
 
+/// The lossless-mode encoding of Value::Null (an unquoted field).
+constexpr const char* kNullMarker = "\\N";
+
+std::string EscapeControl(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\0': out += "\\0"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeControl(const std::string& s, int line_number) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::InvalidArgument("dangling escape on line " +
+                                     std::to_string(line_number));
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case '0': out += '\0'; break;
+      default:
+        return Status::InvalidArgument("unknown escape '\\" +
+                                       std::string(1, s[i]) + "' on line " +
+                                       std::to_string(line_number));
+    }
+  }
+  return out;
+}
+
 Result<Value> ParseField(const std::string& text, bool was_quoted,
-                         bool infer_types, int line_number) {
+                         const CsvOptions& options, int line_number) {
+  const bool infer_types = options.infer_types;
+  if (options.lossless && text.find('\\') != std::string::npos) {
+    // Backslashes only enter a lossless file through the writer's escaping:
+    // the field is either the null marker or an escaped string, never a
+    // number. Skip inference so escaped whitespace cannot be re-typed.
+    if (!was_quoted && text == kNullMarker) return Value::Null();
+    IVM_ASSIGN_OR_RETURN(std::string unescaped,
+                         UnescapeControl(text, line_number));
+    return Value::Str(std::move(unescaped));
+  }
   if (was_quoted || !infer_types) return Value::Str(text);
   std::string_view trimmed = StripWhitespace(text);
   if (trimmed.empty()) return Value::Str(std::string(trimmed));
@@ -99,9 +153,15 @@ bool ParsesAsNumber(const std::string& s) {
   return dr.ec == std::errc() && dr.ptr == s.data() + s.size();
 }
 
-void WriteField(const Value& v, char delimiter, std::ostream* out) {
+void WriteField(const Value& v, const CsvOptions& options, std::ostream* out) {
+  const char delimiter = options.delimiter;
   if (v.is_string()) {
-    const std::string& s = v.string_value();
+    // In lossless mode, control characters and backslashes are escaped
+    // first, so the emitted line never embeds a raw newline, CR, or NUL the
+    // line-oriented reader would choke on (a raw `\n` inside quotes writes
+    // fine but can never be read back).
+    const std::string& s =
+        options.lossless ? EscapeControl(v.string_value()) : v.string_value();
     bool needs_quotes = s.find(delimiter) != std::string::npos ||
                         s.find('"') != std::string::npos ||
                         s.find('\n') != std::string::npos;
@@ -130,7 +190,18 @@ void WriteField(const Value& v, char delimiter, std::ostream* out) {
     // Shortest round-trip representation, so Write -> Read is lossless.
     char buf[64];
     auto r = std::to_chars(buf, buf + sizeof(buf), v.double_value());
-    out->write(buf, r.ptr - buf);
+    size_t len = static_cast<size_t>(r.ptr - buf);
+    // Kind-faithful: an integral double like 2.0 prints as "2", which type
+    // inference would re-read as Int(2). Keep the decimal point ("inf" and
+    // "nan" are not integer syntax and pass through untouched).
+    if (options.lossless &&
+        IsIntegerSyntax(std::string_view(buf, len))) {
+      buf[len++] = '.';
+      buf[len++] = '0';
+    }
+    out->write(buf, static_cast<std::streamsize>(len));
+  } else if (options.lossless) {
+    *out << kNullMarker;
   } else {
     *out << "";
   }
@@ -184,8 +255,7 @@ Status ReadCsv(std::istream& in, const CsvOptions& options, Relation* rel) {
         values.reserve(fields.size());
         for (const auto& [text, was_quoted] : fields) {
           IVM_ASSIGN_OR_RETURN(
-              Value v,
-              ParseField(text, was_quoted, options.infer_types, line_number));
+              Value v, ParseField(text, was_quoted, options, line_number));
           values.push_back(std::move(v));
         }
         rel->Add(Tuple(std::move(values)), 1);
@@ -234,8 +304,8 @@ Status ReadCountedCsv(std::istream& in, const CsvOptions& options,
         values.reserve(rel->arity());
         for (size_t i = 0; i < rel->arity(); ++i) {
           IVM_ASSIGN_OR_RETURN(
-              Value v, ParseField(fields[i].first, fields[i].second,
-                                  options.infer_types, line_number));
+              Value v, ParseField(fields[i].first, fields[i].second, options,
+                                  line_number));
           values.push_back(std::move(v));
         }
         rel->Add(Tuple(std::move(values)), count);
@@ -256,7 +326,7 @@ Status WriteCsv(const Relation& rel, const CsvOptions& options,
   for (const Tuple& tuple : rel.SortedTuples()) {
     for (size_t c = 0; c < tuple.size(); ++c) {
       if (c > 0) *out << options.delimiter;
-      WriteField(tuple[c], options.delimiter, out);
+      WriteField(tuple[c], options, out);
     }
     if (with_counts) *out << options.delimiter << rel.Count(tuple);
     *out << "\n";

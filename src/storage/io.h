@@ -17,6 +17,16 @@ struct CsvOptions {
   bool infer_types = true;
   /// Skip the first line on import / emit column names on export.
   bool header = false;
+  /// Kind-faithful, control-safe encoding (the checkpoint format). On write:
+  /// Null becomes the marker `\N` (the empty string stays distinguishable),
+  /// doubles always carry a '.' or exponent so they re-read as doubles, and
+  /// backslashes plus the characters \n, \r, and NUL inside strings are
+  /// backslash-escaped, keeping the file strictly line-oriented. On read: an
+  /// unquoted `\N` decodes to Null, and any field containing a backslash is
+  /// decoded as an escaped string (no type inference). Plain CSV
+  /// (lossless = false) remains untyped interchange text for external tools;
+  /// it cannot represent Null or control characters faithfully.
+  bool lossless = false;
 };
 
 /// Reads delimited rows from `in` into `rel` (each row one tuple, count 1;

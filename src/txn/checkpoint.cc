@@ -6,6 +6,11 @@
 #include <sstream>
 #include <system_error>
 
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "storage/io.h"
 #include "txn/failpoint.h"
 
@@ -15,18 +20,55 @@ namespace fs = std::filesystem;
 
 namespace {
 
-Status WriteRelationFile(const fs::path& path, const Relation& rel) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot create checkpoint file " + path.string());
-  }
+/// Checkpoints use the lossless CSV encoding: value kinds survive the round
+/// trip (2.0 stays a double, Null stays Null) and strings may carry
+/// newlines, CRs, NULs, and backslashes — all values the WAL itself encodes.
+CsvOptions CheckpointCsvOptions() {
   CsvOptions options;
-  IVM_RETURN_IF_ERROR(WriteCsv(rel, options, /*with_counts=*/true, &out));
-  out.flush();
-  if (!out) {
-    return Status::Internal("write failed for checkpoint file " + path.string());
+  options.lossless = true;
+  return options;
+}
+
+/// fsync a file or directory. ofstream::flush only reaches the page cache;
+/// the checkpoint must be on disk before Checkpoint() truncates the fsync'd
+/// WAL, or a power loss could lose both. No-op where fsync is unavailable.
+Status SyncPath(const fs::path& path, bool directory) {
+#ifdef __unix__
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path.string() + " for fsync");
   }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed for " + path.string());
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
   return Status::OK();
+}
+
+Status WriteRelationFile(const fs::path& path, const Relation& rel) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot create checkpoint file " + path.string());
+    }
+    IVM_RETURN_IF_ERROR(
+        WriteCsv(rel, CheckpointCsvOptions(), /*with_counts=*/true, &out));
+    out.flush();
+    if (!out) {
+      return Status::Internal("write failed for checkpoint file " +
+                              path.string());
+    }
+  }
+  return SyncPath(path, /*directory=*/false);
 }
 
 Status ReadRelationFile(const fs::path& path, Relation* rel) {
@@ -34,8 +76,7 @@ Status ReadRelationFile(const fs::path& path, Relation* rel) {
   if (!in) {
     return Status::Internal("cannot open checkpoint file " + path.string());
   }
-  CsvOptions options;
-  return ReadCountedCsv(in, options, rel);
+  return ReadCountedCsv(in, CheckpointCsvOptions(), rel);
 }
 
 /// One `<name> <arity> <filename>` index line.
@@ -174,6 +215,9 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointData& data) {
       return Status::Internal("write failed for checkpoint manifest");
     }
   }
+  IVM_RETURN_IF_ERROR(SyncPath(tmp / "MANIFEST", /*directory=*/false));
+  // Make the staged entries durable before they become the live snapshot.
+  IVM_RETURN_IF_ERROR(SyncPath(tmp, /*directory=*/true));
 
   // 3. Swap. Crash windows: before the tmp rename, `checkpoint.old` (or the
   // untouched `checkpoint`) is still readable; after it, the new snapshot is.
@@ -190,6 +234,9 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointData& data) {
   if (ec) {
     return Status::Internal("cannot publish checkpoint: " + ec.message());
   }
+  // The renames must be durable before the caller truncates the WAL the
+  // snapshot absorbed.
+  IVM_RETURN_IF_ERROR(SyncPath(root, /*directory=*/true));
   fs::remove_all(old, ec);
   return Status::OK();
 }

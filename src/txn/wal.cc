@@ -368,6 +368,25 @@ Status WriteAheadLog::AppendRemoveRule(uint64_t epoch, int rule_index) {
   return AppendRecord(epoch, WalRecordKind::kRemoveRule, payload);
 }
 
+Status WriteAheadLog::TruncateTo(int64_t size) {
+  if (size < static_cast<int64_t>(sizeof(kMagic)) || size > committed_size_) {
+    return Status::InvalidArgument("bad WAL truncation target for " + path_);
+  }
+  if (size == committed_size_) return Status::OK();
+#ifdef __unix__
+  std::fflush(file_);
+  if (ftruncate(fileno(file_), size) != 0) {
+    return Status::Internal("cannot roll back WAL tail of " + path_);
+  }
+  std::fseek(file_, 0, SEEK_END);
+  IVM_RETURN_IF_ERROR(Flush(file_, path_));
+  committed_size_ = size;
+  return Status::OK();
+#else
+  return Status::Internal("WAL rollback is not supported on this platform");
+#endif
+}
+
 Status WriteAheadLog::Reset() {
   std::FILE* file = std::fopen(path_.c_str(), "wb");
   if (file == nullptr) {
@@ -398,6 +417,9 @@ Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(const std::string& path,
     std::fclose(file);
     return Status::InvalidArgument(path + " is not an IVM WAL file");
   }
+  std::fseek(file, 0, SEEK_END);
+  const int64_t file_size = std::ftell(file);
+  std::fseek(file, static_cast<long>(sizeof(kMagic)), SEEK_SET);
 
   uint64_t last_epoch = 0;
   while (true) {
@@ -413,6 +435,15 @@ Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(const std::string& path,
       payload_len |= static_cast<uint32_t>(header[i]) << (8 * i);
     // epoch(8) + kind(1) + payload + crc(4)
     const size_t body_len = 8 + 1 + static_cast<size_t>(payload_len);
+    // The length prefix is not CRC-protected yet: bound it by what the file
+    // can actually hold, so a corrupted length near 0xFFFFFFFF reads as a
+    // torn tail instead of attempting a ~4 GiB allocation.
+    const int64_t pos = std::ftell(file);
+    if (pos < 0 ||
+        static_cast<int64_t>(body_len) + 4 > file_size - pos) {
+      if (torn_tail != nullptr) *torn_tail = true;  // impossible length
+      break;
+    }
     std::string body(body_len, '\0');
     if (std::fread(body.data(), 1, body_len, file) != body_len) {
       if (torn_tail != nullptr) *torn_tail = true;  // torn body

@@ -66,6 +66,15 @@ class WriteAheadLog {
   /// all records).
   Status Reset();
 
+  /// Size of the committed prefix (header plus every committed record).
+  int64_t committed_size() const { return committed_size_; }
+
+  /// Rolls the log back to `size` — a value previously returned by
+  /// committed_size() — erasing the records appended since. Used to
+  /// un-publish a record whose post-append step (trigger dispatch) failed,
+  /// so the durable log matches the rolled-back in-memory state.
+  Status TruncateTo(int64_t size);
+
   const std::string& path() const { return path_; }
 
   /// Reads every valid record of `path`; returns an empty vector when the

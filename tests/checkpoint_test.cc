@@ -6,6 +6,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -36,6 +38,16 @@ CheckpointData SampleData() {
   // shortest-round-trip formatting, quotes and commas.
   link.Add(Tup("42", 0.1), 2);
   link.Add(Tup("he said \"hi\"", "a,b"), 1);
+  // Control characters, backslashes, integral doubles, and Null are all
+  // legal Value data the WAL encodes; the checkpoint must round-trip them
+  // with their kinds intact or recovery loses committed data.
+  link.Add(Tup(std::string("line1\nline2"), std::string("cr\rlf")), 1);
+  std::string nul("nul");
+  nul += '\0';
+  nul += "byte";
+  link.Add(Tup(nul, std::string("back\\slash")), 2);
+  link.Add(Tup(2.0, int64_t{2}), 1);
+  link.Add(Tuple(std::vector<Value>{Value::Null(), Value::Str("")}), 1);
   data.base.emplace("link", std::move(link));
   Relation hop("hop", 2);
   hop.Add(Tup(1, 3), 4);

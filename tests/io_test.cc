@@ -1,7 +1,10 @@
 #include "storage/io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -168,6 +171,64 @@ TEST(CsvTest, DoublesRoundTripExactly) {
   Relation back("r", 1);
   IVM_EXPECT_OK(ReadCsvString(text, CsvOptions(), &back));
   EXPECT_EQ(back, rel) << text;
+}
+
+TEST(CsvTest, LosslessControlCharactersRoundTrip) {
+  CsvOptions lossless;
+  lossless.lossless = true;
+  Relation rel("r", 2);
+  rel.Add(Tup(std::string("line1\nline2"), 1), 2);
+  rel.Add(Tup(std::string("carriage\rreturn"), 2), 1);
+  std::string nul("nul");
+  nul += '\0';
+  nul += "byte";
+  rel.Add(Tup(nul, 3), 1);
+  rel.Add(Tup(std::string("back\\slash"), 4), 1);
+  rel.Add(Tup(std::string("\\N"), 5), 1);  // marker look-alike stays a string
+  rel.Add(Tup(std::string(" \n "), 6), 1);  // escapes + whitespace quoting
+  const std::string text = WriteCsvString(rel, lossless, /*with_counts=*/true);
+  // The file stays strictly line-oriented: one physical line per tuple, no
+  // raw control bytes.
+  EXPECT_EQ(text.find('\0'), std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')),
+            rel.size());
+  Relation back("r", 2);
+  std::istringstream in(text);
+  IVM_EXPECT_OK(ReadCountedCsv(in, lossless, &back));
+  EXPECT_EQ(back, rel) << text;
+}
+
+TEST(CsvTest, LosslessKeepsValueKinds) {
+  CsvOptions lossless;
+  lossless.lossless = true;
+  Relation rel("r", 1);
+  rel.Add(Tup(2.0), 1);   // plain CSV would re-read this as Int(2)
+  rel.Add(Tup(-0.0), 1);  // "-0" corner of the plain encoding
+  rel.Add(Tup(int64_t{2}), 1);  // and the real int 2 coexists
+  rel.Add(Tuple(std::vector<Value>{Value::Null()}), 1);
+  rel.Add(Tup(std::string("")), 1);  // empty string is distinct from Null
+  const std::string text = WriteCsvString(rel, lossless, /*with_counts=*/true);
+  Relation back("r", 1);
+  std::istringstream in(text);
+  IVM_EXPECT_OK(ReadCountedCsv(in, lossless, &back));
+  EXPECT_EQ(back, rel) << text;
+  EXPECT_EQ(back.Count(Tup(2.0)), 1) << text;
+  EXPECT_EQ(back.Count(Tup(int64_t{2})), 1) << text;
+  EXPECT_EQ(back.Count(Tuple(std::vector<Value>{Value::Null()})), 1) << text;
+}
+
+TEST(CsvTest, LosslessRejectsBadEscapesWithLineNumber) {
+  CsvOptions lossless;
+  lossless.lossless = true;
+  Relation rel("r", 1);
+  Status dangling = ReadCsvString("ok\nbad\\\n", lossless, &rel);
+  ASSERT_FALSE(dangling.ok());
+  EXPECT_NE(dangling.message().find("line 2"), std::string::npos)
+      << dangling.ToString();
+  Status unknown = ReadCsvString("bad\\q\n", lossless, &rel);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.message().find("escape"), std::string::npos)
+      << unknown.ToString();
 }
 
 TEST(CsvTest, NumberLikeStringsStayStringsAcrossRoundTrip) {

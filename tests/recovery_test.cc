@@ -5,6 +5,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -211,6 +213,66 @@ TEST(RecoveryErrorTest, RolledBackMutationLeavesNoWalRecord) {
   auto records = WriteAheadLog::ReadAll(dir + "/wal.log");
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records->size(), 1u);
+
+  auto recovered = ViewManager::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectManagersEqual(**recovered, *live);
+}
+
+TEST(RecoveryErrorTest, ThrowingTriggerLeavesNoWalRecord) {
+  const std::string dir = TestDir("trigger");
+  auto live = MakeManager(Strategy::kCounting);
+  IVM_ASSERT_OK(live->EnableDurability(dir));
+
+  ChangeSet good;
+  good.Insert("link", Tup("a", "c"));
+  ASSERT_TRUE(live->Apply(good).ok());
+
+  // A throwing trigger aborts the mutation after the WAL append; the record
+  // must be rolled back with the in-memory state, or recovery would replay
+  // a mutation the caller saw fail.
+  int sub = live->Subscribe("hop", [](const std::string&, const Relation&) {
+    throw std::runtime_error("no thanks");
+  });
+  ChangeSet more;
+  more.Insert("link", Tup("c", "b"));
+  ASSERT_FALSE(live->Apply(more).ok());
+  EXPECT_EQ(live->epoch(), 1u);
+
+  auto records = WriteAheadLog::ReadAll(dir + "/wal.log");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+
+  auto recovered = ViewManager::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectManagersEqual(**recovered, *live);
+
+  // After unsubscribing, the same change set commits and epochs continue
+  // seamlessly from the rolled-back record.
+  live->Unsubscribe(sub);
+  ASSERT_TRUE(live->Apply(more).ok());
+  EXPECT_EQ(live->epoch(), 2u);
+  auto again = ViewManager::Recover(dir);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ExpectManagersEqual(**again, *live);
+}
+
+TEST(RecoveryValuesTest, ControlCharacterValuesSurviveCheckpointAndRecover) {
+  const std::string dir = TestDir("values");
+  auto live = MakeManager(Strategy::kCounting);
+  IVM_ASSERT_OK(live->EnableDurability(dir));
+
+  // Legal string data the WAL encodes byte-exactly; the checkpoint must
+  // round-trip it too (it is the only copy once the WAL is truncated).
+  std::string nul("nul");
+  nul += '\0';
+  nul += "byte";
+  ChangeSet awkward;
+  awkward.Insert("link", Tup(std::string("line1\nline2"), std::string("x")));
+  awkward.Insert("link", Tup(std::string("x"), std::string("cr\rlf")));
+  awkward.Insert("link", Tup(nul, std::string("back\\slash")));
+  ASSERT_TRUE(live->Apply(awkward).ok());
+  IVM_ASSERT_OK(live->Checkpoint());
 
   auto recovered = ViewManager::Recover(dir);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();

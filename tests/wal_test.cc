@@ -124,6 +124,57 @@ TEST(WalTest, CorruptTailFailsCrcAndIsSkipped) {
   EXPECT_EQ((*records)[0].epoch, 1u);
 }
 
+TEST(WalTest, CorruptLengthPrefixReadsAsTornTail) {
+  const std::string path = TestPath("badlen.log");
+  uintmax_t first_record_end = 0;
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+    first_record_end = fs::file_size(path);
+    IVM_ASSERT_OK((*wal)->AppendChangeSet(2, SampleDeltas()));
+  }
+  // Smash the second record's 4-byte length prefix to ~0xFFFFFFFF. The
+  // reader must treat the impossible length as a torn tail — not trust it
+  // and attempt a ~4 GiB allocation.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(first_record_end));
+    for (int i = 0; i < 4; ++i) f.put(static_cast<char>(0xFE));
+  }
+  bool torn = false;
+  auto records = WriteAheadLog::ReadAll(path, &torn);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].epoch, 1u);
+}
+
+TEST(WalTest, TruncateToRollsBackAppendedRecords) {
+  const std::string path = TestPath("truncate.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  IVM_ASSERT_OK((*wal)->AppendChangeSet(1, SampleDeltas()));
+  const int64_t before = (*wal)->committed_size();
+  IVM_ASSERT_OK((*wal)->AppendChangeSet(2, SampleDeltas()));
+  IVM_ASSERT_OK((*wal)->TruncateTo(before));
+
+  auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].epoch, 1u);
+
+  // The log keeps working: the next append reuses the rolled-back epoch.
+  IVM_ASSERT_OK((*wal)->AppendChangeSet(2, SampleDeltas()));
+  records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+
+  // Targets outside [header, committed_size] are rejected.
+  EXPECT_FALSE((*wal)->TruncateTo(2).ok());
+  EXPECT_FALSE((*wal)->TruncateTo((*wal)->committed_size() + 1).ok());
+}
+
 TEST(WalTest, NonIncreasingEpochStopsReplay) {
   const std::string path = TestPath("epoch.log");
   {
