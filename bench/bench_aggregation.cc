@@ -40,7 +40,8 @@ void Run(benchmark::State& state, const char* program, Strategy strategy,
          bool hit_minimum) {
   const int groups = static_cast<int>(state.range(0));
   Database db = SalesDb(groups);
-  auto vm = bench::MakeManager(program, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(program, strategy, db, &metrics);
   // One deletion + one insertion in group 0.
   ChangeSet batch;
   if (hit_minimum) {
@@ -51,11 +52,14 @@ void Run(benchmark::State& state, const char* program, Strategy strategy,
     batch.Insert("sales", Tup(0, 100 + 3 * kRowsPerGroup + 50));
   }
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["groups"] = groups;
   state.counters["rows"] = static_cast<double>(groups) * kRowsPerGroup;
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_SumCounting(benchmark::State& state) {

@@ -49,11 +49,44 @@ void BM_EvalDuplicateCounts(benchmark::State& state) {
   RunEval(state, {Semantics::kDuplicate, false});
 }
 
+// Companion series: the observability layer's own overhead on the
+// maintenance path. The two runs are identical except for an attached
+// MetricsRegistry; with none, every instrumentation site must cost one
+// null check (the zero-overhead contract of docs/observability.md), so the
+// "no metrics" series must match pre-instrumentation Apply cost.
+void RunApply(benchmark::State& state, MetricsRegistry* metrics) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Database db = bench::MakeGraphDb("link", nodes, edges, /*seed=*/42);
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.metrics = metrics;
+  auto vm = bench::MakeManager(kProgram, db, options);
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), nodes,
+                                       /*deletions=*/8, /*insertions=*/8,
+                                       /*seed=*/17);
+  ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
+  }
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  if (metrics != nullptr) bench::ExportMetrics(*metrics, state);
+}
+
+void BM_ApplyNoMetrics(benchmark::State& state) { RunApply(state, nullptr); }
+void BM_ApplyWithMetrics(benchmark::State& state) {
+  MetricsRegistry metrics;
+  RunApply(state, &metrics);
+}
+
 #define SIZES ->Args({100, 400})->Args({200, 1200})->Args({400, 3000})->Args({800, 8000})
 
 BENCHMARK(BM_EvalNoCounts) SIZES;
 BENCHMARK(BM_EvalStratumCounts) SIZES;
 BENCHMARK(BM_EvalDuplicateCounts) SIZES;
+BENCHMARK(BM_ApplyNoMetrics) SIZES;
+BENCHMARK(BM_ApplyWithMetrics) SIZES;
 
 }  // namespace
 }  // namespace ivm

@@ -21,16 +21,20 @@ constexpr int kEdges = 3000;
 void RunMaintain(benchmark::State& state, Strategy strategy) {
   const int batch_size = static_cast<int>(state.range(0));
   Database db = bench::MakeGraphDb("link", kNodes, kEdges, 7);
-  auto vm = bench::MakeManager(kProgram, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kProgram, strategy, db, &metrics);
   ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
                                        batch_size / 2 + 1, batch_size / 2 + 1,
                                        /*seed=*/99);
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = batch_size;
   state.counters["db_edges"] = kEdges;
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_Counting(benchmark::State& state) {

@@ -34,14 +34,20 @@ constexpr int kEdges = 240;
 void Run(benchmark::State& state, const char* program, Strategy strategy) {
   const int batch_size = static_cast<int>(state.range(0));
   Database db = bench::MakeGraphDb("edge", kNodes, kEdges, 3);
-  auto vm = bench::MakeManager(program, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(program, strategy, db, &metrics);
   ChangeSet batch = MakeMixedEdgeBatch("edge", db.relation("edge"), kNodes,
                                        batch_size, batch_size, /*seed=*/77);
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = 2 * batch_size;
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  // pf.fragments vs dred.rederived in the export shows exactly where PF's
+  // order-of-magnitude penalty (Section 2) comes from.
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_TC_DRed(benchmark::State& state) { Run(state, kTc, Strategy::kDRed); }

@@ -41,16 +41,22 @@ void RunSparseDag(benchmark::State& state, Strategy strategy) {
   const int batch_size = static_cast<int>(state.range(0));
   const int nodes = 400;
   Database db = SparseDag(nodes, 800, 11);
-  auto vm = bench::MakeManager(kTc, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kTc, strategy, db, &metrics);
   ChangeSet batch = MakeDeletions(
       "edge", SampleTuples(db.relation("edge"), batch_size, 21));
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = batch_size;
   state.counters["path_tuples"] =
       static_cast<double>(vm->GetRelation("path").value()->size());
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  // The JSON export carries dred.overdeleted / dred.rederived /
+  // dred.inserted, quantifying how tight the phase-1 overestimate was.
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_SparseDag_DRed(benchmark::State& state) {
@@ -67,17 +73,21 @@ BENCHMARK(BM_SparseDag_Recompute) BATCHES;
 void RunDenseCyclic(benchmark::State& state, Strategy strategy) {
   const int batch_size = static_cast<int>(state.range(0));
   Database db = bench::MakeGraphDb("edge", 120, 360, 11);
-  auto vm = bench::MakeManager(kTc, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kTc, strategy, db, &metrics);
   ChangeSet batch = MakeMixedEdgeBatch("edge", db.relation("edge"), 120,
                                        batch_size / 2 + 1, batch_size / 2 + 1,
                                        /*seed=*/5);
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = batch_size;
   state.counters["path_tuples"] =
       static_cast<double>(vm->GetRelation("path").value()->size());
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_DenseCyclic_DRed(benchmark::State& state) {
@@ -92,7 +102,8 @@ BENCHMARK(BM_DenseCyclic_Recompute)->Arg(1)->Arg(16);
 void RunOneSided(benchmark::State& state, bool deletions) {
   const int batch_size = static_cast<int>(state.range(0));
   Database db = SparseDag(400, 800, 13);
-  auto vm = bench::MakeManager(kTc, Strategy::kDRed, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kTc, Strategy::kDRed, db, &metrics);
   ChangeSet dels = MakeDeletions(
       "edge", SampleTuples(db.relation("edge"), batch_size, 21));
   ChangeSet inss = bench::Invert(dels);
@@ -103,6 +114,7 @@ void RunOneSided(benchmark::State& state, bool deletions) {
     bench::ApplyRoundTrip(*vm, first, second);
   }
   state.counters["batch"] = batch_size;
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_DRedDeleteFirst(benchmark::State& state) { RunOneSided(state, true); }

@@ -22,16 +22,20 @@ constexpr int kEdges = 1500;
 void Run(benchmark::State& state, Strategy strategy) {
   const int percent = static_cast<int>(state.range(0));
   Database db = bench::MakeGraphDb("link", kNodes, kEdges, 29);
-  auto vm = bench::MakeManager(kProgram, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kProgram, strategy, db, &metrics);
   const size_t count = static_cast<size_t>(kEdges) * percent / 100;
   ChangeSet batch =
       MakeDeletions("link", SampleTuples(db.relation("link"), count, 33));
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["deleted_pct"] = percent;
   state.counters["deleted_edges"] = static_cast<double>(count);
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_Counting(benchmark::State& state) { Run(state, Strategy::kCounting); }

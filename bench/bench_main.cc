@@ -1,0 +1,126 @@
+// Shared main() for every bench_* binary: runs the registered benchmarks
+// with the normal console output AND writes one machine-readable JSON line
+// per run to BENCH_<name>.json (the binary's name without the "bench_"
+// prefix), in $IVM_BENCH_OUT or the working directory. The file is what CI
+// consumes (tools/bench_json_check validates it; see docs/observability.md
+// for the schema).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_util.h"
+
+namespace {
+
+/// Nanoseconds per iteration for a run, independent of the benchmark's
+/// declared time unit. GetAdjustedRealTime() reports in that unit, so divide
+/// its multiplier back out.
+double AdjustedNanos(const benchmark::BenchmarkReporter::Run& run,
+                     double adjusted_in_unit) {
+  return adjusted_in_unit *
+         (1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit));
+}
+
+/// Forwards everything to a ConsoleReporter and tees each run as a JSON
+/// line. Used as the display reporter so no --benchmark_out flag is needed.
+class JsonTeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  JsonTeeReporter(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  bool ReportContext(const Context& context) override {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      GetErrorStream() << "cannot open " << path_ << " for writing\n";
+      std::exit(1);
+    }
+    return console_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    for (const Run& run : runs) WriteRun(run);
+  }
+
+  void Finalize() override {
+    console_.Finalize();
+    out_.close();
+    if (!out_) {
+      GetErrorStream() << "write failed for " << path_ << "\n";
+      std::exit(1);
+    }
+  }
+
+ private:
+  void WriteRun(const Run& run) {
+    std::string line = "{\"schema\":\"ivm-bench-1\",\"bench\":";
+    ivm::JsonAppendString(&line, bench_name_);
+    line += ",\"run\":";
+    ivm::JsonAppendString(&line, run.benchmark_name());
+    line += ",\"run_type\":";
+    if (run.run_type == Run::RT_Aggregate) {
+      line += "\"aggregate\",\"aggregate_name\":";
+      ivm::JsonAppendString(&line, run.aggregate_name);
+    } else {
+      line += "\"iteration\"";
+    }
+    line += ",\"error\":";
+    line += run.error_occurred ? "true" : "false";
+    line += ",\"iterations\":" + std::to_string(run.iterations);
+    line += ",\"real_time_ns\":";
+    ivm::JsonAppendDouble(&line, AdjustedNanos(run, run.GetAdjustedRealTime()));
+    line += ",\"cpu_time_ns\":";
+    ivm::JsonAppendDouble(&line, AdjustedNanos(run, run.GetAdjustedCPUTime()));
+    line += ",\"time_unit\":";
+    ivm::JsonAppendString(&line, benchmark::GetTimeUnitString(run.time_unit));
+    line += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, counter] : run.counters) {
+      if (!first) line += ',';
+      first = false;
+      ivm::JsonAppendString(&line, name);
+      line += ':';
+      ivm::JsonAppendDouble(&line, counter.value);
+    }
+    line += "}}\n";
+    out_ << line;
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  benchmark::ConsoleReporter console_;
+  std::ofstream out_;
+};
+
+/// argv[0] -> "counting_overhead" (basename, "bench_" prefix stripped,
+/// Windows-style .exe suffix tolerated for completeness).
+std::string BenchNameFromArgv0(const char* argv0) {
+  std::string name = argv0 == nullptr ? "" : argv0;
+  size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".exe") {
+    name = name.substr(0, name.size() - 4);
+  }
+  return name.empty() ? "unknown" : name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string bench_name = BenchNameFromArgv0(argc > 0 ? argv[0] : nullptr);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* out_dir = std::getenv("IVM_BENCH_OUT");
+  std::string path = (out_dir != nullptr && out_dir[0] != '\0')
+                         ? std::string(out_dir) + "/BENCH_" + bench_name + ".json"
+                         : "BENCH_" + bench_name + ".json";
+  JsonTeeReporter reporter(bench_name, path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,29 +37,37 @@ Database MakeDb() {
 void RunNegatedSideUpdates(benchmark::State& state, Strategy strategy) {
   const int batch_size = static_cast<int>(state.range(0));
   Database db = MakeDb();
-  auto vm = bench::MakeManager(kProgram, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kProgram, strategy, db, &metrics);
   // Flip `banned` facts only: Δ(¬banned) drives the maintenance.
   ChangeSet batch = MakeMixedEdgeBatch("banned", db.relation("banned"), kNodes,
                                        std::min<size_t>(batch_size, 3),
                                        batch_size, /*seed=*/15);
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = batch_size;
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void RunPositiveSideUpdates(benchmark::State& state, Strategy strategy) {
   const int batch_size = static_cast<int>(state.range(0));
   Database db = MakeDb();
-  auto vm = bench::MakeManager(kProgram, strategy, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kProgram, strategy, db, &metrics);
   ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
                                        batch_size, batch_size, /*seed=*/16);
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = 2 * batch_size;
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_NegSideCounting(benchmark::State& state) {

@@ -39,7 +39,8 @@ Database LayeredDag(int layers, int width, int fanout) {
 void RunDeletions(benchmark::State& state, Strategy strategy) {
   const int layers = static_cast<int>(state.range(0));
   Database db = LayeredDag(layers, 8, 2);
-  auto vm = bench::MakeManager(kTc, strategy, db,
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kTc, strategy, db, &metrics,
                                strategy == Strategy::kRecursiveCounting
                                    ? Semantics::kDuplicate
                                    : Semantics::kSet);
@@ -47,12 +48,17 @@ void RunDeletions(benchmark::State& state, Strategy strategy) {
   batch.Delete("edge", Tup(0, 100));
   batch.Delete("edge", Tup(2, 102));
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["layers"] = layers;
   state.counters["path_tuples"] =
       static_cast<double>(vm->GetRelation("path").value()->size());
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  // rc.worklist_steps vs dred.overdeleted+rederived is the Section 8
+  // trade-off in numbers.
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_DeleteRecursiveCounting(benchmark::State& state) {

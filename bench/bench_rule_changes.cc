@@ -30,7 +30,8 @@ void BM_DRedRuleToggle(benchmark::State& state) {
   for (int i = 0; i < 8; ++i) {
     db.mutable_relation("shortcut").Add(Tup(i, nodes - 1 - i), 1);
   }
-  auto vm = bench::MakeManager(kProgram, Strategy::kDRed, db);
+  MetricsRegistry metrics;
+  auto vm = bench::MakeManager(kProgram, Strategy::kDRed, db, &metrics);
   Rule shortcut_rule = ParseRule("path(X, Y) :- shortcut(X, Y).").value();
   for (auto _ : state) {
     // Remove the shortcut rule (rule index 2), then add it back.
@@ -40,6 +41,7 @@ void BM_DRedRuleToggle(benchmark::State& state) {
   state.counters["nodes"] = nodes;
   state.counters["path_tuples"] =
       static_cast<double>(vm->GetRelation("path").value()->size());
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_RebuildFromScratch(benchmark::State& state) {

@@ -26,14 +26,19 @@ void Run(benchmark::State& state, Semantics semantics, bool dense) {
   const int nodes = dense ? 60 : 300;
   const int edges = dense ? 1400 : 1200;
   Database db = bench::MakeGraphDb("link", nodes, edges, 61);
-  auto vm = bench::MakeManager(kProgram, Strategy::kCounting, db, semantics);
+  MetricsRegistry metrics;
+  auto vm =
+      bench::MakeManager(kProgram, Strategy::kCounting, db, &metrics, semantics);
   ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), nodes,
                                        batch_size, batch_size, /*seed=*/62);
   ChangeSet inverse = bench::Invert(batch);
+  size_t peak_delta = 0;
   for (auto _ : state) {
-    bench::ApplyRoundTrip(*vm, batch, inverse);
+    bench::ApplyRoundTrip(*vm, batch, inverse, &peak_delta);
   }
   state.counters["batch"] = 2 * batch_size;
+  state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_SparseDuplicate(benchmark::State& state) {

@@ -40,7 +40,12 @@ Database LayeredDb(int width) {
 void RunLayered(benchmark::State& state, Semantics semantics) {
   const int width = static_cast<int>(state.range(0));
   Database db = LayeredDb(width);
-  auto vm = bench::MakeManager(kProgram, Strategy::kCounting, db, semantics);
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.semantics = semantics;
+  options.metrics = &metrics;
+  auto vm = bench::MakeManager(kProgram, db, options);
   // Deleting edge L0:0 -> L1:0 removes one of `width` derivations of each
   // hop(0, L2:j): counts change, membership does not.
   ChangeSet batch;
@@ -56,8 +61,11 @@ void RunLayered(benchmark::State& state, Semantics semantics) {
   // Number of changed view tuples reported: under kSet this must be tiny
   // (only hop tuples whose membership changed — none except via L0 fanout),
   // under kDuplicate it includes every count change in all three strata.
+  // counting.suppressed in the JSON export counts the boxed statement (2)
+  // suppressions directly.
   state.counters["delta_tuples_reported"] = static_cast<double>(propagated);
   state.counters["layer_width"] = width;
+  bench::ExportMetrics(metrics, state);
 }
 
 void BM_DuplicateSemantics(benchmark::State& state) {

@@ -3,10 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
 #include "core/view_manager.h"
+#include "obs/metrics.h"
 #include "workload/graph_gen.h"
 #include "workload/update_gen.h"
 
@@ -42,26 +44,66 @@ inline Database MakeGraphDb(const std::string& edge_name, int nodes, int edges,
 
 /// Creates and initializes a manager, aborting on error (benchmarks are not
 /// the place for error recovery).
-inline std::unique_ptr<ViewManager> MakeManager(const std::string& program,
-                                                Strategy strategy,
-                                                const Database& db,
-                                                Semantics semantics = Semantics::kSet) {
-  auto vm = ViewManager::CreateFromText(program, strategy, semantics);
+inline std::unique_ptr<ViewManager> MakeManager(
+    const std::string& program, const Database& db,
+    const ViewManager::Options& options) {
+  auto vm = ViewManager::CreateFromText(program, options);
   vm.status().CheckOK();
   (*vm)->Initialize(db).CheckOK();
   return std::move(vm).value();
 }
 
+inline std::unique_ptr<ViewManager> MakeManager(const std::string& program,
+                                                Strategy strategy,
+                                                const Database& db,
+                                                Semantics semantics = Semantics::kSet) {
+  ViewManager::Options options;
+  options.strategy = strategy;
+  options.semantics = semantics;
+  return MakeManager(program, db, options);
+}
+
+/// The common bench pattern: strategy/semantics plus an attached registry.
+inline std::unique_ptr<ViewManager> MakeManager(const std::string& program,
+                                                Strategy strategy,
+                                                const Database& db,
+                                                MetricsRegistry* metrics,
+                                                Semantics semantics = Semantics::kSet) {
+  ViewManager::Options options;
+  options.strategy = strategy;
+  options.semantics = semantics;
+  options.metrics = metrics;
+  return MakeManager(program, db, options);
+}
+
 /// One steady-state maintenance measurement: apply `batch`, then its
-/// inverse. Reports failures loudly.
+/// inverse. Reports failures loudly. `peak_delta`, when given, tracks the
+/// largest view delta (in tuples) any Apply produced.
 inline void ApplyRoundTrip(ViewManager& vm, const ChangeSet& batch,
-                           const ChangeSet& inverse) {
+                           const ChangeSet& inverse,
+                           size_t* peak_delta = nullptr) {
   auto r1 = vm.Apply(batch);
   r1.status().CheckOK();
+  if (peak_delta != nullptr) {
+    *peak_delta = std::max(*peak_delta, r1.value().TotalTuples());
+  }
   benchmark::DoNotOptimize(r1);
   auto r2 = vm.Apply(inverse);
   r2.status().CheckOK();
+  if (peak_delta != nullptr) {
+    *peak_delta = std::max(*peak_delta, r2.value().TotalTuples());
+  }
   benchmark::DoNotOptimize(r2);
+}
+
+/// Copies every counter of `registry` into the benchmark's user counters,
+/// so the values land in the BENCH_*.json export. Rates are left to
+/// consumers; these are raw totals across all iterations.
+inline void ExportMetrics(const MetricsRegistry& registry,
+                          benchmark::State& state) {
+  registry.ForEachCounter([&](const std::string& name, uint64_t value) {
+    state.counters[name] = benchmark::Counter(static_cast<double>(value));
+  });
 }
 
 }  // namespace bench

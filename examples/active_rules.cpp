@@ -38,12 +38,14 @@ int main() {
   (*vm)->Initialize(db).CheckOK();
 
   // Active rule: alert whenever someone enters (or leaves) the watchlist.
-  (*vm)->Subscribe("big_mover", [](const std::string&, const Relation& delta) {
-    for (const Tuple& t : delta.SortedTuples()) {
-      std::cout << "  [trigger] big_mover " << (delta.Count(t) > 0 ? "+" : "-")
-                << t.ToString() << "\n";
-    }
-  });
+  // Watch() returns an RAII handle; the trigger stays live for its lifetime.
+  ViewManager::Subscription watchlist = (*vm)->Watch(
+      "big_mover", [](const std::string&, const Relation& delta) {
+        for (const Tuple& t : delta.SortedTuples()) {
+          std::cout << "  [trigger] big_mover "
+                    << (delta.Count(t) > 0 ? "+" : "-") << t.ToString() << "\n";
+        }
+      });
 
   // Integrity constraint: transfers must come from known accounts.
   ConstraintChecker checker(vm->get());

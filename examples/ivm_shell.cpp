@@ -226,8 +226,11 @@ class Shell {
         if (name == info.name) db.mutable_relation(info.name).Add(tuple, 1);
       }
     }
-    IVM_ASSIGN_OR_RETURN(
-        manager_, ViewManager::Create(std::move(program), strategy_, semantics_));
+    ViewManager::Options options;
+    options.strategy = strategy_;
+    options.semantics = semantics_;
+    IVM_ASSIGN_OR_RETURN(manager_,
+                         ViewManager::Create(std::move(program), options));
     IVM_RETURN_IF_ERROR(manager_->Initialize(db));
     std::cout << "materialized (" << StrategyName(manager_->strategy())
               << ")\n";

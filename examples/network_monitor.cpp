@@ -51,7 +51,12 @@ int main() {
   FillEdgeRelation(PreferentialAttachmentGraph(30, 2, /*seed=*/17),
                    &db.mutable_relation("link"));
 
-  auto vm = ViewManager::CreateFromText(program_text, Strategy::kAuto);
+  // Attach a metrics registry so the monitor can report what maintenance
+  // actually did (DRed phase counts, span latencies) alongside the deltas.
+  MetricsRegistry metrics;
+  ViewManager::Options options;  // Strategy::kAuto picks DRed here
+  options.metrics = &metrics;
+  auto vm = ViewManager::CreateFromText(program_text, options);
   vm.status().CheckOK();
   std::cout << "strategy picked for this recursive program: "
             << StrategyName((*vm)->strategy()) << "\n";
@@ -93,5 +98,19 @@ int main() {
   std::cout << "rule addition changed " << d4.Delta("reachable").size()
             << " pairs\n";
   PrintStatus(**vm, "after redefinition");
+
+  // What maintenance actually did, in numbers (docs/observability.md).
+  std::cout << "\nmaintenance counters:"
+            << "\n  dred.overdeleted = "
+            << metrics.counter_value("dred.overdeleted")
+            << "\n  dred.rederived   = "
+            << metrics.counter_value("dred.rederived")
+            << "\n  dred.inserted    = "
+            << metrics.counter_value("dred.inserted")
+            << "\n  apply spans      = "
+            << (metrics.FindHistogram("span.apply") != nullptr
+                    ? metrics.FindHistogram("span.apply")->count()
+                    : 0)
+            << "\n";
   return 0;
 }

@@ -58,10 +58,12 @@ int main() {
     db.mutable_relation("quote").Add(Tup(part, (part + 3) % 7, 90 + (part * 7) % 70));
   }
 
-  auto dred = ViewManager::CreateFromText(program_text, Strategy::kDRed);
+  ViewManager::Options options;
+  options.strategy = Strategy::kDRed;
+  auto dred = ViewManager::CreateFromText(program_text, options);
   dred.status().CheckOK();
-  auto recompute =
-      ViewManager::CreateFromText(program_text, Strategy::kRecompute);
+  options.strategy = Strategy::kRecompute;
+  auto recompute = ViewManager::CreateFromText(program_text, options);
   recompute.status().CheckOK();
   (*dred)->Initialize(db).CheckOK();
   (*recompute)->Initialize(db).CheckOK();

@@ -30,10 +30,12 @@ int main() {
     link.Add(Tup(s, d));
   }
 
-  // 3. Create a manager. Strategy::kAuto picks the counting algorithm for
-  //    this nonrecursive view; kDuplicate keeps full derivation counts.
-  auto manager = ViewManager::CreateFromText(program_text, Strategy::kAuto,
-                                             Semantics::kDuplicate);
+  // 3. Create a manager. The default Strategy::kAuto picks the counting
+  //    algorithm for this nonrecursive view; kDuplicate keeps full
+  //    derivation counts.
+  ViewManager::Options options;
+  options.semantics = Semantics::kDuplicate;
+  auto manager = ViewManager::CreateFromText(program_text, options);
   manager.status().CheckOK();
   (*manager)->Initialize(db).CheckOK();
 

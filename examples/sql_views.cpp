@@ -53,7 +53,9 @@ int main() {
   prices.Add(Tup("gadget", 25));
   db.mutable_relation("blocklist").Add(Tup("bob"));
 
-  auto vm = ViewManager::Create(translator.Build().value(), Strategy::kCounting);
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  auto vm = ViewManager::Create(translator.Build().value(), options);
   vm.status().CheckOK();
   (*vm)->Initialize(db).CheckOK();
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "core/delta_rules.h"
 #include "eval/aggregates.h"
+#include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
@@ -196,7 +197,10 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
 
   // 2. Process rules stratum by stratum, in RSN order (Algorithm 4.1).
   last_apply_stats_ = JoinStats();
+  uint64_t deltas_emitted = 0;   // propagated membership/count changes
+  uint64_t suppressed = 0;       // count-only changes boxed statement (2) drops
   for (int s = 1; s <= program_.max_stratum(); ++s) {
+    TraceSpan stratum_span(metrics_, "counting.stratum");
     IVM_FAILPOINT("counting.stratum.begin");
     for (PredicateId p : program_.predicates_in_stratum(s)) {
       const PredicateInfo& info = program_.predicate(p);
@@ -236,9 +240,13 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
       std::unique_ptr<Relation> prop;
       if (set_mode) {
         prop = std::make_unique<Relation>(MembershipDelta(stored, dp));
+        // The set-semantics optimization of Example 5.1: count-only changes
+        // (tuples still present before and after) do not propagate.
+        suppressed += dp.size() - prop->size();
       } else {
         prop = std::make_unique<Relation>(dp);
       }
+      deltas_emitted += prop->size();
       source.PutDelta(p, prop.get());
       prop_deltas.emplace(p, std::move(prop));
     }
@@ -269,6 +277,19 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
     if (!prop->empty()) {
       out.Merge(program_.predicate(pred).name, *prop);
     }
+  }
+
+  // Publish this Apply's work profile in one batch — the hot loops above
+  // only touched local accumulators.
+  if (metrics_ != nullptr) {
+    metrics_->counter("counting.tuples_scanned")
+        ->Add(last_apply_stats_.tuples_matched);
+    metrics_->counter("counting.derivations")
+        ->Add(last_apply_stats_.derivations);
+    metrics_->counter("counting.deltas_emitted")->Add(deltas_emitted);
+    metrics_->counter("counting.suppressed")->Add(suppressed);
+    metrics_->counter("counting.strata_processed")
+        ->Add(static_cast<uint64_t>(program_.max_stratum()));
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include "eval/aggregates.h"
 #include "eval/evaluator.h"
 #include "eval/rule_eval.h"
+#include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
@@ -307,6 +308,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
     };
 
     // ---- Phase 1: over-delete. ----
+    TraceSpan overdelete_span(metrics_, "dred.overdelete");
     std::map<PredicateId, Relation> over;
     std::map<PredicateId, Relation> pending;
     for (PredicateId p : preds) {
@@ -422,8 +424,10 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
       last_apply_stats_.overdeleted += over.at(p).size();
       deleted.emplace(p, std::move(over.at(p)));
     }
+    overdelete_span.Finish();
 
     // ---- Phase 2: rederive. ----
+    TraceSpan rederive_span(metrics_, "dred.rederive");
     // +(p) :- δ⁻(p) & s1^ν & ... & sn^ν, iterated to fixpoint.
     bool changed = true;
     while (changed) {
@@ -463,8 +467,10 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
     for (PredicateId p : preds) {
       dels[p] = std::move(deleted.at(p));
     }
+    rederive_span.Finish();
 
     // ---- Phase 3: insert. ----
+    TraceSpan insert_span(metrics_, "dred.insert");
     std::map<PredicateId, Relation> added;
     std::map<PredicateId, Relation> pending_add;
     for (PredicateId p : preds) {
@@ -482,6 +488,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         stored.Add(tuple, 1);
         added.at(head).Add(tuple, 1);
         pend->at(head).Add(tuple, 1);
+        ++last_apply_stats_.inserted;
       }
       return Status::OK();
     };
@@ -563,6 +570,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
       }
       pending_add = std::move(next_pending);
     }
+    insert_span.Finish();
 
     // ---- Commit this stratum: net out del/add, record rev overlays. ----
     IVM_FAILPOINT("dred.commit.stratum");
@@ -602,6 +610,17 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
 
   last_apply_stats_.tuples_matched = join_stats.tuples_matched;
   last_apply_stats_.derivations = join_stats.derivations;
+
+  // Publish this run's work profile in one batch — the phases above only
+  // touched `last_apply_stats_`.
+  if (metrics_ != nullptr) {
+    metrics_->counter("dred.tuples_scanned")
+        ->Add(last_apply_stats_.tuples_matched);
+    metrics_->counter("dred.derivations")->Add(last_apply_stats_.derivations);
+    metrics_->counter("dred.overdeleted")->Add(last_apply_stats_.overdeleted);
+    metrics_->counter("dred.rederived")->Add(last_apply_stats_.rederived);
+    metrics_->counter("dred.inserted")->Add(last_apply_stats_.inserted);
+  }
   return result;
 }
 

@@ -80,7 +80,7 @@ class DRedMaintainer : public Maintainer {
   size_t TotalViewTuples() const;
 
   /// Work counters of the most recent Apply()/AddRule()/RemoveRule():
-  /// tuples examined, derivations produced, and the over-deletion sizes.
+  /// tuples examined, derivations produced, and the per-phase tuple counts.
   struct Stats {
     uint64_t tuples_matched = 0;
     uint64_t derivations = 0;
@@ -88,6 +88,8 @@ class DRedMaintainer : public Maintainer {
     uint64_t overdeleted = 0;
     /// Of those, tuples put back by phase 2.
     uint64_t rederived = 0;
+    /// New tuples materialized by phase 3 (before del/add netting).
+    uint64_t inserted = 0;
   };
   const Stats& last_apply_stats() const { return last_apply_stats_; }
 

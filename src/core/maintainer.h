@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/change_set.h"
 #include "datalog/program.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 #include "txn/txn.h"
 
@@ -49,6 +50,17 @@ class Maintainer {
   /// CollectTxnRelations(), so transaction cost is proportional to the
   /// number of touched tuples, not the database size.
   virtual std::unique_ptr<MaintainerTxn> BeginTxn();
+
+  /// Attaches (or detaches, with nullptr) the registry this maintainer
+  /// publishes its work counters and phase timings into. The default stores
+  /// it in `metrics_`; maintainers wrapping another maintainer (PF) forward
+  /// the attachment. Detached maintainers must not read the clock or
+  /// allocate on behalf of observability (see docs/observability.md).
+  virtual void AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+ protected:
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ivm

@@ -1,5 +1,6 @@
 #include "core/pf.h"
 
+#include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
@@ -33,6 +34,8 @@ Result<ChangeSet> PFMaintainer::Apply(const ChangeSet& base_changes) {
   // then-insertion staging), each fragment fully propagated through every
   // derived predicate before the next is considered.
   auto apply_fragment = [&](const ChangeSet& fragment) -> Status {
+    TraceSpan fragment_span(metrics_, "pf.fragment");
+    CounterAdd(metrics_, "pf.fragments");
     IVM_FAILPOINT("pf.fragment");
     IVM_ASSIGN_OR_RETURN(ChangeSet partial, core_->Apply(fragment));
     for (const auto& [name, delta] : partial.deltas()) {

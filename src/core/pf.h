@@ -49,6 +49,13 @@ class PFMaintainer : public Maintainer {
     core_->CollectTxnRelations(out);
   }
 
+  /// The wrapped core does the actual maintenance work, so it publishes into
+  /// the same registry (its dred.* counters profile PF's repeated phases).
+  void AttachMetrics(MetricsRegistry* metrics) override {
+    metrics_ = metrics;
+    core_->AttachMetrics(metrics);
+  }
+
  private:
   PFMaintainer(std::unique_ptr<DRedMaintainer> core, Granularity granularity)
       : core_(std::move(core)), granularity_(granularity) {}

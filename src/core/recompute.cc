@@ -1,6 +1,7 @@
 #include "core/recompute.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
@@ -72,7 +73,11 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
 
   IVM_FAILPOINT("recompute.reevaluate");
   std::map<PredicateId, Relation> old_views = std::move(views_);
-  IVM_RETURN_IF_ERROR(Reevaluate());
+  {
+    TraceSpan reevaluate_span(metrics_, "recompute.reevaluate");
+    IVM_RETURN_IF_ERROR(Reevaluate());
+    CounterAdd(metrics_, "recompute.reevaluations");
+  }
 
   ChangeSet out;
   for (const auto& [pred, new_rel] : views_) {
@@ -89,6 +94,7 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
     }
     if (!diff.empty()) out.Merge(new_rel.name(), diff);
   }
+  CounterAdd(metrics_, "recompute.diff_tuples", out.TotalTuples());
   return out;
 }
 

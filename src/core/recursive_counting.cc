@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "eval/aggregates.h"
 #include "eval/rule_eval.h"
+#include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
@@ -102,6 +103,8 @@ Result<ChangeSet> RecursiveCountingMaintainer::Apply(
 
 Status RecursiveCountingMaintainer::Propagate(
     std::map<PredicateId, Relation> pending, ChangeSet* out) {
+  TraceSpan propagate_span(metrics_, "rc.propagate");
+  uint64_t deltas_emitted = 0;  // view delta tuples committed to the caller
   // Rules indexed by the predicates occurring in their bodies.
   std::map<PredicateId, std::vector<int>> rules_reading;
   for (size_t r = 0; r < program_.num_rules(); ++r) {
@@ -303,7 +306,10 @@ Status RecursiveCountingMaintainer::Propagate(
     for (auto& [key, dt] : agg_deltas) {
       if (!dt.empty()) aggregate_ts_.at(key).UnionInPlace(dt);
     }
-    if (!q_info.is_base) out->Merge(q_info.name, delta);
+    if (!q_info.is_base) {
+      deltas_emitted += delta.size();
+      out->Merge(q_info.name, delta);
+    }
 
     // Enqueue derived deltas.
     for (auto& [pred, d] : derived) {
@@ -311,6 +317,10 @@ Status RecursiveCountingMaintainer::Propagate(
       auto [it, inserted] = pending.try_emplace(pred, std::move(d));
       if (!inserted) it->second.UnionInPlace(d);
     }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("rc.worklist_steps")->Add(steps);
+    metrics_->counter("rc.deltas_emitted")->Add(deltas_emitted);
   }
   return Status::OK();
 }

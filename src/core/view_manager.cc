@@ -6,6 +6,7 @@
 
 #include "analysis/advisor.h"
 #include "datalog/parser.h"
+#include "obs/trace.h"
 #include "txn/checkpoint.h"
 #include "txn/failpoint.h"
 
@@ -24,9 +25,8 @@ Result<Strategy> StrategyFromName(const std::string& name) {
 
 }  // namespace
 
-Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
-                                                         Strategy strategy,
-                                                         Semantics semantics) {
+Result<std::unique_ptr<ViewManager>> ViewManager::Create(
+    Program program, const Options& options) {
   IVM_RETURN_IF_ERROR(program.Analyze());
 
   // Let the strategy advisor explain *why* a (strategy, semantics) pair is
@@ -34,7 +34,7 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
   // precondition is violated, and what to use instead — rather than
   // reporting a bare pass/fail.
   AnalysisReport strategy_report =
-      CheckStrategyChoice(program, strategy, semantics);
+      CheckStrategyChoice(program, options.strategy, options.semantics);
   if (strategy_report.HasErrors()) {
     std::string msg = "strategy precondition violated:";
     for (const Diagnostic& d : strategy_report.diagnostics()) {
@@ -44,15 +44,15 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
     return Status::FailedPrecondition(std::move(msg));
   }
 
-  Strategy resolved = strategy;
-  if (strategy == Strategy::kAuto) {
+  Strategy resolved = options.strategy;
+  if (resolved == Strategy::kAuto) {
     // The paper's recommendation: counting for nonrecursive views, DRed for
     // recursive views.
     resolved = program.IsRecursive() ? Strategy::kDRed : Strategy::kCounting;
   }
 
   // The semantics the chosen maintainer actually runs under.
-  Semantics effective_semantics = semantics;
+  Semantics effective_semantics = options.semantics;
   if (resolved == Strategy::kDRed || resolved == Strategy::kPF) {
     effective_semantics = Semantics::kSet;
   } else if (resolved == Strategy::kRecursiveCounting) {
@@ -63,7 +63,7 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
   switch (resolved) {
     case Strategy::kCounting: {
       IVM_ASSIGN_OR_RETURN(auto m, CountingMaintainer::Create(
-                                       std::move(program), semantics));
+                                       std::move(program), options.semantics));
       impl = std::move(m);
       break;
     }
@@ -74,7 +74,7 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
     }
     case Strategy::kRecompute: {
       IVM_ASSIGN_OR_RETURN(auto m, RecomputeMaintainer::Create(
-                                       std::move(program), semantics));
+                                       std::move(program), options.semantics));
       impl = std::move(m);
       break;
     }
@@ -92,20 +92,64 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
     case Strategy::kAuto:
       return Status::Internal("kAuto should have been resolved");
   }
-  return std::unique_ptr<ViewManager>(
+  impl->AttachMetrics(options.metrics);
+  auto manager = std::unique_ptr<ViewManager>(
       new ViewManager(std::move(impl), resolved, effective_semantics));
+  manager->metrics_ = options.metrics;
+  manager->configured_durable_dir_ = options.durability_dir;
+  return manager;
+}
+
+Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
+    const std::string& program_text, const Options& options) {
+  IVM_ASSIGN_OR_RETURN(Program program, ParseProgram(program_text));
+  return Create(std::move(program), options);
+}
+
+Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
+                                                         Strategy strategy,
+                                                         Semantics semantics) {
+  Options options;
+  options.strategy = strategy;
+  options.semantics = semantics;
+  return Create(std::move(program), options);
 }
 
 Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
     const std::string& program_text, Strategy strategy, Semantics semantics) {
-  IVM_ASSIGN_OR_RETURN(Program program, ParseProgram(program_text));
-  return Create(std::move(program), strategy, semantics);
+  Options options;
+  options.strategy = strategy;
+  options.semantics = semantics;
+  return CreateFromText(program_text, options);
+}
+
+Status ViewManager::Initialize(const Database& base) {
+  {
+    TraceSpan span(metrics_, "initialize");
+    IVM_RETURN_IF_ERROR(impl_->Initialize(base));
+  }
+  if (!configured_durable_dir_.empty() && wal_ == nullptr) {
+    IVM_RETURN_IF_ERROR(OpenDurability(configured_durable_dir_));
+  }
+  return Status::OK();
 }
 
 Status ViewManager::EnableDurability(const std::string& dir) {
   if (wal_ != nullptr) {
-    return Status::FailedPrecondition("durability is already enabled");
+    if (dir == durable_dir_) return Status::OK();  // idempotent re-enable
+    return Status::FailedPrecondition(
+        "durability is already enabled on '" + durable_dir_ +
+        "'; cannot re-enable on '" + dir + "'");
   }
+  if (!configured_durable_dir_.empty() && dir != configured_durable_dir_) {
+    return Status::FailedPrecondition(
+        "durability was configured on '" + configured_durable_dir_ +
+        "' via ViewManager::Options; cannot enable it on '" + dir + "'");
+  }
+  return OpenDurability(dir);
+}
+
+Status ViewManager::OpenDurability(const std::string& dir) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -114,6 +158,7 @@ Status ViewManager::EnableDurability(const std::string& dir) {
                             ": " + ec.message());
   }
   IVM_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(dir + "/wal.log"));
+  wal_->AttachMetrics(metrics_);
   durable_dir_ = dir;
   const bool have_checkpoint =
       fs::exists(fs::path(dir) / "checkpoint" / "MANIFEST") ||
@@ -136,6 +181,7 @@ Status ViewManager::Checkpoint() {
     return Status::FailedPrecondition(
         "durability is not enabled; call EnableDurability() first");
   }
+  TraceSpan span(metrics_, "checkpoint");
   CheckpointData data;
   data.epoch = epoch_;
   data.strategy = StrategyName(strategy_);
@@ -152,21 +198,25 @@ Status ViewManager::Checkpoint() {
     IVM_ASSIGN_OR_RETURN(const Relation* rel, impl_->GetRelation(info.name));
     data.views.emplace(info.name, *rel);
   }
-  IVM_RETURN_IF_ERROR(WriteCheckpoint(durable_dir_, data));
+  IVM_RETURN_IF_ERROR(WriteCheckpoint(durable_dir_, data, metrics_));
+  CounterAdd(metrics_, "checkpoint.count");
   // The snapshot absorbed every logged record; start the log over.
   return wal_->Reset();
 }
 
 Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
-    const std::string& dir) {
+    const std::string& dir, MetricsRegistry* metrics) {
+  TraceSpan span(metrics, "recover");
   IVM_ASSIGN_OR_RETURN(CheckpointData cp, ReadCheckpoint(dir));
   IVM_ASSIGN_OR_RETURN(Program program, ParseProgram(cp.program_text));
   IVM_ASSIGN_OR_RETURN(Strategy strategy, StrategyFromName(cp.strategy));
-  const Semantics semantics = cp.semantics == "duplicate"
-                                  ? Semantics::kDuplicate
-                                  : Semantics::kSet;
+  Options options;
+  options.strategy = strategy;
+  options.semantics =
+      cp.semantics == "duplicate" ? Semantics::kDuplicate : Semantics::kSet;
+  options.metrics = metrics;
   IVM_ASSIGN_OR_RETURN(std::unique_ptr<ViewManager> manager,
-                       Create(std::move(program), strategy, semantics));
+                       Create(std::move(program), options));
 
   Database base;
   for (const auto& [name, rel] : cp.base) {
@@ -215,7 +265,9 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
     // Replay tracks the logged epochs exactly (robust even if the log ever
     // carries gaps).
     manager->epoch_ = rec.epoch;
+    CounterAdd(metrics, "recovery.replayed_records");
   }
+  if (torn_tail) CounterAdd(metrics, "recovery.torn_tails");
 
   IVM_RETURN_IF_ERROR(manager->EnableDurability(dir));
   return manager;
@@ -249,16 +301,20 @@ Status ViewManager::CheckPostConditions(const ChangeSet& base_changes,
 }
 
 Status ViewManager::FireTriggers(const ChangeSet& view_changes) {
+  TraceSpan span(metrics_, "triggers");
   for (const auto& [id, sub] : subscriptions_) {
     (void)id;
     const Relation& delta = view_changes.Delta(sub.view);
     if (delta.empty()) continue;
+    CounterAdd(metrics_, "triggers.dispatched");
     try {
       sub.trigger(sub.view, delta);
     } catch (const std::exception& e) {
+      CounterAdd(metrics_, "triggers.threw");
       return Status::Internal("view trigger for '" + sub.view +
                               "' threw: " + e.what());
     } catch (...) {
+      CounterAdd(metrics_, "triggers.threw");
       return Status::Internal("view trigger for '" + sub.view +
                               "' threw a non-standard exception");
     }
@@ -310,31 +366,48 @@ Status ViewManager::FinishMutation(
   }
   if (!status.ok()) {
     txn->Rollback();
+    CounterAdd(metrics_, "mutations.rolled_back");
     return status;
   }
   txn->Commit();
+  CounterAdd(metrics_, "mutations.committed");
   return Status::OK();
 }
 
 Result<ChangeSet> ViewManager::Apply(const ChangeSet& base_changes) {
+  TraceSpan span(metrics_, "apply");
   IVM_RETURN_IF_ERROR(base_changes.Validate());
   std::unique_ptr<MaintainerTxn> txn = impl_->BeginTxn();
   Result<ChangeSet> result = impl_->Apply(base_changes);
   if (!result.ok()) {
     txn->Rollback();
+    CounterAdd(metrics_, "mutations.rolled_back");
     return result.status();
   }
   IVM_RETURN_IF_ERROR(FinishMutation(
       txn.get(), base_changes, result.value(), [&](uint64_t epoch) {
         return wal_->AppendChangeSet(epoch, base_changes.deltas());
       }));
+  if (metrics_ != nullptr) {
+    metrics_->counter("apply.base_delta_tuples")
+        ->Add(base_changes.TotalTuples());
+    metrics_->counter("apply.view_delta_tuples")
+        ->Add(result.value().TotalTuples());
+    metrics_->gauge("apply.peak_view_delta_tuples")
+        ->SetMax(static_cast<int64_t>(result.value().TotalTuples()));
+  }
   return result;
 }
 
-int ViewManager::Subscribe(const std::string& view, ViewTrigger trigger) {
+ViewManager::Subscription ViewManager::Watch(const std::string& view,
+                                             ViewTrigger trigger) {
   int id = next_subscription_id_++;
-  subscriptions_[id] = Subscription{view, std::move(trigger)};
-  return id;
+  subscriptions_[id] = TriggerEntry{view, std::move(trigger)};
+  return Subscription(this, id);
+}
+
+int ViewManager::Subscribe(const std::string& view, ViewTrigger trigger) {
+  return Watch(view, std::move(trigger)).Detach();
 }
 
 void ViewManager::Unsubscribe(int subscription_id) {
@@ -342,6 +415,7 @@ void ViewManager::Unsubscribe(int subscription_id) {
 }
 
 Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
+  TraceSpan span(metrics_, "add_rule");
   auto* dred = dynamic_cast<DRedMaintainer*>(impl_.get());
   if (dred == nullptr) {
     return Status::FailedPrecondition(
@@ -354,6 +428,7 @@ Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
   Result<ChangeSet> result = dred->AddRule(rule);
   if (!result.ok()) {
     txn->Rollback();
+    CounterAdd(metrics_, "mutations.rolled_back");
     return result.status();
   }
   const ChangeSet no_base_changes;
@@ -370,6 +445,7 @@ Result<ChangeSet> ViewManager::AddRuleText(const std::string& rule_text) {
 }
 
 Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
+  TraceSpan span(metrics_, "remove_rule");
   auto* dred = dynamic_cast<DRedMaintainer*>(impl_.get());
   if (dred == nullptr) {
     return Status::FailedPrecondition(
@@ -380,6 +456,7 @@ Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
   Result<ChangeSet> result = dred->RemoveRule(rule_index);
   if (!result.ok()) {
     txn->Rollback();
+    CounterAdd(metrics_, "mutations.rolled_back");
     return result.status();
   }
   const ChangeSet no_base_changes;

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "core/change_set.h"
@@ -18,6 +19,7 @@
 #include "core/strategy.h"
 #include "datalog/program.h"
 #include "eval/evaluator.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 #include "txn/wal.h"
 
@@ -45,21 +47,48 @@ namespace ivm {
 ///   db.CreateRelation("link", 2).CheckOK();
 ///   db.mutable_relation("link").Add(Tup("a", "b"));
 ///   ...
-///   auto manager = ViewManager::Create(std::move(program),
-///                                      Strategy::kAuto).value();
+///   ViewManager::Options options;
+///   options.strategy = Strategy::kAuto;
+///   auto manager = ViewManager::Create(std::move(program), options).value();
 ///   manager->Initialize(db).CheckOK();
 ///   ChangeSet changes;
 ///   changes.Delete("link", Tup("a", "b"));
 ///   ChangeSet view_changes = manager->Apply(changes).value();
 class ViewManager {
  public:
-  /// `semantics` applies to kCounting/kRecompute; kDRed and kPF are
-  /// set-semantics by definition (Section 7).
+  /// Construction-time configuration. Replaces the positional-argument tail
+  /// that Create() had been accreting (strategy, semantics, ...): new knobs
+  /// land here without touching every caller.
+  struct Options {
+    /// Maintenance strategy; kAuto follows the paper's recommendation
+    /// (counting for nonrecursive programs, DRed for recursive ones).
+    Strategy strategy = Strategy::kAuto;
+    /// Applies to kCounting/kRecompute; kDRed and kPF are set-semantics by
+    /// definition (Section 7), kRecursiveCounting is always kDuplicate.
+    Semantics semantics = Semantics::kSet;
+    /// When non-empty, durability is enabled on this directory as soon as
+    /// Initialize() succeeds (equivalent to calling EnableDurability(dir)
+    /// then). A later explicit EnableDurability() with a *different*
+    /// directory is a FailedPrecondition error, never a silent override.
+    std::string durability_dir;
+    /// Optional observability sink (not owned; must outlive the manager).
+    /// When null — the default — the maintenance pipeline runs with zero
+    /// observability overhead: no counters, no clock reads, no allocations.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  static Result<std::unique_ptr<ViewManager>> Create(Program program,
+                                                     const Options& options);
+
+  /// Convenience: parse a Datalog program text first.
+  static Result<std::unique_ptr<ViewManager>> CreateFromText(
+      const std::string& program_text, const Options& options);
+
+  /// Deprecated positional forms; thin forwarding wrappers over the Options
+  /// overloads, kept so existing callers compile unchanged.
   static Result<std::unique_ptr<ViewManager>> Create(
       Program program, Strategy strategy = Strategy::kAuto,
       Semantics semantics = Semantics::kSet);
-
-  /// Convenience: parse a Datalog program text first.
   static Result<std::unique_ptr<ViewManager>> CreateFromText(
       const std::string& program_text, Strategy strategy = Strategy::kAuto,
       Semantics semantics = Semantics::kSet);
@@ -69,17 +98,25 @@ class ViewManager {
   /// strategy / semantics, verifies the recomputed views against the stored
   /// ones, replays the WAL tail (committed records with epoch beyond the
   /// checkpoint; a torn trailing record is skipped), and re-enables
-  /// durability on `dir`.
-  static Result<std::unique_ptr<ViewManager>> Recover(const std::string& dir);
+  /// durability on `dir`. `metrics`, when given, observes both the replay
+  /// and the recovered manager's subsequent life.
+  static Result<std::unique_ptr<ViewManager>> Recover(
+      const std::string& dir, MetricsRegistry* metrics = nullptr);
 
-  /// Snapshots the base relations and materializes every view.
-  Status Initialize(const Database& base) { return impl_->Initialize(base); }
+  /// Snapshots the base relations and materializes every view. When the
+  /// manager was created with Options::durability_dir, durability is enabled
+  /// on that directory before this returns.
+  Status Initialize(const Database& base);
 
   /// Makes every subsequent committed mutation durable: appends it to
   /// `dir`/wal.log (fsync'd before Apply returns) so Recover(dir) can replay
   /// it. Writes an initial checkpoint of the current state when `dir` holds
   /// none, so recovery always has a base snapshot to start from. Requires an
   /// initialized manager.
+  ///
+  /// Idempotent on the directory durability is already active on; a
+  /// *different* directory (already active, or configured via
+  /// Options::durability_dir) is a FailedPrecondition error.
   Status EnableDurability(const std::string& dir);
 
   /// Snapshots the full current state into `dir`'s checkpoint and truncates
@@ -99,9 +136,59 @@ class ViewManager {
   /// Active-database hook (one of the paper's motivating applications:
   /// "a rule may fire when a particular tuple is inserted into a view").
   /// The callback runs after every Apply/AddRule/RemoveRule that changes
-  /// `view`, receiving the view's delta. Returns a subscription id.
+  /// `view`, receiving the view's delta.
   using ViewTrigger =
       std::function<void(const std::string& view, const Relation& delta)>;
+
+  /// Move-only RAII handle for a view trigger: the trigger stays registered
+  /// for the handle's lifetime and is unsubscribed on destruction (or an
+  /// explicit Unsubscribe()). Must not outlive its ViewManager.
+  class [[nodiscard]] Subscription {
+   public:
+    Subscription() = default;
+    Subscription(Subscription&& other) noexcept
+        : manager_(std::exchange(other.manager_, nullptr)),
+          id_(std::exchange(other.id_, 0)) {}
+    Subscription& operator=(Subscription&& other) noexcept {
+      if (this != &other) {
+        Unsubscribe();
+        manager_ = std::exchange(other.manager_, nullptr);
+        id_ = std::exchange(other.id_, 0);
+      }
+      return *this;
+    }
+    ~Subscription() { Unsubscribe(); }
+
+    /// Deregisters the trigger now; idempotent.
+    void Unsubscribe() {
+      if (manager_ != nullptr) manager_->Unsubscribe(id_);
+      manager_ = nullptr;
+    }
+
+    /// Releases ownership without deregistering and returns the raw id —
+    /// the bridge to the legacy int-based API.
+    int Detach() {
+      manager_ = nullptr;
+      return id_;
+    }
+
+    bool active() const { return manager_ != nullptr; }
+    int id() const { return id_; }
+
+   private:
+    friend class ViewManager;
+    Subscription(ViewManager* manager, int id) : manager_(manager), id_(id) {}
+
+    ViewManager* manager_ = nullptr;
+    int id_ = 0;
+  };
+
+  /// Registers `trigger` for `view`; the returned handle owns the
+  /// registration.
+  Subscription Watch(const std::string& view, ViewTrigger trigger);
+
+  /// Deprecated raw-id forms, forwarding to Watch()/the handle: the caller
+  /// owns the lifetime and must Unsubscribe() manually.
   int Subscribe(const std::string& view, ViewTrigger trigger);
   void Unsubscribe(int subscription_id);
 
@@ -122,11 +209,16 @@ class ViewManager {
   Semantics semantics() const { return semantics_; }
   /// The concrete maintainer (e.g. for strategy-specific accessors).
   Maintainer& maintainer() { return *impl_; }
+  /// The attached observability sink (null when none was configured).
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   ViewManager(std::unique_ptr<Maintainer> impl, Strategy strategy,
               Semantics semantics)
       : impl_(std::move(impl)), strategy_(strategy), semantics_(semantics) {}
+
+  /// Shared EnableDurability body, after the directory-conflict checks.
+  Status OpenDurability(const std::string& dir);
 
   /// Commit-time invariants, checked before the transaction commits:
   /// no touched relation overflowed its counts, and under set semantics no
@@ -151,16 +243,20 @@ class ViewManager {
   std::unique_ptr<Maintainer> impl_;
   Strategy strategy_;
   Semantics semantics_;
-  struct Subscription {
+  struct TriggerEntry {
     std::string view;
     ViewTrigger trigger;
   };
-  std::map<int, Subscription> subscriptions_;
+  std::map<int, TriggerEntry> subscriptions_;
   int next_subscription_id_ = 1;
 
+  /// Directory requested via Options::durability_dir (pending until
+  /// Initialize()); empty when construction did not configure durability.
+  std::string configured_durable_dir_;
   std::string durable_dir_;
   std::unique_ptr<WriteAheadLog> wal_;
   uint64_t epoch_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ivm

@@ -1,0 +1,56 @@
+#ifndef IVM_OBS_JSON_UTIL_H_
+#define IVM_OBS_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ivm {
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`, escaping
+/// quotes, backslashes, and control characters.
+inline void JsonAppendString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Appends a finite double (JSON has no NaN/Inf — those become 0).
+inline void JsonAppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace ivm
+
+#endif  // IVM_OBS_JSON_UTIL_H_

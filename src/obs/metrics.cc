@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "obs/json_util.h"
+
+namespace ivm {
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return &it->second;
+}
+
+LatencyHistogram* MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), LatencyHistogram()).first;
+  }
+  return &it->second;
+}
+
+uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value;
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the requested percentile, 1-based (nearest-rank definition:
+  // ceil(p/100 * N), so p99 of 3 samples is the 3rd, not the 2nd).
+  double exact = p / 100.0 * static_cast<double>(count_);
+  uint64_t rank = static_cast<uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= rank) return BucketUpperBoundNanos(i);
+  }
+  return BucketUpperBoundNanos(kNumBuckets - 1);
+}
+
+int MetricsRegistry::BeginSpan() { return span_depth_++; }
+
+void MetricsRegistry::EndSpan(const char* name, int depth, uint64_t start_ns,
+                              uint64_t duration_ns) {
+  span_depth_ = depth;
+  if (!span_epoch_set_) {
+    span_epoch_set_ = true;
+    span_epoch_ns_ = start_ns;
+  }
+  histogram(std::string("span.") + name)->Record(duration_ns);
+  if (spans_.size() >= span_capacity_) {
+    counter("obs.spans_dropped")->Add(1);
+    return;
+  }
+  SpanRecord rec;
+  rec.name = name;
+  rec.depth = depth;
+  rec.start_ns = start_ns - span_epoch_ns_;
+  rec.duration_ns = duration_ns;
+  spans_.push_back(rec);
+}
+
+std::vector<SpanRecord> MetricsRegistry::DrainSpans() {
+  std::vector<SpanRecord> out = std::move(spans_);
+  spans_.clear();
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c.value = 0;
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g.value = 0;
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h.Reset();
+  }
+  spans_.clear();
+  span_depth_ = 0;
+  span_epoch_set_ = false;
+  span_epoch_ns_ = 0;
+}
+
+std::string MetricsRegistry::ToJson(bool with_spans) const {
+  std::string out;
+  out.push_back('{');
+  out.append("\"counters\":{");
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    JsonAppendString(&out, name);
+    out.push_back(':');
+    out.append(std::to_string(c.value));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    JsonAppendString(&out, name);
+    out.push_back(':');
+    out.append(std::to_string(g.value));
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    JsonAppendString(&out, name);
+    out.append(":{\"count\":");
+    out.append(std::to_string(h.count()));
+    out.append(",\"total_ns\":");
+    out.append(std::to_string(h.total_ns()));
+    out.append(",\"min_ns\":");
+    out.append(std::to_string(h.min_ns()));
+    out.append(",\"max_ns\":");
+    out.append(std::to_string(h.max_ns()));
+    out.append(",\"p50_ns\":");
+    out.append(std::to_string(h.PercentileNanos(50)));
+    out.append(",\"p99_ns\":");
+    out.append(std::to_string(h.PercentileNanos(99)));
+    out.push_back('}');
+  }
+  out.push_back('}');
+  if (with_spans) {
+    out.append(",\"spans\":[");
+    first = true;
+    for (const SpanRecord& s : spans_) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("{\"name\":");
+      JsonAppendString(&out, s.name);
+      out.append(",\"depth\":");
+      out.append(std::to_string(s.depth));
+      out.append(",\"start_ns\":");
+      out.append(std::to_string(s.start_ns));
+      out.append(",\"duration_ns\":");
+      out.append(std::to_string(s.duration_ns));
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace ivm

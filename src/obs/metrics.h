@@ -1,0 +1,184 @@
+#ifndef IVM_OBS_METRICS_H_
+#define IVM_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivm {
+
+/// Monotonically increasing event count. Instrumented components resolve the
+/// Counter* once (names are stable map nodes) and bump the raw value in
+/// their hot paths; the registry only owns the storage.
+struct Counter {
+  uint64_t value = 0;
+  void Add(uint64_t delta = 1) { value += delta; }
+};
+
+/// A point-in-time level (e.g. total materialized view tuples). `SetMax`
+/// keeps a high-watermark instead of the last value.
+struct Gauge {
+  int64_t value = 0;
+  void Set(int64_t v) { value = v; }
+  void SetMax(int64_t v) {
+    if (v > value) value = v;
+  }
+};
+
+/// Latency histogram over fixed power-of-two nanosecond buckets: bucket 0
+/// holds durations of at most 1ns, bucket i holds (2^(i-1), 2^i] ns. With
+/// kNumBuckets = 48 the top bucket covers everything beyond ~39 hours, so no
+/// dynamic allocation or rescaling ever happens on the record path.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  void Record(uint64_t nanos) {
+    ++count_;
+    total_ns_ += nanos;
+    if (nanos > max_ns_) max_ns_ = nanos;
+    if (count_ == 1 || nanos < min_ns_) min_ns_ = nanos;
+    ++buckets_[BucketFor(nanos)];
+  }
+
+  /// Index of the bucket `nanos` falls into.
+  static int BucketFor(uint64_t nanos) {
+    if (nanos <= 1) return 0;
+    int bit = 64 - __builtin_clzll(nanos - 1);  // ceil(log2(nanos))
+    return bit < kNumBuckets ? bit : kNumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `i` in nanoseconds.
+  static uint64_t BucketUpperBoundNanos(int i) { return uint64_t{1} << i; }
+
+  uint64_t count() const { return count_; }
+  uint64_t total_ns() const { return total_ns_; }
+  uint64_t min_ns() const { return count_ == 0 ? 0 : min_ns_; }
+  uint64_t max_ns() const { return max_ns_; }
+  uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+
+  /// Upper bound (ns) of the bucket containing the p-th percentile
+  /// (0 <= p <= 100); 0 when empty. Bucket-granular by construction.
+  uint64_t PercentileNanos(double p) const;
+
+  void Reset() { *this = LatencyHistogram(); }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_ns_ = 0;
+  uint64_t min_ns_ = 0;
+  uint64_t max_ns_ = 0;
+};
+
+/// One completed TraceSpan (see obs/trace.h). `depth` is the nesting level
+/// at the time the span was opened; together with the completion order this
+/// reconstructs the span tree.
+struct SpanRecord {
+  const char* name = nullptr;  // static string supplied by the TraceSpan site
+  int depth = 0;
+  uint64_t start_ns = 0;  // relative to the registry's first span
+  uint64_t duration_ns = 0;
+};
+
+/// Owner of all observability state: counters, gauges, latency histograms,
+/// and a bounded buffer of completed trace spans. Everything is
+/// pull-registered by name on first use; handles stay valid for the
+/// registry's lifetime (map nodes are stable).
+///
+/// The registry is attached *optionally*: every instrumentation site in the
+/// library accepts a `MetricsRegistry*` that may be null, and the
+/// obs primitives (TraceSpan, the CounterAdd/GaugeSet helpers below) are
+/// no-ops — no allocation, no clock read — when it is. Attach one registry
+/// per ViewManager via ViewManager::Options::metrics.
+///
+/// Not thread-safe (like the rest of the library: one registry per manager,
+/// one manager per thread).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Handle accessors: create-on-first-use, stable addresses.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  LatencyHistogram* histogram(std::string_view name);
+
+  /// Read-side lookups (0 / nullptr when the metric was never touched).
+  uint64_t counter_value(std::string_view name) const;
+  int64_t gauge_value(std::string_view name) const;
+  const LatencyHistogram* FindHistogram(std::string_view name) const;
+
+  /// Span recording (called by TraceSpan; not for direct use). BeginSpan
+  /// returns the depth of the opened span.
+  int BeginSpan();
+  void EndSpan(const char* name, int depth, uint64_t start_ns,
+               uint64_t duration_ns);
+
+  /// Completed spans since the last DrainSpans(), oldest first. At most
+  /// `span_capacity` spans are retained; older overflow is counted in the
+  /// `obs.spans_dropped` counter.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  std::vector<SpanRecord> DrainSpans();
+  void set_span_capacity(size_t capacity) { span_capacity_ = capacity; }
+
+  /// Zeroes every metric and clears the span buffer; registered names (and
+  /// outstanding handles) stay valid.
+  void Reset();
+
+  /// Serializes all metrics as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"total_ns":..,"min_ns":..,
+  ///                  "max_ns":..,"p50_ns":..,"p99_ns":..}},
+  ///    "spans":[{"name":..,"depth":..,"start_ns":..,"duration_ns":..}]}
+  /// Spans are included only when `with_spans` is true.
+  std::string ToJson(bool with_spans = false) const;
+
+  /// Visitation for exporters (benchmark counters, tests).
+  template <typename Fn>  // Fn(const std::string&, uint64_t)
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, c.value);
+  }
+  template <typename Fn>  // Fn(const std::string&, int64_t)
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, g.value);
+  }
+  template <typename Fn>  // Fn(const std::string&, const LatencyHistogram&)
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, h);
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+  std::vector<SpanRecord> spans_;
+  size_t span_capacity_ = 1024;
+  int span_depth_ = 0;
+  bool span_epoch_set_ = false;
+  uint64_t span_epoch_ns_ = 0;
+
+  friend class TraceSpan;
+};
+
+/// Null-safe convenience wrappers: exactly one branch when no registry is
+/// attached. Use these for once-per-operation publishing; resolve raw
+/// Counter* handles for anything hotter.
+inline void CounterAdd(MetricsRegistry* m, std::string_view name,
+                       uint64_t delta = 1) {
+  if (m != nullptr) m->counter(name)->Add(delta);
+}
+inline void GaugeSet(MetricsRegistry* m, std::string_view name, int64_t v) {
+  if (m != nullptr) m->gauge(name)->Set(v);
+}
+inline void GaugeSetMax(MetricsRegistry* m, std::string_view name, int64_t v) {
+  if (m != nullptr) m->gauge(name)->SetMax(v);
+}
+
+}  // namespace ivm
+
+#endif  // IVM_OBS_METRICS_H_

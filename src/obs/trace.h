@@ -1,0 +1,77 @@
+#ifndef IVM_OBS_TRACE_H_
+#define IVM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace ivm {
+
+/// Scoped wall-clock timer. On destruction (or Finish()) the elapsed time is
+/// recorded into the registry's `span.<name>` histogram and appended to its
+/// span buffer, tagged with the nesting depth at open time.
+///
+/// The zero-overhead contract: when `registry` is null the constructor and
+/// destructor read no clock, allocate nothing, and touch nothing but the two
+/// member stores — instrumentation sites can therefore stay unconditionally
+/// in place in release hot paths.
+///
+///   Result<ChangeSet> ViewManager::Apply(...) {
+///     TraceSpan span(metrics_, "apply");   // no-op when metrics_ == nullptr
+///     ...
+///   }
+///
+/// `name` must point to a string with static storage duration (a literal):
+/// the span buffer stores the pointer, not a copy.
+class TraceSpan {
+ public:
+  TraceSpan(MetricsRegistry* registry, const char* name)
+      : registry_(registry), name_(name) {
+    if (registry_ == nullptr) return;
+    depth_ = registry_->BeginSpan();
+    start_ns_ = NowNanos();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { Finish(); }
+
+  /// Ends the span early; idempotent.
+  void Finish() {
+    if (registry_ == nullptr) return;
+    uint64_t now = NowNanos();
+    registry_->EndSpan(name_, depth_, start_ns_,
+                       now >= start_ns_ ? now - start_ns_ : 0);
+    registry_ = nullptr;
+  }
+
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  const char* name_;
+  int depth_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+/// Records one already-measured duration into `span.<name>` (for call sites
+/// that cannot use scoped lifetime). Null-safe like TraceSpan.
+inline void RecordSpanDuration(MetricsRegistry* registry, const char* name,
+                               uint64_t duration_ns) {
+  if (registry == nullptr) return;
+  int depth = registry->BeginSpan();
+  uint64_t now = TraceSpan::NowNanos();
+  registry->EndSpan(name, depth, now >= duration_ns ? now - duration_ns : 0,
+                    duration_ns);
+}
+
+}  // namespace ivm
+
+#endif  // IVM_OBS_TRACE_H_

@@ -11,6 +11,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/trace.h"
 #include "storage/io.h"
 #include "txn/failpoint.h"
 
@@ -161,13 +162,15 @@ Result<CheckpointData> ReadCheckpointDir(const fs::path& cp) {
 
 }  // namespace
 
-Status WriteCheckpoint(const std::string& dir, const CheckpointData& data) {
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
+                       MetricsRegistry* metrics) {
   std::error_code ec;
   const fs::path root(dir);
   const fs::path tmp = root / "checkpoint.tmp";
   const fs::path live = root / "checkpoint";
   const fs::path old = root / "checkpoint.old";
 
+  TraceSpan write_span(metrics, "checkpoint.write");
   fs::create_directories(root, ec);
   fs::remove_all(tmp, ec);
   if (!fs::create_directories(tmp, ec) && ec) {
@@ -218,9 +221,18 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointData& data) {
   IVM_RETURN_IF_ERROR(SyncPath(tmp / "MANIFEST", /*directory=*/false));
   // Make the staged entries durable before they become the live snapshot.
   IVM_RETURN_IF_ERROR(SyncPath(tmp, /*directory=*/true));
+  if (metrics != nullptr) {
+    uint64_t staged_bytes = 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(tmp, ec)) {
+      if (entry.is_regular_file(ec)) staged_bytes += entry.file_size(ec);
+    }
+    metrics->counter("checkpoint.bytes_staged")->Add(staged_bytes);
+  }
+  write_span.Finish();
 
   // 3. Swap. Crash windows: before the tmp rename, `checkpoint.old` (or the
   // untouched `checkpoint`) is still readable; after it, the new snapshot is.
+  TraceSpan swap_span(metrics, "checkpoint.swap");
   fs::remove_all(old, ec);
   if (fs::exists(live)) {
     fs::rename(live, old, ec);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/relation.h"
 
 namespace ivm {
@@ -38,7 +39,11 @@ struct CheckpointData {
 /// WriteCheckpoint stages into checkpoint.tmp, then swaps: checkpoint ->
 /// checkpoint.old, checkpoint.tmp -> checkpoint, delete checkpoint.old. A
 /// crash at any point leaves either the old or the new snapshot readable.
-Status WriteCheckpoint(const std::string& dir, const CheckpointData& data);
+/// `metrics`, when given, records the staging (`checkpoint.write`) and
+/// publish (`checkpoint.swap`) phases as spans plus the
+/// `checkpoint.bytes_staged` counter.
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
+                       MetricsRegistry* metrics = nullptr);
 
 /// Loads the newest complete snapshot (falling back to checkpoint.old when
 /// the swap was interrupted). NotFound when `dir` holds no checkpoint.

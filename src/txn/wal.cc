@@ -7,6 +7,7 @@
 #endif
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
@@ -301,6 +302,7 @@ WriteAheadLog::~WriteAheadLog() {
 
 Status WriteAheadLog::AppendRecord(uint64_t epoch, WalRecordKind kind,
                                    const std::string& payload) {
+  TraceSpan span(metrics_, "wal.append");
   IVM_FAILPOINT("wal.append");
   // A previous append may have failed partway (simulated by the
   // wal.append.torn failpoint, or a real short write): repair the tail
@@ -345,8 +347,13 @@ Status WriteAheadLog::AppendRecord(uint64_t epoch, WalRecordKind kind,
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::Internal("WAL append failed for " + path_);
   }
-  IVM_RETURN_IF_ERROR(Flush(file_, path_));
+  {
+    TraceSpan fsync_span(metrics_, "wal.fsync");
+    IVM_RETURN_IF_ERROR(Flush(file_, path_));
+  }
   committed_size_ += static_cast<int64_t>(record.size());
+  CounterAdd(metrics_, "wal.appends");
+  CounterAdd(metrics_, "wal.bytes_appended", record.size());
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/relation.h"
 
 namespace ivm {
@@ -77,6 +78,11 @@ class WriteAheadLog {
 
   const std::string& path() const { return path_; }
 
+  /// Attaches the observability sink (or detaches it, with nullptr; not
+  /// owned). Each append then records the `wal.append` and `wal.fsync` span
+  /// histograms and the `wal.appends` / `wal.bytes_appended` counters.
+  void AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Reads every valid record of `path`; returns an empty vector when the
   /// file does not exist. `torn_tail` (optional) is set to true when
   /// trailing bytes were skipped as torn/corrupt; `valid_end` (optional)
@@ -99,6 +105,7 @@ class WriteAheadLog {
   /// can leave a torn record past this point; the next append truncates back
   /// to it first, so a surviving process keeps a fully readable log.
   int64_t committed_size_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ivm

@@ -1,0 +1,356 @@
+// Tests for the observability layer (src/obs): registry primitives, the
+// TraceSpan contract, and — via the redesigned ViewManager::Options API —
+// deterministic counter oracles for the paper's worked examples:
+//   * Example 5.1's boxed set-optimization suppression count, and
+//   * Example 1.1's DRed over-delete / rederive split.
+// Plus the zero-overhead contract: with no registry attached, the obs
+// primitives perform no allocation and Apply allocates no more than the
+// instrumented equivalent.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "core/view_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: replace the global allocator for this binary so tests
+// can assert "no allocations happened here". Counts every successful
+// operator new; deletes are uncounted (we only care about acquisition).
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ivm {
+namespace {
+
+using testing_util::MustParseProgram;
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry primitives.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersCreateOnFirstUseWithStableHandles) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("apply.count"), 0u);
+  Counter* c = reg.counter("apply.count");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(reg.counter_value("apply.count"), 42u);
+  // Creating other metrics must not invalidate the handle (map nodes).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  c->Add();
+  EXPECT_EQ(reg.counter_value("apply.count"), 43u);
+  EXPECT_EQ(reg.counter("apply.count"), c);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndSetMax) {
+  MetricsRegistry reg;
+  GaugeSet(&reg, "level", 7);
+  EXPECT_EQ(reg.gauge_value("level"), 7);
+  GaugeSet(&reg, "level", 3);
+  EXPECT_EQ(reg.gauge_value("level"), 3);
+  GaugeSetMax(&reg, "peak", 10);
+  GaugeSetMax(&reg, "peak", 4);
+  EXPECT_EQ(reg.gauge_value("peak"), 10);
+  GaugeSetMax(&reg, "peak", 12);
+  EXPECT_EQ(reg.gauge_value("peak"), 12);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
+  // Bucket 0 is [0, 1]; bucket i>0 is (2^(i-1), 2^i].
+  EXPECT_EQ(LatencyHistogram::BucketFor(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2), 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(3), 2);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4), 2);
+  EXPECT_EQ(LatencyHistogram::BucketFor(5), 3);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1024), 10);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1025), 11);
+  // Everything beyond 2^47 ns lands in the top bucket.
+  EXPECT_EQ(LatencyHistogram::BucketFor(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(MetricsRegistryTest, HistogramStatsAndPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileNanos(50), 0u);
+  h.Record(100);
+  h.Record(200);
+  h.Record(3000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.total_ns(), 3300u);
+  EXPECT_EQ(h.min_ns(), 100u);
+  EXPECT_EQ(h.max_ns(), 3000u);
+  // Nearest-rank over power-of-two buckets: the median sample (200) lands in
+  // bucket (128, 256]; the p99 sample (3000) in (2048, 4096].
+  EXPECT_EQ(h.PercentileNanos(50), 256u);
+  EXPECT_EQ(h.PercentileNanos(99), 4096u);
+}
+
+TEST(MetricsRegistryTest, SpansRecordDepthAndDropBeyondCapacity) {
+  MetricsRegistry reg;
+  {
+    TraceSpan outer(&reg, "outer");
+    TraceSpan inner(&reg, "inner");
+  }
+  // Completion order: inner first, at depth 1.
+  ASSERT_EQ(reg.spans().size(), 2u);
+  EXPECT_STREQ(reg.spans()[0].name, "inner");
+  EXPECT_EQ(reg.spans()[0].depth, 1);
+  EXPECT_STREQ(reg.spans()[1].name, "outer");
+  EXPECT_EQ(reg.spans()[1].depth, 0);
+  // Every span also lands in its per-name latency histogram.
+  ASSERT_NE(reg.FindHistogram("span.outer"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("span.outer")->count(), 1u);
+
+  reg.Reset();
+  reg.set_span_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&reg, "s");
+  }
+  EXPECT_EQ(reg.spans().size(), 2u);
+  EXPECT_EQ(reg.counter_value("obs.spans_dropped"), 3u);
+  // The histogram still sees every span, only the records are bounded.
+  EXPECT_EQ(reg.FindHistogram("span.s")->count(), 5u);
+
+  auto drained = reg.DrainSpans();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(reg.spans().empty());
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("n");
+  c->Add(5);
+  reg.gauge("g")->Set(9);
+  reg.histogram("h")->Record(50);
+  reg.Reset();
+  EXPECT_EQ(reg.counter_value("n"), 0u);
+  EXPECT_EQ(reg.gauge_value("g"), 0);
+  EXPECT_EQ(reg.FindHistogram("h")->count(), 0u);
+  c->Add();  // the old handle still targets the live metric
+  EXPECT_EQ(reg.counter_value("n"), 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("a.count")->Add(3);
+  reg.gauge("b.level")->Set(-2);
+  reg.histogram("c.lat")->Record(100);
+  {
+    TraceSpan span(&reg, "apply");
+  }
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"a.count\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"b.level\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"c.lat\":{\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.find("\"spans\""), std::string::npos);
+  std::string with_spans = reg.ToJson(/*with_spans=*/true);
+  EXPECT_NE(with_spans.find("\"spans\":[{\"name\":\"apply\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic pipeline oracles through ViewManager::Options.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTriHopProgram =
+    "base link(S, D).\n"
+    "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+    "tri_hop(X, Y) :- hop(X, Z) & link(Z, Y).";
+
+TEST(MetricsPipelineTest, Example51SuppressionCountMatchesHandOracle) {
+  // Example 4.2 / 5.1 setup: link = {ab, ad, dc, bc, ch, fg},
+  // Δ(link) = {ab -1, df +1, af +1}, set semantics.
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.semantics = Semantics::kSet;
+  options.metrics = &metrics;
+  auto vm = ViewManager::Create(MustParseProgram(kTriHopProgram), options)
+                .value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).");
+  vm->Initialize(db).CheckOK();
+  metrics.Reset();  // drop initialization-time counts; measure one Apply
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  changes.Insert("link", Tup("d", "f"));
+  changes.Insert("link", Tup("a", "f"));
+  vm->Apply(changes).value();
+
+  // Hand oracle. Count-level deltas per stratum:
+  //   hop:     {ac -1, af +1, ag +1, dg +1}  -> 4 tuples
+  //   tri_hop: {ag +1}                       -> 1 tuple
+  // Membership deltas (boxed statement (2)):
+  //   hop:     {af, ag, dg}  — "the tuple hop(ac -1) does not appear in
+  //            Δ(hop) and is not cascaded" -> exactly 1 suppression
+  //   tri_hop: {ag}          -> 0 suppressions
+  EXPECT_EQ(metrics.counter_value("counting.suppressed"), 1u);
+  EXPECT_EQ(metrics.counter_value("counting.deltas_emitted"), 4u);
+  EXPECT_EQ(metrics.counter_value("counting.strata_processed"), 2u);
+  EXPECT_EQ(metrics.counter_value("apply.base_delta_tuples"), 3u);
+  // Δ(hop) ∪ Δ(tri_hop) as reported to the caller = {af, ag, dg} ∪ {ag}.
+  EXPECT_EQ(metrics.counter_value("apply.view_delta_tuples"), 4u);
+  EXPECT_EQ(metrics.counter_value("mutations.committed"), 1u);
+}
+
+TEST(MetricsPipelineTest, Example11DRedOverdeleteRederiveOracle) {
+  // Example 1.1: link = {ab, bc, be, ad, dc}; delete link(a,b). DRed
+  // "first deletes tuples hop(a,c) and hop(a,e)" (overestimate = 2), then
+  // "hop(a,c) is rederived and reinserted" (rederived = 1); nothing new is
+  // inserted (inserted = 0).
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kDRed;
+  options.metrics = &metrics;
+  auto vm = ViewManager::Create(
+                MustParseProgram("base link(S, D). "
+                                 "hop(X, Y) :- link(X, Z) & link(Z, Y)."),
+                options)
+                .value();
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(b,c). link(b,e). link(a,d). link(d,c).");
+  vm->Initialize(db).CheckOK();
+  metrics.Reset();
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  vm->Apply(changes).value();
+
+  EXPECT_EQ(metrics.counter_value("dred.overdeleted"), 2u);
+  EXPECT_EQ(metrics.counter_value("dred.rederived"), 1u);
+  EXPECT_EQ(metrics.counter_value("dred.inserted"), 0u);
+  // Net view change reported to the caller: hop(a,e) deleted.
+  EXPECT_EQ(metrics.counter_value("apply.view_delta_tuples"), 1u);
+}
+
+TEST(MetricsPipelineTest, SpansCoverApplyAndStrata) {
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.metrics = &metrics;
+  auto vm = ViewManager::Create(MustParseProgram(kTriHopProgram), options)
+                .value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  vm->Initialize(db).CheckOK();
+  metrics.DrainSpans();
+
+  ChangeSet changes;
+  changes.Insert("link", Tup("c", "d"));
+  vm->Apply(changes).value();
+
+  // One apply span at depth 0, one counting.stratum span per stratum at
+  // depth 1, nested inside it.
+  int apply_spans = 0;
+  int stratum_spans = 0;
+  for (const SpanRecord& s : metrics.spans()) {
+    if (std::string(s.name) == "apply") {
+      ++apply_spans;
+      EXPECT_EQ(s.depth, 0);
+    } else if (std::string(s.name) == "counting.stratum") {
+      ++stratum_spans;
+      EXPECT_EQ(s.depth, 1);
+    }
+  }
+  EXPECT_EQ(apply_spans, 1);
+  EXPECT_EQ(stratum_spans, 2);
+  ASSERT_NE(metrics.FindHistogram("span.apply"), nullptr);
+  EXPECT_EQ(metrics.FindHistogram("span.apply")->count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The zero-overhead contract.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsOverheadTest, NullRegistryPrimitivesDoNotAllocate) {
+  const uint64_t before = AllocCount();
+  {
+    TraceSpan span(nullptr, "nothing");
+    CounterAdd(nullptr, "nothing");
+    CounterAdd(nullptr, "nothing", 17);
+    GaugeSet(nullptr, "nothing", 3);
+    GaugeSetMax(nullptr, "nothing", 4);
+  }
+  EXPECT_EQ(AllocCount(), before);
+}
+
+TEST(MetricsOverheadTest, ApplyWithoutRegistryAllocatesNoMoreThanWith) {
+  // Two identical managers over identical databases; the library is
+  // deterministic, so any allocation difference is the obs layer's.
+  Database db;
+  testing_util::MustLoadFacts(
+      &db, "link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).");
+
+  MetricsRegistry metrics;
+  ViewManager::Options with_metrics;
+  with_metrics.strategy = Strategy::kCounting;
+  with_metrics.metrics = &metrics;
+  auto vm_with =
+      ViewManager::Create(MustParseProgram(kTriHopProgram), with_metrics)
+          .value();
+  vm_with->Initialize(db).CheckOK();
+
+  auto vm_without = ViewManager::Create(MustParseProgram(kTriHopProgram),
+                                        ViewManager::Options{})
+                        .value();
+  vm_without->Initialize(db).CheckOK();
+
+  ChangeSet changes;
+  changes.Delete("link", Tup("a", "b"));
+  changes.Insert("link", Tup("a", "f"));
+  ChangeSet inverse;
+  inverse.Insert("link", Tup("a", "b"));
+  inverse.Delete("link", Tup("a", "f"));
+
+  // Warm both managers (first Apply populates lazily-built structures; the
+  // instrumented one also creates its metric map nodes here).
+  vm_with->Apply(changes).value();
+  vm_with->Apply(inverse).value();
+  vm_without->Apply(changes).value();
+  vm_without->Apply(inverse).value();
+
+  uint64_t start = AllocCount();
+  vm_with->Apply(changes).value();
+  vm_with->Apply(inverse).value();
+  const uint64_t with_allocs = AllocCount() - start;
+
+  start = AllocCount();
+  vm_without->Apply(changes).value();
+  vm_without->Apply(inverse).value();
+  const uint64_t without_allocs = AllocCount() - start;
+
+  EXPECT_LE(without_allocs, with_allocs);
+}
+
+}  // namespace
+}  // namespace ivm

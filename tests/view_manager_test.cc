@@ -88,5 +88,221 @@ TEST(ViewManagerTest, StrategyNames) {
   EXPECT_STREQ(StrategyName(Strategy::kPF), "pf");
 }
 
+// ---------------------------------------------------------------------------
+// The Options-based construction API.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHopText =
+    "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).";
+
+TEST(ViewManagerOptionsTest, OptionsSelectStrategyAndSemantics) {
+  ViewManager::Options options;
+  options.strategy = Strategy::kDRed;
+  auto vm = ViewManager::CreateFromText(kHopText, options).value();
+  EXPECT_EQ(vm->strategy(), Strategy::kDRed);
+
+  options.strategy = Strategy::kAuto;
+  options.semantics = Semantics::kDuplicate;
+  auto vm2 = ViewManager::CreateFromText(kHopText, options).value();
+  EXPECT_EQ(vm2->strategy(), Strategy::kCounting);
+  EXPECT_EQ(vm2->semantics(), Semantics::kDuplicate);
+}
+
+TEST(ViewManagerOptionsTest, PositionalWrappersMatchOptions) {
+  // The deprecated positional overloads must behave exactly like an Options
+  // with the same fields.
+  auto legacy =
+      ViewManager::CreateFromText(kHopText, Strategy::kCounting,
+                                  Semantics::kDuplicate)
+          .value();
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.semantics = Semantics::kDuplicate;
+  auto modern = ViewManager::CreateFromText(kHopText, options).value();
+  EXPECT_EQ(legacy->strategy(), modern->strategy());
+  EXPECT_EQ(legacy->semantics(), modern->semantics());
+
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  IVM_ASSERT_OK(legacy->Initialize(db));
+  IVM_ASSERT_OK(modern->Initialize(db));
+  ChangeSet changes;
+  changes.Insert("link", Tup("c", "d"));
+  EXPECT_EQ(legacy->Apply(changes).value().Delta("hop").ToString(),
+            modern->Apply(changes).value().Delta("hop").ToString());
+}
+
+TEST(ViewManagerOptionsTest, MetricsAttachThroughOptions) {
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.metrics = &metrics;
+  auto vm = ViewManager::CreateFromText(kHopText, options).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  ChangeSet changes;
+  changes.Insert("link", Tup("c", "d"));
+  vm->Apply(changes).value();
+  EXPECT_GT(metrics.counter_value("mutations.committed"), 0u);
+  EXPECT_NE(metrics.FindHistogram("span.apply"), nullptr);
+}
+
+TEST(ViewManagerOptionsTest, DurabilityDirOpensOnInitialize) {
+  std::string dir =
+      ::testing::TempDir() + "vm_options_durability_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.durability_dir = dir;
+  auto vm = ViewManager::CreateFromText(kHopText, options).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  ChangeSet changes;
+  changes.Insert("link", Tup("c", "d"));
+  vm->Apply(changes).value();
+
+  // The WAL written under Options.durability_dir must drive Recover.
+  auto recovered = ViewManager::Recover(dir).value();
+  EXPECT_EQ(recovered->GetRelation("hop").value()->ToString(),
+            vm->GetRelation("hop").value()->ToString());
+}
+
+TEST(ViewManagerOptionsTest, EnableDurabilityConflictIsAnError) {
+  std::string base =
+      ::testing::TempDir() + "vm_durability_conflict_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.durability_dir = base + "_a";
+  auto vm = ViewManager::CreateFromText(kHopText, options).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  // Same dir: idempotent, OK. Different dir: FailedPrecondition, and the
+  // original WAL stays active (no silent last-writer-wins).
+  IVM_ASSERT_OK(vm->EnableDurability(base + "_a"));
+  EXPECT_EQ(vm->EnableDurability(base + "_b").code(),
+            StatusCode::kFailedPrecondition);
+  ChangeSet changes;
+  changes.Insert("link", Tup("b", "c"));
+  vm->Apply(changes).value();
+  auto recovered = ViewManager::Recover(base + "_a").value();
+  EXPECT_TRUE(recovered->GetRelation("hop").value()->Contains(Tup("a", "c")));
+}
+
+TEST(ViewManagerOptionsTest, EnableDurabilityConflictBeforeInitialize) {
+  std::string base =
+      ::testing::TempDir() + "vm_durability_preinit_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.durability_dir = base + "_a";
+  auto vm = ViewManager::CreateFromText(kHopText, options).value();
+  // Configured-but-not-yet-open still counts: a different explicit dir must
+  // not silently override what Create() was told.
+  EXPECT_EQ(vm->EnableDurability(base + "_b").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// The RAII Subscription handle.
+// ---------------------------------------------------------------------------
+
+TEST(SubscriptionTest, WatchFiresAndUnsubscribesOnDestruction) {
+  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  int fired = 0;
+  {
+    ViewManager::Subscription sub =
+        vm->Watch("hop", [&](const std::string&, const Relation&) { ++fired; });
+    EXPECT_TRUE(sub.active());
+    ChangeSet changes;
+    changes.Insert("link", Tup("b", "c"));
+    vm->Apply(changes).value();
+    EXPECT_EQ(fired, 1);
+  }  // sub destroyed -> unsubscribed
+  ChangeSet changes;
+  changes.Insert("link", Tup("c", "d"));
+  vm->Apply(changes).value();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SubscriptionTest, MoveTransfersOwnership) {
+  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  int fired = 0;
+  ViewManager::Subscription outer;
+  EXPECT_FALSE(outer.active());
+  {
+    ViewManager::Subscription inner =
+        vm->Watch("hop", [&](const std::string&, const Relation&) { ++fired; });
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(outer.active());
+  }  // inner's destructor must NOT unsubscribe (ownership moved out)
+  ChangeSet changes;
+  changes.Insert("link", Tup("b", "c"));
+  vm->Apply(changes).value();
+  EXPECT_EQ(fired, 1);
+
+  outer.Unsubscribe();
+  EXPECT_FALSE(outer.active());
+  outer.Unsubscribe();  // idempotent
+  ChangeSet more;
+  more.Insert("link", Tup("c", "d"));
+  vm->Apply(more).value();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SubscriptionTest, DetachHandsBackRawIdForLegacyUnsubscribe) {
+  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+
+  int fired = 0;
+  ViewManager::Subscription sub =
+      vm->Watch("hop", [&](const std::string&, const Relation&) { ++fired; });
+  int id = sub.Detach();
+  EXPECT_FALSE(sub.active());
+  ChangeSet changes;
+  changes.Insert("link", Tup("b", "c"));
+  vm->Apply(changes).value();
+  EXPECT_EQ(fired, 1);  // detaching must not unsubscribe
+
+  vm->Unsubscribe(id);
+  ChangeSet more;
+  more.Insert("link", Tup("c", "d"));
+  vm->Apply(more).value();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SubscriptionTest, LegacyIntSubscribeStillWorks) {
+  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b).");
+  IVM_ASSERT_OK(vm->Initialize(db));
+  int fired = 0;
+  int id = vm->Subscribe("hop", [&](const std::string&, const Relation&) { ++fired; });
+  ChangeSet changes;
+  changes.Insert("link", Tup("b", "c"));
+  vm->Apply(changes).value();
+  EXPECT_EQ(fired, 1);
+  vm->Unsubscribe(id);
+  ChangeSet more;
+  more.Insert("link", Tup("c", "d"));
+  vm->Apply(more).value();
+  EXPECT_EQ(fired, 1);
+}
+
 }  // namespace
 }  // namespace ivm

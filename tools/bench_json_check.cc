@@ -1,0 +1,303 @@
+// bench_json_check: validate the JSON-lines files emitted by the bench
+// harness (bench/bench_main.cc) against the ivm-bench-1 schema.
+//
+// Usage:
+//   bench_json_check [--require COUNTER]... FILE...
+//
+// Each FILE must be non-empty, and every line must be a JSON object with:
+//   - "schema": "ivm-bench-1"
+//   - "bench", "run", "run_type", "time_unit": strings
+//   - "error": boolean
+//   - "iterations", "real_time_ns", "cpu_time_ns": numbers
+//   - "counters": object mapping string -> number
+// Every --require NAME must appear as a counter key on at least one
+// iteration line per file (aggregates repeat counters, so one is enough).
+//
+// The parser below accepts exactly the subset of JSON the harness emits
+// (flat objects, one nesting level for "counters", no arrays); anything
+// else is a validation failure, which is the point of the tool.
+//
+// Exit status: 0 if every file validates, 1 otherwise (with one diagnostic
+// per failure on stderr).
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+// A minimal value model: we only ever need to distinguish these kinds and
+// read strings/objects back out.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull, kObject } kind;
+  std::string string_value;                  // kString
+  std::map<std::string, JsonValue> members;  // kObject
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    auto v = ParseValue();
+    SkipSpace();
+    if (!v.has_value() || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '"') return ParseString();
+    if (c == '{') return ParseObject();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    JsonValue v{JsonValue::Kind::kString, "", {}};
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v.string_value += '"'; break;
+          case '\\': v.string_value += '\\'; break;
+          case '/': v.string_value += '/'; break;
+          case 'n': v.string_value += '\n'; break;
+          case 't': v.string_value += '\t'; break;
+          case 'r': v.string_value += '\r'; break;
+          case 'b': v.string_value += '\b'; break;
+          case 'f': v.string_value += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            // Keep the raw escape; requirement checks compare raw names,
+            // which the harness never escapes.
+            v.string_value += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        v.string_value += c;
+      }
+    }
+    if (!Consume('"')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    try {
+      size_t used = 0;
+      (void)std::stod(token, &used);
+      if (used != token.size()) return std::nullopt;
+    } catch (...) {
+      return std::nullopt;
+    }
+    return JsonValue{JsonValue::Kind::kNumber, token, {}};
+  }
+
+  std::optional<JsonValue> ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue{JsonValue::Kind::kBool, "true", {}};
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue{JsonValue::Kind::kBool, "false", {}};
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{JsonValue::Kind::kNull, "", {}};
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue v{JsonValue::Kind::kObject, "", {}};
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      auto key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      if (!Consume(':')) return std::nullopt;
+      auto value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      v.members.emplace(key->string_value, std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+const JsonValue* Find(const JsonValue& obj, const std::string& key) {
+  auto it = obj.members.find(key);
+  return it == obj.members.end() ? nullptr : &it->second;
+}
+
+bool IsString(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString;
+}
+bool IsNumber(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+}
+bool IsBool(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kBool;
+}
+
+/// Validates one JSON line; appends counter names of iteration runs to
+/// `seen_counters`. Returns an error message, or "" if the line is valid.
+std::string CheckLine(const JsonValue& line,
+                      std::set<std::string>* seen_counters) {
+  const JsonValue* schema = Find(line, "schema");
+  if (!IsString(schema) || schema->string_value != "ivm-bench-1") {
+    return "missing or wrong \"schema\" (want \"ivm-bench-1\")";
+  }
+  for (const char* key : {"bench", "run", "run_type", "time_unit"}) {
+    if (!IsString(Find(line, key))) {
+      return std::string("missing string field \"") + key + "\"";
+    }
+  }
+  if (!IsBool(Find(line, "error"))) return "missing boolean field \"error\"";
+  for (const char* key : {"iterations", "real_time_ns", "cpu_time_ns"}) {
+    if (!IsNumber(Find(line, key))) {
+      return std::string("missing numeric field \"") + key + "\"";
+    }
+  }
+  const JsonValue* counters = Find(line, "counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+    return "missing object field \"counters\"";
+  }
+  for (const auto& [name, value] : counters->members) {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      return "counter \"" + name + "\" is not a number";
+    }
+  }
+  if (Find(line, "run_type")->string_value == "iteration") {
+    for (const auto& [name, value] : counters->members) {
+      seen_counters->insert(name);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> required;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--require needs an argument\n";
+        return 1;
+      }
+      required.push_back(argv[++i]);
+    } else if (std::strncmp(argv[i], "--require=", 10) == 0) {
+      required.push_back(argv[i] + 10);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: bench_json_check [--require COUNTER]... FILE...\n";
+    return 1;
+  }
+
+  bool ok = true;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    std::set<std::string> seen_counters;
+    std::string line;
+    int line_no = 0;
+    int valid_lines = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      auto parsed = Parser(line).Parse();
+      if (!parsed.has_value() ||
+          parsed->kind != JsonValue::Kind::kObject) {
+        std::cerr << path << ":" << line_no << ": not a JSON object\n";
+        ok = false;
+        continue;
+      }
+      std::string err = CheckLine(*parsed, &seen_counters);
+      if (!err.empty()) {
+        std::cerr << path << ":" << line_no << ": " << err << "\n";
+        ok = false;
+        continue;
+      }
+      ++valid_lines;
+    }
+    if (valid_lines == 0) {
+      std::cerr << path << ": no valid benchmark lines\n";
+      ok = false;
+      continue;
+    }
+    for (const std::string& name : required) {
+      if (seen_counters.count(name) == 0) {
+        std::cerr << path << ": required counter \"" << name
+                  << "\" missing from every iteration line\n";
+        ok = false;
+      }
+    }
+  }
+  if (ok) {
+    std::cout << files.size() << " file(s) valid\n";
+  }
+  return ok ? 0 : 1;
+}

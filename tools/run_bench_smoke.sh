@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench smoke test: run one tiny benchmark slice per maintenance strategy,
+# then validate the emitted BENCH_<name>.json files against the ivm-bench-1
+# schema, requiring the per-phase counters the observability layer promises:
+#   counting  -> counting.deltas_emitted, counting.suppressed
+#   DRed      -> dred.overdeleted, dred.rederived, dred.inserted
+#   PF        -> pf.fragments (plus the wrapped core's dred.* counters)
+#   rec.count -> rc.worklist_steps, rc.deltas_emitted
+#
+# Usage: run_bench_smoke.sh BUILD_DIR
+# Registered as the ctest test `bench_smoke` (see tests/CMakeLists.txt).
+set -u
+
+BUILD_DIR="${1:?usage: run_bench_smoke.sh BUILD_DIR}"
+BENCH_DIR="$BUILD_DIR/bench"
+CHECK="$BUILD_DIR/tools/bench_json_check"
+OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ivm_bench_smoke.XXXXXX")"
+trap 'rm -rf "$OUT_DIR"' EXIT
+export IVM_BENCH_OUT="$OUT_DIR"
+
+fail=0
+
+# run_one NAME FILTER -- required counters...
+run_one() {
+  local name="$1" filter="$2"
+  shift 2
+  local bin="$BENCH_DIR/bench_$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "FAIL: $bin not built" >&2
+    fail=1
+    return
+  fi
+  if ! "$bin" --benchmark_min_time=0.01 --benchmark_filter="$filter" \
+      >/dev/null 2>"$OUT_DIR/$name.stderr"; then
+    echo "FAIL: bench_$name exited non-zero:" >&2
+    cat "$OUT_DIR/$name.stderr" >&2
+    fail=1
+    return
+  fi
+  local requires=()
+  local counter
+  for counter in "$@"; do
+    requires+=(--require "$counter")
+  done
+  if ! "$CHECK" "${requires[@]}" "$OUT_DIR/BENCH_$name.json"; then
+    echo "FAIL: BENCH_$name.json did not validate" >&2
+    fail=1
+  fi
+}
+
+# Counting (+ the boxed statement (2) suppression counter, Example 5.1).
+run_one set_optimization 'BM_SetOptimization/4$' \
+  counting.deltas_emitted counting.suppressed counting.tuples_scanned
+
+# DRed: all three phases of the delete/rederive algorithm (Section 7).
+run_one dred_vs_recompute 'BM_SparseDag_DRed/4$' \
+  dred.overdeleted dred.rederived dred.inserted peak_delta_tuples
+
+# PF: fragment counter from the propagation/filtration baseline.
+run_one dred_vs_pf 'BM_TC_PF/4$' pf.fragments
+
+# Recursive counting: worklist steps from the delta-triangle propagation.
+run_one recursive_counting 'BM_DeleteRecursiveCounting/4$' \
+  rc.worklist_steps rc.deltas_emitted
+
+# The metrics on/off pair used for the zero-overhead acceptance check.
+run_one counting_overhead 'BM_ApplyWithMetrics/100/400$' \
+  apply.base_delta_tuples peak_delta_tuples
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench smoke: FAILED" >&2
+  exit 1
+fi
+echo "bench smoke: OK"
