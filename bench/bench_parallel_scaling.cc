@@ -1,0 +1,62 @@
+// Parallel scaling: steady-state maintenance wall time of join-heavy views
+// at 1/2/4/8 executor threads, same workload, counting and DRed. With one
+// hardware thread this degenerates to measuring executor overhead; on a
+// multi-core machine the series shows the speedup the partitioned delta
+// evaluation buys (2 threads ≈ 2x on the triangle view, see
+// docs/parallelism.md).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ivm {
+namespace {
+
+// Two join-heavy views over one edge relation: the hop view keeps the delta
+// rules wide (many tasks per batch), the triangle view makes each task
+// expensive enough for partitioning to matter.
+constexpr const char* kProgram =
+    "base link(S, D).\n"
+    "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+    "tri(X, Y, Z) :- link(X, Y) & link(Y, Z) & link(Z, X).\n";
+constexpr int kNodes = 400;
+constexpr int kEdges = 6000;
+constexpr int kBatch = 256;
+
+void RunMaintain(benchmark::State& state, Strategy strategy) {
+  const int threads = static_cast<int>(state.range(0));
+  Database db = bench::MakeGraphDb("link", kNodes, kEdges, 17);
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = strategy;
+  options.metrics = &metrics;
+  options.executor.threads = threads;
+  // Low threshold so the 256-tuple batches are actually partitioned.
+  options.executor.min_partition_size = 16;
+  auto vm = bench::MakeManager(kProgram, db, options);
+  ChangeSet batch = MakeMixedEdgeBatch("link", db.relation("link"), kNodes,
+                                       kBatch / 2, kBatch / 2, /*seed=*/23);
+  ChangeSet inverse = bench::Invert(batch);
+  for (auto _ : state) {
+    bench::ApplyRoundTrip(*vm, batch, inverse);
+  }
+  state.counters["threads"] = threads;
+  state.counters["batch"] = kBatch;
+  state.counters["db_edges"] = kEdges;
+  bench::ExportMetrics(metrics, state);
+}
+
+void BM_Counting(benchmark::State& state) {
+  RunMaintain(state, Strategy::kCounting);
+}
+void BM_DRed(benchmark::State& state) {
+  RunMaintain(state, Strategy::kDRed);
+}
+
+#define THREADS ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+
+BENCHMARK(BM_Counting) THREADS;
+BENCHMARK(BM_DRed) THREADS;
+
+}  // namespace
+}  // namespace ivm

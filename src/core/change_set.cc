@@ -62,6 +62,14 @@ const Relation& ChangeSet::Delta(const std::string& relation) const {
   return it->second;
 }
 
+Relation ChangeSet::TakeDelta(const std::string& relation) {
+  auto it = deltas_.find(relation);
+  if (it == deltas_.end()) return Relation(relation, 0);
+  Relation out = std::move(it->second);
+  it->second = Relation(out.name(), out.arity());
+  return out;
+}
+
 Status ChangeSet::Validate() const {
   for (const auto& [name, delta] : deltas_) {
     if (delta.overflowed()) {

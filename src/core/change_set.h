@@ -44,6 +44,11 @@ class ChangeSet {
   /// The delta for `relation` (empty relation if untouched).
   const Relation& Delta(const std::string& relation) const;
 
+  /// Moves the delta relation for `relation` out of this change set, leaving
+  /// an empty relation under the same key. Enables the Apply(ChangeSet&&)
+  /// fast path: large base deltas are ingested without a copy.
+  Relation TakeDelta(const std::string& relation);
+
   const std::map<std::string, Relation>& deltas() const { return deltas_; }
 
   /// Error when any delta's count arithmetic overflowed int64 (counts were

@@ -152,6 +152,15 @@ Status CountingMaintainer::InitializeAggregates() {
 }
 
 Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
+  return ApplyImpl(base_changes, /*take_from=*/nullptr);
+}
+
+Result<ChangeSet> CountingMaintainer::Apply(ChangeSet&& base_changes) {
+  return ApplyImpl(base_changes, /*take_from=*/&base_changes);
+}
+
+Result<ChangeSet> CountingMaintainer::ApplyImpl(const ChangeSet& base_changes,
+                                                ChangeSet* take_from) {
   if (!initialized_) {
     return Status::FailedPrecondition("Initialize() has not been called");
   }
@@ -173,7 +182,11 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
       if (!normalized.empty()) base_deltas.emplace(pred, std::move(normalized));
     } else {
       IVM_RETURN_IF_ERROR(ValidateMultisetDelta(stored, delta));
-      base_deltas.emplace(pred, delta);
+      if (take_from != nullptr) {
+        base_deltas.emplace(pred, take_from->TakeDelta(name));
+      } else {
+        base_deltas.emplace(pred, delta);
+      }
     }
   }
 
@@ -206,16 +219,22 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
       const PredicateInfo& info = program_.predicate(p);
       count_deltas.emplace(p, Relation("Δ" + info.name, info.arity));
     }
+    // Lower this stratum's delta rules serially (lowering caches Δ(¬q) and
+    // Δ(T) relations), then evaluate the batch — the delta rules of one
+    // stratum are mutually independent, which is what RunJoinTasks exploits
+    // when a parallel executor is attached.
+    std::vector<JoinTask> tasks;
     for (int r : program_.rules_in_stratum(s)) {
       const Rule& rule = program_.rule(r);
       for (const DeltaRule& dr : CompileDeltaRules(program_, r)) {
         IVM_ASSIGN_OR_RETURN(bool has_work, lowering.HasWork(dr));
         if (!has_work) continue;
         IVM_ASSIGN_OR_RETURN(PreparedRule prepared, lowering.Lower(dr));
-        IVM_RETURN_IF_ERROR(EvaluateJoin(
-            prepared, &count_deltas.at(rule.head.pred), &last_apply_stats_));
+        tasks.push_back(
+            JoinTask{std::move(prepared), &count_deltas.at(rule.head.pred)});
       }
     }
+    IVM_RETURN_IF_ERROR(RunJoinTasks(executor_, &tasks, &last_apply_stats_));
     // Finalize this stratum's predicates: register the deltas higher strata
     // will see.
     for (PredicateId p : program_.predicates_in_stratum(s)) {
@@ -268,6 +287,9 @@ Result<ChangeSet> CountingMaintainer::Apply(const ChangeSet& base_changes) {
   }
   IVM_FAILPOINT("counting.fold.views");
   for (auto& [pred, delta] : count_deltas) {
+    // Dirty-set skip: predicates the change propagation never reached keep
+    // their version (and so their cached indexes) untouched.
+    if (delta.empty()) continue;
     views_.at(pred).UnionInPlace(delta);
   }
 

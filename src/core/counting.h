@@ -53,6 +53,11 @@ class CountingMaintainer : public Maintainer {
   /// multiplicity changes.
   Result<ChangeSet> Apply(const ChangeSet& base_changes) override;
 
+  /// Move form: under duplicate semantics the base deltas are moved out of
+  /// `base_changes` instead of copied (set semantics normalizes into fresh
+  /// relations either way).
+  Result<ChangeSet> Apply(ChangeSet&& base_changes) override;
+
   /// Current extent of a view (or of a base relation snapshot).
   Result<const Relation*> GetRelation(const std::string& name) const override;
 
@@ -77,6 +82,11 @@ class CountingMaintainer : public Maintainer {
       : program_(std::move(program)), semantics_(semantics) {}
 
   Status InitializeAggregates();
+
+  /// Shared Apply implementation. When `take_from` is non-null it aliases
+  /// the change set and validated deltas are moved out of it.
+  Result<ChangeSet> ApplyImpl(const ChangeSet& base_changes,
+                              ChangeSet* take_from);
 
   Program program_;
   Semantics semantics_;

@@ -1,5 +1,6 @@
 #include "core/dred.h"
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -8,10 +9,34 @@
 #include "eval/aggregates.h"
 #include "eval/evaluator.h"
 #include "eval/rule_eval.h"
+#include "exec/executor.h"
 #include "obs/trace.h"
 #include "txn/failpoint.h"
 
 namespace ivm {
+
+namespace {
+
+// A batch of prepared delta evaluations destined for RunJoinTasks. Within a
+// round no evaluation reads state the absorb step writes, so the whole round
+// can be evaluated first (in parallel when an executor is attached) and then
+// absorbed serially in task order — identical results to the historical
+// eval-then-absorb interleaving. Results live in a deque so the JoinTask
+// out-pointers stay stable as the batch grows.
+struct EventBatch {
+  std::vector<JoinTask> tasks;
+  std::deque<Relation> results;
+  std::vector<PredicateId> heads;
+
+  void Add(PredicateId head, const PredicateInfo& info, PreparedRule rule) {
+    results.emplace_back("δ:" + info.name, info.arity);
+    heads.push_back(head);
+    tasks.push_back(JoinTask{std::move(rule), &results.back()});
+  }
+  bool empty() const { return tasks.empty(); }
+};
+
+}  // namespace
 
 Result<std::unique_ptr<DRedMaintainer>> DRedMaintainer::Create(
     Program program) {
@@ -267,14 +292,15 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
     return Status::Internal("bad literal kind");
   };
 
-  // Evaluates rule `rule_index` with body position `event_pos` replaced by a
+  // Prepares rule `rule_index` with body position `event_pos` replaced by a
   // positive scan of `event_rel` (using `event_pattern`), all other
-  // positions per `old_side`. Results ⊎-accumulate into `out`.
-  auto eval_with_event = [&](int rule_index, int event_pos,
-                             const Relation* event_rel,
-                             const std::vector<Term>& event_pattern,
-                             bool old_side, int stratum,
-                             Relation* out) -> Status {
+  // positions per `old_side`. Callers collect the prepared rules into an
+  // EventBatch and run them through RunJoinTasks.
+  auto prepare_with_event = [&](int rule_index, int event_pos,
+                                const Relation* event_rel,
+                                const std::vector<Term>& event_pattern,
+                                bool old_side,
+                                int stratum) -> Result<PreparedRule> {
     const Rule& rule = program_.rule(rule_index);
     PreparedRule prepared;
     prepared.head = &rule.head;
@@ -292,7 +318,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         prepared.subgoals.push_back(std::move(sg));
       }
     }
-    return EvaluateJoin(prepared, out, &join_stats);
+    return prepared;
   };
 
   ChangeSet result;
@@ -317,7 +343,6 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
       pending.emplace(p, Relation("pending:" + info.name, info.arity));
     }
 
-    Relation scratch;
     auto absorb_over = [&](PredicateId head, const Relation& candidates,
                            std::map<PredicateId, Relation>* pend) -> Status {
       const Relation& stored = views_.at(head);
@@ -337,6 +362,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
     for (auto& [p, seeds] : seed_dels) {
       if (in_stratum(p)) IVM_RETURN_IF_ERROR(absorb_over(p, seeds, &pending));
     }
+    EventBatch over_batch;
     for (int r : rule_indices) {
       const Rule& rule = program_.rule(r);
       for (size_t j = 0; j < rule.body.size(); ++j) {
@@ -371,12 +397,19 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
           }
         }
         if (event == nullptr) continue;
-        scratch.Clear();
-        IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), event,
-                                            *pattern, /*old_side=*/true, s,
-                                            &scratch));
-        IVM_RETURN_IF_ERROR(absorb_over(rule.head.pred, scratch, &pending));
+        IVM_ASSIGN_OR_RETURN(
+            PreparedRule prepared,
+            prepare_with_event(r, static_cast<int>(j), event, *pattern,
+                               /*old_side=*/true, s));
+        over_batch.Add(rule.head.pred, program_.predicate(rule.head.pred),
+                       std::move(prepared));
       }
+    }
+    IVM_RETURN_IF_ERROR(
+        RunJoinTasks(executor_, &over_batch.tasks, &join_stats));
+    for (size_t i = 0; i < over_batch.tasks.size(); ++i) {
+      IVM_RETURN_IF_ERROR(absorb_over(over_batch.heads[i],
+                                      *over_batch.tasks[i].out, &pending));
     }
 
     // Semi-naive propagation of the overestimate within the stratum.
@@ -392,6 +425,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         const PredicateInfo& info = program_.predicate(p);
         next_pending.emplace(p, Relation("pending:" + info.name, info.arity));
       }
+      EventBatch round_batch;
       for (int r : rule_indices) {
         const Rule& rule = program_.rule(r);
         for (size_t j = 0; j < rule.body.size(); ++j) {
@@ -402,13 +436,20 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
           }
           const Relation& delta = pending.at(lit.atom.pred);
           if (delta.empty()) continue;
-          scratch.Clear();
-          IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), &delta,
-                                              lit.atom.terms, /*old_side=*/true,
-                                              s, &scratch));
-          IVM_RETURN_IF_ERROR(
-              absorb_over(rule.head.pred, scratch, &next_pending));
+          IVM_ASSIGN_OR_RETURN(
+              PreparedRule prepared,
+              prepare_with_event(r, static_cast<int>(j), &delta,
+                                 lit.atom.terms, /*old_side=*/true, s));
+          round_batch.Add(rule.head.pred, program_.predicate(rule.head.pred),
+                          std::move(prepared));
         }
+      }
+      IVM_RETURN_IF_ERROR(
+          RunJoinTasks(executor_, &round_batch.tasks, &join_stats));
+      for (size_t i = 0; i < round_batch.tasks.size(); ++i) {
+        IVM_RETURN_IF_ERROR(absorb_over(round_batch.heads[i],
+                                        *round_batch.tasks[i].out,
+                                        &next_pending));
       }
       pending = std::move(next_pending);
     }
@@ -428,11 +469,16 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
 
     // ---- Phase 2: rederive. ----
     TraceSpan rederive_span(metrics_, "dred.rederive");
-    // +(p) :- δ⁻(p) & s1^ν & ... & sn^ν, iterated to fixpoint.
+    // +(p) :- δ⁻(p) & s1^ν & ... & sn^ν, iterated to fixpoint. Each round
+    // evaluates every rule against the state at round start and then absorbs
+    // serially in rule order (Jacobi iteration) — derivations one rule would
+    // have seen from an earlier rule's same-round rederivations are picked up
+    // next round, so the least fixpoint (and the rederived set) is unchanged.
     bool changed = true;
     while (changed) {
       changed = false;
       IVM_FAILPOINT("dred.rederive.round");
+      EventBatch rederive_batch;
       for (int r : rule_indices) {
         const Rule& rule = program_.rule(r);
         Relation& still_deleted = deleted.at(rule.head.pred);
@@ -451,10 +497,17 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
               side_subgoal(r, static_cast<int>(j), /*old_side=*/false, s));
           prepared.subgoals.push_back(std::move(sg));
         }
-        scratch.Clear();
-        IVM_RETURN_IF_ERROR(EvaluateJoin(prepared, &scratch, &join_stats));
-        Relation& stored = views_.at(rule.head.pred);
-        for (const auto& [tuple, count] : scratch.tuples()) {
+        rederive_batch.Add(rule.head.pred,
+                           program_.predicate(rule.head.pred),
+                           std::move(prepared));
+      }
+      IVM_RETURN_IF_ERROR(
+          RunJoinTasks(executor_, &rederive_batch.tasks, &join_stats));
+      for (size_t i = 0; i < rederive_batch.tasks.size(); ++i) {
+        Relation& still_deleted = deleted.at(rederive_batch.heads[i]);
+        Relation& stored = views_.at(rederive_batch.heads[i]);
+        for (const auto& [tuple, count] :
+             rederive_batch.tasks[i].out->tuples()) {
           (void)count;
           if (!still_deleted.Contains(tuple)) continue;
           still_deleted.Erase(tuple);
@@ -498,6 +551,10 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         IVM_RETURN_IF_ERROR(absorb_add(p, seeds, &pending_add));
       }
     }
+    // Round 0 and the semi-naive rounds below batch-evaluate before
+    // absorbing, like phase 2: absorb_add filters through the stored view,
+    // so the insert fixpoint — and the reported δ⁺ — is order-independent.
+    EventBatch add_batch;
     for (int r : rule_indices) {
       const Rule& rule = program_.rule(r);
       for (size_t j = 0; j < rule.body.size(); ++j) {
@@ -531,12 +588,18 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
           }
         }
         if (event == nullptr) continue;
-        scratch.Clear();
-        IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), event,
-                                            *pattern, /*old_side=*/false, s,
-                                            &scratch));
-        IVM_RETURN_IF_ERROR(absorb_add(rule.head.pred, scratch, &pending_add));
+        IVM_ASSIGN_OR_RETURN(
+            PreparedRule prepared,
+            prepare_with_event(r, static_cast<int>(j), event, *pattern,
+                               /*old_side=*/false, s));
+        add_batch.Add(rule.head.pred, program_.predicate(rule.head.pred),
+                      std::move(prepared));
       }
+    }
+    IVM_RETURN_IF_ERROR(RunJoinTasks(executor_, &add_batch.tasks, &join_stats));
+    for (size_t i = 0; i < add_batch.tasks.size(); ++i) {
+      IVM_RETURN_IF_ERROR(absorb_add(add_batch.heads[i],
+                                     *add_batch.tasks[i].out, &pending_add));
     }
     while (true) {
       bool any = false;
@@ -550,6 +613,7 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         const PredicateInfo& info = program_.predicate(p);
         next_pending.emplace(p, Relation("pending+:" + info.name, info.arity));
       }
+      EventBatch round_batch;
       for (int r : rule_indices) {
         const Rule& rule = program_.rule(r);
         for (size_t j = 0; j < rule.body.size(); ++j) {
@@ -560,13 +624,20 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
           }
           const Relation& delta = pending_add.at(lit.atom.pred);
           if (delta.empty()) continue;
-          scratch.Clear();
-          IVM_RETURN_IF_ERROR(eval_with_event(r, static_cast<int>(j), &delta,
-                                              lit.atom.terms,
-                                              /*old_side=*/false, s, &scratch));
-          IVM_RETURN_IF_ERROR(
-              absorb_add(rule.head.pred, scratch, &next_pending));
+          IVM_ASSIGN_OR_RETURN(
+              PreparedRule prepared,
+              prepare_with_event(r, static_cast<int>(j), &delta,
+                                 lit.atom.terms, /*old_side=*/false, s));
+          round_batch.Add(rule.head.pred, program_.predicate(rule.head.pred),
+                          std::move(prepared));
         }
+      }
+      IVM_RETURN_IF_ERROR(
+          RunJoinTasks(executor_, &round_batch.tasks, &join_stats));
+      for (size_t i = 0; i < round_batch.tasks.size(); ++i) {
+        IVM_RETURN_IF_ERROR(absorb_add(round_batch.heads[i],
+                                       *round_batch.tasks[i].out,
+                                       &next_pending));
       }
       pending_add = std::move(next_pending);
     }

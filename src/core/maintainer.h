@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/change_set.h"
 #include "datalog/program.h"
+#include "exec/executor.h"
 #include "obs/metrics.h"
 #include "storage/database.h"
 #include "txn/txn.h"
@@ -28,6 +29,15 @@ class Maintainer {
   /// Applies base-relation changes; returns the changes to every view
   /// (insertions positive, deletions negative).
   virtual Result<ChangeSet> Apply(const ChangeSet& base_changes) = 0;
+
+  /// Move form: the maintainer may cannibalize the delta relations inside
+  /// `base_changes` instead of copying them (the ChangeSet keeps its keys but
+  /// its relations may be emptied). The default copies via the const& form;
+  /// strategies that ingest deltas wholesale (counting, recursive counting)
+  /// override it.
+  virtual Result<ChangeSet> Apply(ChangeSet&& base_changes) {
+    return Apply(static_cast<const ChangeSet&>(base_changes));
+  }
 
   /// Current extent of a view or of a base-relation snapshot.
   virtual Result<const Relation*> GetRelation(const std::string& name) const = 0;
@@ -59,8 +69,15 @@ class Maintainer {
   virtual void AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Attaches (or detaches, with nullptr) the parallel evaluation engine.
+  /// A null or serial executor keeps the historical single-threaded path.
+  /// Like AttachMetrics, wrapping maintainers forward the attachment.
+  virtual void AttachExecutor(Executor* executor) { executor_ = executor; }
+  Executor* executor() const { return executor_; }
+
  protected:
   MetricsRegistry* metrics_ = nullptr;
+  Executor* executor_ = nullptr;
 };
 
 }  // namespace ivm

@@ -56,6 +56,14 @@ class PFMaintainer : public Maintainer {
     core_->AttachMetrics(metrics);
   }
 
+  /// Forwarded like AttachMetrics (the core runs the joins). ViewManager
+  /// rejects kPF with a parallel executor, so in practice this only ever
+  /// forwards a serial/null executor; kept for interface symmetry.
+  void AttachExecutor(Executor* executor) override {
+    executor_ = executor;
+    core_->AttachExecutor(executor);
+  }
+
  private:
   PFMaintainer(std::unique_ptr<DRedMaintainer> core, Granularity granularity)
       : core_(std::move(core)), granularity_(granularity) {}

@@ -1,5 +1,8 @@
 #include "core/recompute.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 #include "obs/trace.h"
 #include "txn/failpoint.h"
@@ -32,6 +35,12 @@ Status RecomputeMaintainer::Initialize(const Database& base) {
 }
 
 Status RecomputeMaintainer::Reevaluate() {
+  // Ambient pool: large index builds inside the full evaluation fan out
+  // across workers (Relation::GetIndex picks it up via ExecContext).
+  ExecContext exec_scope(
+      executor_ != nullptr && executor_->parallel() ? executor_->pool()
+                                                    : nullptr,
+      executor_ != nullptr ? executor_->min_partition_size() : 1024);
   EvalOptions options;
   options.semantics = semantics_;
   options.stratum_counts = false;
@@ -79,10 +88,18 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
     CounterAdd(metrics_, "recompute.reevaluations");
   }
 
-  ChangeSet out;
+  // Per-view diffs are independent; with a parallel executor they fan out
+  // across the pool, then merge into `out` in view order (deterministic).
+  std::vector<std::pair<const Relation*, const Relation*>> view_pairs;
+  std::vector<Relation> diffs;
   for (const auto& [pred, new_rel] : views_) {
-    const Relation& old_rel = old_views.at(pred);
-    Relation diff("Δ" + new_rel.name(), new_rel.arity());
+    view_pairs.emplace_back(&new_rel, &old_views.at(pred));
+    diffs.emplace_back("Δ" + new_rel.name(), new_rel.arity());
+  }
+  auto diff_one = [&](size_t i) {
+    const Relation& new_rel = *view_pairs[i].first;
+    const Relation& old_rel = *view_pairs[i].second;
+    Relation& diff = diffs[i];
     // Count-level diff (under set semantics all counts are 1, so this is the
     // set difference).
     for (const auto& [tuple, count] : new_rel.tuples()) {
@@ -92,7 +109,15 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
     for (const auto& [tuple, count] : old_rel.tuples()) {
       if (!new_rel.Contains(tuple)) diff.Add(tuple, -count);
     }
-    if (!diff.empty()) out.Merge(new_rel.name(), diff);
+  };
+  if (executor_ != nullptr && executor_->parallel()) {
+    executor_->pool()->ParallelFor(diffs.size(), diff_one);
+  } else {
+    for (size_t i = 0; i < diffs.size(); ++i) diff_one(i);
+  }
+  ChangeSet out;
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    if (!diffs[i].empty()) out.Merge(view_pairs[i].first->name(), diffs[i]);
   }
   CounterAdd(metrics_, "recompute.diff_tuples", out.TotalTuples());
   return out;

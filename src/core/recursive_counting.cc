@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "eval/aggregates.h"
 #include "eval/rule_eval.h"
+#include "exec/executor.h"
 #include "obs/trace.h"
 #include "txn/failpoint.h"
 
@@ -68,6 +69,16 @@ Status RecursiveCountingMaintainer::Initialize(const Database& base) {
 
 Result<ChangeSet> RecursiveCountingMaintainer::Apply(
     const ChangeSet& base_changes) {
+  return ApplyImpl(base_changes, nullptr);
+}
+
+Result<ChangeSet> RecursiveCountingMaintainer::Apply(
+    ChangeSet&& base_changes) {
+  return ApplyImpl(base_changes, &base_changes);
+}
+
+Result<ChangeSet> RecursiveCountingMaintainer::ApplyImpl(
+    const ChangeSet& base_changes, ChangeSet* take_from) {
   if (!initialized_) {
     return Status::FailedPrecondition("Initialize() has not been called");
   }
@@ -94,7 +105,11 @@ Result<ChangeSet> RecursiveCountingMaintainer::Apply(
             name + "' than stored");
       }
     }
-    pending.emplace(pred, delta);
+    if (take_from != nullptr) {
+      pending.emplace(pred, take_from->TakeDelta(name));
+    } else {
+      pending.emplace(pred, delta);
+    }
   }
   ChangeSet out;
   IVM_RETURN_IF_ERROR(Propagate(std::move(pending), &out));
@@ -173,8 +188,12 @@ Status RecursiveCountingMaintainer::Propagate(
     // Evaluate the delta triangle over q's occurrences in every rule that
     // reads q. Occurrence k uses Δ at its own position, new values at
     // earlier q-occurrences, old values at later ones; literals over other
-    // predicates read their committed state.
+    // predicates read their committed state. No task mutates anything
+    // another task reads (everything is committed state plus this pop's
+    // delta/Δ¬/ΔT), so the whole pop's tasks run as one RunJoinTasks batch;
+    // results merge into `derived` in task order (map nodes are stable).
     std::map<PredicateId, Relation> derived;
+    std::vector<JoinTask> pop_tasks;
     auto rules_it = rules_reading.find(q);
     if (rules_it != rules_reading.end()) {
       for (int r : rules_it->second) {
@@ -283,10 +302,11 @@ Status RecursiveCountingMaintainer::Propagate(
             it = derived.emplace(head, Relation("Δ" + info.name, info.arity))
                      .first;
           }
-          IVM_RETURN_IF_ERROR(EvaluateJoin(prepared, &it->second));
+          pop_tasks.push_back(JoinTask{std::move(prepared), &it->second});
         }
       }
     }
+    IVM_RETURN_IF_ERROR(RunJoinTasks(executor_, &pop_tasks, nullptr));
 
     // Commit Δ(q) and the aggregate deltas over q.
     Relation& stored_q = MutableStored(q);

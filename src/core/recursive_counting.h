@@ -54,6 +54,8 @@ class RecursiveCountingMaintainer : public Maintainer {
 
   Status Initialize(const Database& base) override;
   Result<ChangeSet> Apply(const ChangeSet& base_changes) override;
+  /// Move form: validated base deltas seed the worklist by move, not copy.
+  Result<ChangeSet> Apply(ChangeSet&& base_changes) override;
   Result<const Relation*> GetRelation(const std::string& name) const override;
 
   /// Base snapshot, views, and aggregate extents — everything Apply mutates.
@@ -73,6 +75,11 @@ class RecursiveCountingMaintainer : public Maintainer {
   /// un-committed deltas; committed deltas of derived predicates accumulate
   /// into `out`.
   Status Propagate(std::map<PredicateId, Relation> pending, ChangeSet* out);
+
+  /// Shared Apply implementation; when `take_from` is non-null the validated
+  /// deltas are moved out of it instead of copied.
+  Result<ChangeSet> ApplyImpl(const ChangeSet& base_changes,
+                              ChangeSet* take_from);
 
   const Relation& Stored(PredicateId pred) const;
   Relation& MutableStored(PredicateId pred);

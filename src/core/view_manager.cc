@@ -51,6 +51,20 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(
     resolved = program.IsRecursive() ? Strategy::kDRed : Strategy::kCounting;
   }
 
+  // The single authoritative executor/strategy check. Every strategy except
+  // PF routes its delta rules through RunJoinTasks (or the ambient pool), so
+  // any thread count is usable; PF replays the DRed core one deletion at a
+  // time and cannot fan out — an explicit parallel request there is a
+  // contradiction, not a silent no-op.
+  if (options.executor.threads != 1 && resolved == Strategy::kPF) {
+    return Status::InvalidArgument(
+        "executor.threads requests parallel maintenance, but the pf strategy "
+        "evaluates one deletion at a time and cannot use a worker pool; drop "
+        "Options::executor or choose counting/dred/recompute");
+  }
+  IVM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> executor,
+                       Executor::Make(options.executor));
+
   // The semantics the chosen maintainer actually runs under.
   Semantics effective_semantics = options.semantics;
   if (resolved == Strategy::kDRed || resolved == Strategy::kPF) {
@@ -93,8 +107,11 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(
       return Status::Internal("kAuto should have been resolved");
   }
   impl->AttachMetrics(options.metrics);
+  executor->AttachMetrics(options.metrics);
+  impl->AttachExecutor(executor.get());
   auto manager = std::unique_ptr<ViewManager>(
       new ViewManager(std::move(impl), resolved, effective_semantics));
+  manager->executor_ = std::move(executor);
   manager->metrics_ = options.metrics;
   manager->configured_durable_dir_ = options.durability_dir;
   return manager;
@@ -126,6 +143,8 @@ Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
 Status ViewManager::Initialize(const Database& base) {
   {
     TraceSpan span(metrics_, "initialize");
+    // Ambient pool for the initial evaluation's index builds.
+    ExecContext exec_scope(executor_->pool(), executor_->min_partition_size());
     IVM_RETURN_IF_ERROR(impl_->Initialize(base));
   }
   if (!configured_durable_dir_.empty() && wal_ == nullptr) {
@@ -375,10 +394,30 @@ Status ViewManager::FinishMutation(
 }
 
 Result<ChangeSet> ViewManager::Apply(const ChangeSet& base_changes) {
+  return ApplyImpl(base_changes, nullptr);
+}
+
+Result<ChangeSet> ViewManager::Apply(ChangeSet&& base_changes) {
+  // The WAL record is serialized from `base_changes` at commit time — after
+  // maintenance would have emptied it — so the move path requires
+  // durability to be off.
+  if (wal_ != nullptr) return ApplyImpl(base_changes, nullptr);
+  return ApplyImpl(base_changes, &base_changes);
+}
+
+Result<ChangeSet> ViewManager::ApplyImpl(const ChangeSet& base_changes,
+                                         ChangeSet* take_from) {
   TraceSpan span(metrics_, "apply");
   IVM_RETURN_IF_ERROR(base_changes.Validate());
+  // Captured before the maintainer may cannibalize the deltas (move path).
+  const size_t base_delta_tuples = base_changes.TotalTuples();
+  // Ambient pool: index (re)builds triggered anywhere under this Apply may
+  // fan out across the executor's workers.
+  ExecContext exec_scope(executor_->pool(), executor_->min_partition_size());
   std::unique_ptr<MaintainerTxn> txn = impl_->BeginTxn();
-  Result<ChangeSet> result = impl_->Apply(base_changes);
+  Result<ChangeSet> result = take_from != nullptr
+                                 ? impl_->Apply(std::move(*take_from))
+                                 : impl_->Apply(base_changes);
   if (!result.ok()) {
     txn->Rollback();
     CounterAdd(metrics_, "mutations.rolled_back");
@@ -389,8 +428,7 @@ Result<ChangeSet> ViewManager::Apply(const ChangeSet& base_changes) {
         return wal_->AppendChangeSet(epoch, base_changes.deltas());
       }));
   if (metrics_ != nullptr) {
-    metrics_->counter("apply.base_delta_tuples")
-        ->Add(base_changes.TotalTuples());
+    metrics_->counter("apply.base_delta_tuples")->Add(base_delta_tuples);
     metrics_->counter("apply.view_delta_tuples")
         ->Add(result.value().TotalTuples());
     metrics_->gauge("apply.peak_view_delta_tuples")
@@ -411,6 +449,10 @@ int ViewManager::Subscribe(const std::string& view, ViewTrigger trigger) {
 }
 
 void ViewManager::Unsubscribe(int subscription_id) {
+  UnsubscribeId(subscription_id);
+}
+
+void ViewManager::UnsubscribeId(int subscription_id) {
   subscriptions_.erase(subscription_id);
 }
 
@@ -424,6 +466,7 @@ Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
   }
   // Rule changes restructure the program and the materializations, so they
   // run under a whole-state snapshot instead of the undo log.
+  ExecContext exec_scope(executor_->pool(), executor_->min_partition_size());
   std::unique_ptr<MaintainerTxn> txn = dred->BeginRuleChangeTxn();
   Result<ChangeSet> result = dred->AddRule(rule);
   if (!result.ok()) {
@@ -452,6 +495,7 @@ Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
         "view redefinition is supported by the DRed strategy only "
         "(Section 7); create the manager with Strategy::kDRed");
   }
+  ExecContext exec_scope(executor_->pool(), executor_->min_partition_size());
   std::unique_ptr<MaintainerTxn> txn = dred->BeginRuleChangeTxn();
   Result<ChangeSet> result = dred->RemoveRule(rule_index);
   if (!result.ok()) {

@@ -19,6 +19,7 @@
 #include "core/strategy.h"
 #include "datalog/program.h"
 #include "eval/evaluator.h"
+#include "exec/executor.h"
 #include "obs/metrics.h"
 #include "storage/database.h"
 #include "txn/wal.h"
@@ -75,22 +76,40 @@ class ViewManager {
     /// When null — the default — the maintenance pipeline runs with zero
     /// observability overhead: no counters, no clock reads, no allocations.
     MetricsRegistry* metrics = nullptr;
+    /// Parallel delta evaluation (docs/parallelism.md). The default
+    /// (threads = 1) keeps the serial path; threads = 0 uses the hardware
+    /// concurrency. Supported by counting, recursive counting, DRed, and
+    /// recompute; requesting threads != 1 with kPF is an InvalidArgument
+    /// error (PF replays deletions one at a time and cannot fan out).
+    /// Parallel and serial maintenance produce identical view contents.
+    ExecutorOptions executor;
   };
 
   static Result<std::unique_ptr<ViewManager>> Create(Program program,
                                                      const Options& options);
+  /// Default options: kAuto strategy, set semantics, serial execution.
+  static Result<std::unique_ptr<ViewManager>> Create(Program program) {
+    return Create(std::move(program), Options());
+  }
 
   /// Convenience: parse a Datalog program text first.
   static Result<std::unique_ptr<ViewManager>> CreateFromText(
       const std::string& program_text, const Options& options);
-
-  /// Deprecated positional forms; thin forwarding wrappers over the Options
-  /// overloads, kept so existing callers compile unchanged.
-  static Result<std::unique_ptr<ViewManager>> Create(
-      Program program, Strategy strategy = Strategy::kAuto,
-      Semantics semantics = Semantics::kSet);
   static Result<std::unique_ptr<ViewManager>> CreateFromText(
-      const std::string& program_text, Strategy strategy = Strategy::kAuto,
+      const std::string& program_text) {
+    return CreateFromText(program_text, Options());
+  }
+
+  /// Positional forms; thin forwarding wrappers over the Options overloads.
+  [[deprecated("use Create(program, ViewManager::Options) instead")]]
+  static Result<std::unique_ptr<ViewManager>> Create(Program program,
+                                                     Strategy strategy,
+                                                     Semantics semantics =
+                                                         Semantics::kSet);
+  [[deprecated(
+      "use CreateFromText(program_text, ViewManager::Options) instead")]]
+  static Result<std::unique_ptr<ViewManager>> CreateFromText(
+      const std::string& program_text, Strategy strategy,
       Semantics semantics = Semantics::kSet);
 
   /// Rebuilds a manager from `dir` (see docs/recovery.md): loads the newest
@@ -133,6 +152,13 @@ class ViewManager {
   /// exception is reported as an error Status.
   Result<ChangeSet> Apply(const ChangeSet& base_changes);
 
+  /// Move form: when durability is off, strategies that ingest base deltas
+  /// wholesale (counting, recursive counting) move them out of `base_changes`
+  /// instead of copying. With durability enabled this falls back to the
+  /// copying path — the WAL record is serialized from `base_changes` at
+  /// commit time, after maintenance has consumed it.
+  Result<ChangeSet> Apply(ChangeSet&& base_changes);
+
   /// Active-database hook (one of the paper's motivating applications:
   /// "a rule may fire when a particular tuple is inserted into a view").
   /// The callback runs after every Apply/AddRule/RemoveRule that changes
@@ -161,7 +187,7 @@ class ViewManager {
 
     /// Deregisters the trigger now; idempotent.
     void Unsubscribe() {
-      if (manager_ != nullptr) manager_->Unsubscribe(id_);
+      if (manager_ != nullptr) manager_->UnsubscribeId(id_);
       manager_ = nullptr;
     }
 
@@ -187,9 +213,12 @@ class ViewManager {
   /// registration.
   Subscription Watch(const std::string& view, ViewTrigger trigger);
 
-  /// Deprecated raw-id forms, forwarding to Watch()/the handle: the caller
-  /// owns the lifetime and must Unsubscribe() manually.
+  /// Raw-id forms, forwarding to Watch()/the handle: the caller owns the
+  /// lifetime and must Unsubscribe() manually. Prefer Watch(): the RAII
+  /// handle cannot leak a registration or double-free an id.
+  [[deprecated("use Watch(); the Subscription handle owns the lifetime")]]
   int Subscribe(const std::string& view, ViewTrigger trigger);
+  [[deprecated("use Watch(); Subscription::Unsubscribe() deregisters")]]
   void Unsubscribe(int subscription_id);
 
   /// Current extent of a view or base-relation snapshot.
@@ -220,6 +249,15 @@ class ViewManager {
   /// Shared EnableDurability body, after the directory-conflict checks.
   Status OpenDurability(const std::string& dir);
 
+  /// Deregistration core shared by Subscription and the deprecated
+  /// Unsubscribe(int) wrapper.
+  void UnsubscribeId(int subscription_id);
+
+  /// Shared Apply body; when `take_from` is non-null the maintainer may
+  /// cannibalize its deltas (move path, durability off).
+  Result<ChangeSet> ApplyImpl(const ChangeSet& base_changes,
+                              ChangeSet* take_from);
+
   /// Commit-time invariants, checked before the transaction commits:
   /// no touched relation overflowed its counts, and under set semantics no
   /// touched relation holds a negative count (Lemma 4.1).
@@ -240,6 +278,10 @@ class ViewManager {
                         const ChangeSet& view_changes,
                         const std::function<Status(uint64_t)>& append);
 
+  /// The parallel evaluation engine; always non-null (serial when
+  /// Options::executor.threads resolves to 1). Declared before impl_ so it
+  /// outlives the maintainer, which holds a raw pointer to it.
+  std::unique_ptr<Executor> executor_;
   std::unique_ptr<Maintainer> impl_;
   Strategy strategy_;
   Semantics semantics_;

@@ -406,6 +406,49 @@ class JoinExecutor {
 
 }  // namespace
 
+void PrewarmJoinIndexes(const PreparedRule& rule) {
+  // Same short-circuit as EvaluateJoin: with an empty scanned relation the
+  // join never runs, so no index is ever requested.
+  for (const PreparedSubgoal& sg : rule.subgoals) {
+    if (sg.kind == PreparedSubgoal::Kind::kScan && sg.relation != nullptr &&
+        sg.relation->empty() &&
+        (sg.overlay == nullptr || sg.overlay->empty())) {
+      return;
+    }
+  }
+  const std::vector<int> order = PlanOrder(rule);
+  std::vector<bool> bound(rule.num_vars, false);
+  for (int idx : order) {
+    const PreparedSubgoal& sg = rule.subgoals[idx];
+    if (sg.kind == PreparedSubgoal::Kind::kScan) {
+      // Which pattern positions are ground when this scan executes is
+      // branch-independent: it depends only on which variables earlier
+      // subgoals bind, never on the values — so it can be computed here
+      // exactly as ExecScan will.
+      std::vector<size_t> ground_cols;
+      for (size_t i = 0; i < sg.pattern.size(); ++i) {
+        const Term& t = sg.pattern[i];
+        if (t.IsConstant() || (t.IsVariable() && bound[t.var()]) ||
+            (t.IsArith() && TermVarsBound(t, bound))) {
+          ground_cols.push_back(i);
+        }
+      }
+      const size_t total_size =
+          sg.relation->size() +
+          (sg.overlay != nullptr ? sg.overlay->size() : 0);
+      if (!ground_cols.empty() && total_size >= kIndexThreshold) {
+        (void)sg.relation->GetIndex(ground_cols);
+        if (sg.overlay != nullptr) (void)sg.overlay->GetIndex(ground_cols);
+      }
+      MarkScanBindings(sg, &bound);
+    } else if (sg.kind == PreparedSubgoal::Kind::kComparison &&
+               sg.cmp_op == ComparisonOp::kEq) {
+      if (sg.cmp_lhs.IsVariable()) bound[sg.cmp_lhs.var()] = true;
+      if (sg.cmp_rhs.IsVariable()) bound[sg.cmp_rhs.var()] = true;
+    }
+  }
+}
+
 Status EvaluateJoin(const PreparedRule& rule, Relation* out,
                     JoinStats* stats) {
   IVM_CHECK(rule.head != nullptr);

@@ -101,6 +101,14 @@ struct JoinStats {
 Status EvaluateJoin(const PreparedRule& rule, Relation* out,
                     JoinStats* stats = nullptr);
 
+/// Builds, on the calling thread, every index a later EvaluateJoin of `rule`
+/// can request. Relation::GetIndex lazily mutates a cache behind const, so
+/// when a rule is evaluated from worker threads all shared relations must
+/// have their indexes built up front; this replays the planner's
+/// bound-variable bookkeeping to predict exactly which column sets the scans
+/// will look up.
+void PrewarmJoinIndexes(const PreparedRule& rule);
+
 /// Lowers rule `rule_index` of `program` with *all* subgoal positions read
 /// through `resolver` (the plain, non-delta case). Aggregate subgoals are
 /// evaluated into relations owned by the returned object.

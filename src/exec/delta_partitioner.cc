@@ -1,0 +1,28 @@
+#include "exec/delta_partitioner.h"
+
+#include <string>
+
+#include "common/tuple.h"
+
+namespace ivm {
+
+std::vector<Relation> DeltaPartitioner::Partition(
+    const Relation& delta, const std::vector<size_t>& key_columns,
+    size_t parts) {
+  std::vector<Relation> out;
+  out.reserve(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    out.emplace_back(delta.name() + "#" + std::to_string(p), delta.arity());
+  }
+  if (parts == 0) return out;
+  TupleHash hasher;
+  for (const auto& [tuple, count] : delta.tuples()) {
+    const size_t h = key_columns.empty()
+                         ? hasher(tuple)
+                         : hasher(tuple.Project(key_columns));
+    out[h % parts].Add(tuple, count);
+  }
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,139 @@
+#include "exec/executor.h"
+
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "exec/delta_partitioner.h"
+#include "obs/trace.h"
+
+namespace ivm {
+
+Executor::Executor(int threads, size_t min_partition_size)
+    : threads_(threads), min_partition_size_(min_partition_size) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+Result<std::unique_ptr<Executor>> Executor::Make(
+    const ExecutorOptions& options) {
+  if (options.threads < 0) {
+    return Status::InvalidArgument(
+        "executor.threads must be >= 0 (0 = hardware concurrency), got " +
+        std::to_string(options.threads));
+  }
+  if (options.min_partition_size == 0) {
+    return Status::InvalidArgument("executor.min_partition_size must be >= 1");
+  }
+  int threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::unique_ptr<Executor>(new Executor(threads, options.min_partition_size));
+}
+
+void Executor::AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+namespace {
+
+/// A task, or one hash-partition slice of a task. `rule` is a private copy
+/// so the Δ-subgoal can be repointed at a partition.
+struct Unit {
+  PreparedRule rule;
+  Relation* out = nullptr;
+  Relation local;
+  JoinStats stats;
+  Status status;
+
+  Unit(PreparedRule r, Relation* target)
+      : rule(std::move(r)), out(target), local(target->name(), target->arity()) {}
+};
+
+/// Join-key columns of the pinned Δ-subgoal: its variable positions (empty
+/// means "hash the whole tuple" in DeltaPartitioner).
+std::vector<size_t> PartitionKeyColumns(const PreparedSubgoal& sg) {
+  std::vector<size_t> cols;
+  for (size_t i = 0; i < sg.pattern.size(); ++i) {
+    if (sg.pattern[i].IsVariable()) cols.push_back(i);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Status RunJoinTasks(Executor* exec, std::vector<JoinTask>* tasks,
+                    JoinStats* stats) {
+  if (tasks->empty()) return Status::OK();
+  if (exec == nullptr || !exec->parallel()) {
+    for (JoinTask& task : *tasks) {
+      IVM_RETURN_IF_ERROR(EvaluateJoin(task.rule, task.out, stats));
+    }
+    return Status::OK();
+  }
+
+  MetricsRegistry* metrics = exec->metrics();
+  TraceSpan span(metrics, "exec.parallel");
+  CounterAdd(metrics, "exec.tasks_scheduled", tasks->size());
+
+  // Build every index the planned joins can request *now*, on this thread:
+  // Relation::GetIndex mutates a cache behind const, so shared relations
+  // must not see their first index lookup from a worker.
+  for (const JoinTask& task : *tasks) PrewarmJoinIndexes(task.rule);
+
+  // Expand tasks into units, splitting large Δ-subgoals into partitions.
+  const size_t threads = static_cast<size_t>(exec->threads());
+  const size_t min_part = exec->min_partition_size();
+  std::vector<std::vector<Relation>> partitions;  // owns partition slices
+  std::vector<Unit> units;
+  uint64_t partitioned_units = 0;
+  for (JoinTask& task : *tasks) {
+    const PreparedRule& rule = task.rule;
+    const PreparedSubgoal* start =
+        rule.start_subgoal >= 0 &&
+                static_cast<size_t>(rule.start_subgoal) < rule.subgoals.size()
+            ? &rule.subgoals[rule.start_subgoal]
+            : nullptr;
+    size_t parts = 0;
+    if (start != nullptr && start->kind == PreparedSubgoal::Kind::kScan &&
+        start->overlay == nullptr && start->relation != nullptr &&
+        start->relation->size() >= min_part) {
+      parts = std::min(threads, start->relation->size() / min_part);
+    }
+    if (parts < 2) {
+      units.emplace_back(rule, task.out);
+      continue;
+    }
+    partitions.push_back(DeltaPartitioner::Partition(
+        *start->relation, PartitionKeyColumns(*start), parts));
+    const std::vector<Relation>& slices = partitions.back();
+    for (const Relation& slice : slices) {
+      units.emplace_back(rule, task.out);
+      units.back().rule.subgoals[rule.start_subgoal].relation = &slice;
+      ++partitioned_units;
+    }
+  }
+  CounterAdd(metrics, "exec.tasks_executed", units.size());
+  CounterAdd(metrics, "exec.partitions", partitioned_units);
+
+  exec->pool()->ParallelFor(units.size(), [&units](size_t i) {
+    Unit& unit = units[i];
+    unit.status = EvaluateJoin(unit.rule, &unit.local, &unit.stats);
+  });
+
+  for (const Unit& unit : units) {
+    IVM_RETURN_IF_ERROR(unit.status);
+  }
+  {
+    TraceSpan merge_span(metrics, "exec.merge");
+    for (Unit& unit : units) {
+      unit.out->UnionInPlace(unit.local);
+      if (stats != nullptr) {
+        stats->tuples_matched += unit.stats.tuples_matched;
+        stats->derivations += unit.stats.derivations;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ivm

@@ -1,0 +1,89 @@
+#ifndef IVM_EXEC_EXECUTOR_H_
+#define IVM_EXEC_EXECUTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/rule_eval.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace ivm {
+
+/// Parallelism knobs exposed as ViewManager::Options::executor.
+struct ExecutorOptions {
+  /// Worker threads a maintenance operation may use. 1 (the default) keeps
+  /// today's serial path; 0 resolves to std::thread::hardware_concurrency();
+  /// negative values are rejected.
+  int threads = 1;
+  /// Minimum Δ-subgoal tuples per partition before a delta rule is split
+  /// across workers. Below this, a rule runs as a single task (fan-out
+  /// overhead would exceed the join). Must be >= 1.
+  size_t min_partition_size = 1024;
+};
+
+/// The parallel delta evaluation engine: owns the worker pool and runs
+/// batches of independent prepared joins, partitioning large Δ-subgoals
+/// across workers (see docs/parallelism.md).
+///
+/// Determinism: RunJoinTasks merges per-task (and per-partition) results on
+/// the calling thread in stable task order, and counts add commutatively, so
+/// the relations it produces are identical in content — tuples and counts —
+/// to a serial evaluation of the same tasks.
+class Executor {
+ public:
+  /// Validates `options` and builds an executor. threads==0 resolves to the
+  /// hardware concurrency; threads==1 yields a pool-less serial executor.
+  static Result<std::unique_ptr<Executor>> Make(const ExecutorOptions& options);
+
+  /// Resolved thread count (>= 1).
+  int threads() const { return threads_; }
+  bool parallel() const { return threads_ > 1; }
+  size_t min_partition_size() const { return min_partition_size_; }
+
+  /// Null when threads()==1.
+  ThreadPool* pool() { return pool_.get(); }
+
+  /// Registry for exec.* counters and spans; may be null. Only touched from
+  /// the orchestrating thread (MetricsRegistry is not thread-safe).
+  void AttachMetrics(MetricsRegistry* metrics);
+  MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  Executor(int threads, size_t min_partition_size);
+
+  int threads_;
+  size_t min_partition_size_;
+  std::unique_ptr<ThreadPool> pool_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+/// One independent unit of rule evaluation inside a stratum / fixpoint
+/// round: a prepared join whose derivations ⊎-accumulate into `out`.
+/// Several tasks may share one `out` (rules with the same head); results
+/// land in task order.
+struct JoinTask {
+  PreparedRule rule;
+  Relation* out = nullptr;
+};
+
+/// Evaluates `tasks` and accumulates each result into its task's `out`.
+///
+/// With a null or serial executor this is exactly the historical loop:
+/// EvaluateJoin(task.rule, task.out, stats) in task order. With a parallel
+/// executor, every relation reachable from the tasks is index-prewarmed on
+/// the calling thread, tasks whose pinned Δ-subgoal is large are hash-
+/// partitioned across workers, workers evaluate into task-local relations,
+/// and the partial results are merged back in (task, partition) order —
+/// producing content-identical output to the serial path.
+///
+/// All shared relations referenced by the tasks must stay immutable for the
+/// duration of the call.
+Status RunJoinTasks(Executor* exec, std::vector<JoinTask>* tasks,
+                    JoinStats* stats);
+
+}  // namespace ivm
+
+#endif  // IVM_EXEC_EXECUTOR_H_

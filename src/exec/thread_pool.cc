@@ -1,0 +1,107 @@
+#include "exec/thread_pool.h"
+
+namespace ivm {
+namespace {
+
+// Depth guard: a ParallelFor issued while this thread is already executing a
+// batch (worker or orchestrator) runs inline instead of touching the pool.
+thread_local int tls_parallel_depth = 0;
+
+thread_local ThreadPool* tls_ambient_pool = nullptr;
+thread_local size_t tls_ambient_min_partition = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_parallel_depth > 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ++tls_parallel_depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    completed_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread claims indices alongside the workers.
+  size_t local = 0;
+  while (true) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    ++local;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    completed_ += local;
+    done_cv_.wait(lock, [this] { return completed_ == n_; });
+    fn_ = nullptr;
+  }
+  --tls_parallel_depth;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (fn_ != nullptr && generation_ != seen);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(size_t)>* fn = fn_;
+    const size_t n = n_;
+    lock.unlock();
+    tls_parallel_depth = 1;
+    size_t local = 0;
+    while (true) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*fn)(i);
+      ++local;
+    }
+    tls_parallel_depth = 0;
+    lock.lock();
+    completed_ += local;
+    if (completed_ == n_) done_cv_.notify_one();
+  }
+}
+
+ExecContext::ExecContext(ThreadPool* pool, size_t min_partition_size)
+    : prev_pool_(tls_ambient_pool), prev_min_(tls_ambient_min_partition) {
+  tls_ambient_pool = pool;
+  tls_ambient_min_partition = min_partition_size;
+}
+
+ExecContext::~ExecContext() {
+  tls_ambient_pool = prev_pool_;
+  tls_ambient_min_partition = prev_min_;
+}
+
+ThreadPool* ExecContext::pool() { return tls_ambient_pool; }
+
+size_t ExecContext::min_partition_size() { return tls_ambient_min_partition; }
+
+}  // namespace ivm

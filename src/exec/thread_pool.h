@@ -1,0 +1,83 @@
+#ifndef IVM_EXEC_THREAD_POOL_H_
+#define IVM_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ivm {
+
+/// A fixed-size worker pool executing batches of independent tasks.
+///
+/// One ThreadPool backs one Executor (one ViewManager): batches are always
+/// published from a single orchestrating thread, so the pool does not support
+/// concurrent ParallelFor calls from different threads. The orchestrating
+/// thread participates in every batch, so a pool of `threads` runs batches on
+/// `threads` OS threads total while owning only `threads - 1` workers.
+///
+/// A ParallelFor issued from inside a task (e.g. a parallel Index::Build
+/// triggered by a join running on a worker) executes inline on the calling
+/// thread — nesting never deadlocks and never oversubscribes.
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// values < 2 create no workers (ParallelFor then runs inline).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a batch runs on (workers + the calling thread).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0) ... fn(n-1), each exactly once, on the pool's threads plus
+  /// the calling thread; returns when all n calls have finished. Tasks must
+  /// be mutually independent. Blocking, not reentrant across threads.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current batch; guarded by mu_ except for the atomic index counter.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  uint64_t generation_ = 0;
+  size_t completed_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> next_{0};
+  std::vector<std::thread> workers_;
+};
+
+/// Thread-local registration of the pool the storage layer may borrow for
+/// parallel index builds (Relation::GetIndex -> Index::Build). Scoped to a
+/// maintenance operation by ViewManager; never set on worker threads, so
+/// index builds triggered from inside a parallel join stay serial.
+class ExecContext {
+ public:
+  ExecContext(ThreadPool* pool, size_t min_partition_size);
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// The ambient pool for the calling thread, or nullptr.
+  static ThreadPool* pool();
+  static size_t min_partition_size();
+
+ private:
+  ThreadPool* prev_pool_;
+  size_t prev_min_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_EXEC_THREAD_POOL_H_

@@ -1,12 +1,70 @@
 #include "storage/index.h"
 
-namespace ivm {
+#include <algorithm>
+#include <atomic>
+#include <utility>
 
-void Index::Build(const CountMap& tuples) {
+#include "exec/thread_pool.h"
+
+namespace ivm {
+namespace {
+
+/// Below this many tuples the shard fan-out costs more than the build.
+constexpr size_t kParallelBuildMinTuples = 4096;
+
+std::atomic<uint64_t> g_total_builds{0};
+
+}  // namespace
+
+uint64_t Index::TotalBuilds() {
+  return g_total_builds.load(std::memory_order_relaxed);
+}
+
+void Index::Build(const CountMap& tuples, ThreadPool* pool) {
+  g_total_builds.fetch_add(1, std::memory_order_relaxed);
   buckets_.clear();
-  buckets_.reserve(tuples.size());
+  if (pool == nullptr || pool->thread_count() <= 1 ||
+      tuples.size() < kParallelBuildMinTuples) {
+    buckets_.reserve(tuples.size());
+    for (const auto& [tuple, count] : tuples) {
+      buckets_[tuple.Project(key_columns_)].push_back(Entry{&tuple, count});
+    }
+    return;
+  }
+
+  // Parallel build: snapshot entry pointers, shard them across the pool's
+  // threads into shard-local bucket maps, then merge serially. CountMap is
+  // node-based, so the Tuple addresses taken here stay stable.
+  std::vector<std::pair<const Tuple*, int64_t>> entries;
+  entries.reserve(tuples.size());
   for (const auto& [tuple, count] : tuples) {
-    buckets_[tuple.Project(key_columns_)].push_back(Entry{&tuple, count});
+    entries.emplace_back(&tuple, count);
+  }
+  const size_t shards = static_cast<size_t>(pool->thread_count());
+  const size_t chunk = (entries.size() + shards - 1) / shards;
+  std::vector<std::unordered_map<Tuple, std::vector<Entry>, TupleHash>> locals(
+      shards);
+  pool->ParallelFor(shards, [&](size_t s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(entries.size(), begin + chunk);
+    if (begin >= end) return;
+    auto& local = locals[s];
+    local.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      local[entries[i].first->Project(key_columns_)].push_back(
+          Entry{entries[i].first, entries[i].second});
+    }
+  });
+  buckets_.reserve(tuples.size());
+  for (auto& local : locals) {
+    for (auto& [key, postings] : local) {
+      std::vector<Entry>& dst = buckets_[key];
+      if (dst.empty()) {
+        dst = std::move(postings);
+      } else {
+        dst.insert(dst.end(), postings.begin(), postings.end());
+      }
+    }
   }
 }
 

@@ -9,6 +9,8 @@
 
 namespace ivm {
 
+class ThreadPool;
+
 /// Distinct tuples with signed multiplicities ("Z-relation" payload). Stored
 /// views hold strictly positive counts; deltas may hold negative counts
 /// (deletions), per Section 3 of the paper.
@@ -30,8 +32,17 @@ class Index {
 
   const std::vector<size_t>& key_columns() const { return key_columns_; }
 
-  /// (Re)builds the index over all tuples in `tuples`.
-  void Build(const CountMap& tuples);
+  /// (Re)builds the index over all tuples in `tuples`. With a pool, large
+  /// inputs are sharded across its workers (the dominant Project+hash cost
+  /// parallelizes; the bucket merge stays on the calling thread). Lookup
+  /// results are identical either way — only postings-list order may differ,
+  /// which no consumer depends on.
+  void Build(const CountMap& tuples, ThreadPool* pool = nullptr);
+
+  /// Total full Build() calls across all indexes since process start.
+  /// Observability hook for the rebuild-avoidance regression tests: steady
+  /// state maintenance must not rebuild indexes of untouched relations.
+  static uint64_t TotalBuilds();
 
   /// Incremental maintenance (Relation calls these on mutation so cached
   /// indexes stay valid in O(1) per changed tuple).

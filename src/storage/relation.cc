@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "exec/thread_pool.h"
+
 namespace ivm {
 
 Relation& Relation::operator=(const Relation& other) {
@@ -86,7 +88,10 @@ void Relation::AddInternal(const Tuple& tuple, int64_t count) {
 void Relation::Set(const Tuple& tuple, int64_t count) {
   auto it = tuples_.find(tuple);
   if (it == tuples_.end()) {
-    if (count != 0) AddInternal(tuple, count);
+    if (count == 0) return;  // no-op: don't churn the version
+    AddInternal(tuple, count);
+  } else if (it->second == count) {
+    return;  // no-op: don't churn the version
   } else if (count == 0) {
     if (undo_hook_ != nullptr)
       undo_hook_->OnCountChange(this, tuple, it->second);
@@ -103,12 +108,13 @@ void Relation::Set(const Tuple& tuple, int64_t count) {
 
 void Relation::Erase(const Tuple& tuple) {
   auto it = tuples_.find(tuple);
-  if (it != tuples_.end()) {
-    if (undo_hook_ != nullptr)
-      undo_hook_->OnCountChange(this, tuple, it->second);
-    ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
-    tuples_.erase(it);
-  }
+  // Erasing an absent tuple is a no-op: leaving the version untouched keeps
+  // cached indexes of quiescent relations valid across maintenance rounds.
+  if (it == tuples_.end()) return;
+  if (undo_hook_ != nullptr)
+    undo_hook_->OnCountChange(this, tuple, it->second);
+  ForEachLiveIndex([&](Index& index) { index.RemoveEntry(it->first); });
+  tuples_.erase(it);
   Touch();
 }
 
@@ -121,10 +127,17 @@ void Relation::Clear() {
 }
 
 void Relation::UnionInPlace(const Relation& other) {
+  bool changed = false;
   for (const auto& [tuple, count] : other.tuples_) {
-    if (count != 0) AddInternal(tuple, count);
+    if (count != 0) {
+      AddInternal(tuple, count);
+      changed = true;
+    }
   }
-  Touch();
+  // Folding an empty (or all-zero) delta leaves the version alone, so the
+  // per-Apply "fold every predicate's delta" loops of the maintainers don't
+  // invalidate indexes of relations the ChangeSet never named.
+  if (changed) Touch();
 }
 
 Relation Relation::UPlus(const Relation& a, const Relation& b) {
@@ -215,8 +228,12 @@ const Index& Relation::GetIndex(const std::vector<size_t>& key_columns) const {
       if (mask & (uint64_t{1} << c)) cols.push_back(c);
     }
     slot.index = std::make_unique<Index>(std::move(cols));
-    slot.index->Build(tuples_);
+    // Borrow the maintenance operation's worker pool (if one is ambient on
+    // this thread) for large builds; workers never get here for shared
+    // relations because parallel joins prewarm their indexes up front.
+    slot.index->Build(tuples_, ExecContext::pool());
     slot.built_version = version_;
+    ++index_rebuilds_;
   }
   return *slot.index;
 }

@@ -123,8 +123,16 @@ class Relation {
   /// Renders "{(a, b):2, (c, d):1}" with tuples sorted.
   std::string ToString() const;
 
-  /// Monotone modification counter; bumps on every mutation.
+  /// Monotone modification counter; bumps on every *effective* mutation
+  /// (no-op edits — erasing an absent tuple, folding an empty delta — leave
+  /// it alone so cached indexes of quiescent relations stay valid).
   uint64_t version() const { return version_; }
+
+  /// Full index (re)builds this relation has paid for in GetIndex — i.e.
+  /// requests that could not be served by a cached, incrementally-maintained
+  /// index. Steady-state maintenance must keep this flat for relations the
+  /// ChangeSet does not name (see the index_rebuild regression tests).
+  uint64_t index_rebuilds() const { return index_rebuilds_; }
 
   /// Sticky flag set when any count merge would have overflowed int64_t.
   /// The affected counts are saturated instead of wrapping (no UB), and the
@@ -182,6 +190,7 @@ class Relation {
   size_t arity_ = 0;
   CountMap tuples_;
   uint64_t version_ = 0;
+  mutable uint64_t index_rebuilds_ = 0;
   bool overflowed_ = false;
   RelationUndoHook* undo_hook_ = nullptr;
 

@@ -476,7 +476,8 @@ TEST(AdvisorTest, MatchingChoicesAreQuiet) {
 
 TEST(ViewManagerStrategyTest, CountingOnRecursiveProgramIsRejected) {
   Result<std::unique_ptr<ViewManager>> manager =
-      ViewManager::CreateFromText(kRecursiveText, Strategy::kCounting);
+      ViewManager::CreateFromText(
+          kRecursiveText, testing_util::ManagerOptions(Strategy::kCounting));
   ASSERT_FALSE(manager.ok());
   EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(manager.status().message().find("strategy precondition"),
@@ -488,14 +489,17 @@ TEST(ViewManagerStrategyTest, CountingOnRecursiveProgramIsRejected) {
 
 TEST(ViewManagerStrategyTest, DRedUnderDuplicateSemanticsIsRejected) {
   Result<std::unique_ptr<ViewManager>> manager = ViewManager::CreateFromText(
-      kNonrecursiveText, Strategy::kDRed, Semantics::kDuplicate);
+      kNonrecursiveText,
+      testing_util::ManagerOptions(Strategy::kDRed, Semantics::kDuplicate));
   ASSERT_FALSE(manager.ok());
   EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(ViewManagerStrategyTest, RecursiveCountingUnderSetSemanticsIsRejected) {
   Result<std::unique_ptr<ViewManager>> manager = ViewManager::CreateFromText(
-      kRecursiveText, Strategy::kRecursiveCounting, Semantics::kSet);
+      kRecursiveText,
+      testing_util::ManagerOptions(Strategy::kRecursiveCounting,
+                                   Semantics::kSet));
   ASSERT_FALSE(manager.ok());
   EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -503,7 +507,8 @@ TEST(ViewManagerStrategyTest, RecursiveCountingUnderSetSemanticsIsRejected) {
 TEST(ViewManagerStrategyTest, WarningsDoNotBlockCreation) {
   // DRed on a nonrecursive program is legal (merely unadvised).
   Result<std::unique_ptr<ViewManager>> manager =
-      ViewManager::CreateFromText(kNonrecursiveText, Strategy::kDRed);
+      ViewManager::CreateFromText(
+          kNonrecursiveText, testing_util::ManagerOptions(Strategy::kDRed));
   IVM_EXPECT_OK(manager.status());
 }
 

@@ -123,11 +123,12 @@ TEST(TriggersTest, SubscriberSeesViewDeltas) {
 
   int fired = 0;
   Relation last_delta("d", 2);
-  int id = vm->Subscribe("hop", [&](const std::string& view, const Relation& delta) {
-    EXPECT_EQ(view, "hop");
-    last_delta = delta;
-    ++fired;
-  });
+  ViewManager::Subscription sub =
+      vm->Watch("hop", [&](const std::string& view, const Relation& delta) {
+        EXPECT_EQ(view, "hop");
+        last_delta = delta;
+        ++fired;
+      });
 
   ChangeSet grow;
   grow.Insert("link", Tup("b", "c"));
@@ -141,7 +142,7 @@ TEST(TriggersTest, SubscriberSeesViewDeltas) {
   vm->Apply(unrelated).value();
   EXPECT_EQ(fired, 1);
 
-  vm->Unsubscribe(id);
+  sub.Unsubscribe();
   ChangeSet shrink;
   shrink.Delete("link", Tup("b", "c"));
   vm->Apply(shrink).value();
@@ -150,13 +151,17 @@ TEST(TriggersTest, SubscriberSeesViewDeltas) {
 
 TEST(TriggersTest, MultipleSubscribersAndRuleChanges) {
   auto vm = ViewManager::CreateFromText(
-      "base e(X, Y). p(X, Y) :- e(X, Y).", Strategy::kDRed).value();
+                "base e(X, Y). p(X, Y) :- e(X, Y).",
+                testing_util::ManagerOptions(Strategy::kDRed))
+                .value();
   Database db;
   testing_util::MustLoadFacts(&db, "e(1,2).");
   IVM_ASSERT_OK(vm->Initialize(db));
   int a = 0, b = 0;
-  vm->Subscribe("p", [&](const std::string&, const Relation&) { ++a; });
-  vm->Subscribe("p", [&](const std::string&, const Relation&) { ++b; });
+  ViewManager::Subscription sub_a =
+      vm->Watch("p", [&](const std::string&, const Relation&) { ++a; });
+  ViewManager::Subscription sub_b =
+      vm->Watch("p", [&](const std::string&, const Relation&) { ++b; });
   // A rule change that adds tuples must fire triggers too.
   vm->AddRuleText("p(X, Y) :- e(Y, X).").value();
   EXPECT_EQ(a, 1);

@@ -1,0 +1,191 @@
+#include "exec/executor.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/delta_partitioner.h"
+#include "exec/thread_pool.h"
+#include "storage/relation.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), 55u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, FewerThanTwoThreadsRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  size_t sum = 0;  // not atomic: everything runs on this thread
+  pool.ParallelFor(100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<size_t> inner_calls{0};
+  pool.ParallelFor(8, [&](size_t) {
+    // A task that itself fans out must not deadlock waiting for workers that
+    // are all busy running the outer batch.
+    pool.ParallelFor(16, [&](size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 8u * 16u);
+}
+
+TEST(ThreadPoolTest, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+Relation MakeDelta(size_t rows) {
+  Relation delta("δ", 2);
+  for (size_t i = 0; i < rows; ++i) {
+    delta.Add(Tup(static_cast<int64_t>(i % 17), static_cast<int64_t>(i)),
+              1 + static_cast<int64_t>(i % 3));
+  }
+  return delta;
+}
+
+TEST(DeltaPartitionerTest, PartitionsFormExactMultisetUnion) {
+  const Relation delta = MakeDelta(200);
+  auto parts = DeltaPartitioner::Partition(delta, {0}, 4);
+  ASSERT_EQ(parts.size(), 4u);
+
+  Relation reunion("δ", 2);
+  int64_t total = 0;
+  for (const Relation& part : parts) {
+    total += part.TotalCount();
+    for (const auto& [tuple, count] : part.tuples()) {
+      reunion.Add(tuple, count);
+    }
+  }
+  EXPECT_EQ(total, delta.TotalCount());
+  testing_util::ExpectRelationEq(reunion, delta);
+}
+
+TEST(DeltaPartitionerTest, TuplesSharingKeyLandInOnePartition) {
+  const Relation delta = MakeDelta(200);
+  auto parts = DeltaPartitioner::Partition(delta, {0}, 4);
+  // Column 0 only takes values 0..16; each value must appear in exactly one
+  // partition (hash partitioning by key, not round-robin).
+  for (int64_t key = 0; key < 17; ++key) {
+    int partitions_with_key = 0;
+    for (const Relation& part : parts) {
+      for (const auto& [tuple, count] : part.tuples()) {
+        if (tuple[0] == Value::Int(key)) {
+          ++partitions_with_key;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(partitions_with_key, 1) << "key " << key;
+  }
+}
+
+TEST(DeltaPartitionerTest, DeterministicForFixedContents) {
+  const Relation delta = MakeDelta(100);
+  auto a = DeltaPartitioner::Partition(delta, {1}, 3);
+  auto b = DeltaPartitioner::Partition(delta, {1}, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    testing_util::ExpectRelationEq(a[i], b[i]);
+  }
+}
+
+TEST(DeltaPartitionerTest, EmptyKeyHashesWholeTuple) {
+  const Relation delta = MakeDelta(50);
+  auto parts = DeltaPartitioner::Partition(delta, {}, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  int64_t total = 0;
+  for (const Relation& part : parts) total += part.TotalCount();
+  EXPECT_EQ(total, delta.TotalCount());
+}
+
+TEST(ExecutorTest, MakeRejectsNegativeThreads) {
+  ExecutorOptions options;
+  options.threads = -2;
+  auto exec = Executor::Make(options);
+  EXPECT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, MakeRejectsZeroMinPartitionSize) {
+  ExecutorOptions options;
+  options.min_partition_size = 0;
+  auto exec = Executor::Make(options);
+  EXPECT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, SerialExecutorHasNoPool) {
+  auto exec = Executor::Make(ExecutorOptions{});
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ((*exec)->threads(), 1);
+  EXPECT_FALSE((*exec)->parallel());
+  EXPECT_EQ((*exec)->pool(), nullptr);
+}
+
+TEST(ExecutorTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ExecutorOptions options;
+  options.threads = 0;
+  auto exec = Executor::Make(options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_GE((*exec)->threads(), 1);
+  EXPECT_EQ((*exec)->parallel(), (*exec)->threads() > 1);
+}
+
+TEST(ExecutorTest, ParallelExecutorOwnsMatchingPool) {
+  ExecutorOptions options;
+  options.threads = 4;
+  options.min_partition_size = 7;
+  auto exec = Executor::Make(options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ((*exec)->threads(), 4);
+  EXPECT_TRUE((*exec)->parallel());
+  EXPECT_EQ((*exec)->min_partition_size(), 7u);
+  ASSERT_NE((*exec)->pool(), nullptr);
+  EXPECT_EQ((*exec)->pool()->thread_count(), 4);
+}
+
+TEST(ExecContextTest, ScopedAmbientPoolRestoresOnExit) {
+  EXPECT_EQ(ExecContext::pool(), nullptr);
+  ThreadPool pool(2);
+  {
+    ExecContext scope(&pool, 64);
+    EXPECT_EQ(ExecContext::pool(), &pool);
+    EXPECT_EQ(ExecContext::min_partition_size(), 64u);
+    {
+      ExecContext inner(nullptr, 1);
+      EXPECT_EQ(ExecContext::pool(), nullptr);
+    }
+    EXPECT_EQ(ExecContext::pool(), &pool);
+  }
+  EXPECT_EQ(ExecContext::pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace ivm

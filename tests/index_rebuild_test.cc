@@ -1,0 +1,86 @@
+// Regression test for redundant index rebuilds: steady-state maintenance
+// must not rebuild (or even re-touch) indexes of relations the ChangeSet
+// does not name. Earlier versions invalidated every cached index on Apply,
+// so an update stream over relation `a` paid O(|b|) rebuilds for `b`'s
+// untouched indexes on every batch.
+
+#include <gtest/gtest.h>
+
+#include "core/view_manager.h"
+#include "storage/index.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+constexpr const char* kProgram =
+    "base a(X, Y). base b(X, Y).\n"
+    "va(X, Z) :- a(X, Y) & a(Y, Z).\n"
+    "vb(X, Z) :- b(X, Y) & b(Y, Z).\n"
+    "vab(X, Z) :- a(X, Y) & b(Y, Z).\n";
+
+class IndexRebuildTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(IndexRebuildTest, UntouchedRelationsKeepTheirIndexes) {
+  auto vm = ViewManager::CreateFromText(
+      kProgram, testing_util::ManagerOptions(GetParam()));
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+
+  Database db;
+  testing_util::MustLoadFacts(
+      &db,
+      "a(1, 2). a(2, 3). a(3, 4). a(4, 1).\n"
+      "b(1, 2). b(2, 3). b(3, 4). b(4, 5). b(5, 6).");
+  IVM_ASSERT_OK((*vm)->Initialize(db));
+
+  // Warm-up batch: first maintenance pays whatever index builds it needs.
+  ChangeSet warmup;
+  warmup.Insert("a", Tup(1, 3));
+  ASSERT_TRUE((*vm)->Apply(warmup).ok());
+
+  const Relation& b = *(*vm)->GetRelation("b").value();
+  const Relation& vb = *(*vm)->GetRelation("vb").value();
+  const uint64_t b_version = b.version();
+  const uint64_t b_rebuilds = b.index_rebuilds();
+  const uint64_t vb_version = vb.version();
+  const uint64_t vb_rebuilds = vb.index_rebuilds();
+  uint64_t builds_before = Index::TotalBuilds();
+  uint64_t steady_batch_builds = 0;
+
+  // A stream of identically-shaped batches naming only `a`. Neither `b` nor
+  // its view `vb` may be modified or re-indexed; stored-relation indexes are
+  // maintained incrementally, so the only builds a batch may pay are for its
+  // own fresh delta relations — a per-batch constant that must not grow with
+  // the untouched data or with time.
+  for (int i = 0; i < 5; ++i) {
+    ChangeSet batch;
+    batch.Insert("a", Tup(10 + i, 20 + i));
+    batch.Delete("a", Tup(i == 0 ? 1 : 10 + i - 1, i == 0 ? 3 : 20 + i - 1));
+    auto out = (*vm)->Apply(batch);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+    EXPECT_EQ(b.version(), b_version) << "batch " << i;
+    EXPECT_EQ(b.index_rebuilds(), b_rebuilds) << "batch " << i;
+    EXPECT_EQ(vb.version(), vb_version) << "batch " << i;
+    EXPECT_EQ(vb.index_rebuilds(), vb_rebuilds) << "batch " << i;
+
+    const uint64_t batch_builds = Index::TotalBuilds() - builds_before;
+    builds_before = Index::TotalBuilds();
+    if (i == 1) {
+      steady_batch_builds = batch_builds;
+    } else if (i > 1) {
+      EXPECT_EQ(batch_builds, steady_batch_builds) << "batch " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, IndexRebuildTest,
+                         ::testing::Values(Strategy::kCounting,
+                                           Strategy::kDRed,
+                                           Strategy::kRecompute),
+                         [](const ::testing::TestParamInfo<Strategy>& info) {
+                           return std::string(StrategyName(info.param));
+                         });
+
+}  // namespace
+}  // namespace ivm

@@ -52,7 +52,10 @@ TEST(IntegrationTest, SocialNetworkRecommendations) {
       SELECT f1.src, f2.dst, COUNT(*) FROM follows f1, follows f2
       WHERE f1.dst = f2.src GROUP BY f1.src, f2.dst;
   )sql"));
-  auto vm = ViewManager::Create(tr.Build().value(), Strategy::kCounting).value();
+  auto vm = ViewManager::Create(tr.Build().value(),
+                                testing_util::ManagerOptions(
+                                    Strategy::kCounting))
+                .value();
   Database db;
   db.CreateRelation("follows", 2).CheckOK();
   IVM_ASSERT_OK(vm->Initialize(db));
@@ -99,7 +102,7 @@ TEST(IntegrationTest, OrgChartPermissions) {
       "access(E, R) :- holds(E, R).\n"
       "access(E, R) :- chain(M, E) & holds(M, R).\n"
       "access_count(R, N) :- groupby(access(E, R), [R], N = count(*)).",
-      Strategy::kDRed).value();
+      testing_util::ManagerOptions(Strategy::kDRed)).value();
 
   Database db;
   testing_util::MustLoadFacts(&db,

@@ -20,7 +20,8 @@ constexpr const char* kOrdersProgram =
     "region_total(R, T) :- groupby(revenue(R, P, V), [R], T = sum(V)).";
 
 std::unique_ptr<ViewManager> MakeOrders(Strategy strategy) {
-  auto vm = ViewManager::CreateFromText(kOrdersProgram, strategy);
+  auto vm = ViewManager::CreateFromText(
+      kOrdersProgram, testing_util::ManagerOptions(strategy));
   vm.status().CheckOK();
   Database db;
   testing_util::MustLoadFacts(&db,

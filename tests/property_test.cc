@@ -224,11 +224,13 @@ TEST_P(MaintainerPropertyTest, AgreesWithRecomputeOracle) {
           : param.semantics;
   const bool count_exact = oracle_semantics == Semantics::kDuplicate;
 
-  auto subject = ViewManager::CreateFromText(pc.program, param.strategy,
-                                             param.semantics);
+  auto subject = ViewManager::CreateFromText(
+      pc.program,
+      testing_util::ManagerOptions(param.strategy, param.semantics));
   ASSERT_TRUE(subject.ok()) << subject.status().ToString();
-  auto oracle = ViewManager::CreateFromText(pc.program, Strategy::kRecompute,
-                                            oracle_semantics);
+  auto oracle = ViewManager::CreateFromText(
+      pc.program,
+      testing_util::ManagerOptions(Strategy::kRecompute, oracle_semantics));
   ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
   IVM_ASSERT_OK((*subject)->Initialize(db));
   IVM_ASSERT_OK((*oracle)->Initialize(db));

@@ -10,7 +10,7 @@ namespace {
 std::unique_ptr<ViewManager> MakeHop(Semantics semantics = Semantics::kSet) {
   auto vm = ViewManager::CreateFromText(
       "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).",
-      Strategy::kCounting, semantics);
+      testing_util::ManagerOptions(Strategy::kCounting, semantics));
   vm.status().CheckOK();
   Database db;
   testing_util::MustLoadFacts(

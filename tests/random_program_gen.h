@@ -1,0 +1,70 @@
+#ifndef IVM_TESTS_RANDOM_PROGRAM_GEN_H_
+#define IVM_TESTS_RANDOM_PROGRAM_GEN_H_
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ivm {
+namespace testing_util {
+
+/// Generates a random safe, stratified, nonrecursive program over two binary
+/// base relations e1/e2 (joins with shared variables, projections, unions,
+/// negation, comparisons, aggregation, arithmetic). Derived predicates
+/// v1..vK are built bottom-up so references always point to lower strata.
+/// Shared by the random-program oracle test and the parallel determinism
+/// test.
+inline std::string RandomProgramText(std::mt19937_64* rng) {
+  std::ostringstream out;
+  out << "base e1(X, Y). base e2(X, Y).\n";
+  std::uniform_int_distribution<int> num_views(2, 5);
+  std::uniform_int_distribution<int> coin(0, 1);
+  const int k = num_views(*rng);
+
+  // Every predicate is binary to keep joins composable.
+  std::vector<std::string> available = {"e1", "e2"};
+  for (int v = 1; v <= k; ++v) {
+    std::string name = "v" + std::to_string(v);
+    std::uniform_int_distribution<int> pick(
+        0, static_cast<int>(available.size()) - 1);
+    std::uniform_int_distribution<int> shape(0, 5);
+    const int num_rules = 1 + coin(*rng);
+    for (int r = 0; r < num_rules; ++r) {
+      switch (shape(*rng)) {
+        case 0:  // copy / swap
+          out << name << "(X, Y) :- " << available[pick(*rng)]
+              << (coin(*rng) ? "(X, Y).\n" : "(Y, X).\n");
+          break;
+        case 1:  // join
+          out << name << "(X, Z) :- " << available[pick(*rng)] << "(X, Y) & "
+              << available[pick(*rng)] << "(Y, Z).\n";
+          break;
+        case 2:  // join + negation (vars bound by the positive part)
+          out << name << "(X, Z) :- " << available[pick(*rng)] << "(X, Y) & "
+              << available[pick(*rng)] << "(Y, Z) & !"
+              << available[pick(*rng)] << "(X, Z).\n";
+          break;
+        case 3:  // comparison filter
+          out << name << "(X, Y) :- " << available[pick(*rng)]
+              << "(X, Y), X " << (coin(*rng) ? "<" : "!=") << " Y.\n";
+          break;
+        case 4:  // aggregation: out-degree as the second column
+          out << name << "(X, N) :- groupby(" << available[pick(*rng)]
+              << "(X, Y), [X], N = count(*)).\n";
+          break;
+        case 5:  // arithmetic head over a copy
+          out << name << "(X, Y2) :- " << available[pick(*rng)]
+              << "(X, Y), Y2 = Y + " << (1 + coin(*rng)) << ".\n";
+          break;
+      }
+    }
+    available.push_back(name);
+  }
+  return out.str();
+}
+
+}  // namespace testing_util
+}  // namespace ivm
+
+#endif  // IVM_TESTS_RANDOM_PROGRAM_GEN_H_

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/view_manager.h"
+#include "random_program_gen.h"
 #include "test_util.h"
 #include "workload/update_gen.h"
 
@@ -17,62 +18,11 @@ namespace {
 
 constexpr int kNumNodes = 12;
 
-/// Generates a random program over two binary base relations e1/e2.
-/// Derived predicates v1..vK are built bottom-up so references always point
-/// to lower strata — the result is safe and stratified by construction.
-std::string RandomProgramText(std::mt19937_64* rng) {
-  std::ostringstream out;
-  out << "base e1(X, Y). base e2(X, Y).\n";
-  std::uniform_int_distribution<int> num_views(2, 5);
-  std::uniform_int_distribution<int> coin(0, 1);
-  const int k = num_views(*rng);
-
-  // Every predicate is binary to keep joins composable.
-  std::vector<std::string> available = {"e1", "e2"};
-  for (int v = 1; v <= k; ++v) {
-    std::string name = "v" + std::to_string(v);
-    std::uniform_int_distribution<int> pick(0, static_cast<int>(available.size()) - 1);
-    std::uniform_int_distribution<int> shape(0, 5);
-    const int num_rules = 1 + coin(*rng);
-    for (int r = 0; r < num_rules; ++r) {
-      switch (shape(*rng)) {
-        case 0:  // copy / swap
-          out << name << "(X, Y) :- " << available[pick(*rng)]
-              << (coin(*rng) ? "(X, Y).\n" : "(Y, X).\n");
-          break;
-        case 1:  // join
-          out << name << "(X, Z) :- " << available[pick(*rng)] << "(X, Y) & "
-              << available[pick(*rng)] << "(Y, Z).\n";
-          break;
-        case 2:  // join + negation (vars bound by the positive part)
-          out << name << "(X, Z) :- " << available[pick(*rng)] << "(X, Y) & "
-              << available[pick(*rng)] << "(Y, Z) & !"
-              << available[pick(*rng)] << "(X, Z).\n";
-          break;
-        case 3:  // comparison filter
-          out << name << "(X, Y) :- " << available[pick(*rng)]
-              << "(X, Y), X " << (coin(*rng) ? "<" : "!=") << " Y.\n";
-          break;
-        case 4:  // aggregation: out-degree as the second column
-          out << name << "(X, N) :- groupby(" << available[pick(*rng)]
-              << "(X, Y), [X], N = count(*)).\n";
-          break;
-        case 5:  // arithmetic head over a copy
-          out << name << "(X, Y2) :- " << available[pick(*rng)]
-              << "(X, Y), Y2 = Y + " << (1 + coin(*rng)) << ".\n";
-          break;
-      }
-    }
-    available.push_back(name);
-  }
-  return out.str();
-}
-
 class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomProgramTest, MaintainersAgreeWithOracle) {
   std::mt19937_64 rng(GetParam() * 7907);
-  const std::string program_text = RandomProgramText(&rng);
+  const std::string program_text = testing_util::RandomProgramText(&rng);
   SCOPED_TRACE(program_text);
 
   Database db;
@@ -91,10 +41,12 @@ TEST_P(RandomProgramTest, MaintainersAgreeWithOracle) {
       if (strategy == Strategy::kDRed && semantics == Semantics::kDuplicate) {
         continue;
       }
-      auto subject = ViewManager::CreateFromText(program_text, strategy, semantics);
+      auto subject = ViewManager::CreateFromText(
+          program_text, testing_util::ManagerOptions(strategy, semantics));
       ASSERT_TRUE(subject.ok()) << subject.status().ToString();
-      auto oracle = ViewManager::CreateFromText(program_text,
-                                                Strategy::kRecompute, semantics);
+      auto oracle = ViewManager::CreateFromText(
+          program_text,
+          testing_util::ManagerOptions(Strategy::kRecompute, semantics));
       ASSERT_TRUE(oracle.ok());
       IVM_ASSERT_OK((*subject)->Initialize(db));
       IVM_ASSERT_OK((*oracle)->Initialize(db));

@@ -58,7 +58,8 @@ std::unique_ptr<ViewManager> MakeManager(Strategy strategy, uint64_t seed) {
                                   ? Semantics::kDuplicate
                                   : Semantics::kSet;
   auto manager =
-      ViewManager::Create(MustParseProgram(kProgram), strategy, semantics);
+      ViewManager::Create(MustParseProgram(kProgram),
+                          testing_util::ManagerOptions(strategy, semantics));
   EXPECT_TRUE(manager.ok()) << manager.status().ToString();
   IVM_EXPECT_OK((*manager)->Initialize(MakeBase(seed)));
   return std::move(*manager);
@@ -90,8 +91,9 @@ void ExpectMatchesRecomputeGroundTruth(ViewManager& m, const std::string& ctx) {
   for (const auto& [tuple, count] : (*base)->tuples()) {
     db.mutable_relation("link").Add(tuple, count);
   }
-  auto oracle = ViewManager::Create(MustParseProgram(kProgram),
-                                    Strategy::kRecompute);
+  auto oracle =
+      ViewManager::Create(MustParseProgram(kProgram),
+                          testing_util::ManagerOptions(Strategy::kRecompute));
   ASSERT_TRUE(oracle.ok());
   IVM_ASSERT_OK((*oracle)->Initialize(db));
   for (const auto& view : {"hop", "tri"}) {

@@ -43,7 +43,8 @@ std::unique_ptr<ViewManager> MakeManager(Strategy strategy,
                                   ? Semantics::kDuplicate
                                   : Semantics::kSet;
   auto manager =
-      ViewManager::Create(MustParseProgram(program), strategy, semantics);
+      ViewManager::Create(MustParseProgram(program),
+                          testing_util::ManagerOptions(strategy, semantics));
   EXPECT_TRUE(manager.ok()) << manager.status().ToString();
   Database db;
   MustLoadFacts(&db, "link(a, b). link(b, c). link(c, d). link(d, a).");
@@ -231,9 +232,10 @@ TEST(RecoveryErrorTest, ThrowingTriggerLeavesNoWalRecord) {
   // A throwing trigger aborts the mutation after the WAL append; the record
   // must be rolled back with the in-memory state, or recovery would replay
   // a mutation the caller saw fail.
-  int sub = live->Subscribe("hop", [](const std::string&, const Relation&) {
-    throw std::runtime_error("no thanks");
-  });
+  ViewManager::Subscription sub =
+      live->Watch("hop", [](const std::string&, const Relation&) {
+        throw std::runtime_error("no thanks");
+      });
   ChangeSet more;
   more.Insert("link", Tup("c", "b"));
   ASSERT_FALSE(live->Apply(more).ok());
@@ -249,7 +251,7 @@ TEST(RecoveryErrorTest, ThrowingTriggerLeavesNoWalRecord) {
 
   // After unsubscribing, the same change set commits and epochs continue
   // seamlessly from the rolled-back record.
-  live->Unsubscribe(sub);
+  sub.Unsubscribe();
   ASSERT_TRUE(live->Apply(more).ok());
   EXPECT_EQ(live->epoch(), 2u);
   auto again = ViewManager::Recover(dir);

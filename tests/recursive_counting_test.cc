@@ -166,8 +166,9 @@ TEST(RecursiveCountingTest, RejectsBadDeletions) {
 }
 
 TEST(RecursiveCountingTest, ViaViewManagerStrategy) {
-  auto vm = ViewManager::CreateFromText(kTc, Strategy::kRecursiveCounting,
-                                        Semantics::kDuplicate);
+  auto vm = ViewManager::CreateFromText(
+      kTc, testing_util::ManagerOptions(Strategy::kRecursiveCounting,
+                                        Semantics::kDuplicate));
   ASSERT_TRUE(vm.ok()) << vm.status().ToString();
   Database db;
   db.CreateRelation("edge", 2).CheckOK();
@@ -177,9 +178,10 @@ TEST(RecursiveCountingTest, ViaViewManagerStrategy) {
   changes.Insert("edge", Tup(2, 3));
   EXPECT_EQ((*vm)->Apply(changes).value().Delta("path").size(), 3u);
   // kSet is rejected for this strategy.
-  EXPECT_FALSE(
-      ViewManager::CreateFromText(kTc, Strategy::kRecursiveCounting,
-                                  Semantics::kSet).ok());
+  EXPECT_FALSE(ViewManager::CreateFromText(
+                   kTc, testing_util::ManagerOptions(
+                            Strategy::kRecursiveCounting, Semantics::kSet))
+                   .ok());
 }
 
 }  // namespace

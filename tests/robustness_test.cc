@@ -106,7 +106,7 @@ TEST(RobustnessTest, ViewsOverEmptyBaseRelations) {
         "u(X) :- b(X).\n"
         "only_a(X) :- a(X) & !b(X).\n"
         "n(C) :- groupby(a(X), [], C = count(*)).",
-        s).value();
+        testing_util::ManagerOptions(s)).value();
     Database db;
     db.CreateRelation("a", 1).CheckOK();
     db.CreateRelation("b", 1).CheckOK();
@@ -132,7 +132,7 @@ TEST(RobustnessTest, ViewsOverEmptyBaseRelations) {
 TEST(RobustnessTest, LongChainDeepRecursionNoStackIssues) {
   auto vm = ViewManager::CreateFromText(
       "base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y).",
-      Strategy::kDRed).value();
+      testing_util::ManagerOptions(Strategy::kDRed)).value();
   Database db;
   db.CreateRelation("e", 2).CheckOK();
   const int n = 600;
@@ -168,10 +168,11 @@ TEST(RobustnessTest, ThrowingTriggerRollsBackApply) {
   const std::string before = Fingerprint(*vm, {"link", "hop"});
 
   int fired = 0;
-  int sub = vm->Subscribe("hop", [&](const std::string&, const Relation&) {
-    ++fired;
-    throw std::runtime_error("active rule exploded");
-  });
+  ViewManager::Subscription sub =
+      vm->Watch("hop", [&](const std::string&, const Relation&) {
+        ++fired;
+        throw std::runtime_error("active rule exploded");
+      });
 
   ChangeSet changes;
   changes.Insert("link", Tup("c", "d"));
@@ -188,15 +189,15 @@ TEST(RobustnessTest, ThrowingTriggerRollsBackApply) {
 
   // A trigger throwing something that is not a std::exception is also
   // contained.
-  vm->Unsubscribe(sub);
-  sub = vm->Subscribe("hop", [](const std::string&, const Relation&) {
+  sub.Unsubscribe();
+  sub = vm->Watch("hop", [](const std::string&, const Relation&) {
     throw 42;
   });
   EXPECT_FALSE(vm->Apply(changes).ok());
   EXPECT_EQ(Fingerprint(*vm, {"link", "hop"}), before);
 
   // After unsubscribing, the identical change set commits.
-  vm->Unsubscribe(sub);
+  sub.Unsubscribe();
   ChangeSet out = vm->Apply(changes).value();
   EXPECT_EQ(out.Delta("hop").Count(Tup("b", "d")), 1);
   EXPECT_EQ(vm->epoch(), 1u);
@@ -204,8 +205,9 @@ TEST(RobustnessTest, ThrowingTriggerRollsBackApply) {
 
 TEST(RobustnessTest, ThrowingTriggerRollsBackRuleChanges) {
   auto vm = ViewManager::CreateFromText(
-      "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).",
-      Strategy::kDRed).value();
+                "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).",
+                testing_util::ManagerOptions(Strategy::kDRed))
+                .value();
   Database db;
   // A 3-cycle, so the tri rule added below derives tuples and its trigger
   // actually fires.
@@ -214,9 +216,10 @@ TEST(RobustnessTest, ThrowingTriggerRollsBackRuleChanges) {
   const size_t num_rules = vm->program().rules().size();
   const std::string before = Fingerprint(*vm, {"link", "hop"});
 
-  int sub = vm->Subscribe("tri", [](const std::string&, const Relation&) {
-    throw std::runtime_error("no thanks");
-  });
+  ViewManager::Subscription sub =
+      vm->Watch("tri", [](const std::string&, const Relation&) {
+        throw std::runtime_error("no thanks");
+      });
   auto added = vm->AddRuleText(
       "tri(X) :- link(X, Y) & link(Y, Z) & link(Z, X).");
   EXPECT_FALSE(added.ok());
@@ -225,7 +228,7 @@ TEST(RobustnessTest, ThrowingTriggerRollsBackRuleChanges) {
   EXPECT_EQ(Fingerprint(*vm, {"link", "hop"}), before);
   EXPECT_FALSE(vm->GetRelation("tri").ok());
 
-  vm->Unsubscribe(sub);
+  sub.Unsubscribe();
   ASSERT_TRUE(vm->AddRuleText(
       "tri(X) :- link(X, Y) & link(Y, Z) & link(Z, X).").ok());
   EXPECT_EQ(vm->program().rules().size(), num_rules + 1);
@@ -254,10 +257,11 @@ TEST_P(MidMaintenanceFailureTest, FailedApplyLeavesStateIdentical) {
       "base link(S, D). "
       "hop(X, Y) :- link(X, Z) & link(Z, Y). "
       "tri(X) :- link(X, Y) & link(Y, Z) & link(Z, X).",
-      GetParam().strategy,
-      GetParam().strategy == Strategy::kRecursiveCounting
-          ? Semantics::kDuplicate
-          : Semantics::kSet).value();
+      testing_util::ManagerOptions(
+          GetParam().strategy,
+          GetParam().strategy == Strategy::kRecursiveCounting
+              ? Semantics::kDuplicate
+              : Semantics::kSet)).value();
   Database db;
   testing_util::MustLoadFacts(
       &db, "link(a,b). link(b,c). link(c,a). link(c,d).");

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/change_set.h"
+#include "core/view_manager.h"
 #include "datalog/parser.h"
 #include "datalog/program.h"
 #include "storage/database.h"
@@ -30,6 +31,16 @@ namespace testing_util {
     ASSERT_TRUE(ivm_test_status_.ok())                   \
         << "status: " << ivm_test_status_.ToString();    \
   } while (false)
+
+/// Builds ViewManager::Options for the common strategy/semantics pair (the
+/// retired positional Create(strategy, semantics) surface).
+inline ViewManager::Options ManagerOptions(
+    Strategy strategy, Semantics semantics = Semantics::kSet) {
+  ViewManager::Options options;
+  options.strategy = strategy;
+  options.semantics = semantics;
+  return options;
+}
 
 /// Parses a program; fails the test on error.
 inline Program MustParseProgram(std::string_view src) {

@@ -40,7 +40,7 @@ TEST(ViewManagerTest, EndToEndQuickstartFlow) {
 TEST(ViewManagerTest, DuplicateSemanticsWithRecursionRejected) {
   auto vm = ViewManager::CreateFromText(
       "base e(X, Y). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z) & e(Z, Y).",
-      Strategy::kAuto, Semantics::kDuplicate);
+      testing_util::ManagerOptions(Strategy::kAuto, Semantics::kDuplicate));
   EXPECT_FALSE(vm.ok());
 }
 
@@ -49,7 +49,7 @@ TEST(ViewManagerTest, ExplicitStrategies) {
       "base link(S, D). hop(X, Y) :- link(X, Z) & link(Z, Y).";
   for (Strategy s : {Strategy::kCounting, Strategy::kDRed, Strategy::kRecompute,
                      Strategy::kPF}) {
-    auto vm = ViewManager::CreateFromText(text, s);
+    auto vm = ViewManager::CreateFromText(text, testing_util::ManagerOptions(s));
     ASSERT_TRUE(vm.ok()) << StrategyName(s);
     Database db;
     testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
@@ -63,15 +63,19 @@ TEST(ViewManagerTest, ExplicitStrategies) {
 
 TEST(ViewManagerTest, RuleChangesOnlyViaDRed) {
   auto counting = ViewManager::CreateFromText(
-      "base e(X, Y). v(X, Y) :- e(X, Y).", Strategy::kCounting).value();
+                      "base e(X, Y). v(X, Y) :- e(X, Y).",
+                      testing_util::ManagerOptions(Strategy::kCounting))
+                      .value();
   Database db;
   testing_util::MustLoadFacts(&db, "e(1,2).");
   IVM_ASSERT_OK(counting->Initialize(db));
   EXPECT_EQ(counting->AddRuleText("v(X, Y) :- e(Y, X).").status().code(),
             StatusCode::kFailedPrecondition);
 
-  auto dred = ViewManager::CreateFromText("base e(X, Y). v(X, Y) :- e(X, Y).",
-                                          Strategy::kDRed).value();
+  auto dred = ViewManager::CreateFromText(
+                  "base e(X, Y). v(X, Y) :- e(X, Y).",
+                  testing_util::ManagerOptions(Strategy::kDRed))
+                  .value();
   IVM_ASSERT_OK(dred->Initialize(db));
   ChangeSet out = dred->AddRuleText("v(X, Y) :- e(Y, X).").value();
   EXPECT_EQ(out.Delta("v").Count(Tup(2, 1)), 1);
@@ -108,28 +112,79 @@ TEST(ViewManagerOptionsTest, OptionsSelectStrategyAndSemantics) {
   EXPECT_EQ(vm2->semantics(), Semantics::kDuplicate);
 }
 
-TEST(ViewManagerOptionsTest, PositionalWrappersMatchOptions) {
-  // The deprecated positional overloads must behave exactly like an Options
-  // with the same fields.
-  auto legacy =
-      ViewManager::CreateFromText(kHopText, Strategy::kCounting,
-                                  Semantics::kDuplicate)
-          .value();
+TEST(ViewManagerOptionsTest, ExecutorOptionsAreValidated) {
+  // Bad knobs are rejected up front, with the field spelled out.
   ViewManager::Options options;
   options.strategy = Strategy::kCounting;
-  options.semantics = Semantics::kDuplicate;
-  auto modern = ViewManager::CreateFromText(kHopText, options).value();
-  EXPECT_EQ(legacy->strategy(), modern->strategy());
-  EXPECT_EQ(legacy->semantics(), modern->semantics());
+  options.executor.threads = -2;
+  auto bad_threads = ViewManager::CreateFromText(kHopText, options);
+  EXPECT_EQ(bad_threads.status().code(), StatusCode::kInvalidArgument);
 
+  options.executor.threads = 2;
+  options.executor.min_partition_size = 0;
+  auto bad_partition = ViewManager::CreateFromText(kHopText, options);
+  EXPECT_EQ(bad_partition.status().code(), StatusCode::kInvalidArgument);
+
+  // PF cannot fan out; an explicit parallel request there is a
+  // contradiction, not a silent no-op.
+  ViewManager::Options pf;
+  pf.strategy = Strategy::kPF;
+  pf.executor.threads = 4;
+  auto pf_parallel = ViewManager::CreateFromText(kHopText, pf);
+  EXPECT_EQ(pf_parallel.status().code(), StatusCode::kInvalidArgument);
+
+  // Serial PF and parallel counting are both fine.
+  pf.executor.threads = 1;
+  IVM_EXPECT_OK(ViewManager::CreateFromText(kHopText, pf).status());
+  ViewManager::Options parallel;
+  parallel.strategy = Strategy::kCounting;
+  parallel.executor.threads = 4;
+  IVM_EXPECT_OK(ViewManager::CreateFromText(kHopText, parallel).status());
+}
+
+TEST(ViewManagerOptionsTest, ParallelExecutorMatchesSerialResults) {
+  ViewManager::Options serial;
+  serial.strategy = Strategy::kCounting;
+  ViewManager::Options parallel = serial;
+  parallel.executor.threads = 4;
+  parallel.executor.min_partition_size = 1;
+  auto a = ViewManager::CreateFromText(kHopText, serial).value();
+  auto b = ViewManager::CreateFromText(kHopText, parallel).value();
   Database db;
   testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
-  IVM_ASSERT_OK(legacy->Initialize(db));
-  IVM_ASSERT_OK(modern->Initialize(db));
+  IVM_ASSERT_OK(a->Initialize(db));
+  IVM_ASSERT_OK(b->Initialize(db));
   ChangeSet changes;
   changes.Insert("link", Tup("c", "d"));
-  EXPECT_EQ(legacy->Apply(changes).value().Delta("hop").ToString(),
-            modern->Apply(changes).value().Delta("hop").ToString());
+  EXPECT_EQ(a->Apply(changes).value().Delta("hop").ToString(),
+            b->Apply(changes).value().Delta("hop").ToString());
+  EXPECT_EQ(a->GetRelation("hop").value()->ToString(),
+            b->GetRelation("hop").value()->ToString());
+}
+
+TEST(ViewManagerOptionsTest, MoveApplyMatchesCopyApply) {
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  auto a = ViewManager::CreateFromText(kHopText, options).value();
+  auto b = ViewManager::CreateFromText(kHopText, options).value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c).");
+  IVM_ASSERT_OK(a->Initialize(db));
+  IVM_ASSERT_OK(b->Initialize(db));
+
+  ChangeSet copied;
+  copied.Insert("link", Tup("c", "d"));
+  copied.Delete("link", Tup("a", "b"));
+  ChangeSet moved = copied;
+  const std::string via_copy = a->Apply(copied).value().Delta("hop").ToString();
+  const std::string via_move =
+      b->Apply(std::move(moved)).value().Delta("hop").ToString();
+  EXPECT_EQ(via_copy, via_move);
+  EXPECT_EQ(a->GetRelation("hop").value()->ToString(),
+            b->GetRelation("hop").value()->ToString());
+  // The copy overload leaves its (const) argument intact for reuse.
+  EXPECT_FALSE(copied.empty());
+  EXPECT_EQ(copied.Delta("link").TotalCount(), 0);  // +1 insert, -1 delete
 }
 
 TEST(ViewManagerOptionsTest, MetricsAttachThroughOptions) {
@@ -212,7 +267,9 @@ TEST(ViewManagerOptionsTest, EnableDurabilityConflictBeforeInitialize) {
 // ---------------------------------------------------------------------------
 
 TEST(SubscriptionTest, WatchFiresAndUnsubscribesOnDestruction) {
-  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+  auto vm = ViewManager::CreateFromText(
+      kHopText, testing_util::ManagerOptions(Strategy::kCounting))
+                .value();
   Database db;
   testing_util::MustLoadFacts(&db, "link(a,b).");
   IVM_ASSERT_OK(vm->Initialize(db));
@@ -234,7 +291,9 @@ TEST(SubscriptionTest, WatchFiresAndUnsubscribesOnDestruction) {
 }
 
 TEST(SubscriptionTest, MoveTransfersOwnership) {
-  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+  auto vm = ViewManager::CreateFromText(
+      kHopText, testing_util::ManagerOptions(Strategy::kCounting))
+                .value();
   Database db;
   testing_util::MustLoadFacts(&db, "link(a,b).");
   IVM_ASSERT_OK(vm->Initialize(db));
@@ -263,8 +322,10 @@ TEST(SubscriptionTest, MoveTransfersOwnership) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(SubscriptionTest, DetachHandsBackRawIdForLegacyUnsubscribe) {
-  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
+TEST(SubscriptionTest, DetachReleasesOwnershipWithoutUnsubscribing) {
+  auto vm = ViewManager::CreateFromText(
+      kHopText, testing_util::ManagerOptions(Strategy::kCounting))
+                .value();
   Database db;
   testing_util::MustLoadFacts(&db, "link(a,b).");
   IVM_ASSERT_OK(vm->Initialize(db));
@@ -279,29 +340,12 @@ TEST(SubscriptionTest, DetachHandsBackRawIdForLegacyUnsubscribe) {
   vm->Apply(changes).value();
   EXPECT_EQ(fired, 1);  // detaching must not unsubscribe
 
-  vm->Unsubscribe(id);
+  // The registration survives the handle: a later change still fires it.
+  EXPECT_GT(id, 0);
   ChangeSet more;
   more.Insert("link", Tup("c", "d"));
   vm->Apply(more).value();
-  EXPECT_EQ(fired, 1);
-}
-
-TEST(SubscriptionTest, LegacyIntSubscribeStillWorks) {
-  auto vm = ViewManager::CreateFromText(kHopText, Strategy::kCounting).value();
-  Database db;
-  testing_util::MustLoadFacts(&db, "link(a,b).");
-  IVM_ASSERT_OK(vm->Initialize(db));
-  int fired = 0;
-  int id = vm->Subscribe("hop", [&](const std::string&, const Relation&) { ++fired; });
-  ChangeSet changes;
-  changes.Insert("link", Tup("b", "c"));
-  vm->Apply(changes).value();
-  EXPECT_EQ(fired, 1);
-  vm->Unsubscribe(id);
-  ChangeSet more;
-  more.Insert("link", Tup("c", "d"));
-  vm->Apply(more).value();
-  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fired, 2);
 }
 
 }  // namespace

@@ -63,6 +63,12 @@ run_one dred_vs_pf 'BM_TC_PF/4$' pf.fragments
 run_one recursive_counting 'BM_DeleteRecursiveCounting/4$' \
   rc.worklist_steps rc.deltas_emitted
 
+# Parallel executor: a 2-thread slice must record the scheduling and
+# partitioning counters (exec.partitions requires the 256-tuple batch to
+# clear min_partition_size, which bench_parallel_scaling sets to 16).
+run_one parallel_scaling 'BM_Counting/2$' \
+  exec.tasks_scheduled exec.tasks_executed exec.partitions threads
+
 # The metrics on/off pair used for the zero-overhead acceptance check.
 run_one counting_overhead 'BM_ApplyWithMetrics/100/400$' \
   apply.base_delta_tuples peak_delta_tuples

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the parallel delta evaluation engine.
+#
+#   tools/run_tsan.sh [build-dir]
+#
+# Configures a dedicated build-tsan tree (-DIVM_SANITIZE=thread), builds the
+# executor-facing test binaries, and runs the suites that exercise the
+# worker pool:
+#
+#   exec_test                  ThreadPool / DeltaPartitioner / Executor units
+#   parallel_determinism_test  serial vs 2/4/8-thread maintenance equality
+#   view_manager_test          ExecutorOptions validation + parallel Apply
+#
+# Any data race aborts the run (halt_on_error): a clean exit is the
+# acceptance gate for changes to src/exec/ and the batched evaluation loops
+# in src/core/. The default build never starts worker threads unless
+# Options::executor asks for them, so tier-1 stays green without this
+# script.
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DIVM_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+cmake --build "${BUILD_DIR}" -j \
+  --target exec_test parallel_determinism_test view_manager_test
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+fail=0
+for t in exec_test parallel_determinism_test view_manager_test; do
+  echo "=== tsan: ${t} ==="
+  if ! "${BUILD_DIR}/tests/${t}"; then
+    fail=1
+  fi
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "tsan: FAILED" >&2
+  exit 1
+fi
+echo "tsan: OK"
