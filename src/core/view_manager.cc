@@ -224,7 +224,8 @@ Status ViewManager::Checkpoint() {
 }
 
 Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
-    const std::string& dir, MetricsRegistry* metrics) {
+    const std::string& dir, MetricsRegistry* metrics,
+    const ExecutorOptions& executor) {
   TraceSpan span(metrics, "recover");
   IVM_ASSIGN_OR_RETURN(CheckpointData cp, ReadCheckpoint(dir));
   IVM_ASSIGN_OR_RETURN(Program program, ParseProgram(cp.program_text));
@@ -234,6 +235,10 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
   options.semantics =
       cp.semantics == "duplicate" ? Semantics::kDuplicate : Semantics::kSet;
   options.metrics = metrics;
+  // The executor is caller-supplied, not checkpointed: parallelism is a
+  // machine-local knob, and parallel vs serial maintenance rebuilds
+  // identical state (docs/parallelism.md).
+  options.executor = executor;
   IVM_ASSIGN_OR_RETURN(std::unique_ptr<ViewManager> manager,
                        Create(std::move(program), options));
 

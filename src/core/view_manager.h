@@ -119,8 +119,17 @@ class ViewManager {
   /// checkpoint; a torn trailing record is skipped), and re-enables
   /// durability on `dir`. `metrics`, when given, observes both the replay
   /// and the recovered manager's subsequent life.
+  ///
+  /// `executor` configures the recovered manager's parallelism. It is NOT
+  /// persisted in the checkpoint — it is a machine-local tuning knob (the
+  /// recovering host may have a different core count), so the caller
+  /// re-supplies it; the default keeps the serial path. The same validation
+  /// as Create applies: parallel threads with a checkpointed kPF strategy is
+  /// an InvalidArgument error. Parallel and serial recovery rebuild
+  /// identical state.
   static Result<std::unique_ptr<ViewManager>> Recover(
-      const std::string& dir, MetricsRegistry* metrics = nullptr);
+      const std::string& dir, MetricsRegistry* metrics = nullptr,
+      const ExecutorOptions& executor = ExecutorOptions());
 
   /// Snapshots the base relations and materializes every view. When the
   /// manager was created with Options::durability_dir, durability is enabled
@@ -238,6 +247,9 @@ class ViewManager {
   Semantics semantics() const { return semantics_; }
   /// The concrete maintainer (e.g. for strategy-specific accessors).
   Maintainer& maintainer() { return *impl_; }
+  /// The evaluation engine, exposing the resolved executor configuration
+  /// (threads() == 1 means the serial path). Always non-null.
+  const Executor& executor() const { return *executor_; }
   /// The attached observability sink (null when none was configured).
   MetricsRegistry* metrics() const { return metrics_; }
 

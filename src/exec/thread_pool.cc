@@ -56,7 +56,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     completed_ += local;
-    done_cv_.wait(lock, [this] { return completed_ == n_; });
+    // Wait for every index to finish AND every woken worker to retire.
+    // completed_ == n_ alone is not enough: a worker that woke for this batch
+    // but lost the claim race (local count 0) may still hold `fn`; if we
+    // returned now, publishing the next batch would reset next_ under it and
+    // it would run a dangling fn against the new batch's indices.
+    done_cv_.wait(lock, [this] { return completed_ == n_ && active_ == 0; });
     fn_ = nullptr;
   }
   --tls_parallel_depth;
@@ -73,6 +78,7 @@ void ThreadPool::WorkerLoop() {
     seen = generation_;
     const std::function<void(size_t)>* fn = fn_;
     const size_t n = n_;
+    ++active_;  // in flight for this batch until we report back under mu_
     lock.unlock();
     tls_parallel_depth = 1;
     size_t local = 0;
@@ -85,7 +91,8 @@ void ThreadPool::WorkerLoop() {
     tls_parallel_depth = 0;
     lock.lock();
     completed_ += local;
-    if (completed_ == n_) done_cv_.notify_one();
+    --active_;
+    if (completed_ == n_ && active_ == 0) done_cv_.notify_one();
   }
 }
 

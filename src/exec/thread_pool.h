@@ -52,6 +52,12 @@ class ThreadPool {
   size_t n_ = 0;
   uint64_t generation_ = 0;
   size_t completed_ = 0;
+  // Workers that have woken for the current batch and not yet reported back.
+  // ParallelFor must not return while any are in flight: a woken worker holds
+  // the batch's fn pointer and may not have claimed its first index yet, so
+  // returning early would let it claim an index of the *next* batch while
+  // running the previous (by then destroyed) fn.
+  size_t active_ = 0;
   bool shutdown_ = false;
   std::atomic<size_t> next_{0};
   std::vector<std::thread> workers_;

@@ -35,6 +35,27 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   }
 }
 
+TEST(ThreadPoolTest, BackToBackTinyBatchesNeverLeakWorkAcrossBatches) {
+  // Regression: a worker could wake for a batch, copy fn/n, and get preempted
+  // before claiming its first index; the remaining threads would finish the
+  // batch, ParallelFor returned, and the next batch's publish reset next_ —
+  // letting the stale worker claim index 0 of the NEW batch while running the
+  // OLD (by then destroyed) fn. Tiny batches published back-to-back maximize
+  // that window. Each round uses a fresh heap vector and a fresh temporary
+  // lambda, so a stale worker either trips ASan/TSan (dangling fn / freed
+  // vector) or steals an index from the new batch, which the exact-once
+  // assertions below catch.
+  ThreadPool pool(4);
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::atomic<int>> hits(2);
+    pool.ParallelFor(2, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, FewerThanTwoThreadsRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.thread_count(), 1);

@@ -85,6 +85,46 @@ TEST_P(RecoveryTest, RecoverReplaysWalTail) {
   EXPECT_EQ((*recovered)->strategy(), live->strategy());
 }
 
+TEST(RecoverExecutorTest, CallerSuppliedExecutorIsRestoredOnRecovery) {
+  // The checkpoint persists strategy/semantics but not the executor (a
+  // machine-local knob); Recover takes it as a parameter instead of silently
+  // dropping to serial.
+  const std::string dir = TestDir("parallel_executor");
+  auto live = MakeManager(Strategy::kCounting);
+  IVM_ASSERT_OK(live->EnableDurability(dir));
+  ChangeSet c1;
+  c1.Insert("link", Tup("a", "e"));
+  c1.Insert("link", Tup("e", "c"));
+  ASSERT_TRUE(live->Apply(c1).ok());
+
+  ExecutorOptions executor;
+  executor.threads = 4;
+  auto recovered = ViewManager::Recover(dir, /*metrics=*/nullptr, executor);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->executor().threads(), 4);
+  // Parallel replay rebuilds the same state as the serial live manager.
+  ExpectManagersEqual(**recovered, *live);
+
+  // Default recovery keeps the serial path.
+  auto serial = ViewManager::Recover(dir);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_EQ((*serial)->executor().threads(), 1);
+  ExpectManagersEqual(**serial, *live);
+}
+
+TEST(RecoverExecutorTest, ParallelRecoveryOfPFCheckpointIsRejected) {
+  // Create's executor/strategy validation applies on the recovery path too.
+  const std::string dir = TestDir("parallel_pf");
+  auto live = MakeManager(Strategy::kPF);
+  IVM_ASSERT_OK(live->EnableDurability(dir));
+
+  ExecutorOptions executor;
+  executor.threads = 4;
+  auto recovered = ViewManager::Recover(dir, /*metrics=*/nullptr, executor);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_P(RecoveryTest, CheckpointAbsorbsWalAndRecoveryContinues) {
   const std::string dir = TestDir(std::string("ckpt_") +
                                   StrategyName(GetParam()));
