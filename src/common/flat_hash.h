@@ -1,0 +1,386 @@
+#ifndef IVM_COMMON_FLAT_HASH_H_
+#define IVM_COMMON_FLAT_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ivm {
+
+/// Open-addressing hash map tuned for the counted-relation hot path
+/// (CountMap, Index buckets). SwissTable-style layout:
+///
+///   * one control byte per slot — kEmpty (0x80), kDeleted (0xFE), or the
+///     top 7 bits of the hash (h2, high bit clear) for a full slot;
+///   * probing scans aligned 8-byte control groups with SWAR word matches
+///     (no per-slot branches until a candidate h2 matches);
+///   * each slot caches the full 64-bit hash next to a pointer to a
+///     heap-allocated pair node, so probes compare hashes without touching
+///     keys, rehash never re-hashes a key ("tombstone-free" rehash simply
+///     re-places nodes by their cached hash, dropping kDeleted markers), and
+///     pointers/references to elements stay stable across rehash and
+///     unrelated erases — the same stability guarantee std::unordered_map
+///     gave the Index entries (`const Tuple*` into a CountMap) and the
+///     parallel Index::Build snapshot.
+///
+/// API mirrors the std::unordered_map subset the storage layer uses
+/// (iteration, find, try_emplace, emplace, operator[], erase, reserve,
+/// clear, copy, operator==) plus a precomputed-hash fast path
+/// (find_hashed / try_emplace_hashed) for callers that already memoized the
+/// hash (Tuple). Iterators are invalidated by rehash; element addresses are
+/// not. Not thread-safe; concurrent const reads are fine.
+template <typename K, typename V, typename HashFn>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<const K, V>;
+
+  FlatHashMap() = default;
+  ~FlatHashMap() { DeleteNodes(); }
+
+  FlatHashMap(const FlatHashMap& other) { CopyFrom(other); }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this != &other) {
+      DeleteNodes();
+      ctrl_.reset();
+      slots_.reset();
+      capacity_ = size_ = deleted_ = growth_left_ = 0;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  FlatHashMap(FlatHashMap&& other) noexcept
+      : ctrl_(std::move(other.ctrl_)),
+        slots_(std::move(other.slots_)),
+        capacity_(other.capacity_),
+        size_(other.size_),
+        deleted_(other.deleted_),
+        growth_left_(other.growth_left_) {
+    other.capacity_ = other.size_ = other.deleted_ = other.growth_left_ = 0;
+  }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this == &other) return *this;
+    DeleteNodes();
+    ctrl_ = std::move(other.ctrl_);
+    slots_ = std::move(other.slots_);
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    deleted_ = other.deleted_;
+    growth_left_ = other.growth_left_;
+    other.capacity_ = other.size_ = other.deleted_ = other.growth_left_ = 0;
+    return *this;
+  }
+
+  template <bool kConst>
+  class Iter {
+   public:
+    using Map = std::conditional_t<kConst, const FlatHashMap, FlatHashMap>;
+    using Ref = std::conditional_t<kConst, const value_type, value_type>;
+
+    Iter() = default;
+    Iter(Map* map, size_t pos) : map_(map), pos_(pos) {}
+    /// iterator -> const_iterator conversion.
+    template <bool C = kConst, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& other) : map_(other.map_), pos_(other.pos_) {}
+
+    Ref& operator*() const { return *map_->slots_[pos_].node; }
+    Ref* operator->() const { return map_->slots_[pos_].node; }
+    Iter& operator++() {
+      pos_ = map_->NextFull(pos_ + 1);
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter old = *this;
+      ++*this;
+      return old;
+    }
+    bool operator==(const Iter& other) const { return pos_ == other.pos_; }
+    bool operator!=(const Iter& other) const { return pos_ != other.pos_; }
+
+   private:
+    friend class FlatHashMap;
+    template <bool>
+    friend class Iter;
+    Map* map_ = nullptr;
+    size_t pos_ = 0;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, NextFull(0)); }
+  iterator end() { return iterator(this, capacity_); }
+  const_iterator begin() const {
+    return const_iterator(this, NextFull(0));
+  }
+  const_iterator end() const { return const_iterator(this, capacity_); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    DeleteNodes();
+    if (capacity_ != 0) {
+      std::memset(ctrl_.get(), kEmpty, capacity_);
+    }
+    size_ = deleted_ = 0;
+    growth_left_ = GrowthBudget(capacity_);
+  }
+
+  /// Ensures `n` elements fit without another rehash.
+  void reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (GrowthBudget(cap) < n + deleted_) cap *= 2;
+    if (cap > capacity_) Rehash(cap);
+  }
+
+  iterator find(const K& key) { return find_hashed(key, HashFn{}(key)); }
+  const_iterator find(const K& key) const {
+    return find_hashed(key, HashFn{}(key));
+  }
+
+  /// find() for callers that already hold the key's hash.
+  iterator find_hashed(const K& key, size_t hash) {
+    return iterator(this, FindPos(key, hash));
+  }
+  const_iterator find_hashed(const K& key, size_t hash) const {
+    return const_iterator(this, FindPos(key, hash));
+  }
+
+  size_t count(const K& key) const { return find(key) == end() ? 0 : 1; }
+
+  template <typename KeyArg, typename... Args>
+  std::pair<iterator, bool> try_emplace(KeyArg&& key, Args&&... args) {
+    return try_emplace_hashed(HashFn{}(key), std::forward<KeyArg>(key),
+                              std::forward<Args>(args)...);
+  }
+
+  /// try_emplace() for callers that already hold the key's hash.
+  template <typename KeyArg, typename... Args>
+  std::pair<iterator, bool> try_emplace_hashed(size_t hash, KeyArg&& key,
+                                               Args&&... args) {
+    size_t pos = FindPos(key, hash);
+    if (pos != capacity_) return {iterator(this, pos), false};
+    pos = PrepareInsert(hash);
+    slots_[pos].hash = hash;
+    slots_[pos].node = new value_type(
+        std::piecewise_construct,
+        std::forward_as_tuple(std::forward<KeyArg>(key)),
+        std::forward_as_tuple(std::forward<Args>(args)...));
+    ctrl_[pos] = H2(hash);
+    ++size_;
+    return {iterator(this, pos), true};
+  }
+
+  /// Matches std::unordered_map::emplace for the (key, value) arity the
+  /// storage layer uses; the node is only built when the key is absent.
+  template <typename KeyArg, typename... Args>
+  std::pair<iterator, bool> emplace(KeyArg&& key, Args&&... args) {
+    return try_emplace(std::forward<KeyArg>(key), std::forward<Args>(args)...);
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  /// Erases the element at `it`; returns the iterator to the next element.
+  /// Only `it` is invalidated — other element addresses are untouched.
+  iterator erase(const_iterator it) {
+    IVM_CHECK(it.pos_ < capacity_ && IsFull(ctrl_[it.pos_]))
+        << "erase of invalid iterator";
+    delete slots_[it.pos_].node;
+    slots_[it.pos_].node = nullptr;
+    ctrl_[it.pos_] = kDeleted;
+    --size_;
+    ++deleted_;
+    return iterator(this, NextFull(it.pos_ + 1));
+  }
+
+  size_t erase(const K& key) {
+    const size_t pos = FindPos(key, HashFn{}(key));
+    if (pos == capacity_) return 0;
+    erase(const_iterator(this, pos));
+    return 1;
+  }
+
+  /// Same-content comparison (the Relation::operator== contract); iteration
+  /// order is irrelevant.
+  bool operator==(const FlatHashMap& other) const {
+    if (size_ != other.size_) return false;
+    for (const value_type& kv : *this) {
+      const_iterator it = other.find(kv.first);
+      if (it == other.end() || !(it->second == kv.second)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const FlatHashMap& other) const { return !(*this == other); }
+
+ private:
+  static constexpr uint8_t kEmpty = 0x80;
+  static constexpr uint8_t kDeleted = 0xFE;
+  static constexpr size_t kGroup = 8;
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr uint64_t kLsbs = 0x0101010101010101ULL;
+  static constexpr uint64_t kMsbs = 0x8080808080808080ULL;
+
+  struct Slot {
+    size_t hash;
+    value_type* node;
+  };
+
+  static bool IsFull(uint8_t ctrl) { return (ctrl & 0x80) == 0; }
+  static uint8_t H2(size_t hash) {
+    return static_cast<uint8_t>(hash >> 57) & 0x7F;
+  }
+
+  /// SWAR "find byte b in the 8-byte group": a set high bit marks a
+  /// candidate byte. The lowest set bit is always a true match; higher bits
+  /// may be borrow-chain false positives, which callers tolerate because
+  /// every candidate is verified against the cached hash anyway.
+  static uint64_t MatchByte(uint64_t group, uint8_t b) {
+    const uint64_t x = group ^ (kLsbs * b);
+    return (x - kLsbs) & ~x & kMsbs;
+  }
+  /// High bit set => slot is kEmpty or kDeleted (exact, no false positives).
+  static uint64_t MatchFree(uint64_t group) { return group & kMsbs; }
+
+  uint64_t LoadGroup(size_t group_index) const {
+    uint64_t word;
+    std::memcpy(&word, ctrl_.get() + group_index * kGroup, sizeof(word));
+    return word;
+  }
+
+  static size_t GrowthBudget(size_t capacity) {
+    return capacity - capacity / 8;  // 7/8 max load (live + tombstones)
+  }
+
+  size_t NextFull(size_t pos) const {
+    while (pos < capacity_ && !IsFull(ctrl_[pos])) ++pos;
+    return pos;
+  }
+
+  /// Returns the slot holding `key` or capacity_ when absent.
+  size_t FindPos(const K& key, size_t hash) const {
+    if (capacity_ == 0) return 0;  // == capacity_: empty map has no elements
+    const size_t num_groups = capacity_ / kGroup;
+    const uint8_t h2 = H2(hash);
+    size_t group = hash & (num_groups - 1);
+    for (size_t probes = 0; probes < num_groups; ++probes) {
+      const uint64_t word = LoadGroup(group);
+      uint64_t match = MatchByte(word, h2);
+      while (match != 0) {
+        const size_t bit = static_cast<size_t>(__builtin_ctzll(match)) / 8;
+        const size_t pos = group * kGroup + bit;
+        if (slots_[pos].hash == hash && IsFull(ctrl_[pos]) &&
+            slots_[pos].node->first == key) {
+          return pos;
+        }
+        match &= match - 1;
+      }
+      if (MatchByte(word, kEmpty) != 0) return capacity_;  // hole: absent
+      group = (group + 1) & (num_groups - 1);
+    }
+    return capacity_;
+  }
+
+  /// Finds the insertion slot for `hash`, growing/rehashing as needed. The
+  /// caller must already know the key is absent.
+  size_t PrepareInsert(size_t hash) {
+    if (capacity_ == 0) Rehash(kMinCapacity);
+    size_t pos = FindInsertSlot(hash);
+    if (ctrl_[pos] == kDeleted) {
+      --deleted_;  // reusing a tombstone costs no growth budget
+    } else {
+      if (growth_left_ == 0) {
+        // Grow when mostly live; at high tombstone ratios a same-size
+        // rehash reclaims the budget without growing.
+        Rehash(size_ >= capacity_ / 2 ? capacity_ * 2 : capacity_);
+        pos = FindInsertSlot(hash);
+      }
+      --growth_left_;
+    }
+    return pos;
+  }
+
+  /// First kDeleted slot on the probe path, else the first kEmpty slot.
+  size_t FindInsertSlot(size_t hash) const {
+    const size_t num_groups = capacity_ / kGroup;
+    size_t group = hash & (num_groups - 1);
+    size_t first_deleted = capacity_;
+    for (size_t probes = 0; probes < num_groups; ++probes) {
+      const uint64_t word = LoadGroup(group);
+      if (first_deleted == capacity_) {
+        const uint64_t deleted = MatchByte(word, kDeleted);
+        if (deleted != 0) {
+          const size_t bit = static_cast<size_t>(__builtin_ctzll(deleted)) / 8;
+          const size_t pos = group * kGroup + bit;
+          if (ctrl_[pos] == kDeleted) first_deleted = pos;
+        }
+      }
+      const uint64_t empty = MatchByte(word, kEmpty);
+      if (empty != 0) {
+        if (first_deleted != capacity_) return first_deleted;
+        const size_t bit = static_cast<size_t>(__builtin_ctzll(empty)) / 8;
+        return group * kGroup + bit;
+      }
+      group = (group + 1) & (num_groups - 1);
+    }
+    IVM_CHECK(first_deleted != capacity_) << "flat_hash probe found no slot";
+    return first_deleted;
+  }
+
+  /// Re-places every live node by its cached hash into a table of
+  /// `new_capacity` slots. Tombstones evaporate; keys are never re-hashed.
+  void Rehash(size_t new_capacity) {
+    auto old_ctrl = std::move(ctrl_);
+    auto old_slots = std::move(slots_);
+    const size_t old_capacity = capacity_;
+
+    ctrl_ = std::make_unique<uint8_t[]>(new_capacity);
+    std::memset(ctrl_.get(), kEmpty, new_capacity);
+    slots_ = std::make_unique<Slot[]>(new_capacity);
+    capacity_ = new_capacity;
+    deleted_ = 0;
+    growth_left_ = GrowthBudget(new_capacity) - size_;
+
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (!IsFull(old_ctrl[i])) continue;
+      const size_t pos = FindInsertSlot(old_slots[i].hash);
+      slots_[pos] = old_slots[i];
+      ctrl_[pos] = H2(old_slots[i].hash);
+    }
+  }
+
+  void CopyFrom(const FlatHashMap& other) {
+    if (other.size_ == 0) return;
+    reserve(other.size_);
+    // Clone by cached hash: copying a table never re-hashes keys.
+    for (size_t i = 0; i < other.capacity_; ++i) {
+      if (!IsFull(other.ctrl_[i])) continue;
+      const Slot& src = other.slots_[i];
+      const size_t pos = FindInsertSlot(src.hash);
+      slots_[pos].hash = src.hash;
+      slots_[pos].node = new value_type(*src.node);
+      ctrl_[pos] = H2(src.hash);
+      --growth_left_;
+      ++size_;
+    }
+  }
+
+  void DeleteNodes() {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (IsFull(ctrl_[i])) delete slots_[i].node;
+    }
+  }
+
+  std::unique_ptr<uint8_t[]> ctrl_;
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  size_t deleted_ = 0;
+  size_t growth_left_ = 0;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_COMMON_FLAT_HASH_H_

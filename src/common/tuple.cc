@@ -1,34 +1,49 @@
 #include "common/tuple.h"
 
+#include <algorithm>
 #include <ostream>
-
-#include "common/hash.h"
 
 namespace ivm {
 
-Tuple Tuple::Project(const std::vector<size_t>& columns) const {
-  std::vector<Value> out;
-  out.reserve(columns.size());
-  for (size_t c : columns) {
-    IVM_CHECK_LT(c, values_.size()) << "projection column out of range";
-    out.push_back(values_[c]);
-  }
-  return Tuple(std::move(out));
+void Tuple::Grow() {
+  const uint32_t new_capacity = capacity_ * 2;
+  auto grown = std::make_unique<Value[]>(new_capacity);
+  std::memcpy(grown.get(), data(), sizeof(Value) * size_);
+  heap_ = std::move(grown);
+  capacity_ = new_capacity;
 }
 
-size_t Tuple::Hash() const {
-  size_t seed = 0xabcdef01u + values_.size();
-  for (const Value& v : values_) {
-    seed = HashCombine(seed, v.Hash());
+Tuple Tuple::Project(const std::vector<size_t>& columns) const {
+  Tuple out;
+  ProjectInto(columns, &out);
+  return out;
+}
+
+void Tuple::ProjectInto(const std::vector<size_t>& columns, Tuple* out) const {
+  IVM_CHECK(out != this) << "ProjectInto scratch must not alias the source";
+  out->ResetForSize(static_cast<uint32_t>(columns.size()));
+  const Value* src = data();
+  Value* dst = out->MutableData();
+  size_t fold = kFoldSeed;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const size_t c = columns[i];
+    IVM_CHECK_LT(c, size_) << "projection column out of range";
+    dst[i] = src[c];
+    fold = HashCombine(fold, src[c].Hash());
   }
-  return seed;
+  out->fold_ = fold;
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  return std::lexicographical_compare(begin(), end(), other.begin(),
+                                      other.end());
 }
 
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < size_; ++i) {
     if (i > 0) out += ", ";
-    out += values_[i].ToString();
+    out += data()[i].ToString();
   }
   out += ")";
   return out;

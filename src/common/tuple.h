@@ -1,11 +1,14 @@
 #ifndef IVM_COMMON_TUPLE_H_
 #define IVM_COMMON_TUPLE_H_
 
+#include <cstring>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/value.h"
 
 namespace ivm {
@@ -13,33 +16,142 @@ namespace ivm {
 /// A fixed-arity row of Values. Tuples are hashable and totally ordered
 /// (lexicographically) so they can key hash maps and be sorted for
 /// deterministic output.
+///
+/// Storage: up to kInline (4) values live in the object itself — no heap
+/// allocation for the arities that dominate delta evaluation — and larger
+/// tuples spill to one flat heap array. Values are trivially copyable, so
+/// copies are memcpy-fast either way.
+///
+/// The hash is memoized eagerly: every constructor/mutator maintains a
+/// running fold over the element hashes, so Hash() is O(1) and CountMap /
+/// Index / DeltaPartitioner never re-walk a tuple to hash it. The fold also
+/// serves as an equality fast-reject.
 class Tuple {
  public:
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values) {
+    AssignRange(values.data(), values.size());
+  }
+  Tuple(std::initializer_list<Value> values) {
+    AssignRange(values.begin(), values.size());
+  }
 
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
-  const Value& operator[](size_t i) const { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  Tuple(const Tuple& other) { AssignRange(other.data(), other.size_); }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) AssignRange(other.data(), other.size_);
+    return *this;
+  }
+  Tuple(Tuple&& other) noexcept
+      : size_(other.size_),
+        capacity_(other.capacity_),
+        fold_(other.fold_),
+        heap_(std::move(other.heap_)) {
+    if (capacity_ <= kInline) {
+      std::memcpy(small_, other.small_, sizeof(Value) * size_);
+    }
+    other.size_ = 0;
+    other.capacity_ = kInline;
+    other.fold_ = kFoldSeed;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this == &other) return *this;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    fold_ = other.fold_;
+    heap_ = std::move(other.heap_);
+    if (capacity_ <= kInline) {
+      std::memcpy(small_, other.small_, sizeof(Value) * size_);
+    }
+    other.size_ = 0;
+    other.capacity_ = kInline;
+    other.fold_ = kFoldSeed;
+    return *this;
+  }
 
-  void Append(Value v) { values_.push_back(std::move(v)); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Value& operator[](size_t i) const { return data()[i]; }
+
+  /// The values as a materialized vector (copy; the storage itself is flat
+  /// and private). Kept for callers that edit a row then rebuild a Tuple.
+  std::vector<Value> values() const {
+    return std::vector<Value>(begin(), end());
+  }
+
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
+
+  /// Replaces the contents with the `n` values at `src`. The scratch-reuse
+  /// form of construction: like ProjectInto, it keeps the largest buffer
+  /// seen, so loops can rebuild keys with zero steady-state allocation.
+  void Assign(const Value* src, size_t n) { AssignRange(src, n); }
+
+  void Append(Value v) {
+    if (size_ == capacity_) Grow();
+    MutableData()[size_++] = v;
+    fold_ = HashCombine(fold_, v.Hash());
+  }
 
   /// Projects the columns listed in `columns` (in order) into a new tuple.
   Tuple Project(const std::vector<size_t>& columns) const;
 
-  bool operator==(const Tuple& other) const { return values_ == other.values_; }
-  bool operator!=(const Tuple& other) const { return !(*this == other); }
-  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+  /// Scratch-buffer projection: like Project, but reuses `out`'s storage.
+  /// Join probes and partitioners call this in a loop with one scratch
+  /// tuple, eliminating a heap round-trip per probe.
+  void ProjectInto(const std::vector<size_t>& columns, Tuple* out) const;
 
-  size_t Hash() const;
+  bool operator==(const Tuple& other) const {
+    if (size_ != other.size_ || fold_ != other.fold_) return false;
+    const Value* a = data();
+    const Value* b = other.data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const { return HashCombine(0xabcdef01u + size_, fold_); }
 
   /// Renders "(v1, v2, ...)".
   std::string ToString() const;
 
  private:
-  std::vector<Value> values_;
+  static constexpr uint32_t kInline = 4;
+  static constexpr size_t kFoldSeed = 0x9e3779b97f4a7c15ULL;
+
+  const Value* data() const { return capacity_ <= kInline ? small_ : heap_.get(); }
+  Value* MutableData() { return capacity_ <= kInline ? small_ : heap_.get(); }
+
+  /// Ensures room for `n` values, discarding current contents. Never shrinks
+  /// back to inline storage: a scratch tuple keeps its largest buffer.
+  void ResetForSize(uint32_t n) {
+    if (n > capacity_) {
+      heap_ = std::make_unique<Value[]>(n);
+      capacity_ = n;
+    }
+    size_ = n;
+  }
+
+  void AssignRange(const Value* src, size_t n) {
+    ResetForSize(static_cast<uint32_t>(n));
+    Value* dst = MutableData();
+    size_t fold = kFoldSeed;
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = src[i];
+      fold = HashCombine(fold, src[i].Hash());
+    }
+    fold_ = fold;
+  }
+
+  void Grow();
+
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInline;
+  size_t fold_ = kFoldSeed;
+  std::unique_ptr<Value[]> heap_;  // engaged iff capacity_ > kInline
+  Value small_[kInline];
 };
 
 struct TupleHash {
@@ -54,17 +166,16 @@ inline Value ToValue(int64_t v) { return Value::Int(v); }
 inline Value ToValue(int v) { return Value::Int(v); }
 inline Value ToValue(double v) { return Value::Real(v); }
 inline Value ToValue(const char* v) { return Value::Str(v); }
-inline Value ToValue(std::string v) { return Value::Str(std::move(v)); }
+inline Value ToValue(const std::string& v) { return Value::Str(v); }
 }  // namespace internal
 
 /// Convenience constructor: Tup(1, "a", 2.5) builds a typed tuple. Intended
 /// for tests, examples, and workload generators.
 template <typename... Args>
 Tuple Tup(Args&&... args) {
-  std::vector<Value> values;
-  values.reserve(sizeof...(args));
-  (values.push_back(internal::ToValue(std::forward<Args>(args))), ...);
-  return Tuple(std::move(values));
+  Tuple out;
+  (out.Append(internal::ToValue(std::forward<Args>(args))), ...);
+  return out;
 }
 
 }  // namespace ivm

@@ -3,60 +3,49 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
-
-#include "common/hash.h"
+#include <type_traits>
 
 namespace ivm {
 
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must stay trivially copyable (tuples memcpy it)");
+
 double Value::AsDouble() const {
-  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
-  if (is_double()) return std::get<double>(rep_);
+  if (is_int()) return static_cast<double>(int_);
+  if (is_double()) return double_;
   IVM_UNREACHABLE() << "AsDouble on non-numeric value " << ToString();
 }
 
 bool Value::operator<(const Value& other) const {
-  if (kind() != other.kind()) return kind() < other.kind();
-  switch (kind()) {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
     case Kind::kNull:
       return false;
     case Kind::kInt:
-      return std::get<int64_t>(rep_) < std::get<int64_t>(other.rep_);
+      return int_ < other.int_;
     case Kind::kDouble:
-      return std::get<double>(rep_) < std::get<double>(other.rep_);
+      return double_ < other.double_;
     case Kind::kString:
-      return std::get<std::string>(rep_) < std::get<std::string>(other.rep_);
+      // Handles are assigned in intern order, not lexicographic order, so
+      // ordering still compares the stored strings (equality never does).
+      return str_ != other.str_ && string_value() < other.string_value();
   }
   return false;
 }
 
-size_t Value::Hash() const {
-  size_t seed = static_cast<size_t>(kind());
-  switch (kind()) {
-    case Kind::kNull:
-      return HashCombine(seed, 0x6e756c6c);
-    case Kind::kInt:
-      return HashMix(seed, std::get<int64_t>(rep_));
-    case Kind::kDouble:
-      return HashMix(seed, std::get<double>(rep_));
-    case Kind::kString:
-      return HashMix(seed, std::get<std::string>(rep_));
-  }
-  return seed;
-}
-
 std::string Value::ToString() const {
-  switch (kind()) {
+  switch (kind_) {
     case Kind::kNull:
       return "null";
     case Kind::kInt:
-      return std::to_string(std::get<int64_t>(rep_));
+      return std::to_string(int_);
     case Kind::kDouble: {
       std::ostringstream os;
-      os << std::get<double>(rep_);
+      os << double_;
       return os.str();
     }
     case Kind::kString:
-      return "\"" + std::get<std::string>(rep_) + "\"";
+      return "\"" + string_value() + "\"";
   }
   return "?";
 }

@@ -3,58 +3,107 @@
 
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <string_view>
 
+#include "common/hash.h"
 #include "common/status.h"
+#include "storage/intern.h"
 
 namespace ivm {
 
 /// A dynamically-typed database value: null, 64-bit integer, double, or
 /// string. Values order first by kind, then by payload, which gives a total
 /// order usable for sorting heterogeneous columns deterministically.
+///
+/// Representation: 16 trivially-copyable bytes (kind tag + payload union).
+/// Strings are interned in the process-wide InternPool and carried as
+/// fixed-width handles, so string values compare by handle equality and hash
+/// with a single table load; `string_value()` resolves the handle back to
+/// the stored (stable, NUL-safe) std::string.
 class Value {
  public:
   enum class Kind : uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
 
   /// Constructs a null value.
-  Value() : rep_(std::monostate{}) {}
+  Value() : kind_(Kind::kNull), int_(0) {}
 
   static Value Null() { return Value(); }
-  static Value Int(int64_t v) { return Value(Rep(v)); }
-  static Value Real(double v) { return Value(Rep(v)); }
-  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Real(double v) {
+    Value out;
+    out.kind_ = Kind::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  /// Interns `v` (embedded NULs preserved) and wraps its handle.
+  static Value Str(std::string_view v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.str_ = InternPool::Global().Intern(v);
+    return out;
+  }
 
-  Kind kind() const { return static_cast<Kind>(rep_.index()); }
-  bool is_null() const { return kind() == Kind::kNull; }
-  bool is_int() const { return kind() == Kind::kInt; }
-  bool is_double() const { return kind() == Kind::kDouble; }
-  bool is_string() const { return kind() == Kind::kString; }
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_numeric() const { return is_int() || is_double(); }
 
   int64_t int_value() const {
     IVM_CHECK(is_int()) << "Value is not an int: " << ToString();
-    return std::get<int64_t>(rep_);
+    return int_;
   }
   double double_value() const {
     IVM_CHECK(is_double()) << "Value is not a double: " << ToString();
-    return std::get<double>(rep_);
+    return double_;
   }
   const std::string& string_value() const {
     IVM_CHECK(is_string()) << "Value is not a string: " << ToString();
-    return std::get<std::string>(rep_);
+    return InternPool::Global().str(str_);
   }
 
   /// Numeric coercion: int or double widened to double. Checked.
   double AsDouble() const;
 
-  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kInt:
+        return int_ == other.int_;
+      case Kind::kDouble:
+        return double_ == other.double_;
+      case Kind::kString:
+        return str_ == other.str_;  // interned: handle equality is exact
+    }
+    return false;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const;
   bool operator<=(const Value& other) const { return !(other < *this); }
   bool operator>(const Value& other) const { return other < *this; }
   bool operator>=(const Value& other) const { return !(*this < other); }
 
-  size_t Hash() const;
+  size_t Hash() const {
+    switch (kind_) {
+      case Kind::kNull:
+        return HashCombine(0, 0x6e756c6c);
+      case Kind::kInt:
+        return HashMix(1, int_);
+      case Kind::kDouble:
+        return HashMix(2, double_);
+      case Kind::kString:
+        return InternPool::Global().hash(str_);  // precomputed at intern time
+    }
+    return 0;
+  }
 
   /// Renders the value as a literal: 42, 3.5, "abc", null.
   std::string ToString() const;
@@ -67,11 +116,15 @@ class Value {
   static Result<Value> Divide(const Value& a, const Value& b);
 
  private:
-  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
-  explicit Value(Rep rep) : rep_(std::move(rep)) {}
-
-  Rep rep_;
+  Kind kind_;
+  union {
+    int64_t int_;
+    double double_;
+    InternPool::Handle str_;
+  };
 };
+
+static_assert(sizeof(Value) == 16, "Value must stay a 16-byte POD");
 
 struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }

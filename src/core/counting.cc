@@ -230,6 +230,8 @@ Result<ChangeSet> CountingMaintainer::ApplyImpl(const ChangeSet& base_changes,
         IVM_ASSIGN_OR_RETURN(bool has_work, lowering.HasWork(dr));
         if (!has_work) continue;
         IVM_ASSIGN_OR_RETURN(PreparedRule prepared, lowering.Lower(dr));
+        plan_cache_.Plan(&prepared, dr.rule_index, dr.delta_position,
+                         DeltaPlanCache::kCounting);
         tasks.push_back(
             JoinTask{std::move(prepared), &count_deltas.at(rule.head.pred)});
       }

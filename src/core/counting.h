@@ -11,6 +11,7 @@
 #include "core/maintainer.h"
 #include "datalog/program.h"
 #include "eval/evaluator.h"
+#include "eval/plan_cache.h"
 #include "storage/database.h"
 
 namespace ivm {
@@ -77,6 +78,17 @@ class CountingMaintainer : public Maintainer {
   /// independent of wall clock.
   const JoinStats& last_apply_stats() const { return last_apply_stats_; }
 
+  /// Forwards the registry to the delta-plan cache as well (its
+  /// eval.plan_cache.* counters publish alongside the counting.* ones).
+  void AttachMetrics(MetricsRegistry* metrics) override {
+    Maintainer::AttachMetrics(metrics);
+    plan_cache_.AttachMetrics(metrics);
+  }
+
+  /// Memoized delta-rule join orders (the rule set is fixed for counting, so
+  /// the cache never needs invalidation here).
+  const DeltaPlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   CountingMaintainer(Program program, Semantics semantics)
       : program_(std::move(program)), semantics_(semantics) {}
@@ -95,6 +107,7 @@ class CountingMaintainer : public Maintainer {
   /// Materialized GROUPBY subgoal extents keyed by (rule index, body
   /// position).
   std::map<std::pair<int, int>, Relation> aggregate_ts_;
+  DeltaPlanCache plan_cache_;
   JoinStats last_apply_stats_;
   bool initialized_ = false;
 };

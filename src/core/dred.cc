@@ -318,6 +318,11 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
         prepared.subgoals.push_back(std::move(sg));
       }
     }
+    // The rule shape is a pure function of (rule, event position, phase), so
+    // the join order is memoized across Apply calls.
+    plan_cache_.Plan(&prepared, rule_index, event_pos,
+                     old_side ? DeltaPlanCache::kOverDelete
+                              : DeltaPlanCache::kInsert);
     return prepared;
   };
 
@@ -497,6 +502,8 @@ Result<ChangeSet> DRedMaintainer::ApplyInternal(
               side_subgoal(r, static_cast<int>(j), /*old_side=*/false, s));
           prepared.subgoals.push_back(std::move(sg));
         }
+        plan_cache_.Plan(&prepared, r, /*event_pos=*/-1,
+                         DeltaPlanCache::kRederive);
         rederive_batch.Add(rule.head.pred,
                            program_.predicate(rule.head.pred),
                            std::move(prepared));
@@ -707,6 +714,8 @@ Result<ChangeSet> DRedMaintainer::AddRule(const Rule& rule) {
     program_.Analyze().CheckOK();
     return analyzed;
   }
+  // Rule indexes are positional: every cached plan key is now stale.
+  plan_cache_.Invalidate();
 
   // Materialize T for any aggregate subgoals of the new rule.
   const Rule& added = program_.rule(rule_index);
@@ -772,6 +781,7 @@ Result<ChangeSet> DRedMaintainer::RemoveRule(int rule_index) {
 
   IVM_RETURN_IF_ERROR(program_.RemoveRule(rule_index));
   IVM_RETURN_IF_ERROR(program_.Analyze());
+  plan_cache_.Invalidate();
 
   // Re-key the aggregate materializations: rule indices above the removed
   // rule shift down by one; the removed rule's entries disappear.
@@ -824,6 +834,8 @@ class DRedMaintainer::SnapshotTxn : public MaintainerTxn {
     m_->base_ = std::move(base_);
     m_->views_ = std::move(views_);
     m_->aggregate_ts_ = std::move(aggregate_ts_);
+    // The restored program may differ from the one the cache planned for.
+    m_->plan_cache_.Invalidate();
   }
 
  private:

@@ -10,6 +10,7 @@
 #include "core/change_set.h"
 #include "core/maintainer.h"
 #include "datalog/program.h"
+#include "eval/plan_cache.h"
 #include "storage/database.h"
 
 namespace ivm {
@@ -93,6 +94,17 @@ class DRedMaintainer : public Maintainer {
   };
   const Stats& last_apply_stats() const { return last_apply_stats_; }
 
+  /// Forwards the registry to the delta-plan cache as well (its
+  /// eval.plan_cache.* counters publish alongside the dred.* ones).
+  void AttachMetrics(MetricsRegistry* metrics) override {
+    Maintainer::AttachMetrics(metrics);
+    plan_cache_.AttachMetrics(metrics);
+  }
+
+  /// Memoized delta-rule join orders. Invalidated on AddRule/RemoveRule and
+  /// on rollback of a rule-change transaction (rule indexes are positional).
+  const DeltaPlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   class SnapshotTxn;
 
@@ -113,6 +125,7 @@ class DRedMaintainer : public Maintainer {
   std::map<PredicateId, Relation> views_;
   /// Materialized GROUPBY subgoal extents keyed by (rule index, body pos).
   std::map<std::pair<int, int>, Relation> aggregate_ts_;
+  DeltaPlanCache plan_cache_;
   Stats last_apply_stats_;
   bool initialized_ = false;
 };

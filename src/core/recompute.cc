@@ -29,12 +29,12 @@ Status RecomputeMaintainer::Initialize(const Database& base) {
     base_.mutable_relation(info.name) =
         (semantics_ == Semantics::kSet) ? rel->AsSet() : *rel;
   }
-  IVM_RETURN_IF_ERROR(Reevaluate());
+  IVM_RETURN_IF_ERROR(Reevaluate(&views_));
   initialized_ = true;
   return Status::OK();
 }
 
-Status RecomputeMaintainer::Reevaluate() {
+Status RecomputeMaintainer::Reevaluate(std::map<PredicateId, Relation>* out) {
   // Ambient pool: large index builds inside the full evaluation fan out
   // across workers (Relation::GetIndex picks it up via ExecContext).
   ExecContext exec_scope(
@@ -45,8 +45,7 @@ Status RecomputeMaintainer::Reevaluate() {
   options.semantics = semantics_;
   options.stratum_counts = false;
   Evaluator evaluator(program_, options);
-  views_.clear();
-  return evaluator.EvaluateAll(base_, &views_);
+  return evaluator.EvaluateAll(base_, out);
 }
 
 Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
@@ -81,10 +80,12 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
   }
 
   IVM_FAILPOINT("recompute.reevaluate");
-  std::map<PredicateId, Relation> old_views = std::move(views_);
+  // Evaluate into a scratch map; views_ still holds the old extents (and is
+  // left untouched if the evaluation fails).
+  std::map<PredicateId, Relation> new_views;
   {
     TraceSpan reevaluate_span(metrics_, "recompute.reevaluate");
-    IVM_RETURN_IF_ERROR(Reevaluate());
+    IVM_RETURN_IF_ERROR(Reevaluate(&new_views));
     CounterAdd(metrics_, "recompute.reevaluations");
   }
 
@@ -92,8 +93,8 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
   // across the pool, then merge into `out` in view order (deterministic).
   std::vector<std::pair<const Relation*, const Relation*>> view_pairs;
   std::vector<Relation> diffs;
-  for (const auto& [pred, new_rel] : views_) {
-    view_pairs.emplace_back(&new_rel, &old_views.at(pred));
+  for (const auto& [pred, new_rel] : new_views) {
+    view_pairs.emplace_back(&new_rel, &views_.at(pred));
     diffs.emplace_back("Δ" + new_rel.name(), new_rel.arity());
   }
   auto diff_one = [&](size_t i) {
@@ -118,6 +119,17 @@ Result<ChangeSet> RecomputeMaintainer::Apply(const ChangeSet& base_changes) {
   ChangeSet out;
   for (size_t i = 0; i < diffs.size(); ++i) {
     if (!diffs[i].empty()) out.Merge(view_pairs[i].first->name(), diffs[i]);
+  }
+
+  // Commit: move changed extents into the existing map nodes, so relation
+  // addresses handed out by GetRelation stay valid. A view whose extent did
+  // not change keeps its Relation object — and its cached indexes — intact.
+  {
+    size_t i = 0;
+    for (auto& [pred, new_rel] : new_views) {
+      if (!diffs[i].empty()) views_.at(pred) = std::move(new_rel);
+      ++i;
+    }
   }
   CounterAdd(metrics_, "recompute.diff_tuples", out.TotalTuples());
   return out;

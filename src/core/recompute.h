@@ -31,9 +31,10 @@ class RecomputeMaintainer : public Maintainer {
   const Program& program() const override { return program_; }
   const char* name() const override { return "recompute"; }
 
-  /// Only the base snapshot is mutated in place; the views are *replaced*
-  /// (Reevaluate destroys and recreates every view relation), which an
-  /// in-place undo log cannot track — hence the BeginTxn override below.
+  /// Only the base snapshot is mutated in place; changed views are
+  /// *replaced* (Apply re-evaluates into fresh relations and move-assigns
+  /// them over the stored ones), which an in-place undo log cannot track —
+  /// hence the BeginTxn override below.
   void CollectTxnRelations(std::vector<Relation*>* out) override;
 
   /// Snapshot transaction: copies base and views, restores both wholesale on
@@ -47,11 +48,16 @@ class RecomputeMaintainer : public Maintainer {
   RecomputeMaintainer(Program program, Semantics semantics)
       : program_(std::move(program)), semantics_(semantics) {}
 
-  Status Reevaluate();
+  /// Full evaluation of every view into `out` (cleared first).
+  Status Reevaluate(std::map<PredicateId, Relation>* out);
 
   Program program_;
   Semantics semantics_;
   Database base_;
+  /// One stable map node per derived predicate, created at Initialize().
+  /// Apply() move-assigns changed extents into the existing nodes, so
+  /// GetRelation() pointers stay valid across maintenance and *unchanged*
+  /// views keep their Relation object — and its cached indexes — untouched.
   std::map<PredicateId, Relation> views_;
   bool initialized_ = false;
 };

@@ -1,10 +1,10 @@
 #include "eval/aggregates.h"
 
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 
 namespace ivm {
@@ -188,7 +188,7 @@ Result<Relation> EvaluateAggregate(const Literal& agg, const Relation& u,
                                    bool multiset) {
   IVM_CHECK(agg.kind == Literal::Kind::kAggregate);
   Relation out("groupby:" + agg.atom.predicate, agg.group_vars.size() + 1);
-  std::unordered_map<Tuple, Accumulator, TupleHash> groups;
+  FlatHashMap<Tuple, Accumulator, TupleHash> groups;
   std::vector<std::pair<VarId, Value>> locals;
   for (const auto& [tuple, count] : u.tuples()) {
     if (count <= 0) {
@@ -222,7 +222,7 @@ Result<Relation> AggregateDelta(const Literal& agg, const Relation& u_ref,
   struct GroupDelta {
     CountMap delta_counts;  // tuple -> signed count
   };
-  std::unordered_map<Tuple, GroupDelta, TupleHash> touched;
+  FlatHashMap<Tuple, GroupDelta, TupleHash> touched;
   for (const auto& [tuple, count] : u_delta.tuples()) {
     if (!MatchInner(agg.atom.terms, tuple, &locals)) continue;
     IVM_ASSIGN_OR_RETURN(Tuple key, GroupKey(agg, locals));

@@ -1,0 +1,92 @@
+#ifndef IVM_EVAL_PLAN_CACHE_H_
+#define IVM_EVAL_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "eval/rule_eval.h"
+#include "obs/metrics.h"
+
+namespace ivm {
+
+/// Memoizes join orders for delta rules across Apply calls.
+///
+/// A maintainer re-prepares the same delta rule Δ_i(r) on every batch: the
+/// subgoal *relations* change (fresh deltas, overlays), but the rule *shape*
+/// — subgoal kinds, patterns, and the pinned Δ-position — is a pure function
+/// of (rule, changed-predicate position, algorithm phase). The planner's
+/// output for that shape is therefore cached under exactly that key and
+/// replayed via PreparedRule::planned_order, skipping the O(n²)
+/// bound-variable planning walk per batch.
+///
+/// Invalidation contract (docs/performance.md): the cache must be cleared
+/// whenever the rule set changes — AddRule / RemoveRule (Section 7.2 rule
+/// changes) and transactional rollback of either — because rule indexes are
+/// positional. Relation *size* drift never invalidates: a cached order stays
+/// correct (any permutation is), it is merely no longer the greedy choice;
+/// re-planning on growth is deliberately traded away for zero steady-state
+/// planning cost.
+///
+/// Not thread-safe; maintainers plan on the coordinating thread before
+/// fanning tasks out (workers only read their PreparedRule copies).
+class DeltaPlanCache {
+ public:
+  /// Distinguishes preparations of the same (rule, position) pair whose
+  /// subgoal shapes differ by algorithm phase.
+  enum Phase : int {
+    kCounting = 0,    // counting delta rules (Algorithm 4.1)
+    kOverDelete = 1,  // DRed phase 1: old-state side rules
+    kInsert = 2,      // DRed phase 3: new-state side rules
+    kRederive = 3,    // DRed phase 2: seed-scan rules
+  };
+
+  /// Fills `rule->planned_order`, from cache when possible. `rule_index` is
+  /// the program rule, `event_pos` the changed-predicate body position (-1
+  /// when no subgoal is pinned, e.g. rederivation).
+  void Plan(PreparedRule* rule, int rule_index, int event_pos, Phase phase) {
+    const Key key{rule_index, event_pos, static_cast<int>(phase)};
+    auto it = plans_.find(key);
+    if (it != plans_.end() &&
+        it->second.size() == rule->subgoals.size()) {
+      rule->planned_order = it->second;
+      ++hits_;
+      CounterAdd(metrics_, "eval.plan_cache.hits", 1);
+      return;
+    }
+    rule->planned_order = PlanJoinOrder(*rule);
+    plans_[key] = rule->planned_order;
+    ++misses_;
+    CounterAdd(metrics_, "eval.plan_cache.misses", 1);
+  }
+
+  /// Drops every cached plan. Call on any rule-set change (AddRule,
+  /// RemoveRule, rollback of either).
+  void Invalidate() {
+    if (plans_.empty()) return;
+    plans_.clear();
+    ++invalidations_;
+    CounterAdd(metrics_, "eval.plan_cache.invalidations", 1);
+  }
+
+  void AttachMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+  size_t size() const { return plans_.size(); }
+
+ private:
+  using Key = std::tuple<int, int, int>;  // (rule, event position, phase)
+
+  std::map<Key, std::vector<int>> plans_;
+  MetricsRegistry* metrics_ = nullptr;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_PLAN_CACHE_H_

@@ -39,8 +39,11 @@ PreparedSubgoal PreparedSubgoal::Comparison(ComparisonOp op, Term lhs,
 
 namespace {
 
-/// Minimum relation size before index lookups pay for themselves.
-constexpr size_t kIndexThreshold = 8;
+/// Minimum relation size before index lookups pay for themselves. Indexes
+/// are cached on the Relation and amortize across every probe of every
+/// join, so only a scan so short it beats a single hash probe (one tuple)
+/// should bypass them.
+constexpr size_t kIndexThreshold = 2;
 
 /// Marks as bound the variables a scan binds (plain variable pattern
 /// positions).
@@ -51,12 +54,16 @@ void MarkScanBindings(const PreparedSubgoal& sg, std::vector<bool>* bound) {
 }
 
 bool TermVarsBound(const Term& term, const std::vector<bool>& bound) {
-  std::vector<VarId> vars;
-  term.CollectVars(&vars);
-  for (VarId v : vars) {
-    if (!bound[v]) return false;
+  switch (term.kind()) {
+    case Term::Kind::kConstant:
+      return true;
+    case Term::Kind::kVariable:
+      return bound[term.var()];
+    case Term::Kind::kArith:
+      return TermVarsBound(term.lhs(), bound) &&
+             TermVarsBound(term.rhs(), bound);
   }
-  return true;
+  return false;
 }
 
 /// Join-order planner: repeatedly schedules ready filters (comparisons and
@@ -173,7 +180,9 @@ class JoinExecutor {
         order_(std::move(order)),
         out_(out),
         stats_(stats),
-        bindings_(rule.num_vars) {}
+        bindings_(rule.num_vars),
+        key_scratch_(order_.size()),
+        scan_scratch_(order_.size()) {}
 
   Status Run() { return Recurse(0, 1); }
 
@@ -210,23 +219,23 @@ class JoinExecutor {
                            EvalComparison(ComparisonOp::kEq, v, check.actual));
       if (!eq) return Status::OK();
     }
-    std::vector<Value> head_values;
-    head_values.reserve(rule_.head->terms.size());
+    head_values_.clear();
     for (const Term& t : rule_.head->terms) {
       IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(t, bindings_));
-      head_values.push_back(std::move(v));
+      head_values_.push_back(v);
     }
-    out_->Add(Tuple(std::move(head_values)), count);
+    head_scratch_.Assign(head_values_.data(), head_values_.size());
+    out_->Add(head_scratch_, count);
     if (stats_ != nullptr) ++stats_->derivations;
     return Status::OK();
   }
 
   /// Matches `tuple` against the scan pattern starting from the current
-  /// bindings. Returns false on mismatch. Appends newly-bound vars to
-  /// `bound_here` and deferred checks to deferred_ (recording how many were
-  /// added via `deferred_added`).
+  /// bindings. Returns false on mismatch. Pushes newly-bound vars onto the
+  /// shared binding trail (callers unbind back to their saved mark) and
+  /// deferred checks onto deferred_ (recording how many were added via
+  /// `deferred_added`).
   Result<bool> MatchTuple(const PreparedSubgoal& sg, const Tuple& tuple,
-                          std::vector<VarId>* bound_here,
                           size_t* deferred_added) {
     for (size_t i = 0; i < sg.pattern.size(); ++i) {
       const Term& t = sg.pattern[i];
@@ -239,7 +248,7 @@ class JoinExecutor {
           if (!(bindings_.Get(t.var()) == tuple[i])) return false;
         } else {
           bindings_.Bind(t.var(), tuple[i]);
-          bound_here->push_back(t.var());
+          trail_.push_back(t.var());
         }
       } else {  // arithmetic
         if (TermIsGround(t, bindings_)) {
@@ -274,53 +283,86 @@ class JoinExecutor {
   }
 
   Status ExecScan(const PreparedSubgoal& sg, size_t depth, int64_t count) {
-    // Determine ground pattern positions for index lookup.
-    std::vector<size_t> ground_cols;
-    for (size_t i = 0; i < sg.pattern.size(); ++i) {
-      const Term& t = sg.pattern[i];
-      if (t.IsConstant() || (t.IsVariable() && bindings_.IsBound(t.var())) ||
-          (t.IsArith() && TermIsGround(t, bindings_))) {
-        ground_cols.push_back(i);
+    // Which pattern positions are ground here is branch-independent: it
+    // depends only on which variables earlier order slots bind, never on
+    // their values (PrewarmJoinIndexes relies on the same invariant). So the
+    // ground-column set — and the resolved index, since scanned relations
+    // are never mutated while the join runs — is computed on the first probe
+    // of this depth and reused for every later one; recomputing it (or
+    // paying Relation::GetIndex's cache-map lookup) per probe is pure
+    // overhead.
+    DepthScan& ds = scan_scratch_[depth];
+    if (!ds.resolved) {
+      ds.resolved = true;
+      std::vector<size_t>& ground_cols = ds.ground_cols;
+      for (size_t i = 0; i < sg.pattern.size(); ++i) {
+        const Term& t = sg.pattern[i];
+        if (t.IsConstant() || (t.IsVariable() && bindings_.IsBound(t.var())) ||
+            (t.IsArith() && TermIsGround(t, bindings_))) {
+          ground_cols.push_back(i);
+        }
+      }
+      const size_t total_size =
+          sg.relation->size() +
+          (sg.overlay != nullptr ? sg.overlay->size() : 0);
+      if (!ground_cols.empty() && total_size >= kIndexThreshold) {
+        ds.base = &sg.relation->GetIndex(ground_cols);
+        if (sg.overlay != nullptr) {
+          ds.overlay = &sg.overlay->GetIndex(ground_cols);
+        }
       }
     }
 
     auto process = [&](const Tuple& tuple, int64_t tuple_count) -> Status {
       if (tuple_count == 0) return Status::OK();
       if (stats_ != nullptr) ++stats_->tuples_matched;
-      std::vector<VarId> bound_here;
+      // Bindings made while matching go on the shared trail; unwinding to
+      // the saved mark undoes exactly this tuple's bindings (recursion-safe
+      // and allocation-free, like the deferred_ mark below).
+      const size_t trail_mark = trail_.size();
       size_t deferred_added = 0;
       IVM_ASSIGN_OR_RETURN(bool matched,
-                           MatchTuple(sg, tuple, &bound_here, &deferred_added));
+                           MatchTuple(sg, tuple, &deferred_added));
       Status status = Status::OK();
       if (matched) {
         status = Recurse(depth + 1, count * tuple_count);
       }
-      for (VarId v : bound_here) bindings_.Unbind(v);
+      for (size_t i = trail_mark; i < trail_.size(); ++i) {
+        bindings_.Unbind(trail_[i]);
+      }
+      trail_.resize(trail_mark);
       deferred_.resize(deferred_.size() - deferred_added);
       return status;
     };
 
-    const size_t total_size =
-        sg.relation->size() + (sg.overlay != nullptr ? sg.overlay->size() : 0);
-    if (!ground_cols.empty() && total_size >= kIndexThreshold) {
-      std::vector<Value> key_values;
-      key_values.reserve(ground_cols.size());
-      const Index& index = sg.relation->GetIndex(ground_cols);
-      for (size_t col : index.key_columns()) {
-        IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(sg.pattern[col], bindings_));
-        key_values.push_back(std::move(v));
+    if (ds.base != nullptr) {
+      // Per-depth scratch key: deeper recursion levels use their own slot,
+      // so rebuilding the probe key never allocates in steady state. Bound
+      // variables and constants bypass EvalTerm's Result plumbing — every
+      // ground column is ground by construction.
+      key_values_.clear();
+      for (size_t col : ds.ground_cols) {
+        const Term& t = sg.pattern[col];
+        if (t.IsVariable()) {
+          key_values_.push_back(bindings_.Get(t.var()));
+        } else if (t.IsConstant()) {
+          key_values_.push_back(t.constant());
+        } else {
+          IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(t, bindings_));
+          key_values_.push_back(v);
+        }
       }
-      Tuple key(std::move(key_values));
-      const auto* entries = index.Lookup(key);
+      Tuple& key = key_scratch_[depth];
+      key.Assign(key_values_.data(), key_values_.size());
+      const auto* entries = ds.base->Lookup(key);
       if (entries != nullptr) {
         for (const Index::Entry& e : *entries) {
           IVM_RETURN_IF_ERROR(process(*e.tuple, EffectiveCount(sg, *e.tuple, e.count)));
         }
       }
-      if (sg.overlay != nullptr) {
+      if (ds.overlay != nullptr) {
         // Overlay tuples not present in the base relation.
-        const Index& ov_index = sg.overlay->GetIndex(ground_cols);
-        const auto* ov_entries = ov_index.Lookup(key);
+        const auto* ov_entries = ds.overlay->Lookup(key);
         if (ov_entries != nullptr) {
           for (const Index::Entry& e : *ov_entries) {
             if (sg.relation->Contains(*e.tuple)) continue;  // already visited
@@ -346,21 +388,21 @@ class JoinExecutor {
   }
 
   Status ExecNegCheck(const PreparedSubgoal& sg, size_t depth, int64_t count) {
-    std::vector<Value> values;
-    values.reserve(sg.pattern.size());
+    key_values_.clear();
     for (const Term& t : sg.pattern) {
       if (!TermIsGround(t, bindings_)) {
         return Status::Internal(
             "negated subgoal reached with unbound variables (unsafe rule)");
       }
       IVM_ASSIGN_OR_RETURN(Value v, EvalTerm(t, bindings_));
-      values.push_back(std::move(v));
+      key_values_.push_back(v);
     }
     // A tuple is true in ¬Q iff absent from Q, regardless of Q's counts
     // (Example 6.1); the negated subgoal contributes count 1. With a
     // membership-delta overlay (counts_as_one) the base count clamps to 0/1
     // before the ±1 overlay applies.
-    Tuple key(std::move(values));
+    Tuple& key = key_scratch_[depth];
+    key.Assign(key_values_.data(), key_values_.size());
     int64_t present = sg.relation->Count(key);
     if (sg.counts_as_one && present > 0) present = 1;
     if (sg.overlay != nullptr) present += sg.overlay->Count(key);
@@ -402,9 +444,42 @@ class JoinExecutor {
   JoinStats* stats_;
   Bindings bindings_;
   std::vector<DeferredCheck> deferred_;
+  /// Scratch buffers (see ExecScan/Emit): one key tuple and one resolved
+  /// scan plan per join depth plus one staging value vector and head tuple,
+  /// reused across every probe.
+  struct DepthScan {
+    bool resolved = false;
+    std::vector<size_t> ground_cols;
+    const Index* base = nullptr;     // null => full scan
+    const Index* overlay = nullptr;  // resolved iff base is
+  };
+  std::vector<Tuple> key_scratch_;
+  std::vector<DepthScan> scan_scratch_;
+  std::vector<Value> key_values_;
+  std::vector<Value> head_values_;
+  Tuple head_scratch_;
+  /// Variables bound by MatchTuple, in binding order; each probe unwinds to
+  /// its saved mark.
+  std::vector<VarId> trail_;
 };
 
+/// The cached order if it is usable, else a fresh plan. A stale cached order
+/// (wrong length — the rule shape changed under the cache) falls back to
+/// planning; DeltaPlanCache invalidation makes this a cold-path safety net,
+/// not a correctness requirement.
+std::vector<int> OrderFor(const PreparedRule& rule) {
+  if (rule.planned_order.size() == rule.subgoals.size() &&
+      !rule.planned_order.empty()) {
+    return rule.planned_order;
+  }
+  return PlanOrder(rule);
+}
+
 }  // namespace
+
+std::vector<int> PlanJoinOrder(const PreparedRule& rule) {
+  return PlanOrder(rule);
+}
 
 void PrewarmJoinIndexes(const PreparedRule& rule) {
   // Same short-circuit as EvaluateJoin: with an empty scanned relation the
@@ -416,7 +491,7 @@ void PrewarmJoinIndexes(const PreparedRule& rule) {
       return;
     }
   }
-  const std::vector<int> order = PlanOrder(rule);
+  const std::vector<int> order = OrderFor(rule);
   std::vector<bool> bound(rule.num_vars, false);
   for (int idx : order) {
     const PreparedSubgoal& sg = rule.subgoals[idx];
@@ -463,7 +538,7 @@ Status EvaluateJoin(const PreparedRule& rule, Relation* out,
       }
     }
   }
-  std::vector<int> order = PlanOrder(rule);
+  std::vector<int> order = OrderFor(rule);
   return JoinExecutor(rule, std::move(order), out, stats).Run();
 }
 
@@ -474,6 +549,7 @@ Result<LoweredRule> LowerRule(const Program& program, int rule_index,
   LoweredRule lowered;
   lowered.prepared.head = &rule.head;
   lowered.prepared.num_vars = program.num_vars(rule_index);
+  lowered.prepared.subgoals.reserve(rule.body.size());
   for (const Literal& lit : rule.body) {
     switch (lit.kind) {
       case Literal::Kind::kPositive: {

@@ -85,7 +85,18 @@ struct PreparedRule {
   /// start subgoal) instead of the greedy bound-variable order. Exists for
   /// the join-ordering ablation benchmark; leave true.
   bool plan_greedy = true;
+  /// Precomputed subgoal execution order (a permutation of subgoal indexes,
+  /// honoring start_subgoal). When set, EvaluateJoin and PrewarmJoinIndexes
+  /// skip the planner entirely — this is how DeltaPlanCache replays a
+  /// memoized plan across Apply calls. Empty (or stale: wrong length) means
+  /// "plan now".
+  std::vector<int> planned_order;
 };
+
+/// Runs the join-order planner for `rule` and returns the execution order
+/// (ready filters first, then most-bound scans; see PlanOrder in
+/// rule_eval.cc). Exposed so DeltaPlanCache can plan once and replay.
+std::vector<int> PlanJoinOrder(const PreparedRule& rule);
 
 /// Optional instrumentation for benchmarks.
 struct JoinStats {

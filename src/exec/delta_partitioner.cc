@@ -15,11 +15,18 @@ std::vector<Relation> DeltaPartitioner::Partition(
     out.emplace_back(delta.name() + "#" + std::to_string(p), delta.arity());
   }
   if (parts == 0) return out;
-  TupleHash hasher;
+  // Tuple hashes are memoized, so hashing the whole tuple is a load; keyed
+  // partitioning projects into one scratch tuple instead of allocating a
+  // fresh key per delta tuple.
+  Tuple scratch;
   for (const auto& [tuple, count] : delta.tuples()) {
-    const size_t h = key_columns.empty()
-                         ? hasher(tuple)
-                         : hasher(tuple.Project(key_columns));
+    size_t h;
+    if (key_columns.empty()) {
+      h = tuple.Hash();
+    } else {
+      tuple.ProjectInto(key_columns, &scratch);
+      h = scratch.Hash();
+    }
     out[h % parts].Add(tuple, count);
   }
   return out;

@@ -2,6 +2,10 @@
 
 namespace ivm {
 
+namespace {
+std::string Name(std::string_view name) { return std::string(name); }
+}  // namespace
+
 Status Database::CreateRelation(const std::string& name, size_t arity) {
   auto [it, inserted] = relations_.try_emplace(name, Relation(name, arity));
   if (!inserted) {
@@ -10,30 +14,30 @@ Status Database::CreateRelation(const std::string& name, size_t arity) {
   return Status::OK();
 }
 
-const Relation& Database::relation(const std::string& name) const {
+const Relation& Database::relation(std::string_view name) const {
   auto it = relations_.find(name);
   IVM_CHECK(it != relations_.end()) << "unknown relation '" << name << "'";
   return it->second;
 }
 
-Relation& Database::mutable_relation(const std::string& name) {
+Relation& Database::mutable_relation(std::string_view name) {
   auto it = relations_.find(name);
   IVM_CHECK(it != relations_.end()) << "unknown relation '" << name << "'";
   return it->second;
 }
 
-Result<const Relation*> Database::Get(const std::string& name) const {
+Result<const Relation*> Database::Get(std::string_view name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
-    return Status::NotFound("relation '" + name + "' does not exist");
+    return Status::NotFound("relation '" + Name(name) + "' does not exist");
   }
   return &it->second;
 }
 
-Result<Relation*> Database::GetMutable(const std::string& name) {
+Result<Relation*> Database::GetMutable(std::string_view name) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
-    return Status::NotFound("relation '" + name + "' does not exist");
+    return Status::NotFound("relation '" + Name(name) + "' does not exist");
   }
   return &it->second;
 }
@@ -48,14 +52,14 @@ std::vector<std::string> Database::RelationNames() const {
   return names;
 }
 
-Status Database::ApplyDelta(const std::string& name, const Relation& delta) {
+Status Database::ApplyDelta(std::string_view name, const Relation& delta) {
   IVM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(name));
   // Validate the Γ⁻ ⊆ E precondition before mutating.
   for (const auto& [tuple, count] : delta.tuples()) {
     if (count < 0 && rel->Count(tuple) + count < 0) {
       return Status::FailedPrecondition(
           "delta deletes more copies of " + tuple.ToString() + " (" +
-          std::to_string(-count) + ") than stored in '" + name + "' (" +
+          std::to_string(-count) + ") than stored in '" + Name(name) + "' (" +
           std::to_string(rel->Count(tuple)) + ")");
     }
   }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -20,14 +21,18 @@ class Database {
   /// Creates an empty relation; errors with kAlreadyExists on name reuse.
   Status CreateRelation(const std::string& name, size_t arity);
 
-  bool Has(const std::string& name) const { return relations_.count(name) > 0; }
+  /// Lookups are transparent (std::less<> keyed), so string_view / char*
+  /// callers never materialize a temporary std::string on the hot path.
+  bool Has(std::string_view name) const {
+    return relations_.find(name) != relations_.end();
+  }
 
   /// Checked accessors; the relation must exist.
-  const Relation& relation(const std::string& name) const;
-  Relation& mutable_relation(const std::string& name);
+  const Relation& relation(std::string_view name) const;
+  Relation& mutable_relation(std::string_view name);
 
-  Result<const Relation*> Get(const std::string& name) const;
-  Result<Relation*> GetMutable(const std::string& name);
+  Result<const Relation*> Get(std::string_view name) const;
+  Result<Relation*> GetMutable(std::string_view name);
 
   /// Names in sorted order.
   std::vector<std::string> RelationNames() const;
@@ -38,10 +43,10 @@ class Database {
   /// (leaving the relation untouched) if any stored count would go negative,
   /// i.e. if the deletions are not a sub-multiset of the stored data — the
   /// paper's precondition Γ⁻ ⊆ E (Lemma 4.1).
-  Status ApplyDelta(const std::string& name, const Relation& delta);
+  Status ApplyDelta(std::string_view name, const Relation& delta);
 
  private:
-  std::map<std::string, Relation> relations_;
+  std::map<std::string, Relation, std::less<>> relations_;
 };
 
 }  // namespace ivm

@@ -27,14 +27,15 @@ void Index::Build(const CountMap& tuples, ThreadPool* pool) {
       tuples.size() < kParallelBuildMinTuples) {
     buckets_.reserve(tuples.size());
     for (const auto& [tuple, count] : tuples) {
-      buckets_[tuple.Project(key_columns_)].push_back(Entry{&tuple, count});
+      tuple.ProjectInto(key_columns_, &scratch_key_);
+      buckets_[scratch_key_].push_back(Entry{&tuple, count});
     }
     return;
   }
 
   // Parallel build: snapshot entry pointers, shard them across the pool's
-  // threads into shard-local bucket maps, then merge serially. CountMap is
-  // node-based, so the Tuple addresses taken here stay stable.
+  // threads into shard-local bucket maps, then merge serially. CountMap
+  // elements are heap nodes, so the Tuple addresses taken here stay stable.
   std::vector<std::pair<const Tuple*, int64_t>> entries;
   entries.reserve(tuples.size());
   for (const auto& [tuple, count] : tuples) {
@@ -42,17 +43,17 @@ void Index::Build(const CountMap& tuples, ThreadPool* pool) {
   }
   const size_t shards = static_cast<size_t>(pool->thread_count());
   const size_t chunk = (entries.size() + shards - 1) / shards;
-  std::vector<std::unordered_map<Tuple, std::vector<Entry>, TupleHash>> locals(
-      shards);
+  std::vector<BucketMap> locals(shards);
   pool->ParallelFor(shards, [&](size_t s) {
     const size_t begin = s * chunk;
     const size_t end = std::min(entries.size(), begin + chunk);
     if (begin >= end) return;
-    auto& local = locals[s];
+    BucketMap& local = locals[s];
     local.reserve(end - begin);
+    Tuple key;  // shard-local projection scratch
     for (size_t i = begin; i < end; ++i) {
-      local[entries[i].first->Project(key_columns_)].push_back(
-          Entry{entries[i].first, entries[i].second});
+      entries[i].first->ProjectInto(key_columns_, &key);
+      local[key].push_back(Entry{entries[i].first, entries[i].second});
     }
   });
   buckets_.reserve(tuples.size());
@@ -69,11 +70,13 @@ void Index::Build(const CountMap& tuples, ThreadPool* pool) {
 }
 
 void Index::InsertEntry(const Tuple* tuple, int64_t count) {
-  buckets_[tuple->Project(key_columns_)].push_back(Entry{tuple, count});
+  tuple->ProjectInto(key_columns_, &scratch_key_);
+  buckets_[scratch_key_].push_back(Entry{tuple, count});
 }
 
 void Index::UpdateEntry(const Tuple* tuple, int64_t count) {
-  auto it = buckets_.find(tuple->Project(key_columns_));
+  tuple->ProjectInto(key_columns_, &scratch_key_);
+  auto it = buckets_.find(scratch_key_);
   if (it == buckets_.end()) return;
   for (Entry& e : it->second) {
     if (*e.tuple == *tuple) {
@@ -88,7 +91,8 @@ void Index::UpdateEntry(const Tuple* tuple, int64_t count) {
 }
 
 void Index::RemoveEntry(const Tuple& tuple) {
-  auto it = buckets_.find(tuple.Project(key_columns_));
+  tuple.ProjectInto(key_columns_, &scratch_key_);
+  auto it = buckets_.find(scratch_key_);
   if (it == buckets_.end()) return;
   std::vector<Entry>& entries = it->second;
   for (size_t i = 0; i < entries.size(); ++i) {

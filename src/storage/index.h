@@ -2,9 +2,9 @@
 #define IVM_STORAGE_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/tuple.h"
 
 namespace ivm {
@@ -13,8 +13,10 @@ class ThreadPool;
 
 /// Distinct tuples with signed multiplicities ("Z-relation" payload). Stored
 /// views hold strictly positive counts; deltas may hold negative counts
-/// (deletions), per Section 3 of the paper.
-using CountMap = std::unordered_map<Tuple, int64_t, TupleHash>;
+/// (deletions), per Section 3 of the paper. Backed by the open-addressing
+/// FlatHashMap: probes ride Tuple's memoized hash, and element addresses are
+/// stable across rehash/erase (Index entries hold `const Tuple*` into it).
+using CountMap = FlatHashMap<Tuple, int64_t, TupleHash>;
 
 /// A hash index over a fixed subset of columns of a counted relation.
 /// Entries reference tuples owned by the indexed CountMap; an index is only
@@ -57,8 +59,13 @@ class Index {
   size_t distinct_keys() const { return buckets_.size(); }
 
  private:
+  using BucketMap = FlatHashMap<Tuple, std::vector<Entry>, TupleHash>;
+
   std::vector<size_t> key_columns_;
-  std::unordered_map<Tuple, std::vector<Entry>, TupleHash> buckets_;
+  BucketMap buckets_;
+  /// Scratch key for the mutator paths (never used from const Lookup, which
+  /// worker threads may call concurrently).
+  Tuple scratch_key_;
 };
 
 }  // namespace ivm

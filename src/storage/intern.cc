@@ -1,0 +1,43 @@
+#include "storage/intern.h"
+
+#include <functional>
+
+#include "common/hash.h"
+
+namespace ivm {
+
+InternPool::~InternPool() {
+  for (auto& block : blocks_) {
+    delete[] block.load(std::memory_order_relaxed);
+  }
+}
+
+InternPool::Handle InternPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+
+  const uint32_t h = next_.load(std::memory_order_relaxed);
+  const uint32_t b = BlockOf(h);
+  Entry* block = blocks_[b].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Entry[static_cast<size_t>(kFirstBlock) << b];
+    blocks_[b].store(block, std::memory_order_release);
+  }
+  Entry& entry = block[h - BlockBase(b)];
+  entry.str.assign(s.data(), s.size());
+  // Same mix Value::Hash used for strings before interning: kind seed
+  // (kString == 3) combined with the standard string hash.
+  entry.hash = HashCombine(size_t{3}, std::hash<std::string_view>{}(s));
+  // Publish the slot before the handle becomes findable.
+  next_.store(h + 1, std::memory_order_release);
+  map_.emplace(std::string_view(entry.str), h);
+  return h;
+}
+
+InternPool& InternPool::Global() {
+  static InternPool* pool = new InternPool();  // leaked: Values outlive statics
+  return *pool;
+}
+
+}  // namespace ivm

@@ -1,0 +1,103 @@
+#ifndef IVM_STORAGE_INTERN_H_
+#define IVM_STORAGE_INTERN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ivm {
+
+/// Append-only string interning pool. Every distinct string is stored once;
+/// callers hold a fixed-width 32-bit handle and compare/hash strings by
+/// handle (see common/value.h). Interning is the only mutation — entries are
+/// never freed or moved, so `str()`/`hash()` are lock-free reads for any
+/// handle the caller legitimately holds.
+///
+/// Lifetime/visibility contract (docs/performance.md):
+///   * `Intern` is fully synchronized (mutex) and may be called from any
+///     thread.
+///   * A handle is only meaningful to a thread that received it via some
+///     happens-before edge from the interning call (the return value itself,
+///     a Tuple handed to a worker task, a mutex-guarded map, ...). Entry
+///     storage is chunked and chunk pointers are published with
+///     release/acquire, so readers never observe a torn entry.
+///   * Entries live until process exit. The pool backing `Value` strings is
+///     a leaked global (`InternPool::Global()`), so Values in static
+///     destructors stay valid.
+class InternPool {
+ public:
+  using Handle = uint32_t;
+
+  InternPool() = default;
+  ~InternPool();
+
+  InternPool(const InternPool&) = delete;
+  InternPool& operator=(const InternPool&) = delete;
+
+  /// Returns the handle for `s`, interning it on first sight. The stored
+  /// copy (and therefore `str(handle)`) preserves embedded NULs.
+  Handle Intern(std::string_view s);
+
+  /// The interned string for `handle`. The reference is stable forever.
+  const std::string& str(Handle handle) const {
+    return entry(handle).str;
+  }
+
+  /// The precomputed hash of the interned string (computed once at intern
+  /// time with the same mix Value::Hash used historically, so hash quality
+  /// is unchanged while lookups become a single load).
+  size_t hash(Handle handle) const { return entry(handle).hash; }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return next_.load(std::memory_order_acquire); }
+
+  /// The process-wide pool backing string Values. Deliberately leaked.
+  static InternPool& Global();
+
+ private:
+  struct Entry {
+    std::string str;
+    size_t hash;
+  };
+
+  // Chunked stable storage: block b holds (kFirstBlock << b) entries, so 32
+  // blocks cover > 2^36 strings while handle -> slot stays pure bit math and
+  // entries never move. Block pointers are published with release stores.
+  static constexpr uint32_t kFirstBlockBits = 12;  // 4096 entries
+  static constexpr uint32_t kFirstBlock = 1u << kFirstBlockBits;
+  static constexpr uint32_t kNumBlocks = 32;
+
+  static uint32_t BlockOf(Handle h) {
+    uint64_t x = (static_cast<uint64_t>(h) >> kFirstBlockBits) + 1;
+    uint32_t b = 0;
+    while (x > 1) {
+      x >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  static uint32_t BlockBase(uint32_t b) {
+    return kFirstBlock * ((1u << b) - 1);
+  }
+
+  const Entry& entry(Handle h) const {
+    const uint32_t b = BlockOf(h);
+    const Entry* block = blocks_[b].load(std::memory_order_acquire);
+    return block[h - BlockBase(b)];
+  }
+
+  std::atomic<Entry*> blocks_[kNumBlocks] = {};
+  std::atomic<uint32_t> next_{0};
+
+  // Guards interning: the dedup map keys are views into stored entries.
+  mutable std::mutex mu_;
+  std::unordered_map<std::string_view, Handle> map_;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_STORAGE_INTERN_H_

@@ -1,0 +1,306 @@
+// Property tests for the open-addressing FlatHashMap that backs CountMap and
+// the index buckets: randomized op-for-op cross-checks against
+// std::unordered_map (insert/erase/update streams, negative counts, rehash
+// boundaries), the node-pointer-stability contract that Index and the undo
+// log rely on, and the tombstone-purging same-capacity rehash. Also the
+// value-interning round trip: checkpoint → Recover must be byte-identical
+// for NUL/escape-heavy strings even though live Values store pool handles.
+
+#include "common/flat_hash.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/tuple.h"
+#include "core/view_manager.h"
+#include "storage/intern.h"
+#include "test_util.h"
+
+namespace ivm {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Int64Hash {
+  size_t operator()(int64_t v) const { return std::hash<int64_t>{}(v); }
+};
+
+using FlatCounts = FlatHashMap<int64_t, int64_t, Int64Hash>;
+using StdCounts = std::unordered_map<int64_t, int64_t>;
+
+void ExpectSameContents(const FlatCounts& flat, const StdCounts& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto it = flat.find(k);
+    ASSERT_NE(it, flat.end()) << "missing key " << k;
+    EXPECT_EQ(it->second, v) << "key " << k;
+  }
+  size_t seen = 0;
+  for (const auto& [k, v] : flat) {
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "phantom key " << k;
+    EXPECT_EQ(it->second, v);
+    ++seen;
+  }
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatHashMapTest, RandomizedOpStreamMatchesUnorderedMap) {
+  // A CountMap-shaped workload: counts go up and down (negative counts are
+  // legal Z-relation states), keys are drawn from a small domain so the
+  // table sees heavy collision chains, erase keeps tombstones in play, and
+  // the volume forces several growth rehashes.
+  std::mt19937_64 rng(20260806);
+  FlatCounts flat;
+  StdCounts ref;
+  std::uniform_int_distribution<int64_t> key_dist(0, 799);
+  std::uniform_int_distribution<int64_t> delta_dist(-3, 3);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  for (int step = 0; step < 20000; ++step) {
+    const int64_t k = key_dist(rng);
+    switch (op_dist(rng)) {
+      case 0:
+      case 1: {  // erase
+        EXPECT_EQ(flat.erase(k), ref.erase(k));
+        break;
+      }
+      case 2: {  // find / count
+        EXPECT_EQ(flat.count(k), ref.count(k));
+        auto fit = flat.find(k);
+        auto rit = ref.find(k);
+        EXPECT_EQ(fit == flat.end(), rit == ref.end());
+        if (fit != flat.end()) {
+          EXPECT_EQ(fit->second, rit->second);
+        }
+        break;
+      }
+      case 3: {  // try_emplace (must not clobber an existing value)
+        auto [fit, finserted] = flat.try_emplace(k, int64_t{7});
+        auto [rit, rinserted] = ref.try_emplace(k, int64_t{7});
+        EXPECT_EQ(finserted, rinserted);
+        EXPECT_EQ(fit->second, rit->second);
+        break;
+      }
+      default: {  // counted update through operator[]
+        const int64_t d = delta_dist(rng);
+        flat[k] += d;
+        ref[k] += d;
+        if (ref[k] == 0 && (step % 2) == 0) {
+          flat.erase(k);
+          ref.erase(k);
+        }
+        break;
+      }
+    }
+    if (step % 2500 == 0) ExpectSameContents(flat, ref);
+  }
+  ExpectSameContents(flat, ref);
+  flat.clear();
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.find(3), flat.end());
+}
+
+TEST(FlatHashMapTest, TupleKeysAcrossRehashBoundaries) {
+  // Insert exactly past each power-of-two load threshold so growth happens
+  // mid-stream; Tuple keys exercise the memoized-hash path end to end.
+  FlatHashMap<Tuple, int64_t, TupleHash> flat;
+  std::unordered_map<Tuple, int64_t, TupleHash> ref;
+  for (int i = 0; i < 3000; ++i) {
+    Tuple t = Tup(i % 50, "k" + std::to_string(i), i);
+    flat[t] += i % 7 - 3;
+    ref[t] += i % 7 - 3;
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [t, c] : ref) {
+    auto it = flat.find(t);
+    ASSERT_NE(it, flat.end()) << t.ToString();
+    EXPECT_EQ(it->second, c);
+  }
+}
+
+TEST(FlatHashMapTest, NodePointersSurviveRehashAndUnrelatedErase) {
+  // Index holds `const Tuple*` into CountMap entries and the undo log holds
+  // value pointers; both require node stability under growth and under
+  // erasure of *other* keys.
+  FlatCounts flat;
+  std::vector<const int64_t*> keys;
+  std::vector<int64_t*> vals;
+  for (int64_t i = 0; i < 64; ++i) {
+    auto [it, inserted] = flat.try_emplace(i, i * 10);
+    ASSERT_TRUE(inserted);
+    keys.push_back(&it->first);
+    vals.push_back(&it->second);
+  }
+  // Force several rehashes.
+  for (int64_t i = 64; i < 5000; ++i) flat.try_emplace(i, i);
+  for (int64_t i = 0; i < 64; ++i) {
+    auto it = flat.find(i);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(&it->first, keys[i]) << "key node moved on rehash";
+    EXPECT_EQ(&it->second, vals[i]) << "value node moved on rehash";
+    EXPECT_EQ(*vals[i], i * 10);
+  }
+  // Erase everything else; survivors must not move.
+  for (int64_t i = 64; i < 5000; ++i) flat.erase(i);
+  EXPECT_EQ(flat.size(), 64u);
+  for (int64_t i = 0; i < 64; ++i) {
+    auto it = flat.find(i);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(&it->first, keys[i]) << "key node moved on erase";
+  }
+}
+
+TEST(FlatHashMapTest, SameCapacityRehashPurgesTombstones) {
+  // Steady-state churn at constant size: every insert+erase pair leaves a
+  // tombstone, so the table must eventually rehash in place (not grow) and
+  // lookups must stay correct throughout.
+  FlatCounts flat;
+  for (int64_t i = 0; i < 20; ++i) flat.try_emplace(i, i);
+  for (int64_t round = 0; round < 10000; ++round) {
+    const int64_t k = 1000 + round;
+    flat.try_emplace(k, round);
+    auto it = flat.find(k);
+    ASSERT_NE(it, flat.end());
+    flat.erase(it);
+    ASSERT_EQ(flat.size(), 20u) << "round " << round;
+  }
+  for (int64_t i = 0; i < 20; ++i) {
+    auto it = flat.find(i);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(it->second, i);
+  }
+}
+
+TEST(FlatHashMapTest, EraseByIteratorDrainsWhileIterating) {
+  FlatCounts flat;
+  for (int64_t i = 0; i < 333; ++i) flat.try_emplace(i, i);
+  std::set<int64_t> drained;
+  for (auto it = flat.begin(); it != flat.end();) {
+    drained.insert(it->first);
+    it = flat.erase(it);
+  }
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(drained.size(), 333u);
+}
+
+TEST(FlatHashMapTest, CopyMoveAndEquality) {
+  FlatCounts a;
+  for (int64_t i = 0; i < 100; ++i) a[i] = i - 50;  // negative counts too
+  FlatCounts b = a;
+  EXPECT_TRUE(a == b);
+  b[7] += 1;
+  EXPECT_FALSE(a == b);
+  b[7] -= 1;
+  EXPECT_TRUE(a == b);
+  // Insertion order must not matter for equality.
+  FlatCounts c;
+  for (int64_t i = 99; i >= 0; --i) c[i] = i - 50;
+  EXPECT_TRUE(a == c);
+  FlatCounts moved = std::move(b);
+  EXPECT_TRUE(moved == a);
+  ASSERT_NE(moved.find(42), moved.end());
+  EXPECT_EQ(moved.find(42)->second, -8);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsIntermediateStates) {
+  FlatCounts flat;
+  flat.reserve(1000);
+  for (int64_t i = 0; i < 1000; ++i) flat.try_emplace(i, i);
+  EXPECT_EQ(flat.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(flat.find(i), flat.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value interning.
+// ---------------------------------------------------------------------------
+
+TEST(InternPoolTest, DedupesAndKeepsStableReferences) {
+  InternPool pool;
+  auto a = pool.Intern("shared");
+  auto b = pool.Intern("shared");
+  EXPECT_EQ(a, b);
+  const std::string* addr = &pool.str(a);
+  // Force many more entries (spanning several storage blocks); the first
+  // entry must not move.
+  for (int i = 0; i < 10000; ++i) pool.Intern("s" + std::to_string(i));
+  EXPECT_EQ(&pool.str(a), addr);
+  EXPECT_EQ(pool.str(a), "shared");
+}
+
+TEST(InternPoolTest, HandlesCompareAsStringsThroughValue) {
+  // Equal content ⇒ same handle ⇒ Value equality is a handle compare; the
+  // pool must make that hold for awkward bytes too.
+  std::string nul("a");
+  nul += '\0';
+  nul += "b";
+  Value v1 = Value::Str(nul);
+  Value v2 = Value::Str(std::string(nul));
+  EXPECT_TRUE(v1 == v2);
+  EXPECT_EQ(v1.Hash(), v2.Hash());
+  EXPECT_EQ(v1.string_value(), nul);
+  EXPECT_FALSE(v1 == Value::Str("a"));
+}
+
+TEST(InternRoundTripTest, CheckpointRecoverIsByteIdenticalForHostileStrings) {
+  // Live Values hold pool handles; durability must serialize the *strings*
+  // and recovery must re-intern them such that the recomputed views compare
+  // equal to the checkpointed ones (Recover's integrity check does exactly
+  // this comparison, so a successful Recover is the assertion).
+  fs::path dir_path =
+      fs::path(::testing::TempDir()) / "ivm_intern_round_trip";
+  fs::remove_all(dir_path);
+  fs::create_directories(dir_path);
+  const std::string dir = dir_path.string();
+
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.semantics = Semantics::kSet;
+  auto vm = ViewManager::CreateFromText(
+                "base link(S, D).\n"
+                "hop(X, Y) :- link(X, Z) & link(Z, Y).",
+                options)
+                .value();
+  Database db;
+  IVM_ASSERT_OK(db.CreateRelation("link", 2));
+  std::string nul("nul");
+  nul += '\0';
+  nul += "byte";
+  Relation& link = db.mutable_relation("link");
+  link.Add(Tup(nul, std::string("he said \"hi\"")), 1);
+  link.Add(Tup(std::string("he said \"hi\""), std::string("a,b\ncr\rlf")), 1);
+  link.Add(Tup(std::string("a,b\ncr\rlf"), std::string("back\\slash")), 1);
+  link.Add(Tup("42", 0.1), 1);
+  IVM_ASSERT_OK(vm->Initialize(db));
+  IVM_ASSERT_OK(vm->EnableDurability(dir));
+
+  // One WAL-logged batch with more hostile strings, then a checkpoint.
+  ChangeSet changes;
+  changes.Insert("link", Tup(std::string("back\\slash"), nul));
+  ASSERT_TRUE(vm->Apply(changes).ok());
+  IVM_ASSERT_OK(vm->Checkpoint());
+  // And a WAL tail past the checkpoint.
+  ChangeSet tail;
+  tail.Insert("link", Tup(nul, std::string("")));
+  ASSERT_TRUE(vm->Apply(tail).ok());
+
+  auto recovered = ViewManager::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const Relation* got = (*recovered)->GetRelation("hop").value();
+  const Relation* want = vm->GetRelation("hop").value();
+  EXPECT_TRUE(*got == *want);
+  const Relation* got_base = (*recovered)->GetRelation("link").value();
+  EXPECT_TRUE(*got_base == *vm->GetRelation("link").value());
+  fs::remove_all(dir_path);
+}
+
+}  // namespace
+}  // namespace ivm

@@ -253,6 +253,68 @@ TEST(MetricsPipelineTest, Example11DRedOverdeleteRederiveOracle) {
   EXPECT_EQ(metrics.counter_value("apply.view_delta_tuples"), 1u);
 }
 
+TEST(MetricsPipelineTest, PlanCacheMissesThenHitsAcrossApplies) {
+  // The first Apply plans every delta rule (all misses); a second,
+  // identically-shaped batch replays the cached orders (all hits, no new
+  // misses). The counters surface in the JSON export.
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kCounting;
+  options.semantics = Semantics::kSet;
+  options.metrics = &metrics;
+  auto vm = ViewManager::Create(MustParseProgram(kTriHopProgram), options)
+                .value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c). link(c,d).");
+  vm->Initialize(db).CheckOK();
+  metrics.Reset();
+
+  ChangeSet first;
+  first.Insert("link", Tup("d", "e"));
+  vm->Apply(first).value();
+  const uint64_t misses = metrics.counter_value("eval.plan_cache.misses");
+  EXPECT_GT(misses, 0u);
+  EXPECT_EQ(metrics.counter_value("eval.plan_cache.hits"), 0u);
+
+  ChangeSet second;
+  second.Insert("link", Tup("e", "f"));
+  vm->Apply(second).value();
+  EXPECT_EQ(metrics.counter_value("eval.plan_cache.misses"), misses);
+  EXPECT_EQ(metrics.counter_value("eval.plan_cache.hits"), misses);
+
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"eval.plan_cache.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"eval.plan_cache.misses\""), std::string::npos);
+}
+
+TEST(MetricsPipelineTest, PlanCacheInvalidatedOnRuleChange) {
+  // DRed re-plans after AddRule: rule indexes are positional, so the whole
+  // cache is dropped (exactly one invalidation) and the next maintenance
+  // records fresh misses instead of hits.
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kDRed;
+  options.metrics = &metrics;
+  auto vm = ViewManager::Create(
+                MustParseProgram("base link(S, D). "
+                                 "hop(X, Y) :- link(X, Z) & link(Z, Y)."),
+                options)
+                .value();
+  Database db;
+  testing_util::MustLoadFacts(&db, "link(a,b). link(b,c). link(b,e).");
+  vm->Initialize(db).CheckOK();
+  metrics.Reset();
+
+  ChangeSet warm;
+  warm.Delete("link", Tup("a", "b"));
+  vm->Apply(warm).value();
+  EXPECT_GT(metrics.counter_value("eval.plan_cache.misses"), 0u);
+  EXPECT_EQ(metrics.counter_value("eval.plan_cache.invalidations"), 0u);
+
+  vm->AddRuleText("far(X, Y) :- hop(X, Z) & link(Z, Y).").value();
+  EXPECT_EQ(metrics.counter_value("eval.plan_cache.invalidations"), 1u);
+}
+
 TEST(MetricsPipelineTest, SpansCoverApplyAndStrata) {
   MetricsRegistry metrics;
   ViewManager::Options options;

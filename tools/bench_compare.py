@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare two ivm-bench-1 result files (JSON lines, one record per run).
+
+Usage:
+  bench_compare.py BASELINE.json CANDIDATE.json [--tolerance PCT]
+                   [--metric real_time_ns|cpu_time_ns] [--counters]
+
+Each file is the BENCH_<name>.json a benchmark binary emits (schema
+"ivm-bench-1"): one JSON object per line with "run", "real_time_ns",
+"cpu_time_ns", and a "counters" map. Runs are matched by their "run" name;
+aggregate records (run_type != "iteration") are ignored.
+
+For every matched run the candidate/baseline time ratio is printed. A run
+whose time grows by more than --tolerance percent (default 10) is a
+REGRESSION and makes the exit status 1; one that shrinks by more than the
+tolerance is reported as an improvement. Work counters are compared exactly
+with --counters: maintenance work (tuples scanned, derivations) is
+deterministic, so a counter drift means the change altered *what* was
+computed, not just how fast.
+
+Exit status: 0 = within tolerance, 1 = at least one regression,
+2 = usage/IO error (including no matching runs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    runs = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(
+                        f"error: {path}:{lineno}: not JSON: {e}")
+                if rec.get("schema") != "ivm-bench-1":
+                    raise SystemExit(
+                        f"error: {path}:{lineno}: schema is "
+                        f"{rec.get('schema')!r}, expected 'ivm-bench-1'")
+                if rec.get("run_type", "iteration") != "iteration":
+                    continue
+                if rec.get("error"):
+                    continue
+                runs[rec["run"]] = rec
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    return runs
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3g}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3g}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3g}us"
+    return f"{ns:.3g}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=10.0, metavar="PCT",
+        help="allowed slowdown percent before a run counts as a "
+             "regression (default: %(default)s)")
+    parser.add_argument(
+        "--metric", choices=["real_time_ns", "cpu_time_ns"],
+        default="cpu_time_ns",
+        help="which per-iteration time to compare (default: %(default)s; "
+             "cpu time is steadier on shared machines)")
+    parser.add_argument(
+        "--counters", action="store_true",
+        help="also require the deterministic work counters to match exactly")
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    base = load_runs(args.baseline)
+    cand = load_runs(args.candidate)
+    common = [name for name in base if name in cand]
+    if not common:
+        print("error: no runs in common between the two files",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    improvements = []
+    counter_drift = []
+    width = max(len(n) for n in common)
+    print(f"{'run':<{width}}  {'baseline':>10}  {'candidate':>10}  "
+          f"{'ratio':>7}")
+    for name in common:
+        b = base[name][args.metric]
+        c = cand[name][args.metric]
+        ratio = c / b if b else float("inf")
+        marker = ""
+        if ratio > 1 + args.tolerance / 100:
+            marker = "  REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1 - args.tolerance / 100:
+            marker = "  improved"
+            improvements.append((name, ratio))
+        print(f"{name:<{width}}  {fmt_ns(b):>10}  {fmt_ns(c):>10}  "
+              f"{ratio:>6.2f}x{marker}")
+        if args.counters:
+            bc = base[name].get("counters", {})
+            cc = cand[name].get("counters", {})
+            for key in sorted(set(bc) & set(cc)):
+                if bc[key] != cc[key]:
+                    counter_drift.append((name, key, bc[key], cc[key]))
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"note: {len(only_base)} run(s) only in baseline: "
+              f"{', '.join(only_base)}")
+    if only_cand:
+        print(f"note: {len(only_cand)} run(s) only in candidate: "
+              f"{', '.join(only_cand)}")
+
+    for name, key, bv, cv in counter_drift:
+        print(f"COUNTER DRIFT: {name} {key}: baseline {bv} != candidate {cv}",
+              file=sys.stderr)
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"FAIL: {len(regressions)}/{len(common)} run(s) slower than "
+              f"baseline by more than {args.tolerance:g}% "
+              f"(worst: {worst[0]} at {worst[1]:.2f}x)", file=sys.stderr)
+        return 1
+    if counter_drift:
+        print("FAIL: work counters drifted (see above)", file=sys.stderr)
+        return 1
+    summary = f"OK: {len(common)} run(s) within {args.tolerance:g}%"
+    if improvements:
+        best = min(improvements, key=lambda r: r[1])
+        summary += (f"; {len(improvements)} improved "
+                    f"(best: {best[0]} at {best[1]:.2f}x)")
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,19 @@
 #
 # Usage: run_bench_smoke.sh BUILD_DIR
 # Registered as the ctest test `bench_smoke` (see tests/CMakeLists.txt).
+#
+# When IVM_BENCH_BASELINE_DIR is set (a directory of BENCH_*.json files,
+# e.g. bench/baselines/), every produced file with a baseline counterpart is
+# additionally diffed by tools/bench_compare.py with a tolerance of
+# IVM_BENCH_TOLERANCE percent (default 25 — smoke slices are short, so the
+# comparison is deliberately loose and strictly opt-in; CI never sets the
+# variable). Full-length comparisons are run by hand (docs/performance.md).
 set -u
 
 BUILD_DIR="${1:?usage: run_bench_smoke.sh BUILD_DIR}"
 BENCH_DIR="$BUILD_DIR/bench"
 CHECK="$BUILD_DIR/tools/bench_json_check"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ivm_bench_smoke.XXXXXX")"
 trap 'rm -rf "$OUT_DIR"' EXIT
 export IVM_BENCH_OUT="$OUT_DIR"
@@ -72,6 +80,21 @@ run_one parallel_scaling 'BM_Counting/2$' \
 # The metrics on/off pair used for the zero-overhead acceptance check.
 run_one counting_overhead 'BM_ApplyWithMetrics/100/400$' \
   apply.base_delta_tuples peak_delta_tuples
+
+# Optional baseline comparison (see header comment).
+if [[ -n "${IVM_BENCH_BASELINE_DIR:-}" ]]; then
+  tolerance="${IVM_BENCH_TOLERANCE:-25}"
+  for produced in "$OUT_DIR"/BENCH_*.json; do
+    [[ -e "$produced" ]] || continue
+    baseline="$IVM_BENCH_BASELINE_DIR/$(basename "$produced")"
+    [[ -e "$baseline" ]] || continue
+    if ! python3 "$SCRIPT_DIR/bench_compare.py" \
+        --tolerance "$tolerance" "$baseline" "$produced"; then
+      echo "FAIL: $(basename "$produced") regressed vs baseline" >&2
+      fail=1
+    fi
+  done
+fi
 
 if [[ "$fail" -ne 0 ]]; then
   echo "bench smoke: FAILED" >&2

@@ -7,7 +7,10 @@
 # (default: build/; configured automatically — CMakeLists.txt sets
 # CMAKE_EXPORT_COMPILE_COMMANDS).
 #
-# Prefers clang-tidy with the repo's .clang-tidy profile. When clang-tidy is
+# Prefers clang-tidy with the repo's .clang-tidy profile; clang-tidy picks
+# the nearest config per file, so the storage-core directories
+# (src/common/.clang-tidy, src/storage/.clang-tidy) additionally promote
+# performance-* diagnostics to errors. When clang-tidy is
 # not installed (e.g. a gcc-only container), falls back to GCC: every
 # first-party translation unit is re-checked with -fanalyzer plus a stricter
 # warning set than the normal build. Exits nonzero if any diagnostic is

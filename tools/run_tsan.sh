@@ -9,7 +9,12 @@
 #
 #   exec_test                  ThreadPool / DeltaPartitioner / Executor units
 #   parallel_determinism_test  serial vs 2/4/8-thread maintenance equality
+#                              (covers the delta-plan cache: threaded DRed /
+#                              counting runs plan through DeltaPlanCache)
 #   view_manager_test          ExecutorOptions validation + parallel Apply
+#   flat_hash_test             storage-core structures (FlatHashMap, intern
+#                              pool — InternPool::Global is shared state)
+#   metrics_test               concurrent counter sinks + plan-cache metrics
 #
 # Any data race aborts the run (halt_on_error): a clean exit is the
 # acceptance gate for changes to src/exec/ and the batched evaluation loops
@@ -26,12 +31,14 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 cmake --build "${BUILD_DIR}" -j \
-  --target exec_test parallel_determinism_test view_manager_test
+  --target exec_test parallel_determinism_test view_manager_test \
+           flat_hash_test metrics_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 fail=0
-for t in exec_test parallel_determinism_test view_manager_test; do
+for t in exec_test parallel_determinism_test view_manager_test \
+         flat_hash_test metrics_test; do
   echo "=== tsan: ${t} ==="
   if ! "${BUILD_DIR}/tests/${t}"; then
     fail=1
