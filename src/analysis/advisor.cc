@@ -1,9 +1,29 @@
 #include "analysis/advisor.h"
 
+#include <cstdio>
+
+#include "analysis/program_stats.h"
 #include "common/logging.h"
 #include "datalog/graph.h"
 
 namespace ivm {
+
+namespace {
+
+/// Estimated per-change work above which a parallel executor is worth its
+/// per-batch fan-out overhead (ExecutorOptions::threads > 1). Calibrated
+/// against the cost model's defaults: the clean example programs land in
+/// the tens-to-hundreds range, so only genuinely join-heavy programs trip
+/// this.
+constexpr double kParallelCostThreshold = 1e5;
+
+std::string FormatCost(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", value);
+  return buf;
+}
+
+}  // namespace
 
 std::string ViewClassification::ToString() const {
   std::string out = name + ": ";
@@ -18,9 +38,25 @@ std::string ViewClassification::ToString() const {
 std::string StrategyAdvice::Summary() const {
   std::string out = "recommended strategy: ";
   out += StrategyName(recommended);
-  out += (recommended == Strategy::kDRed)
-             ? " (recursive program, Section 7)"
-             : " (nonrecursive program, Algorithm 4.1)";
+  switch (recommended) {
+    case Strategy::kDRed:
+      out += " (recursive program, Section 7)";
+      break;
+    case Strategy::kRecursiveCounting:
+      out += " (recursive program under duplicate semantics, Section 8)";
+      break;
+    default:
+      out += " (nonrecursive program, Algorithm 4.1)";
+      break;
+  }
+  out += "\nestimated delta cost: " + FormatCost(estimated_delta_cost) +
+         " rows touched per single-tuple change";
+  out += "\nmax delta amplification: " + FormatCost(max_delta_amplification) +
+         " derived rows per changed row";
+  out += recommend_parallel
+             ? "\nparallel execution: recommended (join-heavy shape; set "
+               "ExecutorOptions::threads > 1)"
+             : "\nparallel execution: not worth the fan-out overhead";
   for (const ViewClassification& v : views) {
     out += "\n  ";
     out += v.ToString();
@@ -74,6 +110,39 @@ StrategyAdvice AdviseStrategy(const Program& program) {
   }
   advice.recommended =
       advice.program_recursive ? Strategy::kDRed : Strategy::kCounting;
+
+  // Cost-model signals (analysis/program_stats.h). The parallel
+  // recommendation fires on measured shape, not structure alone: either the
+  // estimated per-change work clears the threshold, or some rule joins more
+  // than four subgoals (the wide-join lint boundary) — wide joins are where
+  // the parallel executor's per-delta-rule fan-out pays off.
+  const ProgramStats stats = ComputeProgramStats(program);
+  advice.estimated_delta_cost = stats.total_delta_cost;
+  advice.max_delta_amplification = stats.max_delta_amplification;
+  bool wide_join = false;
+  for (const RuleCostStats& rs : stats.rules) {
+    if (rs.num_positive > 4) wide_join = true;
+  }
+  advice.recommend_parallel =
+      wide_join || stats.total_delta_cost > kParallelCostThreshold;
+  return advice;
+}
+
+StrategyAdvice AdviseStrategy(const Program& program, Semantics semantics) {
+  StrategyAdvice advice = AdviseStrategy(program);
+  if (semantics == Semantics::kDuplicate) {
+    // DRed maintains sets only (Section 7); under bag semantics a recursive
+    // program needs recursive counting (Section 8). Per-view
+    // recommendations shift the same way.
+    if (advice.recommended == Strategy::kDRed) {
+      advice.recommended = Strategy::kRecursiveCounting;
+    }
+    for (ViewClassification& v : advice.views) {
+      if (v.recommended == Strategy::kDRed) {
+        v.recommended = Strategy::kRecursiveCounting;
+      }
+    }
+  }
   return advice;
 }
 

@@ -39,12 +39,30 @@ struct StrategyAdvice {
   bool program_uses_aggregation = false;
   Strategy recommended = Strategy::kCounting;
 
+  /// Cost-model outputs (analysis/program_stats.h): the program's estimated
+  /// maintenance work per single-tuple base change, and the worst rule's
+  /// derived-tuples-per-changed-tuple fan-out.
+  double estimated_delta_cost = 0.0;
+  double max_delta_amplification = 0.0;
+  /// True when the measured shape — join width and estimated per-change
+  /// work — is heavy enough that a parallel executor
+  /// (ExecutorOptions::threads > 1) is worth its fan-out overhead.
+  bool recommend_parallel = false;
+
   std::string Summary() const;
 };
 
 /// Classifies every view of an *analyzed* program and recommends the
 /// paper's strategy for each.
 StrategyAdvice AdviseStrategy(const Program& program);
+
+/// Semantics-aware refinement: identical to the overload above except that
+/// a recursive program maintained under duplicate (bag) semantics is
+/// recommended recursive-counting (Section 8) — DRed only maintains sets.
+/// Pure advice: ViewManager::Create still rejects kAuto with duplicate
+/// semantics on recursive programs so the §8 propagation cost is opted into
+/// explicitly, never silently.
+StrategyAdvice AdviseStrategy(const Program& program, Semantics semantics);
 
 /// Validates a user-selected (strategy, semantics) pair against the paper's
 /// preconditions, as strategy-mismatch diagnostics:

@@ -1,10 +1,12 @@
 #include "analysis/analyzer.h"
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/program_stats.h"
 #include "datalog/graph.h"
 #include "datalog/parser.h"
 #include "datalog/safety.h"
@@ -149,6 +151,13 @@ std::optional<bool> ConstantComparison(const Literal& lit) {
     case ComparisonOp::kGe: return a >= b;
   }
   return std::nullopt;
+}
+
+/// Compact scientific-ish rendering of a model estimate ("2e+07", "110").
+std::string FormatEstimate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
 }
 
 }  // namespace
@@ -500,6 +509,136 @@ AnalysisReport AnalyzeProgram(Program& program) {
         " variable-disjoint groups: " + groups +
         "); the join's cost is the product of the groups' sizes, in rule: " +
         rule.ToString();
+    report.Add(std::move(d));
+  }
+
+  // ---- cost/cardinality model lints (wide-join, nonlinear-recursion,
+  // aggregate-through-recursion, delta-explosion, inlinable-view) ----
+  const ProgramStats stats = ComputeProgramStats(program);
+  for (int r = 0; r < num_rules; ++r) {
+    if (!rule_ok[r]) continue;
+    const Rule& rule = rules[r];
+    const RuleCostStats& rs = stats.rules[static_cast<size_t>(r)];
+
+    if (rs.num_positive > 4) {
+      Diagnostic d;
+      d.code = DiagCode::kWideJoin;
+      d.severity = DiagSeverity::kWarning;
+      d.rule_index = r;
+      d.line = RuleLine(rule);
+      d.predicate = rule.head.predicate;
+      d.message = "rule joins " + std::to_string(rs.num_positive) +
+                  " subgoals; each of its " + std::to_string(rs.num_positive) +
+                  " delta rules (Section 4) re-joins the other " +
+                  std::to_string(rs.num_positive - 1) +
+                  " in full — split the rule into smaller intermediate views, "
+                  "in rule: " +
+                  rule.ToString();
+      report.Add(std::move(d));
+    }
+
+    if (rs.recursive_subgoals >= 2) {
+      Diagnostic d;
+      d.code = DiagCode::kNonlinearRecursion;
+      d.severity = DiagSeverity::kWarning;
+      d.rule_index = r;
+      d.line = RuleLine(rule);
+      d.predicate = rule.head.predicate;
+      d.message = "nonlinear recursion: " +
+                  std::to_string(rs.recursive_subgoals) +
+                  " body subgoals are in the head's recursive component, so "
+                  "every semi-naive round joins the delta against each "
+                  "recursive position; a linear formulation (one recursive "
+                  "subgoal) maintains the same fixpoint more cheaply, in "
+                  "rule: " +
+                  rule.ToString();
+      report.Add(std::move(d));
+    }
+
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      const Literal& lit = rule.body[li];
+      if (lit.kind != Literal::Kind::kAggregate ||
+          lit.atom.pred == kUnresolvedPredicate) {
+        continue;
+      }
+      const PredicateCostStats& over =
+          stats.predicates[static_cast<size_t>(lit.atom.pred)];
+      if (!over.recursive) continue;
+      Diagnostic d;
+      d.code = DiagCode::kAggregateThroughRecursion;
+      d.severity = DiagSeverity::kWarning;
+      d.rule_index = r;
+      d.literal_index = static_cast<int>(li);
+      d.line = LiteralLine(rule, static_cast<int>(li));
+      d.predicate = rule.head.predicate;
+      d.message = "aggregate ranges over recursive predicate '" +
+                  lit.atom.predicate +
+                  "': every change that propagates through the recursion "
+                  "(Section 7 rederivation) re-aggregates the affected "
+                  "groups (Section 6.2); aggregate over a nonrecursive "
+                  "projection instead if possible, in rule: " +
+                  rule.ToString();
+      report.Add(std::move(d));
+    }
+
+    if (rs.delta_amplification > stats.params.delta_explosion_threshold) {
+      Diagnostic d;
+      d.code = DiagCode::kDeltaExplosion;
+      d.severity = DiagSeverity::kWarning;
+      d.rule_index = r;
+      d.line = RuleLine(rule);
+      d.predicate = rule.head.predicate;
+      d.message =
+          "predicted delta explosion: the cost model estimates ~" +
+          FormatEstimate(rs.delta_amplification) +
+          " derived tuples touched per changed input tuple (threshold " +
+          FormatEstimate(stats.params.delta_explosion_threshold) +
+          "); incremental maintenance of this rule would not beat "
+          "recomputation — add a shared join variable or split the rule, in "
+          "rule: " +
+          rule.ToString();
+      report.Add(std::move(d));
+    }
+  }
+
+  // inlinable-view: advisory only — materializing a once-read conjunctive
+  // view costs a relation and a delta level for no reuse. The defining rule
+  // is found from the rule heads (PredicateInfo::rules is only populated by
+  // Analyze(), which has not necessarily run here).
+  std::vector<int> sole_rule(program.num_predicates(), -1);
+  for (int r = 0; r < num_rules; ++r) {
+    const PredicateId head = rules[r].head.pred;
+    if (head != kUnresolvedPredicate) sole_rule[static_cast<size_t>(head)] = r;
+  }
+  for (size_t p = 0; p < program.num_predicates(); ++p) {
+    const PredicateCostStats& ps = stats.predicates[p];
+    const PredicateInfo& info = program.predicate(static_cast<PredicateId>(p));
+    if (info.is_base || ps.recursive) continue;
+    if (ps.defining_rules != 1 || ps.reads != 1 || ps.positive_reads != 1) {
+      continue;
+    }
+    const int r = sole_rule[p];
+    if (r < 0 || r >= num_rules || !rule_ok[r]) continue;
+    const Rule& rule = rules[r];
+    bool conjunctive = true;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegated ||
+          lit.kind == Literal::Kind::kAggregate) {
+        conjunctive = false;
+        break;
+      }
+    }
+    if (!conjunctive) continue;
+    Diagnostic d;
+    d.code = DiagCode::kInlinableView;
+    d.severity = DiagSeverity::kNote;
+    d.rule_index = r;
+    d.line = RuleLine(rule);
+    d.predicate = info.name;
+    d.message = "view '" + info.name +
+                "' has one rule and is read exactly once; inlining its body "
+                "into the reader would save one materialized relation and "
+                "one delta level";
     report.Add(std::move(d));
   }
 

@@ -17,8 +17,106 @@ const char* DiagCodeName(DiagCode code) {
     case DiagCode::kDuplicateRule: return "duplicate-rule";
     case DiagCode::kCartesianProductJoin: return "cartesian-product-join";
     case DiagCode::kStrategyMismatch: return "strategy-mismatch";
+    case DiagCode::kWideJoin: return "wide-join";
+    case DiagCode::kNonlinearRecursion: return "nonlinear-recursion";
+    case DiagCode::kAggregateThroughRecursion:
+      return "aggregate-through-recursion";
+    case DiagCode::kDeltaExplosion: return "delta-explosion";
+    case DiagCode::kInlinableView: return "inlinable-view";
   }
   return "?";
+}
+
+const char* DiagCodeId(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError: return "IVM001";
+    case DiagCode::kArityMismatch: return "IVM002";
+    case DiagCode::kBaseRedefined: return "IVM003";
+    case DiagCode::kUndefinedPredicate: return "IVM004";
+    case DiagCode::kUnsafeRule: return "IVM005";
+    case DiagCode::kNegationCycle: return "IVM006";
+    case DiagCode::kUnusedPredicate: return "IVM007";
+    case DiagCode::kUnreachableRule: return "IVM008";
+    case DiagCode::kDuplicateRule: return "IVM009";
+    case DiagCode::kCartesianProductJoin: return "IVM010";
+    case DiagCode::kStrategyMismatch: return "IVM011";
+    case DiagCode::kWideJoin: return "IVM012";
+    case DiagCode::kNonlinearRecursion: return "IVM013";
+    case DiagCode::kAggregateThroughRecursion: return "IVM014";
+    case DiagCode::kDeltaExplosion: return "IVM015";
+    case DiagCode::kInlinableView: return "IVM016";
+  }
+  return "IVM000";
+}
+
+const char* DiagCodeDescription(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError:
+      return "The program could not be parsed.";
+    case DiagCode::kArityMismatch:
+      return "A predicate is used with inconsistent arities.";
+    case DiagCode::kBaseRedefined:
+      return "A rule head redefines a declared base relation.";
+    case DiagCode::kUndefinedPredicate:
+      return "A body predicate is neither declared base nor defined by any "
+             "rule.";
+    case DiagCode::kUnsafeRule:
+      return "A rule violates range restriction or safe negation (Section "
+             "6.1).";
+    case DiagCode::kNegationCycle:
+      return "The program recurses through negation or aggregation and is "
+             "not stratifiable (Section 6).";
+    case DiagCode::kUnusedPredicate:
+      return "A declared base relation is never read by any rule.";
+    case DiagCode::kUnreachableRule:
+      return "A rule can never derive a tuple.";
+    case DiagCode::kDuplicateRule:
+      return "Two rules are identical up to variable renaming.";
+    case DiagCode::kCartesianProductJoin:
+      return "A rule body joins variable-disjoint subgoal groups (cartesian "
+             "product).";
+    case DiagCode::kStrategyMismatch:
+      return "The selected maintenance strategy violates a paper "
+             "precondition or contradicts its recommendation.";
+    case DiagCode::kWideJoin:
+      return "A rule joins more than four subgoals; delta-rule cost grows "
+             "with join width (Section 4).";
+    case DiagCode::kNonlinearRecursion:
+      return "A recursive rule has two or more subgoals in its own SCC, "
+             "multiplying semi-naive delta work.";
+    case DiagCode::kAggregateThroughRecursion:
+      return "An aggregate ranges over a recursive predicate; affected "
+             "groups re-aggregate on every propagated change.";
+    case DiagCode::kDeltaExplosion:
+      return "The cost model predicts an enormous number of derived tuples "
+             "per changed input tuple.";
+    case DiagCode::kInlinableView:
+      return "A nonrecursive single-rule view is read exactly once and "
+             "could be inlined into its reader.";
+  }
+  return "";
+}
+
+const std::vector<DiagCode>& AllDiagCodes() {
+  static const std::vector<DiagCode> codes = {
+      DiagCode::kParseError,
+      DiagCode::kArityMismatch,
+      DiagCode::kBaseRedefined,
+      DiagCode::kUndefinedPredicate,
+      DiagCode::kUnsafeRule,
+      DiagCode::kNegationCycle,
+      DiagCode::kUnusedPredicate,
+      DiagCode::kUnreachableRule,
+      DiagCode::kDuplicateRule,
+      DiagCode::kCartesianProductJoin,
+      DiagCode::kStrategyMismatch,
+      DiagCode::kWideJoin,
+      DiagCode::kNonlinearRecursion,
+      DiagCode::kAggregateThroughRecursion,
+      DiagCode::kDeltaExplosion,
+      DiagCode::kInlinableView,
+  };
+  return codes;
 }
 
 const char* DiagSeverityName(DiagSeverity severity) {

@@ -40,10 +40,40 @@ enum class DiagCode {
   /// preconditions for this program (e.g. counting on a recursive view, §4
   /// vs §7), or contradicts the paper's recommendation.
   kStrategyMismatch,
+  /// A rule joins more than four subgoals; its delta rules (§4, one per
+  /// subgoal) each re-join the other subgoals in full, so maintenance cost
+  /// grows with the join width.
+  kWideJoin,
+  /// A recursive rule with two or more subgoals in its head's SCC.
+  /// Nonlinear recursion multiplies delta work: each semi-naive round must
+  /// join the delta against every recursive subgoal position.
+  kNonlinearRecursion,
+  /// An aggregate ranges over a recursive predicate: every change that
+  /// propagates through the recursion forces the affected groups to be
+  /// re-aggregated (§6.2 machinery on top of §7 rederivation).
+  kAggregateThroughRecursion,
+  /// The cost model predicts the rule derives an enormous number of tuples
+  /// per single changed input tuple — incremental maintenance of this rule
+  /// would be no cheaper than recomputation.
+  kDeltaExplosion,
+  /// A nonrecursive single-rule view read exactly once; inlining its body
+  /// into the reader saves one materialized relation and one delta level.
+  kInlinableView,
 };
 
 /// The lint-facing kebab-case spelling of `code` (e.g. "unsafe-rule").
 const char* DiagCodeName(DiagCode code);
+
+/// The stable rule identifier of `code` (e.g. "IVM005" for unsafe-rule).
+/// Part of the SARIF/JSON surface: ids are assigned in enum order, are
+/// never reused, and never change meaning.
+const char* DiagCodeId(DiagCode code);
+
+/// One-sentence rule description for report catalogs (SARIF driver.rules).
+const char* DiagCodeDescription(DiagCode code);
+
+/// Every diagnostic code, in id order (the lint tools' rule catalog).
+const std::vector<DiagCode>& AllDiagCodes();
 
 enum class DiagSeverity {
   kError,    // the program (or strategy choice) will be rejected

@@ -1,0 +1,220 @@
+#include "analysis/program_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ivm {
+
+namespace {
+
+/// Everything in the model is capped here: beyond 10^18 "how big exactly"
+/// carries no information, and staying finite keeps the fixpoint stable.
+constexpr double kModelCeiling = 1e18;
+
+double CappedPow(double base, double exp) {
+  double v = std::pow(base, exp);
+  return std::min(v, kModelCeiling);
+}
+
+/// One rule's estimates under the model, given current predicate
+/// cardinalities. Walks the body left to right, tracking bound variables:
+/// each already-bound variable (or constant) in a subgoal is one join/filter
+/// equality, shrinking the intermediate by 1/distinct_values.
+struct RuleEstimate {
+  double out_rows = 0.0;
+  double join_cost = 0.0;
+  double amplification = 0.0;
+};
+
+RuleEstimate EstimateRule(const Rule& rule, const EstimationParams& params,
+                          const std::vector<PredicateCostStats>& preds,
+                          double head_cap) {
+  const double d = params.distinct_values;
+  double acc = 1.0;       // current intermediate size
+  double cost = 0.0;      // sum of intermediate sizes
+  std::set<VarId> bound;
+  std::vector<double> subgoal_cards;  // one entry per join participant
+
+  // Counts the equalities a term contributes and binds its variables.
+  auto absorb_term = [&](const Term& term, int* eq) {
+    if (term.kind() == Term::Kind::kConstant) {
+      ++*eq;
+      return;
+    }
+    std::vector<VarId> vars;
+    term.CollectVars(&vars);
+    for (VarId v : vars) {
+      if (!bound.insert(v).second) ++*eq;
+    }
+  };
+
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == Literal::Kind::kPositive) {
+      if (lit.atom.pred == kUnresolvedPredicate) continue;
+      const double card =
+          std::max(preds[static_cast<size_t>(lit.atom.pred)].cardinality, 1.0);
+      int eq = 0;
+      for (const Term& t : lit.atom.terms) absorb_term(t, &eq);
+      acc = std::min(acc * card / CappedPow(d, eq), kModelCeiling);
+      cost = std::min(cost + acc, kModelCeiling);
+      subgoal_cards.push_back(card);
+    } else if (lit.kind == Literal::Kind::kAggregate) {
+      if (lit.atom.pred == kUnresolvedPredicate) continue;
+      // An aggregate subgoal yields at most one row per group: its size is
+      // the grouped predicate's cardinality squeezed to the group arity.
+      const double card = std::max(
+          std::min(preds[static_cast<size_t>(lit.atom.pred)].cardinality,
+                   CappedPow(d, static_cast<double>(lit.group_vars.size()))),
+          1.0);
+      int eq = 0;
+      for (const Term& t : lit.group_vars) absorb_term(t, &eq);
+      acc = std::min(acc * card / CappedPow(d, eq), kModelCeiling);
+      cost = std::min(cost + acc, kModelCeiling);
+      subgoal_cards.push_back(card);
+      // The aggregate result is computed, never an equality.
+      int ignored = 0;
+      absorb_term(lit.result_var, &ignored);
+    } else if (lit.kind == Literal::Kind::kComparison) {
+      if (lit.cmp_op == ComparisonOp::kEq) {
+        // X = <expr> with X free *binds* (no shrink); an equality between
+        // two bound sides is a pure filter.
+        auto is_free_var = [&](const Term& t) {
+          return t.kind() == Term::Kind::kVariable &&
+                 bound.count(t.var()) == 0;
+        };
+        const bool binds =
+            is_free_var(lit.cmp_lhs) || is_free_var(lit.cmp_rhs);
+        int ignored = 0;
+        absorb_term(lit.cmp_lhs, &ignored);
+        absorb_term(lit.cmp_rhs, &ignored);
+        if (!binds) acc /= d;
+      }
+      // Inequalities: selectivity 1 (conservative — never hides a blowup).
+    }
+    // Negated subgoals filter; selectivity 1 keeps the estimate an upper
+    // bound.
+  }
+
+  RuleEstimate est;
+  est.join_cost = cost;
+  const double full = acc;
+  est.out_rows = std::min(full, head_cap);
+  // Delta rules (§4): one per body subgoal; substituting a 1-row delta for
+  // subgoal i scales the full join by 1/card_i.
+  for (double card : subgoal_cards) {
+    est.amplification =
+        std::min(est.amplification + full / card, kModelCeiling);
+  }
+  return est;
+}
+
+}  // namespace
+
+ProgramStats ComputeProgramStats(const Program& program,
+                                 const EstimationParams& params) {
+  ProgramStats stats;
+  stats.params = params;
+  const int num_preds = static_cast<int>(program.num_predicates());
+  const std::vector<Rule>& rules = program.rules();
+  const int num_rules = static_cast<int>(rules.size());
+  stats.predicates.resize(static_cast<size_t>(num_preds));
+  stats.rules.resize(static_cast<size_t>(num_rules));
+
+  // ---- SCC structure ----
+  DependencyGraph graph = program.BuildDependencyGraph();
+  stats.scc = ComputeScc(graph);
+  for (int c = 0; c < stats.scc.num_components; ++c) {
+    if (stats.scc.recursive[static_cast<size_t>(c)]) ++stats.num_recursive_sccs;
+    stats.largest_scc_size =
+        std::max(stats.largest_scc_size,
+                 static_cast<int>(stats.scc.members[static_cast<size_t>(c)].size()));
+  }
+
+  // ---- per-predicate shape ----
+  // Defining-rule lists are rebuilt from the rule heads rather than read
+  // from PredicateInfo::rules: the latter is only populated by Analyze(),
+  // and the analyzer runs this model on merely *resolved* programs.
+  std::vector<std::vector<int>> defining(static_cast<size_t>(num_preds));
+  for (int r = 0; r < num_rules; ++r) {
+    const PredicateId head = rules[static_cast<size_t>(r)].head.pred;
+    if (head == kUnresolvedPredicate) continue;
+    defining[static_cast<size_t>(head)].push_back(r);
+  }
+  for (int p = 0; p < num_preds; ++p) {
+    PredicateCostStats& ps = stats.predicates[static_cast<size_t>(p)];
+    const PredicateInfo& info = program.predicate(p);
+    ps.cap = CappedPow(params.distinct_values,
+                       static_cast<double>(info.arity));
+    ps.scc = stats.scc.component_of[static_cast<size_t>(p)];
+    ps.recursive = stats.scc.recursive[static_cast<size_t>(ps.scc)];
+    ps.defining_rules = static_cast<int>(defining[static_cast<size_t>(p)].size());
+    ps.cardinality = info.is_base ? std::min(params.base_rows, ps.cap) : 0.0;
+  }
+  for (const Rule& rule : rules) {
+    for (const Literal& lit : rule.body) {
+      if (!lit.IsAtomBased() || lit.atom.pred == kUnresolvedPredicate) continue;
+      PredicateCostStats& ps =
+          stats.predicates[static_cast<size_t>(lit.atom.pred)];
+      ++ps.reads;
+      if (lit.kind == Literal::Kind::kPositive) ++ps.positive_reads;
+    }
+  }
+
+  // ---- cardinality fixpoint ----
+  // Cardinalities are monotone and capped, so iteration converges; the
+  // relative-change cutoff ends the asymptotic tail of sub-1 growth factors.
+  for (int iter = 0; iter < 256; ++iter) {
+    bool changed = false;
+    for (int p = 0; p < num_preds; ++p) {
+      const PredicateInfo& info = program.predicate(p);
+      if (info.is_base) continue;
+      double total = 0.0;
+      for (int r : defining[static_cast<size_t>(p)]) {
+        const Rule& rule = rules[static_cast<size_t>(r)];
+        if (rule.head.pred == kUnresolvedPredicate) continue;
+        total += EstimateRule(rule, params, stats.predicates,
+                              stats.predicates[static_cast<size_t>(p)].cap)
+                     .out_rows;
+      }
+      PredicateCostStats& ps = stats.predicates[static_cast<size_t>(p)];
+      double next = std::min(total, ps.cap);
+      if (next > ps.cardinality * (1.0 + 1e-9) + 1e-9) {
+        ps.cardinality = next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // ---- per-rule costs at the fixpoint ----
+  for (int r = 0; r < num_rules; ++r) {
+    const Rule& rule = rules[static_cast<size_t>(r)];
+    if (rule.head.pred == kUnresolvedPredicate) continue;
+    RuleCostStats& rs = stats.rules[static_cast<size_t>(r)];
+    const PredicateCostStats& head =
+        stats.predicates[static_cast<size_t>(rule.head.pred)];
+    RuleEstimate est = EstimateRule(rule, params, stats.predicates, head.cap);
+    rs.out_rows = est.out_rows;
+    rs.join_cost = est.join_cost;
+    rs.delta_amplification = est.amplification;
+    for (const Literal& lit : rule.body) {
+      if (!lit.IsAtomBased() || lit.atom.pred == kUnresolvedPredicate) continue;
+      if (lit.kind == Literal::Kind::kNegated) continue;
+      ++rs.num_positive;
+      if (head.recursive &&
+          stats.predicates[static_cast<size_t>(lit.atom.pred)].scc ==
+              head.scc) {
+        ++rs.recursive_subgoals;
+      }
+    }
+    stats.total_delta_cost =
+        std::min(stats.total_delta_cost + rs.delta_amplification,
+                 kModelCeiling);
+    stats.max_delta_amplification =
+        std::max(stats.max_delta_amplification, rs.delta_amplification);
+  }
+  return stats;
+}
+
+}  // namespace ivm

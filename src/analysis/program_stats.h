@@ -1,0 +1,88 @@
+#ifndef IVM_ANALYSIS_PROGRAM_STATS_H_
+#define IVM_ANALYSIS_PROGRAM_STATS_H_
+
+#include <vector>
+
+#include "datalog/graph.h"
+#include "datalog/program.h"
+
+namespace ivm {
+
+/// Knobs of the abstract cardinality model. The estimator is deliberately
+/// parameter-light: it answers *shape* questions (does this rule's delta
+/// work grow multiplicatively? is this join a cross product?), not
+/// row-accurate ones, so two round numbers suffice.
+struct EstimationParams {
+  /// Assumed tuples per base relation.
+  double base_rows = 1000.0;
+  /// Assumed distinct values per attribute. Joining two subgoals on one
+  /// shared variable therefore keeps 1/distinct_values of the cross
+  /// product, and no predicate can exceed distinct_values^arity tuples.
+  double distinct_values = 100.0;
+  /// A rule whose estimated delta amplification (derived tuples touched per
+  /// single changed input tuple) exceeds this is flagged delta-explosion.
+  double delta_explosion_threshold = 1e6;
+};
+
+/// Derived size/shape facts about one predicate.
+struct PredicateCostStats {
+  /// Estimated tuples at fixpoint under EstimationParams.
+  double cardinality = 0.0;
+  /// Hard ceiling distinct_values^arity (the model's key to convergence on
+  /// recursive programs: transitive closure saturates at distinct^2).
+  double cap = 0.0;
+  /// SCC id in the dependency graph, and whether that SCC is recursive.
+  int scc = -1;
+  bool recursive = false;
+  /// Body references to this predicate across all rules (any literal kind),
+  /// and how many of those are plain positive subgoals.
+  int reads = 0;
+  int positive_reads = 0;
+  /// Rules whose head is this predicate.
+  int defining_rules = 0;
+};
+
+/// Derived cost facts about one rule.
+struct RuleCostStats {
+  /// Positive + aggregate subgoals (the join participants).
+  int num_positive = 0;
+  /// Body subgoals in the head's SCC; >= 2 means nonlinear recursion.
+  int recursive_subgoals = 0;
+  /// Estimated rows one full evaluation of the rule produces.
+  double out_rows = 0.0;
+  /// Estimated total work (sum of intermediate join sizes) of one full
+  /// evaluation.
+  double join_cost = 0.0;
+  /// Estimated derived rows produced per single changed input tuple: the
+  /// summed cost of the rule's delta rules (one per body subgoal, §4) with a
+  /// 1-row delta. The incremental-maintenance analogue of fan-out.
+  double delta_amplification = 0.0;
+};
+
+/// The measured shape of a whole program: SCC structure plus the abstract-
+/// interpretation cardinality/cost model, computed by one bottom-up fixpoint
+/// over EstimationParams. Input to the new analyzer lints (wide-join,
+/// delta-explosion, ...) and to the strategy advisor's cost estimates.
+struct ProgramStats {
+  EstimationParams params;
+  SccResult scc;
+  int num_recursive_sccs = 0;
+  int largest_scc_size = 1;
+  /// Indexed by PredicateId / rule index, aligned with Program.
+  std::vector<PredicateCostStats> predicates;
+  std::vector<RuleCostStats> rules;
+  /// Sum of every rule's delta_amplification: the program's estimated work
+  /// per single-tuple base change.
+  double total_delta_cost = 0.0;
+  double max_delta_amplification = 0.0;
+};
+
+/// Computes ProgramStats. Rules must have been resolved
+/// (Program::ResolveRules or Analyze); rules that failed resolution are
+/// skipped and keep zeroed RuleCostStats.
+ProgramStats ComputeProgramStats(const Program& program,
+                                 const EstimationParams& params = {});
+
+}  // namespace ivm
+
+#endif  // IVM_ANALYSIS_PROGRAM_STATS_H_

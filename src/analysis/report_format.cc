@@ -1,0 +1,146 @@
+#include "analysis/report_format.h"
+
+#include <cstddef>
+
+#include "obs/json_util.h"
+
+namespace ivm {
+
+namespace {
+
+size_t NoteCount(const AnalysisReport& report) {
+  size_t notes = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity == DiagSeverity::kNote) ++notes;
+  }
+  return notes;
+}
+
+/// SARIF severity levels happen to spell exactly like ours.
+const char* SarifLevel(DiagSeverity severity) {
+  return DiagSeverityName(severity);
+}
+
+}  // namespace
+
+std::string RenderReportText(const AnalysisReport& report,
+                             const std::string& file) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics()) {
+    out += file;
+    if (d.line > 0) {
+      out += ':';
+      out += std::to_string(d.line);
+    }
+    out += ": ";
+    out += d.ToString();
+    out += '\n';
+  }
+  if (!report.empty()) {
+    out += std::to_string(report.error_count()) + " error(s), " +
+           std::to_string(report.warning_count()) + " warning(s), " +
+           std::to_string(NoteCount(report)) + " note(s)\n";
+  }
+  return out;
+}
+
+std::string RenderReportJson(const AnalysisReport& report,
+                             const std::string& file) {
+  std::string out = "{\"file\":";
+  JsonAppendString(&out, file);
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":\"";
+    out += DiagCodeId(d.code);
+    out += "\",\"code\":\"";
+    out += DiagCodeName(d.code);
+    out += "\",\"severity\":\"";
+    out += DiagSeverityName(d.severity);
+    out += "\",\"line\":";
+    out += std::to_string(d.line);
+    out += ",\"rule\":";
+    out += std::to_string(d.rule_index);
+    out += ",\"literal\":";
+    out += std::to_string(d.literal_index);
+    out += ",\"predicate\":";
+    JsonAppendString(&out, d.predicate);
+    out += ",\"message\":";
+    JsonAppendString(&out, d.message);
+    out += '}';
+  }
+  out += "],\"errors\":";
+  out += std::to_string(report.error_count());
+  out += ",\"warnings\":";
+  out += std::to_string(report.warning_count());
+  out += ",\"notes\":";
+  out += std::to_string(NoteCount(report));
+  out += '}';
+  return out;
+}
+
+std::string RenderReportSarif(const AnalysisReport& report,
+                              const std::string& file) {
+  return RenderReportsSarif({{file, report}});
+}
+
+std::string RenderReportsSarif(
+    const std::vector<std::pair<std::string, AnalysisReport>>& reports) {
+  std::string out =
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"ivm_lint\","
+      "\"informationUri\":\"https://dl.acm.org/doi/10.1145/170035.170066\","
+      "\"rules\":[";
+  const std::vector<DiagCode>& catalog = AllDiagCodes();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"id\":\"";
+    out += DiagCodeId(catalog[i]);
+    out += "\",\"name\":\"";
+    out += DiagCodeName(catalog[i]);
+    out += "\",\"shortDescription\":{\"text\":";
+    JsonAppendString(&out, DiagCodeDescription(catalog[i]));
+    out += "}}";
+  }
+  out += "]}},\"results\":[";
+  bool first = true;
+  for (const auto& [file, report] : reports) {
+    for (const Diagnostic& d : report.diagnostics()) {
+      if (!first) out += ',';
+      first = false;
+      size_t rule_index = 0;
+      for (size_t i = 0; i < catalog.size(); ++i) {
+        if (catalog[i] == d.code) {
+          rule_index = i;
+          break;
+        }
+      }
+      out += "{\"ruleId\":\"";
+      out += DiagCodeId(d.code);
+      out += "\",\"ruleIndex\":";
+      out += std::to_string(rule_index);
+      out += ",\"level\":\"";
+      out += SarifLevel(d.severity);
+      out += "\",\"message\":{\"text\":";
+      JsonAppendString(&out, d.message);
+      out += "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+             "\"uri\":";
+      JsonAppendString(&out, file);
+      out += '}';
+      if (d.line > 0) {
+        out += ",\"region\":{\"startLine\":";
+        out += std::to_string(d.line);
+        out += '}';
+      }
+      out += "}}]}";
+    }
+  }
+  out += "]}]}";
+  return out;
+}
+
+}  // namespace ivm

@@ -1,0 +1,52 @@
+#ifndef IVM_ANALYSIS_REPORT_FORMAT_H_
+#define IVM_ANALYSIS_REPORT_FORMAT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace ivm {
+
+/// Renderers for an AnalysisReport, shared by ivm_lint and any embedder
+/// that wants machine-readable analyzer output. All three are pure
+/// functions of (report, file): same input, byte-identical output — the
+/// lint golden tests depend on that.
+
+/// Human-readable, one diagnostic per line:
+///   <file>:<line>: <severity> [<code>] <message>
+/// (the ":<line>" part is omitted when the line is unknown), followed by a
+/// "N error(s), M warning(s), K note(s)" summary line when the report is
+/// nonempty.
+std::string RenderReportText(const AnalysisReport& report,
+                             const std::string& file);
+
+/// One JSON object:
+///   {"file":...,"diagnostics":[{"id":"IVM012","code":"wide-join",
+///    "severity":"warning","line":3,"rule":2,"literal":-1,
+///    "predicate":"p","message":"..."}],
+///    "errors":N,"warnings":M,"notes":K}
+/// Diagnostic ids are the stable rule ids (DiagCodeId); fields "rule" and
+/// "literal" are -1 when not applicable, "line" 0 when unknown.
+std::string RenderReportJson(const AnalysisReport& report,
+                             const std::string& file);
+
+/// SARIF 2.1.0 (the static-analysis interchange format): one run whose
+/// driver is ivm_lint, with the full rule catalog (every DiagCode, stable
+/// ids IVM001..) in driver.rules and one result per diagnostic. Severities
+/// map error/warning/note -> SARIF levels error/warning/note; the region is
+/// omitted when the source line is unknown.
+std::string RenderReportSarif(const AnalysisReport& report,
+                              const std::string& file);
+
+/// Multi-file SARIF: a single sarif-2.1.0 document with one run covering
+/// every (file, report) pair — each result's artifactLocation names its
+/// file. `ivm_lint --format=sarif a.dl b.dl` uses this so the output stays
+/// one valid SARIF log. RenderReportSarif is the single-pair special case.
+std::string RenderReportsSarif(
+    const std::vector<std::pair<std::string, AnalysisReport>>& reports);
+
+}  // namespace ivm
+
+#endif  // IVM_ANALYSIS_REPORT_FORMAT_H_

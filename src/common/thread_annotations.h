@@ -1,0 +1,79 @@
+#ifndef IVM_COMMON_THREAD_ANNOTATIONS_H_
+#define IVM_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) annotation macros, no-ops elsewhere.
+///
+/// The concurrency core (exec/thread_pool, storage/intern, txn/failpoint,
+/// txn/wal, obs/metrics) declares its lock discipline with these macros so a
+/// clang build proves it at compile time: every access to an
+/// IVM_GUARDED_BY(mu) member outside a scope that holds `mu` is a
+/// -Wthread-safety error (promoted to -Werror=thread-safety, see the root
+/// CMakeLists.txt and tools/run_static_analysis.sh). GCC defines none of the
+/// underlying attributes, so the macros expand to nothing there and the
+/// annotated code compiles identically.
+///
+/// Conventions (docs/analysis.md):
+///   * every mutable member shared between threads is IVM_GUARDED_BY its
+///     mutex, next to its declaration;
+///   * private helpers that expect the caller to hold a lock say so with
+///     IVM_REQUIRES(mu) instead of re-locking;
+///   * public methods never require locks — they acquire them (and advertise
+///     IVM_EXCLUDES(mu) where self-deadlock is possible);
+///   * `ivm::Mutex` / `ivm::MutexLock` / `ivm::CondVar` (common/mutex.h) are
+///     the only lock primitives used in annotated code — std::mutex carries
+///     no capability and is invisible to the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define IVM_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define IVM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a class to be a capability ("mutex" for locks).
+#define IVM_CAPABILITY(x) IVM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define IVM_SCOPED_CAPABILITY IVM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Member data protected by the given capability.
+#define IVM_GUARDED_BY(x) IVM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define IVM_PT_GUARDED_BY(x) IVM_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the capability (and must not already hold it).
+#define IVM_ACQUIRE(...) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (and must hold it on entry).
+#define IVM_RELEASE(...) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; the first argument is the
+/// return value that means success.
+#define IVM_TRY_ACQUIRE(...) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively) for the call.
+#define IVM_REQUIRES(...) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself —
+/// calling with it held would self-deadlock).
+#define IVM_EXCLUDES(...) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the named capability (for wrapper accessors).
+#define IVM_RETURN_CAPABILITY(x) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define IVM_ASSERT_CAPABILITY(x) \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define IVM_NO_THREAD_SAFETY_ANALYSIS \
+  IVM_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // IVM_COMMON_THREAD_ANNOTATIONS_H_

@@ -46,9 +46,12 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(
 
   Strategy resolved = options.strategy;
   if (resolved == Strategy::kAuto) {
-    // The paper's recommendation: counting for nonrecursive views, DRed for
-    // recursive views.
-    resolved = program.IsRecursive() ? Strategy::kDRed : Strategy::kCounting;
+    // The advisor's measured recommendation: counting for nonrecursive
+    // views, DRed for recursive ones. Deliberately NOT the semantics-aware
+    // overload — kAuto with duplicate semantics on a recursive program was
+    // already rejected by CheckStrategyChoice above, so recursive counting
+    // (Section 8) must be requested explicitly.
+    resolved = AdviseStrategy(program).recommended;
   }
 
   // The single authoritative executor/strategy check. Every strategy except

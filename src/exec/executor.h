@@ -46,8 +46,10 @@ class Executor {
   /// Null when threads()==1.
   ThreadPool* pool() { return pool_.get(); }
 
-  /// Registry for exec.* counters and spans; may be null. Only touched from
-  /// the orchestrating thread (MetricsRegistry is not thread-safe).
+  /// Registry for exec.* counters and spans; may be null. The registry's
+  /// registration and span paths are internally synchronized, but the
+  /// executor publishes its exec.* metrics from the orchestrating thread
+  /// only — workers hand their statistics back through the merge step.
   void AttachMetrics(MetricsRegistry* metrics);
   MetricsRegistry* metrics() const { return metrics_; }
 

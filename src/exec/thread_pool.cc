@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -37,14 +37,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   ++tls_parallel_depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn_ = &fn;
     n_ = n;
     completed_ = 0;
     next_.store(0, std::memory_order_relaxed);
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread claims indices alongside the workers.
   size_t local = 0;
   while (true) {
@@ -54,14 +54,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     ++local;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     completed_ += local;
     // Wait for every index to finish AND every woken worker to retire.
     // completed_ == n_ alone is not enough: a worker that woke for this batch
     // but lost the claim race (local count 0) may still hold `fn`; if we
     // returned now, publishing the next batch would reset next_ under it and
     // it would run a dangling fn against the new batch's indices.
-    done_cv_.wait(lock, [this] { return completed_ == n_ && active_ == 0; });
+    done_cv_.Wait(&mu_, [this]() IVM_REQUIRES(mu_) {
+      return completed_ == n_ && active_ == 0;
+    });
     fn_ = nullptr;
   }
   --tls_parallel_depth;
@@ -69,17 +71,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [&] {
+    work_cv_.Wait(&mu_, [&]() IVM_REQUIRES(mu_) {
       return shutdown_ || (fn_ != nullptr && generation_ != seen);
     });
-    if (shutdown_) return;
+    if (shutdown_) {
+      mu_.Unlock();
+      return;
+    }
     seen = generation_;
     const std::function<void(size_t)>* fn = fn_;
     const size_t n = n_;
     ++active_;  // in flight for this batch until we report back under mu_
-    lock.unlock();
+    mu_.Unlock();
     tls_parallel_depth = 1;
     size_t local = 0;
     while (true) {
@@ -89,10 +94,10 @@ void ThreadPool::WorkerLoop() {
       ++local;
     }
     tls_parallel_depth = 0;
-    lock.lock();
+    mu_.Lock();
     completed_ += local;
     --active_;
-    if (completed_ == n_ && active_ == 0) done_cv_.notify_one();
+    if (completed_ == n_ && active_ == 0) done_cv_.NotifyOne();
   }
 }
 

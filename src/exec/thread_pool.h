@@ -2,13 +2,14 @@
 #define IVM_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ivm {
 
@@ -23,6 +24,13 @@ namespace ivm {
 /// A ParallelFor issued from inside a task (e.g. a parallel Index::Build
 /// triggered by a join running on a worker) executes inline on the calling
 /// thread — nesting never deadlocks and never oversubscribes.
+///
+/// Lock discipline (enforced by -Werror=thread-safety under clang): all
+/// batch-publication state is guarded by `mu_`; only the claim counter
+/// `next_` is lock-free. The PR 4 stale-worker race class — a woken worker
+/// outliving ParallelFor and touching the destroyed batch — is exactly an
+/// unguarded access to `fn_`/`n_`, which the annotations now make a compile
+/// error instead of a TSan find.
 class ThreadPool {
  public:
   /// `threads` is the total parallelism including the calling thread;
@@ -39,26 +47,27 @@ class ThreadPool {
   /// Runs fn(0) ... fn(n-1), each exactly once, on the pool's threads plus
   /// the calling thread; returns when all n calls have finished. Tasks must
   /// be mutually independent. Blocking, not reentrant across threads.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      IVM_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() IVM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
   // Current batch; guarded by mu_ except for the atomic index counter.
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t n_ = 0;
-  uint64_t generation_ = 0;
-  size_t completed_ = 0;
+  const std::function<void(size_t)>* fn_ IVM_GUARDED_BY(mu_) = nullptr;
+  size_t n_ IVM_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ IVM_GUARDED_BY(mu_) = 0;
+  size_t completed_ IVM_GUARDED_BY(mu_) = 0;
   // Workers that have woken for the current batch and not yet reported back.
   // ParallelFor must not return while any are in flight: a woken worker holds
   // the batch's fn pointer and may not have claimed its first index yet, so
   // returning early would let it claim an index of the *next* batch while
   // running the previous (by then destroyed) fn.
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ IVM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ IVM_GUARDED_BY(mu_) = false;
   std::atomic<size_t> next_{0};
   std::vector<std::thread> workers_;
 };

@@ -6,7 +6,7 @@
 
 namespace ivm {
 
-Counter* MetricsRegistry::counter(std::string_view name) {
+Counter* MetricsRegistry::CounterLocked(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), Counter()).first;
@@ -14,7 +14,21 @@ Counter* MetricsRegistry::counter(std::string_view name) {
   return &it->second;
 }
 
+LatencyHistogram* MetricsRegistry::HistogramLocked(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), LatencyHistogram()).first;
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  MutexLock lock(&mu_);
+  return CounterLocked(name);
+}
+
 Gauge* MetricsRegistry::gauge(std::string_view name) {
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), Gauge()).first;
@@ -23,25 +37,25 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 }
 
 LatencyHistogram* MetricsRegistry::histogram(std::string_view name) {
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), LatencyHistogram()).first;
-  }
-  return &it->second;
+  MutexLock lock(&mu_);
+  return HistogramLocked(name);
 }
 
 uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value;
 }
 
 int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second.value;
 }
 
 const LatencyHistogram* MetricsRegistry::FindHistogram(
     std::string_view name) const {
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -64,18 +78,22 @@ uint64_t LatencyHistogram::PercentileNanos(double p) const {
   return BucketUpperBoundNanos(kNumBuckets - 1);
 }
 
-int MetricsRegistry::BeginSpan() { return span_depth_++; }
+int MetricsRegistry::BeginSpan() {
+  MutexLock lock(&mu_);
+  return span_depth_++;
+}
 
 void MetricsRegistry::EndSpan(const char* name, int depth, uint64_t start_ns,
                               uint64_t duration_ns) {
+  MutexLock lock(&mu_);
   span_depth_ = depth;
   if (!span_epoch_set_) {
     span_epoch_set_ = true;
     span_epoch_ns_ = start_ns;
   }
-  histogram(std::string("span.") + name)->Record(duration_ns);
+  HistogramLocked(std::string("span.") + name)->Record(duration_ns);
   if (spans_.size() >= span_capacity_) {
-    counter("obs.spans_dropped")->Add(1);
+    CounterLocked("obs.spans_dropped")->Add(1);
     return;
   }
   SpanRecord rec;
@@ -87,12 +105,14 @@ void MetricsRegistry::EndSpan(const char* name, int depth, uint64_t start_ns,
 }
 
 std::vector<SpanRecord> MetricsRegistry::DrainSpans() {
+  MutexLock lock(&mu_);
   std::vector<SpanRecord> out = std::move(spans_);
   spans_.clear();
   return out;
 }
 
 void MetricsRegistry::Reset() {
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) {
     (void)name;
     c.value = 0;
@@ -112,6 +132,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::string MetricsRegistry::ToJson(bool with_spans) const {
+  MutexLock lock(&mu_);
   std::string out;
   out.push_back('{');
   out.append("\"counters\":{");

@@ -8,6 +8,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace ivm {
 
 /// Monotonically increasing event count. Instrumented components resolve the
@@ -95,40 +98,58 @@ struct SpanRecord {
 /// no-ops — no allocation, no clock read — when it is. Attach one registry
 /// per ViewManager via ViewManager::Options::metrics.
 ///
-/// Not thread-safe (like the rest of the library: one registry per manager,
-/// one manager per thread).
+/// Thread-safety contract (enforced by capability annotations): the
+/// registry's own structure — the name->metric maps, the span buffer and its
+/// bookkeeping — is guarded by an internal mutex, so registration
+/// (counter()/gauge()/histogram()), span recording, Reset() and the
+/// read/export paths are safe to call from any thread. The *handles* those
+/// accessors return are deliberately raw: Counter::Add on a resolved handle
+/// is an unsynchronized store, and stays single-writer by contract (one
+/// maintenance orchestrator per manager). This is the groundwork the
+/// concurrent serving tier needs — workers and readers may open spans and
+/// resolve metrics without racing the registry's maps.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Handle accessors: create-on-first-use, stable addresses.
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
-  LatencyHistogram* histogram(std::string_view name);
+  /// Handle accessors: create-on-first-use, stable addresses. The returned
+  /// handle is not synchronized by the registry (see class comment).
+  Counter* counter(std::string_view name) IVM_EXCLUDES(mu_);
+  Gauge* gauge(std::string_view name) IVM_EXCLUDES(mu_);
+  LatencyHistogram* histogram(std::string_view name) IVM_EXCLUDES(mu_);
 
   /// Read-side lookups (0 / nullptr when the metric was never touched).
-  uint64_t counter_value(std::string_view name) const;
-  int64_t gauge_value(std::string_view name) const;
-  const LatencyHistogram* FindHistogram(std::string_view name) const;
+  uint64_t counter_value(std::string_view name) const IVM_EXCLUDES(mu_);
+  int64_t gauge_value(std::string_view name) const IVM_EXCLUDES(mu_);
+  /// The returned pointer is a stable map node; reading it races a
+  /// concurrent writer of the same histogram (single-writer by contract).
+  const LatencyHistogram* FindHistogram(std::string_view name) const
+      IVM_EXCLUDES(mu_);
 
   /// Span recording (called by TraceSpan; not for direct use). BeginSpan
   /// returns the depth of the opened span.
-  int BeginSpan();
+  int BeginSpan() IVM_EXCLUDES(mu_);
   void EndSpan(const char* name, int depth, uint64_t start_ns,
-               uint64_t duration_ns);
+               uint64_t duration_ns) IVM_EXCLUDES(mu_);
 
   /// Completed spans since the last DrainSpans(), oldest first. At most
   /// `span_capacity` spans are retained; older overflow is counted in the
   /// `obs.spans_dropped` counter.
-  const std::vector<SpanRecord>& spans() const { return spans_; }
-  std::vector<SpanRecord> DrainSpans();
-  void set_span_capacity(size_t capacity) { span_capacity_ = capacity; }
+  std::vector<SpanRecord> spans() const IVM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return spans_;
+  }
+  std::vector<SpanRecord> DrainSpans() IVM_EXCLUDES(mu_);
+  void set_span_capacity(size_t capacity) IVM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    span_capacity_ = capacity;
+  }
 
   /// Zeroes every metric and clears the span buffer; registered names (and
   /// outstanding handles) stay valid.
-  void Reset();
+  void Reset() IVM_EXCLUDES(mu_);
 
   /// Serializes all metrics as one JSON object:
   ///   {"counters":{...},"gauges":{...},
@@ -136,31 +157,42 @@ class MetricsRegistry {
   ///                  "max_ns":..,"p50_ns":..,"p99_ns":..}},
   ///    "spans":[{"name":..,"depth":..,"start_ns":..,"duration_ns":..}]}
   /// Spans are included only when `with_spans` is true.
-  std::string ToJson(bool with_spans = false) const;
+  std::string ToJson(bool with_spans = false) const IVM_EXCLUDES(mu_);
 
-  /// Visitation for exporters (benchmark counters, tests).
+  /// Visitation for exporters (benchmark counters, tests). `fn` runs with
+  /// the registry lock held — it must not call back into the registry.
   template <typename Fn>  // Fn(const std::string&, uint64_t)
-  void ForEachCounter(Fn&& fn) const {
+  void ForEachCounter(Fn&& fn) const IVM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (const auto& [name, c] : counters_) fn(name, c.value);
   }
   template <typename Fn>  // Fn(const std::string&, int64_t)
-  void ForEachGauge(Fn&& fn) const {
+  void ForEachGauge(Fn&& fn) const IVM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (const auto& [name, g] : gauges_) fn(name, g.value);
   }
   template <typename Fn>  // Fn(const std::string&, const LatencyHistogram&)
-  void ForEachHistogram(Fn&& fn) const {
+  void ForEachHistogram(Fn&& fn) const IVM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (const auto& [name, h] : histograms_) fn(name, h);
   }
 
  private:
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
-  std::vector<SpanRecord> spans_;
-  size_t span_capacity_ = 1024;
-  int span_depth_ = 0;
-  bool span_epoch_set_ = false;
-  uint64_t span_epoch_ns_ = 0;
+  /// Registration guts shared by the public accessors and EndSpan (which
+  /// already holds the lock when it resolves its histogram/counter).
+  Counter* CounterLocked(std::string_view name) IVM_REQUIRES(mu_);
+  LatencyHistogram* HistogramLocked(std::string_view name) IVM_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_ IVM_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ IVM_GUARDED_BY(mu_);
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_
+      IVM_GUARDED_BY(mu_);
+  std::vector<SpanRecord> spans_ IVM_GUARDED_BY(mu_);
+  size_t span_capacity_ IVM_GUARDED_BY(mu_) = 1024;
+  int span_depth_ IVM_GUARDED_BY(mu_) = 0;
+  bool span_epoch_set_ IVM_GUARDED_BY(mu_) = false;
+  uint64_t span_epoch_ns_ IVM_GUARDED_BY(mu_) = 0;
 
   friend class TraceSpan;
 };

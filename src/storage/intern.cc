@@ -13,7 +13,7 @@ InternPool::~InternPool() {
 }
 
 InternPool::Handle InternPool::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(s);
   if (it != map_.end()) return it->second;
 

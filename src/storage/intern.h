@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ivm {
 
@@ -40,7 +42,7 @@ class InternPool {
 
   /// Returns the handle for `s`, interning it on first sight. The stored
   /// copy (and therefore `str(handle)`) preserves embedded NULs.
-  Handle Intern(std::string_view s);
+  Handle Intern(std::string_view s) IVM_EXCLUDES(mu_);
 
   /// The interned string for `handle`. The reference is stable forever.
   const std::string& str(Handle handle) const {
@@ -94,8 +96,10 @@ class InternPool {
   std::atomic<uint32_t> next_{0};
 
   // Guards interning: the dedup map keys are views into stored entries.
-  mutable std::mutex mu_;
-  std::unordered_map<std::string_view, Handle> map_;
+  // blocks_/next_ stay atomics so the read path (str/hash/size) is lock-free;
+  // only the dedup map needs the capability.
+  mutable Mutex mu_;
+  std::unordered_map<std::string_view, Handle> map_ IVM_GUARDED_BY(mu_);
 };
 
 }  // namespace ivm

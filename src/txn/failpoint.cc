@@ -48,6 +48,7 @@ uint64_t NextRandom(uint64_t* state) {
 }  // namespace
 
 Status FailpointRegistry::Check(const char* name) {
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_.emplace(name, Config()).first;
@@ -79,6 +80,7 @@ Status FailpointRegistry::Check(const char* name) {
 }
 
 void FailpointRegistry::ArmOnNthHit(const std::string& name, uint64_t n) {
+  MutexLock lock(&mu_);
   Config& config = points_[name];
   config.mode = Mode::kNthHit;
   config.nth = config.hits + n;  // n-th hit from now
@@ -86,6 +88,7 @@ void FailpointRegistry::ArmOnNthHit(const std::string& name, uint64_t n) {
 
 void FailpointRegistry::ArmWithProbability(const std::string& name, double p,
                                            uint64_t seed) {
+  MutexLock lock(&mu_);
   Config& config = points_[name];
   config.mode = Mode::kProbability;
   config.probability = p;
@@ -93,15 +96,18 @@ void FailpointRegistry::ArmWithProbability(const std::string& name, double p,
 }
 
 void FailpointRegistry::ArmAlways(const std::string& name) {
+  MutexLock lock(&mu_);
   points_[name].mode = Mode::kAlways;
 }
 
 void FailpointRegistry::Disarm(const std::string& name) {
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   if (it != points_.end()) it->second.mode = Mode::kOff;
 }
 
 void FailpointRegistry::DisarmAll() {
+  MutexLock lock(&mu_);
   for (auto& [name, config] : points_) {
     (void)name;
     config.mode = Mode::kOff;
@@ -109,11 +115,13 @@ void FailpointRegistry::DisarmAll() {
 }
 
 uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 void FailpointRegistry::ResetHitCounts() {
+  MutexLock lock(&mu_);
   for (auto& [name, config] : points_) {
     (void)name;
     config.hits = 0;

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ivm {
 
@@ -18,28 +20,33 @@ namespace ivm {
 /// back to its pre-call state, and recovery must restore the last committed
 /// state from disk — the recovery property test exercises every site in
 /// kFailpointCatalogue.
+///
+/// The registry is a process-wide singleton reachable from any thread that
+/// executes instrumented code (parallel delta evaluation runs maintainer
+/// code on pool workers), so every method synchronizes on an internal mutex.
 class FailpointRegistry {
  public:
   static FailpointRegistry& Instance();
 
   /// Called by IVM_FAILPOINT at an instrumented site. Returns a non-OK
   /// Status when the failpoint is armed and its trigger condition fires.
-  Status Check(const char* name);
+  Status Check(const char* name) IVM_EXCLUDES(mu_);
 
   /// Fails on the `n`-th execution of the site (1-based), once.
-  void ArmOnNthHit(const std::string& name, uint64_t n);
+  void ArmOnNthHit(const std::string& name, uint64_t n) IVM_EXCLUDES(mu_);
   /// Fails each execution independently with probability `p` (seeded,
   /// deterministic).
-  void ArmWithProbability(const std::string& name, double p, uint64_t seed);
+  void ArmWithProbability(const std::string& name, double p, uint64_t seed)
+      IVM_EXCLUDES(mu_);
   /// Fails on every execution.
-  void ArmAlways(const std::string& name);
+  void ArmAlways(const std::string& name) IVM_EXCLUDES(mu_);
 
-  void Disarm(const std::string& name);
-  void DisarmAll();
+  void Disarm(const std::string& name) IVM_EXCLUDES(mu_);
+  void DisarmAll() IVM_EXCLUDES(mu_);
 
   /// Executions of the site since the last ResetHitCounts (armed or not).
-  uint64_t HitCount(const std::string& name) const;
-  void ResetHitCounts();
+  uint64_t HitCount(const std::string& name) const IVM_EXCLUDES(mu_);
+  void ResetHitCounts() IVM_EXCLUDES(mu_);
 
   /// True when the library was compiled with failpoints instrumented
   /// (-DIVM_FAILPOINTS=ON); otherwise IVM_FAILPOINT is a no-op and arming
@@ -55,7 +62,8 @@ class FailpointRegistry {
     uint64_t rng_state = 0;
     uint64_t hits = 0;
   };
-  std::map<std::string, Config> points_;
+  mutable Mutex mu_;
+  std::map<std::string, Config> points_ IVM_GUARDED_BY(mu_);
 };
 
 /// Canonical names of every instrumented site; tests iterate this list to

@@ -292,17 +292,22 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     }
   }
   auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
-  wal->committed_size_ = committed;
+  {
+    MutexLock lock(&wal->mu_);
+    wal->committed_size_ = committed;
+  }
   return wal;
 }
 
 WriteAheadLog::~WriteAheadLog() {
+  MutexLock lock(&mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
 Status WriteAheadLog::AppendRecord(uint64_t epoch, WalRecordKind kind,
                                    const std::string& payload) {
   TraceSpan span(metrics_, "wal.append");
+  MutexLock lock(&mu_);
   IVM_FAILPOINT("wal.append");
   // A previous append may have failed partway (simulated by the
   // wal.append.torn failpoint, or a real short write): repair the tail
@@ -376,6 +381,7 @@ Status WriteAheadLog::AppendRemoveRule(uint64_t epoch, int rule_index) {
 }
 
 Status WriteAheadLog::TruncateTo(int64_t size) {
+  MutexLock lock(&mu_);
   if (size < static_cast<int64_t>(sizeof(kMagic)) || size > committed_size_) {
     return Status::InvalidArgument("bad WAL truncation target for " + path_);
   }
@@ -395,6 +401,7 @@ Status WriteAheadLog::TruncateTo(int64_t size) {
 }
 
 Status WriteAheadLog::Reset() {
+  MutexLock lock(&mu_);
   std::FILE* file = std::fopen(path_.c_str(), "wb");
   if (file == nullptr) {
     return Status::Internal("cannot truncate WAL file " + path_);

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/relation.h"
 
@@ -46,6 +48,11 @@ struct WalRecord {
 /// Readers stop at the first torn (incomplete), corrupt (CRC mismatch), or
 /// out-of-order (non-increasing epoch) record — exactly the crash-recovery
 /// contract: a prefix of committed records survives, a torn tail is ignored.
+///
+/// The file handle and committed-size watermark are guarded by an internal
+/// mutex, so appends, rollback, and committed_size() reads may come from
+/// different threads; records are still strictly serialized (one append at a
+/// time). AttachMetrics must happen-before the first concurrent append.
 class WriteAheadLog {
  public:
   /// Opens `path` for appending, creating it (with the magic header) when
@@ -59,22 +66,27 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   Status AppendChangeSet(uint64_t epoch,
-                         const std::map<std::string, Relation>& deltas);
-  Status AppendAddRule(uint64_t epoch, const std::string& rule_text);
-  Status AppendRemoveRule(uint64_t epoch, int rule_index);
+                         const std::map<std::string, Relation>& deltas)
+      IVM_EXCLUDES(mu_);
+  Status AppendAddRule(uint64_t epoch, const std::string& rule_text)
+      IVM_EXCLUDES(mu_);
+  Status AppendRemoveRule(uint64_t epoch, int rule_index) IVM_EXCLUDES(mu_);
 
   /// Resets the log to just the magic header (after a checkpoint absorbed
   /// all records).
-  Status Reset();
+  Status Reset() IVM_EXCLUDES(mu_);
 
   /// Size of the committed prefix (header plus every committed record).
-  int64_t committed_size() const { return committed_size_; }
+  int64_t committed_size() const IVM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return committed_size_;
+  }
 
   /// Rolls the log back to `size` — a value previously returned by
   /// committed_size() — erasing the records appended since. Used to
   /// un-publish a record whose post-append step (trigger dispatch) failed,
   /// so the durable log matches the rolled-back in-memory state.
-  Status TruncateTo(int64_t size);
+  Status TruncateTo(int64_t size) IVM_EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
 
@@ -97,14 +109,15 @@ class WriteAheadLog {
       : path_(std::move(path)), file_(file) {}
 
   Status AppendRecord(uint64_t epoch, WalRecordKind kind,
-                      const std::string& payload);
+                      const std::string& payload) IVM_EXCLUDES(mu_);
 
   std::string path_;
-  std::FILE* file_;
+  mutable Mutex mu_;
+  std::FILE* file_ IVM_GUARDED_BY(mu_);
   /// File size after the last committed append (or header). A failed append
   /// can leave a torn record past this point; the next append truncates back
   /// to it first, so a surviving process keeps a fully readable log.
-  int64_t committed_size_ = 0;
+  int64_t committed_size_ IVM_GUARDED_BY(mu_) = 0;
   MetricsRegistry* metrics_ = nullptr;
 };
 

@@ -6,6 +6,7 @@
 
 #include "analysis/advisor.h"
 #include "analysis/analyzer.h"
+#include "analysis/program_stats.h"
 #include "analysis/diagnostic.h"
 #include "core/view_manager.h"
 #include "datalog/parser.h"
@@ -510,6 +511,224 @@ TEST(ViewManagerStrategyTest, WarningsDoNotBlockCreation) {
       ViewManager::CreateFromText(
           kNonrecursiveText, testing_util::ManagerOptions(Strategy::kDRed));
   IVM_EXPECT_OK(manager.status());
+}
+
+// ---------------------------------------------------------------------------
+// Cost/cardinality lints (IVM012..IVM016): one positive and one negative
+// case per rule.
+
+TEST(CostLintTest, WideJoinFiresAtFiveSubgoals) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "p5(A, F) :- link(A, B) & link(B, C) & link(C, D) & link(D, E) & "
+      "link(E, F).");
+  Diagnostic d = MustFindOne(report, DiagCode::kWideJoin);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_TRUE(MessageContains(d, "5 subgoals")) << d.message;
+}
+
+TEST(CostLintTest, FourSubgoalJoinIsNotWide) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "p4(A, E) :- link(A, B) & link(B, C) & link(C, D) & link(D, E).");
+  EXPECT_FALSE(report.Has(DiagCode::kWideJoin)) << report.ToString();
+}
+
+TEST(CostLintTest, NonlinearRecursionFlagged) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- tc(X, Z) & tc(Z, Y).");
+  Diagnostic d = MustFindOne(report, DiagCode::kNonlinearRecursion);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d.predicate, "tc");
+}
+
+TEST(CostLintTest, LinearRecursionIsNotNonlinear) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kNonlinearRecursion)) << report.ToString();
+}
+
+TEST(CostLintTest, MutualRecursionWithOneRecursiveSubgoalPerRuleIsLinear) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "even(X, Y) :- link(X, Y). "
+      "even(X, Y) :- odd(X, Z) & link(Z, Y). "
+      "odd(X, Y) :- even(X, Z) & link(Z, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kNonlinearRecursion)) << report.ToString();
+}
+
+TEST(CostLintTest, AggregateThroughRecursionFlagged) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base edge(S, D). "
+      "reach(X, Y) :- edge(X, Y). "
+      "reach(X, Y) :- reach(X, Z) & edge(Z, Y). "
+      "fanout(X, N) :- groupby(reach(X, Y), [X], N = count(Y)).");
+  Diagnostic d = MustFindOne(report, DiagCode::kAggregateThroughRecursion);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_TRUE(MessageContains(d, "'reach'")) << d.message;
+}
+
+TEST(CostLintTest, AggregateOverNonrecursivePredicateIsQuiet) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base cost(S, D, C). "
+      "best(S, M) :- groupby(cost(S, D, C), [S], M = min(C)).");
+  EXPECT_FALSE(report.Has(DiagCode::kAggregateThroughRecursion))
+      << report.ToString();
+}
+
+TEST(CostLintTest, DeltaExplosionPredictedForCartesianBlowup) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base a(X). base b(X). base c(X). base d(X). "
+      "combo(W, X, Y, Z) :- a(W) & b(X) & c(Y) & d(Z).");
+  Diagnostic d = MustFindOne(report, DiagCode::kDeltaExplosion);
+  EXPECT_EQ(d.severity, DiagSeverity::kWarning);
+  EXPECT_TRUE(MessageContains(d, "derived tuples")) << d.message;
+}
+
+TEST(CostLintTest, SharedJoinVariablesDoNotExplode) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kDeltaExplosion)) << report.ToString();
+}
+
+TEST(CostLintTest, InlinableViewNoteForOnceReadSingleRuleView) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y). "
+      "tri(X, Y) :- hop(X, Z) & link(Z, Y).");
+  Diagnostic d = MustFindOne(report, DiagCode::kInlinableView);
+  EXPECT_EQ(d.severity, DiagSeverity::kNote);
+  EXPECT_EQ(d.predicate, "hop");
+}
+
+TEST(CostLintTest, ViewReadTwiceIsNotInlinable) {
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y). "
+      "tri(X, Y) :- hop(X, Z) & link(Z, Y). "
+      "quad(X, Y) :- hop(X, Z) & hop(Z, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kInlinableView)) << report.ToString();
+}
+
+TEST(CostLintTest, NegatedViewIsNotInlinable) {
+  // The sole read is through negation: inlining would change the semantics.
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y). "
+      "nohop(X, Y) :- link(X, Z) & link(Z2, Y) & !hop(X, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kInlinableView)) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// The cost model itself (ComputeProgramStats): hand-checked estimates under
+// the default parameters (1000 base rows, 100 distinct values per column).
+
+TEST(ProgramStatsTest, TransitiveClosureEstimates) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y).");
+  ProgramStats stats = ComputeProgramStats(program);
+
+  // tc saturates at its arity cap: 100^2 = 10^4 rows.
+  const PredicateCostStats& tc =
+      stats.predicates[static_cast<size_t>(program.Lookup("tc").value())];
+  EXPECT_TRUE(tc.recursive);
+  EXPECT_DOUBLE_EQ(tc.cardinality, 1e4);
+
+  // Rule 2 joins link (1000) with tc (10^4) on one shared variable:
+  // full = 1000 * 10^4 / 100 = 10^5 rows; amplification =
+  // full/|link| + full/|tc| = 100 + 10 = 110.
+  EXPECT_DOUBLE_EQ(stats.rules[1].delta_amplification, 110.0);
+  EXPECT_EQ(stats.rules[1].num_positive, 2);
+  EXPECT_EQ(stats.rules[1].recursive_subgoals, 1);
+  EXPECT_DOUBLE_EQ(stats.max_delta_amplification, 110.0);
+}
+
+TEST(ProgramStatsTest, BindingEqualityDoesNotShrinkTheJoin) {
+  // C = C1 + C2 binds C (it appears nowhere else): selectivity 1, not 1/100.
+  Program with_binding = MustParseProgram(
+      "base cost(S, D, C). "
+      "two(X, Y, C) :- cost(X, Z, C1) & cost(Z, Y, C2) & C = C1 + C2.");
+  Program without = MustParseProgram(
+      "base cost(S, D, C). "
+      "two(X, Y, C1) :- cost(X, Z, C1) & cost(Z, Y, C2).");
+  ProgramStats a = ComputeProgramStats(with_binding);
+  ProgramStats b = ComputeProgramStats(without);
+  EXPECT_DOUBLE_EQ(a.rules[0].out_rows, b.rules[0].out_rows);
+}
+
+TEST(ProgramStatsTest, UnaryPredicatesCapAtDistinctValues) {
+  Program program = MustParseProgram(
+      "base a(X). "
+      "self(X) :- a(X).");
+  ProgramStats stats = ComputeProgramStats(program);
+  const PredicateCostStats& a =
+      stats.predicates[static_cast<size_t>(program.Lookup("a").value())];
+  EXPECT_DOUBLE_EQ(a.cardinality, 100.0);  // min(1000, 100^1)
+}
+
+// ---------------------------------------------------------------------------
+// Advisor cost signals and the semantics-aware recommendation.
+
+TEST(AdvisorTest, AdviceCarriesCostModelSignals) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_DOUBLE_EQ(advice.max_delta_amplification, 110.0);
+  EXPECT_GT(advice.estimated_delta_cost, 0.0);
+  EXPECT_FALSE(advice.recommend_parallel);
+  EXPECT_NE(advice.Summary().find("estimated delta cost"), std::string::npos);
+}
+
+TEST(AdvisorTest, WideJoinShapeRecommendsParallelExecution) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "p5(A, F) :- link(A, B) & link(B, C) & link(C, D) & link(D, E) & "
+      "link(E, F).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_TRUE(advice.recommend_parallel);
+}
+
+TEST(AdvisorTest, HeavyEstimatedCostRecommendsParallelExecution) {
+  // 4 subgoals — under the wide-join boundary — but a cartesian shape whose
+  // estimated per-change work clears the cost threshold on its own.
+  Program program = MustParseProgram(
+      "base a(X). base b(X). base c(X). base d(X). "
+      "combo(W, X, Y, Z) :- a(W) & b(X) & c(Y) & d(Z).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_TRUE(advice.recommend_parallel);
+}
+
+TEST(AdvisorTest, SemanticsAwareOverloadRecommendsRecursiveCounting) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y).");
+  // Set semantics: same as the plain overload — DRed for recursion.
+  EXPECT_EQ(AdviseStrategy(program, Semantics::kSet).recommended,
+            Strategy::kDRed);
+  // Duplicate semantics: DRed cannot maintain bags; Section 8 takes over.
+  StrategyAdvice advice = AdviseStrategy(program, Semantics::kDuplicate);
+  EXPECT_EQ(advice.recommended, Strategy::kRecursiveCounting);
+  for (const ViewClassification& v : advice.views) {
+    EXPECT_EQ(v.recommended, Strategy::kRecursiveCounting) << v.name;
+  }
+}
+
+TEST(AdvisorTest, SemanticsAwareOverloadKeepsCountingWhenNonrecursive) {
+  Program program = MustParseProgram(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  EXPECT_EQ(AdviseStrategy(program, Semantics::kDuplicate).recommended,
+            Strategy::kCounting);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+// Golden-output tests for the analyzer's report renderers.
+//
+// Each .dl program under tests/fixtures/dl/ and examples/dl/ is analyzed
+// exactly the way ivm_lint does (ParseProgramUnanalyzed + AnalyzeProgram)
+// and rendered in all three formats; the bytes are pinned against
+// tests/golden/<name>.{txt,json,sarif}. The renderers are pure functions of
+// (report, file), so any diff is a real behavior change — new rules, edited
+// messages, reordered diagnostics, or broken escaping.
+//
+// To update the goldens after an intentional change:
+//
+//   IVM_REGENERATE_GOLDEN=1 build/tests/lint_golden_test
+//
+// then review the diff like any other code change.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "analysis/report_format.h"
+#include "datalog/parser.h"
+
+namespace ivm {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kSourceDir = IVM_SOURCE_DIR;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool Regenerating() {
+  const char* env = std::getenv("IVM_REGENERATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Renders `program_path` (repo-relative) the way ivm_lint does and checks
+/// (or regenerates) the goldens for all three formats.
+void CheckGoldens(const std::string& rel_program) {
+  const fs::path root = kSourceDir;
+  const fs::path program_path = root / rel_program;
+  const std::string src = ReadFile(program_path);
+
+  AnalysisReport report;
+  Result<Program> program = ParseProgramUnanalyzed(src);
+  if (!program.ok()) {
+    Diagnostic d;
+    d.code = DiagCode::kParseError;
+    d.severity = DiagSeverity::kError;
+    d.message = program.status().message();
+    report.Add(std::move(d));
+  } else {
+    report = AnalyzeProgram(*program);
+  }
+
+  const std::string base = program_path.stem().string();
+  const struct {
+    const char* ext;
+    std::string rendered;
+  } formats[] = {
+      {"txt", RenderReportText(report, rel_program)},
+      {"json", RenderReportJson(report, rel_program)},
+      {"sarif", RenderReportSarif(report, rel_program)},
+  };
+
+  for (const auto& f : formats) {
+    const fs::path golden = root / "tests" / "golden" / (base + "." + f.ext);
+    if (Regenerating()) {
+      std::ofstream out(golden);
+      ASSERT_TRUE(out.is_open()) << "cannot write " << golden;
+      out << f.rendered;
+      continue;
+    }
+    EXPECT_EQ(f.rendered, ReadFile(golden))
+        << "golden mismatch for " << golden
+        << "\n(intentional change? IVM_REGENERATE_GOLDEN=1 "
+        << "build/tests/lint_golden_test)";
+  }
+}
+
+TEST(LintGoldenTest, Fixtures) {
+  // One fixture per cost/cardinality lint rule (IVM012..IVM016).
+  for (const char* name :
+       {"wide_join", "nonlinear_recursion", "aggregate_through_recursion",
+        "delta_explosion", "inlinable_view"}) {
+    SCOPED_TRACE(name);
+    CheckGoldens(std::string("tests/fixtures/dl/") + name + ".dl");
+  }
+}
+
+TEST(LintGoldenTest, Examples) {
+  std::vector<std::string> names;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(kSourceDir) / "examples" / "dl")) {
+    if (entry.path().extension() == ".dl") {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  ASSERT_FALSE(names.empty());
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    CheckGoldens("examples/dl/" + name);
+  }
+}
+
+// The SARIF rule catalog is append-only: ids are stable (IVM001..) and in
+// enum order. A renumbering would silently invalidate every stored SARIF
+// log, so pin the full mapping here, independent of the goldens.
+TEST(LintGoldenTest, StableRuleIds) {
+  const std::vector<DiagCode>& codes = AllDiagCodes();
+  ASSERT_EQ(codes.size(), 16u);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    char expect[8];
+    std::snprintf(expect, sizeof(expect), "IVM%03zu", i + 1);
+    EXPECT_STREQ(DiagCodeId(codes[i]), expect);
+  }
+  EXPECT_STREQ(DiagCodeId(DiagCode::kWideJoin), "IVM012");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kNonlinearRecursion), "IVM013");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kAggregateThroughRecursion), "IVM014");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kDeltaExplosion), "IVM015");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kInlinableView), "IVM016");
+}
+
+}  // namespace
+}  // namespace ivm

@@ -1,0 +1,42 @@
+// Deliberately mis-locked code: every method below violates the declared
+// lock discipline. This file is NOT part of any build target — it exists so
+// tools/run_static_analysis.sh can compile it under clang with
+// -Werror=thread-safety and assert that the compile FAILS. If this file
+// ever compiles cleanly under that flag, the capability annotations in
+// common/mutex.h have stopped firing and the whole thread-safety gate is
+// theater. (Under gcc the annotations are no-ops and it compiles fine,
+// which is why the script only runs the check when clang++ is available.)
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ivm {
+namespace {
+
+struct MisLocked {
+  Mutex mu;
+  int value IVM_GUARDED_BY(mu) = 0;
+
+  void WriteWithoutLock() { value = 1; }        // guarded_by violation
+  int ReadWithoutLock() { return value; }       // guarded_by violation
+  void DoubleLock() {
+    MutexLock a(&mu);
+    mu.Lock();                                  // acquiring a held capability
+  }
+  void ForgetsToUnlock() { mu.Lock(); }         // still held at end of scope
+  void RequiresButNooneHolds() { NeedsLock(); } // requires_capability violation
+  void NeedsLock() IVM_REQUIRES(mu) { value = 2; }
+};
+
+// Pull every violation into the object file so -fsyntax-only sees them all.
+void UseAll() {
+  MisLocked m;
+  m.WriteWithoutLock();
+  (void)m.ReadWithoutLock();
+  m.DoubleLock();
+  m.ForgetsToUnlock();
+  m.RequiresButNooneHolds();
+}
+
+}  // namespace
+}  // namespace ivm

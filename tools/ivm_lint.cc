@@ -5,31 +5,44 @@
 // Parses each program, runs every static analysis (safety with
 // unbound-variable provenance, stratification with the offending cycle,
 // unused/undefined predicates, duplicate and unreachable rules, cartesian
-// joins), and prints diagnostics as
-//
-//   file:line: severity [code] message
+// and wide joins, nonlinear recursion, aggregate-through-recursion,
+// cost-model delta-explosion prediction, inlinable views), and reports the
+// diagnostics in the requested format.
 //
 // Options:
+//   --format=<text|json|sarif>    output format (default: text)
+//       text   file:line: severity [code] message, one per line
+//       json   one JSON object per input file, newline-separated
+//       sarif  a single SARIF 2.1.0 document covering all input files
 //   --strategy=<counting|dred|recompute|pf|recursive-counting|auto>
 //       also validate the strategy choice against the paper's preconditions
 //   --semantics=<set|duplicate>   semantics for --strategy (default: set)
-//   --advise                      print the per-view strategy advice
+//   --advise                      print the per-view strategy advice (text
+//                                 only, on stdout before the report)
 //   --werror                      treat warnings as errors
 //
-// Exits 1 when any error (or, under --werror, warning) was reported.
+// Exit codes:
+//   0  no diagnostics, or notes only
+//   1  warnings (without --werror)
+//   2  errors, or warnings under --werror
+//   3  usage error (unknown option, bad option value, no input files)
 
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/advisor.h"
 #include "analysis/analyzer.h"
+#include "analysis/report_format.h"
 #include "datalog/parser.h"
 
 namespace {
+
+enum class Format { kText, kJson, kSarif };
 
 std::optional<ivm::Strategy> ParseStrategy(const std::string& name) {
   using ivm::Strategy;
@@ -42,18 +55,19 @@ std::optional<ivm::Strategy> ParseStrategy(const std::string& name) {
   return std::nullopt;
 }
 
-void PrintDiagnostics(const std::string& file,
-                      const ivm::AnalysisReport& report) {
-  for (const ivm::Diagnostic& d : report.diagnostics()) {
-    std::cout << file << ":" << d.line << ": " << d.ToString() << "\n";
-  }
+int Usage() {
+  std::cerr << "usage: ivm_lint [--format=text|json|sarif] "
+               "[--strategy=<name>] [--semantics=set|duplicate] [--advise] "
+               "[--werror] file.dl ...\n";
+  return 3;
 }
 
-int Usage() {
-  std::cerr
-      << "usage: ivm_lint [--strategy=<name>] [--semantics=set|duplicate] "
-         "[--advise] [--werror] file.dl ...\n";
-  return 2;
+ivm::Diagnostic MakeErrorDiag(ivm::DiagCode code, std::string message) {
+  ivm::Diagnostic d;
+  d.code = code;
+  d.severity = ivm::DiagSeverity::kError;
+  d.message = std::move(message);
+  return d;
 }
 
 }  // namespace
@@ -62,12 +76,25 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::optional<ivm::Strategy> strategy;
   ivm::Semantics semantics = ivm::Semantics::kSet;
+  Format format = Format::kText;
   bool advise = false;
   bool werror = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--strategy=", 0) == 0) {
+    if (arg.rfind("--format=", 0) == 0) {
+      std::string f = arg.substr(9);
+      if (f == "text") {
+        format = Format::kText;
+      } else if (f == "json") {
+        format = Format::kJson;
+      } else if (f == "sarif") {
+        format = Format::kSarif;
+      } else {
+        std::cerr << "ivm_lint: unknown format '" << f << "'\n";
+        return Usage();
+      }
+    } else if (arg.rfind("--strategy=", 0) == 0) {
       strategy = ParseStrategy(arg.substr(11));
       if (!strategy.has_value()) {
         std::cerr << "ivm_lint: unknown strategy '" << arg.substr(11) << "'\n";
@@ -101,69 +128,72 @@ int main(int argc, char** argv) {
 
   size_t errors = 0;
   size_t warnings = 0;
+  std::vector<std::pair<std::string, ivm::AnalysisReport>> reports;
   for (const std::string& file : files) {
+    ivm::AnalysisReport report;
+
     std::ifstream in(file);
     if (!in) {
-      std::cerr << "ivm_lint: cannot open " << file << "\n";
-      ++errors;
-      continue;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string src = buffer.str();
+      report.Add(MakeErrorDiag(ivm::DiagCode::kParseError,
+                               "cannot open file"));
+    } else {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string src = buffer.str();
 
-    ivm::Result<ivm::Program> program = ivm::ParseProgramUnanalyzed(src);
-    if (!program.ok()) {
-      ivm::AnalysisReport parse_report;
-      ivm::Diagnostic d;
-      d.code = ivm::DiagCode::kParseError;
-      d.severity = ivm::DiagSeverity::kError;
-      d.message = program.status().message();
-      parse_report.Add(std::move(d));
-      PrintDiagnostics(file, parse_report);
-      ++errors;
-      continue;
-    }
-
-    ivm::AnalysisReport report = ivm::AnalyzeProgram(*program);
-    if (!report.HasErrors() && (strategy.has_value() || advise)) {
-      // Strategy checks need strata/SCC classification, i.e. full analysis;
-      // error-free programs must analyze cleanly.
-      ivm::Status analyzed = program->Analyze();
-      if (!analyzed.ok()) {
-        ivm::Diagnostic d;
-        d.code = ivm::DiagCode::kParseError;
-        d.severity = ivm::DiagSeverity::kError;
-        d.message = analyzed.message();
-        report.Add(std::move(d));
+      ivm::Result<ivm::Program> program = ivm::ParseProgramUnanalyzed(src);
+      if (!program.ok()) {
+        report.Add(MakeErrorDiag(ivm::DiagCode::kParseError,
+                                 std::string(program.status().message())));
       } else {
-        if (strategy.has_value()) {
-          const ivm::AnalysisReport strategy_report =
-              ivm::CheckStrategyChoice(*program, *strategy, semantics);
-          for (const ivm::Diagnostic& d : strategy_report.diagnostics()) {
-            report.Add(d);
+        report = ivm::AnalyzeProgram(*program);
+        if (!report.HasErrors() && (strategy.has_value() || advise)) {
+          // Strategy checks need strata/SCC classification, i.e. full
+          // analysis; error-free programs must analyze cleanly.
+          ivm::Status analyzed = program->Analyze();
+          if (!analyzed.ok()) {
+            report.Add(MakeErrorDiag(ivm::DiagCode::kParseError,
+                                     std::string(analyzed.message())));
+          } else {
+            if (strategy.has_value()) {
+              const ivm::AnalysisReport strategy_report =
+                  ivm::CheckStrategyChoice(*program, *strategy, semantics);
+              for (const ivm::Diagnostic& d : strategy_report.diagnostics()) {
+                report.Add(d);
+              }
+            }
+            if (advise && format == Format::kText) {
+              std::cout << file << ": "
+                        << ivm::AdviseStrategy(*program, semantics).Summary()
+                        << "\n";
+            }
           }
-        }
-        if (advise) {
-          std::cout << file << ": "
-                    << ivm::AdviseStrategy(*program).Summary() << "\n";
         }
       }
     }
 
-    PrintDiagnostics(file, report);
     errors += report.error_count();
     warnings += report.warning_count();
+    reports.emplace_back(file, std::move(report));
   }
 
-  if (errors > 0) {
-    std::cout << "ivm_lint: " << errors << " error(s), " << warnings
-              << " warning(s)\n";
-    return 1;
+  switch (format) {
+    case Format::kText:
+      for (const auto& [file, report] : reports) {
+        std::cout << ivm::RenderReportText(report, file);
+      }
+      break;
+    case Format::kJson:
+      for (const auto& [file, report] : reports) {
+        std::cout << ivm::RenderReportJson(report, file) << "\n";
+      }
+      break;
+    case Format::kSarif:
+      std::cout << ivm::RenderReportsSarif(reports) << "\n";
+      break;
   }
-  if (warnings > 0) {
-    std::cout << "ivm_lint: " << warnings << " warning(s)\n";
-    if (werror) return 1;
-  }
+
+  if (errors > 0) return 2;
+  if (warnings > 0) return werror ? 2 : 1;
   return 0;
 }

@@ -1,21 +1,45 @@
 #!/usr/bin/env bash
 # Static analysis driver.
 #
-#   tools/run_static_analysis.sh [build-dir]
+#   tools/run_static_analysis.sh [--ctest] [build-dir]
 #
 # Uses the compilation database (compile_commands.json) from the build dir
 # (default: build/; configured automatically — CMakeLists.txt sets
 # CMAKE_EXPORT_COMPILE_COMMANDS).
 #
-# Prefers clang-tidy with the repo's .clang-tidy profile; clang-tidy picks
-# the nearest config per file, so the storage-core directories
-# (src/common/.clang-tidy, src/storage/.clang-tidy) additionally promote
-# performance-* diagnostics to errors. When clang-tidy is
-# not installed (e.g. a gcc-only container), falls back to GCC: every
-# first-party translation unit is re-checked with -fanalyzer plus a stricter
-# warning set than the normal build. Exits nonzero if any diagnostic is
-# produced.
+# Passes, each skipped cleanly when its toolchain is missing:
+#
+#   thread safety   — clang -Wthread-safety -Werror=thread-safety over the
+#                     capability-annotated concurrency core (thread pool,
+#                     metrics registry, intern pool, failpoint registry,
+#                     WAL; see src/common/thread_annotations.h), plus a
+#                     NEGATIVE check: tests/thread_safety_negative.cc (a
+#                     deliberately mis-locked fixture) must FAIL to compile,
+#                     proving the annotations actually fire.
+#   clang-tidy      — the repo's .clang-tidy profile; clang-tidy picks the
+#                     nearest config per file, so the hot-path directories
+#                     (src/common/, src/storage/, src/exec/, src/txn/)
+#                     additionally promote performance-* diagnostics to
+#                     errors.
+#   gcc -fanalyzer  — fallback when clang-tidy is not installed (e.g. a
+#                     gcc-only container): every first-party translation
+#                     unit is re-checked with -fanalyzer plus a stricter
+#                     warning set than the normal build.
+#
+# --ctest: run as the opt-in `static_analysis_smoke` ctest target. When no
+# clang toolchain (clang++ or clang-tidy) is available the script exits 77
+# (ctest's SKIP_RETURN_CODE) instead of falling back to the slow gcc pass,
+# so the label stays fast and reports SKIP rather than a vacuous PASS on
+# gcc-only machines.
+#
+# Exits nonzero if any diagnostic is produced.
 set -u -o pipefail
+
+CTEST_MODE=0
+if [[ "${1:-}" == "--ctest" ]]; then
+  CTEST_MODE=1
+  shift
+fi
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
@@ -43,11 +67,69 @@ if [[ ${#SOURCES[@]} -eq 0 ]]; then
   exit 2
 fi
 
+HAVE_CLANG_TIDY=0
+HAVE_CLANGXX=0
+command -v clang-tidy >/dev/null 2>&1 && HAVE_CLANG_TIDY=1
+command -v clang++ >/dev/null 2>&1 && HAVE_CLANGXX=1
+
+if [[ ${CTEST_MODE} -eq 1 && ${HAVE_CLANG_TIDY} -eq 0 \
+      && ${HAVE_CLANGXX} -eq 0 ]]; then
+  echo "SKIP: no clang toolchain installed (clang++, clang-tidy)"
+  exit 77
+fi
+
 status=0
 
-if command -v clang-tidy >/dev/null 2>&1; then
+# ---------------------------------------------------------------------------
+# Thread-safety pass (clang only): the annotated concurrency core must be
+# clean under -Werror=thread-safety, and the mis-locked fixture must not be.
+if [[ ${HAVE_CLANGXX} -eq 1 ]]; then
+  # Translation units built on src/common/mutex.h. -fsyntax-only is enough:
+  # thread-safety analysis is a pure compile-time pass.
+  TS_SOURCES=(
+    src/exec/thread_pool.cc
+    src/obs/metrics.cc
+    src/storage/intern.cc
+    src/txn/failpoint.cc
+    src/txn/wal.cc
+  )
+  CLANG_TS_FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety
+                  -Werror=thread-safety -Isrc)
+  echo "== clang thread-safety (${#TS_SOURCES[@]} annotated translation units) =="
+  ts_failed=0
+  for tu in "${TS_SOURCES[@]}"; do
+    out=$(clang++ "${CLANG_TS_FLAGS[@]}" "${tu}" 2>&1)
+    if [[ -n "${out}" ]]; then
+      echo "-- ${tu}"
+      echo "${out}"
+      ts_failed=1
+    fi
+  done
+  if [[ ${ts_failed} -ne 0 ]]; then
+    status=1
+  else
+    echo "OK: annotated concurrency core is thread-safety clean"
+  fi
+
+  echo "== clang thread-safety negative check (mis-locked fixture) =="
+  if clang++ "${CLANG_TS_FLAGS[@]}" tests/thread_safety_negative.cc \
+       >/dev/null 2>&1; then
+    echo "FAIL: mis-locked fixture compiled cleanly; annotations are not firing" >&2
+    status=1
+  else
+    echo "OK: mis-locked fixture rejected (annotations fire)"
+  fi
+else
+  echo "== clang++ not installed; skipping thread-safety pass =="
+fi
+
+# ---------------------------------------------------------------------------
+# Lint pass: clang-tidy, or the gcc -fanalyzer fallback.
+if [[ ${HAVE_CLANG_TIDY} -eq 1 ]]; then
   echo "== clang-tidy (${#SOURCES[@]} translation units, profile .clang-tidy) =="
   clang-tidy -p "${BUILD_DIR}" --quiet "${SOURCES[@]}" || status=1
+elif [[ ${CTEST_MODE} -eq 1 ]]; then
+  echo "== clang-tidy not installed; skipping lint pass (--ctest keeps the gcc fallback out of the test lane) =="
 else
   echo "== clang-tidy not installed; falling back to gcc -fanalyzer =="
   # Stricter than the build's own flags; -fanalyzer adds path-sensitive
