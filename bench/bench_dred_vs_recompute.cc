@@ -52,7 +52,7 @@ void RunSparseDag(benchmark::State& state, Strategy strategy) {
   }
   state.counters["batch"] = batch_size;
   state.counters["path_tuples"] =
-      static_cast<double>(vm->GetRelation("path").value()->size());
+      static_cast<double>(vm->snapshot().Get("path").value()->size());
   state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
   // The JSON export carries dred.overdeleted / dred.rederived /
   // dred.inserted, quantifying how tight the phase-1 overestimate was.
@@ -85,7 +85,7 @@ void RunDenseCyclic(benchmark::State& state, Strategy strategy) {
   }
   state.counters["batch"] = batch_size;
   state.counters["path_tuples"] =
-      static_cast<double>(vm->GetRelation("path").value()->size());
+      static_cast<double>(vm->snapshot().Get("path").value()->size());
   state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
   bench::ExportMetrics(metrics, state);
 }

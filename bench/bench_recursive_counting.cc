@@ -54,7 +54,7 @@ void RunDeletions(benchmark::State& state, Strategy strategy) {
   }
   state.counters["layers"] = layers;
   state.counters["path_tuples"] =
-      static_cast<double>(vm->GetRelation("path").value()->size());
+      static_cast<double>(vm->snapshot().Get("path").value()->size());
   state.counters["peak_delta_tuples"] = static_cast<double>(peak_delta);
   // rc.worklist_steps vs dred.overdeleted+rederived is the Section 8
   // trade-off in numbers.

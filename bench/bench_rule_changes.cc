@@ -40,7 +40,7 @@ void BM_DRedRuleToggle(benchmark::State& state) {
   }
   state.counters["nodes"] = nodes;
   state.counters["path_tuples"] =
-      static_cast<double>(vm->GetRelation("path").value()->size());
+      static_cast<double>(vm->snapshot().Get("path").value()->size());
   bench::ExportMetrics(metrics, state);
 }
 

@@ -68,7 +68,7 @@ int main() {
   Status rejected = checker.ApplyChecked(t3).status();
   std::cout << "  rejected: " << rejected.ToString() << "\n";
   std::cout << "  transfers stored: "
-            << (*vm)->GetRelation("transfer").value()->size()
+            << (*vm)->snapshot().Get("transfer").value()->size()
             << " (mallory's rolled back)\n";
   return 0;
 }

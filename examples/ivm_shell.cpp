@@ -135,7 +135,7 @@ class Shell {
         if (!file) return Status::NotFound("cannot open '" + path + "'");
         IVM_RETURN_IF_ERROR(EnsureInitialized());
         IVM_ASSIGN_OR_RETURN(const Relation* current,
-                             manager_->GetRelation(rel_name));
+                             manager_->snapshot().Get(rel_name));
         Relation rows("rows", current->arity());
         IVM_RETURN_IF_ERROR(ReadCsv(file, CsvOptions(), &rows));
         ChangeSet changes;
@@ -146,7 +146,7 @@ class Shell {
         return Status::OK();
       }
       IVM_RETURN_IF_ERROR(EnsureInitialized());
-      IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(rel_name));
+      IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->snapshot().Get(rel_name));
       if (path.empty()) {
         std::cout << WriteCsvString(*rel, CsvOptions());
         return Status::OK();
@@ -157,7 +157,7 @@ class Shell {
     }
     if (cmd == "?") {
       IVM_RETURN_IF_ERROR(EnsureInitialized());
-      IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(rest));
+      IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->snapshot().Get(rest));
       std::cout << rest << " = " << rel->ToString() << "\n";
       return Status::OK();
     }
@@ -171,7 +171,7 @@ class Shell {
       IVM_RETURN_IF_ERROR(EnsureInitialized());
       for (PredicateId p : manager_->program().DerivedPredicates()) {
         const std::string& name = manager_->program().predicate(p).name;
-        IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(name));
+        IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->snapshot().Get(name));
         std::cout << name << " = " << rel->ToString() << "\n";
       }
       return Status::OK();
@@ -264,7 +264,7 @@ class Shell {
      public:
       Source(ViewManager* vm, SqlTranslator* tr) : vm_(vm), tr_(tr) {}
       Result<const Relation*> GetExtent(const std::string& table) const override {
-        return vm_->GetRelation(table);
+        return vm_->snapshot().Get(table);
       }
       Result<std::vector<std::string>> GetColumns(
           const std::string& table) const override {

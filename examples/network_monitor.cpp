@@ -18,8 +18,8 @@ using namespace ivm;
 namespace {
 
 void PrintStatus(ViewManager& vm, const std::string& when) {
-  const Relation& reachable = *vm.GetRelation("reachable").value();
-  const Relation& counts = *vm.GetRelation("reach_count").value();
+  const Relation& reachable = *vm.snapshot().Get("reachable").value();
+  const Relation& counts = *vm.snapshot().Get("reach_count").value();
   std::cout << when << ": " << reachable.size()
             << " reachable pairs; per-source counts (first rows): ";
   int shown = 0;
@@ -73,7 +73,7 @@ int main() {
   PrintStatus(**vm, "after failure");
 
   // Event 2: another link goes under maintenance (negation path).
-  Tuple maint = (*vm)->GetRelation("link").value()->SortedTuples().back();
+  Tuple maint = (*vm)->snapshot().Get("link").value()->SortedTuples().back();
   ChangeSet down;
   down.Insert("maintenance", maint);
   ChangeSet d2 = (*vm)->Apply(down).value();

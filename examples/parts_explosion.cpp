@@ -69,9 +69,9 @@ int main() {
   (*recompute)->Initialize(db).CheckOK();
 
   std::cout << "parts: " << next_id << ", containment pairs: "
-            << (*dred)->GetRelation("contains").value()->size() << "\n";
+            << (*dred)->snapshot().Get("contains").value()->size() << "\n";
   std::cout << "root assembly size: "
-            << (*dred)->GetRelation("part_size").value()->SortedTuples().front().ToString()
+            << (*dred)->snapshot().Get("part_size").value()->SortedTuples().front().ToString()
             << "\n\n";
 
   // Engineering change order: part 1 absorbs a new subassembly, one quote
@@ -102,8 +102,8 @@ int main() {
 
   // The two strategies must agree tuple for tuple.
   for (const char* view : {"contains", "best_price", "part_size"}) {
-    const Relation& a = *(*dred)->GetRelation(view).value();
-    const Relation& b = *(*recompute)->GetRelation(view).value();
+    const Relation& a = *(*dred)->snapshot().Get(view).value();
+    const Relation& b = *(*recompute)->snapshot().Get(view).value();
     if (!a.SameSet(b)) {
       std::cerr << "MISMATCH on " << view << "!\n";
       return 1;

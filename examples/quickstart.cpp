@@ -41,17 +41,25 @@ int main() {
 
   std::cout << "view definition:\n" << (*manager)->program().ToString() << "\n";
   std::cout << "link = " << link.ToString() << "\n";
-  std::cout << "hop  = " << (*manager)->GetRelation("hop").value()->ToString()
+  std::cout << "hop  = " << (*manager)->snapshot().Get("hop").value()->ToString()
             << "   <- hop(a,c) has two derivations\n\n";
 
-  // 4. Delete link(a,b) and maintain the view incrementally.
+  // 4. Pin a snapshot of the current epoch: an immutable view of committed
+  //    state that is safe to read from any thread, even during an Apply,
+  //    and that the next mutation cannot change (docs/concurrency.md).
+  Snapshot before = (*manager)->snapshot();
+
+  // 5. Delete link(a,b) and maintain the view incrementally.
   ChangeSet changes;
   changes.Delete("link", Tup("a", "b"));
   ChangeSet view_changes = (*manager)->Apply(changes).value();
 
   std::cout << "after deleting link(a,b):\n";
   std::cout << "  view changes:\n" << view_changes.ToString();
-  std::cout << "  hop = " << (*manager)->GetRelation("hop").value()->ToString()
+  std::cout << "  hop = " << (*manager)->snapshot().Get("hop").value()->ToString()
             << "   <- only hop(a,e) was deleted\n";
+  std::cout << "  hop at the pinned pre-delete epoch "
+            << before.epoch() << " = "
+            << before.Get("hop").value()->ToString() << "\n";
   return 0;
 }

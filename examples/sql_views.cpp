@@ -60,9 +60,9 @@ int main() {
   (*vm)->Initialize(db).CheckOK();
 
   std::cout << "customer_revenue = "
-            << (*vm)->GetRelation("customer_revenue").value()->ToString() << "\n";
+            << (*vm)->snapshot().Get("customer_revenue").value()->ToString() << "\n";
   std::cout << "contactable      = "
-            << (*vm)->GetRelation("contactable").value()->ToString() << "\n\n";
+            << (*vm)->snapshot().Get("contactable").value()->ToString() << "\n\n";
 
   // A day of activity: a new order, a price change, bob gets unblocked.
   ChangeSet day;
@@ -73,8 +73,8 @@ int main() {
 
   std::cout << "after today's changes:\n" << out.ToString() << "\n";
   std::cout << "customer_revenue = "
-            << (*vm)->GetRelation("customer_revenue").value()->ToString() << "\n";
+            << (*vm)->snapshot().Get("customer_revenue").value()->ToString() << "\n";
   std::cout << "contactable      = "
-            << (*vm)->GetRelation("contactable").value()->ToString() << "\n";
+            << (*vm)->snapshot().Get("contactable").value()->ToString() << "\n";
   return 0;
 }

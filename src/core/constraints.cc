@@ -15,8 +15,12 @@ Status ConstraintChecker::AddConstraint(const std::string& view_name,
 
 Status ConstraintChecker::CheckNow() {
   last_violations_.clear();
+  // One pinned snapshot for the whole sweep: every constraint view is
+  // checked against the same committed epoch, even if a writer commits
+  // between iterations.
+  Snapshot snap = manager_->snapshot();
   for (const auto& [view, message] : constraints_) {
-    IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(view));
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, snap.Get(view));
     if (rel->empty()) continue;
     Violation v;
     v.view = view;
@@ -35,13 +39,16 @@ Status ConstraintChecker::CheckNow() {
 
 Result<ChangeSet> ConstraintChecker::ApplyChecked(
     const ChangeSet& base_changes) {
-  // Compute the *effective* base delta against the current extents, so the
-  // rollback is exact even when the input contains redundant insertions
-  // (no-ops under set semantics) or multi-count changes.
+  // Compute the *effective* base delta against one pinned pre-Apply
+  // snapshot, so the rollback is exact even when the input contains
+  // redundant insertions (no-ops under set semantics) or multi-count
+  // changes. Pinning closes the old torn-read window: the checker used to
+  // read each relation live, so extents could shift under it between reads.
   const bool set_semantics = manager_->semantics() == Semantics::kSet;
+  Snapshot before = manager_->snapshot();
   ChangeSet effective;
   for (const auto& [name, delta] : base_changes.deltas()) {
-    IVM_ASSIGN_OR_RETURN(const Relation* stored, manager_->GetRelation(name));
+    IVM_ASSIGN_OR_RETURN(const Relation* stored, before.Get(name));
     for (const auto& [tuple, count] : delta.tuples()) {
       if (count > 0) {
         if (set_semantics) {
@@ -69,11 +76,14 @@ Result<ChangeSet> ConstraintChecker::ApplyChecked(
     }
   }
 
+  before.Release();  // the effective delta is computed; don't hold the epoch
   IVM_ASSIGN_OR_RETURN(ChangeSet out, manager_->Apply(base_changes));
 
   last_violations_.clear();
+  // Post-Apply check against the single epoch that Apply just published.
+  Snapshot after = manager_->snapshot();
   for (const auto& [view, message] : constraints_) {
-    IVM_ASSIGN_OR_RETURN(const Relation* rel, manager_->GetRelation(view));
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, after.Get(view));
     if (rel->empty()) continue;
     Violation v;
     v.view = view;

@@ -26,9 +26,9 @@ namespace ivm {
 /// the same tuple cancels before any maintenance work happens — deferral
 /// can *reduce* total work when changes churn.
 ///
-/// Reads through GetRelation() see the extents as of the last Refresh
-/// (stale reads are the contract of deferred maintenance); call
-/// RefreshIfDirty() first when freshness is required.
+/// Reads through snapshot() see the extents as of the last Refresh (stale
+/// reads are the contract of deferred maintenance); call RefreshIfDirty()
+/// first when freshness is required.
 class DeferredViewManager {
  public:
   explicit DeferredViewManager(std::unique_ptr<ViewManager> inner)
@@ -65,9 +65,16 @@ class DeferredViewManager {
   /// Discards everything staged since the last Refresh.
   void DiscardStaged() { staged_ = ChangeSet(); }
 
-  /// Stale read: the extent as of the last Refresh.
+  /// Stale read surface: a pinned snapshot of the state as of the last
+  /// Refresh (staged-but-unapplied changes are invisible, by design).
+  Snapshot snapshot() const { return inner_->snapshot(); }
+
+  /// Stale read of one extent as of the last Refresh. Prefer snapshot()
+  /// when reading several relations: one handle pins one epoch for all of
+  /// them, and the pointer lifetime is explicit.
   Result<const Relation*> GetRelation(const std::string& name) const {
-    return inner_->GetRelation(name);
+    legacy_snapshot_ = inner_->snapshot();
+    return legacy_snapshot_.Get(name);
   }
 
   /// The currently staged (not yet applied) base delta for `name`.
@@ -80,6 +87,9 @@ class DeferredViewManager {
  private:
   std::unique_ptr<ViewManager> inner_;
   ChangeSet staged_;
+  /// Keeps the last GetRelation() result pinned (the legacy pointer-return
+  /// contract needs the extent to outlive the call).
+  mutable Snapshot legacy_snapshot_;
 };
 
 }  // namespace ivm

@@ -1,84 +1,12 @@
 #include "core/query.h"
 
-#include <set>
-
-#include "datalog/parser.h"
-#include "eval/rule_eval.h"
-
 namespace ivm {
-
-namespace {
-
-/// Binding variables of a body, in order of first occurrence: plain
-/// variables of positive atoms, group/result variables of aggregates, and
-/// variables bound through '=' comparisons. (Variables occurring only under
-/// negation or in ordering comparisons cannot head a query — analysis would
-/// reject the rule as unsafe anyway.)
-std::vector<std::string> BindingVars(const std::vector<Literal>& body) {
-  std::vector<std::string> out;
-  std::set<std::string> seen;
-  auto add = [&](const std::string& name) {
-    if (name == "_") return;
-    if (seen.insert(name).second) out.push_back(name);
-  };
-  for (const Literal& lit : body) {
-    if (lit.kind == Literal::Kind::kPositive) {
-      for (const Term& t : lit.atom.terms) {
-        if (t.IsVariable()) add(t.var_name());
-      }
-    } else if (lit.kind == Literal::Kind::kAggregate) {
-      for (const Term& g : lit.group_vars) add(g.var_name());
-      if (lit.result_var.IsVariable()) add(lit.result_var.var_name());
-    } else if (lit.kind == Literal::Kind::kComparison &&
-               lit.cmp_op == ComparisonOp::kEq) {
-      if (lit.cmp_lhs.IsVariable()) add(lit.cmp_lhs.var_name());
-      if (lit.cmp_rhs.IsVariable()) add(lit.cmp_rhs.var_name());
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 Result<Relation> QueryOnce(const ViewManager& manager,
                            const std::string& query) {
-  // Parse: a full rule, or a bare body wrapped under a synthetic head.
-  Rule rule;
-  if (query.find(":-") != std::string::npos) {
-    IVM_ASSIGN_OR_RETURN(rule, ParseRule(query));
-  } else {
-    IVM_ASSIGN_OR_RETURN(rule, ParseRule("query__ans(QueryDummy__) :- " + query));
-    rule.head.terms.clear();
-    for (const std::string& name : BindingVars(rule.body)) {
-      rule.head.terms.push_back(Term::Var(name));
-    }
-    if (rule.head.terms.empty()) {
-      // A fully-ground query ("link(a, b)"): boolean result, arity 0.
-    }
-  }
-  rule.head.predicate = "query__ans";
-
-  // Extend a copy of the manager's program with the query rule and analyze
-  // (resolution, safety, stratification all apply to queries too).
-  Program program = manager.program();
-  IVM_ASSIGN_OR_RETURN(int rule_index, program.AddRule(rule));
-  IVM_RETURN_IF_ERROR(program.Analyze());
-
-  // Resolve every predicate to the manager's current extents.
-  MapResolver resolver;
-  for (size_t p = 0; p < program.num_predicates(); ++p) {
-    const PredicateInfo& info = program.predicate(static_cast<PredicateId>(p));
-    if (info.name == "query__ans") continue;
-    IVM_ASSIGN_OR_RETURN(const Relation* rel, manager.GetRelation(info.name));
-    resolver.Put(static_cast<PredicateId>(p), rel);
-  }
-
-  Relation out("query__ans", program.rule(rule_index).head.terms.size());
-  const bool multiset = manager.semantics() == Semantics::kDuplicate;
-  IVM_RETURN_IF_ERROR(
-      EvaluateRuleOnce(program, rule_index, resolver, multiset, &out));
-  if (!multiset) out = out.AsSet();
-  return out;
+  // Pin the latest committed epoch for the duration of the evaluation: the
+  // query observes one consistent state even if a writer commits meanwhile.
+  return manager.snapshot().Query(query);
 }
 
 }  // namespace ivm

@@ -22,6 +22,14 @@ namespace ivm {
 ///
 /// Results carry derivation counts under duplicate semantics and count 1
 /// under set semantics, matching the manager's mode.
+///
+/// This is a convenience wrapper over Snapshot::Query(): it pins the latest
+/// committed epoch, evaluates against it, and unpins. Callers issuing many
+/// queries against one consistent state should hold a snapshot themselves:
+///
+///   Snapshot snap = manager.snapshot();
+///   auto a = snap.Query("hop(a, X)");
+///   auto b = snap.Query("hop(X, c)");   // same epoch as `a`, guaranteed
 Result<Relation> QueryOnce(const ViewManager& manager,
                            const std::string& query);
 

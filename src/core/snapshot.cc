@@ -1,0 +1,155 @@
+#include "core/snapshot.h"
+
+#include <set>
+
+#include "core/explain.h"
+#include "datalog/parser.h"
+#include "eval/rule_eval.h"
+#include "obs/trace.h"
+
+namespace ivm {
+
+namespace {
+
+/// Binding variables of a body, in order of first occurrence: plain
+/// variables of positive atoms, group/result variables of aggregates, and
+/// variables bound through '=' comparisons. (Variables occurring only under
+/// negation or in ordering comparisons cannot head a query — analysis would
+/// reject the rule as unsafe anyway.)
+std::vector<std::string> BindingVars(const std::vector<Literal>& body) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& name) {
+    if (name == "_") return;
+    if (seen.insert(name).second) out.push_back(name);
+  };
+  for (const Literal& lit : body) {
+    if (lit.kind == Literal::Kind::kPositive) {
+      for (const Term& t : lit.atom.terms) {
+        if (t.IsVariable()) add(t.var_name());
+      }
+    } else if (lit.kind == Literal::Kind::kAggregate) {
+      for (const Term& g : lit.group_vars) add(g.var_name());
+      if (lit.result_var.IsVariable()) add(lit.result_var.var_name());
+    } else if (lit.kind == Literal::Kind::kComparison &&
+               lit.cmp_op == ComparisonOp::kEq) {
+      if (lit.cmp_lhs.IsVariable()) add(lit.cmp_lhs.var_name());
+      if (lit.cmp_rhs.IsVariable()) add(lit.cmp_rhs.var_name());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Snapshot::Snapshot(EpochManager* epochs,
+                   std::shared_ptr<const StorageVersion> version,
+                   MetricsRegistry* metrics)
+    : epochs_(epochs), version_(std::move(version)), metrics_(metrics) {
+  if (version_ != nullptr && metrics_ != nullptr) {
+    pin_start_ns_ = TraceSpan::NowNanos();
+  }
+}
+
+void Snapshot::Release() {
+  if (version_ == nullptr) {
+    epochs_ = nullptr;
+    return;
+  }
+  if (metrics_ != nullptr) {
+    const uint64_t now = TraceSpan::NowNanos();
+    RecordSpanDuration(metrics_, "snapshot.pin",
+                       now >= pin_start_ns_ ? now - pin_start_ns_ : 0);
+  }
+  epochs_->Unpin(version_.get());
+  version_.reset();
+  epochs_ = nullptr;
+  metrics_ = nullptr;
+}
+
+Result<const Relation*> Snapshot::Get(std::string_view name) const {
+  if (version_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot is not pinned (default-constructed, released, or the "
+        "manager was not initialized)");
+  }
+  auto it = version_->extents.find(name);
+  if (it == version_->extents.end()) {
+    return Status::NotFound("no relation named '" + std::string(name) +
+                            "' in this snapshot");
+  }
+  return it->second.extent.get();
+}
+
+std::vector<std::string> Snapshot::RelationNames() const {
+  std::vector<std::string> out;
+  if (version_ == nullptr) return out;
+  out.reserve(version_->extents.size());
+  for (const auto& [name, extent] : version_->extents) {
+    (void)extent;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Result<Relation> Snapshot::Query(const std::string& query) const {
+  if (version_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot is not pinned; obtain one from ViewManager::snapshot() "
+        "after Initialize()");
+  }
+  TraceSpan span(metrics_, "snapshot.query");
+
+  // Parse: a full rule, or a bare body wrapped under a synthetic head.
+  Rule rule;
+  if (query.find(":-") != std::string::npos) {
+    IVM_ASSIGN_OR_RETURN(rule, ParseRule(query));
+  } else {
+    IVM_ASSIGN_OR_RETURN(rule,
+                         ParseRule("query__ans(QueryDummy__) :- " + query));
+    rule.head.terms.clear();
+    for (const std::string& name : BindingVars(rule.body)) {
+      rule.head.terms.push_back(Term::Var(name));
+    }
+    // A fully-ground query ("link(a, b)") keeps arity 0: boolean result.
+  }
+  rule.head.predicate = "query__ans";
+
+  // Extend a copy of the snapshot's program with the query rule and analyze
+  // (resolution, safety, stratification all apply to queries too).
+  Program program = this->program();
+  IVM_ASSIGN_OR_RETURN(int rule_index, program.AddRule(rule));
+  IVM_RETURN_IF_ERROR(program.Analyze());
+
+  // Resolve every predicate to this epoch's pinned extents.
+  MapResolver resolver;
+  for (size_t p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(static_cast<PredicateId>(p));
+    if (info.name == "query__ans") continue;
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, Get(info.name));
+    resolver.Put(static_cast<PredicateId>(p), rel);
+  }
+
+  Relation out("query__ans", program.rule(rule_index).head.terms.size());
+  const bool multiset = semantics() == Semantics::kDuplicate;
+  IVM_RETURN_IF_ERROR(
+      EvaluateRuleOnce(program, rule_index, resolver, multiset, &out));
+  if (!multiset) out = out.AsSet();
+  return out;
+}
+
+Result<std::string> Snapshot::Explain() const {
+  if (version_ == nullptr) {
+    return Status::FailedPrecondition("snapshot is not pinned");
+  }
+  return ExplainProgram(program());
+}
+
+Result<std::string> Snapshot::ExplainDelta() const {
+  if (version_ == nullptr) {
+    return Status::FailedPrecondition("snapshot is not pinned");
+  }
+  return ExplainDeltaProgram(program());
+}
+
+}  // namespace ivm

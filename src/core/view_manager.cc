@@ -117,6 +117,13 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(
   manager->executor_ = std::move(executor);
   manager->metrics_ = options.metrics;
   manager->configured_durable_dir_ = options.durability_dir;
+  manager->epochs_.AttachMetrics(options.metrics);
+  // The reader context: the exact rule set and semantics snapshots carry.
+  // Shared across every published version until a rule change replaces it.
+  auto context = std::make_shared<SnapshotContext>();
+  context->program = manager->impl_->program();
+  context->semantics = effective_semantics;
+  manager->context_ = std::move(context);
   return manager;
 }
 
@@ -126,23 +133,6 @@ Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
   return Create(std::move(program), options);
 }
 
-Result<std::unique_ptr<ViewManager>> ViewManager::Create(Program program,
-                                                         Strategy strategy,
-                                                         Semantics semantics) {
-  Options options;
-  options.strategy = strategy;
-  options.semantics = semantics;
-  return Create(std::move(program), options);
-}
-
-Result<std::unique_ptr<ViewManager>> ViewManager::CreateFromText(
-    const std::string& program_text, Strategy strategy, Semantics semantics) {
-  Options options;
-  options.strategy = strategy;
-  options.semantics = semantics;
-  return CreateFromText(program_text, options);
-}
-
 Status ViewManager::Initialize(const Database& base) {
   {
     TraceSpan span(metrics_, "initialize");
@@ -150,6 +140,9 @@ Status ViewManager::Initialize(const Database& base) {
     ExecContext exec_scope(executor_->pool(), executor_->min_partition_size());
     IVM_RETURN_IF_ERROR(impl_->Initialize(base));
   }
+  // Publish epoch 0 before durability opens, so the seed Checkpoint (and any
+  // concurrent reader) sees the initialized state.
+  PublishSnapshot(/*republish_all=*/true);
   if (!configured_durable_dir_.empty() && wal_ == nullptr) {
     IVM_RETURN_IF_ERROR(OpenDurability(configured_durable_dir_));
   }
@@ -204,20 +197,29 @@ Status ViewManager::Checkpoint() {
         "durability is not enabled; call EnableDurability() first");
   }
   TraceSpan span(metrics_, "checkpoint");
+  // Serialize from a pinned snapshot of the latest committed epoch, not the
+  // maintainer's live slots: the checkpoint then captures exactly one
+  // epoch's contents even though readers (and the span's own clock reads)
+  // run concurrently, and the extents stay alive for the whole write.
+  Snapshot snap = snapshot();
+  if (!snap.valid()) {
+    return Status::FailedPrecondition(
+        "nothing published yet; call Initialize() before Checkpoint()");
+  }
   CheckpointData data;
   data.epoch = epoch_;
   data.strategy = StrategyName(strategy_);
   data.semantics = semantics_ == Semantics::kDuplicate ? "duplicate" : "set";
-  const Program& prog = impl_->program();
+  const Program& prog = snap.program();
   data.program_text = prog.ToString();
   for (PredicateId p : prog.BasePredicates()) {
     const PredicateInfo& info = prog.predicate(p);
-    IVM_ASSIGN_OR_RETURN(const Relation* rel, impl_->GetRelation(info.name));
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, snap.Get(info.name));
     data.base.emplace(info.name, *rel);
   }
   for (PredicateId p : prog.DerivedPredicates()) {
     const PredicateInfo& info = prog.predicate(p);
-    IVM_ASSIGN_OR_RETURN(const Relation* rel, impl_->GetRelation(info.name));
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, snap.Get(info.name));
     data.views.emplace(info.name, *rel);
   }
   IVM_RETURN_IF_ERROR(WriteCheckpoint(durable_dir_, data, metrics_));
@@ -255,12 +257,15 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
   // Integrity check: the views recomputed from the checkpointed base must
   // match the checkpointed views exactly (Theorem 4.1 at rest). A mismatch
   // means the snapshot is corrupt or the program text drifted.
-  for (const auto& [name, stored] : cp.views) {
-    IVM_ASSIGN_OR_RETURN(const Relation* live, manager->GetRelation(name));
-    if (*live != stored) {
-      return Status::Internal("checkpoint view '" + name +
-                              "' does not match its recomputation; snapshot "
-                              "is corrupt");
+  {
+    Snapshot snap = manager->snapshot();
+    for (const auto& [name, stored] : cp.views) {
+      IVM_ASSIGN_OR_RETURN(const Relation* live, snap.Get(name));
+      if (*live != stored) {
+        return Status::Internal("checkpoint view '" + name +
+                                "' does not match its recomputation; snapshot "
+                                "is corrupt");
+      }
     }
   }
 
@@ -295,6 +300,11 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Recover(
     CounterAdd(metrics, "recovery.replayed_records");
   }
   if (torn_tail) CounterAdd(metrics, "recovery.torn_tails");
+
+  // Replay published intermediate versions with replay-local epoch numbers;
+  // republish once under the authoritative logged epoch so the first
+  // post-recovery snapshot reports it correctly.
+  manager->PublishSnapshot(/*republish_all=*/true);
 
   IVM_RETURN_IF_ERROR(manager->EnableDurability(dir));
   return manager;
@@ -435,6 +445,7 @@ Result<ChangeSet> ViewManager::ApplyImpl(const ChangeSet& base_changes,
       txn.get(), base_changes, result.value(), [&](uint64_t epoch) {
         return wal_->AppendChangeSet(epoch, base_changes.deltas());
       }));
+  PublishSnapshot(/*republish_all=*/false);
   if (metrics_ != nullptr) {
     metrics_->counter("apply.base_delta_tuples")->Add(base_delta_tuples);
     metrics_->counter("apply.view_delta_tuples")
@@ -452,16 +463,62 @@ ViewManager::Subscription ViewManager::Watch(const std::string& view,
   return Subscription(this, id);
 }
 
-int ViewManager::Subscribe(const std::string& view, ViewTrigger trigger) {
-  return Watch(view, std::move(trigger)).Detach();
-}
-
-void ViewManager::Unsubscribe(int subscription_id) {
-  UnsubscribeId(subscription_id);
-}
-
 void ViewManager::UnsubscribeId(int subscription_id) {
   subscriptions_.erase(subscription_id);
+}
+
+Snapshot ViewManager::snapshot() const {
+  return Snapshot(&epochs_, epochs_.Pin(), metrics_);
+}
+
+Result<const Relation*> ViewManager::GetRelation(
+    const std::string& name) const {
+  // Re-pin only when a newer version was published since the last call;
+  // otherwise keep the existing pin, so pointers handed out earlier stay
+  // valid exactly until the next mutation — the legacy contract.
+  const uint64_t sequence = epochs_.current_sequence();
+  if (!legacy_snapshot_.valid() || legacy_sequence_ != sequence) {
+    legacy_snapshot_ = snapshot();
+    legacy_sequence_ = sequence;
+  }
+  return legacy_snapshot_.Get(name);
+}
+
+void ViewManager::PublishSnapshot(bool republish_all) {
+  auto version = std::make_shared<StorageVersion>();
+  version->epoch = epoch_;
+  version->payload = context_;
+  const std::shared_ptr<const StorageVersion> prev = epochs_.Current();
+  const Program& prog = impl_->program();
+  auto publish_one = [&](PredicateId p) {
+    const PredicateInfo& info = prog.predicate(p);
+    Result<const Relation*> stored = impl_->GetRelation(info.name);
+    if (!stored.ok()) return;  // not materialized by this maintainer
+    const Relation* source = stored.value();
+    if (!republish_all && prev != nullptr) {
+      // Copy-on-write: reuse the previous extent when it demonstrably
+      // materializes the same contents — same storage slot, same slot
+      // version. Relation's assignment operators always bump the target's
+      // version (never inheriting the source's), so a stale match is
+      // impossible; rule changes republish everything instead, because they
+      // can destroy and re-create slots at reused addresses.
+      auto it = prev->extents.find(info.name);
+      if (it != prev->extents.end() && it->second.source == source &&
+          it->second.source_version == source->version()) {
+        version->extents.emplace(info.name, it->second);
+        CounterAdd(metrics_, "storage.extents_shared");
+        return;
+      }
+    }
+    PublishedExtent extent;
+    extent.extent = std::make_shared<const Relation>(*source);
+    extent.source = source;
+    extent.source_version = source->version();
+    version->extents.emplace(info.name, std::move(extent));
+  };
+  for (PredicateId p : prog.BasePredicates()) publish_one(p);
+  for (PredicateId p : prog.DerivedPredicates()) publish_one(p);
+  epochs_.Publish(std::move(version));
 }
 
 Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
@@ -487,6 +544,7 @@ Result<ChangeSet> ViewManager::AddRule(const Rule& rule) {
       txn.get(), no_base_changes, result.value(), [&](uint64_t epoch) {
         return wal_->AppendAddRule(epoch, rule.ToString());
       }));
+  RepublishAfterRuleChange();
   return result;
 }
 
@@ -516,7 +574,19 @@ Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
       txn.get(), no_base_changes, result.value(), [&](uint64_t epoch) {
         return wal_->AppendRemoveRule(epoch, rule_index);
       }));
+  RepublishAfterRuleChange();
   return result;
+}
+
+void ViewManager::RepublishAfterRuleChange() {
+  // The rule set itself changed: capture a fresh context for readers and
+  // force-republish every extent (rule-change transactions rebuild the
+  // maintainer's storage wholesale, so slot fingerprints are meaningless).
+  auto context = std::make_shared<SnapshotContext>();
+  context->program = impl_->program();
+  context->semantics = semantics_;
+  context_ = std::move(context);
+  PublishSnapshot(/*republish_all=*/true);
 }
 
 }  // namespace ivm

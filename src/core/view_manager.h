@@ -16,12 +16,14 @@
 #include "core/pf.h"
 #include "core/recompute.h"
 #include "core/recursive_counting.h"
+#include "core/snapshot.h"
 #include "core/strategy.h"
 #include "datalog/program.h"
 #include "eval/evaluator.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "storage/database.h"
+#include "storage/epoch.h"
 #include "txn/wal.h"
 
 namespace ivm {
@@ -55,6 +57,16 @@ namespace ivm {
 ///   ChangeSet changes;
 ///   changes.Delete("link", Tup("a", "b"));
 ///   ChangeSet view_changes = manager->Apply(changes).value();
+///   Snapshot snap = manager->snapshot();          // thread-safe, cheap
+///   const Relation& hop = **snap.Get("hop");      // immutable at this epoch
+///
+/// Concurrency contract (docs/concurrency.md): mutations are single-writer —
+/// at most one thread calls Apply/AddRule/RemoveRule/Checkpoint at a time —
+/// but snapshot() may be called from any number of threads concurrently with
+/// the writer. Each committed mutation atomically publishes a new
+/// epoch-stamped, immutable version of every relation (copy-on-write: only
+/// relations the mutation touched are copied); a pinned Snapshot keeps
+/// reading its own epoch, untouched, for as long as it is held.
 class ViewManager {
  public:
   /// Construction-time configuration. Replaces the positional-argument tail
@@ -99,18 +111,6 @@ class ViewManager {
       const std::string& program_text) {
     return CreateFromText(program_text, Options());
   }
-
-  /// Positional forms; thin forwarding wrappers over the Options overloads.
-  [[deprecated("use Create(program, ViewManager::Options) instead")]]
-  static Result<std::unique_ptr<ViewManager>> Create(Program program,
-                                                     Strategy strategy,
-                                                     Semantics semantics =
-                                                         Semantics::kSet);
-  [[deprecated(
-      "use CreateFromText(program_text, ViewManager::Options) instead")]]
-  static Result<std::unique_ptr<ViewManager>> CreateFromText(
-      const std::string& program_text, Strategy strategy,
-      Semantics semantics = Semantics::kSet);
 
   /// Rebuilds a manager from `dir` (see docs/recovery.md): loads the newest
   /// complete checkpoint, re-creates the maintainer from the stored program /
@@ -222,18 +222,23 @@ class ViewManager {
   /// registration.
   Subscription Watch(const std::string& view, ViewTrigger trigger);
 
-  /// Raw-id forms, forwarding to Watch()/the handle: the caller owns the
-  /// lifetime and must Unsubscribe() manually. Prefer Watch(): the RAII
-  /// handle cannot leak a registration or double-free an id.
-  [[deprecated("use Watch(); the Subscription handle owns the lifetime")]]
-  int Subscribe(const std::string& view, ViewTrigger trigger);
-  [[deprecated("use Watch(); Subscription::Unsubscribe() deregisters")]]
-  void Unsubscribe(int subscription_id);
+  /// Pins the latest committed epoch and returns a read handle over it.
+  /// Cheap (one refcount bump under a short lock, no data copied) and safe
+  /// to call from any thread, concurrently with the single writer. Requires
+  /// Initialize(); before that the returned handle is invalid (its accessors
+  /// return FailedPrecondition).
+  Snapshot snapshot() const;
 
   /// Current extent of a view or base-relation snapshot.
-  Result<const Relation*> GetRelation(const std::string& name) const {
-    return impl_->GetRelation(name);
-  }
+  ///
+  /// Deprecated: this accessor cannot be used concurrently with mutations,
+  /// and the pointer it returns is silently invalidated by the next
+  /// Apply/AddRule/RemoveRule. Use snapshot().Get(name): the extent is then
+  /// immutable and pinned for the life of the handle. The forwarder keeps
+  /// the legacy contract (pointer valid until the next mutation) by holding
+  /// a hidden snapshot of the latest epoch.
+  [[deprecated("use snapshot().Get(name); see docs/concurrency.md")]]
+  Result<const Relation*> GetRelation(const std::string& name) const;
 
   /// View redefinition (Section 7): only supported by the DRed strategy.
   Result<ChangeSet> AddRule(const Rule& rule);
@@ -260,6 +265,19 @@ class ViewManager {
 
   /// Shared EnableDurability body, after the directory-conflict checks.
   Status OpenDurability(const std::string& dir);
+
+  /// Publishes the maintainer's current state as a new immutable epoch
+  /// version (storage/epoch.h). Copy-on-write: an extent whose source slot
+  /// and slot-version match the previous publication is shared (shared_ptr
+  /// aliasing, no copy); only changed relations are deep-copied.
+  /// `republish_all` forces fresh copies of everything — used by rule
+  /// changes (the predicate set itself changed, and slot addresses may have
+  /// been reused) and recovery.
+  void PublishSnapshot(bool republish_all);
+
+  /// Rule-change commit tail: rebuilds the reader context (new program) and
+  /// force-republishes every extent.
+  void RepublishAfterRuleChange();
 
   /// Deregistration core shared by Subscription and the deprecated
   /// Unsubscribe(int) wrapper.
@@ -311,6 +329,20 @@ class ViewManager {
   std::unique_ptr<WriteAheadLog> wal_;
   uint64_t epoch_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+
+  /// The epoch-versioned publication chain read by snapshot(). Mutable so
+  /// snapshot() / the deprecated GetRelation() stay const; EpochManager is
+  /// internally synchronized.
+  mutable EpochManager epochs_;
+  /// Program + semantics captured for readers; shared across versions and
+  /// rebuilt only on rule changes.
+  std::shared_ptr<const SnapshotContext> context_;
+  /// Backs the deprecated GetRelation(): a hidden pin of the latest epoch,
+  /// refreshed (re-pinned) whenever the publication sequence advances —
+  /// which reproduces the legacy "pointer valid until the next mutation"
+  /// lifetime exactly.
+  mutable Snapshot legacy_snapshot_;
+  mutable uint64_t legacy_sequence_ = 0;
 };
 
 }  // namespace ivm

@@ -219,6 +219,11 @@ const Index& Relation::GetIndex(const std::vector<size_t>& key_columns) const {
     IVM_CHECK_LT(c, 64u) << "index key column beyond 64 columns";
     mask |= (uint64_t{1} << c);
   }
+  // Reader threads sharing an immutable snapshot extent may race into the
+  // demand-build cache; the lock makes the build-or-reuse atomic. Index
+  // objects live behind unique_ptr in stable map nodes, so the returned
+  // reference stays valid after the lock is dropped.
+  std::lock_guard<std::mutex> build_lock(index_build_mu_);
   CachedIndex& slot = index_cache_[mask];
   if (slot.index == nullptr || slot.built_version != version_) {
     // Canonicalize key order to ascending columns so all callers share one

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -155,6 +156,12 @@ class Relation {
 
   /// Returns a hash index on `key_columns` (built or rebuilt if stale). The
   /// returned reference is invalidated by any subsequent modification.
+  ///
+  /// Concurrency: concurrent GetIndex calls on the *same immutable* relation
+  /// are safe (the demand-build cache is internally locked) — this is what
+  /// lets many reader threads run index-backed queries against one shared
+  /// snapshot extent (storage/epoch.h). Mutation remains single-threaded by
+  /// contract and must not overlap any GetIndex call on the same object.
   const Index& GetIndex(const std::vector<size_t>& key_columns) const;
 
  private:
@@ -201,6 +208,12 @@ class Relation {
   /// Keyed by column bitmask (column i -> bit i). Arities beyond 64 columns
   /// are not supported (checked).
   mutable std::unordered_map<uint64_t, CachedIndex> index_cache_;
+  /// Serializes concurrent demand-builds in GetIndex (reader threads sharing
+  /// one immutable snapshot extent). Deliberately NOT taken by the mutators'
+  /// incremental index upkeep: mutation is single-threaded by contract and
+  /// never overlaps reads of the same object, so the writer's hot path pays
+  /// nothing. Never copied or moved with the relation.
+  mutable std::mutex index_build_mu_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Relation& r);

@@ -33,7 +33,7 @@ TEST(ConstraintsTest, AcceptsValidUpdates) {
   ok.Insert("employee", Tup(3, "eng"));
   auto out = checker.ApplyChecked(ok);
   IVM_ASSERT_OK(out.status());
-  EXPECT_TRUE(vm->GetRelation("employee").value()->Contains(Tup(3, "eng")));
+  EXPECT_TRUE(vm->snapshot().Get("employee").value()->Contains(Tup(3, "eng")));
 }
 
 TEST(ConstraintsTest, RejectsAndRollsBackViolations) {
@@ -49,8 +49,8 @@ TEST(ConstraintsTest, RejectsAndRollsBackViolations) {
   EXPECT_EQ(checker.last_violations()[0].view, "bad_dept");
   EXPECT_EQ(checker.last_violations()[0].tuples[0], Tup(9, "nonexistent"));
   // Rolled back: the employee is gone and the violation view is empty.
-  EXPECT_FALSE(vm->GetRelation("employee").value()->Contains(Tup(9, "nonexistent")));
-  EXPECT_TRUE(vm->GetRelation("bad_dept").value()->empty());
+  EXPECT_FALSE(vm->snapshot().Get("employee").value()->Contains(Tup(9, "nonexistent")));
+  EXPECT_TRUE(vm->snapshot().Get("bad_dept").value()->empty());
 }
 
 TEST(ConstraintsTest, ViolationThroughDeletion) {
@@ -62,8 +62,8 @@ TEST(ConstraintsTest, ViolationThroughDeletion) {
   bad.Delete("dept", Tup("eng"));
   EXPECT_FALSE(checker.ApplyChecked(bad).ok());
   // Rolled back.
-  EXPECT_TRUE(vm->GetRelation("dept").value()->Contains(Tup("eng")));
-  EXPECT_TRUE(vm->GetRelation("bad_dept").value()->empty());
+  EXPECT_TRUE(vm->snapshot().Get("dept").value()->Contains(Tup("eng")));
+  EXPECT_TRUE(vm->snapshot().Get("bad_dept").value()->empty());
 }
 
 TEST(ConstraintsTest, MixedBatchRollsBackAtomically) {
@@ -75,8 +75,8 @@ TEST(ConstraintsTest, MixedBatchRollsBackAtomically) {
   batch.Insert("employee", Tup(1, "sales"));   // collides with employee 1
   EXPECT_FALSE(checker.ApplyChecked(batch).ok());
   // Both inserts rolled back.
-  EXPECT_FALSE(vm->GetRelation("employee").value()->Contains(Tup(5, "eng")));
-  EXPECT_FALSE(vm->GetRelation("employee").value()->Contains(Tup(1, "sales")));
+  EXPECT_FALSE(vm->snapshot().Get("employee").value()->Contains(Tup(5, "eng")));
+  EXPECT_FALSE(vm->snapshot().Get("employee").value()->Contains(Tup(1, "sales")));
 }
 
 TEST(ConstraintsTest, RedundantInsertRollbackIsExact) {
@@ -89,7 +89,7 @@ TEST(ConstraintsTest, RedundantInsertRollbackIsExact) {
   batch.Insert("employee", Tup(1, "eng"));         // already present
   batch.Insert("employee", Tup(9, "nonexistent")); // violates
   EXPECT_FALSE(checker.ApplyChecked(batch).ok());
-  EXPECT_TRUE(vm->GetRelation("employee").value()->Contains(Tup(1, "eng")));
+  EXPECT_TRUE(vm->snapshot().Get("employee").value()->Contains(Tup(1, "eng")));
 }
 
 TEST(ConstraintsTest, AddConstraintValidatesViewName) {

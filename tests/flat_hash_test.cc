@@ -294,11 +294,11 @@ TEST(InternRoundTripTest, CheckpointRecoverIsByteIdenticalForHostileStrings) {
 
   auto recovered = ViewManager::Recover(dir);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  const Relation* got = (*recovered)->GetRelation("hop").value();
-  const Relation* want = vm->GetRelation("hop").value();
+  const Relation* got = (*recovered)->snapshot().Get("hop").value();
+  const Relation* want = vm->snapshot().Get("hop").value();
   EXPECT_TRUE(*got == *want);
-  const Relation* got_base = (*recovered)->GetRelation("link").value();
-  EXPECT_TRUE(*got_base == *vm->GetRelation("link").value());
+  const Relation* got_base = (*recovered)->snapshot().Get("link").value();
+  EXPECT_TRUE(*got_base == *vm->snapshot().Get("link").value());
   fs::remove_all(dir_path);
 }
 

@@ -47,8 +47,11 @@ TEST_P(IndexRebuildTest, UntouchedRelationsKeepTheirIndexes) {
   warm_delete.Delete("a", Tup(1, 2));
   ASSERT_TRUE((*vm)->Apply(warm_delete).ok());
 
-  const Relation& b = *(*vm)->GetRelation("b").value();
-  const Relation& vb = *(*vm)->GetRelation("vb").value();
+  // White-box: watch the maintainer's LIVE storage slots (not snapshot
+  // extents, which are immutable copies) — this test asserts on the
+  // internal version/index-rebuild counters across Applies.
+  const Relation& b = *(*vm)->maintainer().GetRelation("b").value();
+  const Relation& vb = *(*vm)->maintainer().GetRelation("vb").value();
   const uint64_t b_version = b.version();
   const uint64_t b_rebuilds = b.index_rebuilds();
   const uint64_t vb_version = vb.version();

@@ -20,7 +20,7 @@ class VmSource : public DmlSource {
  public:
   VmSource(ViewManager* vm, SqlTranslator* tr) : vm_(vm), tr_(tr) {}
   Result<const Relation*> GetExtent(const std::string& t) const override {
-    return vm_->GetRelation(t);
+    return vm_->snapshot().Get(t);
   }
   Result<std::vector<std::string>> GetColumns(
       const std::string& t) const override {
@@ -69,16 +69,16 @@ TEST(IntegrationTest, SocialNetworkRecommendations) {
   vm->Apply(seed).value();
 
   // ada is two hops from dan via both bob and cam.
-  EXPECT_TRUE(vm->GetRelation("candidates").value()->Contains(Tup("ada", "dan")));
+  EXPECT_TRUE(vm->snapshot().Get("candidates").value()->Contains(Tup("ada", "dan")));
   EXPECT_TRUE(
-      vm->GetRelation("mutual_count").value()->Contains(Tup("ada", "dan", 2)));
+      vm->snapshot().Get("mutual_count").value()->Contains(Tup("ada", "dan", 2)));
 
   // ada follows dan: the recommendation must disappear (EXCEPT path).
   ChangeSet follow = CompileDmlScript(
       "INSERT INTO follows VALUES ('ada','dan');", source).value();
   ChangeSet out = vm->Apply(follow).value();
   EXPECT_EQ(out.Delta("candidates").Count(Tup("ada", "dan")), -1);
-  EXPECT_FALSE(vm->GetRelation("candidates").value()->Contains(Tup("ada", "dan")));
+  EXPECT_FALSE(vm->snapshot().Get("candidates").value()->Contains(Tup("ada", "dan")));
 
   // bob unfollows dan: mutual count drops to 1.
   ChangeSet unfollow = CompileDmlScript(
@@ -113,18 +113,18 @@ TEST(IntegrationTest, OrgChartPermissions) {
   IVM_ASSERT_OK(vm->Initialize(db));
 
   // alice's grant flows to bob, carol, dave (and alice).
-  const Relation& access = *vm->GetRelation("access").value();
+  const Relation& access = *vm->snapshot().Get("access").value();
   EXPECT_TRUE(access.Contains(Tup("dave", "repo")));
   EXPECT_TRUE(access.Contains(Tup("carol", "repo")));
   EXPECT_FALSE(access.Contains(Tup("root", "repo")));
-  EXPECT_TRUE(vm->GetRelation("access_count").value()->Contains(Tup("repo", 4)));
+  EXPECT_TRUE(vm->snapshot().Get("access_count").value()->Contains(Tup("repo", 4)));
 
   // Re-org: dave moves under carol. His access survives (carol is still
   // under alice).
   ChangeSet reorg;
   reorg.Update("manages", Tup("bob", "dave"), Tup("carol", "dave"));
   ChangeSet out = vm->Apply(reorg).value();
-  EXPECT_TRUE(vm->GetRelation("access").value()->Contains(Tup("dave", "repo")));
+  EXPECT_TRUE(vm->snapshot().Get("access").value()->Contains(Tup("dave", "repo")));
   EXPECT_FALSE(out.Delta("access").Contains(Tup("dave", "repo")));
 
   // Revoking alice's grant kills everyone's access (negation over base).
@@ -132,7 +132,7 @@ TEST(IntegrationTest, OrgChartPermissions) {
   revoke.Insert("revoked", Tup("alice", "repo"));
   ChangeSet out2 = vm->Apply(revoke).value();
   EXPECT_EQ(out2.Delta("access").Count(Tup("dave", "repo")), -1);
-  EXPECT_TRUE(vm->GetRelation("access").value()->empty());
+  EXPECT_TRUE(vm->snapshot().Get("access").value()->empty());
   EXPECT_EQ(out2.Delta("access_count").Count(Tup("repo", 4)), -1);
 
   // A live policy change: also allow peer visibility (view redefinition).
@@ -150,14 +150,14 @@ TEST(IntegrationTest, OrgChartPermissions) {
   for (PredicateId b : vm->program().BasePredicates()) {
     const auto& info = vm->program().predicate(b);
     snapshot.CreateRelation(info.name, info.arity).CheckOK();
-    snapshot.mutable_relation(info.name) = **vm->GetRelation(info.name);
+    snapshot.mutable_relation(info.name) = **vm->snapshot().Get(info.name);
   }
   Evaluator ev(vm->program(), {Semantics::kSet, false});
   std::map<PredicateId, Relation> views;
   ev.EvaluateAll(snapshot, &views).CheckOK();
   for (const auto& [pred, expected] : views) {
     const std::string& name = vm->program().predicate(pred).name;
-    EXPECT_TRUE(vm->GetRelation(name).value()->SameSet(expected)) << name;
+    EXPECT_TRUE(vm->snapshot().Get(name).value()->SameSet(expected)) << name;
   }
 }
 
@@ -176,7 +176,7 @@ TEST(IntegrationTest, CsvToViewsPipeline) {
   ChangeSet load;
   load.Merge("sales", rows);
   vm->Apply(load).value();
-  EXPECT_EQ(WriteCsvString(*vm->GetRelation("by_region").value(), CsvOptions()),
+  EXPECT_EQ(WriteCsvString(*vm->snapshot().Get("by_region").value(), CsvOptions()),
             "east,15\nwest,7\n");
 }
 

@@ -35,11 +35,11 @@ std::unique_ptr<ViewManager> MakeOrders(Strategy strategy) {
 
 TEST(MultiRelationTest, ThreeWayJoinInitialization) {
   auto vm = MakeOrders(Strategy::kCounting);
-  const Relation& revenue = *vm->GetRelation("revenue").value();
+  const Relation& revenue = *vm->snapshot().Get("revenue").value();
   EXPECT_TRUE(revenue.Contains(Tup("east", "widget", 30)));
   EXPECT_TRUE(revenue.Contains(Tup("east", "gadget", 25)));
   EXPECT_TRUE(revenue.Contains(Tup("west", "widget", 20)));
-  EXPECT_TRUE(vm->GetRelation("region_total").value()->Contains(Tup("east", 55)));
+  EXPECT_TRUE(vm->snapshot().Get("region_total").value()->Contains(Tup("east", 55)));
 }
 
 TEST(MultiRelationTest, SimultaneousChangesToAllThreeRelations) {
@@ -54,14 +54,14 @@ TEST(MultiRelationTest, SimultaneousChangesToAllThreeRelations) {
     ChangeSet out = vm->Apply(batch).value();
     ChangeSet expected = oracle->Apply(batch).value();
     for (const char* view : {"revenue", "region_total"}) {
-      EXPECT_TRUE(vm->GetRelation(view).value()->SameSet(
-          *oracle->GetRelation(view).value()))
+      EXPECT_TRUE(vm->snapshot().Get(view).value()->SameSet(
+          *oracle->snapshot().Get(view).value()))
           << view << " under " << StrategyName(s);
       EXPECT_EQ(out.Delta(view).ToString(), expected.Delta(view).ToString())
           << view << " under " << StrategyName(s);
     }
     EXPECT_TRUE(
-        vm->GetRelation("region_total").value()->Contains(Tup("east", 136)));
+        vm->snapshot().Get("region_total").value()->Contains(Tup("east", 136)));
   }
 }
 
@@ -82,8 +82,8 @@ TEST(MultiRelationTest, CustomerMoveViaUpdate) {
   move.Update("customer", Tup(1, "east"), Tup(1, "west"));
   ChangeSet out = vm->Apply(move).value();
   // All of customer 1's revenue moves from east to west.
-  EXPECT_FALSE(vm->GetRelation("region_total").value()->Contains(Tup("east", 55)));
-  EXPECT_TRUE(vm->GetRelation("region_total").value()->Contains(Tup("west", 75)));
+  EXPECT_FALSE(vm->snapshot().Get("region_total").value()->Contains(Tup("east", 55)));
+  EXPECT_TRUE(vm->snapshot().Get("region_total").value()->Contains(Tup("west", 75)));
   EXPECT_EQ(out.Delta("region_total").Count(Tup("west", 20)), -1);
 }
 

@@ -44,8 +44,8 @@ void ExpectManagersIdentical(ViewManager& serial, ViewManager& parallel,
                              const std::string& context) {
   for (PredicateId pred : serial.program().DerivedPredicates()) {
     const std::string& name = serial.program().predicate(pred).name;
-    const Relation& expected = *serial.GetRelation(name).value();
-    const Relation& actual = *parallel.GetRelation(name).value();
+    const Relation& expected = *serial.snapshot().Get(name).value();
+    const Relation& actual = *parallel.snapshot().Get(name).value();
     // Exact equality — tuples and derivation counts — regardless of
     // semantics: parallel evaluation must not perturb counts even when set
     // semantics would mask them.
@@ -96,7 +96,7 @@ TEST_P(ParallelDeterminismTest, RandomProgramsMatchSerial) {
       for (int round = 0; round < 4; ++round) {
         ChangeSet batch;
         for (const char* name : {"e1", "e2"}) {
-          const Relation& current = *(*serial)->GetRelation(name).value();
+          const Relation& current = *(*serial)->snapshot().Get(name).value();
           for (const Tuple& t : SampleTuples(current, 2, update_rng())) {
             batch.Delete(name, t);
           }
@@ -180,7 +180,7 @@ TEST_P(ParallelDeterminismTest, RecursiveProgramsMatchSerial) {
                                static_cast<int>(c.strategy));
     for (int round = 0; round < 5; ++round) {
       ChangeSet batch;
-      const Relation& current = *(*serial)->GetRelation("e").value();
+      const Relation& current = *(*serial)->snapshot().Get("e").value();
       for (const Tuple& t : SampleTuples(current, 2, update_rng())) {
         batch.Delete("e", t);
       }

@@ -249,8 +249,8 @@ TEST_P(MaintainerPropertyTest, AgreesWithRecomputeOracle) {
         param.semantics == oracle_semantics;
     for (PredicateId pred : program.DerivedPredicates()) {
       const std::string& name = program.predicate(pred).name;
-      const Relation& actual = *(*subject)->GetRelation(name).value();
-      const Relation& expected = *(*oracle)->GetRelation(name).value();
+      const Relation& actual = *(*subject)->snapshot().Get(name).value();
+      const Relation& expected = *(*oracle)->snapshot().Get(name).value();
       if (count_exact) {
         // Full multiplicities must match exactly (Theorem 4.1).
         ASSERT_EQ(actual.ToString(), expected.ToString())
@@ -273,7 +273,7 @@ TEST_P(MaintainerPropertyTest, AgreesWithRecomputeOracle) {
     // Invariant (Lemma 4.1): stored views never go negative.
     for (PredicateId pred : program.DerivedPredicates()) {
       const std::string& name = program.predicate(pred).name;
-      EXPECT_FALSE((*subject)->GetRelation(name).value()->HasNegativeCounts());
+      EXPECT_FALSE((*subject)->snapshot().Get(name).value()->HasNegativeCounts());
     }
   }
 }

@@ -55,7 +55,7 @@ TEST_P(RandomProgramTest, MaintainersAgreeWithOracle) {
       for (int round = 0; round < 4; ++round) {
         ChangeSet batch;
         for (const char* name : {"e1", "e2"}) {
-          const Relation& current = *(*subject)->GetRelation(name).value();
+          const Relation& current = *(*subject)->snapshot().Get(name).value();
           for (const Tuple& t : SampleTuples(current, 2, update_rng())) {
             batch.Delete(name, t);
           }
@@ -75,8 +75,8 @@ TEST_P(RandomProgramTest, MaintainersAgreeWithOracle) {
 
         for (PredicateId pred : (*subject)->program().DerivedPredicates()) {
           const std::string& name = (*subject)->program().predicate(pred).name;
-          const Relation& actual = *(*subject)->GetRelation(name).value();
-          const Relation& expected = *(*oracle)->GetRelation(name).value();
+          const Relation& actual = *(*subject)->snapshot().Get(name).value();
+          const Relation& expected = *(*oracle)->snapshot().Get(name).value();
           if (semantics == Semantics::kDuplicate) {
             ASSERT_EQ(actual.ToString(), expected.ToString())
                 << name << " with " << StrategyName(strategy) << " round "

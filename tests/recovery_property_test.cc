@@ -70,7 +70,7 @@ std::unique_ptr<ViewManager> MakeManager(Strategy strategy, uint64_t seed) {
 std::string Fingerprint(ViewManager& m) {
   std::string fp;
   for (const auto& name : kRelations) {
-    auto rel = m.GetRelation(name);
+    auto rel = m.snapshot().Get(name);
     if (!rel.ok()) {
       ADD_FAILURE() << name << ": " << rel.status().ToString();
       return fp;
@@ -84,7 +84,7 @@ std::string Fingerprint(ViewManager& m) {
 // the manager's current base snapshot; the maintained views must hold the
 // same tuple sets.
 void ExpectMatchesRecomputeGroundTruth(ViewManager& m, const std::string& ctx) {
-  auto base = m.GetRelation("link");
+  auto base = m.snapshot().Get("link");
   ASSERT_TRUE(base.ok()) << ctx;
   Database db;
   db.CreateRelation("link", 2).CheckOK();
@@ -97,8 +97,8 @@ void ExpectMatchesRecomputeGroundTruth(ViewManager& m, const std::string& ctx) {
   ASSERT_TRUE(oracle.ok());
   IVM_ASSERT_OK((*oracle)->Initialize(db));
   for (const auto& view : {"hop", "tri"}) {
-    auto got = m.GetRelation(view);
-    auto want = (*oracle)->GetRelation(view);
+    auto got = m.snapshot().Get(view);
+    auto want = (*oracle)->snapshot().Get(view);
     ASSERT_TRUE(got.ok() && want.ok()) << ctx;
     EXPECT_TRUE((*got)->SameSet(**want))
         << ctx << " view " << view << "\n  maintained: " << (*got)->ToString()
@@ -135,7 +135,7 @@ TEST(RecoveryPropertyTest, KillAtEveryFailpointRollsBackAndRecovers) {
         IVM_ASSERT_OK(live->EnableDurability(dir));
 
         // One committed batch so the WAL holds a record before the kill.
-        auto link = live->GetRelation("link");
+        auto link = live->snapshot().Get("link");
         ASSERT_TRUE(link.ok());
         ASSERT_TRUE(live->Apply(MakeMixedEdgeBatch("link", **link, kNumNodes,
                                                    2, 3, seed * 31 + 1))
@@ -146,7 +146,7 @@ TEST(RecoveryPropertyTest, KillAtEveryFailpointRollsBackAndRecovers) {
 
         // Arm the failpoint and attempt a second batch. Whether it fires
         // depends on whether this strategy's path executes the site.
-        link = live->GetRelation("link");
+        link = live->snapshot().Get("link");
         ASSERT_TRUE(link.ok());
         const ChangeSet doomed = MakeMixedEdgeBatch(
             "link", **link, kNumNodes, 2, 3, seed * 31 + 2);
@@ -209,7 +209,7 @@ TEST(RecoveryPropertyTest, RandomFaultSoak) {
       for (const std::string& fp : kFailpointCatalogue) {
         reg.ArmWithProbability(fp, 0.05, /*seed=*/step * 131 + 7);
       }
-      auto link = live->GetRelation("link");
+      auto link = live->snapshot().Get("link");
       ASSERT_TRUE(link.ok());
       const ChangeSet batch =
           MakeMixedEdgeBatch("link", **link, kNumNodes, 1, 2, step * 17 + 3);

@@ -55,8 +55,8 @@ std::unique_ptr<ViewManager> MakeManager(Strategy strategy,
 void ExpectManagersEqual(ViewManager& got, ViewManager& want) {
   EXPECT_EQ(got.epoch(), want.epoch());
   for (const char* name : {"link", "hop", "tri"}) {
-    auto got_rel = got.GetRelation(name);
-    auto want_rel = want.GetRelation(name);
+    auto got_rel = got.snapshot().Get(name);
+    auto want_rel = want.snapshot().Get(name);
     ASSERT_TRUE(got_rel.ok()) << name << ": " << got_rel.status().ToString();
     ASSERT_TRUE(want_rel.ok()) << name << ": " << want_rel.status().ToString();
     ExpectRelationEq(**got_rel, **want_rel);
@@ -189,8 +189,8 @@ TEST(RecoveryRuleChangeTest, RuleChangesReplayThroughWal) {
   EXPECT_EQ((*recovered)->epoch(), 3u);
   EXPECT_EQ((*recovered)->program().rules().size(), live->program().rules().size());
   for (const char* name : {"link", "hop"}) {
-    auto got = (*recovered)->GetRelation(name);
-    auto want = live->GetRelation(name);
+    auto got = (*recovered)->snapshot().Get(name);
+    auto want = live->snapshot().Get(name);
     ASSERT_TRUE(got.ok() && want.ok());
     ExpectRelationEq(**got, **want);
   }
@@ -220,8 +220,8 @@ TEST(RecoveryTornTailTest, TornTrailingRecordIsDiscarded) {
   auto expect = MakeManager(Strategy::kCounting);
   ASSERT_TRUE(expect->Apply(c1).ok());
   for (const char* name : {"link", "hop", "tri"}) {
-    auto got = (*recovered)->GetRelation(name);
-    auto want = expect->GetRelation(name);
+    auto got = (*recovered)->snapshot().Get(name);
+    auto want = expect->snapshot().Get(name);
     ASSERT_TRUE(got.ok() && want.ok());
     ExpectRelationEq(**got, **want);
   }

@@ -80,7 +80,7 @@ TEST(RobustnessTest, ManagerSurvivesRejectedApply) {
   EXPECT_FALSE(vm->Apply(view_write).ok());
 
   // The manager still works and its state is unchanged.
-  EXPECT_EQ(vm->GetRelation("hop").value()->ToString(), "{(\"a\", \"c\")}");
+  EXPECT_EQ(vm->snapshot().Get("hop").value()->ToString(), "{(\"a\", \"c\")}");
   ChangeSet good;
   good.Insert("link", Tup("c", "d"));
   ChangeSet out = vm->Apply(good).value();
@@ -111,8 +111,8 @@ TEST(RobustnessTest, ViewsOverEmptyBaseRelations) {
     db.CreateRelation("a", 1).CheckOK();
     db.CreateRelation("b", 1).CheckOK();
     IVM_ASSERT_OK(vm->Initialize(db));
-    EXPECT_TRUE(vm->GetRelation("u").value()->empty());
-    EXPECT_TRUE(vm->GetRelation("n").value()->empty());
+    EXPECT_TRUE(vm->snapshot().Get("u").value()->empty());
+    EXPECT_TRUE(vm->snapshot().Get("n").value()->empty());
     // First-ever tuple.
     ChangeSet first;
     first.Insert("a", Tup(1));
@@ -125,7 +125,7 @@ TEST(RobustnessTest, ViewsOverEmptyBaseRelations) {
     undo.Delete("a", Tup(1));
     ChangeSet out2 = vm->Apply(undo).value();
     EXPECT_EQ(out2.Delta("n").Count(Tup(1)), -1) << StrategyName(s);
-    EXPECT_TRUE(vm->GetRelation("u").value()->empty());
+    EXPECT_TRUE(vm->snapshot().Get("u").value()->empty());
   }
 }
 
@@ -138,7 +138,7 @@ TEST(RobustnessTest, LongChainDeepRecursionNoStackIssues) {
   const int n = 600;
   for (int i = 0; i < n; ++i) db.mutable_relation("e").Add(Tup(i, i + 1), 1);
   IVM_ASSERT_OK(vm->Initialize(db));
-  EXPECT_EQ(vm->GetRelation("p").value()->size(),
+  EXPECT_EQ(vm->snapshot().Get("p").value()->size(),
             static_cast<size_t>(n) * (n + 1) / 2);
   ChangeSet cut;
   cut.Delete("e", Tup(n / 2, n / 2 + 1));
@@ -153,7 +153,7 @@ std::string Fingerprint(ViewManager& vm,
                         std::initializer_list<const char*> names) {
   std::string fp;
   for (const char* name : names) {
-    fp += std::string(name) + "=" + vm.GetRelation(name).value()->ToString() +
+    fp += std::string(name) + "=" + vm.snapshot().Get(name).value()->ToString() +
           "\n";
   }
   return fp;
@@ -226,7 +226,7 @@ TEST(RobustnessTest, ThrowingTriggerRollsBackRuleChanges) {
   // The program and the views are exactly as before the failed AddRule.
   EXPECT_EQ(vm->program().rules().size(), num_rules);
   EXPECT_EQ(Fingerprint(*vm, {"link", "hop"}), before);
-  EXPECT_FALSE(vm->GetRelation("tri").ok());
+  EXPECT_FALSE(vm->snapshot().Get("tri").ok());
 
   sub.Unsubscribe();
   ASSERT_TRUE(vm->AddRuleText(

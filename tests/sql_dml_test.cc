@@ -107,7 +107,7 @@ TEST(SqlDmlTest, EndToEndWithViewMaintenance) {
    public:
     Source(ViewManager* vm, SqlTranslator* tr) : vm_(vm), tr_(tr) {}
     Result<const Relation*> GetExtent(const std::string& t) const override {
-      return vm_->GetRelation(t);
+      return vm_->snapshot().Get(t);
     }
     Result<std::vector<std::string>> GetColumns(
         const std::string& t) const override {
@@ -128,7 +128,7 @@ TEST(SqlDmlTest, EndToEndWithViewMaintenance) {
       CompileDmlScript("DELETE FROM link WHERE s = 'a';", source).value();
   ChangeSet out2 = vm->Apply(remove).value();
   EXPECT_EQ(out2.Delta("hop").Count(Tup("a", "c")), -1);
-  EXPECT_TRUE(vm->GetRelation("hop").value()->empty());
+  EXPECT_TRUE(vm->snapshot().Get("hop").value()->empty());
 }
 
 }  // namespace

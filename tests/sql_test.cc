@@ -129,7 +129,7 @@ TEST(SqlTranslatorTest, GroupByOverSingleTable) {
   Database db;
   testing_util::MustLoadFacts(&db, "sales(east, 10). sales(east, 5). sales(west, 2).");
   IVM_ASSERT_OK(vm->Initialize(db));
-  const Relation& totals = *vm->GetRelation("totals").value();
+  const Relation& totals = *vm->snapshot().Get("totals").value();
   EXPECT_TRUE(totals.Contains(Tup("east", 15)));
   EXPECT_TRUE(totals.Contains(Tup("west", 2)));
 
@@ -152,7 +152,7 @@ TEST(SqlTranslatorTest, GroupByOverJoinUsesHelperView) {
   testing_util::MustLoadFacts(
       &db, "link(a, b, 2). link(b, c, 3). link(a, d, 1). link(d, c, 1).");
   IVM_ASSERT_OK(vm->Initialize(db));
-  EXPECT_TRUE(vm->GetRelation("min_two_hop").value()->Contains(Tup("a", "c", 2)));
+  EXPECT_TRUE(vm->snapshot().Get("min_two_hop").value()->Contains(Tup("a", "c", 2)));
 
   ChangeSet changes;
   changes.Delete("link", Tup("d", "c", 1));
@@ -171,7 +171,7 @@ TEST(SqlTranslatorTest, MultipleAggregatesShareGroups) {
   Database db;
   testing_util::MustLoadFacts(&db, "v(a, 3). v(a, 9). v(b, 4).");
   IVM_ASSERT_OK(vm->Initialize(db));
-  const Relation& stats = *vm->GetRelation("stats").value();
+  const Relation& stats = *vm->snapshot().Get("stats").value();
   EXPECT_TRUE(stats.Contains(Tup("a", 3, 9, 2)));
   EXPECT_TRUE(stats.Contains(Tup("b", 4, 4, 1)));
 }
@@ -192,7 +192,7 @@ TEST(SqlTranslatorTest, ExceptBecomesNegation) {
   Database db;
   testing_util::MustLoadFacts(&db, "a(1). a(2). b(2).");
   IVM_ASSERT_OK(vm->Initialize(db));
-  EXPECT_EQ(vm->GetRelation("d").value()->ToString(), "{(1)}");
+  EXPECT_EQ(vm->snapshot().Get("d").value()->ToString(), "{(1)}");
   ChangeSet changes;
   changes.Delete("b", Tup(2));
   ChangeSet out = vm->Apply(changes).value();
@@ -221,7 +221,7 @@ TEST(SqlTranslatorTest, SelectItemArithmetic) {
   Database db;
   testing_util::MustLoadFacts(&db, "e(1, 3).");
   IVM_ASSERT_OK(vm->Initialize(db));
-  EXPECT_TRUE(vm->GetRelation("v").value()->Contains(Tup(7)));
+  EXPECT_TRUE(vm->snapshot().Get("v").value()->Contains(Tup(7)));
 }
 
 TEST(SqlTranslatorTest, ErrorOnUnknownTable) {
@@ -268,7 +268,7 @@ TEST(SqlTranslatorTest, ContradictoryConstantsYieldEmptyView) {
   Database db;
   testing_util::MustLoadFacts(&db, "t(1, 2). t(2, 3).");
   IVM_ASSERT_OK(vm->Initialize(db));
-  EXPECT_TRUE(vm->GetRelation("v").value()->empty());
+  EXPECT_TRUE(vm->snapshot().Get("v").value()->empty());
 }
 
 }  // namespace

@@ -158,8 +158,8 @@ TEST(ViewManagerOptionsTest, ParallelExecutorMatchesSerialResults) {
   changes.Insert("link", Tup("c", "d"));
   EXPECT_EQ(a->Apply(changes).value().Delta("hop").ToString(),
             b->Apply(changes).value().Delta("hop").ToString());
-  EXPECT_EQ(a->GetRelation("hop").value()->ToString(),
-            b->GetRelation("hop").value()->ToString());
+  EXPECT_EQ(a->snapshot().Get("hop").value()->ToString(),
+            b->snapshot().Get("hop").value()->ToString());
 }
 
 TEST(ViewManagerOptionsTest, MoveApplyMatchesCopyApply) {
@@ -180,8 +180,8 @@ TEST(ViewManagerOptionsTest, MoveApplyMatchesCopyApply) {
   const std::string via_move =
       b->Apply(std::move(moved)).value().Delta("hop").ToString();
   EXPECT_EQ(via_copy, via_move);
-  EXPECT_EQ(a->GetRelation("hop").value()->ToString(),
-            b->GetRelation("hop").value()->ToString());
+  EXPECT_EQ(a->snapshot().Get("hop").value()->ToString(),
+            b->snapshot().Get("hop").value()->ToString());
   // The copy overload leaves its (const) argument intact for reuse.
   EXPECT_FALSE(copied.empty());
   EXPECT_EQ(copied.Delta("link").TotalCount(), 0);  // +1 insert, -1 delete
@@ -220,8 +220,8 @@ TEST(ViewManagerOptionsTest, DurabilityDirOpensOnInitialize) {
 
   // The WAL written under Options.durability_dir must drive Recover.
   auto recovered = ViewManager::Recover(dir).value();
-  EXPECT_EQ(recovered->GetRelation("hop").value()->ToString(),
-            vm->GetRelation("hop").value()->ToString());
+  EXPECT_EQ(recovered->snapshot().Get("hop").value()->ToString(),
+            vm->snapshot().Get("hop").value()->ToString());
 }
 
 TEST(ViewManagerOptionsTest, EnableDurabilityConflictIsAnError) {
@@ -245,7 +245,7 @@ TEST(ViewManagerOptionsTest, EnableDurabilityConflictIsAnError) {
   changes.Insert("link", Tup("b", "c"));
   vm->Apply(changes).value();
   auto recovered = ViewManager::Recover(base + "_a").value();
-  EXPECT_TRUE(recovered->GetRelation("hop").value()->Contains(Tup("a", "c")));
+  EXPECT_TRUE(recovered->snapshot().Get("hop").value()->Contains(Tup("a", "c")));
 }
 
 TEST(ViewManagerOptionsTest, EnableDurabilityConflictBeforeInitialize) {

@@ -84,6 +84,14 @@ run_one recursive_counting 'BM_DeleteRecursiveCounting/4$' \
 run_one parallel_scaling 'BM_Counting/2$' \
   exec.tasks_scheduled exec.tasks_executed exec.partitions threads
 
+# Snapshot read path: a 4-reader slice (no writer — keeps the smoke slice
+# deterministic) must record its read-throughput counters. The storage.*
+# sharing/reclamation counters are asserted in snapshot_stress_test instead:
+# they only register once a post-seed publication happens, which the
+# writer-free smoke slice deliberately avoids.
+run_one snapshot_read 'BM_SnapshotRead/4/real_time$' \
+  reads readers reads_per_s
+
 # The metrics on/off pair used for the zero-overhead acceptance check.
 run_one counting_overhead 'BM_ApplyWithMetrics/100/400$' \
   apply.base_delta_tuples peak_delta_tuples

@@ -89,6 +89,7 @@ if [[ ${HAVE_CLANGXX} -eq 1 ]]; then
   TS_SOURCES=(
     src/exec/thread_pool.cc
     src/obs/metrics.cc
+    src/storage/epoch.cc
     src/storage/intern.cc
     src/txn/failpoint.cc
     src/txn/wal.cc

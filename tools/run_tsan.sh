@@ -15,6 +15,9 @@
 #   flat_hash_test             storage-core structures (FlatHashMap, intern
 #                              pool — InternPool::Global is shared state)
 #   metrics_test               concurrent counter sinks + plan-cache metrics
+#   snapshot_stress_test       N reader threads pinning snapshots against one
+#                              writer's Apply stream (storage/epoch.h: pin /
+#                              publish / reclaim, shared-extent index builds)
 #
 # Any data race aborts the run (halt_on_error): a clean exit is the
 # acceptance gate for changes to src/exec/ and the batched evaluation loops
@@ -32,13 +35,13 @@ cmake -B "${BUILD_DIR}" -S . \
 
 cmake --build "${BUILD_DIR}" -j \
   --target exec_test parallel_determinism_test view_manager_test \
-           flat_hash_test metrics_test
+           flat_hash_test metrics_test snapshot_stress_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 fail=0
 for t in exec_test parallel_determinism_test view_manager_test \
-         flat_hash_test metrics_test; do
+         flat_hash_test metrics_test snapshot_stress_test; do
   echo "=== tsan: ${t} ==="
   if ! "${BUILD_DIR}/tests/${t}"; then
     fail=1
