@@ -16,7 +16,8 @@
 //   program <datalog...>     define the program (whole line; repeatable
 //                            until 'init'; ';' separates statements too)
 //   sql <sql...>             define the program from SQL instead
-//   strategy <name>          counting|dred|recompute|pf|recursive-counting|auto
+//   strategy <name>          counting|dred|recompute|pf|recursive-counting|
+//                            higher-order|auto
 //   semantics <set|dup>      view semantics (before init)
 //   init                     materialize (implicit on first change)
 //   + fact(args).            insert base facts (multiple per line)
@@ -101,6 +102,8 @@ class Shell {
         strategy_ = Strategy::kPF;
       } else if (rest == "recursive-counting") {
         strategy_ = Strategy::kRecursiveCounting;
+      } else if (rest == "higher-order") {
+        strategy_ = Strategy::kHigherOrder;
       } else if (rest == "auto") {
         strategy_ = Strategy::kAuto;
       } else {

@@ -57,6 +57,13 @@ std::string StrategyAdvice::Summary() const {
              ? "\nparallel execution: recommended (join-heavy shape; set "
                "ExecutorOptions::threads > 1)"
              : "\nparallel execution: not worth the fan-out overhead";
+  if (!program_recursive) {
+    out += "\nhigher-order estimated cost: " +
+           FormatCost(higher_order_estimated_cost) +
+           " rows touched per single-tuple change (opt-in "
+           "Strategy::kHigherOrder, trades auxiliary-view space for lookup "
+           "speed)";
+  }
   for (const ViewClassification& v : views) {
     out += "\n  ";
     out += v.ToString();
@@ -125,6 +132,7 @@ StrategyAdvice AdviseStrategy(const Program& program) {
   }
   advice.recommend_parallel =
       wide_join || stats.total_delta_cost > kParallelCostThreshold;
+  advice.higher_order_estimated_cost = stats.total_higher_order_cost;
   return advice;
 }
 
@@ -232,6 +240,18 @@ AnalysisReport CheckStrategyChoice(const Program& program, Strategy strategy,
             "the program is nonrecursive; plain counting (Algorithm 4.1) "
             "maintains the same counts without the one-update-at-a-time "
             "propagation overhead"));
+      }
+      break;
+    case Strategy::kHigherOrder:
+      if (advice.program_recursive) {
+        report.Add(MakeStrategyDiag(
+            DiagSeverity::kError,
+            "higher-order maintenance handles nonrecursive views only (a "
+            "recursive remainder would have to materialize its own fixpoint) "
+            "but view(s) " +
+                RecursiveViewNames(advice) +
+                " are recursive; use dred (Section 7) or recursive-counting "
+                "(Section 8)"));
       }
       break;
     case Strategy::kRecompute:

@@ -48,6 +48,12 @@ struct StrategyAdvice {
   /// work — is heavy enough that a parallel executor
   /// (ExecutorOptions::threads > 1) is worth its fan-out overhead.
   bool recommend_parallel = false;
+  /// Estimated per-change work under the opt-in Strategy::kHigherOrder
+  /// (auxiliary-view lookups for eligible rules, classic delta rules for
+  /// the rest), on the same scale as estimated_delta_cost's sibling
+  /// ProgramStats::total_delta_join_work. Meaningful for nonrecursive
+  /// programs only; kAuto never selects higher-order.
+  double higher_order_estimated_cost = 0.0;
 
   std::string Summary() const;
 };

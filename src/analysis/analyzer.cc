@@ -642,6 +642,39 @@ AnalysisReport AnalyzeProgram(Program& program) {
     report.Add(std::move(d));
   }
 
+  // higher-order-advantage: program-level, advisory. Fires when the cost
+  // model predicts the opt-in kHigherOrder strategy would at least halve the
+  // per-change work — i.e. some eligible multi-way join rule spends most of
+  // its delta cost on intermediate results that materialized remainders
+  // would pre-compute. Nonrecursive programs only (the strategy's own
+  // precondition).
+  if (stats.num_recursive_sccs == 0 && stats.total_higher_order_cost > 0.0 &&
+      stats.total_delta_join_work >= 2.0 * stats.total_higher_order_cost) {
+    bool multiway_eligible = false;
+    for (int r = 0; r < num_rules; ++r) {
+      if (!rule_ok[r]) continue;
+      const RuleCostStats& rs = stats.rules[static_cast<size_t>(r)];
+      if (rs.higher_order_eligible && rs.num_positive >= 3) {
+        multiway_eligible = true;
+        break;
+      }
+    }
+    if (multiway_eligible) {
+      Diagnostic d;
+      d.code = DiagCode::kHigherOrderAdvantage;
+      d.severity = DiagSeverity::kNote;
+      d.message =
+          "higher-order maintenance would reduce estimated delta cost from " +
+          FormatEstimate(stats.total_delta_join_work) + " to " +
+          FormatEstimate(stats.total_higher_order_cost) +
+          " rows touched per single-tuple change: materialized join "
+          "remainders replace the delta rules' intermediate joins with hash "
+          "lookups (opt-in Strategy::kHigherOrder; costs auxiliary-view "
+          "space)";
+      report.Add(std::move(d));
+    }
+  }
+
   report.SortByLocation();
   return report;
 }

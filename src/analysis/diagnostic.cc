@@ -23,6 +23,7 @@ const char* DiagCodeName(DiagCode code) {
       return "aggregate-through-recursion";
     case DiagCode::kDeltaExplosion: return "delta-explosion";
     case DiagCode::kInlinableView: return "inlinable-view";
+    case DiagCode::kHigherOrderAdvantage: return "higher-order-advantage";
   }
   return "?";
 }
@@ -45,6 +46,7 @@ const char* DiagCodeId(DiagCode code) {
     case DiagCode::kAggregateThroughRecursion: return "IVM014";
     case DiagCode::kDeltaExplosion: return "IVM015";
     case DiagCode::kInlinableView: return "IVM016";
+    case DiagCode::kHigherOrderAdvantage: return "IVM017";
   }
   return "IVM000";
 }
@@ -93,6 +95,9 @@ const char* DiagCodeDescription(DiagCode code) {
     case DiagCode::kInlinableView:
       return "A nonrecursive single-rule view is read exactly once and "
              "could be inlined into its reader.";
+    case DiagCode::kHigherOrderAdvantage:
+      return "The cost model predicts higher-order maintenance (materialized "
+             "join remainders) would substantially cut per-change work.";
   }
   return "";
 }
@@ -115,6 +120,7 @@ const std::vector<DiagCode>& AllDiagCodes() {
       DiagCode::kAggregateThroughRecursion,
       DiagCode::kDeltaExplosion,
       DiagCode::kInlinableView,
+      DiagCode::kHigherOrderAdvantage,
   };
   return codes;
 }

@@ -59,6 +59,11 @@ enum class DiagCode {
   /// A nonrecursive single-rule view read exactly once; inlining its body
   /// into the reader saves one materialized relation and one delta level.
   kInlinableView,
+  /// The cost model predicts the opt-in higher-order strategy
+  /// (Strategy::kHigherOrder: materialized join remainders, lookups instead
+  /// of delta-rule joins) would cut the program's per-change work
+  /// substantially; the message quantifies both estimates.
+  kHigherOrderAdvantage,
 };
 
 /// The lint-facing kebab-case spelling of `code` (e.g. "unsafe-rule").

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "eval/higher_order.h"
+
 namespace ivm {
 
 namespace {
@@ -25,7 +27,32 @@ struct RuleEstimate {
   double out_rows = 0.0;
   double join_cost = 0.0;
   double amplification = 0.0;
+  double delta_work = 0.0;
 };
+
+/// Mirrors eval/higher_order.cc's eligibility test on the cost-model side:
+/// join-only body, distinct positive predicates, 1..kMaxHigherOrderRuleAtoms
+/// atoms. Kept in sync by tests/higher_order_differential_test.cc exercising
+/// both layers on the same generated rules.
+bool HigherOrderEligible(const Rule& rule) {
+  std::set<PredicateId> preds;
+  int n = 0;
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kPositive:
+        if (lit.atom.pred == kUnresolvedPredicate) return false;
+        if (!preds.insert(lit.atom.pred).second) return false;
+        ++n;
+        break;
+      case Literal::Kind::kComparison:
+        break;
+      case Literal::Kind::kNegated:
+      case Literal::Kind::kAggregate:
+        return false;
+    }
+  }
+  return n >= 1 && n <= kMaxHigherOrderRuleAtoms;
+}
 
 RuleEstimate EstimateRule(const Rule& rule, const EstimationParams& params,
                           const std::vector<PredicateCostStats>& preds,
@@ -101,10 +128,12 @@ RuleEstimate EstimateRule(const Rule& rule, const EstimationParams& params,
   const double full = acc;
   est.out_rows = std::min(full, head_cap);
   // Delta rules (§4): one per body subgoal; substituting a 1-row delta for
-  // subgoal i scales the full join by 1/card_i.
+  // subgoal i scales the full join by 1/card_i — the output rows in
+  // `amplification`, the intermediates-included work in `delta_work`.
   for (double card : subgoal_cards) {
     est.amplification =
         std::min(est.amplification + full / card, kModelCeiling);
+    est.delta_work = std::min(est.delta_work + cost / card, kModelCeiling);
   }
   return est;
 }
@@ -198,6 +227,10 @@ ProgramStats ComputeProgramStats(const Program& program,
     rs.out_rows = est.out_rows;
     rs.join_cost = est.join_cost;
     rs.delta_amplification = est.amplification;
+    rs.delta_join_work = est.delta_work;
+    rs.higher_order_eligible = !head.recursive && HigherOrderEligible(rule);
+    rs.higher_order_cost =
+        rs.higher_order_eligible ? est.amplification : est.delta_work;
     for (const Literal& lit : rule.body) {
       if (!lit.IsAtomBased() || lit.atom.pred == kUnresolvedPredicate) continue;
       if (lit.kind == Literal::Kind::kNegated) continue;
@@ -213,6 +246,12 @@ ProgramStats ComputeProgramStats(const Program& program,
                  kModelCeiling);
     stats.max_delta_amplification =
         std::max(stats.max_delta_amplification, rs.delta_amplification);
+    stats.total_delta_join_work =
+        std::min(stats.total_delta_join_work + rs.delta_join_work,
+                 kModelCeiling);
+    stats.total_higher_order_cost =
+        std::min(stats.total_higher_order_cost + rs.higher_order_cost,
+                 kModelCeiling);
   }
   return stats;
 }

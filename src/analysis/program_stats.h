@@ -57,6 +57,20 @@ struct RuleCostStats {
   /// summed cost of the rule's delta rules (one per body subgoal, §4) with a
   /// 1-row delta. The incremental-maintenance analogue of fan-out.
   double delta_amplification = 0.0;
+  /// Estimated per-change *work* of the rule's delta rules, intermediate
+  /// join results included — what counting actually executes: the full
+  /// join's summed intermediates scaled by 1/card_i per delta position.
+  double delta_join_work = 0.0;
+  /// Estimated per-change work under higher-order maintenance
+  /// (Strategy::kHigherOrder): an eligible rule pays only for its output
+  /// rows — the join remainders are pre-materialized, so the intermediates
+  /// vanish (auxiliary upkeep is within a constant factor of the same
+  /// bound); an ineligible rule falls back to the classic delta rules and
+  /// keeps delta_join_work.
+  double higher_order_cost = 0.0;
+  /// True when the rule qualifies for higher-order lookups: join-only body,
+  /// distinct positive predicates, 1..kMaxHigherOrderRuleAtoms atoms.
+  bool higher_order_eligible = false;
 };
 
 /// The measured shape of a whole program: SCC structure plus the abstract-
@@ -75,6 +89,11 @@ struct ProgramStats {
   /// per single-tuple base change.
   double total_delta_cost = 0.0;
   double max_delta_amplification = 0.0;
+  /// Sums of delta_join_work / higher_order_cost over all rules: the
+  /// per-change work of classic counting vs. opt-in higher-order
+  /// maintenance, on the same scale.
+  double total_delta_join_work = 0.0;
+  double total_higher_order_cost = 0.0;
 };
 
 /// Computes ProgramStats. Rules must have been resolved

@@ -1,0 +1,574 @@
+#include "core/higher_order.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "eval/aggregates.h"
+#include "eval/rule_eval.h"
+#include "exec/executor.h"
+#include "obs/trace.h"
+
+namespace ivm {
+
+namespace {
+
+/// Validates a duplicate-semantics delta against the stored extent
+/// (Γ⁻ ⊆ E, Lemma 4.1's precondition). Same contract as counting's.
+Status ValidateMultisetDelta(const Relation& stored, const Relation& delta) {
+  for (const auto& [tuple, count] : delta.tuples()) {
+    int64_t merged = 0;
+    if (__builtin_add_overflow(stored.Count(tuple), count, &merged)) {
+      return Status::InvalidArgument("count of " + tuple.ToString() + " in '" +
+                                     stored.name() + "' would overflow int64");
+    }
+    if (count < 0 && merged < 0) {
+      return Status::FailedPrecondition(
+          "delta deletes more copies of " + tuple.ToString() + " from '" +
+          stored.name() + "' than stored");
+    }
+  }
+  return Status::OK();
+}
+
+/// Normalizes a delta to set semantics against a set-stored extent: net
+/// insertions of absent tuples become +1, net deletions of present tuples
+/// become -1, redundant insertions vanish, and deleting an absent tuple is
+/// an error.
+Result<Relation> NormalizeSetDelta(const Relation& stored,
+                                   const Relation& delta) {
+  Relation out(delta.name(), delta.arity());
+  for (const auto& [tuple, count] : delta.tuples()) {
+    bool present = stored.Contains(tuple);
+    if (count > 0) {
+      if (!present) out.Add(tuple, 1);
+    } else if (count < 0) {
+      if (!present) {
+        return Status::FailedPrecondition("deleting " + tuple.ToString() +
+                                          " which is not in '" +
+                                          stored.name() + "'");
+      }
+      out.Add(tuple, -1);
+    }
+  }
+  return out;
+}
+
+/// DeltaSource for one telescoping step: Old() is the *current* stored
+/// state (already-processed predicates contribute their new extents,
+/// not-yet-processed ones their old), and exactly one predicate — the
+/// step's — carries a delta.
+class StepSource : public DeltaSource {
+ public:
+  StepSource(const Program& program, const Database& base,
+             const std::map<PredicateId, Relation>& views)
+      : program_(program), base_(base), views_(views) {}
+
+  void PutDelta(PredicateId pred, const Relation* delta) {
+    delta_pred_ = pred;
+    delta_ = delta;
+  }
+
+  const Relation* Old(PredicateId pred) const override {
+    const PredicateInfo& info = program_.predicate(pred);
+    if (info.is_base) {
+      auto rel = base_.Get(info.name);
+      return rel.ok() ? *rel : nullptr;
+    }
+    auto it = views_.find(pred);
+    return it == views_.end() ? nullptr : &it->second;
+  }
+
+  const Relation* DeltaOf(PredicateId pred) const override {
+    return pred == delta_pred_ ? delta_ : nullptr;
+  }
+
+ private:
+  const Program& program_;
+  const Database& base_;
+  const std::map<PredicateId, Relation>& views_;
+  PredicateId delta_pred_ = -1;
+  const Relation* delta_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<HigherOrderMaintainer>> HigherOrderMaintainer::Create(
+    Program program, Semantics semantics) {
+  IVM_RETURN_IF_ERROR(program.Analyze());
+  if (program.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "higher-order maintenance handles nonrecursive views only (a "
+        "recursive remainder would have to materialize its own fixpoint); "
+        "use DRed or recursive counting for recursive views");
+  }
+  std::unique_ptr<HigherOrderMaintainer> m(
+      new HigherOrderMaintainer(std::move(program), semantics));
+  IVM_ASSIGN_OR_RETURN(m->plan_, CompileHigherOrderPlan(m->program_));
+  m->BuildDispatch();
+  return m;
+}
+
+void HigherOrderMaintainer::BuildDispatch() {
+  for (size_t r = 0; r < program_.num_rules(); ++r) {
+    const Rule& rule = program_.rule(static_cast<int>(r));
+    const HORulePlan& rp = plan_.rules[r];
+    if (rp.eligible) {
+      for (size_t li = 0; li < rp.lookups.size(); ++li) {
+        const Atom& atom =
+            rule.body[static_cast<size_t>(rp.lookups[li].atom_position)].atom;
+        lookup_dispatch_[atom.pred].push_back(
+            LookupRef{static_cast<int>(r), static_cast<int>(li)});
+      }
+      for (size_t ai = 0; ai < rp.aux_deltas.size(); ++ai) {
+        const Atom& atom =
+            rule.body[static_cast<size_t>(rp.aux_deltas[ai].atom_position)]
+                .atom;
+        aux_dispatch_[atom.pred].push_back(
+            AuxDeltaRef{static_cast<int>(r), static_cast<int>(ai)});
+      }
+    } else {
+      for (const DeltaRule& dr :
+           CompileDeltaRules(program_, static_cast<int>(r))) {
+        const Literal& lit =
+            rule.body[static_cast<size_t>(dr.delta_position)];
+        fallback_dispatch_[lit.atom.pred].push_back(dr);
+      }
+    }
+    // Aggregate subgoals only occur in ineligible rules; their materialized
+    // T extents are updated in the input predicate's step.
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      if (rule.body[j].kind != Literal::Kind::kAggregate) continue;
+      aggregates_by_pred_[rule.body[j].atom.pred].push_back(
+          std::make_pair(static_cast<int>(r), static_cast<int>(j)));
+    }
+  }
+}
+
+Status HigherOrderMaintainer::Initialize(const Database& base) {
+  // Snapshot the base relations this program reads (same contract as
+  // counting: set semantics stores memberships, duplicate semantics
+  // requires non-negative multiplicities).
+  base_ = Database();
+  for (PredicateId p : program_.BasePredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    IVM_ASSIGN_OR_RETURN(const Relation* rel, base.Get(info.name));
+    IVM_RETURN_IF_ERROR(base_.CreateRelation(info.name, info.arity));
+    Relation& mine = base_.mutable_relation(info.name);
+    mine = (semantics_ == Semantics::kSet) ? rel->AsSet() : *rel;
+    if (semantics_ == Semantics::kDuplicate && rel->HasNegativeCounts()) {
+      return Status::InvalidArgument("base relation '" + info.name +
+                                     "' has negative counts");
+    }
+  }
+
+  EvalOptions options;
+  options.semantics = semantics_;
+  options.stratum_counts = (semantics_ == Semantics::kSet);
+  Evaluator evaluator(program_, options);
+  IVM_RETURN_IF_ERROR(evaluator.EvaluateAll(base_, &views_));
+  IVM_RETURN_IF_ERROR(InitializeAggregates());
+  IVM_RETURN_IF_ERROR(InitializeAuxViews());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status HigherOrderMaintainer::InitializeAggregates() {
+  aggregate_ts_.clear();
+  const bool multiset = semantics_ == Semantics::kDuplicate;
+  for (size_t r = 0; r < program_.num_rules(); ++r) {
+    const Rule& rule = program_.rule(static_cast<int>(r));
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const Literal& lit = rule.body[j];
+      if (lit.kind != Literal::Kind::kAggregate) continue;
+      const Relation* u = StoredFor(lit.atom.pred);
+      IVM_CHECK(u != nullptr);
+      IVM_ASSIGN_OR_RETURN(Relation t, EvaluateAggregate(lit, *u, multiset));
+      aggregate_ts_.emplace(
+          std::make_pair(static_cast<int>(r), static_cast<int>(j)),
+          std::move(t));
+    }
+  }
+  return Status::OK();
+}
+
+Status HigherOrderMaintainer::InitializeAuxViews() {
+  aux_.clear();
+  aux_.reserve(plan_.views.size());
+  for (const HOAuxView& view : plan_.views) {
+    aux_.emplace_back(view.name, view.schema.size());
+  }
+  const bool set_mode = semantics_ == Semantics::kSet;
+  JoinStats stats;
+  for (size_t i = 0; i < plan_.views.size(); ++i) {
+    const HOAuxView& view = plan_.views[i];
+    const Rule& rule = program_.rule(view.rule_index);
+    const HORulePlan& rp = plan_.rules[static_cast<size_t>(view.rule_index)];
+    PreparedRule pr;
+    pr.head = &view.head;
+    pr.num_vars = program_.num_vars(view.rule_index);
+    for (size_t a = 0; a < rp.atom_positions.size(); ++a) {
+      if (!(view.mask & (1u << a))) continue;
+      const Atom& atom =
+          rule.body[static_cast<size_t>(rp.atom_positions[a])].atom;
+      const Relation* stored = StoredFor(atom.pred);
+      IVM_CHECK(stored != nullptr);
+      PreparedSubgoal sg = PreparedSubgoal::Scan(stored, atom.terms);
+      sg.counts_as_one = set_mode;
+      pr.subgoals.push_back(std::move(sg));
+    }
+    IVM_RETURN_IF_ERROR(EvaluateJoin(pr, &aux_[i], &stats));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->gauge("ho.aux_views")->Set(static_cast<int64_t>(aux_.size()));
+    metrics_->gauge("ho.aux_tuples")
+        ->Set(static_cast<int64_t>(TotalAuxTuples()));
+  }
+  return Status::OK();
+}
+
+const Relation* HigherOrderMaintainer::StoredFor(PredicateId pred) const {
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) {
+    auto rel = base_.Get(info.name);
+    return rel.ok() ? *rel : nullptr;
+  }
+  auto it = views_.find(pred);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+Result<ChangeSet> HigherOrderMaintainer::Apply(const ChangeSet& base_changes) {
+  return ApplyImpl(base_changes, /*take_from=*/nullptr);
+}
+
+Result<ChangeSet> HigherOrderMaintainer::Apply(ChangeSet&& base_changes) {
+  return ApplyImpl(base_changes, /*take_from=*/&base_changes);
+}
+
+Status HigherOrderMaintainer::ProcessStep(
+    PredicateId q, const Relation& read_delta, const Relation& fold_delta,
+    std::map<PredicateId, Relation>* count_deltas, ApplyProfile* profile) {
+  const bool set_mode = semantics_ == Semantics::kSet;
+  std::vector<JoinTask> tasks;
+
+  // (a) Head deltas of eligible rules: Δhead :- Δq ⋈ remainder components
+  // ⋈ comparisons. Every component is Δ-free (distinct body predicates),
+  // so reading the current stored extents is exact.
+  auto li = lookup_dispatch_.find(q);
+  if (li != lookup_dispatch_.end()) {
+    for (const LookupRef& ref : li->second) {
+      const Rule& rule = program_.rule(ref.rule_index);
+      const HORulePlan& rp = plan_.rules[static_cast<size_t>(ref.rule_index)];
+      const HOLookup& lu = rp.lookups[static_cast<size_t>(ref.lookup_index)];
+      PreparedRule pr;
+      pr.head = &rule.head;
+      pr.num_vars = program_.num_vars(ref.rule_index);
+      pr.subgoals.push_back(PreparedSubgoal::Scan(
+          &read_delta,
+          rule.body[static_cast<size_t>(lu.atom_position)].atom.terms));
+      pr.start_subgoal = 0;
+      for (const HOComponent& c : lu.components) {
+        if (c.atom_position >= 0) {
+          const Atom& atom =
+              rule.body[static_cast<size_t>(c.atom_position)].atom;
+          PreparedSubgoal sg =
+              PreparedSubgoal::Scan(StoredFor(atom.pred), atom.terms);
+          sg.counts_as_one = set_mode;
+          pr.subgoals.push_back(std::move(sg));
+        } else {
+          const HOAuxView& view =
+              plan_.views[static_cast<size_t>(c.aux_view)];
+          // Auxiliary counts are derivation counts already — they multiply
+          // plainly, never counts-as-one.
+          pr.subgoals.push_back(PreparedSubgoal::Scan(
+              &aux_[static_cast<size_t>(c.aux_view)], view.head.terms));
+        }
+      }
+      for (int pos : rp.comparison_positions) {
+        const Literal& lit = rule.body[static_cast<size_t>(pos)];
+        pr.subgoals.push_back(
+            PreparedSubgoal::Comparison(lit.cmp_op, lit.cmp_lhs, lit.cmp_rhs));
+      }
+      tasks.push_back(JoinTask{std::move(pr), &count_deltas->at(rule.head.pred)});
+      ++profile->lookup_tasks;
+    }
+  }
+
+  // (b) Auxiliary-view deltas: ΔM :- Δq ⋈ components of (mask \ q-atom).
+  // Each lands in a scratch relation and folds after the batch — nothing a
+  // step writes is read again within the step.
+  std::vector<std::unique_ptr<Relation>> scratch;
+  std::vector<std::pair<int, Relation*>> aux_outs;
+  auto ai = aux_dispatch_.find(q);
+  if (ai != aux_dispatch_.end()) {
+    for (const AuxDeltaRef& ref : ai->second) {
+      const Rule& rule = program_.rule(ref.rule_index);
+      const HORulePlan& rp = plan_.rules[static_cast<size_t>(ref.rule_index)];
+      const HOAuxDelta& ad =
+          rp.aux_deltas[static_cast<size_t>(ref.aux_delta_index)];
+      const HOAuxView& view = plan_.views[static_cast<size_t>(ad.aux_view)];
+      PreparedRule pr;
+      pr.head = &view.head;
+      pr.num_vars = program_.num_vars(ref.rule_index);
+      pr.subgoals.push_back(PreparedSubgoal::Scan(
+          &read_delta,
+          rule.body[static_cast<size_t>(ad.atom_position)].atom.terms));
+      pr.start_subgoal = 0;
+      for (const HOComponent& c : ad.components) {
+        if (c.atom_position >= 0) {
+          const Atom& atom =
+              rule.body[static_cast<size_t>(c.atom_position)].atom;
+          PreparedSubgoal sg =
+              PreparedSubgoal::Scan(StoredFor(atom.pred), atom.terms);
+          sg.counts_as_one = set_mode;
+          pr.subgoals.push_back(std::move(sg));
+        } else {
+          const HOAuxView& child =
+              plan_.views[static_cast<size_t>(c.aux_view)];
+          pr.subgoals.push_back(PreparedSubgoal::Scan(
+              &aux_[static_cast<size_t>(c.aux_view)], child.head.terms));
+        }
+      }
+      scratch.push_back(
+          std::make_unique<Relation>(view.name, view.schema.size()));
+      tasks.push_back(JoinTask{std::move(pr), scratch.back().get()});
+      aux_outs.emplace_back(ad.aux_view, scratch.back().get());
+      ++profile->lookup_tasks;
+    }
+  }
+
+  // (c) Ineligible rules: classic delta rules (Definition 4.1 / Section 6)
+  // with only q registered as changed — the Δ-position overlays implement
+  // the telescoping for repeated predicates, and the lowering computes
+  // Δ(¬q) / Δ(T) against q's still-old stored extent.
+  StepSource source(program_, base_, views_);
+  source.PutDelta(q, &read_delta);
+  DeltaRuleLowering lowering(program_, source,
+                             /*multiset_aggregates=*/!set_mode,
+                             /*counts_as_one=*/set_mode);
+  for (const auto& [key, t] : aggregate_ts_) {
+    lowering.SetAggregateT(key.first, key.second, &t);
+  }
+  auto fi = fallback_dispatch_.find(q);
+  if (fi != fallback_dispatch_.end()) {
+    for (const DeltaRule& dr : fi->second) {
+      IVM_ASSIGN_OR_RETURN(bool has_work, lowering.HasWork(dr));
+      if (!has_work) continue;
+      IVM_ASSIGN_OR_RETURN(PreparedRule prepared, lowering.Lower(dr));
+      tasks.push_back(JoinTask{
+          std::move(prepared),
+          &count_deltas->at(program_.rule(dr.rule_index).head.pred)});
+      ++profile->fallback_tasks;
+    }
+  }
+
+  IVM_RETURN_IF_ERROR(RunJoinTasks(executor_, &tasks, &last_apply_stats_));
+
+  // Fold ΔT of aggregates over q (computed against U^old inside the
+  // lowering, which stays alive until here).
+  auto gi = aggregates_by_pred_.find(q);
+  if (gi != aggregates_by_pred_.end()) {
+    for (const auto& [r, j] : gi->second) {
+      IVM_ASSIGN_OR_RETURN(const Relation* dt, lowering.AggregateDeltaFor(r, j));
+      if (!dt->empty()) aggregate_ts_.at(std::make_pair(r, j)).UnionInPlace(*dt);
+    }
+  }
+
+  // Fold auxiliary deltas. Auxiliary counts are derivation counts of joins
+  // of non-negatively-counted inputs, so Lemma 4.1 extends to them: a
+  // negative merged count is an internal invariant violation.
+  for (const auto& [view_index, delta] : aux_outs) {
+    if (delta->empty()) continue;
+    Relation& stored = aux_[static_cast<size_t>(view_index)];
+    for (const auto& [tuple, count] : delta->tuples()) {
+      int64_t merged = 0;
+      if (__builtin_add_overflow(stored.Count(tuple), count, &merged)) {
+        return Status::InvalidArgument(
+            "count of auxiliary tuple " + tuple.ToString() + " of '" +
+            stored.name() + "' would overflow int64");
+      }
+      if (merged < 0) {
+        return Status::Internal(
+            "higher-order invariant violated: auxiliary tuple " +
+            tuple.ToString() + " of '" + stored.name() +
+            "' would get a negative count");
+      }
+    }
+    profile->aux_delta_tuples += delta->size();
+    stored.UnionInPlace(*delta);
+  }
+
+  // Fold q itself — last, so everything above read q's old extent.
+  if (!fold_delta.empty()) {
+    const PredicateInfo& info = program_.predicate(q);
+    if (info.is_base) {
+      base_.mutable_relation(info.name).UnionInPlace(fold_delta);
+    } else {
+      views_.at(q).UnionInPlace(fold_delta);
+    }
+  }
+  return Status::OK();
+}
+
+Result<ChangeSet> HigherOrderMaintainer::ApplyImpl(
+    const ChangeSet& base_changes, ChangeSet* take_from) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Initialize() has not been called");
+  }
+
+  // 1. Validate and normalize base deltas (same contract as counting).
+  std::map<PredicateId, Relation> base_deltas;
+  for (const auto& [name, delta] : base_changes.deltas()) {
+    if (delta.empty()) continue;
+    IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+    const PredicateInfo& info = program_.predicate(pred);
+    if (!info.is_base) {
+      return Status::InvalidArgument(
+          "cannot directly modify derived relation '" + name + "'");
+    }
+    const Relation& stored = base_.relation(name);
+    if (semantics_ == Semantics::kSet) {
+      IVM_ASSIGN_OR_RETURN(Relation normalized,
+                           NormalizeSetDelta(stored, delta));
+      if (!normalized.empty()) base_deltas.emplace(pred, std::move(normalized));
+    } else {
+      IVM_RETURN_IF_ERROR(ValidateMultisetDelta(stored, delta));
+      if (take_from != nullptr) {
+        base_deltas.emplace(pred, take_from->TakeDelta(name));
+      } else {
+        base_deltas.emplace(pred, delta);
+      }
+    }
+  }
+
+  const bool set_mode = semantics_ == Semantics::kSet;
+  last_apply_stats_ = JoinStats();
+  ApplyProfile profile;
+  TraceSpan apply_span(metrics_, "ho.lookup_apply");
+
+  // Count-level deltas accumulate across steps; pre-created for every
+  // derived predicate so steps can target any downstream head.
+  std::map<PredicateId, Relation> count_deltas;
+  for (PredicateId p : program_.DerivedPredicates()) {
+    const PredicateInfo& info = program_.predicate(p);
+    count_deltas.emplace(p, Relation("Δ" + info.name, info.arity));
+  }
+
+  // 2. Telescoping steps: one per changed base predicate (map order), then
+  // one per derived predicate in stratum order.
+  for (const auto& [pred, delta] : base_deltas) {
+    IVM_RETURN_IF_ERROR(
+        ProcessStep(pred, delta, delta, &count_deltas, &profile));
+  }
+
+  std::map<PredicateId, std::unique_ptr<Relation>> prop_deltas;
+  for (int s = 1; s <= program_.max_stratum(); ++s) {
+    for (PredicateId p : program_.predicates_in_stratum(s)) {
+      Relation& dp = count_deltas.at(p);
+      const Relation& stored = views_.at(p);
+      // Lemma 4.1: no view tuple may end up with a negative count; the sum
+      // is overflow-checked so a huge delta cannot wrap past the test.
+      for (const auto& [tuple, count] : dp.tuples()) {
+        int64_t merged = 0;
+        if (__builtin_add_overflow(stored.Count(tuple), count, &merged)) {
+          return Status::InvalidArgument(
+              "count of view tuple " + tuple.ToString() + " of '" +
+              program_.predicate(p).name + "' would overflow int64");
+        }
+        if (merged < 0) {
+          return Status::Internal(
+              "Lemma 4.1 violated: view tuple " + tuple.ToString() + " of '" +
+              program_.predicate(p).name + "' would get a negative count");
+        }
+      }
+      std::unique_ptr<Relation> prop;
+      if (set_mode) {
+        prop = std::make_unique<Relation>(MembershipDelta(stored, dp));
+        // Example 5.1's optimization: count-only changes do not propagate.
+        profile.suppressed += dp.size() - prop->size();
+      } else {
+        prop = std::make_unique<Relation>(dp);
+      }
+      profile.deltas_emitted += prop->size();
+      if (!prop->empty()) {
+        IVM_RETURN_IF_ERROR(ProcessStep(p, *prop, dp, &count_deltas, &profile));
+      } else if (!dp.empty()) {
+        // Count-only change: fold it, nothing downstream can observe it.
+        views_.at(p).UnionInPlace(dp);
+      }
+      prop_deltas.emplace(p, std::move(prop));
+    }
+  }
+
+  // 3. Report per-view changes.
+  ChangeSet out;
+  for (const auto& [pred, prop] : prop_deltas) {
+    if (!prop->empty()) {
+      out.Merge(program_.predicate(pred).name, *prop);
+    }
+  }
+
+  // Publish this Apply's work profile in one batch.
+  if (metrics_ != nullptr) {
+    metrics_->counter("ho.tuples_scanned")
+        ->Add(last_apply_stats_.tuples_matched);
+    metrics_->counter("ho.derivations")->Add(last_apply_stats_.derivations);
+    metrics_->counter("ho.lookups")->Add(profile.lookup_tasks);
+    metrics_->counter("ho.fallback_rules")->Add(profile.fallback_tasks);
+    metrics_->counter("ho.aux_delta_tuples")->Add(profile.aux_delta_tuples);
+    metrics_->counter("ho.deltas_emitted")->Add(profile.deltas_emitted);
+    metrics_->counter("ho.suppressed")->Add(profile.suppressed);
+    metrics_->gauge("ho.aux_tuples")
+        ->Set(static_cast<int64_t>(TotalAuxTuples()));
+  }
+  return out;
+}
+
+Result<const Relation*> HigherOrderMaintainer::GetRelation(
+    const std::string& name) const {
+  // Auxiliary views are unreachable here by construction: their names are
+  // not program predicates, so Lookup rejects them.
+  IVM_ASSIGN_OR_RETURN(PredicateId pred, program_.Lookup(name));
+  const PredicateInfo& info = program_.predicate(pred);
+  if (info.is_base) return base_.Get(name);
+  auto it = views_.find(pred);
+  if (it == views_.end()) {
+    return Status::FailedPrecondition("maintainer not initialized");
+  }
+  return &it->second;
+}
+
+void HigherOrderMaintainer::CollectTxnRelations(std::vector<Relation*>* out) {
+  for (const std::string& name : base_.RelationNames()) {
+    out->push_back(&base_.mutable_relation(name));
+  }
+  for (auto& [pred, rel] : views_) {
+    (void)pred;
+    out->push_back(&rel);
+  }
+  for (auto& [key, rel] : aggregate_ts_) {
+    (void)key;
+    out->push_back(&rel);
+  }
+  for (Relation& rel : aux_) {
+    out->push_back(&rel);
+  }
+}
+
+size_t HigherOrderMaintainer::TotalAuxTuples() const {
+  size_t total = 0;
+  for (const Relation& rel : aux_) total += rel.size();
+  return total;
+}
+
+size_t HigherOrderMaintainer::TotalViewTuples() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : views_) {
+    (void)pred;
+    total += rel.size();
+  }
+  return total;
+}
+
+}  // namespace ivm

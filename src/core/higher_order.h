@@ -1,0 +1,155 @@
+#ifndef IVM_CORE_HIGHER_ORDER_H_
+#define IVM_CORE_HIGHER_ORDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/change_set.h"
+#include "core/delta_rules.h"
+#include "core/maintainer.h"
+#include "datalog/program.h"
+#include "eval/evaluator.h"
+#include "eval/higher_order.h"
+#include "storage/database.h"
+
+namespace ivm {
+
+/// Counting with higher-order delta views (Strategy::kHigherOrder, see
+/// docs/higher_order.md): every join rule's remainders are materialized as
+/// auxiliary counted views (eval/higher_order.h), so a base-tuple change is
+/// maintained by hash lookups into the remainders instead of re-joining the
+/// stored relations. The auxiliary views are themselves maintained
+/// incrementally by the same scheme, bottom-up.
+///
+/// The maintained counts — and therefore the reported deltas, under both
+/// semantics — are exactly CountingMaintainer's: per-stratum derivation
+/// counts with the boxed membership propagation (statement (2) of Algorithm
+/// 4.1) under kSet, full multiplicities under kDuplicate. The differential
+/// test (tests/higher_order_differential_test.cc) pins this equivalence.
+///
+/// Change propagation is *sequenced per predicate*: changed predicates are
+/// processed one at a time, base predicates first, then derived predicates
+/// in stratum order, folding each predicate's delta into its stored extent
+/// (and into the auxiliary views it participates in) at the end of its
+/// step. By the telescoping identity
+///   V(new) - V(old) = Σ_k [V(q_1..q_k new, rest old) - V(q_1..q_{k-1} new)]
+/// every step may simply read the *current* stored state of all other
+/// predicates — already-processed ones contribute their new extents,
+/// not-yet-processed ones their old — with no new/old bookkeeping inside
+/// the joins. Within one step nothing the step writes is read again:
+/// eligible rules have distinct body predicates, so every remainder is
+/// Δ-free, and the stored extent folds last.
+///
+/// Rules the compiler marks ineligible (negation, aggregation, repeated
+/// body predicates, very wide joins) are maintained inside the same
+/// per-predicate sequencing by the classic delta rules (core/delta_rules.h)
+/// with only the step's predicate registered as changed — the Δ-position
+/// overlays then implement the same telescoping for self-joins.
+class HigherOrderMaintainer : public Maintainer {
+ public:
+  /// `program` must analyze successfully and be nonrecursive (a recursive
+  /// remainder would have to materialize its own fixpoint).
+  static Result<std::unique_ptr<HigherOrderMaintainer>> Create(
+      Program program, Semantics semantics);
+
+  /// Snapshots `base`, evaluates all views, then materializes every
+  /// auxiliary remainder view bottom-up.
+  Status Initialize(const Database& base) override;
+
+  Result<ChangeSet> Apply(const ChangeSet& base_changes) override;
+  Result<ChangeSet> Apply(ChangeSet&& base_changes) override;
+
+  /// Current extent of a view or base-relation snapshot. Auxiliary views
+  /// are storage-internal: they are not reachable by name here, never show
+  /// up in RelationNames, and are never published into snapshots.
+  Result<const Relation*> GetRelation(const std::string& name) const override;
+
+  /// Base snapshot, views, aggregate extents, and auxiliary views — the
+  /// undo-log transaction must cover the auxiliary state too.
+  void CollectTxnRelations(std::vector<Relation*>* out) override;
+
+  const Program& program() const override { return program_; }
+  const char* name() const override { return "higher-order"; }
+  Semantics semantics() const { return semantics_; }
+  bool initialized() const { return initialized_; }
+
+  const HigherOrderPlan& plan() const { return plan_; }
+  size_t num_aux_views() const { return aux_.size(); }
+  /// Distinct tuples across all auxiliary views (the space cost).
+  size_t TotalAuxTuples() const;
+  /// Distinct tuples across all materialized (user-visible) views.
+  size_t TotalViewTuples() const;
+
+  /// Join-engine work counters of the most recent Apply().
+  const JoinStats& last_apply_stats() const { return last_apply_stats_; }
+
+ private:
+  HigherOrderMaintainer(Program program, Semantics semantics)
+      : program_(std::move(program)), semantics_(semantics) {}
+
+  /// Per-Apply work profile, accumulated across steps and published in one
+  /// batch at the end.
+  struct ApplyProfile {
+    uint64_t lookup_tasks = 0;
+    uint64_t fallback_tasks = 0;
+    uint64_t aux_delta_tuples = 0;
+    uint64_t deltas_emitted = 0;
+    uint64_t suppressed = 0;
+  };
+
+  /// Precomputes the per-predicate dispatch tables from plan_.
+  void BuildDispatch();
+
+  Status InitializeAggregates();
+  Status InitializeAuxViews();
+
+  /// The stored extent backing predicate `pred` (base snapshot or view).
+  const Relation* StoredFor(PredicateId pred) const;
+
+  /// One telescoping step: derives every consequence of Δ`q` = `read_delta`
+  /// (head contributions into `count_deltas`, auxiliary-view deltas), then
+  /// folds `fold_delta` into q's stored extent and the auxiliary deltas
+  /// into their views. Under kSet, `read_delta` is q's membership delta
+  /// while `fold_delta` is its count delta; elsewhere they coincide.
+  Status ProcessStep(PredicateId q, const Relation& read_delta,
+                     const Relation& fold_delta,
+                     std::map<PredicateId, Relation>* count_deltas,
+                     ApplyProfile* profile);
+
+  Result<ChangeSet> ApplyImpl(const ChangeSet& base_changes,
+                              ChangeSet* take_from);
+
+  Program program_;
+  Semantics semantics_;
+  HigherOrderPlan plan_;
+  Database base_;
+  std::map<PredicateId, Relation> views_;
+  /// Materialized GROUPBY extents of ineligible rules, keyed by (rule
+  /// index, body position) — same scheme as CountingMaintainer.
+  std::map<std::pair<int, int>, Relation> aggregate_ts_;
+  /// Auxiliary remainder views, indexed like plan_.views. Sized once in
+  /// Initialize and never resized after (CollectTxnRelations hands out
+  /// pointers into it).
+  std::vector<Relation> aux_;
+
+  /// Dispatch: for each predicate, the recipes its delta triggers.
+  struct LookupRef { int rule_index; int lookup_index; };
+  struct AuxDeltaRef { int rule_index; int aux_delta_index; };
+  std::map<PredicateId, std::vector<LookupRef>> lookup_dispatch_;
+  std::map<PredicateId, std::vector<AuxDeltaRef>> aux_dispatch_;
+  /// Classic delta rules of ineligible rules, by Δ-position predicate.
+  std::map<PredicateId, std::vector<DeltaRule>> fallback_dispatch_;
+  /// Aggregate subgoals (rule, position) grouped by their input predicate.
+  std::map<PredicateId, std::vector<std::pair<int, int>>> aggregates_by_pred_;
+
+  JoinStats last_apply_stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace ivm
+
+#endif  // IVM_CORE_HIGHER_ORDER_H_

@@ -22,6 +22,12 @@ enum class Strategy {
   /// Requires finite counts (acyclic derivations) — diverging propagation
   /// is detected and reported.
   kRecursiveCounting,
+  /// Counting with higher-order delta views (DBToaster-style): every join
+  /// remainder of every delta rule is itself materialized as a counted view
+  /// and maintained recursively, so a base-tuple change becomes hash
+  /// lookups instead of joins. Nonrecursive programs only; opt-in (kAuto
+  /// never selects it — the auxiliary views cost space).
+  kHigherOrder,
   /// kCounting for nonrecursive programs, kDRed for recursive programs —
   /// exactly the paper's recommendation.
   kAuto,
@@ -34,6 +40,7 @@ inline const char* StrategyName(Strategy s) {
     case Strategy::kRecompute: return "recompute";
     case Strategy::kPF: return "pf";
     case Strategy::kRecursiveCounting: return "recursive-counting";
+    case Strategy::kHigherOrder: return "higher-order";
     case Strategy::kAuto: return "auto";
   }
   return "?";

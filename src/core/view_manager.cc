@@ -17,7 +17,7 @@ namespace {
 Result<Strategy> StrategyFromName(const std::string& name) {
   for (Strategy s :
        {Strategy::kCounting, Strategy::kDRed, Strategy::kRecompute,
-        Strategy::kPF, Strategy::kRecursiveCounting}) {
+        Strategy::kPF, Strategy::kRecursiveCounting, Strategy::kHigherOrder}) {
     if (name == StrategyName(s)) return s;
   }
   return Status::InvalidArgument("unknown strategy name '" + name + "'");
@@ -103,6 +103,12 @@ Result<std::unique_ptr<ViewManager>> ViewManager::Create(
     case Strategy::kRecursiveCounting: {
       IVM_ASSIGN_OR_RETURN(auto m, RecursiveCountingMaintainer::Create(
                                        std::move(program)));
+      impl = std::move(m);
+      break;
+    }
+    case Strategy::kHigherOrder: {
+      IVM_ASSIGN_OR_RETURN(auto m, HigherOrderMaintainer::Create(
+                                       std::move(program), options.semantics));
       impl = std::move(m);
       break;
     }
@@ -497,13 +503,13 @@ void ViewManager::PublishSnapshot(bool republish_all) {
     const Relation* source = stored.value();
     if (!republish_all && prev != nullptr) {
       // Copy-on-write: reuse the previous extent when it demonstrably
-      // materializes the same contents — same storage slot, same slot
-      // version. Relation's assignment operators always bump the target's
-      // version (never inheriting the source's), so a stale match is
-      // impossible; rule changes republish everything instead, because they
-      // can destroy and re-create slots at reused addresses.
+      // materializes the same contents — same storage slot (by uid, so a
+      // destroyed slot re-created at a reused address can never match), same
+      // slot version. Relation's assignment operators always bump the
+      // target's version (never inheriting the source's), so a stale match
+      // is impossible even across rule changes.
       auto it = prev->extents.find(info.name);
-      if (it != prev->extents.end() && it->second.source == source &&
+      if (it != prev->extents.end() && it->second.source_uid == source->uid() &&
           it->second.source_version == source->version()) {
         version->extents.emplace(info.name, it->second);
         CounterAdd(metrics_, "storage.extents_shared");
@@ -512,7 +518,7 @@ void ViewManager::PublishSnapshot(bool republish_all) {
     }
     PublishedExtent extent;
     extent.extent = std::make_shared<const Relation>(*source);
-    extent.source = source;
+    extent.source_uid = source->uid();
     extent.source_version = source->version();
     version->extents.emplace(info.name, std::move(extent));
   };
@@ -579,14 +585,17 @@ Result<ChangeSet> ViewManager::RemoveRule(int rule_index) {
 }
 
 void ViewManager::RepublishAfterRuleChange() {
-  // The rule set itself changed: capture a fresh context for readers and
-  // force-republish every extent (rule-change transactions rebuild the
-  // maintainer's storage wholesale, so slot fingerprints are meaningless).
+  // The rule set itself changed: capture a fresh context for readers so
+  // later-pinned snapshots parse/plan against the new program. Extents go
+  // through the normal copy-on-write path: relations a rule change did not
+  // touch keep their (uid, version) fingerprint and are shared, while slots
+  // the change rebuilt — including any destroyed and re-created at a reused
+  // address — carry a fresh uid and are republished.
   auto context = std::make_shared<SnapshotContext>();
   context->program = impl_->program();
   context->semantics = semantics_;
   context_ = std::move(context);
-  PublishSnapshot(/*republish_all=*/true);
+  PublishSnapshot(/*republish_all=*/false);
 }
 
 }  // namespace ivm

@@ -12,6 +12,7 @@
 #include "core/change_set.h"
 #include "core/counting.h"
 #include "core/dred.h"
+#include "core/higher_order.h"
 #include "core/maintainer.h"
 #include "core/pf.h"
 #include "core/recompute.h"

@@ -1,0 +1,269 @@
+#include "eval/higher_order.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace ivm {
+
+namespace {
+
+/// Sorted, deduplicated variables of one body atom (arithmetic terms
+/// contribute their inner variables).
+std::vector<VarId> AtomVars(const Atom& atom) {
+  std::vector<VarId> vars;
+  for (const Term& t : atom.terms) t.CollectVars(&vars);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+bool SharesVar(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    (*ia < *ib) ? ++ia : ++ib;
+  }
+  return false;
+}
+
+/// Compiles one rule; fills `rp` and appends this rule's views to `views`.
+void CompileRule(const Program& program, int rule_index, int max_rule_atoms,
+                 HORulePlan* rp, std::vector<HOAuxView>* views) {
+  const Rule& rule = program.rule(rule_index);
+
+  bool join_only = true;
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    switch (rule.body[j].kind) {
+      case Literal::Kind::kPositive:
+        rp->atom_positions.push_back(static_cast<int>(j));
+        break;
+      case Literal::Kind::kComparison:
+        rp->comparison_positions.push_back(static_cast<int>(j));
+        break;
+      case Literal::Kind::kNegated:
+      case Literal::Kind::kAggregate:
+        join_only = false;
+        break;
+    }
+  }
+  const int n = static_cast<int>(rp->atom_positions.size());
+  // A repeated body predicate makes the remainders delta-dependent (a
+  // self-join changes at several positions per update); those rules take
+  // the classic telescoped delta rules instead.
+  std::set<PredicateId> preds;
+  bool distinct = true;
+  for (int pos : rp->atom_positions) {
+    if (!preds.insert(rule.body[static_cast<size_t>(pos)].atom.pred).second) {
+      distinct = false;
+    }
+  }
+  if (!join_only || !distinct || n == 0 || n > max_rule_atoms) {
+    rp->eligible = false;
+    return;
+  }
+  rp->eligible = true;
+
+  // ---- variable structure ----
+  std::vector<std::vector<VarId>> atom_vars(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    atom_vars[static_cast<size_t>(a)] = AtomVars(
+        rule.body[static_cast<size_t>(rp->atom_positions[static_cast<size_t>(a)])]
+            .atom);
+  }
+  std::set<VarId> top_vars;  // head + comparison inputs: live at the top join
+  {
+    std::vector<VarId> vars;
+    for (const Term& t : rule.head.terms) t.CollectVars(&vars);
+    for (int pos : rp->comparison_positions) {
+      const Literal& lit = rule.body[static_cast<size_t>(pos)];
+      lit.cmp_lhs.CollectVars(&vars);
+      lit.cmp_rhs.CollectVars(&vars);
+    }
+    top_vars.insert(vars.begin(), vars.end());
+  }
+
+  const uint32_t full = (1u << n) - 1;
+  auto vars_of_mask = [&](uint32_t mask) {
+    std::set<VarId> out;
+    for (int a = 0; a < n; ++a) {
+      if (mask & (1u << a)) {
+        out.insert(atom_vars[static_cast<size_t>(a)].begin(),
+                   atom_vars[static_cast<size_t>(a)].end());
+      }
+    }
+    return out;
+  };
+
+  /// Connected components of the atoms in `mask` (atoms adjacent when they
+  /// share a variable), ascending by lowest member for determinism.
+  auto components = [&](uint32_t mask) {
+    std::vector<uint32_t> out;
+    uint32_t remaining = mask;
+    while (remaining != 0) {
+      uint32_t comp = remaining & (~remaining + 1);  // lowest set bit
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (int a = 0; a < n; ++a) {
+          const uint32_t bit = 1u << a;
+          if (!(remaining & bit) || (comp & bit)) continue;
+          for (int b = 0; b < n; ++b) {
+            if ((comp & (1u << b)) &&
+                SharesVar(atom_vars[static_cast<size_t>(a)],
+                          atom_vars[static_cast<size_t>(b)])) {
+              comp |= bit;
+              grew = true;
+              break;
+            }
+          }
+        }
+      }
+      out.push_back(comp);
+      remaining &= ~comp;
+    }
+    return out;
+  };
+
+  // ---- closure: which remainder components must be materialized ----
+  // Top level: the remainders of every Δ-position. Recursively: maintaining
+  // a view needs the components of ITS remainders.
+  std::set<uint32_t> needed;
+  std::vector<uint32_t> work;
+  auto note = [&](uint32_t mask) {
+    if (__builtin_popcount(mask) >= 2 && needed.insert(mask).second) {
+      work.push_back(mask);
+    }
+  };
+  for (int k = 0; k < n; ++k) {
+    for (uint32_t c : components(full & ~(1u << k))) note(c);
+  }
+  while (!work.empty()) {
+    const uint32_t parent = work.back();
+    work.pop_back();
+    for (int k = 0; k < n; ++k) {
+      if (!(parent & (1u << k))) continue;
+      for (uint32_t c : components(parent & ~(1u << k))) note(c);
+    }
+  }
+
+  // ---- projection schemas ----
+  // need(C) = the variables C's consumers can mention: for a top-level
+  // remainder, head/comparison variables plus the Δ-atom's; for a child of
+  // view P, P's own schema plus the removed atom's. Parents always have
+  // more atoms than their children, so one descending-size pass finalizes
+  // every need-set before it is read.
+  std::map<uint32_t, std::set<VarId>> need;
+  auto absorb = [&](uint32_t child, const std::set<VarId>& consumer_vars) {
+    const std::set<VarId> own = vars_of_mask(child);
+    std::set<VarId>& dst = need[child];
+    for (VarId v : consumer_vars) {
+      if (own.count(v)) dst.insert(v);
+    }
+  };
+  for (int k = 0; k < n; ++k) {
+    std::set<VarId> consumer = top_vars;
+    consumer.insert(atom_vars[static_cast<size_t>(k)].begin(),
+                    atom_vars[static_cast<size_t>(k)].end());
+    for (uint32_t c : components(full & ~(1u << k))) {
+      if (__builtin_popcount(c) >= 2) absorb(c, consumer);
+    }
+  }
+  std::vector<uint32_t> by_size_desc(needed.begin(), needed.end());
+  std::sort(by_size_desc.begin(), by_size_desc.end(),
+            [](uint32_t a, uint32_t b) {
+              const int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+              return pa != pb ? pa > pb : a < b;
+            });
+  for (uint32_t parent : by_size_desc) {
+    for (int k = 0; k < n; ++k) {
+      if (!(parent & (1u << k))) continue;
+      std::set<VarId> consumer = need[parent];
+      consumer.insert(atom_vars[static_cast<size_t>(k)].begin(),
+                      atom_vars[static_cast<size_t>(k)].end());
+      for (uint32_t c : components(parent & ~(1u << k))) {
+        if (__builtin_popcount(c) >= 2) absorb(c, consumer);
+      }
+    }
+  }
+
+  // ---- materialize the views (ascending size, then mask) ----
+  std::map<uint32_t, int> view_of_mask;
+  std::vector<uint32_t> by_size_asc(by_size_desc.rbegin(), by_size_desc.rend());
+  for (uint32_t mask : by_size_asc) {
+    HOAuxView v;
+    v.rule_index = rule_index;
+    v.mask = mask;
+    v.schema.assign(need[mask].begin(), need[mask].end());
+    v.name = "__ho_r" + std::to_string(rule_index) + "_m" +
+             std::to_string(mask);
+    v.head.predicate = v.name;
+    for (VarId var : v.schema) {
+      Term t = Term::Var("hv" + std::to_string(var));
+      t.set_var(var);
+      v.head.terms.push_back(std::move(t));
+    }
+    view_of_mask[mask] = static_cast<int>(views->size());
+    views->push_back(std::move(v));
+  }
+
+  auto make_component = [&](uint32_t cmask) {
+    HOComponent c;
+    if (__builtin_popcount(cmask) == 1) {
+      c.atom_position =
+          rp->atom_positions[static_cast<size_t>(__builtin_ctz(cmask))];
+    } else {
+      c.aux_view = view_of_mask.at(cmask);
+    }
+    return c;
+  };
+
+  // ---- recipes ----
+  for (int k = 0; k < n; ++k) {
+    HOLookup lu;
+    lu.atom_position = rp->atom_positions[static_cast<size_t>(k)];
+    for (uint32_t c : components(full & ~(1u << k))) {
+      lu.components.push_back(make_component(c));
+    }
+    rp->lookups.push_back(std::move(lu));
+  }
+  for (uint32_t mask : by_size_asc) {
+    for (int k = 0; k < n; ++k) {
+      if (!(mask & (1u << k))) continue;
+      HOAuxDelta ad;
+      ad.aux_view = view_of_mask.at(mask);
+      ad.atom_position = rp->atom_positions[static_cast<size_t>(k)];
+      for (uint32_t c : components(mask & ~(1u << k))) {
+        ad.components.push_back(make_component(c));
+      }
+      rp->aux_deltas.push_back(std::move(ad));
+    }
+  }
+}
+
+}  // namespace
+
+Result<HigherOrderPlan> CompileHigherOrderPlan(const Program& program,
+                                               int max_rule_atoms) {
+  IVM_CHECK(program.analyzed())
+      << "CompileHigherOrderPlan requires Program::Analyze()";
+  if (program.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "higher-order delta views require a nonrecursive program (a "
+        "recursive remainder would have to materialize its own fixpoint)");
+  }
+  HigherOrderPlan plan;
+  plan.rules.resize(program.num_rules());
+  for (size_t r = 0; r < program.num_rules(); ++r) {
+    CompileRule(program, static_cast<int>(r), max_rule_atoms,
+                &plan.rules[r], &plan.views);
+    if (plan.rules[r].eligible) ++plan.eligible_rules;
+  }
+  return plan;
+}
+
+}  // namespace ivm

@@ -1,0 +1,120 @@
+#ifndef IVM_EVAL_HIGHER_ORDER_H_
+#define IVM_EVAL_HIGHER_ORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+
+namespace ivm {
+
+/// Higher-order delta-view compilation (DBToaster-style, see
+/// docs/higher_order.md): for every join rule and every Δ-position, the join
+/// *remainder* — the body with the Δ-atom removed — is precomputed as its
+/// own counted materialization, maintained recursively by the same scheme.
+/// A base-tuple change then derives its view delta by hash lookups into the
+/// remainder views instead of re-joining the stored relations.
+///
+/// Two structural choices keep the auxiliary state small:
+///
+///   * Remainders are decomposed into *connected components* (atoms linked
+///     by shared variables). A disconnected remainder is the cross product
+///     of its components, so materializing it whole would square the space;
+///     materializing each component separately stores only the factors, and
+///     the lookup join recombines them (each component is entered through
+///     the variables the Δ-atom binds).
+///   * Every auxiliary view is projected onto the variables its consumers
+///     can actually mention — head variables, comparison inputs, and the
+///     join variables of the atoms outside it — with counts pre-aggregated
+///     over the projected-away variables. This is where the asymptotic win
+///     comes from: a lookup enumerates distinct remainder rows, not
+///     derivation paths.
+///
+/// Comparison literals are deliberately *not* pushed into auxiliary views:
+/// they are applied once, in the top-level lookup join, where the planner
+/// already orders ready filters first. Pushing them down would be sound for
+/// pure filters but double-applies '='-bindings awkwardly and complicates
+/// the schema computation for no measured gain on the delta path.
+
+/// One materialized remainder component: the join of the rule's body atoms
+/// in `mask`, projected onto `schema`, with one count per distinct tuple
+/// (the number of derivations, inputs counted per the maintainer's
+/// semantics).
+struct HOAuxView {
+  int rule_index = -1;
+  /// Bitmask over the rule's positive-atom list (bit i = i-th positive
+  /// atom), always a connected, proper subset with >= 2 atoms.
+  uint32_t mask = 0;
+  /// Storage-internal name ("__ho_r<rule>_m<mask>"); never user-visible.
+  std::string name;
+  /// Projection variables, ascending VarId (the rule's variable space).
+  std::vector<VarId> schema;
+  /// Synthetic head atom over `schema`; doubles as the scan pattern when
+  /// the view appears as a subgoal of a parent join.
+  Atom head;
+};
+
+/// One factor of a remainder: either a materialized auxiliary view
+/// (`aux_view` >= 0, an index into HigherOrderPlan::views) or a single body
+/// atom read straight from its stored relation (`atom_position` >= 0, a body
+/// literal index). Exactly one of the two is set.
+struct HOComponent {
+  int aux_view = -1;
+  int atom_position = -1;
+};
+
+/// Head-delta recipe for a change at one atom:
+///   Δhead :- Δ(atom) ⋈ component_1 ⋈ ... ⋈ component_k ⋈ comparisons
+struct HOLookup {
+  int atom_position = -1;  // body literal index of the Δ-atom
+  std::vector<HOComponent> components;
+};
+
+/// Maintenance recipe for one auxiliary view under a change at one of its
+/// atoms: ΔM :- Δ(atom) ⋈ components of (mask \ atom). No comparisons.
+struct HOAuxDelta {
+  int aux_view = -1;
+  int atom_position = -1;  // body literal index of the Δ-atom
+  std::vector<HOComponent> components;
+};
+
+/// Per-rule compilation result. Ineligible rules (negation, aggregation, a
+/// repeated body predicate, or more than `max_rule_atoms` atoms) carry no
+/// recipes; the maintainer falls back to the classic per-position delta
+/// rules (core/delta_rules.h) for them.
+struct HORulePlan {
+  bool eligible = false;
+  /// Body literal indexes of the positive atoms, in body order.
+  std::vector<int> atom_positions;
+  /// Body literal indexes of the comparison literals, in body order.
+  std::vector<int> comparison_positions;
+  std::vector<HOLookup> lookups;  // one per positive atom, in body order
+  std::vector<HOAuxDelta> aux_deltas;
+};
+
+struct HigherOrderPlan {
+  /// Indexed by rule index, aligned with Program::rules().
+  std::vector<HORulePlan> rules;
+  /// All auxiliary views across all rules, ordered by (rule, atom count,
+  /// mask) — deterministic ids for tests and metrics.
+  std::vector<HOAuxView> views;
+  int eligible_rules = 0;
+};
+
+/// Rules with more positive atoms than this fall back to classic delta
+/// rules: the number of connected remainder views can grow exponentially in
+/// the atom count, and six atoms already stretches the space trade-off.
+inline constexpr int kMaxHigherOrderRuleAtoms = 6;
+
+/// Compiles the auxiliary-view DAG for an *analyzed*, nonrecursive program.
+/// Never fails on eligibility grounds (ineligible rules are marked, not
+/// rejected); errors only on programs that violate its preconditions.
+Result<HigherOrderPlan> CompileHigherOrderPlan(
+    const Program& program, int max_rule_atoms = kMaxHigherOrderRuleAtoms);
+
+}  // namespace ivm
+
+#endif  // IVM_EVAL_HIGHER_ORDER_H_

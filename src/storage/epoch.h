@@ -15,16 +15,18 @@
 namespace ivm {
 
 /// One immutable published copy of a relation, plus the identity of the
-/// writer-side storage slot it was copied from. `source`/`source_version`
-/// are *not* dereferenced by readers — they are an opaque fingerprint the
-/// next publication uses for copy-on-write change detection: a slot whose
-/// address and modification counter both match the previous publication is
-/// provably untouched (Relation::version() is monotone per slot and bumps on
-/// every effective mutation, including rollbacks), so its extent is shared
-/// into the new version instead of copied.
+/// writer-side storage slot it was copied from. `source_uid`/`source_version`
+/// form an opaque fingerprint the next publication uses for copy-on-write
+/// change detection: a slot whose uid and modification counter both match
+/// the previous publication is provably untouched (Relation::uid() is unique
+/// per object lifetime — a destroyed-and-recreated slot at a reused address
+/// can never be confused with its predecessor — and Relation::version() is
+/// monotone per slot, bumping on every effective mutation including
+/// rollbacks), so its extent is shared into the new version instead of
+/// copied.
 struct PublishedExtent {
   std::shared_ptr<const Relation> extent;
-  const Relation* source = nullptr;
+  uint64_t source_uid = 0;
   uint64_t source_version = 0;
 };
 

@@ -1,11 +1,17 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 
 #include "exec/thread_pool.h"
 
 namespace ivm {
+
+uint64_t Relation::NextUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;

@@ -129,6 +129,15 @@ class Relation {
   /// it alone so cached indexes of quiescent relations stay valid).
   uint64_t version() const { return version_; }
 
+  /// Process-unique identity of this relation *object*, not its value: every
+  /// constructed Relation (including copies and move targets of a fresh
+  /// construction) draws a new uid, while assignment into an existing slot
+  /// keeps the target's uid — identity follows the storage slot's lifetime,
+  /// exactly like the undo hook. (uid, version) is therefore a sound
+  /// change-detection fingerprint even when a slot is destroyed and a new
+  /// one is allocated at the reused address (see storage/epoch.h).
+  uint64_t uid() const { return uid_; }
+
   /// Full index (re)builds this relation has paid for in GetIndex — i.e.
   /// requests that could not be served by a cached, incrementally-maintained
   /// index. Steady-state maintenance must keep this flat for relations the
@@ -193,9 +202,13 @@ class Relation {
     }
   }
 
+  /// Draws the next process-wide uid (atomic counter, starts at 1).
+  static uint64_t NextUid();
+
   std::string name_;
   size_t arity_ = 0;
   CountMap tuples_;
+  uint64_t uid_ = NextUid();
   uint64_t version_ = 0;
   mutable uint64_t index_rebuilds_ = 0;
   bool overflowed_ = false;

@@ -505,6 +505,16 @@ TEST(ViewManagerStrategyTest, RecursiveCountingUnderSetSemanticsIsRejected) {
   EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(ViewManagerStrategyTest, HigherOrderOnRecursiveProgramIsRejected) {
+  Result<std::unique_ptr<ViewManager>> manager = ViewManager::CreateFromText(
+      kRecursiveText, testing_util::ManagerOptions(Strategy::kHigherOrder));
+  ASSERT_FALSE(manager.ok());
+  EXPECT_EQ(manager.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(manager.status().message().find("nonrecursive"),
+            std::string::npos)
+      << manager.status().message();
+}
+
 TEST(ViewManagerStrategyTest, WarningsDoNotBlockCreation) {
   // DRed on a nonrecursive program is legal (merely unadvised).
   Result<std::unique_ptr<ViewManager>> manager =
@@ -624,6 +634,43 @@ TEST(CostLintTest, NegatedViewIsNotInlinable) {
   EXPECT_FALSE(report.Has(DiagCode::kInlinableView)) << report.ToString();
 }
 
+TEST(CostLintTest, HigherOrderAdvantageNoteForShrinkingJoin) {
+  // Triangle query: the intermediate two-way joins (~1.1e4 rows under the
+  // default parameters) dwarf the ~1e3-row result, so counting's delta
+  // rules redo an order of magnitude more work than higher-order lookups
+  // into materialized remainders would touch.
+  AnalysisReport report = AnalyzeProgramText(
+      "base follows(S, D). base mentions(S, D). base replies(S, D). "
+      "triangle(X, Y) :- follows(X, Y) & mentions(Y, Z) & replies(Z, X).");
+  Diagnostic d = MustFindOne(report, DiagCode::kHigherOrderAdvantage);
+  EXPECT_EQ(d.severity, DiagSeverity::kNote);
+  EXPECT_TRUE(MessageContains(d, "higher-order maintenance")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "Strategy::kHigherOrder")) << d.message;
+  EXPECT_TRUE(MessageContains(d, "rows touched")) << d.message;
+}
+
+TEST(CostLintTest, HigherOrderAdvantageQuietForRecursion) {
+  // kHigherOrder rejects recursive programs, so the note must never point
+  // at one.
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "tc(X, Y) :- link(X, Y). "
+      "tc(X, Y) :- link(X, Z) & tc(Z, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kHigherOrderAdvantage))
+      << report.ToString();
+}
+
+TEST(CostLintTest, HigherOrderAdvantageQuietForBinaryChain) {
+  // A 2-way join: the final join dominates its own intermediates, so
+  // remainder lookups save ~nothing (and a 2-atom rule has no multiway
+  // remainder worth materializing).
+  AnalysisReport report = AnalyzeProgramText(
+      "base link(S, D). "
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).");
+  EXPECT_FALSE(report.Has(DiagCode::kHigherOrderAdvantage))
+      << report.ToString();
+}
+
 // ---------------------------------------------------------------------------
 // The cost model itself (ComputeProgramStats): hand-checked estimates under
 // the default parameters (1000 base rows, 100 distinct values per column).
@@ -721,6 +768,32 @@ TEST(AdvisorTest, SemanticsAwareOverloadRecommendsRecursiveCounting) {
   for (const ViewClassification& v : advice.views) {
     EXPECT_EQ(v.recommended, Strategy::kRecursiveCounting) << v.name;
   }
+}
+
+TEST(AdvisorTest, AdviceCarriesHigherOrderEstimate) {
+  Program program = MustParseProgram(
+      "base follows(S, D). base mentions(S, D). base replies(S, D). "
+      "triangle(X, Y) :- follows(X, Y) & mentions(Y, Z) & replies(Z, X).");
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_GT(advice.higher_order_estimated_cost, 0.0);
+  // The shrinking triangle join is exactly where lookups beat delta joins:
+  // counting's work (intermediates included) dwarfs the lookup estimate.
+  ProgramStats stats = ComputeProgramStats(program);
+  EXPECT_LT(2.0 * advice.higher_order_estimated_cost,
+            stats.total_delta_join_work);
+  EXPECT_NE(advice.Summary().find("higher-order estimated cost"),
+            std::string::npos)
+      << advice.Summary();
+}
+
+TEST(AdvisorTest, RecursiveSummaryOmitsHigherOrderEstimate) {
+  // kHigherOrder is nonrecursive-only; the summary must not advertise it
+  // for a program the strategy would reject.
+  Program program = MustParseProgram(kRecursiveText);
+  StrategyAdvice advice = AdviseStrategy(program);
+  EXPECT_EQ(advice.Summary().find("higher-order estimated cost"),
+            std::string::npos)
+      << advice.Summary();
 }
 
 TEST(AdvisorTest, SemanticsAwareOverloadKeepsCountingWhenNonrecursive) {

@@ -94,10 +94,10 @@ void CheckGoldens(const std::string& rel_program) {
 }
 
 TEST(LintGoldenTest, Fixtures) {
-  // One fixture per cost/cardinality lint rule (IVM012..IVM016).
+  // One fixture per cost/cardinality lint rule (IVM012..IVM017).
   for (const char* name :
        {"wide_join", "nonlinear_recursion", "aggregate_through_recursion",
-        "delta_explosion", "inlinable_view"}) {
+        "delta_explosion", "inlinable_view", "higher_order_advantage"}) {
     SCOPED_TRACE(name);
     CheckGoldens(std::string("tests/fixtures/dl/") + name + ".dl");
   }
@@ -124,7 +124,7 @@ TEST(LintGoldenTest, Examples) {
 // log, so pin the full mapping here, independent of the goldens.
 TEST(LintGoldenTest, StableRuleIds) {
   const std::vector<DiagCode>& codes = AllDiagCodes();
-  ASSERT_EQ(codes.size(), 16u);
+  ASSERT_EQ(codes.size(), 17u);
   for (size_t i = 0; i < codes.size(); ++i) {
     char expect[8];
     std::snprintf(expect, sizeof(expect), "IVM%03zu", i + 1);
@@ -135,6 +135,7 @@ TEST(LintGoldenTest, StableRuleIds) {
   EXPECT_STREQ(DiagCodeId(DiagCode::kAggregateThroughRecursion), "IVM014");
   EXPECT_STREQ(DiagCodeId(DiagCode::kDeltaExplosion), "IVM015");
   EXPECT_STREQ(DiagCodeId(DiagCode::kInlinableView), "IVM016");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kHigherOrderAdvantage), "IVM017");
 }
 
 }  // namespace

@@ -249,5 +249,39 @@ TEST(SnapshotStressTest, SnapshotSurvivesManagerMutationsSerially) {
   EXPECT_FALSE(pinned.Get("hop").ok());
 }
 
+// Regression: a rule change republishes copy-on-write, sharing the extents
+// of every untouched relation. The first implementation force-copied all of
+// them — a workaround for an ABA hazard in the (address, version) extent
+// fingerprint, fixed by fingerprinting on Relation::uid() (process-unique,
+// never reused even when a reallocated slot lands on the same address).
+TEST(SnapshotStressTest, RuleChangeSharesUntouchedExtents) {
+  MetricsRegistry metrics;
+  ViewManager::Options options;
+  options.strategy = Strategy::kDRed;
+  options.metrics = &metrics;
+  auto vm = ViewManager::CreateFromText(
+      "base link(S, D). base other(S, D).\n"
+      "hop(X, Y) :- link(X, Z) & link(Z, Y).\n"
+      "copy(X, Y) :- other(X, Y).\n",
+      options);
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+  Database db;
+  MustLoadFacts(&db, "link(a, b). link(b, c). other(p, q).");
+  IVM_ASSERT_OK((*vm)->Initialize(db));
+
+  Snapshot pinned = (*vm)->snapshot();
+  const uint64_t shared_before = metrics.counter_value("storage.extents_shared");
+  ASSERT_TRUE((*vm)->AddRuleText("hop(X, Y) :- link(X, Y).").ok());
+
+  // Only 'hop' changed: 'link', 'other', and 'copy' must have been shared,
+  // not copied, into the new storage version.
+  EXPECT_GE(metrics.counter_value("storage.extents_shared"),
+            shared_before + 3);
+  // And the pinned pre-change snapshot still reads the old rule set's
+  // contents (the shared extents are immutable).
+  EXPECT_EQ((*pinned.Get("hop"))->ToString(), "{(\"a\", \"c\")}");
+  EXPECT_EQ((*(*vm)->snapshot().Get("hop"))->SortedTuples().size(), 3u);
+}
+
 }  // namespace
 }  // namespace ivm

@@ -14,7 +14,7 @@
 //       text   file:line: severity [code] message, one per line
 //       json   one JSON object per input file, newline-separated
 //       sarif  a single SARIF 2.1.0 document covering all input files
-//   --strategy=<counting|dred|recompute|pf|recursive-counting|auto>
+//   --strategy=<counting|dred|recompute|pf|recursive-counting|higher-order|auto>
 //       also validate the strategy choice against the paper's preconditions
 //   --semantics=<set|duplicate>   semantics for --strategy (default: set)
 //   --advise                      print the per-view strategy advice (text
@@ -51,6 +51,7 @@ std::optional<ivm::Strategy> ParseStrategy(const std::string& name) {
   if (name == "recompute") return Strategy::kRecompute;
   if (name == "pf") return Strategy::kPF;
   if (name == "recursive-counting") return Strategy::kRecursiveCounting;
+  if (name == "higher-order") return Strategy::kHigherOrder;
   if (name == "auto") return Strategy::kAuto;
   return std::nullopt;
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Hard benchmark regression gate for the maintenance hot paths.
+#
+#   tools/run_bench_gate.sh BUILD_DIR
+#
+# Registered as the ctest test `bench_regression_gate`. Runs the counting
+# and higher-order smoke slices and diffs each against the committed
+# bench/baselines/ via tools/bench_compare.py. Unlike the bench_smoke
+# baseline comparison (which IVM_BENCH_BASELINE_DIR="" can switch off for
+# odd machines), this gate has no opt-out: a regression here fails ctest.
+#
+# Covered slices:
+#   counting     BM_SetOptimization/4       the per-stratum delta loop
+#   higher-order BM_HigherOrder/5/1         the 5-way-join lookup apply
+#                BM_Counting/5/1            counting on the same workload
+#                                           (pins the HO-vs-counting gap)
+#
+# Tolerance: 75% (override: IVM_BENCH_GATE_TOLERANCE). The slices run for
+# ~10ms each, so 10-20% run-to-run noise is normal; 75% only trips on
+# algorithmic regressions — a lookup turning back into a join, a suppressed
+# cascade firing again — which is exactly what the gate exists to catch.
+# Counter equality is NOT checked here: the ho.*/counting.* counters
+# accumulate over the harness's adaptive iteration count, so only per-
+# iteration times are comparable across runs.
+set -u
+
+BUILD_DIR="${1:?usage: run_bench_gate.sh BUILD_DIR}"
+BENCH_DIR="$BUILD_DIR/bench"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+BASELINE_DIR="$(dirname "$SCRIPT_DIR")/bench/baselines"
+TOLERANCE="${IVM_BENCH_GATE_TOLERANCE:-75}"
+OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ivm_bench_gate.XXXXXX")"
+trap 'rm -rf "$OUT_DIR"' EXIT
+export IVM_BENCH_OUT="$OUT_DIR"
+
+fail=0
+
+# run_slice NAME FILTER
+run_slice() {
+  local name="$1" filter="$2"
+  local bin="$BENCH_DIR/bench_$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "FAIL: $bin not built" >&2
+    fail=1
+    return
+  fi
+  if ! "$bin" --benchmark_min_time=0.01 --benchmark_filter="$filter" \
+      >/dev/null 2>"$OUT_DIR/$name.stderr"; then
+    echo "FAIL: bench_$name exited non-zero:" >&2
+    cat "$OUT_DIR/$name.stderr" >&2
+    fail=1
+    return
+  fi
+  local baseline="$BASELINE_DIR/BENCH_$name.json"
+  if [[ ! -e "$baseline" ]]; then
+    echo "FAIL: no committed baseline $baseline" >&2
+    fail=1
+    return
+  fi
+  if ! python3 "$SCRIPT_DIR/bench_compare.py" --tolerance "$TOLERANCE" \
+      "$baseline" "$OUT_DIR/BENCH_$name.json"; then
+    echo "FAIL: BENCH_$name.json regressed vs baseline" >&2
+    fail=1
+  fi
+}
+
+run_slice set_optimization 'BM_SetOptimization/4$'
+run_slice higher_order 'BM_HigherOrder/5/1$|BM_Counting/5/1$'
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench gate: FAILED" >&2
+  exit 1
+fi
+echo "bench gate: OK"

@@ -96,6 +96,13 @@ run_one snapshot_read 'BM_SnapshotRead/4/real_time$' \
 run_one counting_overhead 'BM_ApplyWithMetrics/100/400$' \
   apply.base_delta_tuples peak_delta_tuples
 
+# Higher-order maintenance: the 5-way-join batch-1 slice (the headline
+# lookup-vs-join case, docs/higher_order.md) plus counting on the same
+# workload, so the baseline pins their relative cost as well as each
+# absolute one.
+run_one higher_order 'BM_HigherOrder/5/1$|BM_Counting/5/1$' \
+  ho.lookups ho.aux_delta_tuples ho.deltas_emitted peak_delta_tuples
+
 # Baseline comparison (see header comment): on by default against the
 # committed bench/baselines/; IVM_BENCH_BASELINE_DIR="" disables.
 REPO_DIR="$(dirname "$SCRIPT_DIR")"

@@ -18,6 +18,10 @@
 #   snapshot_stress_test       N reader threads pinning snapshots against one
 #                              writer's Apply stream (storage/epoch.h: pin /
 #                              publish / reclaim, shared-extent index builds)
+#   higher_order_differential_test
+#                              higher-order vs counting equivalence; every
+#                              third seed runs the lookup fan-out on a
+#                              3-thread executor
 #
 # Any data race aborts the run (halt_on_error): a clean exit is the
 # acceptance gate for changes to src/exec/ and the batched evaluation loops
@@ -35,13 +39,15 @@ cmake -B "${BUILD_DIR}" -S . \
 
 cmake --build "${BUILD_DIR}" -j \
   --target exec_test parallel_determinism_test view_manager_test \
-           flat_hash_test metrics_test snapshot_stress_test
+           flat_hash_test metrics_test snapshot_stress_test \
+           higher_order_differential_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 fail=0
 for t in exec_test parallel_determinism_test view_manager_test \
-         flat_hash_test metrics_test snapshot_stress_test; do
+         flat_hash_test metrics_test snapshot_stress_test \
+         higher_order_differential_test; do
   echo "=== tsan: ${t} ==="
   if ! "${BUILD_DIR}/tests/${t}"; then
     fail=1
